@@ -1,0 +1,29 @@
+//! Benchmark: end-to-end NLQ -> SQL translation latency of Pipeline and
+//! Pipeline+ on representative benchmark cases from each dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::Dataset;
+use nlidb::{NlidbSystem, PipelineSystem};
+use templar_core::TemplarConfig;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(20);
+    for dataset in [Dataset::mas(), Dataset::yelp(), Dataset::imdb()] {
+        let log = dataset.full_log();
+        let baseline = PipelineSystem::baseline(dataset.db.clone());
+        let augmented =
+            PipelineSystem::augmented(dataset.db.clone(), &log, TemplarConfig::paper_defaults());
+        let case = &dataset.cases[0];
+        group.bench_function(format!("{}/pipeline", dataset.name), |b| {
+            b.iter(|| baseline.translate(&case.nlq).len())
+        });
+        group.bench_function(format!("{}/pipeline_plus", dataset.name), |b| {
+            b.iter(|| augmented.translate(&case.nlq).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Benchmark: the INFERJOINS call (Section VI) with default and log-driven
+//! edge weights, including the self-join forking path of Example 7.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::Dataset;
+use relational::AttributeRef;
+use schemagraph::SchemaGraph;
+use templar_core::{infer_joins, BagItem, QueryFragmentGraph, TemplarConfig};
+
+fn bench_joins(c: &mut Criterion) {
+    let dataset = Dataset::mas();
+    let graph = SchemaGraph::from_schema(dataset.db.schema());
+    let qfg = QueryFragmentGraph::build(&dataset.full_log(), templar_core::Obscurity::NoConstOp);
+    let bag = vec![
+        BagItem::Attribute(AttributeRef::new("publication", "title")),
+        BagItem::Attribute(AttributeRef::new("domain", "name")),
+    ];
+    let default_cfg = TemplarConfig::default().with_log_joins(false);
+    let log_cfg = TemplarConfig::default();
+    c.bench_function("join_inference/default_weights", |b| {
+        b.iter(|| infer_joins(&graph, None, &default_cfg, &bag).is_some())
+    });
+    c.bench_function("join_inference/log_weights", |b| {
+        b.iter(|| infer_joins(&graph, Some(&qfg), &log_cfg, &bag).is_some())
+    });
+    let self_join_bag = vec![
+        BagItem::Attribute(AttributeRef::new("publication", "title")),
+        BagItem::Attribute(AttributeRef::new("author", "name")),
+        BagItem::Attribute(AttributeRef::new("author", "name")),
+    ];
+    c.bench_function("join_inference/self_join_fork", |b| {
+        b.iter(|| infer_joins(&graph, Some(&qfg), &log_cfg, &self_join_bag).is_some())
+    });
+}
+
+criterion_group!(benches, bench_joins);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Benchmark: the MAPKEYWORDS call (Algorithms 1-3) on representative MAS
+//! keywords, with and without query-log information.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::Dataset;
+use sqlparse::BinOp;
+use templar_core::{Keyword, KeywordMetadata, QueryLog, Templar, TemplarConfig};
+
+fn bench_mapping(c: &mut Criterion) {
+    let dataset = Dataset::mas();
+    let log = dataset.full_log();
+    let keywords = vec![
+        (Keyword::new("papers"), KeywordMetadata::select()),
+        (Keyword::new("Databases"), KeywordMetadata::filter()),
+        (
+            Keyword::new("after 2000"),
+            KeywordMetadata::filter_with_op(BinOp::Gt),
+        ),
+    ];
+    let with_log = Templar::new(dataset.db.clone(), &log, TemplarConfig::paper_defaults());
+    let without_log = Templar::new(
+        dataset.db.clone(),
+        &QueryLog::new(),
+        TemplarConfig::paper_defaults().with_lambda(1.0),
+    );
+    c.bench_function("keyword_mapping/with_query_log", |b| {
+        b.iter(|| with_log.map_keywords(&keywords).len())
+    });
+    c.bench_function("keyword_mapping/similarity_only", |b| {
+        b.iter(|| without_log.map_keywords(&keywords).len())
+    });
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Benchmark: building the Query Fragment Graph from a benchmark-sized query
+//! log at each obscurity level (Section IV).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::Dataset;
+use templar_core::{Obscurity, QueryFragmentGraph};
+
+fn bench_qfg(c: &mut Criterion) {
+    let log = Dataset::mas().full_log();
+    for level in Obscurity::ALL {
+        c.bench_function(&format!("qfg/build_mas_{}", level.name()), |b| {
+            b.iter(|| QueryFragmentGraph::build(&log, level).fragment_count())
+        });
+    }
+    let qfg = QueryFragmentGraph::build(&log, Obscurity::NoConstOp);
+    c.bench_function("qfg/relation_dice", |b| {
+        b.iter(|| qfg.relation_dice("publication", "journal"))
+    });
+}
+
+criterion_group!(benches, bench_qfg);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Microbenchmark: SQL parsing and canonicalization throughput over the gold
+//! SQL of the MAS benchmark (the hot path of query-log ingestion).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::Dataset;
+use sqlparse::{canonicalize, parse_query};
+
+fn bench_parse(c: &mut Criterion) {
+    let dataset = Dataset::mas();
+    let sql: Vec<String> = dataset.cases.iter().map(|c| c.gold_sql.to_string()).collect();
+    c.bench_function("sqlparse/parse_mas_gold", |b| {
+        b.iter(|| {
+            let mut ok = 0usize;
+            for s in &sql {
+                if parse_query(s).is_ok() {
+                    ok += 1;
+                }
+            }
+            ok
+        })
+    });
+    let parsed = dataset.cases.iter().map(|c| c.gold_sql.clone()).collect::<Vec<_>>();
+    c.bench_function("sqlparse/canonicalize_mas_gold", |b| {
+        b.iter(|| parsed.iter().map(canonicalize).count())
+    });
+}
+
+criterion_group!(benches, bench_parse);
+criterion_main!(benches);

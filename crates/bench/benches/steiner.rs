@@ -1,0 +1,22 @@
+//! Benchmark: the Kou-Markowsky-Berman Steiner tree approximation on the MAS
+//! and IMDB join graphs with 2-4 terminals.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::Dataset;
+use schemagraph::{steiner_tree, JoinGraph, SchemaGraph};
+
+fn bench_steiner(c: &mut Criterion) {
+    for dataset in [Dataset::mas(), Dataset::imdb()] {
+        let graph = JoinGraph::from_schema_graph(&SchemaGraph::from_schema(dataset.db.schema()));
+        let nodes: Vec<_> = (0..graph.nodes().len()).collect();
+        for k in [2usize, 3, 4] {
+            let terminals: Vec<usize> = nodes.iter().step_by(nodes.len() / k).take(k).copied().collect();
+            c.bench_function(&format!("steiner/{}_{}_terminals", dataset.name, k), |b| {
+                b.iter(|| steiner_tree(&graph, &terminals).map(|p| p.edges.len()))
+            });
+        }
+    }
+}
+
+criterion_group!(benches, bench_steiner);
+criterion_main!(benches);

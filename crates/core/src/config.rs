@@ -1,0 +1,135 @@
+//! Templar configuration parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// The obscurity level applied to query fragments (Section IV of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Obscurity {
+    /// Retain all values: `p.year > 2000`.
+    Full,
+    /// Replace literal constants with a placeholder: `p.year > ?val`.
+    NoConst,
+    /// Also obscure the comparison operator: `p.year ?op ?val`.
+    NoConstOp,
+}
+
+impl Default for Obscurity {
+    /// The paper's best-performing level, `NoConstOp`.
+    fn default() -> Self {
+        Obscurity::NoConstOp
+    }
+}
+
+impl Obscurity {
+    /// All levels, in increasing order of obscurity.
+    pub const ALL: [Obscurity; 3] = [Obscurity::Full, Obscurity::NoConst, Obscurity::NoConstOp];
+
+    /// Human-readable name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Obscurity::Full => "Full",
+            Obscurity::NoConst => "NoConst",
+            Obscurity::NoConstOp => "NoConstOp",
+        }
+    }
+}
+
+/// Tunable parameters of Templar (Section VII-D).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemplarConfig {
+    /// `κ`: number of top candidate keyword mappings retained per keyword
+    /// before configurations are generated (paper default: 5).
+    pub kappa: usize,
+    /// `λ`: weight of the word-similarity score versus the log-driven score
+    /// in the final configuration score (paper default: 0.8).
+    pub lambda: f64,
+    /// The fragment obscurity level used for the QFG (paper default, best
+    /// performing: `NoConstOp`).
+    pub obscurity: Obscurity,
+    /// Whether join path inference uses log-driven edge weights
+    /// (`LogJoin` in Table IV).  When false, all edges weigh 1 and the
+    /// minimum-length join path wins.
+    pub use_log_joins: bool,
+    /// `ε`: the small value used both for the exact-match pruning threshold
+    /// (`σ ≥ 1 − ε`) and as the score of numeric candidates whose predicate
+    /// selects no rows.
+    pub epsilon: f64,
+    /// Maximum number of configurations returned by `MAPKEYWORDS`.
+    pub max_configurations: usize,
+    /// Number of alternative join paths to enumerate per relation bag.
+    pub join_candidates: usize,
+}
+
+impl Default for TemplarConfig {
+    fn default() -> Self {
+        TemplarConfig {
+            kappa: 5,
+            lambda: 0.8,
+            obscurity: Obscurity::NoConstOp,
+            use_log_joins: true,
+            epsilon: 0.05,
+            max_configurations: 16,
+            join_candidates: 4,
+        }
+    }
+}
+
+impl TemplarConfig {
+    /// The configuration used for the headline results of Table III
+    /// (NoConstOp, κ = 5, λ = 0.8, log joins on).
+    pub fn paper_defaults() -> Self {
+        Self::default()
+    }
+
+    /// Set `κ`.
+    pub fn with_kappa(mut self, kappa: usize) -> Self {
+        self.kappa = kappa.max(1);
+        self
+    }
+
+    /// Set `λ` (clamped to `[0, 1]`).
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set the obscurity level.
+    pub fn with_obscurity(mut self, obscurity: Obscurity) -> Self {
+        self.obscurity = obscurity;
+        self
+    }
+
+    /// Enable or disable log-driven join weights.
+    pub fn with_log_joins(mut self, on: bool) -> Self {
+        self.use_log_joins = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = TemplarConfig::paper_defaults();
+        assert_eq!(c.kappa, 5);
+        assert!((c.lambda - 0.8).abs() < 1e-12);
+        assert_eq!(c.obscurity, Obscurity::NoConstOp);
+        assert!(c.use_log_joins);
+    }
+
+    #[test]
+    fn builder_methods_clamp_inputs() {
+        let c = TemplarConfig::default().with_kappa(0).with_lambda(2.0);
+        assert_eq!(c.kappa, 1);
+        assert_eq!(c.lambda, 1.0);
+    }
+
+    #[test]
+    fn obscurity_names() {
+        assert_eq!(Obscurity::Full.name(), "Full");
+        assert_eq!(Obscurity::NoConstOp.name(), "NoConstOp");
+        assert_eq!(Obscurity::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,373 @@
+//! Query fragments (Definition 3) and their extraction from SQL.
+//!
+//! A query fragment is a pair `(χ, τ)` of a SQL expression or non-join
+//! predicate `χ` and the clause context `τ` it appears in.  Fragments are the
+//! unit of information stored in the Query Fragment Graph: fine-grained
+//! enough to be recombined into queries never seen in the log, yet
+//! coarse-grained enough to recur.
+//!
+//! Following Section IV, literal values (and optionally comparison
+//! operators) are replaced by placeholders according to the configured
+//! [`Obscurity`] level, so that `p.year > 2003` and `p.year < 1995` can
+//! reinforce the same fragment `publication.year ?op ?val`.
+
+use crate::config::Obscurity;
+use relational::AttributeRef;
+use serde::{Deserialize, Serialize};
+use sqlparse::{Aggregate, BinOp, ColumnRef, Expr, Literal, Predicate, Query, SelectItem};
+use std::fmt;
+
+/// The clause context `τ` of a query fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum QueryContext {
+    /// The `SELECT` list.
+    Select,
+    /// The `FROM` clause.
+    From,
+    /// The `WHERE` clause (non-join predicates only).
+    Where,
+    /// The `GROUP BY` clause.
+    GroupBy,
+    /// The `HAVING` clause.
+    Having,
+    /// The `ORDER BY` clause.
+    OrderBy,
+}
+
+impl fmt::Display for QueryContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            QueryContext::Select => "SELECT",
+            QueryContext::From => "FROM",
+            QueryContext::Where => "WHERE",
+            QueryContext::GroupBy => "GROUP BY",
+            QueryContext::Having => "HAVING",
+            QueryContext::OrderBy => "ORDER BY",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// A query fragment `(χ, τ)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct QueryFragment {
+    /// The canonical textual form of the expression / predicate, with alias
+    /// qualifiers resolved to relation names and identifiers lower-cased.
+    pub expr: String,
+    /// The clause context.
+    pub context: QueryContext,
+}
+
+impl QueryFragment {
+    /// A fragment in the `FROM` context for a relation.
+    pub fn relation(name: &str) -> Self {
+        QueryFragment {
+            expr: name.to_lowercase(),
+            context: QueryContext::From,
+        }
+    }
+
+    /// A fragment for a (possibly aggregated) attribute in a given context.
+    pub fn attribute(attr: &AttributeRef, aggregate: Option<Aggregate>, context: QueryContext) -> Self {
+        let base = format!("{}.{}", attr.relation.to_lowercase(), attr.attribute.to_lowercase());
+        let expr = match aggregate {
+            Some(agg) => format!("{}({})", agg.name().to_lowercase(), base),
+            None => base,
+        };
+        QueryFragment { expr, context }
+    }
+
+    /// A fragment for a comparison predicate at the given obscurity level.
+    pub fn predicate(attr: &AttributeRef, op: BinOp, value: &Literal, obscurity: Obscurity) -> Self {
+        let base = format!("{}.{}", attr.relation.to_lowercase(), attr.attribute.to_lowercase());
+        let expr = match obscurity {
+            Obscurity::Full => format!("{} {} {}", base, op.symbol(), render_literal(value)),
+            Obscurity::NoConst => format!("{} {} ?val", base, op.symbol()),
+            Obscurity::NoConstOp => format!("{base} ?op ?val"),
+        };
+        QueryFragment {
+            expr,
+            context: QueryContext::Where,
+        }
+    }
+
+    /// True for fragments in the `FROM` context (these are excluded from the
+    /// QFG-based configuration score, Section V-C.2).
+    pub fn is_relation(&self) -> bool {
+        self.context == QueryContext::From
+    }
+}
+
+impl fmt::Display for QueryFragment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.expr, self.context)
+    }
+}
+
+fn render_literal(lit: &Literal) -> String {
+    match lit {
+        Literal::String(s) => format!("'{}'", s.to_lowercase()),
+        other => other.to_string(),
+    }
+}
+
+/// Resolve a column reference against a query's FROM clause, producing the
+/// canonical `relation.attribute` form (falling back to the raw qualifier
+/// when it cannot be resolved).
+fn canonical_column(query: &Query, col: &ColumnRef) -> String {
+    let relation = col
+        .qualifier
+        .as_deref()
+        .and_then(|q| query.resolve_qualifier(q))
+        .map(|r| r.to_string())
+        .or_else(|| {
+            // Unqualified column in a single-table query.
+            if query.from.len() == 1 {
+                Some(query.from[0].table.clone())
+            } else {
+                col.qualifier.clone()
+            }
+        });
+    match relation {
+        Some(r) => format!("{}.{}", r.to_lowercase(), col.column.to_lowercase()),
+        None => col.column.to_lowercase(),
+    }
+}
+
+fn expr_fragment_text(query: &Query, expr: &Expr) -> String {
+    match expr {
+        Expr::Column(c) => canonical_column(query, c),
+        Expr::Aggregate {
+            func,
+            distinct,
+            arg,
+        } => {
+            let inner = match arg {
+                Some(c) => canonical_column(query, c),
+                None => "*".to_string(),
+            };
+            if *distinct {
+                format!("{}(distinct {})", func.name().to_lowercase(), inner)
+            } else {
+                format!("{}({})", func.name().to_lowercase(), inner)
+            }
+        }
+        Expr::Literal(l) => render_literal(l),
+    }
+}
+
+fn predicate_fragment_text(query: &Query, pred: &Predicate, obscurity: Obscurity) -> String {
+    match pred {
+        Predicate::Compare { left, op, right } => {
+            let l = expr_fragment_text(query, left);
+            match obscurity {
+                Obscurity::Full => {
+                    format!("{} {} {}", l, op.symbol(), expr_fragment_text(query, right))
+                }
+                Obscurity::NoConst => format!("{} {} ?val", l, op.symbol()),
+                Obscurity::NoConstOp => format!("{l} ?op ?val"),
+            }
+        }
+        Predicate::In { col, values, negated } => {
+            let l = canonical_column(query, col);
+            match obscurity {
+                Obscurity::Full => {
+                    let vals: Vec<String> = values.iter().map(render_literal).collect();
+                    let kw = if *negated { "not in" } else { "in" };
+                    format!("{} {} ({})", l, kw, vals.join(", "))
+                }
+                Obscurity::NoConst => format!("{l} in ?val"),
+                Obscurity::NoConstOp => format!("{l} ?op ?val"),
+            }
+        }
+        Predicate::Between { col, low, high } => {
+            let l = canonical_column(query, col);
+            match obscurity {
+                Obscurity::Full => format!(
+                    "{} between {} and {}",
+                    l,
+                    render_literal(low),
+                    render_literal(high)
+                ),
+                Obscurity::NoConst => format!("{l} between ?val and ?val"),
+                Obscurity::NoConstOp => format!("{l} ?op ?val"),
+            }
+        }
+        Predicate::IsNull { col, negated } => {
+            let l = canonical_column(query, col);
+            match obscurity {
+                Obscurity::Full | Obscurity::NoConst => {
+                    if *negated {
+                        format!("{l} is not null")
+                    } else {
+                        format!("{l} is null")
+                    }
+                }
+                Obscurity::NoConstOp => format!("{l} ?op ?val"),
+            }
+        }
+    }
+}
+
+/// Decompose a parsed query into its query fragments at the given obscurity
+/// level (the example of Figure 3b).
+///
+/// Join conditions are *not* fragments: they are handled by join path
+/// inference, and including them would double-count schema structure
+/// (Section V-C.2 makes the same argument for relations in FROM).
+pub fn fragments_of_query(query: &Query, obscurity: Obscurity) -> Vec<QueryFragment> {
+    let mut out = Vec::new();
+    for item in &query.select {
+        match item {
+            SelectItem::Wildcard => out.push(QueryFragment {
+                expr: "*".to_string(),
+                context: QueryContext::Select,
+            }),
+            SelectItem::Expr(e) => out.push(QueryFragment {
+                expr: expr_fragment_text(query, e),
+                context: QueryContext::Select,
+            }),
+        }
+    }
+    for t in &query.from {
+        out.push(QueryFragment::relation(&t.table));
+    }
+    for p in query.filter_predicates() {
+        out.push(QueryFragment {
+            expr: predicate_fragment_text(query, p, obscurity),
+            context: QueryContext::Where,
+        });
+    }
+    for c in &query.group_by {
+        out.push(QueryFragment {
+            expr: canonical_column(query, c),
+            context: QueryContext::GroupBy,
+        });
+    }
+    for p in &query.having {
+        out.push(QueryFragment {
+            expr: predicate_fragment_text(query, p, obscurity),
+            context: QueryContext::Having,
+        });
+    }
+    for o in &query.order_by {
+        out.push(QueryFragment {
+            expr: expr_fragment_text(query, &o.expr),
+            context: QueryContext::OrderBy,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlparse::parse_query;
+
+    #[test]
+    fn extracts_fragments_from_the_paper_example() {
+        // Figure 3a, third logged query.
+        let q = parse_query(
+            "SELECT p.title FROM journal j, publication p \
+             WHERE j.name = 'TMC' AND p.pid = j.pid",
+        )
+        .unwrap();
+        let frags = fragments_of_query(&q, Obscurity::NoConstOp);
+        assert!(frags.contains(&QueryFragment {
+            expr: "publication.title".into(),
+            context: QueryContext::Select
+        }));
+        assert!(frags.contains(&QueryFragment::relation("journal")));
+        assert!(frags.contains(&QueryFragment::relation("publication")));
+        assert!(frags.contains(&QueryFragment {
+            expr: "journal.name ?op ?val".into(),
+            context: QueryContext::Where
+        }));
+        // The join condition must not become a fragment.
+        assert_eq!(frags.len(), 4);
+    }
+
+    #[test]
+    fn obscurity_levels_differ() {
+        let q = parse_query("SELECT p.title FROM publication p WHERE p.year > 2003").unwrap();
+        let full = fragments_of_query(&q, Obscurity::Full);
+        let noconst = fragments_of_query(&q, Obscurity::NoConst);
+        let noconstop = fragments_of_query(&q, Obscurity::NoConstOp);
+        assert!(full.iter().any(|f| f.expr == "publication.year > 2003"));
+        assert!(noconst.iter().any(|f| f.expr == "publication.year > ?val"));
+        assert!(noconstop.iter().any(|f| f.expr == "publication.year ?op ?val"));
+    }
+
+    #[test]
+    fn different_constants_collapse_under_noconst() {
+        let q1 = parse_query("SELECT p.title FROM publication p WHERE p.year > 2003").unwrap();
+        let q2 = parse_query("SELECT p.title FROM publication p WHERE p.year > 1995").unwrap();
+        let f1 = fragments_of_query(&q1, Obscurity::NoConst);
+        let f2 = fragments_of_query(&q2, Obscurity::NoConst);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn different_operators_collapse_only_under_noconstop() {
+        let q1 = parse_query("SELECT p.title FROM publication p WHERE p.year > 2003").unwrap();
+        let q2 = parse_query("SELECT p.title FROM publication p WHERE p.year < 1995").unwrap();
+        assert_ne!(
+            fragments_of_query(&q1, Obscurity::NoConst),
+            fragments_of_query(&q2, Obscurity::NoConst)
+        );
+        assert_eq!(
+            fragments_of_query(&q1, Obscurity::NoConstOp),
+            fragments_of_query(&q2, Obscurity::NoConstOp)
+        );
+    }
+
+    #[test]
+    fn aggregates_group_by_and_order_by_become_fragments() {
+        let q = parse_query(
+            "SELECT a.name, COUNT(p.pid) FROM author a, writes w, publication p \
+             WHERE a.aid = w.aid AND w.pid = p.pid \
+             GROUP BY a.name ORDER BY COUNT(p.pid) DESC",
+        )
+        .unwrap();
+        let frags = fragments_of_query(&q, Obscurity::NoConstOp);
+        assert!(frags.contains(&QueryFragment {
+            expr: "count(publication.pid)".into(),
+            context: QueryContext::Select
+        }));
+        assert!(frags.contains(&QueryFragment {
+            expr: "author.name".into(),
+            context: QueryContext::GroupBy
+        }));
+        assert!(frags.contains(&QueryFragment {
+            expr: "count(publication.pid)".into(),
+            context: QueryContext::OrderBy
+        }));
+    }
+
+    #[test]
+    fn constructors_match_extraction() {
+        let q = parse_query("SELECT p.title FROM publication p WHERE p.year > 2003").unwrap();
+        let frags = fragments_of_query(&q, Obscurity::NoConstOp);
+        let attr = AttributeRef::new("publication", "year");
+        let constructed = QueryFragment::predicate(
+            &attr,
+            BinOp::Gt,
+            &Literal::Number(2003.0),
+            Obscurity::NoConstOp,
+        );
+        assert!(frags.contains(&constructed));
+        let title = QueryFragment::attribute(
+            &AttributeRef::new("publication", "title"),
+            None,
+            QueryContext::Select,
+        );
+        assert!(frags.contains(&title));
+    }
+
+    #[test]
+    fn string_predicates_lowercase_values_at_full_obscurity() {
+        let q = parse_query("SELECT j.name FROM journal j WHERE j.name = 'TKDE'").unwrap();
+        let frags = fragments_of_query(&q, Obscurity::Full);
+        assert!(frags.iter().any(|f| f.expr == "journal.name = 'tkde'"));
+    }
+}

@@ -1,0 +1,851 @@
+//! Keyword mapping (Section V, Algorithms 1–3).
+//!
+//! The keyword mapper receives keywords and parser metadata from the host
+//! NLIDB, retrieves candidate query-fragment mappings from the database
+//! (Algorithm 2), scores and prunes them (Algorithm 3), and finally combines
+//! them into ranked *configurations* whose score blends word similarity with
+//! the query-log evidence stored in the QFG (Section V-C).
+
+use crate::config::TemplarConfig;
+use crate::fragment::{QueryContext, QueryFragment};
+use crate::qfg::QueryFragmentGraph;
+use nlp::{contains_number, extract_numbers, tokenize_lower, SimilarityModel};
+use relational::{AttributeRef, Database};
+use serde::{Deserialize, Serialize};
+use sqlparse::{Aggregate, BinOp, ColumnRef, Expr, Literal, Predicate};
+
+/// A keyword phrase extracted from the NLQ by the host NLIDB.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Keyword {
+    /// The keyword text (possibly multiple words, e.g. `"after 2000"`).
+    pub text: String,
+}
+
+impl Keyword {
+    /// Construct a keyword.
+    pub fn new(text: impl Into<String>) -> Self {
+        Keyword { text: text.into() }
+    }
+}
+
+/// Parser metadata accompanying a keyword (the `M_k` tuple of Section III-C).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KeywordMetadata {
+    /// The clause context `τ` the mapped fragment should live in.
+    pub context: QueryContext,
+    /// The predicate comparison operator `ω`, when the NLQ implies one
+    /// (e.g. *after* ⇒ `>`).
+    pub op: Option<BinOp>,
+    /// The ordered aggregation functions `F` to apply to the mapping.
+    pub aggregates: Vec<Aggregate>,
+    /// `g`: whether the mapping should be grouped.
+    pub group_by: bool,
+}
+
+impl KeywordMetadata {
+    /// Metadata for a plain projection keyword.
+    pub fn select() -> Self {
+        KeywordMetadata {
+            context: QueryContext::Select,
+            op: None,
+            aggregates: Vec::new(),
+            group_by: false,
+        }
+    }
+
+    /// Metadata for a value / predicate keyword.
+    pub fn filter() -> Self {
+        KeywordMetadata {
+            context: QueryContext::Where,
+            op: None,
+            aggregates: Vec::new(),
+            group_by: false,
+        }
+    }
+
+    /// Metadata for a predicate keyword with an explicit operator.
+    pub fn filter_with_op(op: BinOp) -> Self {
+        KeywordMetadata {
+            op: Some(op),
+            ..Self::filter()
+        }
+    }
+
+    /// Metadata for a relation keyword (FROM context).
+    pub fn from_clause() -> Self {
+        KeywordMetadata {
+            context: QueryContext::From,
+            op: None,
+            aggregates: Vec::new(),
+            group_by: false,
+        }
+    }
+
+    /// Attach aggregation functions.
+    pub fn with_aggregates(mut self, aggregates: Vec<Aggregate>) -> Self {
+        self.aggregates = aggregates;
+        self
+    }
+
+    /// Mark the mapping as grouped.
+    pub fn with_group_by(mut self) -> Self {
+        self.group_by = true;
+        self
+    }
+}
+
+/// The database element a keyword was mapped to.  This is the structured
+/// counterpart of a query fragment: the NLIDB uses it to assemble the final
+/// SQL, while [`MappedElement::fragment`] produces the textual fragment used
+/// for QFG lookups.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MappedElement {
+    /// A relation (FROM context).
+    Relation(String),
+    /// A projected attribute, possibly aggregated and/or grouped.
+    Attribute {
+        /// The attribute.
+        attr: AttributeRef,
+        /// Aggregation functions applied to it (outermost last).
+        aggregates: Vec<Aggregate>,
+        /// Whether the query should group by this attribute.
+        group_by: bool,
+    },
+    /// A selection predicate `attr op value`.
+    Predicate {
+        /// The constrained attribute.
+        attr: AttributeRef,
+        /// The comparison operator.
+        op: BinOp,
+        /// The literal value.
+        value: Literal,
+    },
+}
+
+impl MappedElement {
+    /// The relation this element refers to.
+    pub fn relation(&self) -> &str {
+        match self {
+            MappedElement::Relation(r) => r,
+            MappedElement::Attribute { attr, .. } | MappedElement::Predicate { attr, .. } => {
+                &attr.relation
+            }
+        }
+    }
+
+    /// The query fragment representing this element at an obscurity level.
+    pub fn fragment(&self, config: &TemplarConfig) -> QueryFragment {
+        match self {
+            MappedElement::Relation(r) => QueryFragment::relation(r),
+            MappedElement::Attribute {
+                attr, aggregates, ..
+            } => QueryFragment::attribute(attr, aggregates.first().copied(), QueryContext::Select),
+            MappedElement::Predicate { attr, op, value } => {
+                QueryFragment::predicate(attr, *op, value, config.obscurity)
+            }
+        }
+    }
+
+    /// True when the element is a relation mapping (FROM context).
+    pub fn is_relation(&self) -> bool {
+        matches!(self, MappedElement::Relation(_))
+    }
+
+    /// The SQL predicate for a predicate element (used by the NLIDB when
+    /// constructing the final query).
+    pub fn to_predicate(&self, qualifier: &str) -> Option<Predicate> {
+        match self {
+            MappedElement::Predicate { attr, op, value } => Some(Predicate::Compare {
+                left: Expr::Column(ColumnRef::qualified(qualifier, attr.attribute.clone())),
+                op: *op,
+                right: Expr::Literal(value.clone()),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// A scored keyword-to-element mapping (Definition 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MappingCandidate {
+    /// The keyword being mapped.
+    pub keyword: Keyword,
+    /// The database element it is mapped to.
+    pub element: MappedElement,
+    /// The similarity score `σ ∈ [0, 1]`.
+    pub score: f64,
+}
+
+/// A configuration (Definition 5): one mapping per keyword, plus its scores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Configuration {
+    /// One mapping per keyword, in the order the keywords were given.
+    pub mappings: Vec<MappingCandidate>,
+    /// The word-similarity score `Score_σ` (geometric mean of the σ's).
+    pub sigma_score: f64,
+    /// The query-log-driven score `Score_QFG`.
+    pub qfg_score: f64,
+    /// The final combined score `λ·Score_σ + (1−λ)·Score_QFG`.
+    pub score: f64,
+}
+
+impl Configuration {
+    /// The relations referenced by the configuration (with multiplicity, in
+    /// mapping order) — the bag handed to join path inference.
+    pub fn relation_bag(&self) -> Vec<String> {
+        self.mappings
+            .iter()
+            .map(|m| m.element.relation().to_string())
+            .collect()
+    }
+
+    /// The attributes referenced by the configuration (with multiplicity).
+    pub fn attribute_bag(&self) -> Vec<AttributeRef> {
+        self.mappings
+            .iter()
+            .filter_map(|m| match &m.element {
+                MappedElement::Attribute { attr, .. } | MappedElement::Predicate { attr, .. } => {
+                    Some(attr.clone())
+                }
+                MappedElement::Relation(_) => None,
+            })
+            .collect()
+    }
+}
+
+/// The keyword mapper: executes `MAPKEYWORDS` (Algorithm 1).
+pub struct KeywordMapper<'a> {
+    db: &'a Database,
+    qfg: &'a QueryFragmentGraph,
+    similarity: &'a dyn SimilarityModel,
+    config: &'a TemplarConfig,
+}
+
+impl<'a> KeywordMapper<'a> {
+    /// Create a mapper over a database, QFG, similarity model and config.
+    pub fn new(
+        db: &'a Database,
+        qfg: &'a QueryFragmentGraph,
+        similarity: &'a dyn SimilarityModel,
+        config: &'a TemplarConfig,
+    ) -> Self {
+        KeywordMapper {
+            db,
+            qfg,
+            similarity,
+            config,
+        }
+    }
+
+    /// `MAPKEYWORDS` (Algorithm 1): map every keyword to candidates, prune,
+    /// and return ranked configurations.
+    pub fn map_keywords(&self, keywords: &[(Keyword, KeywordMetadata)]) -> Vec<Configuration> {
+        if keywords.is_empty() {
+            return Vec::new();
+        }
+        let mut per_keyword: Vec<Vec<MappingCandidate>> = Vec::with_capacity(keywords.len());
+        for (kw, meta) in keywords {
+            let candidates = self.keyword_candidates(kw, meta);
+            let pruned = self.score_and_prune(kw, candidates);
+            if pruned.is_empty() {
+                // A keyword with no candidates would zero out every
+                // configuration; keep going with the remaining keywords so
+                // that the NLIDB can still produce a (partial) query.
+                continue;
+            }
+            per_keyword.push(pruned);
+        }
+        if per_keyword.is_empty() {
+            return Vec::new();
+        }
+        self.generate_and_score_configurations(&per_keyword)
+    }
+
+    /// `KEYWORDCANDS` (Algorithm 2).
+    pub fn keyword_candidates(
+        &self,
+        keyword: &Keyword,
+        meta: &KeywordMetadata,
+    ) -> Vec<MappedElement> {
+        let mut candidates = Vec::new();
+        if contains_number(&keyword.text) {
+            let Some(number) = extract_numbers(&keyword.text).into_iter().next() else {
+                return candidates;
+            };
+            let op = meta
+                .op
+                .or_else(|| self.operator_from_words(&keyword.text))
+                .unwrap_or(BinOp::Eq);
+            for attr in self.db.numeric_attrs_satisfying(op, number) {
+                candidates.push(MappedElement::Predicate {
+                    attr,
+                    op,
+                    value: Literal::Number(number),
+                });
+            }
+        } else if meta.context == QueryContext::From {
+            for rel in self.db.relation_names() {
+                candidates.push(MappedElement::Relation(rel.to_string()));
+            }
+        } else if meta.context == QueryContext::Select {
+            for attr in self.db.attribute_refs() {
+                candidates.push(MappedElement::Attribute {
+                    attr,
+                    aggregates: meta.aggregates.clone(),
+                    group_by: meta.group_by,
+                });
+            }
+        } else {
+            // Full-text search over text attribute values, removing keyword
+            // tokens that merely repeat schema element names (Section V-A).
+            let ignore = self.schema_word_tokens(&keyword.text);
+            let mut matches = self.db.text_search(&keyword.text, &[]);
+            if !ignore.is_empty() {
+                matches.extend(self.db.text_search(&keyword.text, &ignore));
+            }
+            matches.sort();
+            matches.dedup();
+            for m in matches {
+                candidates.push(MappedElement::Predicate {
+                    attr: m.attribute,
+                    op: meta.op.unwrap_or(BinOp::Eq),
+                    value: Literal::String(m.value),
+                });
+            }
+        }
+        candidates
+    }
+
+    /// Keyword tokens that match a relation or attribute name of the schema
+    /// (these are removed from full-text queries so that `movie Saving
+    /// Private Ryan` can match a value of the `movie` relation).
+    fn schema_word_tokens(&self, keyword: &str) -> Vec<String> {
+        let mut schema_words: Vec<String> = Vec::new();
+        for rel in self.db.relation_names() {
+            schema_words.extend(nlp::split_identifier(rel));
+        }
+        for attr in self.db.attribute_refs() {
+            schema_words.extend(nlp::split_identifier(&attr.attribute));
+        }
+        let schema_stems: std::collections::HashSet<String> =
+            schema_words.iter().map(|w| nlp::porter_stem(w)).collect();
+        tokenize_lower(keyword)
+            .into_iter()
+            .filter(|t| schema_stems.contains(&nlp::porter_stem(t)))
+            .collect()
+    }
+
+    fn operator_from_words(&self, keyword: &str) -> Option<BinOp> {
+        tokenize_lower(keyword)
+            .iter()
+            .find_map(|w| BinOp::from_word(w))
+    }
+
+    /// `SCOREANDPRUNE` (Algorithm 3).
+    pub fn score_and_prune(
+        &self,
+        keyword: &Keyword,
+        candidates: Vec<MappedElement>,
+    ) -> Vec<MappingCandidate> {
+        let mut scored: Vec<MappingCandidate> = candidates
+            .into_iter()
+            .map(|element| {
+                let score = self.score_candidate(keyword, &element);
+                MappingCandidate {
+                    keyword: keyword.clone(),
+                    element,
+                    score,
+                }
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| candidate_sort_key(a).cmp(&candidate_sort_key(b)))
+        });
+        self.prune(scored)
+    }
+
+    /// The σ score of a single candidate.
+    fn score_candidate(&self, keyword: &Keyword, element: &MappedElement) -> f64 {
+        if contains_number(&keyword.text) {
+            // sim_num: keep the candidate only if its predicate selects rows;
+            // then compare the textual remainder of the keyword.
+            let MappedElement::Predicate { attr, op, value } = element else {
+                return self.config.epsilon;
+            };
+            let pred = Predicate::Compare {
+                left: Expr::Column(ColumnRef::new(attr.attribute.clone())),
+                op: *op,
+                right: Expr::Literal(value.clone()),
+            };
+            if !self.db.predicate_nonempty(&attr.relation, &pred) {
+                return self.config.epsilon;
+            }
+            let text_rest = self.non_numeric_text(&keyword.text);
+            if text_rest.is_empty() {
+                // Nothing left to compare: all matching numeric attributes
+                // are equally plausible from word similarity alone.
+                return 0.5;
+            }
+            key_attribute_penalty(attr) * self.attribute_similarity(&text_rest, attr)
+        } else {
+            match element {
+                MappedElement::Relation(r) => self.similarity.similarity(&keyword.text, r),
+                MappedElement::Attribute {
+                    attr, aggregates, ..
+                } => {
+                    // Surrogate keys are essentially never the projection a
+                    // user asks for by name; discount them unless they are
+                    // being aggregated (COUNT over a key is idiomatic SQL).
+                    let penalty = if aggregates.is_empty() {
+                        key_attribute_penalty(attr)
+                    } else {
+                        1.0
+                    };
+                    penalty * self.attribute_similarity(&keyword.text, attr)
+                }
+                MappedElement::Predicate { attr, value, .. } => {
+                    let value_text = match value {
+                        Literal::String(s) => s.clone(),
+                        other => other.to_string(),
+                    };
+                    let value_sim = self.similarity.similarity(&keyword.text, &value_text);
+                    let attr_sim = self.attribute_similarity(&keyword.text, attr);
+                    value_sim.max(0.9 * attr_sim)
+                }
+            }
+        }
+    }
+
+    /// Similarity between a keyword and an attribute: a blend of the
+    /// attribute-name match and the relation-name match, mirroring how the
+    /// Pipeline baseline of the paper scores a column against both its own
+    /// name and its table's name.  The attribute name dominates so that
+    /// different attributes of the same relation remain distinguishable.
+    fn attribute_similarity(&self, keyword: &str, attr: &AttributeRef) -> f64 {
+        let attr_sim = self.similarity.similarity(keyword, &attr.attribute);
+        let rel_sim = self.similarity.similarity(keyword, &attr.relation);
+        (0.6 * attr_sim + 0.4 * rel_sim).clamp(0.0, 1.0)
+    }
+
+    /// The keyword text with numeric tokens and operator words removed
+    /// (`s_text` in Algorithm 3).
+    fn non_numeric_text(&self, keyword: &str) -> String {
+        tokenize_lower(keyword)
+            .into_iter()
+            .filter(|t| t.parse::<f64>().is_err() && BinOp::from_word(t).is_none())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// The PRUNE procedure of Algorithm 3.
+    fn prune(&self, scored: Vec<MappingCandidate>) -> Vec<MappingCandidate> {
+        if scored.is_empty() {
+            return scored;
+        }
+        let exact_threshold = 1.0 - self.config.epsilon;
+        let exact: Vec<MappingCandidate> = scored
+            .iter()
+            .filter(|c| c.score >= exact_threshold)
+            .cloned()
+            .collect();
+        if !exact.is_empty() {
+            return exact;
+        }
+        let kappa = self.config.kappa;
+        if scored.len() <= kappa {
+            return scored;
+        }
+        let cutoff = scored[kappa - 1].score;
+        scored
+            .into_iter()
+            .enumerate()
+            .filter(|(i, c)| *i < kappa || (c.score > 0.0 && (c.score - cutoff).abs() < 1e-12))
+            .map(|(_, c)| c)
+            .collect()
+    }
+
+    /// Generate the cartesian product of per-keyword candidates and score
+    /// every configuration (Section V-C).
+    fn generate_and_score_configurations(
+        &self,
+        per_keyword: &[Vec<MappingCandidate>],
+    ) -> Vec<Configuration> {
+        const MAX_GENERATED: usize = 5000;
+        let mut configs: Vec<Vec<MappingCandidate>> = vec![Vec::new()];
+        for candidates in per_keyword {
+            let mut next = Vec::with_capacity(configs.len() * candidates.len());
+            for partial in &configs {
+                for cand in candidates {
+                    let mut extended = partial.clone();
+                    extended.push(cand.clone());
+                    next.push(extended);
+                    if next.len() >= MAX_GENERATED {
+                        break;
+                    }
+                }
+                if next.len() >= MAX_GENERATED {
+                    break;
+                }
+            }
+            configs = next;
+        }
+        let mut scored: Vec<Configuration> = configs
+            .into_iter()
+            .map(|mappings| self.score_configuration(mappings))
+            .collect();
+        scored.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| config_sort_key(a).cmp(&config_sort_key(b)))
+        });
+        scored.truncate(self.config.max_configurations);
+        scored
+    }
+
+    /// Compute `Score_σ`, `Score_QFG` and the λ-combination for one
+    /// configuration.
+    pub fn score_configuration(&self, mappings: Vec<MappingCandidate>) -> Configuration {
+        let sigma_score = geometric_mean(mappings.iter().map(|m| m.score));
+        let qfg_score = self.qfg_configuration_score(&mappings);
+        let lambda = self.config.lambda;
+        let score = lambda * sigma_score + (1.0 - lambda) * qfg_score;
+        Configuration {
+            mappings,
+            sigma_score,
+            qfg_score,
+            score,
+        }
+    }
+
+    /// `Score_QFG`: the geometric aggregation of the Dice coefficients of all
+    /// pairs of non-relation fragments in the configuration
+    /// (Section V-C.2).  With fewer than two non-relation fragments there are
+    /// no pairs; we fall back to the normalised occurrence frequency of the
+    /// fragments so that log evidence still contributes.
+    ///
+    /// Each Dice value is smoothed with a small additive constant before the
+    /// product is taken.  The paper's plain product would be annihilated by a
+    /// single never-co-occurring pair even when every other pair carries
+    /// strong evidence; smoothing preserves the ranking induced by the Dice
+    /// values while keeping partially-supported configurations comparable.
+    fn qfg_configuration_score(&self, mappings: &[MappingCandidate]) -> f64 {
+        /// Additive smoothing applied to each pairwise Dice coefficient.
+        const QFG_SMOOTHING: f64 = 0.01;
+        let fragments: Vec<QueryFragment> = mappings
+            .iter()
+            .filter(|m| !m.element.is_relation())
+            .map(|m| m.element.fragment(self.config))
+            .collect();
+        let total_queries = self.qfg.query_count().max(1) as f64;
+        if fragments.len() < 2 {
+            return fragments
+                .first()
+                .map(|f| self.qfg.occurrences(f) as f64 / total_queries)
+                .unwrap_or(0.0);
+        }
+        let phi = mappings.len() as f64;
+        let mut product = 1.0f64;
+        let mut pairs = 0usize;
+        for i in 0..fragments.len() {
+            for j in (i + 1)..fragments.len() {
+                let dice = self.qfg.dice(&fragments[i], &fragments[j]);
+                product *= (dice + QFG_SMOOTHING).min(1.0);
+                pairs += 1;
+            }
+        }
+        if pairs == 0 {
+            return 0.0;
+        }
+        product.powf(1.0 / phi).clamp(0.0, 1.0)
+    }
+}
+
+/// Similarity discount applied to key-like attributes (`id`, `*_id`, and the
+/// short surrogate keys `pid` / `aid` / ...): users refer to entities by
+/// their names and titles, not by their identifiers, so a key should only win
+/// a mapping when the query log (or an aggregate) supports it.
+fn key_attribute_penalty(attr: &AttributeRef) -> f64 {
+    let name = attr.attribute.to_lowercase();
+    let key_like = name == "id"
+        || name.ends_with("_id")
+        || name == "citing"
+        || name == "cited"
+        || (name.len() <= 4 && name.ends_with("id"));
+    if key_like {
+        0.55
+    } else {
+        1.0
+    }
+}
+
+/// Geometric mean of an iterator of scores (0 when any score is 0).
+pub fn geometric_mean(scores: impl Iterator<Item = f64>) -> f64 {
+    let values: Vec<f64> = scores.collect();
+    if values.is_empty() {
+        return 0.0;
+    }
+    let product: f64 = values.iter().product();
+    if product <= 0.0 {
+        0.0
+    } else {
+        product.powf(1.0 / values.len() as f64)
+    }
+}
+
+fn candidate_sort_key(c: &MappingCandidate) -> String {
+    match &c.element {
+        MappedElement::Relation(r) => format!("0:{r}"),
+        MappedElement::Attribute { attr, .. } => format!("1:{attr}"),
+        MappedElement::Predicate { attr, op, value } => format!("2:{attr}:{}:{value}", op.symbol()),
+    }
+}
+
+fn config_sort_key(c: &Configuration) -> String {
+    c.mappings
+        .iter()
+        .map(candidate_sort_key)
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Obscurity;
+    use crate::qfg::QueryLog;
+    use nlp::TextSimilarity;
+    use relational::{DataType, Schema};
+
+    /// A small academic database in the spirit of Figure 1.
+    fn academic_db() -> Database {
+        let schema = Schema::builder("academic")
+            .relation(
+                "publication",
+                &[
+                    ("pid", DataType::Integer),
+                    ("title", DataType::Text),
+                    ("year", DataType::Integer),
+                    ("jid", DataType::Integer),
+                ],
+                Some("pid"),
+            )
+            .relation(
+                "journal",
+                &[("jid", DataType::Integer), ("name", DataType::Text)],
+                Some("jid"),
+            )
+            .foreign_key("publication", "jid", "journal", "jid")
+            .build();
+        let mut db = Database::new(schema);
+        db.insert(
+            "publication",
+            vec![1.into(), "Scalable Query Processing".into(), 2003.into(), 1.into()],
+        )
+        .unwrap();
+        db.insert(
+            "publication",
+            vec![2.into(), "Interactive Data Exploration".into(), 1997.into(), 2.into()],
+        )
+        .unwrap();
+        db.insert("journal", vec![1.into(), "TKDE".into()]).unwrap();
+        db.insert("journal", vec![2.into(), "TMC".into()]).unwrap();
+        db
+    }
+
+    /// A log in which year predicates co-occur with publication.title, and
+    /// journal-name predicates also co-occur with publication.title
+    /// (Figure 3a).
+    fn academic_log() -> QueryLog {
+        let mut sql: Vec<String> = Vec::new();
+        for _ in 0..25 {
+            sql.push("SELECT j.name FROM journal j".into());
+        }
+        for _ in 0..5 {
+            sql.push("SELECT p.title FROM publication p WHERE p.year > 2003".into());
+        }
+        for _ in 0..3 {
+            sql.push(
+                "SELECT p.title FROM journal j, publication p WHERE j.name = 'TMC' AND p.jid = j.jid"
+                    .into(),
+            );
+        }
+        QueryLog::from_sql(sql.iter().map(String::as_str)).0
+    }
+
+    fn run_mapper(
+        keywords: &[(Keyword, KeywordMetadata)],
+        config: &TemplarConfig,
+    ) -> Vec<Configuration> {
+        let db = academic_db();
+        let qfg = QueryFragmentGraph::build(&academic_log(), config.obscurity);
+        let sim = TextSimilarity::new();
+        let mapper = KeywordMapper::new(&db, &qfg, &sim, config);
+        mapper.map_keywords(keywords)
+    }
+
+    #[test]
+    fn numeric_keyword_maps_to_satisfiable_numeric_predicates() {
+        let db = academic_db();
+        let config = TemplarConfig::default();
+        let qfg = QueryFragmentGraph::build(&QueryLog::new(), Obscurity::NoConstOp);
+        let sim = TextSimilarity::new();
+        let mapper = KeywordMapper::new(&db, &qfg, &sim, &config);
+        let kw = Keyword::new("after 2000");
+        let meta = KeywordMetadata::filter_with_op(BinOp::Gt);
+        let cands = mapper.keyword_candidates(&kw, &meta);
+        // year (2003) satisfies "> 2000"; pid/jid values do not.
+        assert!(cands.iter().any(|c| matches!(
+            c,
+            MappedElement::Predicate { attr, op: BinOp::Gt, .. } if attr.attribute == "year"
+        )));
+        assert!(!cands.iter().any(
+            |c| matches!(c, MappedElement::Predicate { attr, .. } if attr.attribute == "pid")
+        ));
+    }
+
+    #[test]
+    fn select_keyword_considers_all_attributes() {
+        let db = academic_db();
+        let config = TemplarConfig::default();
+        let qfg = QueryFragmentGraph::build(&QueryLog::new(), Obscurity::NoConstOp);
+        let sim = TextSimilarity::new();
+        let mapper = KeywordMapper::new(&db, &qfg, &sim, &config);
+        let cands =
+            mapper.keyword_candidates(&Keyword::new("papers"), &KeywordMetadata::select());
+        assert_eq!(cands.len(), db.attribute_refs().len());
+    }
+
+    #[test]
+    fn value_keyword_maps_to_matching_text_values() {
+        let db = academic_db();
+        let config = TemplarConfig::default();
+        let qfg = QueryFragmentGraph::build(&QueryLog::new(), Obscurity::NoConstOp);
+        let sim = TextSimilarity::new();
+        let mapper = KeywordMapper::new(&db, &qfg, &sim, &config);
+        let cands = mapper.keyword_candidates(&Keyword::new("TKDE"), &KeywordMetadata::filter());
+        assert_eq!(cands.len(), 1);
+        assert!(matches!(
+            &cands[0],
+            MappedElement::Predicate { attr, value: Literal::String(v), .. }
+                if attr.attribute == "name" && v == "TKDE"
+        ));
+    }
+
+    #[test]
+    fn exact_value_matches_prune_everything_else() {
+        let db = academic_db();
+        let config = TemplarConfig::default();
+        let qfg = QueryFragmentGraph::build(&QueryLog::new(), Obscurity::NoConstOp);
+        let sim = TextSimilarity::new();
+        let mapper = KeywordMapper::new(&db, &qfg, &sim, &config);
+        let kw = Keyword::new("TKDE");
+        let cands = mapper.keyword_candidates(&kw, &KeywordMetadata::filter());
+        let pruned = mapper.score_and_prune(&kw, cands);
+        assert_eq!(pruned.len(), 1);
+        assert!(pruned[0].score >= 1.0 - config.epsilon);
+    }
+
+    #[test]
+    fn pruning_respects_kappa_and_keeps_ties() {
+        let db = academic_db();
+        let config = TemplarConfig::default().with_kappa(2);
+        let qfg = QueryFragmentGraph::build(&QueryLog::new(), Obscurity::NoConstOp);
+        let sim = TextSimilarity::new();
+        let mapper = KeywordMapper::new(&db, &qfg, &sim, &config);
+        let kw = Keyword::new("papers");
+        let cands = mapper.keyword_candidates(&kw, &KeywordMetadata::select());
+        let pruned = mapper.score_and_prune(&kw, cands);
+        assert!(pruned.len() >= 2);
+        assert!(pruned.len() <= 6, "tie handling should not explode: {}", pruned.len());
+        // Sorted by score descending.
+        for w in pruned.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn qfg_breaks_the_papers_ambiguity_in_example_5() {
+        // Keywords of Example 5: "papers" (SELECT), "TKDE" (value),
+        // "after 1995" (numeric).  With λ = 0.8 the QFG evidence must rank a
+        // configuration mapping "papers" -> publication.title above one
+        // mapping it to journal.name.
+        let config = TemplarConfig::default();
+        let keywords = vec![
+            (Keyword::new("papers"), KeywordMetadata::select()),
+            (Keyword::new("TKDE"), KeywordMetadata::filter()),
+            (
+                Keyword::new("after 1995"),
+                KeywordMetadata::filter_with_op(BinOp::Gt),
+            ),
+        ];
+        let configs = run_mapper(&keywords, &config);
+        assert!(!configs.is_empty());
+        let best = &configs[0];
+        let papers_mapping = &best.mappings[0];
+        assert!(
+            matches!(
+                &papers_mapping.element,
+                MappedElement::Attribute { attr, .. }
+                    if attr.relation == "publication" && attr.attribute == "title"
+            ),
+            "best mapping was {:?}",
+            papers_mapping.element
+        );
+        // Scores are all in [0, 1] and the list is sorted.
+        for w in configs.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        for c in &configs {
+            assert!((0.0..=1.0).contains(&c.sigma_score));
+            assert!((0.0..=1.0).contains(&c.qfg_score));
+            assert!((0.0..=1.0).contains(&c.score));
+        }
+    }
+
+    #[test]
+    fn lambda_one_ignores_the_log() {
+        // With λ = 1 the ranking is purely similarity-driven, so the QFG
+        // score must not affect the final score.
+        let config = TemplarConfig::default().with_lambda(1.0);
+        let keywords = vec![
+            (Keyword::new("papers"), KeywordMetadata::select()),
+            (Keyword::new("TKDE"), KeywordMetadata::filter()),
+        ];
+        let configs = run_mapper(&keywords, &config);
+        for c in &configs {
+            assert!((c.score - c.sigma_score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_keyword_list_produces_no_configurations() {
+        let config = TemplarConfig::default();
+        assert!(run_mapper(&[], &config).is_empty());
+    }
+
+    #[test]
+    fn relation_bag_and_attribute_bag_reflect_mappings() {
+        let config = TemplarConfig::default();
+        let keywords = vec![
+            (Keyword::new("papers"), KeywordMetadata::select()),
+            (Keyword::new("TKDE"), KeywordMetadata::filter()),
+        ];
+        let configs = run_mapper(&keywords, &config);
+        let best = &configs[0];
+        let bag = best.relation_bag();
+        assert_eq!(bag.len(), 2);
+        assert!(bag.contains(&"publication".to_string()) || bag.contains(&"journal".to_string()));
+        assert_eq!(best.attribute_bag().len(), 2);
+    }
+
+    #[test]
+    fn geometric_mean_properties() {
+        assert_eq!(geometric_mean([].into_iter()), 0.0);
+        assert!((geometric_mean([0.25, 1.0].into_iter()) - 0.5).abs() < 1e-12);
+        assert_eq!(geometric_mean([0.5, 0.0].into_iter()), 0.0);
+    }
+}

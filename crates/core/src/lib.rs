@@ -1,0 +1,38 @@
+//! **Templar**: augmenting NLIDBs with SQL query-log information.
+//!
+//! This crate is the reproduction of the paper's primary contribution
+//! (Sections III–VI):
+//!
+//! * [`fragment`] — the *query fragment* abstraction (Definition 3) and its
+//!   three obscurity levels (`Full`, `NoConst`, `NoConstOp`), plus fragment
+//!   extraction from parsed SQL,
+//! * [`qfg`] — the *Query Fragment Graph* (Definition 6): occurrence and
+//!   co-occurrence counts over a SQL query log, scored with the Dice
+//!   coefficient,
+//! * [`keyword`] — the keyword mapping procedure (`MAPKEYWORDS`,
+//!   Algorithms 1–3) producing ranked *configurations* (Definition 5),
+//! * [`join`] — join path inference (`INFERJOINS`, Section VI) with
+//!   default or log-driven edge weights and self-join forking,
+//! * [`templar`] — the [`Templar`](templar::Templar) facade exposing exactly
+//!   the two interface calls of Figure 2, which the `nlidb` crate's systems
+//!   consume.
+//!
+//! The crate deliberately has no knowledge of any specific NLIDB: it consumes
+//! keywords + metadata and emits configurations and join paths, exactly as
+//! described in Section III-E.
+
+pub mod config;
+pub mod fragment;
+pub mod join;
+pub mod keyword;
+pub mod qfg;
+pub mod templar;
+
+pub use config::{Obscurity, TemplarConfig};
+pub use fragment::{fragments_of_query, QueryContext, QueryFragment};
+pub use join::{apply_log_weights, infer_joins, BagItem, JoinInference, ScoredJoinPath};
+pub use keyword::{
+    Configuration, Keyword, KeywordMapper, KeywordMetadata, MappedElement, MappingCandidate,
+};
+pub use qfg::{QueryFragmentGraph, QueryLog};
+pub use templar::Templar;

@@ -1,0 +1,337 @@
+//! The Query Fragment Graph (Definition 6).
+//!
+//! The QFG stores, for a SQL query log `L`:
+//!
+//! * `n_v(c)` — how many logged queries contain fragment `c`, and
+//! * `n_e(c1, c2)` — how many logged queries contain both `c1` and `c2`.
+//!
+//! Both counts are computed at a fixed [`Obscurity`] level.  The
+//! co-occurrence strength of two fragments is measured with the Dice
+//! coefficient
+//! `Dice(c1, c2) = 2·n_e(c1, c2) / (n_v(c1) + n_v(c2))`,
+//! which drives both the configuration score (Section V-C.2) and the
+//! log-driven join edge weights (Section VI-A.2).
+
+use crate::config::Obscurity;
+use crate::fragment::{fragments_of_query, QueryFragment};
+use serde::{Deserialize, Serialize};
+use sqlparse::{parse_query, Query};
+use std::collections::{BTreeSet, HashMap};
+
+/// A SQL query log: the raw material of the QFG.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueryLog {
+    queries: Vec<Query>,
+}
+
+impl QueryLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a log from already-parsed queries.
+    pub fn from_queries(queries: Vec<Query>) -> Self {
+        QueryLog { queries }
+    }
+
+    /// Build a log from SQL strings, skipping (and reporting) unparsable
+    /// entries.  Real query logs contain noise; Templar only ever uses what
+    /// it can parse.
+    pub fn from_sql<'a>(statements: impl IntoIterator<Item = &'a str>) -> (Self, usize) {
+        let mut queries = Vec::new();
+        let mut skipped = 0;
+        for sql in statements {
+            match parse_query(sql) {
+                Ok(q) => queries.push(q),
+                Err(_) => skipped += 1,
+            }
+        }
+        (QueryLog { queries }, skipped)
+    }
+
+    /// Append a query to the log.
+    pub fn push(&mut self, query: Query) {
+        self.queries.push(query);
+    }
+
+    /// The logged queries.
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// Number of logged queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+/// The Query Fragment Graph.
+#[derive(Debug, Clone)]
+pub struct QueryFragmentGraph {
+    obscurity: Obscurity,
+    /// `n_v`: per-fragment occurrence counts (number of queries containing
+    /// the fragment at least once).
+    occurrences: HashMap<QueryFragment, u64>,
+    /// `n_e`: co-occurrence counts for unordered fragment pairs, keyed with
+    /// the lexicographically smaller fragment first.
+    co_occurrences: HashMap<(QueryFragment, QueryFragment), u64>,
+    /// Number of queries the graph was built from.
+    query_count: usize,
+}
+
+impl QueryFragmentGraph {
+    /// Build the QFG of a query log at an obscurity level.
+    pub fn build(log: &QueryLog, obscurity: Obscurity) -> Self {
+        let mut graph = QueryFragmentGraph {
+            obscurity,
+            occurrences: HashMap::new(),
+            co_occurrences: HashMap::new(),
+            query_count: 0,
+        };
+        for query in log.queries() {
+            graph.add_query(query);
+        }
+        graph
+    }
+
+    /// Incrementally add one query to the graph.
+    pub fn add_query(&mut self, query: &Query) {
+        self.query_count += 1;
+        // A query contributes at most 1 to n_v / n_e per fragment (pair),
+        // matching "the number of occurrences in L of the query fragment":
+        // occurrences are counted per logged query.
+        let fragments: BTreeSet<QueryFragment> =
+            fragments_of_query(query, self.obscurity).into_iter().collect();
+        for f in &fragments {
+            *self.occurrences.entry(f.clone()).or_insert(0) += 1;
+        }
+        let list: Vec<&QueryFragment> = fragments.iter().collect();
+        for i in 0..list.len() {
+            for j in (i + 1)..list.len() {
+                let key = Self::pair_key(list[i], list[j]);
+                *self.co_occurrences.entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+
+    fn pair_key(a: &QueryFragment, b: &QueryFragment) -> (QueryFragment, QueryFragment) {
+        if a <= b {
+            (a.clone(), b.clone())
+        } else {
+            (b.clone(), a.clone())
+        }
+    }
+
+    /// The obscurity level the graph was built at.
+    pub fn obscurity(&self) -> Obscurity {
+        self.obscurity
+    }
+
+    /// Number of distinct fragments (vertices).
+    pub fn fragment_count(&self) -> usize {
+        self.occurrences.len()
+    }
+
+    /// Number of distinct co-occurring pairs (edges).
+    pub fn edge_count(&self) -> usize {
+        self.co_occurrences.len()
+    }
+
+    /// Number of queries the graph was built from.
+    pub fn query_count(&self) -> usize {
+        self.query_count
+    }
+
+    /// `n_v(c)`: occurrence count of a fragment.
+    pub fn occurrences(&self, fragment: &QueryFragment) -> u64 {
+        self.occurrences.get(fragment).copied().unwrap_or(0)
+    }
+
+    /// `n_e(c1, c2)`: co-occurrence count of a fragment pair.
+    pub fn co_occurrences(&self, a: &QueryFragment, b: &QueryFragment) -> u64 {
+        if a == b {
+            return self.occurrences(a);
+        }
+        self.co_occurrences
+            .get(&Self::pair_key(a, b))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The Dice coefficient of two fragments, in `[0, 1]`.
+    pub fn dice(&self, a: &QueryFragment, b: &QueryFragment) -> f64 {
+        let na = self.occurrences(a);
+        let nb = self.occurrences(b);
+        if na + nb == 0 {
+            return 0.0;
+        }
+        let ne = self.co_occurrences(a, b);
+        (2.0 * ne as f64) / ((na + nb) as f64)
+    }
+
+    /// The Dice coefficient between two relations' `FROM` fragments, used by
+    /// the log-driven join edge weight `w_L = 1 − Dice`.
+    pub fn relation_dice(&self, a: &str, b: &str) -> f64 {
+        self.dice(&QueryFragment::relation(a), &QueryFragment::relation(b))
+    }
+
+    /// The most frequent fragments (for inspection and examples).
+    pub fn top_fragments(&self, n: usize) -> Vec<(QueryFragment, u64)> {
+        let mut all: Vec<(QueryFragment, u64)> = self
+            .occurrences
+            .iter()
+            .map(|(f, c)| (f.clone(), *c))
+            .collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(n);
+        all
+    }
+
+    /// Iterate over all fragments and their occurrence counts.
+    pub fn fragments(&self) -> impl Iterator<Item = (&QueryFragment, u64)> {
+        self.occurrences.iter().map(|(f, c)| (f, *c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::QueryContext;
+
+    /// The query log of Figure 3a.
+    fn figure3_log() -> QueryLog {
+        let mut sql = Vec::new();
+        for _ in 0..25 {
+            sql.push("SELECT j.name FROM journal j".to_string());
+        }
+        for _ in 0..5 {
+            sql.push(
+                "SELECT p.title FROM publication p WHERE p.year > 2003".to_string(),
+            );
+        }
+        for _ in 0..3 {
+            sql.push(
+                "SELECT p.title FROM journal j, publication p \
+                 WHERE j.name = 'TMC' AND p.pid = j.pid"
+                    .to_string(),
+            );
+        }
+        let (log, skipped) = QueryLog::from_sql(sql.iter().map(String::as_str));
+        assert_eq!(skipped, 0);
+        log
+    }
+
+    fn frag(expr: &str, context: QueryContext) -> QueryFragment {
+        QueryFragment {
+            expr: expr.to_string(),
+            context,
+        }
+    }
+
+    #[test]
+    fn occurrence_counts_match_figure_3b() {
+        let qfg = QueryFragmentGraph::build(&figure3_log(), Obscurity::NoConstOp);
+        assert_eq!(qfg.occurrences(&frag("journal.name", QueryContext::Select)), 25);
+        assert_eq!(qfg.occurrences(&frag("publication.title", QueryContext::Select)), 8);
+        assert_eq!(qfg.occurrences(&QueryFragment::relation("journal")), 28);
+        assert_eq!(qfg.occurrences(&QueryFragment::relation("publication")), 8);
+        assert_eq!(
+            qfg.occurrences(&frag("publication.year ?op ?val", QueryContext::Where)),
+            5
+        );
+        assert_eq!(
+            qfg.occurrences(&frag("journal.name ?op ?val", QueryContext::Where)),
+            3
+        );
+        assert_eq!(qfg.query_count(), 33);
+    }
+
+    #[test]
+    fn co_occurrence_counts_match_figure_3c() {
+        let qfg = QueryFragmentGraph::build(&figure3_log(), Obscurity::NoConstOp);
+        let title = frag("publication.title", QueryContext::Select);
+        let year_pred = frag("publication.year ?op ?val", QueryContext::Where);
+        let jname_pred = frag("journal.name ?op ?val", QueryContext::Where);
+        let jname_sel = frag("journal.name", QueryContext::Select);
+        assert_eq!(qfg.co_occurrences(&title, &year_pred), 5);
+        assert_eq!(qfg.co_occurrences(&title, &jname_pred), 3);
+        assert_eq!(qfg.co_occurrences(&jname_sel, &jname_pred), 0);
+        assert_eq!(qfg.co_occurrences(&jname_sel, &title), 0);
+    }
+
+    #[test]
+    fn dice_reflects_the_log_evidence() {
+        let qfg = QueryFragmentGraph::build(&figure3_log(), Obscurity::NoConstOp);
+        let title = frag("publication.title", QueryContext::Select);
+        let jname_sel = frag("journal.name", QueryContext::Select);
+        let jname_pred = frag("journal.name ?op ?val", QueryContext::Where);
+        // The log says: when a journal-name predicate appears, the query
+        // selects publication.title, never journal.name.  This is the
+        // evidence that resolves Example 5's "papers" ambiguity.
+        assert!(qfg.dice(&title, &jname_pred) > qfg.dice(&jname_sel, &jname_pred));
+        // Dice is symmetric and bounded.
+        assert_eq!(qfg.dice(&title, &jname_pred), qfg.dice(&jname_pred, &title));
+        assert!(qfg.dice(&title, &jname_pred) <= 1.0);
+    }
+
+    #[test]
+    fn dice_of_unknown_fragments_is_zero() {
+        let qfg = QueryFragmentGraph::build(&figure3_log(), Obscurity::NoConstOp);
+        let unknown = frag("business.stars ?op ?val", QueryContext::Where);
+        let title = frag("publication.title", QueryContext::Select);
+        assert_eq!(qfg.dice(&unknown, &title), 0.0);
+        assert_eq!(qfg.occurrences(&unknown), 0);
+    }
+
+    #[test]
+    fn dice_with_itself_is_one() {
+        let qfg = QueryFragmentGraph::build(&figure3_log(), Obscurity::NoConstOp);
+        let title = frag("publication.title", QueryContext::Select);
+        assert!((qfg.dice(&title, &title) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relation_dice_supports_join_weighting() {
+        let qfg = QueryFragmentGraph::build(&figure3_log(), Obscurity::NoConstOp);
+        // journal and publication co-occur in 3 of the queries.
+        let d = qfg.relation_dice("journal", "publication");
+        assert!((d - 2.0 * 3.0 / (28.0 + 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unparsable_log_entries_are_skipped() {
+        let (log, skipped) =
+            QueryLog::from_sql(["SELECT x FROM t", "THIS IS NOT SQL", "SELECT y FROM u"]);
+        assert_eq!(log.len(), 2);
+        assert_eq!(skipped, 1);
+    }
+
+    #[test]
+    fn incremental_and_batch_construction_agree() {
+        let log = figure3_log();
+        let batch = QueryFragmentGraph::build(&log, Obscurity::NoConst);
+        let mut incremental = QueryFragmentGraph::build(&QueryLog::new(), Obscurity::NoConst);
+        for q in log.queries() {
+            incremental.add_query(q);
+        }
+        assert_eq!(batch.fragment_count(), incremental.fragment_count());
+        assert_eq!(batch.edge_count(), incremental.edge_count());
+        for (f, c) in batch.fragments() {
+            assert_eq!(incremental.occurrences(f), c);
+        }
+    }
+
+    #[test]
+    fn top_fragments_are_sorted_by_frequency() {
+        let qfg = QueryFragmentGraph::build(&figure3_log(), Obscurity::NoConstOp);
+        let top = qfg.top_fragments(3);
+        assert_eq!(top[0].0, QueryFragment::relation("journal"));
+        assert!(top[0].1 >= top[1].1 && top[1].1 >= top[2].1);
+    }
+}

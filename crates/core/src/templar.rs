@@ -1,0 +1,214 @@
+//! The Templar facade (Figure 2).
+//!
+//! A [`Templar`] instance wraps a database, its schema graph, the Query
+//! Fragment Graph built from the SQL query log, a word-similarity model and
+//! the configuration parameters.  It exposes exactly the two interface calls
+//! the paper defines for host NLIDBs:
+//!
+//! * [`Templar::map_keywords`] — `MAPKEYWORDS(D, S, M)`, and
+//! * [`Templar::infer_joins`] — `INFERJOINS(G_s, B_D)`.
+
+use crate::config::TemplarConfig;
+use crate::join::{infer_joins, BagItem, JoinInference};
+use crate::keyword::{Configuration, Keyword, KeywordMapper, KeywordMetadata};
+use crate::qfg::{QueryFragmentGraph, QueryLog};
+use nlp::TextSimilarity;
+use parking_lot::Mutex;
+use relational::Database;
+use schemagraph::SchemaGraph;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The Templar system.
+pub struct Templar {
+    db: Arc<Database>,
+    schema_graph: SchemaGraph,
+    qfg: QueryFragmentGraph,
+    similarity: TextSimilarity,
+    config: TemplarConfig,
+    /// Cache of join inferences keyed by the (sorted) relation bag signature.
+    /// Join inference is the most expensive step and the same bag recurs for
+    /// every configuration that maps keywords to the same relations.
+    join_cache: Mutex<HashMap<String, Arc<JoinInference>>>,
+}
+
+impl Templar {
+    /// Build Templar for a database, a SQL query log and a configuration.
+    pub fn new(db: Arc<Database>, log: &QueryLog, config: TemplarConfig) -> Self {
+        let schema_graph = SchemaGraph::from_schema(db.schema());
+        let qfg = QueryFragmentGraph::build(log, config.obscurity);
+        Templar {
+            db,
+            schema_graph,
+            qfg,
+            similarity: TextSimilarity::new(),
+            config,
+            join_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Build Templar with an explicit similarity model (used by tests and by
+    /// the NaLIR wrapper which prefers a lexicon-only model).
+    pub fn with_similarity(
+        db: Arc<Database>,
+        log: &QueryLog,
+        config: TemplarConfig,
+        similarity: TextSimilarity,
+    ) -> Self {
+        let mut t = Self::new(db, log, config);
+        t.similarity = similarity;
+        t
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TemplarConfig {
+        &self.config
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// A clone of the shared database handle.
+    pub fn database_handle(&self) -> Arc<Database> {
+        Arc::clone(&self.db)
+    }
+
+    /// The Query Fragment Graph.
+    pub fn qfg(&self) -> &QueryFragmentGraph {
+        &self.qfg
+    }
+
+    /// The schema graph.
+    pub fn schema_graph(&self) -> &SchemaGraph {
+        &self.schema_graph
+    }
+
+    /// The word similarity model.
+    pub fn similarity(&self) -> &TextSimilarity {
+        &self.similarity
+    }
+
+    /// `MAPKEYWORDS`: map keywords (with metadata) to ranked configurations.
+    pub fn map_keywords(&self, keywords: &[(Keyword, KeywordMetadata)]) -> Vec<Configuration> {
+        let mapper = KeywordMapper::new(&self.db, &self.qfg, &self.similarity, &self.config);
+        mapper.map_keywords(keywords)
+    }
+
+    /// `INFERJOINS`: ranked join paths for a bag of relations/attributes.
+    pub fn infer_joins(&self, bag: &[BagItem]) -> Option<Arc<JoinInference>> {
+        let mut signature: Vec<String> = bag
+            .iter()
+            .map(|item| match item {
+                BagItem::Relation(r) => format!("r:{}", r.to_lowercase()),
+                BagItem::Attribute(a) => format!("a:{}", a.to_string().to_lowercase()),
+            })
+            .collect();
+        signature.sort();
+        let key = format!("{}|log={}", signature.join(","), self.config.use_log_joins);
+        if let Some(hit) = self.join_cache.lock().get(&key) {
+            return Some(Arc::clone(hit));
+        }
+        let qfg = if self.config.use_log_joins {
+            Some(&self.qfg)
+        } else {
+            None
+        };
+        let result = infer_joins(&self.schema_graph, qfg, &self.config, bag)?;
+        let result = Arc::new(result);
+        self.join_cache.lock().insert(key, Arc::clone(&result));
+        Some(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::QueryContext;
+    use relational::{AttributeRef, DataType, Schema};
+    use sqlparse::BinOp;
+
+    fn db() -> Arc<Database> {
+        let schema = Schema::builder("academic")
+            .relation(
+                "publication",
+                &[
+                    ("pid", DataType::Integer),
+                    ("title", DataType::Text),
+                    ("year", DataType::Integer),
+                    ("jid", DataType::Integer),
+                ],
+                Some("pid"),
+            )
+            .relation(
+                "journal",
+                &[("jid", DataType::Integer), ("name", DataType::Text)],
+                Some("jid"),
+            )
+            .foreign_key("publication", "jid", "journal", "jid")
+            .build();
+        let mut db = Database::new(schema);
+        db.insert(
+            "publication",
+            vec![1.into(), "Query Optimization Revisited".into(), 2004.into(), 1.into()],
+        )
+        .unwrap();
+        db.insert("journal", vec![1.into(), "TKDE".into()]).unwrap();
+        Arc::new(db)
+    }
+
+    fn log() -> QueryLog {
+        QueryLog::from_sql([
+            "SELECT p.title FROM publication p WHERE p.year > 2000",
+            "SELECT p.title FROM publication p, journal j WHERE j.name = 'TKDE' AND p.jid = j.jid",
+            "SELECT p.title FROM publication p, journal j WHERE j.name = 'TMC' AND p.jid = j.jid",
+        ])
+        .0
+    }
+
+    #[test]
+    fn facade_exposes_both_interface_calls() {
+        let templar = Templar::new(db(), &log(), TemplarConfig::default());
+        // Keyword mapping.
+        let keywords = vec![
+            (Keyword::new("papers"), KeywordMetadata::select()),
+            (
+                Keyword::new("after 2000"),
+                KeywordMetadata::filter_with_op(BinOp::Gt),
+            ),
+        ];
+        let configs = templar.map_keywords(&keywords);
+        assert!(!configs.is_empty());
+        // Join inference.
+        let bag = vec![
+            BagItem::Attribute(AttributeRef::new("publication", "title")),
+            BagItem::Attribute(AttributeRef::new("journal", "name")),
+        ];
+        let inference = templar.infer_joins(&bag).unwrap();
+        assert_eq!(inference.best().unwrap().path.edges.len(), 1);
+    }
+
+    #[test]
+    fn join_inference_is_cached() {
+        let templar = Templar::new(db(), &log(), TemplarConfig::default());
+        let bag = vec![
+            BagItem::Attribute(AttributeRef::new("publication", "title")),
+            BagItem::Attribute(AttributeRef::new("journal", "name")),
+        ];
+        let first = templar.infer_joins(&bag).unwrap();
+        let second = templar.infer_joins(&bag).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "second call should hit the cache");
+    }
+
+    #[test]
+    fn qfg_is_built_at_the_configured_obscurity() {
+        let templar = Templar::new(db(), &log(), TemplarConfig::default());
+        let frag = crate::fragment::QueryFragment {
+            expr: "publication.year ?op ?val".into(),
+            context: QueryContext::Where,
+        };
+        assert_eq!(templar.qfg().occurrences(&frag), 1);
+        assert_eq!(templar.qfg().query_count(), 3);
+    }
+}

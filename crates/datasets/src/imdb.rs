@@ -1,0 +1,747 @@
+//! The IMDB movie benchmark dataset.
+//!
+//! 16 relations, 65 attributes, 20 FK-PK relationships, 128 benchmark queries
+//! (Table II).  People's names recur across the actor and director relations
+//! and release years exist on both movies and TV series, reproducing the
+//! value/attribute ambiguities that make IMDB the hardest of the three
+//! benchmarks in the paper.
+
+use crate::benchmark::{
+    case, filter_eq, filter_num, select_agg, select_attr, BenchmarkCase, CaseKind, Dataset,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relational::{Database, DataType, Schema, Value};
+use sqlparse::{Aggregate, BinOp};
+use std::sync::Arc;
+
+/// Actor names.
+pub const ACTORS: [&str; 20] = [
+    "Harrison Wells",
+    "Gloria Chen",
+    "Marco Ruiz",
+    "Ingrid Svensson",
+    "Derek Boateng",
+    "Yasmin Farah",
+    "Kenji Watanabe",
+    "Paula Mendes",
+    "Sean Gallagher",
+    "Amelia Clarke",
+    "Robert Kaminski",
+    "Lucia Moretti",
+    "Trevor Banks",
+    "Naomi Fischer",
+    "Victor Osei",
+    "Helen Park",
+    "Clint Eastwick",
+    "Rita Delgado",
+    "Samir Nair",
+    "Eva Lindqvist",
+];
+
+/// Director names; the first six also act (value ambiguity with `actor`).
+pub const DIRECTORS: [&str; 12] = [
+    "Clint Eastwick",
+    "Rita Delgado",
+    "Samir Nair",
+    "Eva Lindqvist",
+    "Harrison Wells",
+    "Gloria Chen",
+    "Nora Vance",
+    "Felix Gruber",
+    "Imani Diallo",
+    "Oscar Beltran",
+    "Greta Holm",
+    "Dmitri Sokolov",
+];
+
+/// Producer names.
+pub const PRODUCERS: [&str; 10] = [
+    "Alan Pierce", "Bella Nguyen", "Carl Weiss", "Dina Rahman", "Elio Conti", "Faye Morrison",
+    "Gil Herrera", "Hiro Sato", "Ida Larsen", "Jack Monroe",
+];
+
+/// Writer names.
+pub const WRITERS: [&str; 10] = [
+    "Kate Willis", "Leo Abadi", "Mona Haddad", "Nils Berg", "Ona Petrova", "Paul Renner",
+    "Queenie Zhao", "Ray Sandoval", "Suki Mori", "Tessa Quinn",
+];
+
+/// Movie titles referenced by the benchmark.
+pub const MOVIES: [&str; 20] = [
+    "Midnight Harbor",
+    "The Silent Orchard",
+    "Crimson Meridian",
+    "Glass Horizon",
+    "The Last Cartographer",
+    "Echoes of Tomorrow",
+    "Paper Lanterns",
+    "The Iron Garden",
+    "Falling Northward",
+    "A Study in Amber",
+    "The Velvet Divide",
+    "Stormlight Station",
+    "Hollow Kingdom",
+    "The Ninth Parallel",
+    "Winter Arcade",
+    "The Clockmaker Daughter",
+    "Saltwater Letters",
+    "The Painted Desert",
+    "Second Sunrise",
+    "The Quiet Engine",
+];
+
+/// TV series titles.
+pub const SERIES: [&str; 10] = [
+    "Harbor Lights",
+    "The Archive",
+    "Night Shift Chronicles",
+    "Cedar Valley",
+    "The Long Con",
+    "Orbit City",
+    "Whispering Pines",
+    "The Ledger",
+    "Station Eleven West",
+    "Golden Hour",
+];
+
+/// Genres.
+pub const GENRES: [&str; 14] = [
+    "Drama", "Comedy", "Thriller", "Action", "Romance", "Horror", "Documentary", "Animation",
+    "Science Fiction", "Mystery", "Western", "Musical", "Crime", "Adventure",
+];
+
+/// Production companies.
+pub const COMPANIES: [&str; 12] = [
+    "Lighthouse Pictures",
+    "Redwood Studios",
+    "Blue Comet Films",
+    "Atlas Entertainment Group",
+    "Silverline Productions",
+    "Harbor Gate Media",
+    "Northstar Cinema",
+    "Paper Moon Films",
+    "Quartz Pictures",
+    "Evergreen Studios",
+    "Skylark Productions",
+    "Ironwood Films",
+];
+
+/// Plot keywords.
+pub const PLOT_KEYWORDS: [&str; 10] = [
+    "heist", "time travel", "small town", "courtroom", "road trip", "haunted house",
+    "space station", "undercover", "coming of age", "revenge",
+];
+
+/// The IMDB schema: 16 relations, 65 attributes, 20 FK-PK edges.
+pub fn schema() -> Schema {
+    use DataType::{Integer, Text};
+    Schema::builder("imdb")
+        .relation(
+            "movie",
+            &[
+                ("mid", Integer),
+                ("title", Text),
+                ("release_year", Integer),
+                ("title_aka", Text),
+                ("budget", Integer),
+                ("gross", Integer),
+            ],
+            Some("mid"),
+        )
+        .relation(
+            "actor",
+            &[
+                ("aid", Integer),
+                ("name", Text),
+                ("nationality", Text),
+                ("birth_city", Text),
+                ("birth_year", Integer),
+                ("gender", Text),
+            ],
+            Some("aid"),
+        )
+        .relation(
+            "director",
+            &[
+                ("did", Integer),
+                ("name", Text),
+                ("nationality", Text),
+                ("birth_city", Text),
+                ("birth_year", Integer),
+            ],
+            Some("did"),
+        )
+        .relation(
+            "producer",
+            &[
+                ("pid", Integer),
+                ("name", Text),
+                ("nationality", Text),
+                ("birth_city", Text),
+                ("birth_year", Integer),
+            ],
+            Some("pid"),
+        )
+        .relation(
+            "writer",
+            &[("wid", Integer), ("name", Text), ("nationality", Text)],
+            Some("wid"),
+        )
+        .relation("genre", &[("gid", Integer), ("genre", Text)], Some("gid"))
+        .relation("keyword", &[("kid", Integer), ("keyword", Text)], Some("kid"))
+        .relation(
+            "company",
+            &[("cid", Integer), ("name", Text), ("country_code", Text)],
+            Some("cid"),
+        )
+        .relation(
+            "tv_series",
+            &[
+                ("sid", Integer),
+                ("title", Text),
+                ("release_year", Integer),
+                ("num_of_seasons", Integer),
+                ("num_of_episodes", Integer),
+            ],
+            Some("sid"),
+        )
+        .relation(
+            "cast",
+            &[("id", Integer), ("msid", Integer), ("aid", Integer), ("sid", Integer), ("role", Text)],
+            Some("id"),
+        )
+        .relation(
+            "directed_by",
+            &[("id", Integer), ("msid", Integer), ("did", Integer), ("sid", Integer)],
+            Some("id"),
+        )
+        .relation(
+            "made_by",
+            &[("id", Integer), ("msid", Integer), ("pid", Integer)],
+            Some("id"),
+        )
+        .relation(
+            "written_by",
+            &[("id", Integer), ("msid", Integer), ("wid", Integer), ("sid", Integer)],
+            Some("id"),
+        )
+        .relation(
+            "classification",
+            &[("id", Integer), ("msid", Integer), ("gid", Integer), ("sid", Integer)],
+            Some("id"),
+        )
+        .relation(
+            "tags",
+            &[("id", Integer), ("msid", Integer), ("kid", Integer), ("sid", Integer)],
+            Some("id"),
+        )
+        .relation(
+            "copyright",
+            &[("id", Integer), ("msid", Integer), ("cid", Integer), ("sid", Integer)],
+            Some("id"),
+        )
+        .foreign_key("cast", "msid", "movie", "mid")
+        .foreign_key("cast", "aid", "actor", "aid")
+        .foreign_key("cast", "sid", "tv_series", "sid")
+        .foreign_key("directed_by", "msid", "movie", "mid")
+        .foreign_key("directed_by", "did", "director", "did")
+        .foreign_key("directed_by", "sid", "tv_series", "sid")
+        .foreign_key("made_by", "msid", "movie", "mid")
+        .foreign_key("made_by", "pid", "producer", "pid")
+        .foreign_key("written_by", "msid", "movie", "mid")
+        .foreign_key("written_by", "wid", "writer", "wid")
+        .foreign_key("written_by", "sid", "tv_series", "sid")
+        .foreign_key("classification", "msid", "movie", "mid")
+        .foreign_key("classification", "gid", "genre", "gid")
+        .foreign_key("classification", "sid", "tv_series", "sid")
+        .foreign_key("tags", "msid", "movie", "mid")
+        .foreign_key("tags", "kid", "keyword", "kid")
+        .foreign_key("tags", "sid", "tv_series", "sid")
+        .foreign_key("copyright", "msid", "movie", "mid")
+        .foreign_key("copyright", "cid", "company", "cid")
+        .foreign_key("copyright", "sid", "tv_series", "sid")
+        .build()
+}
+
+/// Deterministic synthetic database instance.
+pub fn database() -> Database {
+    let mut db = Database::new(schema());
+    let mut rng = StdRng::seed_from_u64(0x494d_4442); // "IMDB"
+    let cities = ["Los Angeles", "London", "Toronto", "Mumbai", "Seoul", "Berlin"];
+    let nationalities = ["American", "British", "Canadian", "Indian", "Korean", "German"];
+
+    for (i, name) in ACTORS.iter().enumerate() {
+        db.insert(
+            "actor",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::from(*name),
+                Value::from(nationalities[i % nationalities.len()]),
+                Value::from(cities[i % cities.len()]),
+                Value::Int(1950 + (i as i64 * 2) % 50),
+                Value::from(if i % 2 == 0 { "male" } else { "female" }),
+            ],
+        )
+        .expect("actor row");
+    }
+    for (i, name) in DIRECTORS.iter().enumerate() {
+        db.insert(
+            "director",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::from(*name),
+                Value::from(nationalities[i % nationalities.len()]),
+                Value::from(cities[(i + 2) % cities.len()]),
+                Value::Int(1945 + (i as i64 * 3) % 50),
+            ],
+        )
+        .expect("director row");
+    }
+    for (i, name) in PRODUCERS.iter().enumerate() {
+        db.insert(
+            "producer",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::from(*name),
+                Value::from(nationalities[i % nationalities.len()]),
+                Value::from(cities[(i + 1) % cities.len()]),
+                Value::Int(1940 + (i as i64 * 4) % 50),
+            ],
+        )
+        .expect("producer row");
+    }
+    for (i, name) in WRITERS.iter().enumerate() {
+        db.insert(
+            "writer",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::from(*name),
+                Value::from(nationalities[i % nationalities.len()]),
+            ],
+        )
+        .expect("writer row");
+    }
+    for (i, genre) in GENRES.iter().enumerate() {
+        db.insert("genre", vec![Value::Int(i as i64 + 1), Value::from(*genre)])
+            .expect("genre row");
+    }
+    for (i, kw) in PLOT_KEYWORDS.iter().enumerate() {
+        db.insert("keyword", vec![Value::Int(i as i64 + 1), Value::from(*kw)])
+            .expect("keyword row");
+    }
+    for (i, name) in COMPANIES.iter().enumerate() {
+        db.insert(
+            "company",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::from(*name),
+                Value::from(["US", "GB", "CA"][i % 3]),
+            ],
+        )
+        .expect("company row");
+    }
+    for (i, title) in SERIES.iter().enumerate() {
+        db.insert(
+            "tv_series",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::from(*title),
+                Value::Int(1998 + (i as i64 * 2) % 22),
+                Value::Int(1 + (i as i64) % 8),
+                Value::Int(8 + (i as i64 * 5) % 100),
+            ],
+        )
+        .expect("tv_series row");
+    }
+    // Movies (extend beyond the named titles with generated ones).
+    let n_movies = 120;
+    for i in 0..n_movies {
+        let title = if i < MOVIES.len() {
+            MOVIES[i].to_string()
+        } else {
+            format!("Untitled Project {}", i + 1)
+        };
+        db.insert(
+            "movie",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::from(title.clone()),
+                Value::Int(1975 + (rng.gen_range(0..45) as i64)),
+                Value::from(format!("{title} (working title)")),
+                Value::Int(rng.gen_range(1..200) as i64 * 1_000_000),
+                Value::Int(rng.gen_range(1..900) as i64 * 1_000_000),
+            ],
+        )
+        .expect("movie row");
+    }
+    // Link tables.  `sid` columns reference a series only for a minority of
+    // rows; movie links dominate, mirroring the real data.
+    for i in 0..n_movies {
+        let mid = i as i64 + 1;
+        let sid = Value::Int((i % SERIES.len()) as i64 + 1);
+        db.insert(
+            "cast",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::Int(mid),
+                Value::Int((i % ACTORS.len()) as i64 + 1),
+                sid.clone(),
+                Value::from("lead"),
+            ],
+        )
+        .expect("cast row");
+        db.insert(
+            "directed_by",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::Int(mid),
+                Value::Int((i % DIRECTORS.len()) as i64 + 1),
+                sid.clone(),
+            ],
+        )
+        .expect("directed_by row");
+        db.insert(
+            "made_by",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::Int(mid),
+                Value::Int((i % PRODUCERS.len()) as i64 + 1),
+            ],
+        )
+        .expect("made_by row");
+        db.insert(
+            "written_by",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::Int(mid),
+                Value::Int((i % WRITERS.len()) as i64 + 1),
+                sid.clone(),
+            ],
+        )
+        .expect("written_by row");
+        db.insert(
+            "classification",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::Int(mid),
+                Value::Int((i % GENRES.len()) as i64 + 1),
+                sid.clone(),
+            ],
+        )
+        .expect("classification row");
+        db.insert(
+            "tags",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::Int(mid),
+                Value::Int((i % PLOT_KEYWORDS.len()) as i64 + 1),
+                sid.clone(),
+            ],
+        )
+        .expect("tags row");
+        db.insert(
+            "copyright",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::Int(mid),
+                Value::Int((i % COMPANIES.len()) as i64 + 1),
+                sid,
+            ],
+        )
+        .expect("copyright row");
+    }
+    db
+}
+
+/// The 128 IMDB benchmark cases.
+pub fn cases() -> Vec<BenchmarkCase> {
+    let mut cases = Vec::new();
+    let mut id = 0usize;
+    let mut next_id = || {
+        let v = id;
+        id += 1;
+        v
+    };
+
+    // I1 — "movies starring {actor}" (16).
+    for actor in ACTORS.iter().take(16) {
+        cases.push(case(
+            next_id(),
+            format!("Find movies starring {actor}"),
+            vec![
+                select_attr("movies", "movie", "title"),
+                filter_eq(actor, "actor", "name", actor),
+            ],
+            &format!(
+                "SELECT m.title FROM movie m, cast c, actor a \
+                 WHERE a.name = '{actor}' AND c.msid = m.mid AND c.aid = a.aid"
+            ),
+            CaseKind::EasyJoin,
+            false,
+        ));
+    }
+
+    // I2 — "movies directed by {director}" (12): half the names also occur in
+    // the actor relation, so word similarity alone cannot pick the relation.
+    for director in DIRECTORS {
+        cases.push(case(
+            next_id(),
+            format!("Find movies directed by {director}"),
+            vec![
+                select_attr("movies", "movie", "title"),
+                filter_eq(director, "director", "name", director),
+            ],
+            &format!(
+                "SELECT m.title FROM movie m, directed_by db, director d \
+                 WHERE d.name = '{director}' AND db.msid = m.mid AND db.did = d.did"
+            ),
+            CaseKind::KeywordAmbiguous,
+            true,
+        ));
+    }
+
+    // I3 — "movies released after {year}" (12): release_year exists on both
+    // movie and tv_series, birth_year on people.
+    for year in [1980, 1985, 1990, 1995, 1998, 2000, 2003, 2005, 2008, 2010, 2013, 2015] {
+        cases.push(case(
+            next_id(),
+            format!("List movies released after {year}"),
+            vec![
+                select_attr("movies", "movie", "title"),
+                filter_num(&format!("after {year}"), "movie", "release_year", BinOp::Gt, year as f64),
+            ],
+            &format!("SELECT m.title FROM movie m WHERE m.release_year > {year}"),
+            CaseKind::KeywordAmbiguous,
+            false,
+        ));
+    }
+
+    // I4 — "{genre} movies" (14).
+    for genre in GENRES {
+        cases.push(case(
+            next_id(),
+            format!("Show me {genre} movies"),
+            vec![
+                select_attr("movies", "movie", "title"),
+                filter_eq(genre, "genre", "genre", genre),
+            ],
+            &format!(
+                "SELECT m.title FROM movie m, classification c, genre g \
+                 WHERE g.genre = '{genre}' AND c.msid = m.mid AND c.gid = g.gid"
+            ),
+            CaseKind::EasyJoin,
+            false,
+        ));
+    }
+
+    // I5 — "movies produced by {company}" (12).
+    for company in COMPANIES {
+        cases.push(case(
+            next_id(),
+            format!("Which movies were released by {company}"),
+            vec![
+                select_attr("movies", "movie", "title"),
+                filter_eq(company, "company", "name", company),
+            ],
+            &format!(
+                "SELECT m.title FROM movie m, copyright cp, company c \
+                 WHERE c.name = '{company}' AND cp.msid = m.mid AND cp.cid = c.cid"
+            ),
+            CaseKind::EasyJoin,
+            false,
+        ));
+    }
+
+    // I6 — "movies about {keyword}" (10).
+    for kw in PLOT_KEYWORDS {
+        cases.push(case(
+            next_id(),
+            format!("Find movies about {kw}"),
+            vec![
+                select_attr("movies", "movie", "title"),
+                filter_eq(kw, "keyword", "keyword", kw),
+            ],
+            &format!(
+                "SELECT m.title FROM movie m, tags t, keyword k \
+                 WHERE k.keyword = '{kw}' AND t.msid = m.mid AND t.kid = k.kid"
+            ),
+            CaseKind::EasyJoin,
+            false,
+        ));
+    }
+
+    // I7 — "actors in {movie}" (12).
+    for movie in MOVIES.iter().take(12) {
+        cases.push(case(
+            next_id(),
+            format!("Who are the actors in {movie}"),
+            vec![
+                select_attr("actors", "actor", "name"),
+                filter_eq(movie, "movie", "title", movie),
+            ],
+            &format!(
+                "SELECT a.name FROM actor a, cast c, movie m \
+                 WHERE m.title = '{movie}' AND c.aid = a.aid AND c.msid = m.mid"
+            ),
+            CaseKind::EasyJoin,
+            true,
+        ));
+    }
+
+    // I8 — "who directed {movie}" (10).
+    for movie in MOVIES.iter().skip(10).take(10) {
+        cases.push(case(
+            next_id(),
+            format!("Who directed the movie {movie}"),
+            vec![
+                select_attr("director", "director", "name"),
+                filter_eq(movie, "movie", "title", movie),
+            ],
+            &format!(
+                "SELECT d.name FROM director d, directed_by db, movie m \
+                 WHERE m.title = '{movie}' AND db.did = d.did AND db.msid = m.mid"
+            ),
+            CaseKind::EasyJoin,
+            true,
+        ));
+    }
+
+    // I9 — "number of movies by {director}" (10): aggregation.
+    for director in DIRECTORS.iter().take(10) {
+        cases.push(case(
+            next_id(),
+            format!("How many movies did {director} direct"),
+            vec![
+                select_agg("number of movies", "movie", "mid", Aggregate::Count),
+                filter_eq(director, "director", "name", director),
+            ],
+            &format!(
+                "SELECT COUNT(m.mid) FROM movie m, directed_by db, director d \
+                 WHERE d.name = '{director}' AND db.msid = m.mid AND db.did = d.did"
+            ),
+            CaseKind::Aggregate,
+            true,
+        ));
+    }
+
+    // I10 — "movies with a budget over {n} million" (10): budget vs gross.
+    for n in [5, 10, 20, 40, 60, 80, 100, 120, 150, 180] {
+        let dollars = n * 1_000_000;
+        cases.push(case(
+            next_id(),
+            format!("Find movies with a budget over {dollars}"),
+            vec![
+                select_attr("movies", "movie", "title"),
+                filter_num(
+                    &format!("budget over {dollars}"),
+                    "movie",
+                    "budget",
+                    BinOp::Gt,
+                    dollars as f64,
+                ),
+            ],
+            &format!("SELECT m.title FROM movie m WHERE m.budget > {dollars}"),
+            CaseKind::Simple,
+            false,
+        ));
+    }
+
+    // I11 — "tv series released after {year}" (10): the release_year must be
+    // the series', not the movies'.
+    for year in [1998, 1999, 2000, 2002, 2004, 2006, 2008, 2010, 2012, 2014] {
+        cases.push(case(
+            next_id(),
+            format!("Which tv series started after {year}"),
+            vec![
+                select_attr("series", "tv_series", "title"),
+                filter_num(
+                    &format!("after {year}"),
+                    "tv_series",
+                    "release_year",
+                    BinOp::Gt,
+                    year as f64,
+                ),
+            ],
+            &format!("SELECT s.title FROM tv_series s WHERE s.release_year > {year}"),
+            CaseKind::KeywordAmbiguous,
+            false,
+        ));
+    }
+
+    cases
+}
+
+/// Assemble the IMDB dataset.
+pub fn dataset() -> Dataset {
+    Dataset {
+        name: "IMDB".to_string(),
+        db: Arc::new(database()),
+        cases: cases(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_matches_table_ii_statistics() {
+        let s = schema();
+        assert_eq!(s.relations.len(), 16);
+        assert_eq!(s.attribute_count(), 65);
+        assert_eq!(s.foreign_keys.len(), 20);
+        assert!(s.validate().is_empty());
+    }
+
+    #[test]
+    fn benchmark_has_128_cases() {
+        assert_eq!(cases().len(), 128);
+    }
+
+    #[test]
+    fn every_gold_value_predicate_is_satisfiable() {
+        let db = database();
+        for case in cases() {
+            for pred in case.gold_sql.filter_predicates() {
+                let cols = pred.columns();
+                let Some(col) = cols.first() else { continue };
+                let Some(qualifier) = col.qualifier.as_deref() else { continue };
+                let relation = case
+                    .gold_sql
+                    .resolve_qualifier(qualifier)
+                    .unwrap_or_else(|| panic!("case {}: unresolved {qualifier}", case.id));
+                assert!(
+                    db.predicate_nonempty(relation, pred),
+                    "case {}: gold predicate `{pred}` selects no rows",
+                    case.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn some_director_names_also_appear_as_actors() {
+        let db = database();
+        let shared = DIRECTORS
+            .iter()
+            .filter(|name| {
+                !db.text_search(name, &[])
+                    .iter()
+                    .filter(|m| m.attribute.relation == "actor")
+                    .collect::<Vec<_>>()
+                    .is_empty()
+            })
+            .count();
+        assert!(shared >= 4, "expected actor/director name collisions, got {shared}");
+    }
+
+    #[test]
+    fn stats_match_table_ii() {
+        let stats = dataset().stats();
+        assert_eq!(
+            (stats.relations, stats.attributes, stats.fk_pk, stats.queries),
+            (16, 65, 20, 128)
+        );
+    }
+}

@@ -1,0 +1,818 @@
+//! The Microsoft Academic Search (MAS) benchmark dataset.
+//!
+//! Schema modelled on Figure 1 of the paper and sized to the Table II
+//! statistics: 17 relations, 53 attributes, 19 FK-PK relationships and 194
+//! benchmark queries.  Publications reach domains through keywords (the gold
+//! join path of Example 1), while shorter paths through conferences and
+//! journals exist — exactly the join-path ambiguity the paper motivates.
+//! Several domain names also occur as topic keywords, reproducing the value
+//! ambiguity of Example 5.
+
+use crate::benchmark::{
+    case, filter_eq, filter_num, select_agg, select_attr, select_group, BenchmarkCase, CaseKind,
+    Dataset,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relational::{Database, DataType, Schema, Value};
+use sqlparse::{Aggregate, BinOp};
+use std::sync::Arc;
+
+/// Research domains (also stored as topic keywords to create value
+/// ambiguity).
+pub const DOMAINS: [&str; 12] = [
+    "Databases",
+    "Machine Learning",
+    "Data Mining",
+    "Computer Vision",
+    "Natural Language Processing",
+    "Operating Systems",
+    "Networking",
+    "Security",
+    "Theory",
+    "Graphics",
+    "Bioinformatics",
+    "Software Engineering",
+];
+
+/// Journal names.
+pub const JOURNALS: [&str; 12] = [
+    "TKDE", "TODS", "VLDB Journal", "TMC", "JMLR", "TPAMI", "TON", "TISSEC", "JACM", "CACM",
+    "TOG", "Briefings in Bioinformatics",
+];
+
+/// Conference names.
+pub const CONFERENCES: [&str; 15] = [
+    "SIGMOD", "VLDB", "ICDE", "KDD", "ICML", "NeurIPS", "CVPR", "ACL", "SOSP", "SIGCOMM", "CCS",
+    "STOC", "SIGGRAPH", "ISMB", "ICSE",
+];
+
+/// Author names.
+pub const AUTHORS: [&str; 30] = [
+    "John Smith",
+    "Jane Miller",
+    "Wei Zhang",
+    "Maria Garcia",
+    "David Johnson",
+    "Priya Patel",
+    "Chen Liu",
+    "Anna Kowalski",
+    "Ahmed Hassan",
+    "Laura Rossi",
+    "Peter Novak",
+    "Yuki Tanaka",
+    "Carlos Silva",
+    "Emma Dubois",
+    "Ivan Petrov",
+    "Sara Cohen",
+    "Tom Anderson",
+    "Nina Schmidt",
+    "Raj Kumar",
+    "Alice Brown",
+    "Hugo Martin",
+    "Olga Ivanova",
+    "Luis Fernandez",
+    "Grace Lee",
+    "Omar Farouk",
+    "Julia Weber",
+    "Mark Taylor",
+    "Sofia Ricci",
+    "Viktor Larsson",
+    "Amara Okafor",
+];
+
+/// Organisation names.
+pub const ORGANIZATIONS: [&str; 15] = [
+    "University of Michigan",
+    "Stanford University",
+    "MIT",
+    "Carnegie Mellon University",
+    "University of Washington",
+    "ETH Zurich",
+    "Tsinghua University",
+    "IBM Research",
+    "Microsoft Research",
+    "Google Research",
+    "University of Toronto",
+    "EPFL",
+    "National University of Singapore",
+    "Max Planck Institute",
+    "University of Tokyo",
+];
+
+/// Topic keywords that are *not* domain names.
+pub const TOPIC_KEYWORDS: [&str; 16] = [
+    "query optimization",
+    "transaction processing",
+    "deep learning",
+    "reinforcement learning",
+    "entity resolution",
+    "knowledge graphs",
+    "stream processing",
+    "distributed systems",
+    "information extraction",
+    "crowdsourcing",
+    "data cleaning",
+    "indexing structures",
+    "approximate query answering",
+    "graph mining",
+    "semantic parsing",
+    "program synthesis",
+];
+
+/// The MAS schema: 17 relations, 53 attributes, 19 FK-PK edges (Table II).
+pub fn schema() -> Schema {
+    use DataType::{Float, Integer, Text};
+    Schema::builder("mas")
+        .relation(
+            "author",
+            &[("aid", Integer), ("name", Text), ("homepage", Text), ("oid", Integer)],
+            Some("aid"),
+        )
+        .relation(
+            "organization",
+            &[("oid", Integer), ("name", Text), ("continent", Text), ("homepage", Text)],
+            Some("oid"),
+        )
+        .relation(
+            "publication",
+            &[
+                ("pid", Integer),
+                ("title", Text),
+                ("abstract", Text),
+                ("year", Integer),
+                ("citation_num", Integer),
+                ("reference_num", Integer),
+                ("cid", Integer),
+                ("jid", Integer),
+            ],
+            Some("pid"),
+        )
+        .relation(
+            "journal",
+            &[("jid", Integer), ("name", Text), ("full_name", Text), ("homepage", Text)],
+            Some("jid"),
+        )
+        .relation(
+            "conference",
+            &[("cid", Integer), ("name", Text), ("full_name", Text), ("homepage", Text)],
+            Some("cid"),
+        )
+        .relation("domain", &[("did", Integer), ("name", Text)], Some("did"))
+        .relation("keyword", &[("kid", Integer), ("keyword", Text)], Some("kid"))
+        .relation("writes", &[("aid", Integer), ("pid", Integer)], None)
+        .relation("cite", &[("citing", Integer), ("cited", Integer)], None)
+        .relation("domain_author", &[("aid", Integer), ("did", Integer)], None)
+        .relation("domain_conference", &[("cid", Integer), ("did", Integer)], None)
+        .relation("domain_journal", &[("jid", Integer), ("did", Integer)], None)
+        .relation("domain_keyword", &[("kid", Integer), ("did", Integer)], None)
+        .relation("publication_keyword", &[("pid", Integer), ("kid", Integer)], None)
+        .relation("organization_domain", &[("oid", Integer), ("did", Integer)], None)
+        .relation(
+            "conference_series",
+            &[("csid", Integer), ("name", Text), ("full_name", Text), ("impact", Float)],
+            Some("csid"),
+        )
+        .relation(
+            "research_group",
+            &[("rgid", Integer), ("name", Text), ("homepage", Text), ("university", Text), ("country", Text)],
+            Some("rgid"),
+        )
+        .foreign_key("author", "oid", "organization", "oid")
+        .foreign_key("publication", "cid", "conference", "cid")
+        .foreign_key("publication", "jid", "journal", "jid")
+        .foreign_key("writes", "aid", "author", "aid")
+        .foreign_key("writes", "pid", "publication", "pid")
+        .foreign_key("cite", "citing", "publication", "pid")
+        .foreign_key("cite", "cited", "publication", "pid")
+        .foreign_key("domain_author", "aid", "author", "aid")
+        .foreign_key("domain_author", "did", "domain", "did")
+        .foreign_key("domain_conference", "cid", "conference", "cid")
+        .foreign_key("domain_conference", "did", "domain", "did")
+        .foreign_key("domain_journal", "jid", "journal", "jid")
+        .foreign_key("domain_journal", "did", "domain", "did")
+        .foreign_key("domain_keyword", "kid", "keyword", "kid")
+        .foreign_key("domain_keyword", "did", "domain", "did")
+        .foreign_key("publication_keyword", "pid", "publication", "pid")
+        .foreign_key("publication_keyword", "kid", "keyword", "kid")
+        .foreign_key("organization_domain", "oid", "organization", "oid")
+        .foreign_key("organization_domain", "did", "domain", "did")
+        .build()
+}
+
+/// Deterministic synthetic database instance.
+pub fn database() -> Database {
+    let mut db = Database::new(schema());
+    let mut rng = StdRng::seed_from_u64(0x4d41_5321); // "MAS!"
+
+    for (i, name) in ORGANIZATIONS.iter().enumerate() {
+        let continent = ["North America", "Europe", "Asia"][i % 3];
+        db.insert(
+            "organization",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::from(*name),
+                Value::from(continent),
+                Value::from(format!("http://{}.example.org", i + 1)),
+            ],
+        )
+        .expect("organization row");
+    }
+    for (i, name) in AUTHORS.iter().enumerate() {
+        db.insert(
+            "author",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::from(*name),
+                Value::from(format!("http://people.example.org/{}", i + 1)),
+                Value::Int((i % ORGANIZATIONS.len()) as i64 + 1),
+            ],
+        )
+        .expect("author row");
+    }
+    for (i, name) in JOURNALS.iter().enumerate() {
+        db.insert(
+            "journal",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::from(*name),
+                Value::from(format!("{name} Full Name")),
+                Value::from(format!("http://journal{}.example.org", i + 1)),
+            ],
+        )
+        .expect("journal row");
+    }
+    for (i, name) in CONFERENCES.iter().enumerate() {
+        db.insert(
+            "conference",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::from(*name),
+                Value::from(format!("{name} Conference")),
+                Value::from(format!("http://conf{}.example.org", i + 1)),
+            ],
+        )
+        .expect("conference row");
+    }
+    for (i, name) in DOMAINS.iter().enumerate() {
+        db.insert("domain", vec![Value::Int(i as i64 + 1), Value::from(*name)])
+            .expect("domain row");
+    }
+    // Keywords: topic keywords plus the domain names themselves (value
+    // ambiguity of Example 5).
+    let mut keyword_values: Vec<&str> = TOPIC_KEYWORDS.to_vec();
+    keyword_values.extend(DOMAINS.iter().copied());
+    for (i, kw) in keyword_values.iter().enumerate() {
+        db.insert("keyword", vec![Value::Int(i as i64 + 1), Value::from(*kw)])
+            .expect("keyword row");
+    }
+    // Publications.
+    let title_topics = [
+        "Query Processing",
+        "Index Structures",
+        "Neural Architectures",
+        "Graph Algorithms",
+        "Stream Analytics",
+        "Secure Protocols",
+        "Program Analysis",
+        "Vision Transformers",
+        "Language Models",
+        "Storage Engines",
+    ];
+    let n_publications = 160;
+    for i in 0..n_publications {
+        let topic = title_topics[i % title_topics.len()];
+        let year = 1985 + (rng.gen_range(0..35) as i64);
+        let citation_num = rng.gen_range(0..400) as i64;
+        let reference_num = rng.gen_range(5..80) as i64;
+        // Even publications appear at conferences, odd ones in journals.
+        let (cid, jid) = if i % 2 == 0 {
+            (Value::Int((i % CONFERENCES.len()) as i64 + 1), Value::Null)
+        } else {
+            (Value::Null, Value::Int((i % JOURNALS.len()) as i64 + 1))
+        };
+        db.insert(
+            "publication",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::from(format!("Advances in {topic} {}", i + 1)),
+                Value::from(format!("We study {topic} at scale.")),
+                Value::Int(year),
+                Value::Int(citation_num),
+                Value::Int(reference_num),
+                cid,
+                jid,
+            ],
+        )
+        .expect("publication row");
+    }
+    // Link tables (plausible but not load-bearing for the experiments).
+    for i in 0..n_publications {
+        let pid = i as i64 + 1;
+        db.insert(
+            "writes",
+            vec![Value::Int((i % AUTHORS.len()) as i64 + 1), Value::Int(pid)],
+        )
+        .expect("writes row");
+        db.insert(
+            "writes",
+            vec![Value::Int(((i + 7) % AUTHORS.len()) as i64 + 1), Value::Int(pid)],
+        )
+        .expect("writes row");
+        db.insert(
+            "publication_keyword",
+            vec![Value::Int(pid), Value::Int((i % keyword_values.len()) as i64 + 1)],
+        )
+        .expect("publication_keyword row");
+        if i > 0 {
+            db.insert(
+                "cite",
+                vec![Value::Int(pid), Value::Int(((i * 13) % i) as i64 + 1)],
+            )
+            .expect("cite row");
+        }
+    }
+    for (i, _) in AUTHORS.iter().enumerate() {
+        db.insert(
+            "domain_author",
+            vec![Value::Int(i as i64 + 1), Value::Int((i % DOMAINS.len()) as i64 + 1)],
+        )
+        .expect("domain_author row");
+    }
+    for (i, _) in CONFERENCES.iter().enumerate() {
+        db.insert(
+            "domain_conference",
+            vec![Value::Int(i as i64 + 1), Value::Int((i % DOMAINS.len()) as i64 + 1)],
+        )
+        .expect("domain_conference row");
+    }
+    for (i, _) in JOURNALS.iter().enumerate() {
+        db.insert(
+            "domain_journal",
+            vec![Value::Int(i as i64 + 1), Value::Int((i % DOMAINS.len()) as i64 + 1)],
+        )
+        .expect("domain_journal row");
+    }
+    for (i, _) in keyword_values.iter().enumerate() {
+        db.insert(
+            "domain_keyword",
+            vec![Value::Int(i as i64 + 1), Value::Int((i % DOMAINS.len()) as i64 + 1)],
+        )
+        .expect("domain_keyword row");
+    }
+    for (i, _) in ORGANIZATIONS.iter().enumerate() {
+        db.insert(
+            "organization_domain",
+            vec![Value::Int(i as i64 + 1), Value::Int((i % DOMAINS.len()) as i64 + 1)],
+        )
+        .expect("organization_domain row");
+    }
+    for i in 0..10 {
+        db.insert(
+            "conference_series",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::from(format!("Series {}", i + 1)),
+                Value::from(format!("Conference Series {}", i + 1)),
+                Value::Float(1.0 + i as f64 / 10.0),
+            ],
+        )
+        .expect("conference_series row");
+        db.insert(
+            "research_group",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::from(format!("Data Systems Group {}", i + 1)),
+                Value::from(format!("http://group{}.example.org", i + 1)),
+                Value::from(ORGANIZATIONS[i % ORGANIZATIONS.len()]),
+                Value::from(["USA", "Germany", "Japan"][i % 3]),
+            ],
+        )
+        .expect("research_group row");
+    }
+    db
+}
+
+/// The gold join path for publication → domain goes through keywords
+/// (Example 1): `publication — publication_keyword — keyword —
+/// domain_keyword — domain`.
+fn pub_domain_sql(domain: &str, extra_where: &str) -> String {
+    format!(
+        "SELECT p.title FROM publication p, publication_keyword pk, keyword k, domain_keyword dk, domain d \
+         WHERE d.name = '{domain}'{extra_where} AND pk.pid = p.pid AND pk.kid = k.kid AND dk.kid = k.kid AND dk.did = d.did"
+    )
+}
+
+/// The 194 MAS benchmark cases.
+pub fn cases() -> Vec<BenchmarkCase> {
+    let mut cases = Vec::new();
+    let mut id = 0usize;
+    let mut next_id = || {
+        let v = id;
+        id += 1;
+        v
+    };
+
+    // T1 — "papers in the {domain} domain": join-path + value ambiguity (24).
+    for domain in DOMAINS {
+        for phrasing in [
+            format!("Find papers in the {domain} domain"),
+            format!("Show me the papers in the {domain} area"),
+        ] {
+            cases.push(case(
+                next_id(),
+                phrasing,
+                vec![
+                    select_attr("papers", "publication", "title"),
+                    filter_eq(domain, "domain", "name", domain),
+                ],
+                &pub_domain_sql(domain, ""),
+                CaseKind::JoinAmbiguous,
+                false,
+            ));
+        }
+    }
+
+    // T2 — "papers after/before {year}": single-table numeric selections (16).
+    for (i, year) in [1995, 1998, 2000, 2003, 2005, 2008, 2010, 2012].iter().enumerate() {
+        let (word, op, sym) = if i % 2 == 0 {
+            ("after", BinOp::Gt, ">")
+        } else {
+            ("before", BinOp::Lt, "<")
+        };
+        for noun in ["papers", "publications"] {
+            cases.push(case(
+                next_id(),
+                format!("Return the {noun} published {word} {year}"),
+                vec![
+                    select_attr(noun, "publication", "title"),
+                    filter_num(&format!("{word} {year}"), "publication", "year", op, *year as f64),
+                ],
+                &format!("SELECT p.title FROM publication p WHERE p.year {sym} {year}"),
+                // "before {year}" keywords are satisfied by many numeric
+                // attributes (ids, counts), so they need the log to pick
+                // publication.year; "after {year}" thresholds are only
+                // satisfiable by year values.
+                if op == BinOp::Lt {
+                    CaseKind::KeywordAmbiguous
+                } else {
+                    CaseKind::Simple
+                },
+                false,
+            ));
+        }
+    }
+
+    // T3 — "papers published in {journal}" (12).
+    for journal in JOURNALS {
+        cases.push(case(
+            next_id(),
+            format!("Find papers published in {journal}"),
+            vec![
+                select_attr("papers", "publication", "title"),
+                filter_eq(journal, "journal", "name", journal),
+            ],
+            &format!(
+                "SELECT p.title FROM publication p, journal j WHERE j.name = '{journal}' AND p.jid = j.jid"
+            ),
+            CaseKind::EasyJoin,
+            false,
+        ));
+    }
+
+    // T4 — "papers in {conference}" (12).
+    for conference in CONFERENCES.iter().take(12) {
+        cases.push(case(
+            next_id(),
+            format!("List the papers appearing in {conference}"),
+            vec![
+                select_attr("papers", "publication", "title"),
+                filter_eq(conference, "conference", "name", conference),
+            ],
+            &format!(
+                "SELECT p.title FROM publication p, conference c WHERE c.name = '{conference}' AND p.cid = c.cid"
+            ),
+            CaseKind::EasyJoin,
+            false,
+        ));
+    }
+
+    // T5 — "papers written by {author}" (15); explicit relation reference
+    // ("papers ... by") is the pattern NaLIR's parser struggles with.
+    for author in AUTHORS.iter().take(15) {
+        cases.push(case(
+            next_id(),
+            format!("Return the papers written by {author}"),
+            vec![
+                select_attr("papers", "publication", "title"),
+                filter_eq(author, "author", "name", author),
+            ],
+            &format!(
+                "SELECT p.title FROM publication p, writes w, author a \
+                 WHERE a.name = '{author}' AND w.pid = p.pid AND w.aid = a.aid"
+            ),
+            CaseKind::EasyJoin,
+            true,
+        ));
+    }
+
+    // T6 — "authors in the {domain} area" (12): easy join via domain_author.
+    for domain in DOMAINS {
+        cases.push(case(
+            next_id(),
+            format!("Which authors work in the {domain} area"),
+            vec![
+                select_attr("authors", "author", "name"),
+                filter_eq(domain, "domain", "name", domain),
+            ],
+            &format!(
+                "SELECT a.name FROM author a, domain_author da, domain d \
+                 WHERE d.name = '{domain}' AND da.aid = a.aid AND da.did = d.did"
+            ),
+            CaseKind::EasyJoin,
+            false,
+        ));
+    }
+
+    // T7 — "papers about {topic}" (16): topic keywords, no domain collision.
+    for topic in TOPIC_KEYWORDS {
+        cases.push(case(
+            next_id(),
+            format!("Find papers about {topic}"),
+            vec![
+                select_attr("papers", "publication", "title"),
+                filter_eq(topic, "keyword", "keyword", topic),
+            ],
+            &format!(
+                "SELECT p.title FROM publication p, publication_keyword pk, keyword k \
+                 WHERE k.keyword = '{topic}' AND pk.pid = p.pid AND pk.kid = k.kid"
+            ),
+            CaseKind::EasyJoin,
+            false,
+        ));
+    }
+
+    // T8 — "number of papers by {author}" (12): aggregation.
+    for author in AUTHORS.iter().skip(15).take(12) {
+        cases.push(case(
+            next_id(),
+            format!("How many papers were written by {author}"),
+            vec![
+                select_agg("number of papers", "publication", "pid", Aggregate::Count),
+                filter_eq(author, "author", "name", author),
+            ],
+            &format!(
+                "SELECT COUNT(p.pid) FROM publication p, writes w, author a \
+                 WHERE a.name = '{author}' AND w.pid = p.pid AND w.aid = a.aid"
+            ),
+            CaseKind::Aggregate,
+            true,
+        ));
+    }
+
+    // T9 — "papers per author after {year}" (10): aggregation + grouping.
+    for year in [1995, 1998, 2000, 2002, 2004, 2006, 2008, 2010, 2012, 2014] {
+        cases.push(case(
+            next_id(),
+            format!("Count the papers of each author after {year}"),
+            vec![
+                select_group("author", "author", "name"),
+                select_agg("papers", "publication", "pid", Aggregate::Count),
+                filter_num(&format!("after {year}"), "publication", "year", BinOp::Gt, year as f64),
+            ],
+            &format!(
+                "SELECT a.name, COUNT(p.pid) FROM author a, writes w, publication p \
+                 WHERE p.year > {year} AND w.aid = a.aid AND w.pid = p.pid GROUP BY a.name"
+            ),
+            CaseKind::Aggregate,
+            true,
+        ));
+    }
+
+    // T10 — "papers written by both {a1} and {a2}" (10): self-joins
+    // (Example 7 of the paper).
+    for i in 0..10 {
+        let a1 = AUTHORS[i];
+        let a2 = AUTHORS[i + 10];
+        cases.push(case(
+            next_id(),
+            format!("Find papers written by both {a1} and {a2}"),
+            vec![
+                select_attr("papers", "publication", "title"),
+                filter_eq(a1, "author", "name", a1),
+                filter_eq(a2, "author", "name", a2),
+            ],
+            &format!(
+                "SELECT p.title FROM publication p, writes w1, writes w2, author a1, author a2 \
+                 WHERE a1.name = '{a1}' AND a2.name = '{a2}' \
+                 AND w1.pid = p.pid AND w2.pid = p.pid AND w1.aid = a1.aid AND w2.aid = a2.aid"
+            ),
+            CaseKind::SelfJoin,
+            true,
+        ));
+    }
+
+    // T11 — "organization of {author}" (12).
+    for author in AUTHORS.iter().take(12) {
+        cases.push(case(
+            next_id(),
+            format!("What organization is {author} affiliated with"),
+            vec![
+                select_attr("organization", "organization", "name"),
+                filter_eq(author, "author", "name", author),
+            ],
+            &format!(
+                "SELECT o.name FROM organization o, author a \
+                 WHERE a.name = '{author}' AND a.oid = o.oid"
+            ),
+            CaseKind::EasyJoin,
+            false,
+        ));
+    }
+
+    // T12 — "papers with more than {n} citations" (14).
+    for (i, n) in [50, 75, 100, 125, 150, 200, 250].iter().enumerate() {
+        for noun in ["papers", "publications"] {
+            let _ = i;
+            cases.push(case(
+                next_id(),
+                format!("Show {noun} with more than {n} citations"),
+                vec![
+                    select_attr(noun, "publication", "title"),
+                    filter_num(
+                        &format!("more than {n} citations"),
+                        "publication",
+                        "citation_num",
+                        BinOp::Gt,
+                        *n as f64,
+                    ),
+                ],
+                &format!("SELECT p.title FROM publication p WHERE p.citation_num > {n}"),
+                CaseKind::Simple,
+                false,
+            ));
+        }
+    }
+
+    // T13 — "papers with fewer than {n} references" (8).
+    for n in [10, 15, 20, 25, 30, 40, 50, 60] {
+        cases.push(case(
+            next_id(),
+            format!("Which papers have fewer than {n} references"),
+            vec![
+                select_attr("papers", "publication", "title"),
+                filter_num(
+                    &format!("fewer than {n} references"),
+                    "publication",
+                    "reference_num",
+                    BinOp::Lt,
+                    n as f64,
+                ),
+            ],
+            &format!("SELECT p.title FROM publication p WHERE p.reference_num < {n}"),
+            CaseKind::Simple,
+            false,
+        ));
+    }
+
+    // T14 — "authors from {organization}" (12).
+    for org in ORGANIZATIONS.iter().take(12) {
+        cases.push(case(
+            next_id(),
+            format!("List the authors from {org}"),
+            vec![
+                select_attr("authors", "author", "name"),
+                filter_eq(org, "organization", "name", org),
+            ],
+            &format!(
+                "SELECT a.name FROM author a, organization o \
+                 WHERE o.name = '{org}' AND a.oid = o.oid"
+            ),
+            CaseKind::EasyJoin,
+            false,
+        ));
+    }
+
+    // T15 — "papers in the {domain} field after {year}" (9): combines the
+    // domain ambiguity with a numeric filter.
+    for domain in DOMAINS.iter().take(3) {
+        for year in [2000, 2005, 2010] {
+            cases.push(case(
+                next_id(),
+                format!("Find papers in the {domain} field published after {year}"),
+                vec![
+                    select_attr("papers", "publication", "title"),
+                    filter_eq(domain, "domain", "name", domain),
+                    filter_num(&format!("after {year}"), "publication", "year", BinOp::Gt, year as f64),
+                ],
+                &pub_domain_sql(domain, &format!(" AND p.year > {year}")),
+                CaseKind::JoinAmbiguous,
+                false,
+            ));
+        }
+    }
+
+    cases
+}
+
+/// Assemble the MAS dataset.
+pub fn dataset() -> Dataset {
+    Dataset {
+        name: "MAS".to_string(),
+        db: Arc::new(database()),
+        cases: cases(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_matches_table_ii_statistics() {
+        let s = schema();
+        assert_eq!(s.relations.len(), 17);
+        assert_eq!(s.attribute_count(), 53);
+        assert_eq!(s.foreign_keys.len(), 19);
+        assert!(s.validate().is_empty());
+    }
+
+    #[test]
+    fn benchmark_has_194_cases_with_unique_ids() {
+        let cases = cases();
+        assert_eq!(cases.len(), 194);
+        let mut ids: Vec<usize> = cases.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 194);
+    }
+
+    #[test]
+    fn every_gold_value_predicate_is_satisfiable() {
+        let db = database();
+        for case in cases() {
+            for pred in case.gold_sql.filter_predicates() {
+                let cols = pred.columns();
+                let Some(col) = cols.first() else { continue };
+                let Some(qualifier) = col.qualifier.as_deref() else {
+                    continue;
+                };
+                let Some(relation) = case.gold_sql.resolve_qualifier(qualifier) else {
+                    panic!("gold SQL of case {} has unresolved qualifier {qualifier}", case.id);
+                };
+                assert!(
+                    db.predicate_nonempty(relation, pred),
+                    "case {}: gold predicate `{pred}` selects no rows of {relation}",
+                    case.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gold_relations_exist_in_the_schema() {
+        let s = schema();
+        for case in cases() {
+            for table in &case.gold_sql.from {
+                assert!(
+                    s.has_relation(&table.table),
+                    "case {}: unknown relation {}",
+                    case.id,
+                    table.table
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn keyword_texts_are_nonempty_and_mapped() {
+        for case in cases() {
+            assert!(!case.nlq.keywords.is_empty(), "case {} has no keywords", case.id);
+            assert_eq!(
+                case.nlq.keywords.len(),
+                case.nlq.gold_mappings.len(),
+                "case {}: gold mappings misaligned",
+                case.id
+            );
+        }
+    }
+
+    #[test]
+    fn dataset_stats_report_table_ii_numbers() {
+        let d = dataset();
+        let stats = d.stats();
+        assert_eq!(stats.relations, 17);
+        assert_eq!(stats.attributes, 53);
+        assert_eq!(stats.fk_pk, 19);
+        assert_eq!(stats.queries, 194);
+        assert!(stats.rows > 500);
+    }
+
+    #[test]
+    fn benchmark_contains_all_case_kinds() {
+        let d = dataset();
+        for (kind, count) in d.kind_counts() {
+            assert!(count > 0, "no cases of kind {kind:?}");
+        }
+    }
+}

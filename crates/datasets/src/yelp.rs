@@ -1,0 +1,494 @@
+//! The Yelp business-review benchmark dataset.
+//!
+//! 7 relations, 38 attributes, 7 FK-PK relationships, 127 benchmark queries
+//! (Table II).  The ambiguity structure mirrors what the paper describes for
+//! this benchmark: star ratings and review counts exist on several relations
+//! (business, review, user), and businesses connect to users through either
+//! reviews or tips, so both keyword mapping and join inference need the log.
+
+use crate::benchmark::{
+    case, filter_eq, filter_num, select_agg, select_attr, BenchmarkCase, CaseKind, Dataset,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relational::{Database, DataType, Schema, Value};
+use sqlparse::{Aggregate, BinOp};
+use std::sync::Arc;
+
+/// Cities used by the benchmark.
+pub const CITIES: [&str; 16] = [
+    "Phoenix", "Las Vegas", "Charlotte", "Pittsburgh", "Madison", "Edinburgh", "Karlsruhe",
+    "Montreal", "Waterloo", "Urbana", "Tempe", "Scottsdale", "Mesa", "Chandler", "Henderson",
+    "Gilbert",
+];
+
+/// States / provinces used by the benchmark.
+pub const STATES: [&str; 14] = [
+    "AZ", "NV", "NC", "PA", "WI", "IL", "SC", "ON", "QC", "EDH", "BW", "MLN", "FIF", "KHL",
+];
+
+/// Business categories.
+pub const CATEGORIES: [&str; 16] = [
+    "Mexican", "Italian", "Chinese", "Thai", "Pizza", "Burgers", "Sushi", "Vegan", "Barbeque",
+    "Seafood", "Steakhouse", "Breakfast", "Coffee", "Bakeries", "Nightlife", "Indian",
+];
+
+/// Business names referenced by the benchmark.
+pub const BUSINESSES: [&str; 20] = [
+    "Taco Palace",
+    "Luigi Trattoria",
+    "Golden Dragon",
+    "Bangkok Garden",
+    "Slice Heaven",
+    "Burger Barn",
+    "Sakura House",
+    "Green Table",
+    "Smoky Pit",
+    "Harbor Catch",
+    "Prime Cut",
+    "Sunrise Diner",
+    "Bean Scene",
+    "Flour Power",
+    "Neon Lounge",
+    "Curry Corner",
+    "Desert Bloom Cafe",
+    "Maple Leaf Bistro",
+    "Canyon Grill",
+    "Riverside Deli",
+];
+
+/// The Yelp schema: 7 relations, 38 attributes, 7 FK-PK edges.
+pub fn schema() -> Schema {
+    use DataType::{Float, Integer, Text};
+    Schema::builder("yelp")
+        .relation(
+            "business",
+            &[
+                ("business_id", Integer),
+                ("name", Text),
+                ("full_address", Text),
+                ("city", Text),
+                ("state", Text),
+                ("latitude", Float),
+                ("longitude", Float),
+                ("review_count", Integer),
+                ("stars", Float),
+                ("is_open", Integer),
+            ],
+            Some("business_id"),
+        )
+        .relation(
+            "category",
+            &[("id", Integer), ("business_id", Integer), ("category_name", Text)],
+            Some("id"),
+        )
+        .relation(
+            "user",
+            &[
+                ("user_id", Integer),
+                ("name", Text),
+                ("review_count", Integer),
+                ("fans", Integer),
+                ("average_stars", Float),
+            ],
+            Some("user_id"),
+        )
+        .relation(
+            "review",
+            &[
+                ("rid", Integer),
+                ("business_id", Integer),
+                ("user_id", Integer),
+                ("stars", Float),
+                ("text", Text),
+                ("year", Integer),
+                ("month", Integer),
+            ],
+            Some("rid"),
+        )
+        .relation(
+            "checkin",
+            &[("cid", Integer), ("business_id", Integer), ("checkin_count", Integer), ("day", Text)],
+            Some("cid"),
+        )
+        .relation(
+            "tip",
+            &[
+                ("tip_id", Integer),
+                ("business_id", Integer),
+                ("user_id", Integer),
+                ("text", Text),
+                ("likes", Integer),
+                ("year", Integer),
+            ],
+            Some("tip_id"),
+        )
+        .relation(
+            "neighbourhood",
+            &[("id", Integer), ("business_id", Integer), ("neighbourhood_name", Text)],
+            Some("id"),
+        )
+        .foreign_key("category", "business_id", "business", "business_id")
+        .foreign_key("review", "business_id", "business", "business_id")
+        .foreign_key("review", "user_id", "user", "user_id")
+        .foreign_key("checkin", "business_id", "business", "business_id")
+        .foreign_key("tip", "business_id", "business", "business_id")
+        .foreign_key("tip", "user_id", "user", "user_id")
+        .foreign_key("neighbourhood", "business_id", "business", "business_id")
+        .build()
+}
+
+/// Deterministic synthetic database instance.
+pub fn database() -> Database {
+    let mut db = Database::new(schema());
+    let mut rng = StdRng::seed_from_u64(0x5945_4c50); // "YELP"
+    let user_names = [
+        "Alex", "Brooke", "Casey", "Dana", "Eli", "Fran", "Gabe", "Hana", "Iris", "Jon", "Kara",
+        "Liam", "Mia", "Noah", "Opal", "Pete", "Quinn", "Rosa", "Sam", "Tara",
+    ];
+    for (i, name) in BUSINESSES.iter().enumerate() {
+        let city = CITIES[i % CITIES.len()];
+        let state = STATES[i % STATES.len()];
+        db.insert(
+            "business",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::from(*name),
+                Value::from(format!("{} Main St, {city}", 100 + i)),
+                Value::from(city),
+                Value::from(state),
+                Value::Float(33.0 + i as f64 / 10.0),
+                Value::Float(-112.0 - i as f64 / 10.0),
+                Value::Int(rng.gen_range(5..900) as i64),
+                Value::Float((rng.gen_range(2..11) as f64) / 2.0),
+                Value::Int((i % 2) as i64),
+            ],
+        )
+        .expect("business row");
+        db.insert(
+            "category",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::Int(i as i64 + 1),
+                Value::from(CATEGORIES[i % CATEGORIES.len()]),
+            ],
+        )
+        .expect("category row");
+        db.insert(
+            "neighbourhood",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::Int(i as i64 + 1),
+                Value::from(format!("{city} Old Town")),
+            ],
+        )
+        .expect("neighbourhood row");
+    }
+    for (i, name) in user_names.iter().enumerate() {
+        db.insert(
+            "user",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::from(*name),
+                Value::Int(rng.gen_range(1..500) as i64),
+                Value::Int(rng.gen_range(0..200) as i64),
+                Value::Float((rng.gen_range(4..10) as f64) / 2.0),
+            ],
+        )
+        .expect("user row");
+    }
+    for i in 0..240usize {
+        let bid = (i % BUSINESSES.len()) as i64 + 1;
+        let uid = (i % user_names.len()) as i64 + 1;
+        db.insert(
+            "review",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::Int(bid),
+                Value::Int(uid),
+                Value::Float((rng.gen_range(2..10) as f64) / 2.0),
+                Value::from(format!("Great food and friendly service, visit {}", i + 1)),
+                Value::Int(2010 + (i % 8) as i64),
+                Value::Int((i % 12) as i64 + 1),
+            ],
+        )
+        .expect("review row");
+        if i % 2 == 0 {
+            db.insert(
+                "tip",
+                vec![
+                    Value::Int(i as i64 + 1),
+                    Value::Int(bid),
+                    Value::Int(uid),
+                    Value::from(format!("Try the daily special number {}", i + 1)),
+                    Value::Int(rng.gen_range(0..50) as i64),
+                    Value::Int(2012 + (i % 6) as i64),
+                ],
+            )
+            .expect("tip row");
+        }
+        if i % 3 == 0 {
+            db.insert(
+                "checkin",
+                vec![
+                    Value::Int(i as i64 + 1),
+                    Value::Int(bid),
+                    Value::Int(rng.gen_range(1..80) as i64),
+                    Value::from(["Monday", "Friday", "Saturday"][i % 3]),
+                ],
+            )
+            .expect("checkin row");
+        }
+    }
+    db
+}
+
+/// The 127 Yelp benchmark cases.
+pub fn cases() -> Vec<BenchmarkCase> {
+    let mut cases = Vec::new();
+    let mut id = 0usize;
+    let mut next_id = || {
+        let v = id;
+        id += 1;
+        v
+    };
+
+    // Y1 — "restaurants in {city}" (16).
+    for city in CITIES {
+        cases.push(case(
+            next_id(),
+            format!("Find restaurants in {city}"),
+            vec![
+                select_attr("restaurants", "business", "name"),
+                filter_eq(city, "business", "city", city),
+            ],
+            &format!("SELECT b.name FROM business b WHERE b.city = '{city}'"),
+            CaseKind::KeywordAmbiguous,
+            false,
+        ));
+    }
+
+    // Y2 — "businesses in {state}" (14).
+    for state in STATES {
+        cases.push(case(
+            next_id(),
+            format!("List businesses in the state {state}"),
+            vec![
+                select_attr("businesses", "business", "name"),
+                filter_eq(state, "business", "state", state),
+            ],
+            &format!("SELECT b.name FROM business b WHERE b.state = '{state}'"),
+            CaseKind::Simple,
+            false,
+        ));
+    }
+
+    // Y3 — "{category} restaurants" (16).
+    for category in CATEGORIES {
+        cases.push(case(
+            next_id(),
+            format!("Show me {category} restaurants"),
+            vec![
+                select_attr("restaurants", "business", "name"),
+                filter_eq(category, "category", "category_name", category),
+            ],
+            &format!(
+                "SELECT b.name FROM business b, category c \
+                 WHERE c.category_name = '{category}' AND c.business_id = b.business_id"
+            ),
+            CaseKind::EasyJoin,
+            false,
+        ));
+    }
+
+    // Y4 — "businesses with more than {n} reviews" (12): review_count exists
+    // on both business and user.
+    for n in [25, 50, 75, 100, 150, 200, 250, 300, 350, 400, 450, 500] {
+        cases.push(case(
+            next_id(),
+            format!("Which businesses have more than {n} reviews"),
+            vec![
+                select_attr("businesses", "business", "name"),
+                filter_num(
+                    &format!("more than {n} reviews"),
+                    "business",
+                    "review_count",
+                    BinOp::Gt,
+                    n as f64,
+                ),
+            ],
+            &format!("SELECT b.name FROM business b WHERE b.review_count > {n}"),
+            CaseKind::KeywordAmbiguous,
+            false,
+        ));
+    }
+
+    // Y5 — "businesses rated above {x} stars" (12): stars exists on business,
+    // review and user.average_stars.
+    for x in [2.0, 2.5, 3.0, 3.5, 4.0, 4.5] {
+        for noun in ["businesses", "places"] {
+            cases.push(case(
+                next_id(),
+                format!("Find {noun} rated above {x} stars"),
+                vec![
+                    select_attr(noun, "business", "name"),
+                    filter_num(&format!("above {x} stars"), "business", "stars", BinOp::Gt, x),
+                ],
+                &format!("SELECT b.name FROM business b WHERE b.stars > {x}"),
+                CaseKind::KeywordAmbiguous,
+                false,
+            ));
+        }
+    }
+
+    // Y6 — "users who reviewed {business}" (15): business–user reachable via
+    // review or tip (equal length), the log prefers review.
+    for business in BUSINESSES.iter().take(15) {
+        cases.push(case(
+            next_id(),
+            format!("Which users reviewed {business}"),
+            vec![
+                select_attr("users", "user", "name"),
+                filter_eq(business, "business", "name", business),
+            ],
+            &format!(
+                "SELECT u.name FROM user u, review r, business b \
+                 WHERE b.name = '{business}' AND r.user_id = u.user_id AND r.business_id = b.business_id"
+            ),
+            CaseKind::JoinAmbiguous,
+            true,
+        ));
+    }
+
+    // Y7 — "tips about {business}" (10).
+    for business in BUSINESSES.iter().take(10) {
+        cases.push(case(
+            next_id(),
+            format!("Show the tips left for {business}"),
+            vec![
+                select_attr("tips", "tip", "text"),
+                filter_eq(business, "business", "name", business),
+            ],
+            &format!(
+                "SELECT t.text FROM tip t, business b \
+                 WHERE b.name = '{business}' AND t.business_id = b.business_id"
+            ),
+            CaseKind::EasyJoin,
+            false,
+        ));
+    }
+
+    // Y8 — "reviews of {business}" (12).
+    for business in BUSINESSES.iter().skip(5).take(12) {
+        cases.push(case(
+            next_id(),
+            format!("Show the reviews of {business}"),
+            vec![
+                select_attr("reviews", "review", "text"),
+                filter_eq(business, "business", "name", business),
+            ],
+            &format!(
+                "SELECT r.text FROM review r, business b \
+                 WHERE b.name = '{business}' AND r.business_id = b.business_id"
+            ),
+            CaseKind::EasyJoin,
+            false,
+        ));
+    }
+
+    // Y9 — "number of reviews for {business}" (10): aggregation.
+    for business in BUSINESSES.iter().take(10) {
+        cases.push(case(
+            next_id(),
+            format!("How many reviews does {business} have"),
+            vec![
+                select_agg("number of reviews", "review", "rid", Aggregate::Count),
+                filter_eq(business, "business", "name", business),
+            ],
+            &format!(
+                "SELECT COUNT(r.rid) FROM review r, business b \
+                 WHERE b.name = '{business}' AND r.business_id = b.business_id"
+            ),
+            CaseKind::Aggregate,
+            true,
+        ));
+    }
+
+    // Y10 — "number of checkins at {business}" (10): aggregation.
+    for business in BUSINESSES.iter().skip(10).take(10) {
+        cases.push(case(
+            next_id(),
+            format!("Count the checkins at {business}"),
+            vec![
+                select_agg("checkins", "checkin", "cid", Aggregate::Count),
+                filter_eq(business, "business", "name", business),
+            ],
+            &format!(
+                "SELECT COUNT(c.cid) FROM checkin c, business b \
+                 WHERE b.name = '{business}' AND c.business_id = b.business_id"
+            ),
+            CaseKind::Aggregate,
+            true,
+        ));
+    }
+
+    cases
+}
+
+/// Assemble the Yelp dataset.
+pub fn dataset() -> Dataset {
+    Dataset {
+        name: "Yelp".to_string(),
+        db: Arc::new(database()),
+        cases: cases(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_matches_table_ii_statistics() {
+        let s = schema();
+        assert_eq!(s.relations.len(), 7);
+        assert_eq!(s.attribute_count(), 38);
+        assert_eq!(s.foreign_keys.len(), 7);
+        assert!(s.validate().is_empty());
+    }
+
+    #[test]
+    fn benchmark_has_127_cases() {
+        assert_eq!(cases().len(), 127);
+    }
+
+    #[test]
+    fn every_gold_value_predicate_is_satisfiable() {
+        let db = database();
+        for case in cases() {
+            for pred in case.gold_sql.filter_predicates() {
+                let cols = pred.columns();
+                let Some(col) = cols.first() else { continue };
+                let Some(qualifier) = col.qualifier.as_deref() else { continue };
+                let relation = case
+                    .gold_sql
+                    .resolve_qualifier(qualifier)
+                    .unwrap_or_else(|| panic!("case {}: unresolved {qualifier}", case.id));
+                assert!(
+                    db.predicate_nonempty(relation, pred),
+                    "case {}: gold predicate `{pred}` selects no rows",
+                    case.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_match_table_ii() {
+        let stats = dataset().stats();
+        assert_eq!(
+            (stats.relations, stats.attributes, stats.fk_pk, stats.queries),
+            (7, 38, 7, 127)
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerate Figure 5 (Pipeline+ accuracy vs kappa, lambda = 0.8).
+
+use datasets::Dataset;
+use eval::experiments::fig5;
+
+fn main() {
+    let datasets = Dataset::all();
+    let kappas: Vec<usize> = (1..=10).collect();
+    let sweep = fig5(&datasets, &kappas);
+    println!("{}", sweep.render());
+    println!("{}", serde_json::to_string_pretty(&sweep).expect("serializable result"));
+}

@@ -1,0 +1,12 @@
+//! Regenerate Figure 6 (Pipeline+ accuracy vs lambda, kappa = 5).
+
+use datasets::Dataset;
+use eval::experiments::fig6;
+
+fn main() {
+    let datasets = Dataset::all();
+    let lambdas: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let sweep = fig6(&datasets, &lambdas);
+    println!("{}", sweep.render());
+    println!("{}", serde_json::to_string_pretty(&sweep).expect("serializable result"));
+}

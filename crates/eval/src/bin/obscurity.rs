@@ -1,0 +1,11 @@
+//! Regenerate the obscurity-level ablation (Section VII-B).
+
+use datasets::Dataset;
+use eval::experiments::obscurity;
+
+fn main() {
+    let datasets = Dataset::all();
+    let ablation = obscurity(&datasets);
+    println!("{}", ablation.render());
+    println!("{}", serde_json::to_string_pretty(&ablation).expect("serializable result"));
+}

@@ -1,0 +1,11 @@
+//! Regenerate Table II (dataset statistics).
+
+use datasets::Dataset;
+use eval::experiments::table2;
+
+fn main() {
+    let datasets = Dataset::all();
+    let table = table2(&datasets);
+    println!("{}", table.render());
+    println!("{}", serde_json::to_string_pretty(&table).expect("serializable result"));
+}

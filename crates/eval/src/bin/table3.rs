@@ -1,0 +1,13 @@
+//! Regenerate Table III (KW / FQ accuracy of NaLIR, NaLIR+, Pipeline,
+//! Pipeline+ on MAS, Yelp and IMDB).
+
+use datasets::Dataset;
+use eval::experiments::table3;
+use templar_core::TemplarConfig;
+
+fn main() {
+    let datasets = Dataset::all();
+    let table = table3(&datasets, &TemplarConfig::paper_defaults());
+    println!("{}", table.render());
+    println!("{}", serde_json::to_string_pretty(&table).expect("serializable result"));
+}

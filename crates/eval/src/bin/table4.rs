@@ -1,0 +1,12 @@
+//! Regenerate Table IV (effect of log-driven join inference on Pipeline+).
+
+use datasets::Dataset;
+use eval::experiments::table4;
+use templar_core::TemplarConfig;
+
+fn main() {
+    let datasets = Dataset::all();
+    let table = table4(&datasets, &TemplarConfig::paper_defaults());
+    println!("{}", table.render());
+    println!("{}", serde_json::to_string_pretty(&table).expect("serializable result"));
+}

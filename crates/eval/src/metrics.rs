@@ -1,0 +1,193 @@
+//! Accuracy metrics (Section VII-A.5).
+
+use nlidb::RankedSql;
+use serde::{Deserialize, Serialize};
+use sqlparse::{canonicalize, Query};
+use templar_core::{Keyword, MappedElement};
+
+/// A running accuracy counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Accuracy {
+    /// Number of correct cases.
+    pub correct: usize,
+    /// Total number of cases.
+    pub total: usize,
+}
+
+impl Accuracy {
+    /// Record one case.
+    pub fn record(&mut self, correct: bool) {
+        self.total += 1;
+        if correct {
+            self.correct += 1;
+        }
+    }
+
+    /// Accuracy as a percentage (0 when no cases were recorded).
+    pub fn percent(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// Merge another counter into this one.
+    pub fn merge(&mut self, other: Accuracy) {
+        self.correct += other.correct;
+        self.total += other.total;
+    }
+}
+
+/// Scores within this tolerance are considered tied.
+const TIE_EPSILON: f64 = 1e-9;
+
+/// Full-query (FQ) correctness: the top-ranked SQL query must be equivalent
+/// to the gold query, and there must be no *different* query tied for first
+/// place (the paper counts ties as incorrect, Section VII-A.5).
+pub fn fq_correct(results: &[RankedSql], gold: &Query) -> bool {
+    let Some(top) = results.first() else {
+        return false;
+    };
+    let gold_canon = canonicalize(gold);
+    let top_canon = canonicalize(&top.query);
+    if top_canon != gold_canon {
+        return false;
+    }
+    // Tie check: any other result with (numerically) the same score but a
+    // different canonical form makes the answer ambiguous.
+    for other in results.iter().skip(1) {
+        if (other.score - top.score).abs() < TIE_EPSILON && canonicalize(&other.query) != top_canon
+        {
+            return false;
+        }
+    }
+    true
+}
+
+/// Keyword-mapping (KW) correctness: every non-relation keyword of the gold
+/// hand parse must be mapped to its gold element by the system's top-ranked
+/// configuration (Section VII-B.2).
+pub fn kw_correct(
+    results: &[RankedSql],
+    keywords: &[Keyword],
+    gold_mappings: &[MappedElement],
+) -> bool {
+    let Some(top) = results.first() else {
+        return false;
+    };
+    let Some(config) = &top.configuration else {
+        return false;
+    };
+    for (keyword, gold) in keywords.iter().zip(gold_mappings.iter()) {
+        if matches!(gold, MappedElement::Relation(_)) {
+            continue;
+        }
+        let matched = config
+            .mappings
+            .iter()
+            .any(|m| m.keyword.text == keyword.text && &m.element == gold);
+        if !matched {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relational::AttributeRef;
+    use sqlparse::parse_query;
+    use templar_core::{Configuration, MappingCandidate};
+
+    fn ranked(sql: &str, score: f64) -> RankedSql {
+        RankedSql {
+            query: parse_query(sql).unwrap(),
+            score,
+            configuration: None,
+        }
+    }
+
+    #[test]
+    fn accuracy_percentages() {
+        let mut a = Accuracy::default();
+        assert_eq!(a.percent(), 0.0);
+        a.record(true);
+        a.record(false);
+        a.record(true);
+        assert!((a.percent() - 66.666).abs() < 0.01);
+        let mut b = Accuracy::default();
+        b.record(true);
+        a.merge(b);
+        assert_eq!(a.correct, 3);
+        assert_eq!(a.total, 4);
+    }
+
+    #[test]
+    fn fq_requires_equivalence_of_the_top_result() {
+        let gold = parse_query("SELECT p.title FROM publication p WHERE p.year > 2000").unwrap();
+        let right = ranked("SELECT x.title FROM publication x WHERE x.year > 2000", 0.9);
+        let wrong = ranked("SELECT j.name FROM journal j", 0.8);
+        assert!(fq_correct(&[right.clone(), wrong.clone()], &gold));
+        assert!(!fq_correct(&[wrong, right], &gold));
+        assert!(!fq_correct(&[], &gold));
+    }
+
+    #[test]
+    fn ties_for_first_place_count_as_incorrect() {
+        let gold = parse_query("SELECT p.title FROM publication p").unwrap();
+        let right = ranked("SELECT p.title FROM publication p", 0.9);
+        let tied_wrong = ranked("SELECT j.name FROM journal j", 0.9);
+        assert!(!fq_correct(&[right.clone(), tied_wrong], &gold));
+        // A tie between two renderings of the same query is fine.
+        let tied_same = ranked("SELECT pub.title FROM publication pub", 0.9);
+        assert!(fq_correct(&[right, tied_same], &gold));
+    }
+
+    #[test]
+    fn kw_checks_non_relation_mappings_only() {
+        let keywords = vec![Keyword::new("papers"), Keyword::new("TKDE")];
+        let gold = vec![
+            MappedElement::Attribute {
+                attr: AttributeRef::new("publication", "title"),
+                aggregates: vec![],
+                group_by: false,
+            },
+            MappedElement::Predicate {
+                attr: AttributeRef::new("journal", "name"),
+                op: sqlparse::BinOp::Eq,
+                value: sqlparse::Literal::String("TKDE".into()),
+            },
+        ];
+        let config = Configuration {
+            mappings: keywords
+                .iter()
+                .zip(gold.iter())
+                .map(|(k, g)| MappingCandidate {
+                    keyword: k.clone(),
+                    element: g.clone(),
+                    score: 1.0,
+                })
+                .collect(),
+            sigma_score: 1.0,
+            qfg_score: 1.0,
+            score: 1.0,
+        };
+        let mut result = ranked("SELECT p.title FROM publication p", 1.0);
+        result.configuration = Some(config);
+        assert!(kw_correct(&[result.clone()], &keywords, &gold));
+        // A wrong mapping for the value keyword breaks KW correctness.
+        let mut bad = result.clone();
+        if let Some(cfg) = &mut bad.configuration {
+            cfg.mappings[1].element = MappedElement::Predicate {
+                attr: AttributeRef::new("keyword", "keyword"),
+                op: sqlparse::BinOp::Eq,
+                value: sqlparse::Literal::String("TKDE".into()),
+            };
+        }
+        assert!(!kw_correct(&[bad], &keywords, &gold));
+        // No configuration at all -> incorrect.
+        assert!(!kw_correct(&[ranked("SELECT 1", 1.0)], &keywords, &gold));
+    }
+}

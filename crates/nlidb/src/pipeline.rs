@@ -1,0 +1,279 @@
+//! The Pipeline baseline and its Templar-augmented variant (Pipeline+).
+//!
+//! Pipeline implements the keyword mapping and join path inference steps of
+//! SQLizer \[41\] without the hand-written repair rules (Section VII-A.2 of
+//! the paper): keyword mappings are ranked purely by normalised
+//! word-embedding similarity, and join paths are always the minimum-length
+//! ones.  Pipeline+ keeps the same NLQ handling and SQL construction but
+//! defers keyword mapping and join path inference to Templar.
+//!
+//! Both are expressed as instances of the same translation driver over a
+//! [`Templar`] facade: the baseline simply runs Templar with `λ = 1`
+//! (similarity-only configuration scores), an empty query log and unit join
+//! weights, which makes it behave exactly as the SQLizer-style pipeline the
+//! paper describes.
+
+use crate::construct::construct_query;
+use crate::system::{Nlq, NlidbSystem, RankedSql};
+use relational::Database;
+use sqlparse::canonicalize;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use templar_core::{
+    BagItem, Configuration, Keyword, KeywordMetadata, MappedElement, QueryLog, Templar,
+    TemplarConfig,
+};
+
+/// How many of the top configurations are expanded into SQL candidates.
+const CONFIGS_PER_QUERY: usize = 6;
+
+/// A pipeline-style NLIDB (baseline or Templar-augmented).
+pub struct PipelineSystem {
+    name: String,
+    templar: Arc<Templar>,
+}
+
+impl PipelineSystem {
+    /// The vanilla Pipeline baseline: similarity-only keyword mapping and
+    /// minimum-length join paths (no query-log information at all).
+    pub fn baseline(db: Arc<Database>) -> Self {
+        let config = TemplarConfig::default()
+            .with_lambda(1.0)
+            .with_log_joins(false);
+        let templar = Templar::new(db, &QueryLog::new(), config);
+        PipelineSystem {
+            name: "Pipeline".to_string(),
+            templar: Arc::new(templar),
+        }
+    }
+
+    /// Pipeline+ — the baseline augmented with Templar using the given query
+    /// log and configuration.
+    pub fn augmented(db: Arc<Database>, log: &QueryLog, config: TemplarConfig) -> Self {
+        let templar = Templar::new(db, log, config);
+        PipelineSystem {
+            name: "Pipeline+".to_string(),
+            templar: Arc::new(templar),
+        }
+    }
+
+    /// Build from an existing Templar instance under a custom display name
+    /// (used by parameter-sweep experiments).
+    pub fn with_templar(name: impl Into<String>, templar: Arc<Templar>) -> Self {
+        PipelineSystem {
+            name: name.into(),
+            templar,
+        }
+    }
+
+    /// The underlying Templar facade.
+    pub fn templar(&self) -> &Templar {
+        &self.templar
+    }
+
+    /// The keywords this system feeds to keyword mapping.  Pipeline receives
+    /// the gold hand parse (Section VII-A.4).
+    fn parse(&self, nlq: &Nlq) -> Vec<(Keyword, KeywordMetadata)> {
+        nlq.keywords.clone()
+    }
+}
+
+/// Shared translation driver: map keywords, infer joins for the top
+/// configurations, construct SQL, and rank.
+pub(crate) fn translate_with(
+    templar: &Templar,
+    keywords: &[(Keyword, KeywordMetadata)],
+) -> Vec<RankedSql> {
+    let configurations = templar.map_keywords(keywords);
+    let mut results: Vec<RankedSql> = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for config in configurations.into_iter().take(CONFIGS_PER_QUERY) {
+        let bag = bag_of(&config);
+        if bag.is_empty() {
+            continue;
+        }
+        let Some(inference) = templar.infer_joins(&bag) else {
+            continue;
+        };
+        for scored_path in inference.paths.iter().take(2) {
+            let Some(query) = construct_query(&config, &inference, &scored_path.path) else {
+                continue;
+            };
+            let canonical = canonicalize(&query).to_string();
+            if !seen.insert(canonical) {
+                continue;
+            }
+            // The configuration score carries the keyword-mapping evidence;
+            // the join-path score only modulates it.  Blending (rather than
+            // multiplying outright) keeps a popular-but-irrelevant join edge
+            // from overriding a clearly better keyword mapping.
+            let score = config.score * (0.75 + 0.25 * scored_path.score);
+            results.push(RankedSql {
+                query,
+                score,
+                configuration: Some(config.clone()),
+            });
+        }
+    }
+    results.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.query.to_string().cmp(&b.query.to_string()))
+    });
+    results
+}
+
+/// The bag of relations/attributes implied by a configuration, handed to
+/// `INFERJOINS`.
+pub(crate) fn bag_of(config: &Configuration) -> Vec<BagItem> {
+    config
+        .mappings
+        .iter()
+        .map(|m| match &m.element {
+            MappedElement::Relation(r) => BagItem::Relation(r.clone()),
+            MappedElement::Attribute { attr, .. } | MappedElement::Predicate { attr, .. } => {
+                BagItem::Attribute(attr.clone())
+            }
+        })
+        .collect()
+}
+
+impl NlidbSystem for PipelineSystem {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn translate(&self, nlq: &Nlq) -> Vec<RankedSql> {
+        let keywords = self.parse(nlq);
+        translate_with(&self.templar, &keywords)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relational::{DataType, Schema};
+    use sqlparse::{canon, parse_query, BinOp};
+    use templar_core::QueryContext;
+
+    fn academic_db() -> Arc<Database> {
+        let schema = Schema::builder("academic")
+            .relation(
+                "publication",
+                &[
+                    ("pid", DataType::Integer),
+                    ("title", DataType::Text),
+                    ("year", DataType::Integer),
+                    ("jid", DataType::Integer),
+                ],
+                Some("pid"),
+            )
+            .relation(
+                "journal",
+                &[("jid", DataType::Integer), ("name", DataType::Text)],
+                Some("jid"),
+            )
+            .foreign_key("publication", "jid", "journal", "jid")
+            .build();
+        let mut db = Database::new(schema);
+        db.insert(
+            "publication",
+            vec![1.into(), "Query Processing".into(), 2003.into(), 1.into()],
+        )
+        .unwrap();
+        db.insert(
+            "publication",
+            vec![2.into(), "Data Integration".into(), 1997.into(), 2.into()],
+        )
+        .unwrap();
+        db.insert("journal", vec![1.into(), "TKDE".into()]).unwrap();
+        db.insert("journal", vec![2.into(), "TMC".into()]).unwrap();
+        Arc::new(db)
+    }
+
+    fn papers_after_2000() -> Nlq {
+        Nlq::new(
+            "Return the papers after 2000",
+            vec![
+                (
+                    Keyword::new("papers"),
+                    KeywordMetadata {
+                        context: QueryContext::Select,
+                        op: None,
+                        aggregates: vec![],
+                        group_by: false,
+                    },
+                ),
+                (
+                    Keyword::new("after 2000"),
+                    KeywordMetadata {
+                        context: QueryContext::Where,
+                        op: Some(BinOp::Gt),
+                        aggregates: vec![],
+                        group_by: false,
+                    },
+                ),
+            ],
+            vec![],
+        )
+    }
+
+    fn log() -> QueryLog {
+        QueryLog::from_sql([
+            "SELECT p.title FROM publication p WHERE p.year > 1995",
+            "SELECT p.title FROM publication p WHERE p.year > 2010",
+            "SELECT p.title FROM publication p, journal j WHERE j.name = 'TKDE' AND p.jid = j.jid",
+        ])
+        .0
+    }
+
+    #[test]
+    fn baseline_translates_a_simple_query() {
+        let system = PipelineSystem::baseline(academic_db());
+        assert_eq!(system.name(), "Pipeline");
+        let results = system.translate(&papers_after_2000());
+        assert!(!results.is_empty());
+        // Ranked best-first with scores in descending order.
+        for w in results.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn augmented_system_produces_the_intended_translation() {
+        let system =
+            PipelineSystem::augmented(academic_db(), &log(), TemplarConfig::default());
+        assert_eq!(system.name(), "Pipeline+");
+        let results = system.translate(&papers_after_2000());
+        assert!(!results.is_empty());
+        let gold =
+            parse_query("SELECT p.title FROM publication p WHERE p.year > 2000").unwrap();
+        assert!(
+            canon::equivalent(&results[0].query, &gold),
+            "top-1 was: {}",
+            results[0].query
+        );
+    }
+
+    #[test]
+    fn duplicate_translations_are_deduplicated() {
+        let system = PipelineSystem::baseline(academic_db());
+        let results = system.translate(&papers_after_2000());
+        let mut canon_forms: Vec<String> = results
+            .iter()
+            .map(|r| canonicalize(&r.query).to_string())
+            .collect();
+        let before = canon_forms.len();
+        canon_forms.sort();
+        canon_forms.dedup();
+        assert_eq!(before, canon_forms.len());
+    }
+
+    #[test]
+    fn empty_keywords_produce_no_translation() {
+        let system = PipelineSystem::baseline(academic_db());
+        let nlq = Nlq::new("gibberish", vec![], vec![]);
+        assert!(system.translate(&nlq).is_empty());
+    }
+}

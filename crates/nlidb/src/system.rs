@@ -1,0 +1,99 @@
+//! The common interface of all NLIDB systems under evaluation.
+
+use serde::{Deserialize, Serialize};
+use sqlparse::Query;
+use templar_core::{Configuration, Keyword, KeywordMetadata, MappedElement};
+
+/// A natural-language query together with its gold-standard hand parse.
+///
+/// The paper hand-parses each benchmark NLQ into keywords and metadata for
+/// the Pipeline systems (Section VII-A.4) and feeds the raw NLQ to NaLIR.  A
+/// benchmark case therefore carries both the raw text and the gold parse; the
+/// NaLIR systems run the gold parse through a noise model that reproduces the
+/// parser failure modes reported in the paper's error analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Nlq {
+    /// The natural-language question.
+    pub text: String,
+    /// Gold keywords with their parser metadata (the hand parse).
+    pub keywords: Vec<(Keyword, KeywordMetadata)>,
+    /// Gold keyword-to-element mappings, aligned with `keywords`.  Used by
+    /// the evaluation harness for the KW metric.
+    pub gold_mappings: Vec<MappedElement>,
+    /// True when the NLQ belongs to the class NaLIR's parser struggles with
+    /// (explicit relation references, nested structure, aggregates over
+    /// groups); see Section VII-C.
+    pub hard_for_parser: bool,
+}
+
+impl Nlq {
+    /// Construct an NLQ case.
+    pub fn new(
+        text: impl Into<String>,
+        keywords: Vec<(Keyword, KeywordMetadata)>,
+        gold_mappings: Vec<MappedElement>,
+    ) -> Self {
+        Nlq {
+            text: text.into(),
+            keywords,
+            gold_mappings,
+            hard_for_parser: false,
+        }
+    }
+
+    /// Mark the NLQ as hard for NaLIR's parser.
+    pub fn with_parser_difficulty(mut self, hard: bool) -> Self {
+        self.hard_for_parser = hard;
+        self
+    }
+}
+
+/// One ranked SQL translation produced by a system.
+#[derive(Debug, Clone)]
+pub struct RankedSql {
+    /// The produced SQL query.
+    pub query: Query,
+    /// The system's confidence score (larger is better).
+    pub score: f64,
+    /// The keyword-mapping configuration behind the query, when the system
+    /// exposes one (used for the KW accuracy metric).
+    pub configuration: Option<Configuration>,
+}
+
+/// A natural-language interface to a database.
+pub trait NlidbSystem {
+    /// The display name used in experiment tables (`Pipeline`, `Pipeline+`,
+    /// `NaLIR`, `NaLIR+`).
+    fn name(&self) -> &str;
+
+    /// Translate an NLQ into a ranked list of SQL queries (best first).
+    /// An empty vector means the system failed to produce any translation.
+    fn translate(&self, nlq: &Nlq) -> Vec<RankedSql>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use templar_core::QueryContext;
+
+    #[test]
+    fn nlq_builder_sets_fields() {
+        let nlq = Nlq::new(
+            "Return the papers after 2000",
+            vec![(
+                Keyword::new("papers"),
+                KeywordMetadata {
+                    context: QueryContext::Select,
+                    op: None,
+                    aggregates: vec![],
+                    group_by: false,
+                },
+            )],
+            vec![],
+        )
+        .with_parser_difficulty(true);
+        assert!(nlq.hard_for_parser);
+        assert_eq!(nlq.keywords.len(), 1);
+        assert_eq!(nlq.text, "Return the papers after 2000");
+    }
+}

@@ -1,0 +1,415 @@
+//! The Porter stemming algorithm (Porter, 1980).
+//!
+//! Algorithm 2 of the paper stems every whitespace-separated token of a
+//! keyword before running a boolean full-text search (`restaurant businesses`
+//! becomes `+restaur* +busi*`).  This module implements the classic
+//! five-step Porter stemmer over ASCII lower-case words; non-ASCII input is
+//! passed through with only lower-casing applied.
+
+/// Stem an English word with the Porter algorithm.
+///
+/// ```
+/// use nlp::stem::porter_stem;
+/// assert_eq!(porter_stem("businesses"), "busi");
+/// assert_eq!(porter_stem("restaurant"), "restaur");
+/// assert_eq!(porter_stem("papers"), "paper");
+/// ```
+pub fn porter_stem(word: &str) -> String {
+    let w = word.to_lowercase();
+    if w.len() <= 2 || !w.is_ascii() {
+        return w;
+    }
+    let mut s = Stemmer { b: w.into_bytes() };
+    s.step1a();
+    s.step1b();
+    s.step1c();
+    s.step2();
+    s.step3();
+    s.step4();
+    s.step5a();
+    s.step5b();
+    String::from_utf8(s.b).expect("stemmer operates on ASCII only")
+}
+
+struct Stemmer {
+    b: Vec<u8>,
+}
+
+impl Stemmer {
+    fn is_consonant(&self, i: usize) -> bool {
+        match self.b[i] {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => {
+                if i == 0 {
+                    true
+                } else {
+                    !self.is_consonant(i - 1)
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// The "measure" m of the stem ending at index `end` (inclusive):
+    /// the number of VC sequences in `[C](VC){m}[V]`.
+    fn measure(&self, end: usize) -> usize {
+        let mut m = 0;
+        let mut i = 0;
+        // skip initial consonants
+        while i <= end {
+            if !self.is_consonant(i) {
+                break;
+            }
+            i += 1;
+        }
+        if i > end {
+            return 0;
+        }
+        loop {
+            // skip vowels
+            while i <= end {
+                if self.is_consonant(i) {
+                    break;
+                }
+                i += 1;
+            }
+            if i > end {
+                return m;
+            }
+            m += 1;
+            // skip consonants
+            while i <= end {
+                if !self.is_consonant(i) {
+                    break;
+                }
+                i += 1;
+            }
+            if i > end {
+                return m;
+            }
+        }
+    }
+
+    fn has_vowel(&self, end: usize) -> bool {
+        (0..=end).any(|i| !self.is_consonant(i))
+    }
+
+    fn double_consonant(&self, i: usize) -> bool {
+        i >= 1 && self.b[i] == self.b[i - 1] && self.is_consonant(i)
+    }
+
+    /// cvc(i) is true when the letters at i-2, i-1, i are
+    /// consonant-vowel-consonant and the final consonant is not w, x or y.
+    fn cvc(&self, i: usize) -> bool {
+        if i < 2 || !self.is_consonant(i) || self.is_consonant(i - 1) || !self.is_consonant(i - 2) {
+            return false;
+        }
+        !matches!(self.b[i], b'w' | b'x' | b'y')
+    }
+
+    fn ends_with(&self, suffix: &str) -> bool {
+        let s = suffix.as_bytes();
+        self.b.len() >= s.len() && &self.b[self.b.len() - s.len()..] == s
+    }
+
+    /// The index of the last character of the stem if `suffix` were removed.
+    fn stem_end(&self, suffix: &str) -> Option<usize> {
+        if self.ends_with(suffix) && self.b.len() > suffix.len() {
+            Some(self.b.len() - suffix.len() - 1)
+        } else {
+            None
+        }
+    }
+
+    fn replace_suffix(&mut self, suffix: &str, replacement: &str) {
+        let keep = self.b.len() - suffix.len();
+        self.b.truncate(keep);
+        self.b.extend_from_slice(replacement.as_bytes());
+    }
+
+    /// Replace `suffix` by `replacement` if the measure of the stem is > `min_m`.
+    fn replace_if_m(&mut self, suffix: &str, replacement: &str, min_m: usize) -> bool {
+        if let Some(end) = self.stem_end(suffix) {
+            if self.measure(end) > min_m {
+                self.replace_suffix(suffix, replacement);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn step1a(&mut self) {
+        if self.ends_with("sses") {
+            self.replace_suffix("sses", "ss");
+        } else if self.ends_with("ies") {
+            self.replace_suffix("ies", "i");
+        } else if self.ends_with("ss") {
+            // no change
+        } else if self.ends_with("s") && self.b.len() > 1 {
+            self.replace_suffix("s", "");
+        }
+    }
+
+    fn step1b(&mut self) {
+        if let Some(end) = self.stem_end("eed") {
+            if self.measure(end) > 0 {
+                self.replace_suffix("eed", "ee");
+            }
+            return;
+        }
+        let removed = if let Some(end) = self.stem_end("ed") {
+            if self.has_vowel(end) {
+                self.replace_suffix("ed", "");
+                true
+            } else {
+                false
+            }
+        } else if let Some(end) = self.stem_end("ing") {
+            if self.has_vowel(end) {
+                self.replace_suffix("ing", "");
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+        if removed {
+            if self.ends_with("at") || self.ends_with("bl") || self.ends_with("iz") {
+                self.b.push(b'e');
+            } else if !self.b.is_empty() && self.double_consonant(self.b.len() - 1) {
+                let last = self.b[self.b.len() - 1];
+                if !matches!(last, b'l' | b's' | b'z') {
+                    self.b.pop();
+                }
+            } else if self.measure(self.b.len() - 1) == 1 && self.cvc(self.b.len() - 1) {
+                self.b.push(b'e');
+            }
+        }
+    }
+
+    fn step1c(&mut self) {
+        if let Some(end) = self.stem_end("y") {
+            if self.has_vowel(end) {
+                let n = self.b.len();
+                self.b[n - 1] = b'i';
+            }
+        }
+    }
+
+    fn step2(&mut self) {
+        const RULES: &[(&str, &str)] = &[
+            ("ational", "ate"),
+            ("tional", "tion"),
+            ("enci", "ence"),
+            ("anci", "ance"),
+            ("izer", "ize"),
+            ("abli", "able"),
+            ("alli", "al"),
+            ("entli", "ent"),
+            ("eli", "e"),
+            ("ousli", "ous"),
+            ("ization", "ize"),
+            ("ation", "ate"),
+            ("ator", "ate"),
+            ("alism", "al"),
+            ("iveness", "ive"),
+            ("fulness", "ful"),
+            ("ousness", "ous"),
+            ("aliti", "al"),
+            ("iviti", "ive"),
+            ("biliti", "ble"),
+        ];
+        for (suffix, replacement) in RULES {
+            if self.ends_with(suffix) {
+                self.replace_if_m(suffix, replacement, 0);
+                return;
+            }
+        }
+    }
+
+    fn step3(&mut self) {
+        const RULES: &[(&str, &str)] = &[
+            ("icate", "ic"),
+            ("ative", ""),
+            ("alize", "al"),
+            ("iciti", "ic"),
+            ("ical", "ic"),
+            ("ful", ""),
+            ("ness", ""),
+        ];
+        for (suffix, replacement) in RULES {
+            if self.ends_with(suffix) {
+                self.replace_if_m(suffix, replacement, 0);
+                return;
+            }
+        }
+    }
+
+    fn step4(&mut self) {
+        const RULES: &[&str] = &[
+            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ou",
+            "ism", "ate", "iti", "ous", "ive", "ize",
+        ];
+        // special case: (s|t)ion
+        if let Some(end) = self.stem_end("ion") {
+            if (self.b[end] == b's' || self.b[end] == b't') && self.measure(end) > 1 {
+                self.replace_suffix("ion", "");
+                return;
+            }
+        }
+        for suffix in RULES {
+            if self.ends_with(suffix) {
+                if let Some(end) = self.stem_end(suffix) {
+                    if self.measure(end) > 1 {
+                        self.replace_suffix(suffix, "");
+                    }
+                }
+                return;
+            }
+        }
+    }
+
+    fn step5a(&mut self) {
+        if let Some(end) = self.stem_end("e") {
+            let m = self.measure(end);
+            if m > 1 || (m == 1 && !self.cvc(end)) {
+                self.replace_suffix("e", "");
+            }
+        }
+    }
+
+    fn step5b(&mut self) {
+        let n = self.b.len();
+        if n > 1 && self.b[n - 1] == b'l' && self.double_consonant(n - 1) && self.measure(n - 1) > 1
+        {
+            self.b.pop();
+        }
+    }
+}
+
+/// Stem every token of a phrase, returning the stemmed tokens in order.
+pub fn stem_tokens(tokens: &[String]) -> Vec<String> {
+    tokens.iter().map(|t| porter_stem(t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_vectors() {
+        // Reference outputs from the original Porter (1980) test vocabulary.
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("digitizer", "digit"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(porter_stem(input), expected, "input: {input}");
+        }
+    }
+
+    #[test]
+    fn domain_vocabulary() {
+        assert_eq!(porter_stem("restaurant"), "restaur");
+        assert_eq!(porter_stem("businesses"), "busi");
+        assert_eq!(porter_stem("papers"), "paper");
+        assert_eq!(porter_stem("publications"), "public");
+        assert_eq!(porter_stem("movies"), "movi");
+        assert_eq!(porter_stem("reviews"), "review");
+    }
+
+    #[test]
+    fn short_words_are_unchanged() {
+        assert_eq!(porter_stem("is"), "is");
+        assert_eq!(porter_stem("a"), "a");
+        assert_eq!(porter_stem("by"), "by");
+    }
+
+    #[test]
+    fn stemming_is_idempotent_on_common_words() {
+        for w in ["restaurant", "paper", "journal", "review", "actor", "domain"] {
+            let once = porter_stem(w);
+            let twice = porter_stem(&once);
+            // Porter is not idempotent in general, but should be stable for
+            // our schema vocabulary, which keyword matching relies on.
+            assert_eq!(once, twice, "word: {w}");
+        }
+    }
+
+    #[test]
+    fn non_ascii_passes_through() {
+        assert_eq!(porter_stem("café"), "café");
+    }
+
+    #[test]
+    fn stem_tokens_maps_each_token() {
+        let toks = vec!["restaurant".to_string(), "businesses".to_string()];
+        assert_eq!(stem_tokens(&toks), vec!["restaur", "busi"]);
+    }
+}

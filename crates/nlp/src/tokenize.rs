@@ -1,0 +1,200 @@
+//! Tokenization of natural-language keyword phrases and SQL identifiers.
+//!
+//! Keywords handed to the keyword mapper (Algorithm 2 of the paper) are short
+//! phrases such as `"restaurant businesses"`, `"after 2000"` or
+//! `"movie Saving Private Ryan"`.  Database element names are SQL identifiers
+//! such as `publication_keyword` or `domain.name`.  Both are reduced to a
+//! sequence of lower-case word tokens; numeric tokens are recognised so that
+//! Algorithm 2 can route keywords containing numbers to numeric predicates.
+
+/// The lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// A run of alphabetic characters (`papers`, `after`).
+    Word,
+    /// A run of digits, optionally with a decimal point (`2000`, `4.5`).
+    Number,
+}
+
+/// A single token produced by [`tokenize`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Token {
+    /// The token text, lower-cased for [`TokenKind::Word`] tokens.
+    pub text: String,
+    /// The lexical class of the token.
+    pub kind: TokenKind,
+}
+
+impl Token {
+    /// Create a word token (lower-casing the input).
+    pub fn word(text: &str) -> Self {
+        Token {
+            text: text.to_lowercase(),
+            kind: TokenKind::Word,
+        }
+    }
+
+    /// Create a number token.
+    pub fn number(text: &str) -> Self {
+        Token {
+            text: text.to_string(),
+            kind: TokenKind::Number,
+        }
+    }
+
+    /// True when the token is a number.
+    pub fn is_number(&self) -> bool {
+        self.kind == TokenKind::Number
+    }
+}
+
+/// Tokenize a natural-language phrase or SQL identifier into word and number
+/// tokens.
+///
+/// Splitting happens on whitespace, punctuation, underscores and
+/// lower-to-upper camel-case boundaries.  Word tokens are lower-cased; number
+/// tokens keep their textual form (so `"4.5"` stays `"4.5"`).
+///
+/// ```
+/// use nlp::tokenize::{tokenize, TokenKind};
+/// let toks = tokenize("after 2000");
+/// assert_eq!(toks.len(), 2);
+/// assert_eq!(toks[0].text, "after");
+/// assert_eq!(toks[1].kind, TokenKind::Number);
+/// ```
+pub fn tokenize(input: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut seen_dot = false;
+            while i < chars.len()
+                && (chars[i].is_ascii_digit() || (chars[i] == '.' && !seen_dot && i + 1 < chars.len() && chars[i + 1].is_ascii_digit()))
+            {
+                if chars[i] == '.' {
+                    seen_dot = true;
+                }
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            tokens.push(Token::number(&text));
+        } else if c.is_alphabetic() {
+            let start = i;
+            while i < chars.len() && chars[i].is_alphabetic() {
+                // break on camel-case boundary: a lowercase char followed by
+                // an uppercase char ends the current token.
+                if i > start && chars[i].is_uppercase() && chars[i - 1].is_lowercase() {
+                    break;
+                }
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            tokens.push(Token::word(&text));
+        } else {
+            // punctuation, whitespace, underscores: skip.
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Tokenize and return only the lower-cased token texts.
+pub fn tokenize_lower(input: &str) -> Vec<String> {
+    tokenize(input).into_iter().map(|t| t.text).collect()
+}
+
+/// Split a SQL identifier (snake_case or camelCase) into its constituent
+/// lower-case words.
+///
+/// ```
+/// use nlp::tokenize::split_identifier;
+/// assert_eq!(split_identifier("publication_keyword"), vec!["publication", "keyword"]);
+/// assert_eq!(split_identifier("reviewCount"), vec!["review", "count"]);
+/// ```
+pub fn split_identifier(ident: &str) -> Vec<String> {
+    tokenize(ident)
+        .into_iter()
+        .filter(|t| t.kind == TokenKind::Word)
+        .map(|t| t.text)
+        .collect()
+}
+
+/// True when the phrase contains at least one numeric token
+/// (`containsNumber(s)` in Algorithm 2).
+pub fn contains_number(input: &str) -> bool {
+    tokenize(input).iter().any(Token::is_number)
+}
+
+/// Extract all numeric tokens from the phrase, parsed as `f64`
+/// (`extractNumber(s)` in Algorithm 2; the paper extracts one number, we
+/// return all in order and callers use the first).
+pub fn extract_numbers(input: &str) -> Vec<f64> {
+    tokenize(input)
+        .into_iter()
+        .filter(|t| t.is_number())
+        .filter_map(|t| t.text.parse::<f64>().ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_words_and_numbers() {
+        let toks = tokenize("Find papers after 2000");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["find", "papers", "after", "2000"]);
+        assert_eq!(toks[3].kind, TokenKind::Number);
+    }
+
+    #[test]
+    fn tokenizes_decimal_numbers() {
+        let toks = tokenize("rating above 4.5 stars");
+        assert_eq!(toks[2].text, "4.5");
+        assert_eq!(toks[2].kind, TokenKind::Number);
+    }
+
+    #[test]
+    fn splits_snake_case_identifiers() {
+        assert_eq!(
+            split_identifier("domain_conference"),
+            vec!["domain", "conference"]
+        );
+    }
+
+    #[test]
+    fn splits_camel_case_identifiers() {
+        assert_eq!(split_identifier("reviewCount"), vec!["review", "count"]);
+        assert_eq!(split_identifier("HTTPServer"), vec!["httpserver"]);
+    }
+
+    #[test]
+    fn detects_numbers() {
+        assert!(contains_number("after 2000"));
+        assert!(contains_number("more than 5 papers"));
+        assert!(!contains_number("restaurant businesses"));
+    }
+
+    #[test]
+    fn extracts_numbers() {
+        assert_eq!(extract_numbers("between 1995 and 2005"), vec![1995.0, 2005.0]);
+        assert_eq!(extract_numbers("rating 4.5"), vec![4.5]);
+        assert!(extract_numbers("no numbers here").is_empty());
+    }
+
+    #[test]
+    fn empty_input_yields_no_tokens() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   .,;  ").is_empty());
+    }
+
+    #[test]
+    fn punctuation_is_skipped() {
+        let texts = tokenize_lower("O'Brien, J. (2019)");
+        assert_eq!(texts, vec!["o", "brien", "j", "2019"]);
+    }
+}

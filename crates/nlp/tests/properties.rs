@@ -1,0 +1,57 @@
+//! Property-based tests for the NLP substrate.
+
+use nlp::{porter_stem, tokenize, SimilarityModel, TextSimilarity, WordModel};
+use proptest::prelude::*;
+
+proptest! {
+    /// Stemming never panics and never produces a longer word.
+    #[test]
+    fn stem_never_grows(word in "[a-zA-Z]{1,20}") {
+        let stem = porter_stem(&word);
+        prop_assert!(stem.len() <= word.len());
+        prop_assert!(!stem.is_empty());
+    }
+
+    /// Tokenization never panics and all word tokens are lower-case.
+    #[test]
+    fn tokens_are_lowercase(input in ".{0,80}") {
+        for tok in tokenize(&input) {
+            if tok.kind == nlp::TokenKind::Word {
+                prop_assert_eq!(tok.text.clone(), tok.text.to_lowercase());
+            }
+        }
+    }
+
+    /// Word similarity is symmetric and bounded.
+    #[test]
+    fn word_similarity_symmetric(a in "[a-z]{1,12}", b in "[a-z]{1,12}") {
+        let m = WordModel::new();
+        let ab = m.word_similarity(&a, &b);
+        let ba = m.word_similarity(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab));
+    }
+
+    /// A word is always maximally similar to itself.
+    #[test]
+    fn self_similarity_is_one(a in "[a-z]{1,12}") {
+        let m = WordModel::new();
+        prop_assert_eq!(m.word_similarity(&a, &a), 1.0);
+    }
+
+    /// Phrase similarity through the SimilarityModel trait stays in [0, 1].
+    #[test]
+    fn phrase_similarity_bounded(a in "[a-z ]{0,30}", b in "[a-z_ ]{0,30}") {
+        let sim = TextSimilarity::new();
+        let s = sim.similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    /// Numeric extraction finds every integer literal embedded in a phrase.
+    #[test]
+    fn extract_numbers_finds_integers(n in 0u32..100_000) {
+        let phrase = format!("after {n}");
+        let nums = nlp::extract_numbers(&phrase);
+        prop_assert_eq!(nums, vec![n as f64]);
+    }
+}

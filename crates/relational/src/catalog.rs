@@ -1,0 +1,353 @@
+//! The database catalog: relations, attributes and FK-PK relationships.
+
+use crate::types::DataType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An attribute (column) of a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Attribute name.
+    pub name: String,
+    /// Declared type.
+    pub data_type: DataType,
+}
+
+impl Attribute {
+    /// Construct an attribute.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Attribute {
+            name: name.into(),
+            data_type,
+        }
+    }
+}
+
+/// A fully-qualified reference to an attribute (`relation.attribute`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AttributeRef {
+    /// The relation name.
+    pub relation: String,
+    /// The attribute name.
+    pub attribute: String,
+}
+
+impl AttributeRef {
+    /// Construct a reference.
+    pub fn new(relation: impl Into<String>, attribute: impl Into<String>) -> Self {
+        AttributeRef {
+            relation: relation.into(),
+            attribute: attribute.into(),
+        }
+    }
+}
+
+impl fmt::Display for AttributeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.relation, self.attribute)
+    }
+}
+
+/// A relation (table) in the catalog.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Relation {
+    /// Relation name.
+    pub name: String,
+    /// Attributes in declaration order.
+    pub attributes: Vec<Attribute>,
+    /// The primary-key attribute, if declared.
+    pub primary_key: Option<String>,
+}
+
+impl Relation {
+    /// Index of an attribute by name (case-insensitive).
+    pub fn attribute_index(&self, name: &str) -> Option<usize> {
+        self.attributes
+            .iter()
+            .position(|a| a.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Look up an attribute by name (case-insensitive).
+    pub fn attribute(&self, name: &str) -> Option<&Attribute> {
+        self.attribute_index(name).map(|i| &self.attributes[i])
+    }
+}
+
+/// A foreign-key / primary-key relationship between two relations.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ForeignKey {
+    /// The relation holding the foreign key.
+    pub from_relation: String,
+    /// The foreign-key attribute.
+    pub from_attribute: String,
+    /// The referenced relation.
+    pub to_relation: String,
+    /// The referenced (primary-key) attribute.
+    pub to_attribute: String,
+}
+
+impl fmt::Display for ForeignKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}.{} -> {}.{}",
+            self.from_relation, self.from_attribute, self.to_relation, self.to_attribute
+        )
+    }
+}
+
+/// A database schema: the full catalog of relations and FK-PK edges.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    /// Human-readable name of the schema (e.g. `"mas"`).
+    pub name: String,
+    /// All relations.
+    pub relations: Vec<Relation>,
+    /// All FK-PK relationships.
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl Schema {
+    /// Start building a schema.
+    pub fn builder(name: impl Into<String>) -> SchemaBuilder {
+        SchemaBuilder {
+            schema: Schema {
+                name: name.into(),
+                relations: Vec::new(),
+                foreign_keys: Vec::new(),
+            },
+        }
+    }
+
+    /// Look up a relation by name (case-insensitive).
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations
+            .iter()
+            .find(|r| r.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Look up an attribute by qualified reference.
+    pub fn attribute(&self, attr: &AttributeRef) -> Option<&Attribute> {
+        self.relation(&attr.relation)?.attribute(&attr.attribute)
+    }
+
+    /// True when the schema declares this relation.
+    pub fn has_relation(&self, name: &str) -> bool {
+        self.relation(name).is_some()
+    }
+
+    /// All relation names.
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.relations.iter().map(|r| r.name.as_str()).collect()
+    }
+
+    /// All attributes as qualified references, in catalog order.
+    pub fn attribute_refs(&self) -> Vec<AttributeRef> {
+        self.relations
+            .iter()
+            .flat_map(|r| {
+                r.attributes
+                    .iter()
+                    .map(move |a| AttributeRef::new(r.name.clone(), a.name.clone()))
+            })
+            .collect()
+    }
+
+    /// Total number of attributes across all relations.
+    pub fn attribute_count(&self) -> usize {
+        self.relations.iter().map(|r| r.attributes.len()).sum()
+    }
+
+    /// The FK-PK edges adjacent to a relation (either direction).
+    pub fn foreign_keys_of(&self, relation: &str) -> Vec<&ForeignKey> {
+        self.foreign_keys
+            .iter()
+            .filter(|fk| {
+                fk.from_relation.eq_ignore_ascii_case(relation)
+                    || fk.to_relation.eq_ignore_ascii_case(relation)
+            })
+            .collect()
+    }
+
+    /// Verify internal consistency: every FK endpoint must exist and every
+    /// declared primary key must be an attribute of its relation.  Returns a
+    /// list of human-readable problems (empty when the schema is valid).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for r in &self.relations {
+            if let Some(pk) = &r.primary_key {
+                if r.attribute(pk).is_none() {
+                    problems.push(format!("relation {} declares missing primary key {pk}", r.name));
+                }
+            }
+            let mut seen = std::collections::HashSet::new();
+            for a in &r.attributes {
+                if !seen.insert(a.name.to_lowercase()) {
+                    problems.push(format!("relation {} has duplicate attribute {}", r.name, a.name));
+                }
+            }
+        }
+        let mut seen_rel = std::collections::HashSet::new();
+        for r in &self.relations {
+            if !seen_rel.insert(r.name.to_lowercase()) {
+                problems.push(format!("duplicate relation {}", r.name));
+            }
+        }
+        for fk in &self.foreign_keys {
+            if self
+                .attribute(&AttributeRef::new(&fk.from_relation, &fk.from_attribute))
+                .is_none()
+            {
+                problems.push(format!("foreign key {fk} has missing source attribute"));
+            }
+            if self
+                .attribute(&AttributeRef::new(&fk.to_relation, &fk.to_attribute))
+                .is_none()
+            {
+                problems.push(format!("foreign key {fk} has missing target attribute"));
+            }
+        }
+        problems
+    }
+}
+
+/// Fluent builder for [`Schema`].
+#[derive(Debug, Clone)]
+pub struct SchemaBuilder {
+    schema: Schema,
+}
+
+impl SchemaBuilder {
+    /// Add a relation.  `attributes` is a list of `(name, type)` pairs; the
+    /// first attribute is taken to be the primary key when `pk_first` is
+    /// true.
+    pub fn relation(
+        mut self,
+        name: &str,
+        attributes: &[(&str, DataType)],
+        primary_key: Option<&str>,
+    ) -> Self {
+        self.schema.relations.push(Relation {
+            name: name.to_string(),
+            attributes: attributes
+                .iter()
+                .map(|(n, t)| Attribute::new(*n, *t))
+                .collect(),
+            primary_key: primary_key.map(|s| s.to_string()),
+        });
+        self
+    }
+
+    /// Add a FK-PK relationship.
+    pub fn foreign_key(
+        mut self,
+        from_relation: &str,
+        from_attribute: &str,
+        to_relation: &str,
+        to_attribute: &str,
+    ) -> Self {
+        self.schema.foreign_keys.push(ForeignKey {
+            from_relation: from_relation.to_string(),
+            from_attribute: from_attribute.to_string(),
+            to_relation: to_relation.to_string(),
+            to_attribute: to_attribute.to_string(),
+        });
+        self
+    }
+
+    /// Finish building, panicking on an inconsistent schema.  Schemas are
+    /// static program data in this repository, so failing fast is the right
+    /// behaviour.
+    pub fn build(self) -> Schema {
+        let problems = self.schema.validate();
+        assert!(
+            problems.is_empty(),
+            "invalid schema {}: {}",
+            self.schema.name,
+            problems.join("; ")
+        );
+        self.schema
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_schema() -> Schema {
+        Schema::builder("test")
+            .relation(
+                "publication",
+                &[
+                    ("pid", DataType::Integer),
+                    ("title", DataType::Text),
+                    ("year", DataType::Integer),
+                    ("jid", DataType::Integer),
+                ],
+                Some("pid"),
+            )
+            .relation(
+                "journal",
+                &[("jid", DataType::Integer), ("name", DataType::Text)],
+                Some("jid"),
+            )
+            .foreign_key("publication", "jid", "journal", "jid")
+            .build()
+    }
+
+    #[test]
+    fn lookup_by_name_is_case_insensitive() {
+        let s = small_schema();
+        assert!(s.relation("Publication").is_some());
+        assert!(s
+            .attribute(&AttributeRef::new("journal", "NAME"))
+            .is_some());
+        assert!(s.relation("missing").is_none());
+    }
+
+    #[test]
+    fn attribute_refs_enumerates_all_columns() {
+        let s = small_schema();
+        assert_eq!(s.attribute_refs().len(), 6);
+        assert_eq!(s.attribute_count(), 6);
+    }
+
+    #[test]
+    fn foreign_keys_of_finds_both_directions() {
+        let s = small_schema();
+        assert_eq!(s.foreign_keys_of("publication").len(), 1);
+        assert_eq!(s.foreign_keys_of("journal").len(), 1);
+    }
+
+    #[test]
+    fn validation_catches_dangling_foreign_keys() {
+        let schema = Schema {
+            name: "bad".into(),
+            relations: vec![Relation {
+                name: "a".into(),
+                attributes: vec![Attribute::new("id", DataType::Integer)],
+                primary_key: Some("id".into()),
+            }],
+            foreign_keys: vec![ForeignKey {
+                from_relation: "a".into(),
+                from_attribute: "id".into(),
+                to_relation: "missing".into(),
+                to_attribute: "id".into(),
+            }],
+        };
+        assert_eq!(schema.validate().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid schema")]
+    fn builder_panics_on_invalid_schema() {
+        let _ = Schema::builder("bad")
+            .relation("a", &[("id", DataType::Integer)], Some("missing_pk"))
+            .build();
+    }
+
+    #[test]
+    fn attribute_ref_display() {
+        assert_eq!(AttributeRef::new("journal", "name").to_string(), "journal.name");
+    }
+}

@@ -1,0 +1,192 @@
+//! Boolean-mode full-text search over text attributes.
+//!
+//! Algorithm 2 of the paper maps non-numeric keywords to value predicates by
+//! running, for every text attribute, a MySQL boolean full-text query built
+//! from the Porter-stemmed keyword tokens (`'+restaur* +busi*'`).  This
+//! module provides the equivalent: an inverted index from stemmed tokens to
+//! the `(relation, attribute, value)` triples whose value contains a word
+//! with that stem prefix, and a conjunctive prefix query over it.
+
+use crate::catalog::AttributeRef;
+use nlp::{porter_stem, tokenize_lower};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A distinct text value of one attribute that matched a full-text query.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TextMatch {
+    /// The attribute holding the value.
+    pub attribute: AttributeRef,
+    /// The matching stored value.
+    pub value: String,
+}
+
+/// Identifier of a distinct (attribute, value) pair inside the index.
+type EntryId = usize;
+
+/// The inverted index.
+#[derive(Debug, Clone, Default)]
+pub struct FullTextIndex {
+    /// All indexed (attribute, value) pairs.
+    entries: Vec<TextMatch>,
+    /// stemmed token -> entry ids containing that token.
+    postings: BTreeMap<String, BTreeSet<EntryId>>,
+}
+
+impl FullTextIndex {
+    /// Create an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index a distinct text value of an attribute.
+    pub fn index_value(&mut self, attribute: AttributeRef, value: &str) {
+        let entry = TextMatch {
+            attribute,
+            value: value.to_string(),
+        };
+        // Avoid duplicate entries for repeated values.
+        if self.entries.contains(&entry) {
+            return;
+        }
+        let id = self.entries.len();
+        for token in tokenize_lower(value) {
+            let stem = porter_stem(&token);
+            self.postings.entry(stem).or_default().insert(id);
+        }
+        self.entries.push(entry);
+    }
+
+    /// Number of indexed (attribute, value) pairs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entry ids whose indexed value contains a token whose stem starts with
+    /// `stem_prefix` (the `+tok*` semantics of MySQL boolean mode).
+    fn ids_with_prefix(&self, stem_prefix: &str) -> BTreeSet<EntryId> {
+        let mut out = BTreeSet::new();
+        // Range scan over the BTreeMap: all keys with the given prefix.
+        for (key, ids) in self.postings.range(stem_prefix.to_string()..) {
+            if !key.starts_with(stem_prefix) {
+                break;
+            }
+            out.extend(ids.iter().copied());
+        }
+        out
+    }
+
+    /// Run a conjunctive prefix query: every token of `phrase` (after
+    /// stemming) must appear as a word-stem prefix in the value.  Tokens
+    /// listed in `ignore` (already-matched relation/attribute words, see
+    /// Section V-A) are skipped.  Returns the matching values grouped per
+    /// attribute.
+    pub fn boolean_search(&self, phrase: &str, ignore: &[String]) -> Vec<TextMatch> {
+        let ignore_stems: BTreeSet<String> = ignore.iter().map(|t| porter_stem(t)).collect();
+        let stems: Vec<String> = tokenize_lower(phrase)
+            .into_iter()
+            .map(|t| porter_stem(&t))
+            .filter(|s| !ignore_stems.contains(s))
+            .collect();
+        if stems.is_empty() {
+            return Vec::new();
+        }
+        let mut result: Option<BTreeSet<EntryId>> = None;
+        for stem in &stems {
+            let ids = self.ids_with_prefix(stem);
+            result = Some(match result {
+                None => ids,
+                Some(acc) => acc.intersection(&ids).copied().collect(),
+            });
+            if result.as_ref().map(BTreeSet::is_empty).unwrap_or(false) {
+                return Vec::new();
+            }
+        }
+        result
+            .unwrap_or_default()
+            .into_iter()
+            .map(|id| self.entries[id].clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attr(rel: &str, a: &str) -> AttributeRef {
+        AttributeRef::new(rel, a)
+    }
+
+    fn sample_index() -> FullTextIndex {
+        let mut idx = FullTextIndex::new();
+        idx.index_value(attr("business", "name"), "Joe's Restaurant");
+        idx.index_value(attr("business", "name"), "Taco Palace");
+        idx.index_value(attr("category", "name"), "Restaurants");
+        idx.index_value(attr("movie", "title"), "Saving Private Ryan");
+        idx.index_value(attr("domain", "name"), "Databases");
+        idx
+    }
+
+    #[test]
+    fn single_token_prefix_search() {
+        let idx = sample_index();
+        let matches = idx.boolean_search("restaurant", &[]);
+        let attrs: BTreeSet<String> = matches.iter().map(|m| m.attribute.to_string()).collect();
+        assert!(attrs.contains("business.name"));
+        assert!(attrs.contains("category.name"));
+        assert_eq!(matches.len(), 2);
+    }
+
+    #[test]
+    fn conjunctive_search_requires_all_tokens() {
+        let idx = sample_index();
+        let matches = idx.boolean_search("saving private ryan", &[]);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].value, "Saving Private Ryan");
+        assert!(idx.boolean_search("saving public ryan", &[]).is_empty());
+    }
+
+    #[test]
+    fn plural_and_singular_match_via_stemming() {
+        let idx = sample_index();
+        // "Databases" stored, "database" searched
+        assert_eq!(idx.boolean_search("database", &[]).len(), 1);
+        // "Restaurants" stored in category, "restaurant businesses" searched:
+        // only values containing both stems match, so nothing here...
+        assert!(idx.boolean_search("restaurant businesses", &[]).is_empty());
+    }
+
+    #[test]
+    fn ignore_tokens_are_removed_from_the_query() {
+        let idx = sample_index();
+        // Mirrors the paper's example: when matching "movie Saving Private
+        // Ryan" against an attribute of the `movie` relation, the token
+        // "movie" is removed before searching.
+        let matches = idx.boolean_search("movie Saving Private Ryan", &["movie".to_string()]);
+        assert_eq!(matches.len(), 1);
+        let none = idx.boolean_search("movie Saving Private Ryan", &[]);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn duplicate_values_are_indexed_once() {
+        let mut idx = FullTextIndex::new();
+        idx.index_value(attr("journal", "name"), "TKDE");
+        idx.index_value(attr("journal", "name"), "TKDE");
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn empty_query_matches_nothing() {
+        let idx = sample_index();
+        assert!(idx.boolean_search("", &[]).is_empty());
+        assert!(idx
+            .boolean_search("movie", &["movie".to_string()])
+            .is_empty());
+    }
+}

@@ -1,0 +1,230 @@
+//! Evaluation of single-relation predicates against stored rows.
+//!
+//! Algorithm 3 of the paper executes candidate predicates (`exec(c)`) to
+//! verify that they select at least one tuple; this module implements the
+//! per-row test.  Only single-relation predicates are supported — join
+//! conditions are never executed, they are handled symbolically by the join
+//! path generator.
+
+use crate::types::Value;
+use sqlparse::{BinOp, Expr, Literal, Predicate};
+
+/// Compare a stored value against a SQL literal with the given operator.
+pub fn compare_value(value: &Value, op: BinOp, literal: &Literal) -> bool {
+    match (value, literal) {
+        (Value::Null, _) | (_, Literal::Null) => false,
+        (v, Literal::Number(n)) => match v.as_f64() {
+            Some(x) => compare_f64(x, op, *n),
+            None => false,
+        },
+        (Value::Text(s), Literal::String(t)) => compare_text(s, op, t),
+        _ => false,
+    }
+}
+
+fn compare_f64(x: f64, op: BinOp, y: f64) -> bool {
+    match op {
+        BinOp::Eq => (x - y).abs() < 1e-9,
+        BinOp::NotEq => (x - y).abs() >= 1e-9,
+        BinOp::Lt => x < y,
+        BinOp::LtEq => x <= y,
+        BinOp::Gt => x > y,
+        BinOp::GtEq => x >= y,
+        BinOp::Like => false,
+    }
+}
+
+fn compare_text(s: &str, op: BinOp, t: &str) -> bool {
+    match op {
+        BinOp::Eq => s.eq_ignore_ascii_case(t),
+        BinOp::NotEq => !s.eq_ignore_ascii_case(t),
+        BinOp::Like => s.to_lowercase().contains(&t.to_lowercase().replace('%', "")),
+        BinOp::Lt => s.to_lowercase() < t.to_lowercase(),
+        BinOp::LtEq => s.to_lowercase() <= t.to_lowercase(),
+        BinOp::Gt => s.to_lowercase() > t.to_lowercase(),
+        BinOp::GtEq => s.to_lowercase() >= t.to_lowercase(),
+    }
+}
+
+/// Evaluate a predicate against a row, where `lookup` resolves a column name
+/// to its value in the row.  Qualifiers on column references are ignored —
+/// the caller has already chosen which relation's rows to scan.
+///
+/// Returns `None` when the predicate is not a single-relation predicate our
+/// engine can evaluate (e.g. a column-to-column join condition).
+pub fn evaluate(pred: &Predicate, lookup: &dyn Fn(&str) -> Option<Value>) -> Option<bool> {
+    match pred {
+        Predicate::Compare { left, op, right } => match (left, right) {
+            (Expr::Column(c), Expr::Literal(l)) => {
+                let v = lookup(&c.column)?;
+                Some(compare_value(&v, *op, l))
+            }
+            (Expr::Literal(l), Expr::Column(c)) => {
+                let v = lookup(&c.column)?;
+                Some(compare_value(&v, flip(*op), l))
+            }
+            _ => None,
+        },
+        Predicate::In {
+            col,
+            values,
+            negated,
+        } => {
+            let v = lookup(&col.column)?;
+            let found = values.iter().any(|l| compare_value(&v, BinOp::Eq, l));
+            Some(found != *negated)
+        }
+        Predicate::Between { col, low, high } => {
+            let v = lookup(&col.column)?;
+            Some(compare_value(&v, BinOp::GtEq, low) && compare_value(&v, BinOp::LtEq, high))
+        }
+        Predicate::IsNull { col, negated } => {
+            let v = lookup(&col.column)?;
+            Some(v.is_null() != *negated)
+        }
+    }
+}
+
+/// Flip a comparison operator, for when the literal is on the left.
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::LtEq => BinOp::GtEq,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::GtEq => BinOp::LtEq,
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlparse::ColumnRef;
+
+    fn lookup_year_2003(name: &str) -> Option<Value> {
+        match name {
+            "year" => Some(Value::Int(2003)),
+            "name" => Some(Value::Text("TKDE".into())),
+            "rating" => Some(Value::Null),
+            _ => None,
+        }
+    }
+
+    fn compare(col: &str, op: BinOp, lit: Literal) -> Predicate {
+        Predicate::Compare {
+            left: Expr::Column(ColumnRef::new(col)),
+            op,
+            right: Expr::Literal(lit),
+        }
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let l = |n: f64| Literal::Number(n);
+        assert_eq!(
+            evaluate(&compare("year", BinOp::Gt, l(2000.0)), &lookup_year_2003),
+            Some(true)
+        );
+        assert_eq!(
+            evaluate(&compare("year", BinOp::Lt, l(2000.0)), &lookup_year_2003),
+            Some(false)
+        );
+        assert_eq!(
+            evaluate(&compare("year", BinOp::Eq, l(2003.0)), &lookup_year_2003),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn text_comparisons_are_case_insensitive() {
+        assert_eq!(
+            evaluate(
+                &compare("name", BinOp::Eq, Literal::String("tkde".into())),
+                &lookup_year_2003
+            ),
+            Some(true)
+        );
+        assert_eq!(
+            evaluate(
+                &compare("name", BinOp::Like, Literal::String("%KD%".into())),
+                &lookup_year_2003
+            ),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn null_values_never_satisfy_comparisons() {
+        assert_eq!(
+            evaluate(
+                &compare("rating", BinOp::Gt, Literal::Number(1.0)),
+                &lookup_year_2003
+            ),
+            Some(false)
+        );
+        assert_eq!(
+            evaluate(
+                &Predicate::IsNull {
+                    col: ColumnRef::new("rating"),
+                    negated: false
+                },
+                &lookup_year_2003
+            ),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn between_and_in() {
+        let between = Predicate::Between {
+            col: ColumnRef::new("year"),
+            low: Literal::Number(2000.0),
+            high: Literal::Number(2005.0),
+        };
+        assert_eq!(evaluate(&between, &lookup_year_2003), Some(true));
+        let inn = Predicate::In {
+            col: ColumnRef::new("name"),
+            values: vec![Literal::String("TMC".into()), Literal::String("TKDE".into())],
+            negated: false,
+        };
+        assert_eq!(evaluate(&inn, &lookup_year_2003), Some(true));
+        let not_in = Predicate::In {
+            col: ColumnRef::new("name"),
+            values: vec![Literal::String("TMC".into())],
+            negated: true,
+        };
+        assert_eq!(evaluate(&not_in, &lookup_year_2003), Some(true));
+    }
+
+    #[test]
+    fn literal_on_the_left_flips_the_operator() {
+        let pred = Predicate::Compare {
+            left: Expr::Literal(Literal::Number(2000.0)),
+            op: BinOp::Lt,
+            right: Expr::Column(ColumnRef::new("year")),
+        };
+        // 2000 < year  <=>  year > 2000
+        assert_eq!(evaluate(&pred, &lookup_year_2003), Some(true));
+    }
+
+    #[test]
+    fn join_conditions_are_not_evaluable() {
+        let join = Predicate::Compare {
+            left: Expr::Column(ColumnRef::qualified("a", "id")),
+            op: BinOp::Eq,
+            right: Expr::Column(ColumnRef::qualified("b", "id")),
+        };
+        assert_eq!(evaluate(&join, &lookup_year_2003), None);
+    }
+
+    #[test]
+    fn unknown_column_yields_none() {
+        assert_eq!(
+            evaluate(
+                &compare("missing", BinOp::Eq, Literal::Number(1.0)),
+                &lookup_year_2003
+            ),
+            None
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Dataset statistics (Table II of the paper).
+
+use crate::database::Database;
+use serde::{Deserialize, Serialize};
+
+/// The statistics reported per benchmark dataset in Table II.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Dataset name (`MAS`, `Yelp`, `IMDB`).
+    pub name: String,
+    /// Approximate size of the stored data in megabytes.
+    pub size_mb: f64,
+    /// Number of relations.
+    pub relations: usize,
+    /// Number of attributes across all relations.
+    pub attributes: usize,
+    /// Number of FK-PK relationships.
+    pub fk_pk: usize,
+    /// Number of benchmark NLQ-SQL pairs (filled in by the evaluation crate).
+    pub queries: usize,
+    /// Total number of stored rows (not in the paper's table, reported for
+    /// transparency about the synthetic data substitution).
+    pub rows: usize,
+}
+
+impl DatasetStats {
+    /// Compute the schema/data statistics of a database; `queries` is
+    /// supplied by the caller because the benchmark suite lives in a
+    /// different crate.
+    pub fn from_database(name: &str, db: &Database, queries: usize) -> Self {
+        DatasetStats {
+            name: name.to_string(),
+            size_mb: db.size_bytes() as f64 / (1024.0 * 1024.0),
+            relations: db.schema().relations.len(),
+            attributes: db.schema().attribute_count(),
+            fk_pk: db.schema().foreign_keys.len(),
+            queries,
+            rows: db.total_rows(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Schema;
+    use crate::types::DataType;
+
+    #[test]
+    fn stats_reflect_schema_and_data() {
+        let schema = Schema::builder("tiny")
+            .relation(
+                "t",
+                &[("id", DataType::Integer), ("name", DataType::Text)],
+                Some("id"),
+            )
+            .relation("u", &[("id", DataType::Integer), ("tid", DataType::Integer)], Some("id"))
+            .foreign_key("u", "tid", "t", "id")
+            .build();
+        let mut db = Database::new(schema);
+        db.insert("t", vec![1.into(), "hello".into()]).unwrap();
+        let stats = DatasetStats::from_database("tiny", &db, 42);
+        assert_eq!(stats.relations, 2);
+        assert_eq!(stats.attributes, 4);
+        assert_eq!(stats.fk_pk, 1);
+        assert_eq!(stats.queries, 42);
+        assert_eq!(stats.rows, 1);
+        assert!(stats.size_mb > 0.0);
+    }
+}

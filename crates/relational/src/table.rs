@@ -1,0 +1,144 @@
+//! Row storage for a single relation.
+
+use crate::catalog::Relation;
+use crate::types::Value;
+
+/// The stored rows of one relation.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Attribute names, in the relation's declaration order.
+    columns: Vec<String>,
+    /// Row-major tuple storage.
+    rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Create an empty table for a relation.
+    pub fn for_relation(relation: &Relation) -> Self {
+        Table {
+            columns: relation.attributes.iter().map(|a| a.name.clone()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The index of a column (case-insensitive).
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+    }
+
+    /// Append a row.  The row must have exactly one value per column.
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<(), String> {
+        if row.len() != self.columns.len() {
+            return Err(format!(
+                "row arity {} does not match table arity {}",
+                row.len(),
+                self.columns.len()
+            ));
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Iterate over the rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[Value]> {
+        self.rows.iter().map(|r| r.as_slice())
+    }
+
+    /// All values of a column.
+    pub fn column_values(&self, name: &str) -> Vec<&Value> {
+        match self.column_index(name) {
+            Some(i) => self.rows.iter().map(|r| &r[i]).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Distinct non-null text values of a column.
+    pub fn distinct_text_values(&self, name: &str) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .column_values(name)
+            .into_iter()
+            .filter_map(|v| v.as_text().map(|s| s.to_string()))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Approximate size of the stored data in bytes (for Table II).
+    pub fn size_bytes(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| r.iter().map(Value::size_bytes).sum::<usize>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Attribute;
+    use crate::types::DataType;
+
+    fn journal_relation() -> Relation {
+        Relation {
+            name: "journal".into(),
+            attributes: vec![
+                Attribute::new("jid", DataType::Integer),
+                Attribute::new("name", DataType::Text),
+            ],
+            primary_key: Some("jid".into()),
+        }
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let mut t = Table::for_relation(&journal_relation());
+        t.insert(vec![Value::Int(1), Value::from("TKDE")]).unwrap();
+        t.insert(vec![Value::Int(2), Value::from("TMC")]).unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.column_values("name").len(), 2);
+        assert_eq!(t.distinct_text_values("name"), vec!["TKDE", "TMC"]);
+    }
+
+    #[test]
+    fn insert_rejects_wrong_arity() {
+        let mut t = Table::for_relation(&journal_relation());
+        assert!(t.insert(vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn distinct_values_deduplicate() {
+        let mut t = Table::for_relation(&journal_relation());
+        for _ in 0..3 {
+            t.insert(vec![Value::Int(1), Value::from("TKDE")]).unwrap();
+        }
+        assert_eq!(t.distinct_text_values("name"), vec!["TKDE"]);
+    }
+
+    #[test]
+    fn missing_column_yields_empty() {
+        let t = Table::for_relation(&journal_relation());
+        assert!(t.column_values("nope").is_empty());
+        assert_eq!(t.column_index("NAME"), Some(1));
+    }
+
+    #[test]
+    fn size_estimate_grows_with_rows() {
+        let mut t = Table::for_relation(&journal_relation());
+        let empty = t.size_bytes();
+        t.insert(vec![Value::Int(1), Value::from("TKDE")]).unwrap();
+        assert!(t.size_bytes() > empty);
+    }
+}

@@ -1,0 +1,257 @@
+//! The schema graph of Definition 1.
+//!
+//! Vertices are either relations or attributes; edges are either projection
+//! edges (relation → attribute) or FK-PK join edges (foreign-key attribute →
+//! primary-key attribute).  The join path machinery works on the
+//! relation-instance level ([`crate::joingraph::JoinGraph`]); this module is
+//! the faithful representation used to build it and to report schema
+//! statistics.
+
+use relational::{AttributeRef, ForeignKey, Schema};
+use std::collections::HashMap;
+
+/// The kind of a schema graph vertex.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum VertexKind {
+    /// A relation vertex.
+    Relation(String),
+    /// An attribute vertex.
+    Attribute(AttributeRef),
+}
+
+impl VertexKind {
+    /// The relation this vertex belongs to (itself for relation vertices).
+    pub fn relation(&self) -> &str {
+        match self {
+            VertexKind::Relation(r) => r,
+            VertexKind::Attribute(a) => &a.relation,
+        }
+    }
+
+    /// True for relation vertices.
+    pub fn is_relation(&self) -> bool {
+        matches!(self, VertexKind::Relation(_))
+    }
+}
+
+/// An edge of the schema graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemaEdge {
+    /// A projection edge from a relation to one of its attributes.
+    Projection {
+        /// The relation.
+        relation: String,
+        /// The attribute.
+        attribute: AttributeRef,
+    },
+    /// A FK-PK join edge from the foreign-key attribute to the primary-key
+    /// attribute it references.
+    JoinFkPk(ForeignKey),
+}
+
+/// The schema graph (Definition 1).
+#[derive(Debug, Clone)]
+pub struct SchemaGraph {
+    schema: Schema,
+    vertices: Vec<VertexKind>,
+    edges: Vec<SchemaEdge>,
+    /// Optional per-relation-pair weights, overriding the default weight of 1.
+    weights: HashMap<(String, String), f64>,
+}
+
+impl SchemaGraph {
+    /// Build the schema graph of a database schema.
+    pub fn from_schema(schema: &Schema) -> Self {
+        let mut vertices = Vec::new();
+        let mut edges = Vec::new();
+        for rel in &schema.relations {
+            vertices.push(VertexKind::Relation(rel.name.clone()));
+            for attr in &rel.attributes {
+                let aref = AttributeRef::new(rel.name.clone(), attr.name.clone());
+                vertices.push(VertexKind::Attribute(aref.clone()));
+                edges.push(SchemaEdge::Projection {
+                    relation: rel.name.clone(),
+                    attribute: aref,
+                });
+            }
+        }
+        for fk in &schema.foreign_keys {
+            edges.push(SchemaEdge::JoinFkPk(fk.clone()));
+        }
+        SchemaGraph {
+            schema: schema.clone(),
+            vertices,
+            edges,
+            weights: HashMap::new(),
+        }
+    }
+
+    /// The underlying schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// All vertices.
+    pub fn vertices(&self) -> &[VertexKind] {
+        &self.vertices
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[SchemaEdge] {
+        &self.edges
+    }
+
+    /// Number of relation vertices.
+    pub fn relation_count(&self) -> usize {
+        self.vertices.iter().filter(|v| v.is_relation()).count()
+    }
+
+    /// Number of attribute vertices.
+    pub fn attribute_count(&self) -> usize {
+        self.vertices.len() - self.relation_count()
+    }
+
+    /// Number of FK-PK join edges.
+    pub fn join_edge_count(&self) -> usize {
+        self.edges
+            .iter()
+            .filter(|e| matches!(e, SchemaEdge::JoinFkPk(_)))
+            .count()
+    }
+
+    /// Set the weight of the join edges between two relations (symmetric).
+    /// The default weight of every edge is 1.
+    pub fn set_relation_weight(&mut self, a: &str, b: &str, weight: f64) {
+        let key = Self::weight_key(a, b);
+        self.weights.insert(key, weight.clamp(0.0, 1.0));
+    }
+
+    /// Clear all custom weights (restoring the default weight function).
+    pub fn clear_weights(&mut self) {
+        self.weights.clear();
+    }
+
+    /// The weight of the join edges between two relations: the custom weight
+    /// if one was set, else 1 (the paper's default weight function).
+    pub fn relation_weight(&self, a: &str, b: &str) -> f64 {
+        self.weights
+            .get(&Self::weight_key(a, b))
+            .copied()
+            .unwrap_or(1.0)
+    }
+
+    fn weight_key(a: &str, b: &str) -> (String, String) {
+        let a = a.to_lowercase();
+        let b = b.to_lowercase();
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// The foreign keys connecting two relations (in either direction).
+    pub fn foreign_keys_between(&self, a: &str, b: &str) -> Vec<&ForeignKey> {
+        self.schema
+            .foreign_keys
+            .iter()
+            .filter(|fk| {
+                (fk.from_relation.eq_ignore_ascii_case(a) && fk.to_relation.eq_ignore_ascii_case(b))
+                    || (fk.from_relation.eq_ignore_ascii_case(b)
+                        && fk.to_relation.eq_ignore_ascii_case(a))
+            })
+            .collect()
+    }
+
+    /// Relations directly joinable with `relation` (distinct, sorted).
+    pub fn neighbours(&self, relation: &str) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .schema
+            .foreign_keys
+            .iter()
+            .filter_map(|fk| {
+                if fk.from_relation.eq_ignore_ascii_case(relation) {
+                    Some(fk.to_relation.clone())
+                } else if fk.to_relation.eq_ignore_ascii_case(relation) {
+                    Some(fk.from_relation.clone())
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relational::DataType;
+
+    fn mini_schema() -> Schema {
+        Schema::builder("mini")
+            .relation(
+                "publication",
+                &[("pid", DataType::Integer), ("title", DataType::Text), ("jid", DataType::Integer)],
+                Some("pid"),
+            )
+            .relation(
+                "journal",
+                &[("jid", DataType::Integer), ("name", DataType::Text)],
+                Some("jid"),
+            )
+            .relation(
+                "writes",
+                &[("aid", DataType::Integer), ("pid", DataType::Integer)],
+                None,
+            )
+            .relation(
+                "author",
+                &[("aid", DataType::Integer), ("name", DataType::Text)],
+                Some("aid"),
+            )
+            .foreign_key("publication", "jid", "journal", "jid")
+            .foreign_key("writes", "pid", "publication", "pid")
+            .foreign_key("writes", "aid", "author", "aid")
+            .build()
+    }
+
+    #[test]
+    fn graph_has_expected_vertex_and_edge_counts() {
+        let g = SchemaGraph::from_schema(&mini_schema());
+        assert_eq!(g.relation_count(), 4);
+        assert_eq!(g.attribute_count(), 9);
+        assert_eq!(g.join_edge_count(), 3);
+        // projection edges = one per attribute
+        assert_eq!(g.edges().len(), 9 + 3);
+    }
+
+    #[test]
+    fn default_weight_is_one_and_can_be_overridden() {
+        let mut g = SchemaGraph::from_schema(&mini_schema());
+        assert_eq!(g.relation_weight("publication", "journal"), 1.0);
+        g.set_relation_weight("journal", "publication", 0.25);
+        assert_eq!(g.relation_weight("publication", "journal"), 0.25);
+        assert_eq!(g.relation_weight("Publication", "JOURNAL"), 0.25);
+        g.clear_weights();
+        assert_eq!(g.relation_weight("publication", "journal"), 1.0);
+    }
+
+    #[test]
+    fn neighbours_follow_fk_edges_both_ways() {
+        let g = SchemaGraph::from_schema(&mini_schema());
+        assert_eq!(g.neighbours("publication"), vec!["journal", "writes"]);
+        assert_eq!(g.neighbours("author"), vec!["writes"]);
+        assert!(g.neighbours("journal").contains(&"publication".to_string()));
+    }
+
+    #[test]
+    fn foreign_keys_between_is_symmetric() {
+        let g = SchemaGraph::from_schema(&mini_schema());
+        assert_eq!(g.foreign_keys_between("writes", "author").len(), 1);
+        assert_eq!(g.foreign_keys_between("author", "writes").len(), 1);
+        assert!(g.foreign_keys_between("author", "journal").is_empty());
+    }
+}

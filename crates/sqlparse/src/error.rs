@@ -1,0 +1,45 @@
+//! Parse error types.
+
+use std::fmt;
+
+/// Result alias for parser operations.
+pub type ParseResult<T> = Result<T, ParseError>;
+
+/// An error produced while lexing or parsing SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+}
+
+impl ParseError {
+    /// Create a new parse error at the given byte offset.
+    pub fn new(message: impl Into<String>, offset: usize) -> Self {
+        ParseError {
+            message: message.into(),
+            offset,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL parse error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset_and_message() {
+        let e = ParseError::new("unexpected token", 12);
+        assert!(e.to_string().contains("offset 12"));
+        assert!(e.to_string().contains("unexpected token"));
+    }
+}

@@ -1,0 +1,290 @@
+//! The SQL lexer: turns an input string into a stream of [`Token`]s.
+
+use crate::error::{ParseError, ParseResult};
+use crate::token::{is_keyword, Token, TokenKind};
+
+/// A streaming lexer over a SQL string.
+#[derive(Debug)]
+pub struct Lexer<'a> {
+    input: &'a str,
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over the input.
+    pub fn new(input: &'a str) -> Self {
+        Lexer {
+            input,
+            chars: input.chars().collect(),
+            pos: 0,
+        }
+    }
+
+    /// Lex the whole input into a vector of tokens, terminated by
+    /// [`TokenKind::Eof`].
+    pub fn tokenize(input: &'a str) -> ParseResult<Vec<Token>> {
+        let mut lexer = Lexer::new(input);
+        let mut out = Vec::new();
+        loop {
+            let tok = lexer.next_token()?;
+            let eof = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    /// Produce the next token.
+    pub fn next_token(&mut self) -> ParseResult<Token> {
+        self.skip_whitespace();
+        let offset = self.pos;
+        let Some(c) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                offset,
+            });
+        };
+        let kind = match c {
+            ',' => {
+                self.bump();
+                TokenKind::Comma
+            }
+            '.' => {
+                self.bump();
+                TokenKind::Dot
+            }
+            '(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            ')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            '*' => {
+                self.bump();
+                TokenKind::Star
+            }
+            ';' => {
+                self.bump();
+                TokenKind::Semicolon
+            }
+            '=' => {
+                self.bump();
+                TokenKind::Eq
+            }
+            '!' => {
+                self.bump();
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::NotEq
+                } else {
+                    return Err(ParseError::new("expected '=' after '!'", offset));
+                }
+            }
+            '<' => {
+                self.bump();
+                match self.peek() {
+                    Some('=') => {
+                        self.bump();
+                        TokenKind::LtEq
+                    }
+                    Some('>') => {
+                        self.bump();
+                        TokenKind::NotEq
+                    }
+                    _ => TokenKind::Lt,
+                }
+            }
+            '>' => {
+                self.bump();
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::GtEq
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            '\'' | '"' | '\u{2018}' | '\u{2019}' => {
+                // Accept both straight and curly quotes (the paper's text uses
+                // curly quotes in its SQL listings).
+                let quote = if c == '"' { '"' } else { '\'' };
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some(q)
+                            if q == quote
+                                || (quote == '\'' && (q == '\u{2019}' || q == '\u{2018}')) =>
+                        {
+                            break
+                        }
+                        Some(ch) => s.push(ch),
+                        None => {
+                            return Err(ParseError::new("unterminated string literal", offset))
+                        }
+                    }
+                }
+                TokenKind::StringLit(s)
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while let Some(ch) = self.peek() {
+                    if ch.is_ascii_digit()
+                        || (ch == '.' && self.peek2().is_some_and(|d| d.is_ascii_digit()))
+                    {
+                        s.push(ch);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let value: f64 = s
+                    .parse()
+                    .map_err(|_| ParseError::new(format!("invalid number '{s}'"), offset))?;
+                TokenKind::NumberLit(value)
+            }
+            c if c.is_alphabetic() || c == '_' || c == '?' => {
+                let mut s = String::new();
+                if c == '?' {
+                    // placeholder identifiers (?val, ?op) appear only in
+                    // obscured fragment text, but accepting them makes the
+                    // lexer reusable for fragment round-trips.
+                    s.push(c);
+                    self.bump();
+                }
+                while let Some(ch) = self.peek() {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        s.push(ch);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if s.is_empty() {
+                    return Err(ParseError::new(format!("unexpected character '{c}'"), offset));
+                }
+                if is_keyword(&s) {
+                    TokenKind::Keyword(s.to_uppercase())
+                } else {
+                    TokenKind::Ident(s)
+                }
+            }
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character '{other}'"),
+                    offset,
+                ))
+            }
+        };
+        Ok(Token { kind, offset })
+    }
+
+    /// The original input string.
+    pub fn input(&self) -> &str {
+        self.input
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        Lexer::tokenize(sql)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_simple_select() {
+        let ks = kinds("SELECT p.title FROM publication p");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Ident("p".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("title".into()),
+                TokenKind::Keyword("FROM".into()),
+                TokenKind::Ident("publication".into()),
+                TokenKind::Ident("p".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let ks = kinds("a >= 5 AND b <> 3 AND c != 2 AND d <= 1");
+        assert!(ks.contains(&TokenKind::GtEq));
+        assert!(ks.contains(&TokenKind::LtEq));
+        assert_eq!(ks.iter().filter(|k| **k == TokenKind::NotEq).count(), 2);
+    }
+
+    #[test]
+    fn lexes_string_literals() {
+        let ks = kinds("name = 'Databases'");
+        assert!(ks.contains(&TokenKind::StringLit("Databases".into())));
+        let ks = kinds("name = \"Databases\"");
+        assert!(ks.contains(&TokenKind::StringLit("Databases".into())));
+    }
+
+    #[test]
+    fn lexes_curly_quotes() {
+        let ks = kinds("d.name = \u{2018}Databases\u{2019}");
+        assert!(ks.contains(&TokenKind::StringLit("Databases".into())));
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        let ks = kinds("year > 2000 AND rating >= 4.5");
+        assert!(ks.contains(&TokenKind::NumberLit(2000.0)));
+        assert!(ks.contains(&TokenKind::NumberLit(4.5)));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let ks = kinds("select x from t");
+        assert_eq!(ks[0], TokenKind::Keyword("SELECT".into()));
+        assert_eq!(ks[2], TokenKind::Keyword("FROM".into()));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(Lexer::tokenize("name = 'oops").is_err());
+    }
+
+    #[test]
+    fn reports_offsets() {
+        let toks = Lexer::tokenize("SELECT x").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 7);
+    }
+}

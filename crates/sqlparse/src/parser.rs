@@ -1,0 +1,528 @@
+//! Recursive-descent parser for the SQL subset.
+
+use crate::ast::*;
+use crate::error::{ParseError, ParseResult};
+use crate::lexer::Lexer;
+use crate::token::{Token, TokenKind};
+
+/// Parse a single SQL query.
+///
+/// ```
+/// use sqlparse::parse_query;
+/// let q = parse_query("SELECT p.title FROM publication p WHERE p.year > 2000").unwrap();
+/// assert_eq!(q.from.len(), 1);
+/// assert_eq!(q.predicates.len(), 1);
+/// ```
+pub fn parse_query(sql: &str) -> ParseResult<Query> {
+    let tokens = Lexer::tokenize(sql)?;
+    let mut parser = Parser::new(tokens);
+    let query = parser.parse_query()?;
+    parser.expect_end()?;
+    Ok(query)
+}
+
+/// The recursive-descent parser over a token stream.
+#[derive(Debug)]
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Create a parser over a token stream (must be terminated by `Eof`).
+    pub fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].offset
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Keyword(k) if k == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> ParseResult<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                format!("expected keyword {kw}, found {}", self.peek()),
+                self.offset(),
+            ))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> ParseResult<()> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                format!("expected {kind}, found {}", self.peek()),
+                self.offset(),
+            ))
+        }
+    }
+
+    fn parse_ident(&mut self) -> ParseResult<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(ParseError::new(
+                format!("expected identifier, found {other}"),
+                self.offset(),
+            )),
+        }
+    }
+
+    /// Verify the whole input was consumed (allowing a trailing semicolon).
+    pub fn expect_end(&mut self) -> ParseResult<()> {
+        self.eat(&TokenKind::Semicolon);
+        if *self.peek() == TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                format!("unexpected trailing input: {}", self.peek()),
+                self.offset(),
+            ))
+        }
+    }
+
+    /// Parse a complete `SELECT` query.
+    pub fn parse_query(&mut self) -> ParseResult<Query> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let select = self.parse_select_list()?;
+        let from = if self.eat_keyword("FROM") {
+            self.parse_from_list()?
+        } else {
+            Vec::new()
+        };
+        let predicates = if self.eat_keyword("WHERE") {
+            self.parse_predicate_list()?
+        } else {
+            Vec::new()
+        };
+        let group_by = if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            self.parse_column_list()?
+        } else {
+            Vec::new()
+        };
+        let having = if self.eat_keyword("HAVING") {
+            self.parse_predicate_list()?
+        } else {
+            Vec::new()
+        };
+        let order_by = if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            self.parse_order_by_list()?
+        } else {
+            Vec::new()
+        };
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.bump() {
+                TokenKind::NumberLit(n) if n >= 0.0 && n.fract() == 0.0 => Some(n as u64),
+                other => {
+                    return Err(ParseError::new(
+                        format!("expected integer LIMIT, found {other}"),
+                        self.offset(),
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            distinct,
+            select,
+            from,
+            predicates,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn parse_select_list(&mut self) -> ParseResult<Vec<SelectItem>> {
+        let mut items = Vec::new();
+        loop {
+            if self.eat(&TokenKind::Star) {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.parse_expr()?;
+                // optional alias: `expr AS name` or bare identifier alias.
+                if self.eat_keyword("AS") {
+                    let _ = self.parse_ident()?;
+                }
+                items.push(SelectItem::Expr(expr));
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn parse_from_list(&mut self) -> ParseResult<Vec<TableRef>> {
+        let mut tables = Vec::new();
+        loop {
+            let table = self.parse_ident()?;
+            let alias = if self.eat_keyword("AS") {
+                Some(self.parse_ident()?)
+            } else if matches!(self.peek(), TokenKind::Ident(_)) {
+                Some(self.parse_ident()?)
+            } else {
+                None
+            };
+            tables.push(TableRef { table, alias });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(tables)
+    }
+
+    fn parse_column_list(&mut self) -> ParseResult<Vec<ColumnRef>> {
+        let mut cols = Vec::new();
+        loop {
+            cols.push(self.parse_column_ref()?);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(cols)
+    }
+
+    fn parse_order_by_list(&mut self) -> ParseResult<Vec<OrderBy>> {
+        let mut keys = Vec::new();
+        loop {
+            let expr = self.parse_expr()?;
+            let dir = if self.eat_keyword("DESC") {
+                OrderDir::Desc
+            } else {
+                self.eat_keyword("ASC");
+                OrderDir::Asc
+            };
+            keys.push(OrderBy { expr, dir });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(keys)
+    }
+
+    fn parse_column_ref(&mut self) -> ParseResult<ColumnRef> {
+        let first = self.parse_ident()?;
+        if self.eat(&TokenKind::Dot) {
+            let column = self.parse_ident()?;
+            Ok(ColumnRef {
+                qualifier: Some(first),
+                column,
+            })
+        } else {
+            Ok(ColumnRef {
+                qualifier: None,
+                column: first,
+            })
+        }
+    }
+
+    /// Parse a scalar expression: aggregate call, column reference or literal.
+    fn parse_expr(&mut self) -> ParseResult<Expr> {
+        match self.peek().clone() {
+            TokenKind::Keyword(kw) if Aggregate::from_name(&kw).is_some() => {
+                let func = Aggregate::from_name(&kw).expect("checked above");
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let distinct = self.eat_keyword("DISTINCT");
+                let arg = if self.eat(&TokenKind::Star) {
+                    None
+                } else {
+                    Some(self.parse_column_ref()?)
+                };
+                self.expect(&TokenKind::RParen)?;
+                Ok(Expr::Aggregate {
+                    func,
+                    distinct,
+                    arg,
+                })
+            }
+            TokenKind::NumberLit(n) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Number(n)))
+            }
+            TokenKind::StringLit(s) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::String(s)))
+            }
+            TokenKind::Keyword(kw) if kw == "NULL" => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Null))
+            }
+            TokenKind::Ident(_) => Ok(Expr::Column(self.parse_column_ref()?)),
+            other => Err(ParseError::new(
+                format!("expected expression, found {other}"),
+                self.offset(),
+            )),
+        }
+    }
+
+    fn parse_predicate_list(&mut self) -> ParseResult<Vec<Predicate>> {
+        let mut predicates = Vec::new();
+        loop {
+            predicates.push(self.parse_predicate()?);
+            if !self.eat_keyword("AND") {
+                break;
+            }
+        }
+        Ok(predicates)
+    }
+
+    fn parse_predicate(&mut self) -> ParseResult<Predicate> {
+        let left = self.parse_expr()?;
+        // IS [NOT] NULL
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            let col = match left {
+                Expr::Column(c) => c,
+                other => {
+                    return Err(ParseError::new(
+                        format!("IS NULL requires a column, found {other}"),
+                        self.offset(),
+                    ))
+                }
+            };
+            return Ok(Predicate::IsNull { col, negated });
+        }
+        // [NOT] IN / BETWEEN / LIKE
+        let negated = self.eat_keyword("NOT");
+        if self.eat_keyword("IN") {
+            let col = match left {
+                Expr::Column(c) => c,
+                other => {
+                    return Err(ParseError::new(
+                        format!("IN requires a column, found {other}"),
+                        self.offset(),
+                    ))
+                }
+            };
+            self.expect(&TokenKind::LParen)?;
+            let mut values = Vec::new();
+            loop {
+                match self.bump() {
+                    TokenKind::NumberLit(n) => values.push(Literal::Number(n)),
+                    TokenKind::StringLit(s) => values.push(Literal::String(s)),
+                    other => {
+                        return Err(ParseError::new(
+                            format!("expected literal in IN list, found {other}"),
+                            self.offset(),
+                        ))
+                    }
+                }
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Predicate::In {
+                col,
+                values,
+                negated,
+            });
+        }
+        if self.eat_keyword("BETWEEN") {
+            let col = match left {
+                Expr::Column(c) => c,
+                other => {
+                    return Err(ParseError::new(
+                        format!("BETWEEN requires a column, found {other}"),
+                        self.offset(),
+                    ))
+                }
+            };
+            let low = self.parse_literal()?;
+            self.expect_keyword("AND")?;
+            let high = self.parse_literal()?;
+            return Ok(Predicate::Between { col, low, high });
+        }
+        if negated {
+            return Err(ParseError::new(
+                "NOT is only supported before IN / BETWEEN".to_string(),
+                self.offset(),
+            ));
+        }
+        let op = match self.bump() {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::NotEq => BinOp::NotEq,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::LtEq => BinOp::LtEq,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::GtEq => BinOp::GtEq,
+            TokenKind::Keyword(kw) if kw == "LIKE" => BinOp::Like,
+            other => {
+                return Err(ParseError::new(
+                    format!("expected comparison operator, found {other}"),
+                    self.offset(),
+                ))
+            }
+        };
+        let right = self.parse_expr()?;
+        Ok(Predicate::Compare { left, op, right })
+    }
+
+    fn parse_literal(&mut self) -> ParseResult<Literal> {
+        match self.bump() {
+            TokenKind::NumberLit(n) => Ok(Literal::Number(n)),
+            TokenKind::StringLit(s) => Ok(Literal::String(s)),
+            TokenKind::Keyword(kw) if kw == "NULL" => Ok(Literal::Null),
+            other => Err(ParseError::new(
+                format!("expected literal, found {other}"),
+                self.offset(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_example_1_query() {
+        let sql = "SELECT p.title \
+                   FROM publication p, publication_keyword pk, keyword k, domain_keyword dk, domain d \
+                   WHERE d.name = 'Databases' \
+                   AND p.pid = pk.pid AND k.kid = pk.kid \
+                   AND dk.kid = k.kid AND dk.did = d.did";
+        let q = parse_query(sql).unwrap();
+        assert_eq!(q.from.len(), 5);
+        assert_eq!(q.predicates.len(), 5);
+        assert_eq!(q.join_conditions().count(), 4);
+        assert_eq!(q.filter_predicates().count(), 1);
+    }
+
+    #[test]
+    fn parses_self_join_example_7() {
+        let sql = "SELECT p.title \
+                   FROM author a1, author a2, publication p, writes w1, writes w2 \
+                   WHERE a1.name = 'John' AND a2.name = 'Jane' \
+                   AND a1.aid = w1.aid AND a2.aid = w2.aid \
+                   AND p.pid = w1.pid AND p.pid = w2.pid";
+        let q = parse_query(sql).unwrap();
+        assert_eq!(q.from.len(), 5);
+        let authors: Vec<_> = q.from.iter().filter(|t| t.table == "author").collect();
+        assert_eq!(authors.len(), 2);
+        assert_eq!(q.join_conditions().count(), 4);
+    }
+
+    #[test]
+    fn parses_aggregates_group_by_having_order_limit() {
+        let sql = "SELECT a.name, COUNT(DISTINCT p.pid) FROM author a, writes w, publication p \
+                   WHERE a.aid = w.aid AND w.pid = p.pid \
+                   GROUP BY a.name HAVING COUNT(p.pid) > 5 \
+                   ORDER BY COUNT(p.pid) DESC LIMIT 10";
+        let q = parse_query(sql).unwrap();
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(q.group_by.len(), 1);
+        assert_eq!(q.having.len(), 1);
+        assert_eq!(q.order_by.len(), 1);
+        assert_eq!(q.order_by[0].dir, OrderDir::Desc);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn parses_between_in_like_null() {
+        let sql = "SELECT b.name FROM business b \
+                   WHERE b.stars BETWEEN 3 AND 5 AND b.state IN ('AZ', 'NV') \
+                   AND b.name LIKE 'Taco' AND b.city IS NOT NULL";
+        let q = parse_query(sql).unwrap();
+        assert_eq!(q.predicates.len(), 4);
+        assert!(matches!(q.predicates[0], Predicate::Between { .. }));
+        assert!(matches!(q.predicates[1], Predicate::In { .. }));
+        assert!(matches!(
+            q.predicates[2],
+            Predicate::Compare {
+                op: BinOp::Like,
+                ..
+            }
+        ));
+        assert!(matches!(
+            q.predicates[3],
+            Predicate::IsNull { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_distinct_and_wildcard() {
+        let q = parse_query("SELECT DISTINCT * FROM movie").unwrap();
+        assert!(q.distinct);
+        assert_eq!(q.select, vec![SelectItem::Wildcard]);
+        assert_eq!(q.from, vec![TableRef::new("movie")]);
+    }
+
+    #[test]
+    fn parses_as_alias_and_trailing_semicolon() {
+        let q = parse_query("SELECT p.title AS t FROM publication AS p;").unwrap();
+        assert_eq!(q.from[0].alias.as_deref(), Some("p"));
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let sql = "SELECT p.title FROM journal j, publication p \
+                   WHERE j.name = 'TKDE' AND p.year > 1995 AND j.jid = p.jid";
+        let q = parse_query(sql).unwrap();
+        let reparsed = parse_query(&q.to_string()).unwrap();
+        assert_eq!(q, reparsed);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_query("SELECT FROM WHERE").is_err());
+        assert!(parse_query("FROM publication").is_err());
+        assert!(parse_query("SELECT a b c").is_err());
+        assert!(parse_query("SELECT x FROM t WHERE").is_err());
+        assert!(parse_query("SELECT x FROM t WHERE a = 1 extra junk").is_err());
+    }
+
+    #[test]
+    fn rejects_unsupported_not() {
+        assert!(parse_query("SELECT x FROM t WHERE NOT a = 1").is_err());
+    }
+
+    #[test]
+    fn error_offsets_point_at_problem() {
+        let err = parse_query("SELECT x FROM t WHERE a == 1").unwrap_err();
+        assert!(err.offset >= 24, "offset was {}", err.offset);
+    }
+}

@@ -1,0 +1,108 @@
+//! Lexical tokens of the SQL subset.
+
+use std::fmt;
+
+/// The kind of a SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A SQL keyword (`SELECT`, `FROM`, ...), stored upper-cased.
+    Keyword(String),
+    /// An identifier (relation, attribute or alias name), stored as written
+    /// but compared case-insensitively by the parser.
+    Ident(String),
+    /// A quoted string literal, with quotes removed.
+    StringLit(String),
+    /// A numeric literal.
+    NumberLit(f64),
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `;`
+    Semicolon,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{k}"),
+            TokenKind::Ident(i) => write!(f, "{i}"),
+            TokenKind::StringLit(s) => write!(f, "'{s}'"),
+            TokenKind::NumberLit(n) => write!(f, "{n}"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::NotEq => write!(f, "!="),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::LtEq => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::GtEq => write!(f, ">="),
+            TokenKind::Semicolon => write!(f, ";"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token together with its byte offset in the input (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character of the token in the input string.
+    pub offset: usize,
+}
+
+/// The reserved words recognised as keywords by the lexer.
+pub const KEYWORDS: &[&str] = &[
+    "SELECT", "DISTINCT", "FROM", "WHERE", "AND", "OR", "NOT", "GROUP", "BY", "HAVING", "ORDER",
+    "ASC", "DESC", "LIMIT", "COUNT", "SUM", "AVG", "MIN", "MAX", "LIKE", "IN", "BETWEEN", "IS",
+    "NULL", "AS",
+];
+
+/// True when `word` (any case) is a reserved keyword.
+pub fn is_keyword(word: &str) -> bool {
+    let upper = word.to_uppercase();
+    KEYWORDS.iter().any(|k| *k == upper)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_detection_is_case_insensitive() {
+        assert!(is_keyword("select"));
+        assert!(is_keyword("SELECT"));
+        assert!(is_keyword("Between"));
+        assert!(!is_keyword("publication"));
+    }
+
+    #[test]
+    fn token_display_round_trips_symbols() {
+        assert_eq!(TokenKind::LtEq.to_string(), "<=");
+        assert_eq!(TokenKind::StringLit("TKDE".into()).to_string(), "'TKDE'");
+    }
+}

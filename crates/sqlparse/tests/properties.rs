@@ -1,0 +1,161 @@
+//! Property-based tests for the SQL parser: printing then re-parsing an AST
+//! must reproduce the AST, and canonicalization must be stable.
+
+use proptest::prelude::*;
+use sqlparse::{
+    canonicalize, parse_query, Aggregate, BinOp, ColumnRef, Expr, Literal, Predicate, Query,
+    SelectItem, TableRef,
+};
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| !sqlparse::token::is_keyword(s))
+}
+
+fn literal_strategy() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        (0i64..100_000).prop_map(|n| Literal::Number(n as f64)),
+        "[A-Za-z][A-Za-z0-9 ]{0,10}".prop_map(Literal::String),
+    ]
+}
+
+fn column_strategy() -> impl Strategy<Value = ColumnRef> {
+    (ident_strategy(), ident_strategy(), any::<bool>()).prop_map(|(q, c, qualified)| {
+        if qualified {
+            ColumnRef::qualified(q, c)
+        } else {
+            ColumnRef::new(c)
+        }
+    })
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        column_strategy().prop_map(Expr::Column),
+        (
+            prop_oneof![
+                Just(Aggregate::Count),
+                Just(Aggregate::Sum),
+                Just(Aggregate::Avg),
+                Just(Aggregate::Min),
+                Just(Aggregate::Max)
+            ],
+            any::<bool>(),
+            proptest::option::of(column_strategy())
+        )
+            .prop_map(|(func, distinct, arg)| Expr::Aggregate {
+                func,
+                // COUNT(DISTINCT *) is not valid SQL in our subset
+                distinct: distinct && arg.is_some(),
+                arg,
+            }),
+    ]
+}
+
+fn predicate_strategy() -> impl Strategy<Value = Predicate> {
+    let op = prop_oneof![
+        Just(BinOp::Eq),
+        Just(BinOp::NotEq),
+        Just(BinOp::Lt),
+        Just(BinOp::LtEq),
+        Just(BinOp::Gt),
+        Just(BinOp::GtEq),
+    ];
+    prop_oneof![
+        (column_strategy(), op, literal_strategy()).prop_map(|(c, op, l)| Predicate::Compare {
+            left: Expr::Column(c),
+            op,
+            right: Expr::Literal(l),
+        }),
+        (column_strategy(), column_strategy()).prop_map(|(a, b)| Predicate::Compare {
+            left: Expr::Column(a),
+            op: BinOp::Eq,
+            right: Expr::Column(b),
+        }),
+        (column_strategy(), literal_strategy(), literal_strategy()).prop_map(|(c, lo, hi)| {
+            Predicate::Between {
+                col: c,
+                low: lo,
+                high: hi,
+            }
+        }),
+        (
+            column_strategy(),
+            proptest::collection::vec(literal_strategy(), 1..4),
+            any::<bool>()
+        )
+            .prop_map(|(c, values, negated)| Predicate::In {
+                col: c,
+                values,
+                negated,
+            }),
+        (column_strategy(), any::<bool>()).prop_map(|(c, negated)| Predicate::IsNull {
+            col: c,
+            negated,
+        }),
+    ]
+}
+
+fn table_strategy() -> impl Strategy<Value = TableRef> {
+    (ident_strategy(), proptest::option::of(ident_strategy()))
+        .prop_map(|(t, a)| TableRef { table: t, alias: a })
+}
+
+fn query_strategy() -> impl Strategy<Value = Query> {
+    (
+        any::<bool>(),
+        proptest::collection::vec(
+            prop_oneof![
+                Just(SelectItem::Wildcard),
+                expr_strategy().prop_map(SelectItem::Expr)
+            ],
+            1..4,
+        ),
+        proptest::collection::vec(table_strategy(), 1..4),
+        proptest::collection::vec(predicate_strategy(), 0..5),
+        proptest::collection::vec(column_strategy(), 0..3),
+        proptest::option::of(0u64..1000),
+    )
+        .prop_map(|(distinct, select, from, predicates, group_by, limit)| Query {
+            distinct,
+            select,
+            from,
+            predicates,
+            group_by,
+            having: Vec::new(),
+            order_by: Vec::new(),
+            limit,
+        })
+}
+
+proptest! {
+    /// Rendering an AST to SQL and parsing it back yields the same AST.
+    #[test]
+    fn print_parse_roundtrip(q in query_strategy()) {
+        let sql = q.to_string();
+        let reparsed = parse_query(&sql)
+            .unwrap_or_else(|e| panic!("failed to reparse `{sql}`: {e}"));
+        prop_assert_eq!(q, reparsed);
+    }
+
+    /// Canonicalization is idempotent.
+    #[test]
+    fn canonicalization_idempotent(q in query_strategy()) {
+        let once = canonicalize(&q);
+        let twice = canonicalize(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// A canonicalized query still parses (it is valid SQL).
+    #[test]
+    fn canonical_form_is_valid_sql(q in query_strategy()) {
+        let canon = canonicalize(&q);
+        let sql = canon.to_string();
+        prop_assert!(parse_query(&sql).is_ok(), "canonical SQL did not parse: {}", sql);
+    }
+
+    /// The lexer never panics on arbitrary input.
+    #[test]
+    fn lexer_never_panics(input in ".{0,200}") {
+        let _ = sqlparse::Lexer::tokenize(&input);
+    }
+}

@@ -1,0 +1,110 @@
+//! Quickstart: augmenting an NLIDB with Templar on a tiny academic database.
+//!
+//! Builds a small database and query log by hand, asks Templar to map
+//! keywords and infer a join path (the two interface calls of Figure 2 in the
+//! paper), and prints the resulting SQL.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::sync::Arc;
+
+use nlidb::{construct_query, Nlq, NlidbSystem, PipelineSystem};
+use relational::{Database, DataType, Schema};
+use sqlparse::BinOp;
+use templar_core::{
+    BagItem, Keyword, KeywordMetadata, QueryLog, Templar, TemplarConfig,
+};
+
+fn main() {
+    // 1. A miniature academic database (publication + journal).
+    let schema = Schema::builder("academic")
+        .relation(
+            "publication",
+            &[
+                ("pid", DataType::Integer),
+                ("title", DataType::Text),
+                ("year", DataType::Integer),
+                ("jid", DataType::Integer),
+            ],
+            Some("pid"),
+        )
+        .relation(
+            "journal",
+            &[("jid", DataType::Integer), ("name", DataType::Text)],
+            Some("jid"),
+        )
+        .foreign_key("publication", "jid", "journal", "jid")
+        .build();
+    let mut db = Database::new(schema);
+    db.insert("journal", vec![1.into(), "TKDE".into()]).unwrap();
+    db.insert("journal", vec![2.into(), "TMC".into()]).unwrap();
+    db.insert(
+        "publication",
+        vec![1.into(), "Scalable Query Processing".into(), 2003.into(), 1.into()],
+    )
+    .unwrap();
+    db.insert(
+        "publication",
+        vec![2.into(), "Natural Language Interfaces".into(), 2008.into(), 2.into()],
+    )
+    .unwrap();
+    let db = Arc::new(db);
+
+    // 2. A SQL query log: previous users mostly asked for publication titles.
+    let (log, _) = QueryLog::from_sql([
+        "SELECT p.title FROM publication p WHERE p.year > 2000",
+        "SELECT p.title FROM publication p, journal j WHERE j.name = 'TKDE' AND p.jid = j.jid",
+        "SELECT p.title FROM publication p, journal j WHERE j.name = 'TMC' AND p.jid = j.jid",
+        "SELECT j.name FROM journal j",
+    ]);
+
+    // 3. Templar with the paper's default parameters (NoConstOp, kappa=5,
+    //    lambda=0.8).
+    let templar = Templar::new(Arc::clone(&db), &log, TemplarConfig::paper_defaults());
+
+    // 4. The NLQ "Return the papers after 2000", hand-parsed into keywords
+    //    and metadata exactly as a host NLIDB would do (Example 4).
+    let keywords = vec![
+        (Keyword::new("papers"), KeywordMetadata::select()),
+        (
+            Keyword::new("after 2000"),
+            KeywordMetadata::filter_with_op(BinOp::Gt),
+        ),
+    ];
+
+    // 5. Interface call #1: keyword mapping.
+    let configurations = templar.map_keywords(&keywords);
+    println!("Top configurations for 'Return the papers after 2000':");
+    for config in configurations.iter().take(3) {
+        let fragments: Vec<String> = config
+            .mappings
+            .iter()
+            .map(|m| format!("{:?}", m.element))
+            .collect();
+        println!("  score {:.3}: {}", config.score, fragments.join("; "));
+    }
+
+    // 6. Interface call #2: join path inference for the best configuration.
+    let best = &configurations[0];
+    let bag: Vec<BagItem> = best
+        .attribute_bag()
+        .into_iter()
+        .map(BagItem::Attribute)
+        .collect();
+    let inference = templar.infer_joins(&bag).expect("relations are connected");
+    let path = &inference.best().expect("at least one join path").path;
+    println!(
+        "\nBest join path covers relations: {:?}",
+        path.relation_names(&inference.graph)
+    );
+
+    // 7. The host NLIDB assembles the final SQL.
+    let sql = construct_query(best, &inference, path).expect("construction succeeds");
+    println!("Final SQL: {sql}");
+
+    // 8. Or simply use the ready-made Pipeline+ system end to end.
+    let system = PipelineSystem::augmented(db, &log, TemplarConfig::paper_defaults());
+    let nlq = Nlq::new("Return the papers after 2000", keywords, vec![]);
+    let ranked = system.translate(&nlq);
+    println!("\nPipeline+ top translation: {}", ranked[0].query);
+}

@@ -1,0 +1,23 @@
+//! Workspace root crate for the Templar reproduction.
+//!
+//! This crate exists to host the cross-crate integration tests in `tests/`
+//! and the runnable examples in `examples/`; the actual functionality lives
+//! in the member crates, re-exported here for convenience:
+//!
+//! * [`nlp`] — tokenizer, Porter stemmer, similarity model,
+//! * [`sqlparse`] — SQL parser and canonicalizer,
+//! * [`relational`] — in-memory database engine,
+//! * [`schemagraph`] — schema graph and Steiner-tree join paths,
+//! * [`templar_core`] — query fragments, QFG, keyword mapping, join inference,
+//! * [`nlidb`] — Pipeline / NaLIR baselines and their augmented variants,
+//! * [`datasets`] — MAS / Yelp / IMDB benchmarks,
+//! * [`eval`] — metrics, cross-validation and experiment drivers.
+
+pub use datasets;
+pub use eval;
+pub use nlidb;
+pub use nlp;
+pub use relational;
+pub use schemagraph;
+pub use sqlparse;
+pub use templar_core;
