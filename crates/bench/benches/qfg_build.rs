@@ -8,7 +8,7 @@ use templar_core::{Obscurity, QueryFragmentGraph};
 fn bench_qfg(c: &mut Criterion) {
     let log = Dataset::mas().full_log();
     for level in Obscurity::ALL {
-        c.bench_function(&format!("qfg/build_mas_{}", level.name()), |b| {
+        c.bench_function(format!("qfg/build_mas_{}", level.name()), |b| {
             b.iter(|| QueryFragmentGraph::build(&log, level).fragment_count())
         });
     }

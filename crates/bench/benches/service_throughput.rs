@@ -1,0 +1,128 @@
+//! Benchmark: concurrent translation throughput of `TemplarService`, with
+//! and without concurrent ingestion pressure.
+//!
+//! The `with_ingest` variant runs while a background producer floods the
+//! ingestion queue and the worker publishes a fresh snapshot every few
+//! applied entries — the worst case for a design where ingestion could
+//! block reads.  The run asserts at the end that snapshots were actually
+//! being rebuilt and swapped while translations proceeded, demonstrating
+//! that reads are not blocked by an in-flight rebuild.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::Dataset;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use templar_core::TemplarConfig;
+use templar_service::{ServiceConfig, TemplarService};
+
+fn bench_service(c: &mut Criterion) {
+    let dataset = Dataset::mas();
+    let log = dataset.full_log();
+    let nlq = dataset.cases[0].nlq.clone();
+    // Recycled ingestion traffic: the benchmark's own gold SQL.
+    let traffic: Vec<String> = dataset
+        .cases
+        .iter()
+        .map(|case| case.gold_sql.to_string())
+        .collect();
+
+    let mut group = c.benchmark_group("service");
+    group.sample_size(20);
+
+    // Baseline: translations with a quiet ingestion queue.
+    {
+        let service = TemplarService::spawn(
+            dataset.db.clone(),
+            &log,
+            TemplarConfig::paper_defaults(),
+            ServiceConfig::default(),
+        );
+        group.bench_function("translate/quiet", |b| {
+            b.iter(|| service.translate(&nlq).len())
+        });
+    }
+
+    // Under pressure: a producer floods the queue and the worker swaps a
+    // fresh snapshot every 8 applied entries.
+    {
+        let service = Arc::new(TemplarService::spawn(
+            dataset.db.clone(),
+            &log,
+            TemplarConfig::paper_defaults(),
+            ServiceConfig::default()
+                .with_refresh_every(8)
+                .with_refresh_interval(Duration::from_millis(1))
+                .with_queue_capacity(4096),
+        ));
+        let stop = Arc::new(AtomicBool::new(false));
+        let submitted = Arc::new(AtomicU64::new(0));
+        let producer = {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            let submitted = Arc::clone(&submitted);
+            let traffic = traffic.clone();
+            std::thread::spawn(move || {
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    if service.submit_sql(&traffic[i % traffic.len()]).is_ok() {
+                        submitted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    i += 1;
+                    if i.is_multiple_of(64) {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                }
+            })
+        };
+
+        group.bench_function("translate/with_ingest", |b| {
+            b.iter(|| service.translate(&nlq).len())
+        });
+
+        stop.store(true, Ordering::Relaxed);
+        producer.join().unwrap();
+        let metrics = service.metrics();
+        assert!(
+            metrics.snapshot_swaps >= 1,
+            "ingestion must have published snapshots during the benchmark"
+        );
+        assert!(
+            metrics.translations_served > 0,
+            "translations must have proceeded during ingestion"
+        );
+        println!(
+            "service/with_ingest: {} translations served concurrently with {} applied \
+             ingests across {} snapshot swaps (p50 {} µs, p99 {} µs, ingest lag {})",
+            metrics.translations_served,
+            metrics.ingest_applied,
+            metrics.snapshot_swaps,
+            metrics.translate_p50_us,
+            metrics.translate_p99_us,
+            metrics.ingest_lag,
+        );
+    }
+
+    // Raw ingestion throughput: how fast entries are accepted and absorbed.
+    {
+        let service = Arc::new(TemplarService::spawn(
+            dataset.db.clone(),
+            &log,
+            TemplarConfig::paper_defaults(),
+            ServiceConfig::default().with_queue_capacity(100_000),
+        ));
+        let mut i = 0usize;
+        group.bench_function("ingest/submit", |b| {
+            b.iter(|| {
+                let _ = service.submit_sql(&traffic[i % traffic.len()]);
+                i += 1;
+            })
+        });
+        service.flush();
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

@@ -7,7 +7,11 @@ use sqlparse::{canonicalize, parse_query};
 
 fn bench_parse(c: &mut Criterion) {
     let dataset = Dataset::mas();
-    let sql: Vec<String> = dataset.cases.iter().map(|c| c.gold_sql.to_string()).collect();
+    let sql: Vec<String> = dataset
+        .cases
+        .iter()
+        .map(|c| c.gold_sql.to_string())
+        .collect();
     c.bench_function("sqlparse/parse_mas_gold", |b| {
         b.iter(|| {
             let mut ok = 0usize;
@@ -19,7 +23,11 @@ fn bench_parse(c: &mut Criterion) {
             ok
         })
     });
-    let parsed = dataset.cases.iter().map(|c| c.gold_sql.clone()).collect::<Vec<_>>();
+    let parsed = dataset
+        .cases
+        .iter()
+        .map(|c| c.gold_sql.clone())
+        .collect::<Vec<_>>();
     c.bench_function("sqlparse/canonicalize_mas_gold", |b| {
         b.iter(|| parsed.iter().map(canonicalize).count())
     });

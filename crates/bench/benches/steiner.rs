@@ -10,8 +10,13 @@ fn bench_steiner(c: &mut Criterion) {
         let graph = JoinGraph::from_schema_graph(&SchemaGraph::from_schema(dataset.db.schema()));
         let nodes: Vec<_> = (0..graph.nodes().len()).collect();
         for k in [2usize, 3, 4] {
-            let terminals: Vec<usize> = nodes.iter().step_by(nodes.len() / k).take(k).copied().collect();
-            c.bench_function(&format!("steiner/{}_{}_terminals", dataset.name, k), |b| {
+            let terminals: Vec<usize> = nodes
+                .iter()
+                .step_by(nodes.len() / k)
+                .take(k)
+                .copied()
+                .collect();
+            c.bench_function(format!("steiner/{}_{}_terminals", dataset.name, k), |b| {
                 b.iter(|| steiner_tree(&graph, &terminals).map(|p| p.edges.len()))
             });
         }

@@ -68,8 +68,16 @@ impl QueryFragment {
     }
 
     /// A fragment for a (possibly aggregated) attribute in a given context.
-    pub fn attribute(attr: &AttributeRef, aggregate: Option<Aggregate>, context: QueryContext) -> Self {
-        let base = format!("{}.{}", attr.relation.to_lowercase(), attr.attribute.to_lowercase());
+    pub fn attribute(
+        attr: &AttributeRef,
+        aggregate: Option<Aggregate>,
+        context: QueryContext,
+    ) -> Self {
+        let base = format!(
+            "{}.{}",
+            attr.relation.to_lowercase(),
+            attr.attribute.to_lowercase()
+        );
         let expr = match aggregate {
             Some(agg) => format!("{}({})", agg.name().to_lowercase(), base),
             None => base,
@@ -78,8 +86,17 @@ impl QueryFragment {
     }
 
     /// A fragment for a comparison predicate at the given obscurity level.
-    pub fn predicate(attr: &AttributeRef, op: BinOp, value: &Literal, obscurity: Obscurity) -> Self {
-        let base = format!("{}.{}", attr.relation.to_lowercase(), attr.attribute.to_lowercase());
+    pub fn predicate(
+        attr: &AttributeRef,
+        op: BinOp,
+        value: &Literal,
+        obscurity: Obscurity,
+    ) -> Self {
+        let base = format!(
+            "{}.{}",
+            attr.relation.to_lowercase(),
+            attr.attribute.to_lowercase()
+        );
         let expr = match obscurity {
             Obscurity::Full => format!("{} {} {}", base, op.symbol(), render_literal(value)),
             Obscurity::NoConst => format!("{} {} ?val", base, op.symbol()),
@@ -168,7 +185,11 @@ fn predicate_fragment_text(query: &Query, pred: &Predicate, obscurity: Obscurity
                 Obscurity::NoConstOp => format!("{l} ?op ?val"),
             }
         }
-        Predicate::In { col, values, negated } => {
+        Predicate::In {
+            col,
+            values,
+            negated,
+        } => {
             let l = canonical_column(query, col);
             match obscurity {
                 Obscurity::Full => {
@@ -295,7 +316,9 @@ mod tests {
         let noconstop = fragments_of_query(&q, Obscurity::NoConstOp);
         assert!(full.iter().any(|f| f.expr == "publication.year > 2003"));
         assert!(noconst.iter().any(|f| f.expr == "publication.year > ?val"));
-        assert!(noconstop.iter().any(|f| f.expr == "publication.year ?op ?val"));
+        assert!(noconstop
+            .iter()
+            .any(|f| f.expr == "publication.year ?op ?val"));
     }
 
     #[test]

@@ -180,15 +180,55 @@ mod tests {
     /// reach domain through conference (short) or through keyword (long).
     fn mas_mini_schema() -> Schema {
         Schema::builder("mas_mini")
-            .relation("publication", &[("pid", DataType::Integer), ("title", DataType::Text), ("cid", DataType::Integer)], Some("pid"))
-            .relation("conference", &[("cid", DataType::Integer), ("name", DataType::Text)], Some("cid"))
-            .relation("domain_conference", &[("cid", DataType::Integer), ("did", DataType::Integer)], None)
-            .relation("domain", &[("did", DataType::Integer), ("name", DataType::Text)], Some("did"))
-            .relation("publication_keyword", &[("pid", DataType::Integer), ("kid", DataType::Integer)], None)
-            .relation("keyword", &[("kid", DataType::Integer), ("keyword", DataType::Text)], Some("kid"))
-            .relation("domain_keyword", &[("kid", DataType::Integer), ("did", DataType::Integer)], None)
-            .relation("author", &[("aid", DataType::Integer), ("name", DataType::Text)], Some("aid"))
-            .relation("writes", &[("aid", DataType::Integer), ("pid", DataType::Integer)], None)
+            .relation(
+                "publication",
+                &[
+                    ("pid", DataType::Integer),
+                    ("title", DataType::Text),
+                    ("cid", DataType::Integer),
+                ],
+                Some("pid"),
+            )
+            .relation(
+                "conference",
+                &[("cid", DataType::Integer), ("name", DataType::Text)],
+                Some("cid"),
+            )
+            .relation(
+                "domain_conference",
+                &[("cid", DataType::Integer), ("did", DataType::Integer)],
+                None,
+            )
+            .relation(
+                "domain",
+                &[("did", DataType::Integer), ("name", DataType::Text)],
+                Some("did"),
+            )
+            .relation(
+                "publication_keyword",
+                &[("pid", DataType::Integer), ("kid", DataType::Integer)],
+                None,
+            )
+            .relation(
+                "keyword",
+                &[("kid", DataType::Integer), ("keyword", DataType::Text)],
+                Some("kid"),
+            )
+            .relation(
+                "domain_keyword",
+                &[("kid", DataType::Integer), ("did", DataType::Integer)],
+                None,
+            )
+            .relation(
+                "author",
+                &[("aid", DataType::Integer), ("name", DataType::Text)],
+                Some("aid"),
+            )
+            .relation(
+                "writes",
+                &[("aid", DataType::Integer), ("pid", DataType::Integer)],
+                None,
+            )
             .foreign_key("publication", "cid", "conference", "cid")
             .foreign_key("domain_conference", "cid", "conference", "cid")
             .foreign_key("domain_conference", "did", "domain", "did")
@@ -235,7 +275,10 @@ mod tests {
         let inference = infer_joins(&sg, None, &config, &bag_pub_domain()).unwrap();
         let best = inference.best().unwrap();
         let names = best.path.relation_names(&inference.graph);
-        assert!(names.contains(&"conference".to_string()), "path was {names:?}");
+        assert!(
+            names.contains(&"conference".to_string()),
+            "path was {names:?}"
+        );
     }
 
     #[test]
@@ -247,7 +290,10 @@ mod tests {
         let best = inference.best().unwrap();
         let names = best.path.relation_names(&inference.graph);
         assert!(names.contains(&"keyword".to_string()), "path was {names:?}");
-        assert!(!names.contains(&"conference".to_string()), "path was {names:?}");
+        assert!(
+            !names.contains(&"conference".to_string()),
+            "path was {names:?}"
+        );
     }
 
     #[test]
@@ -296,7 +342,10 @@ mod tests {
     fn single_relation_bag_yields_trivial_path() {
         let sg = SchemaGraph::from_schema(&mas_mini_schema());
         let config = TemplarConfig::default();
-        let bag = vec![BagItem::Attribute(AttributeRef::new("publication", "title"))];
+        let bag = vec![BagItem::Attribute(AttributeRef::new(
+            "publication",
+            "title",
+        ))];
         let inference = infer_joins(&sg, None, &config, &bag).unwrap();
         assert!(inference.best().unwrap().path.is_empty());
         assert_eq!(inference.best().unwrap().score, 1.0);

@@ -643,12 +643,22 @@ mod tests {
         let mut db = Database::new(schema);
         db.insert(
             "publication",
-            vec![1.into(), "Scalable Query Processing".into(), 2003.into(), 1.into()],
+            vec![
+                1.into(),
+                "Scalable Query Processing".into(),
+                2003.into(),
+                1.into(),
+            ],
         )
         .unwrap();
         db.insert(
             "publication",
-            vec![2.into(), "Interactive Data Exploration".into(), 1997.into(), 2.into()],
+            vec![
+                2.into(),
+                "Interactive Data Exploration".into(),
+                1997.into(),
+                2.into(),
+            ],
         )
         .unwrap();
         db.insert("journal", vec![1.into(), "TKDE".into()]).unwrap();
@@ -714,8 +724,7 @@ mod tests {
         let qfg = QueryFragmentGraph::build(&QueryLog::new(), Obscurity::NoConstOp);
         let sim = TextSimilarity::new();
         let mapper = KeywordMapper::new(&db, &qfg, &sim, &config);
-        let cands =
-            mapper.keyword_candidates(&Keyword::new("papers"), &KeywordMetadata::select());
+        let cands = mapper.keyword_candidates(&Keyword::new("papers"), &KeywordMetadata::select());
         assert_eq!(cands.len(), db.attribute_refs().len());
     }
 
@@ -760,7 +769,11 @@ mod tests {
         let cands = mapper.keyword_candidates(&kw, &KeywordMetadata::select());
         let pruned = mapper.score_and_prune(&kw, cands);
         assert!(pruned.len() >= 2);
-        assert!(pruned.len() <= 6, "tie handling should not explode: {}", pruned.len());
+        assert!(
+            pruned.len() <= 6,
+            "tie handling should not explode: {}",
+            pruned.len()
+        );
         // Sorted by score descending.
         for w in pruned.windows(2) {
             assert!(w[0].score >= w[1].score);

@@ -26,6 +26,7 @@ pub mod fragment;
 pub mod join;
 pub mod keyword;
 pub mod qfg;
+pub mod shared;
 pub mod templar;
 
 pub use config::{Obscurity, TemplarConfig};
@@ -35,4 +36,5 @@ pub use keyword::{
     Configuration, Keyword, KeywordMapper, KeywordMetadata, MappedElement, MappingCandidate,
 };
 pub use qfg::{QueryFragmentGraph, QueryLog};
+pub use shared::SharedTemplar;
 pub use templar::Templar;

@@ -16,12 +16,15 @@ use crate::config::Obscurity;
 use crate::fragment::{fragments_of_query, QueryFragment};
 use serde::{Deserialize, Serialize};
 use sqlparse::{parse_query, Query};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// A SQL query log: the raw material of the QFG.
+///
+/// Stored as a ring buffer so a serving deployment with a bounded log can
+/// evict the oldest entry ([`QueryLog::pop_oldest`]) in O(1).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct QueryLog {
-    queries: Vec<Query>,
+    queries: VecDeque<Query>,
 }
 
 impl QueryLog {
@@ -32,18 +35,20 @@ impl QueryLog {
 
     /// Build a log from already-parsed queries.
     pub fn from_queries(queries: Vec<Query>) -> Self {
-        QueryLog { queries }
+        QueryLog {
+            queries: queries.into(),
+        }
     }
 
     /// Build a log from SQL strings, skipping (and reporting) unparsable
     /// entries.  Real query logs contain noise; Templar only ever uses what
     /// it can parse.
     pub fn from_sql<'a>(statements: impl IntoIterator<Item = &'a str>) -> (Self, usize) {
-        let mut queries = Vec::new();
+        let mut queries = VecDeque::new();
         let mut skipped = 0;
         for sql in statements {
             match parse_query(sql) {
-                Ok(q) => queries.push(q),
+                Ok(q) => queries.push_back(q),
                 Err(_) => skipped += 1,
             }
         }
@@ -52,11 +57,17 @@ impl QueryLog {
 
     /// Append a query to the log.
     pub fn push(&mut self, query: Query) {
-        self.queries.push(query);
+        self.queries.push_back(query);
     }
 
-    /// The logged queries.
-    pub fn queries(&self) -> &[Query] {
+    /// Remove and return the oldest logged query (O(1); used for log
+    /// eviction when a long-running service bounds its log size).
+    pub fn pop_oldest(&mut self) -> Option<Query> {
+        self.queries.pop_front()
+    }
+
+    /// The logged queries, oldest first.
+    pub fn queries(&self) -> &VecDeque<Query> {
         &self.queries
     }
 
@@ -72,7 +83,18 @@ impl QueryLog {
 }
 
 /// The Query Fragment Graph.
-#[derive(Debug, Clone)]
+///
+/// The graph supports two mutation models:
+///
+/// * **batch** — [`QueryFragmentGraph::build`] over a whole [`QueryLog`], and
+/// * **incremental** — [`QueryFragmentGraph::ingest`] /
+///   [`QueryFragmentGraph::remove`] for one query at a time, in
+///   `O(fragments²)` per query, which lets a long-running service absorb
+///   newly-logged queries (and evict old ones) without rebuilding the whole
+///   graph.  Ingesting every query of a log into an empty graph is
+///   equivalent to a batch build (proved by a property test in
+///   `tests/qfg_properties.rs`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QueryFragmentGraph {
     obscurity: Obscurity,
     /// `n_v`: per-fragment occurrence counts (number of queries containing
@@ -86,28 +108,34 @@ pub struct QueryFragmentGraph {
 }
 
 impl QueryFragmentGraph {
-    /// Build the QFG of a query log at an obscurity level.
-    pub fn build(log: &QueryLog, obscurity: Obscurity) -> Self {
-        let mut graph = QueryFragmentGraph {
+    /// An empty graph at an obscurity level (the starting point for purely
+    /// incremental construction).
+    pub fn empty(obscurity: Obscurity) -> Self {
+        QueryFragmentGraph {
             obscurity,
             occurrences: HashMap::new(),
             co_occurrences: HashMap::new(),
             query_count: 0,
-        };
+        }
+    }
+
+    /// Build the QFG of a query log at an obscurity level.
+    pub fn build(log: &QueryLog, obscurity: Obscurity) -> Self {
+        let mut graph = Self::empty(obscurity);
         for query in log.queries() {
-            graph.add_query(query);
+            graph.ingest(query);
         }
         graph
     }
 
-    /// Incrementally add one query to the graph.
-    pub fn add_query(&mut self, query: &Query) {
+    /// Incrementally ingest one query into the graph, updating `n_v` / `n_e`
+    /// in `O(fragments²)` — no rebuild.
+    pub fn ingest(&mut self, query: &Query) {
         self.query_count += 1;
         // A query contributes at most 1 to n_v / n_e per fragment (pair),
         // matching "the number of occurrences in L of the query fragment":
         // occurrences are counted per logged query.
-        let fragments: BTreeSet<QueryFragment> =
-            fragments_of_query(query, self.obscurity).into_iter().collect();
+        let fragments = Self::distinct_fragments(query, self.obscurity);
         for f in &fragments {
             *self.occurrences.entry(f.clone()).or_insert(0) += 1;
         }
@@ -118,6 +146,68 @@ impl QueryFragmentGraph {
                 *self.co_occurrences.entry(key).or_insert(0) += 1;
             }
         }
+    }
+
+    /// Incrementally add one query to the graph.  Alias of
+    /// [`QueryFragmentGraph::ingest`], kept for the batch-construction
+    /// vocabulary used by earlier callers.
+    pub fn add_query(&mut self, query: &Query) {
+        self.ingest(query);
+    }
+
+    /// Remove one previously-ingested query from the graph (log eviction),
+    /// decrementing `n_v` / `n_e` and pruning counts that reach zero so the
+    /// graph's memory footprint tracks the live log.
+    ///
+    /// Returns `false` (leaving the graph untouched) if the query's
+    /// fragments are not fully present — i.e. it was never ingested at this
+    /// obscurity level.
+    pub fn remove(&mut self, query: &Query) -> bool {
+        if self.query_count == 0 {
+            return false;
+        }
+        let fragments = Self::distinct_fragments(query, self.obscurity);
+        // Validate first so a bad call cannot corrupt the counts.
+        for f in &fragments {
+            if self.occurrences.get(f).copied().unwrap_or(0) == 0 {
+                return false;
+            }
+        }
+        let list: Vec<&QueryFragment> = fragments.iter().collect();
+        for i in 0..list.len() {
+            for j in (i + 1)..list.len() {
+                let key = Self::pair_key(list[i], list[j]);
+                if self.co_occurrences.get(&key).copied().unwrap_or(0) == 0 {
+                    return false;
+                }
+            }
+        }
+        self.query_count -= 1;
+        for f in &fragments {
+            if let Some(count) = self.occurrences.get_mut(f) {
+                *count -= 1;
+                if *count == 0 {
+                    self.occurrences.remove(f);
+                }
+            }
+        }
+        for i in 0..list.len() {
+            for j in (i + 1)..list.len() {
+                let key = Self::pair_key(list[i], list[j]);
+                if let Some(count) = self.co_occurrences.get_mut(&key) {
+                    *count -= 1;
+                    if *count == 0 {
+                        self.co_occurrences.remove(&key);
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The distinct fragments of one query at an obscurity level, ordered.
+    fn distinct_fragments(query: &Query, obscurity: Obscurity) -> BTreeSet<QueryFragment> {
+        fragments_of_query(query, obscurity).into_iter().collect()
     }
 
     fn pair_key(a: &QueryFragment, b: &QueryFragment) -> (QueryFragment, QueryFragment) {
@@ -211,9 +301,7 @@ mod tests {
             sql.push("SELECT j.name FROM journal j".to_string());
         }
         for _ in 0..5 {
-            sql.push(
-                "SELECT p.title FROM publication p WHERE p.year > 2003".to_string(),
-            );
+            sql.push("SELECT p.title FROM publication p WHERE p.year > 2003".to_string());
         }
         for _ in 0..3 {
             sql.push(
@@ -237,8 +325,14 @@ mod tests {
     #[test]
     fn occurrence_counts_match_figure_3b() {
         let qfg = QueryFragmentGraph::build(&figure3_log(), Obscurity::NoConstOp);
-        assert_eq!(qfg.occurrences(&frag("journal.name", QueryContext::Select)), 25);
-        assert_eq!(qfg.occurrences(&frag("publication.title", QueryContext::Select)), 8);
+        assert_eq!(
+            qfg.occurrences(&frag("journal.name", QueryContext::Select)),
+            25
+        );
+        assert_eq!(
+            qfg.occurrences(&frag("publication.title", QueryContext::Select)),
+            8
+        );
         assert_eq!(qfg.occurrences(&QueryFragment::relation("journal")), 28);
         assert_eq!(qfg.occurrences(&QueryFragment::relation("publication")), 8);
         assert_eq!(

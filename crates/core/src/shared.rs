@@ -1,0 +1,101 @@
+//! A swappable, shared handle to an immutable [`Templar`] snapshot.
+//!
+//! The serving layer (`templar-service`) keeps one *current* `Arc<Templar>`
+//! that any number of translation threads read while an ingestion worker
+//! prepares the next snapshot in the background.  [`SharedTemplar`] is the
+//! cell they share:
+//!
+//! * [`SharedTemplar::load`] clones the current `Arc` under a read lock held
+//!   for the duration of one pointer clone — readers are never blocked by a
+//!   snapshot *rebuild* (which happens entirely outside the lock), only by
+//!   the O(1) pointer swap itself;
+//! * [`SharedTemplar::store`] publishes a new snapshot with an O(1) pointer
+//!   swap under the write lock.
+//!
+//! In-flight translations keep the `Arc` they loaded, so a swap never
+//! invalidates work already underway; old snapshots are freed when the last
+//! reader drops them.
+//!
+//! The cell lives in `templar_core` (rather than the service crate) so host
+//! NLIDB systems in `nlidb` can accept a serving handle without depending on
+//! the service crate.
+
+use crate::templar::Templar;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A cloneable handle to the current [`Templar`] snapshot.
+#[derive(Clone)]
+pub struct SharedTemplar {
+    current: Arc<RwLock<Arc<Templar>>>,
+}
+
+impl SharedTemplar {
+    /// Wrap an initial snapshot.
+    pub fn new(templar: Templar) -> Self {
+        Self::from_arc(Arc::new(templar))
+    }
+
+    /// Wrap an already-shared initial snapshot.
+    pub fn from_arc(templar: Arc<Templar>) -> Self {
+        SharedTemplar {
+            current: Arc::new(RwLock::new(templar)),
+        }
+    }
+
+    /// The current snapshot.  O(1): one `Arc` clone under a read lock.
+    pub fn load(&self) -> Arc<Templar> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// Publish a new snapshot.  O(1) pointer swap; readers that already
+    /// loaded the previous snapshot keep using it.
+    pub fn store(&self, templar: Arc<Templar>) {
+        *self.current.write() = templar;
+    }
+
+    /// Publish a new snapshot and return the previous one.
+    pub fn swap(&self, templar: Arc<Templar>) -> Arc<Templar> {
+        std::mem::replace(&mut *self.current.write(), templar)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TemplarConfig;
+    use crate::qfg::QueryLog;
+    use relational::{DataType, Database, Schema};
+
+    fn tiny_templar(year: i64) -> Templar {
+        let schema = Schema::builder("t")
+            .relation("r", &[("a", DataType::Integer)], Some("a"))
+            .build();
+        let mut db = Database::new(schema);
+        db.insert("r", vec![year.into()]).unwrap();
+        Templar::new(Arc::new(db), &QueryLog::new(), TemplarConfig::default())
+    }
+
+    #[test]
+    fn load_store_swap_round_trip() {
+        let shared = SharedTemplar::new(tiny_templar(1));
+        let first = shared.load();
+        let second = Arc::new(tiny_templar(2));
+        let old = shared.swap(Arc::clone(&second));
+        assert!(Arc::ptr_eq(&old, &first));
+        assert!(Arc::ptr_eq(&shared.load(), &second));
+        // The clone shares the same cell.
+        let alias = shared.clone();
+        alias.store(Arc::clone(&first));
+        assert!(Arc::ptr_eq(&shared.load(), &first));
+    }
+
+    #[test]
+    fn readers_keep_their_snapshot_across_swaps() {
+        let shared = SharedTemplar::new(tiny_templar(1));
+        let held = shared.load();
+        shared.store(Arc::new(tiny_templar(2)));
+        // The old snapshot is still alive and usable for in-flight work.
+        assert_eq!(held.qfg().query_count(), 0);
+    }
+}

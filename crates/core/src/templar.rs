@@ -17,6 +17,7 @@ use parking_lot::Mutex;
 use relational::Database;
 use schemagraph::SchemaGraph;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The Templar system.
@@ -30,21 +31,16 @@ pub struct Templar {
     /// Join inference is the most expensive step and the same bag recurs for
     /// every configuration that maps keywords to the same relations.
     join_cache: Mutex<HashMap<String, Arc<JoinInference>>>,
+    /// Join-cache hit / miss counters (observable by the serving layer).
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
 impl Templar {
     /// Build Templar for a database, a SQL query log and a configuration.
     pub fn new(db: Arc<Database>, log: &QueryLog, config: TemplarConfig) -> Self {
-        let schema_graph = SchemaGraph::from_schema(db.schema());
         let qfg = QueryFragmentGraph::build(log, config.obscurity);
-        Templar {
-            db,
-            schema_graph,
-            qfg,
-            similarity: TextSimilarity::new(),
-            config,
-            join_cache: Mutex::new(HashMap::new()),
-        }
+        Self::from_parts(db, qfg, TextSimilarity::new(), config)
     }
 
     /// Build Templar with an explicit similarity model (used by tests and by
@@ -55,9 +51,43 @@ impl Templar {
         config: TemplarConfig,
         similarity: TextSimilarity,
     ) -> Self {
-        let mut t = Self::new(db, log, config);
-        t.similarity = similarity;
-        t
+        let qfg = QueryFragmentGraph::build(log, config.obscurity);
+        Self::from_parts(db, qfg, similarity, config)
+    }
+
+    /// Build Templar from an already-constructed Query Fragment Graph.
+    ///
+    /// This is the constructor the serving layer uses when it refreshes a
+    /// snapshot: the service maintains the QFG incrementally
+    /// ([`QueryFragmentGraph::ingest`]) and hands a clone here, so a refresh
+    /// costs one graph clone instead of a full log replay.
+    ///
+    /// # Panics
+    ///
+    /// If the graph's obscurity level does not match `config.obscurity` —
+    /// mixing levels would silently produce wrong Dice scores.
+    pub fn from_parts(
+        db: Arc<Database>,
+        qfg: QueryFragmentGraph,
+        similarity: TextSimilarity,
+        config: TemplarConfig,
+    ) -> Self {
+        assert_eq!(
+            qfg.obscurity(),
+            config.obscurity,
+            "QFG obscurity level must match the Templar configuration"
+        );
+        let schema_graph = SchemaGraph::from_schema(db.schema());
+        Templar {
+            db,
+            schema_graph,
+            qfg,
+            similarity,
+            config,
+            join_cache: Mutex::new(HashMap::new()),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        }
     }
 
     /// The configuration in use.
@@ -90,6 +120,14 @@ impl Templar {
         &self.similarity
     }
 
+    /// Join-cache statistics: `(hits, misses)` since construction.
+    pub fn join_cache_stats(&self) -> (u64, u64) {
+        (
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+        )
+    }
+
     /// `MAPKEYWORDS`: map keywords (with metadata) to ranked configurations.
     pub fn map_keywords(&self, keywords: &[(Keyword, KeywordMetadata)]) -> Vec<Configuration> {
         let mapper = KeywordMapper::new(&self.db, &self.qfg, &self.similarity, &self.config);
@@ -108,8 +146,10 @@ impl Templar {
         signature.sort();
         let key = format!("{}|log={}", signature.join(","), self.config.use_log_joins);
         if let Some(hit) = self.join_cache.lock().get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Some(Arc::clone(hit));
         }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
         let qfg = if self.config.use_log_joins {
             Some(&self.qfg)
         } else {
@@ -151,7 +191,12 @@ mod tests {
         let mut db = Database::new(schema);
         db.insert(
             "publication",
-            vec![1.into(), "Query Optimization Revisited".into(), 2004.into(), 1.into()],
+            vec![
+                1.into(),
+                "Query Optimization Revisited".into(),
+                2004.into(),
+                1.into(),
+            ],
         )
         .unwrap();
         db.insert("journal", vec![1.into(), "TKDE".into()]).unwrap();
@@ -198,7 +243,10 @@ mod tests {
         ];
         let first = templar.infer_joins(&bag).unwrap();
         let second = templar.infer_joins(&bag).unwrap();
-        assert!(Arc::ptr_eq(&first, &second), "second call should hit the cache");
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "second call should hit the cache"
+        );
     }
 
     #[test]

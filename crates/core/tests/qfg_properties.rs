@@ -1,0 +1,214 @@
+//! Property-based tests for the Query Fragment Graph's mutation model
+//! (following the pattern of `crates/nlp/tests/properties.rs`):
+//!
+//! * incremental `ingest` over a shuffled log ≡ batch `build`,
+//! * `remove` is the exact inverse of `ingest`,
+//! * Dice-coefficient edge cases (self-co-occurrence, zero-count fragments).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use templar_core::{Obscurity, QueryFragment, QueryFragmentGraph, QueryLog};
+
+/// Tables and columns of the miniature academic schema used to generate
+/// random-but-parsable SQL.
+const TABLES: [(&str, &str, [&str; 2]); 3] = [
+    ("publication", "p", ["title", "year"]),
+    ("journal", "j", ["name", "jid"]),
+    ("author", "a", ["name", "aid"]),
+];
+
+const OPS: [&str; 4] = [">", "<", "=", ">="];
+
+/// One random single-table query: `SELECT t.c FROM t [WHERE t.c op n]`.
+fn single_table_query() -> impl Strategy<Value = String> {
+    (
+        0usize..TABLES.len(),
+        0usize..2,
+        proptest::option::of((0usize..2, 0usize..OPS.len(), 0i64..40)),
+    )
+        .prop_map(|(t, c, pred)| {
+            let (table, alias, cols) = TABLES[t];
+            let mut sql = format!("SELECT {alias}.{} FROM {table} {alias}", cols[c]);
+            if let Some((pc, op, v)) = pred {
+                sql.push_str(&format!(" WHERE {alias}.{} {} {v}", cols[pc], OPS[op]));
+            }
+            sql
+        })
+}
+
+/// One random join query over publication × journal.
+fn join_query() -> impl Strategy<Value = String> {
+    (0usize..2, proptest::option::of(0i64..40)).prop_map(|(c, year)| {
+        let select = ["p.title", "j.name"][c];
+        let mut sql = format!("SELECT {select} FROM publication p, journal j WHERE p.jid = j.jid");
+        if let Some(y) = year {
+            sql.push_str(&format!(" AND p.year > {y}"));
+        }
+        sql
+    })
+}
+
+/// A random log of up to 24 queries.
+fn log_strategy() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(prop_oneof![single_table_query(), join_query()], 1..24)
+}
+
+fn parse_log(sqls: &[String]) -> QueryLog {
+    let (log, skipped) = QueryLog::from_sql(sqls.iter().map(String::as_str));
+    assert_eq!(skipped, 0, "generated SQL must parse: {sqls:?}");
+    log
+}
+
+proptest! {
+    /// Ingesting every query of a log — in any order — into an empty graph
+    /// yields exactly the graph a batch build produces, at every obscurity
+    /// level.
+    #[test]
+    fn shuffled_ingest_equals_batch_build(sqls in log_strategy(), seed in any::<u64>()) {
+        let log = parse_log(&sqls);
+        for obscurity in Obscurity::ALL {
+            let batch = QueryFragmentGraph::build(&log, obscurity);
+
+            let mut shuffled: Vec<_> = log.queries().iter().cloned().collect();
+            StdRng::seed_from_u64(seed).shuffle(&mut shuffled);
+
+            let mut incremental = QueryFragmentGraph::empty(obscurity);
+            for query in &shuffled {
+                incremental.ingest(query);
+            }
+            prop_assert_eq!(
+                &batch, &incremental,
+                "ingest-from-empty must equal build at {:?}", obscurity
+            );
+        }
+    }
+
+    /// `remove` exactly inverts `ingest`: adding a batch of extra queries
+    /// and removing them again restores the original graph, including the
+    /// pruning of zero-count vertices and edges.
+    #[test]
+    fn remove_inverts_ingest(base in log_strategy(), extra in log_strategy()) {
+        let base_log = parse_log(&base);
+        let extra_log = parse_log(&extra);
+        let original = QueryFragmentGraph::build(&base_log, Obscurity::NoConstOp);
+
+        let mut graph = original.clone();
+        for query in extra_log.queries() {
+            graph.ingest(query);
+        }
+        for query in extra_log.queries() {
+            prop_assert!(graph.remove(query), "removing an ingested query must succeed");
+        }
+        prop_assert_eq!(&graph, &original);
+    }
+
+    /// Removing every query leaves a completely empty graph — no stale
+    /// zero-count entries keep memory alive.
+    #[test]
+    fn removing_all_queries_empties_the_graph(sqls in log_strategy()) {
+        let log = parse_log(&sqls);
+        let mut graph = QueryFragmentGraph::build(&log, Obscurity::NoConst);
+        for query in log.queries() {
+            prop_assert!(graph.remove(query));
+        }
+        prop_assert_eq!(graph.fragment_count(), 0);
+        prop_assert_eq!(graph.edge_count(), 0);
+        prop_assert_eq!(graph.query_count(), 0);
+    }
+
+    /// Dice stays within [0, 1] for arbitrary fragment pairs drawn from the
+    /// graph, and is symmetric.
+    #[test]
+    fn dice_is_bounded_and_symmetric(sqls in log_strategy(), i in 0usize..64, j in 0usize..64) {
+        let log = parse_log(&sqls);
+        let graph = QueryFragmentGraph::build(&log, Obscurity::NoConstOp);
+        let fragments: Vec<QueryFragment> =
+            graph.fragments().map(|(f, _)| f.clone()).collect();
+        prop_assert!(!fragments.is_empty(), "a non-empty log always yields fragments");
+        let a = &fragments[i % fragments.len()];
+        let b = &fragments[j % fragments.len()];
+        let d = graph.dice(a, b);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert_eq!(d, graph.dice(b, a));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dice edge cases (deterministic)
+// ---------------------------------------------------------------------------
+
+fn sample_graph() -> QueryFragmentGraph {
+    let (log, skipped) = QueryLog::from_sql([
+        "SELECT p.title FROM publication p WHERE p.year > 2000",
+        "SELECT p.title FROM publication p",
+        "SELECT j.name FROM journal j",
+    ]);
+    assert_eq!(skipped, 0);
+    QueryFragmentGraph::build(&log, Obscurity::NoConstOp)
+}
+
+#[test]
+fn self_co_occurrence_equals_occurrence_count() {
+    let graph = sample_graph();
+    let title = QueryFragment {
+        expr: "publication.title".to_string(),
+        context: templar_core::QueryContext::Select,
+    };
+    assert_eq!(graph.occurrences(&title), 2);
+    // n_e(c, c) is defined as n_v(c): a fragment always co-occurs with
+    // itself, which is what makes Dice(c, c) = 1.
+    assert_eq!(graph.co_occurrences(&title, &title), 2);
+    assert!((graph.dice(&title, &title) - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn zero_count_fragments_have_zero_dice_everywhere() {
+    let graph = sample_graph();
+    let unknown = QueryFragment {
+        expr: "business.stars ?op ?val".to_string(),
+        context: templar_core::QueryContext::Where,
+    };
+    let title = QueryFragment {
+        expr: "publication.title".to_string(),
+        context: templar_core::QueryContext::Select,
+    };
+    assert_eq!(graph.occurrences(&unknown), 0);
+    assert_eq!(graph.co_occurrences(&unknown, &title), 0);
+    assert_eq!(graph.dice(&unknown, &title), 0.0);
+    // Dice of two unknown fragments must not divide by zero.
+    assert_eq!(graph.dice(&unknown, &unknown), 0.0);
+}
+
+#[test]
+fn removal_updates_dice_evidence() {
+    let (log, _) = QueryLog::from_sql([
+        "SELECT p.title FROM publication p WHERE p.year > 2000",
+        "SELECT p.title FROM publication p WHERE p.year > 1995",
+    ]);
+    let mut graph = QueryFragmentGraph::build(&log, Obscurity::NoConstOp);
+    let title = QueryFragment {
+        expr: "publication.title".to_string(),
+        context: templar_core::QueryContext::Select,
+    };
+    let pred = QueryFragment {
+        expr: "publication.year ?op ?val".to_string(),
+        context: templar_core::QueryContext::Where,
+    };
+    assert!((graph.dice(&title, &pred) - 1.0).abs() < 1e-12);
+    assert!(graph.remove(&log.queries()[0]));
+    // Still perfectly correlated, with halved counts.
+    assert_eq!(graph.occurrences(&title), 1);
+    assert!((graph.dice(&title, &pred) - 1.0).abs() < 1e-12);
+    assert!(graph.remove(&log.queries()[1]));
+    assert_eq!(graph.dice(&title, &pred), 0.0);
+}
+
+#[test]
+fn remove_of_never_ingested_query_is_refused() {
+    let mut graph = sample_graph();
+    let stranger = sqlparse::parse_query("SELECT a.name FROM author a").unwrap();
+    let before = graph.clone();
+    assert!(!graph.remove(&stranger));
+    assert_eq!(graph, before, "a refused remove must not corrupt counts");
+}

@@ -164,10 +164,7 @@ pub(crate) fn case(
 ) -> BenchmarkCase {
     let gold_sql_parsed =
         parse_query(gold_sql).unwrap_or_else(|e| panic!("invalid gold SQL `{gold_sql}`: {e}"));
-    let (kw, gold): (Vec<_>, Vec<_>) = keywords
-        .into_iter()
-        .map(|(k, m, g)| ((k, m), g))
-        .unzip();
+    let (kw, gold): (Vec<_>, Vec<_>) = keywords.into_iter().map(|(k, m, g)| ((k, m), g)).unzip();
     let nlq = Nlq::new(text, kw, gold).with_parser_difficulty(hard_for_parser);
     BenchmarkCase {
         id,

@@ -11,7 +11,7 @@ use crate::benchmark::{
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use relational::{Database, DataType, Schema, Value};
+use relational::{DataType, Database, Schema, Value};
 use sqlparse::{Aggregate, BinOp};
 use std::sync::Arc;
 
@@ -57,14 +57,30 @@ pub const DIRECTORS: [&str; 12] = [
 
 /// Producer names.
 pub const PRODUCERS: [&str; 10] = [
-    "Alan Pierce", "Bella Nguyen", "Carl Weiss", "Dina Rahman", "Elio Conti", "Faye Morrison",
-    "Gil Herrera", "Hiro Sato", "Ida Larsen", "Jack Monroe",
+    "Alan Pierce",
+    "Bella Nguyen",
+    "Carl Weiss",
+    "Dina Rahman",
+    "Elio Conti",
+    "Faye Morrison",
+    "Gil Herrera",
+    "Hiro Sato",
+    "Ida Larsen",
+    "Jack Monroe",
 ];
 
 /// Writer names.
 pub const WRITERS: [&str; 10] = [
-    "Kate Willis", "Leo Abadi", "Mona Haddad", "Nils Berg", "Ona Petrova", "Paul Renner",
-    "Queenie Zhao", "Ray Sandoval", "Suki Mori", "Tessa Quinn",
+    "Kate Willis",
+    "Leo Abadi",
+    "Mona Haddad",
+    "Nils Berg",
+    "Ona Petrova",
+    "Paul Renner",
+    "Queenie Zhao",
+    "Ray Sandoval",
+    "Suki Mori",
+    "Tessa Quinn",
 ];
 
 /// Movie titles referenced by the benchmark.
@@ -107,8 +123,20 @@ pub const SERIES: [&str; 10] = [
 
 /// Genres.
 pub const GENRES: [&str; 14] = [
-    "Drama", "Comedy", "Thriller", "Action", "Romance", "Horror", "Documentary", "Animation",
-    "Science Fiction", "Mystery", "Western", "Musical", "Crime", "Adventure",
+    "Drama",
+    "Comedy",
+    "Thriller",
+    "Action",
+    "Romance",
+    "Horror",
+    "Documentary",
+    "Animation",
+    "Science Fiction",
+    "Mystery",
+    "Western",
+    "Musical",
+    "Crime",
+    "Adventure",
 ];
 
 /// Production companies.
@@ -129,8 +157,16 @@ pub const COMPANIES: [&str; 12] = [
 
 /// Plot keywords.
 pub const PLOT_KEYWORDS: [&str; 10] = [
-    "heist", "time travel", "small town", "courtroom", "road trip", "haunted house",
-    "space station", "undercover", "coming of age", "revenge",
+    "heist",
+    "time travel",
+    "small town",
+    "courtroom",
+    "road trip",
+    "haunted house",
+    "space station",
+    "undercover",
+    "coming of age",
+    "revenge",
 ];
 
 /// The IMDB schema: 16 relations, 65 attributes, 20 FK-PK edges.
@@ -189,7 +225,11 @@ pub fn schema() -> Schema {
             Some("wid"),
         )
         .relation("genre", &[("gid", Integer), ("genre", Text)], Some("gid"))
-        .relation("keyword", &[("kid", Integer), ("keyword", Text)], Some("kid"))
+        .relation(
+            "keyword",
+            &[("kid", Integer), ("keyword", Text)],
+            Some("kid"),
+        )
         .relation(
             "company",
             &[("cid", Integer), ("name", Text), ("country_code", Text)],
@@ -208,12 +248,23 @@ pub fn schema() -> Schema {
         )
         .relation(
             "cast",
-            &[("id", Integer), ("msid", Integer), ("aid", Integer), ("sid", Integer), ("role", Text)],
+            &[
+                ("id", Integer),
+                ("msid", Integer),
+                ("aid", Integer),
+                ("sid", Integer),
+                ("role", Text),
+            ],
             Some("id"),
         )
         .relation(
             "directed_by",
-            &[("id", Integer), ("msid", Integer), ("did", Integer), ("sid", Integer)],
+            &[
+                ("id", Integer),
+                ("msid", Integer),
+                ("did", Integer),
+                ("sid", Integer),
+            ],
             Some("id"),
         )
         .relation(
@@ -223,22 +274,42 @@ pub fn schema() -> Schema {
         )
         .relation(
             "written_by",
-            &[("id", Integer), ("msid", Integer), ("wid", Integer), ("sid", Integer)],
+            &[
+                ("id", Integer),
+                ("msid", Integer),
+                ("wid", Integer),
+                ("sid", Integer),
+            ],
             Some("id"),
         )
         .relation(
             "classification",
-            &[("id", Integer), ("msid", Integer), ("gid", Integer), ("sid", Integer)],
+            &[
+                ("id", Integer),
+                ("msid", Integer),
+                ("gid", Integer),
+                ("sid", Integer),
+            ],
             Some("id"),
         )
         .relation(
             "tags",
-            &[("id", Integer), ("msid", Integer), ("kid", Integer), ("sid", Integer)],
+            &[
+                ("id", Integer),
+                ("msid", Integer),
+                ("kid", Integer),
+                ("sid", Integer),
+            ],
             Some("id"),
         )
         .relation(
             "copyright",
-            &[("id", Integer), ("msid", Integer), ("cid", Integer), ("sid", Integer)],
+            &[
+                ("id", Integer),
+                ("msid", Integer),
+                ("cid", Integer),
+                ("sid", Integer),
+            ],
             Some("id"),
         )
         .foreign_key("cast", "msid", "movie", "mid")
@@ -268,8 +339,17 @@ pub fn schema() -> Schema {
 pub fn database() -> Database {
     let mut db = Database::new(schema());
     let mut rng = StdRng::seed_from_u64(0x494d_4442); // "IMDB"
-    let cities = ["Los Angeles", "London", "Toronto", "Mumbai", "Seoul", "Berlin"];
-    let nationalities = ["American", "British", "Canadian", "Indian", "Korean", "German"];
+    let cities = [
+        "Los Angeles",
+        "London",
+        "Toronto",
+        "Mumbai",
+        "Seoul",
+        "Berlin",
+    ];
+    let nationalities = [
+        "American", "British", "Canadian", "Indian", "Korean", "German",
+    ];
 
     for (i, name) in ACTORS.iter().enumerate() {
         db.insert(
@@ -357,10 +437,9 @@ pub fn database() -> Database {
     // Movies (extend beyond the named titles with generated ones).
     let n_movies = 120;
     for i in 0..n_movies {
-        let title = if i < MOVIES.len() {
-            MOVIES[i].to_string()
-        } else {
-            format!("Untitled Project {}", i + 1)
+        let title = match MOVIES.get(i) {
+            Some(name) => name.to_string(),
+            None => format!("Untitled Project {}", i + 1),
         };
         db.insert(
             "movie",
@@ -503,13 +582,21 @@ pub fn cases() -> Vec<BenchmarkCase> {
 
     // I3 — "movies released after {year}" (12): release_year exists on both
     // movie and tv_series, birth_year on people.
-    for year in [1980, 1985, 1990, 1995, 1998, 2000, 2003, 2005, 2008, 2010, 2013, 2015] {
+    for year in [
+        1980, 1985, 1990, 1995, 1998, 2000, 2003, 2005, 2008, 2010, 2013, 2015,
+    ] {
         cases.push(case(
             next_id(),
             format!("List movies released after {year}"),
             vec![
                 select_attr("movies", "movie", "title"),
-                filter_num(&format!("after {year}"), "movie", "release_year", BinOp::Gt, year as f64),
+                filter_num(
+                    &format!("after {year}"),
+                    "movie",
+                    "release_year",
+                    BinOp::Gt,
+                    year as f64,
+                ),
             ],
             &format!("SELECT m.title FROM movie m WHERE m.release_year > {year}"),
             CaseKind::KeywordAmbiguous,
@@ -706,7 +793,9 @@ mod tests {
             for pred in case.gold_sql.filter_predicates() {
                 let cols = pred.columns();
                 let Some(col) = cols.first() else { continue };
-                let Some(qualifier) = col.qualifier.as_deref() else { continue };
+                let Some(qualifier) = col.qualifier.as_deref() else {
+                    continue;
+                };
                 let relation = case
                     .gold_sql
                     .resolve_qualifier(qualifier)
@@ -733,14 +822,22 @@ mod tests {
                     .is_empty()
             })
             .count();
-        assert!(shared >= 4, "expected actor/director name collisions, got {shared}");
+        assert!(
+            shared >= 4,
+            "expected actor/director name collisions, got {shared}"
+        );
     }
 
     #[test]
     fn stats_match_table_ii() {
         let stats = dataset().stats();
         assert_eq!(
-            (stats.relations, stats.attributes, stats.fk_pk, stats.queries),
+            (
+                stats.relations,
+                stats.attributes,
+                stats.fk_pk,
+                stats.queries
+            ),
             (16, 65, 20, 128)
         );
     }

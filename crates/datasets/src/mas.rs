@@ -14,7 +14,7 @@ use crate::benchmark::{
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use relational::{Database, DataType, Schema, Value};
+use relational::{DataType, Database, Schema, Value};
 use sqlparse::{Aggregate, BinOp};
 use std::sync::Arc;
 
@@ -37,8 +37,18 @@ pub const DOMAINS: [&str; 12] = [
 
 /// Journal names.
 pub const JOURNALS: [&str; 12] = [
-    "TKDE", "TODS", "VLDB Journal", "TMC", "JMLR", "TPAMI", "TON", "TISSEC", "JACM", "CACM",
-    "TOG", "Briefings in Bioinformatics",
+    "TKDE",
+    "TODS",
+    "VLDB Journal",
+    "TMC",
+    "JMLR",
+    "TPAMI",
+    "TON",
+    "TISSEC",
+    "JACM",
+    "CACM",
+    "TOG",
+    "Briefings in Bioinformatics",
 ];
 
 /// Conference names.
@@ -126,12 +136,22 @@ pub fn schema() -> Schema {
     Schema::builder("mas")
         .relation(
             "author",
-            &[("aid", Integer), ("name", Text), ("homepage", Text), ("oid", Integer)],
+            &[
+                ("aid", Integer),
+                ("name", Text),
+                ("homepage", Text),
+                ("oid", Integer),
+            ],
             Some("aid"),
         )
         .relation(
             "organization",
-            &[("oid", Integer), ("name", Text), ("continent", Text), ("homepage", Text)],
+            &[
+                ("oid", Integer),
+                ("name", Text),
+                ("continent", Text),
+                ("homepage", Text),
+            ],
             Some("oid"),
         )
         .relation(
@@ -150,32 +170,77 @@ pub fn schema() -> Schema {
         )
         .relation(
             "journal",
-            &[("jid", Integer), ("name", Text), ("full_name", Text), ("homepage", Text)],
+            &[
+                ("jid", Integer),
+                ("name", Text),
+                ("full_name", Text),
+                ("homepage", Text),
+            ],
             Some("jid"),
         )
         .relation(
             "conference",
-            &[("cid", Integer), ("name", Text), ("full_name", Text), ("homepage", Text)],
+            &[
+                ("cid", Integer),
+                ("name", Text),
+                ("full_name", Text),
+                ("homepage", Text),
+            ],
             Some("cid"),
         )
         .relation("domain", &[("did", Integer), ("name", Text)], Some("did"))
-        .relation("keyword", &[("kid", Integer), ("keyword", Text)], Some("kid"))
+        .relation(
+            "keyword",
+            &[("kid", Integer), ("keyword", Text)],
+            Some("kid"),
+        )
         .relation("writes", &[("aid", Integer), ("pid", Integer)], None)
         .relation("cite", &[("citing", Integer), ("cited", Integer)], None)
         .relation("domain_author", &[("aid", Integer), ("did", Integer)], None)
-        .relation("domain_conference", &[("cid", Integer), ("did", Integer)], None)
-        .relation("domain_journal", &[("jid", Integer), ("did", Integer)], None)
-        .relation("domain_keyword", &[("kid", Integer), ("did", Integer)], None)
-        .relation("publication_keyword", &[("pid", Integer), ("kid", Integer)], None)
-        .relation("organization_domain", &[("oid", Integer), ("did", Integer)], None)
+        .relation(
+            "domain_conference",
+            &[("cid", Integer), ("did", Integer)],
+            None,
+        )
+        .relation(
+            "domain_journal",
+            &[("jid", Integer), ("did", Integer)],
+            None,
+        )
+        .relation(
+            "domain_keyword",
+            &[("kid", Integer), ("did", Integer)],
+            None,
+        )
+        .relation(
+            "publication_keyword",
+            &[("pid", Integer), ("kid", Integer)],
+            None,
+        )
+        .relation(
+            "organization_domain",
+            &[("oid", Integer), ("did", Integer)],
+            None,
+        )
         .relation(
             "conference_series",
-            &[("csid", Integer), ("name", Text), ("full_name", Text), ("impact", Float)],
+            &[
+                ("csid", Integer),
+                ("name", Text),
+                ("full_name", Text),
+                ("impact", Float),
+            ],
             Some("csid"),
         )
         .relation(
             "research_group",
-            &[("rgid", Integer), ("name", Text), ("homepage", Text), ("university", Text), ("country", Text)],
+            &[
+                ("rgid", Integer),
+                ("name", Text),
+                ("homepage", Text),
+                ("university", Text),
+                ("country", Text),
+            ],
             Some("rgid"),
         )
         .foreign_key("author", "oid", "organization", "oid")
@@ -316,12 +381,18 @@ pub fn database() -> Database {
         .expect("writes row");
         db.insert(
             "writes",
-            vec![Value::Int(((i + 7) % AUTHORS.len()) as i64 + 1), Value::Int(pid)],
+            vec![
+                Value::Int(((i + 7) % AUTHORS.len()) as i64 + 1),
+                Value::Int(pid),
+            ],
         )
         .expect("writes row");
         db.insert(
             "publication_keyword",
-            vec![Value::Int(pid), Value::Int((i % keyword_values.len()) as i64 + 1)],
+            vec![
+                Value::Int(pid),
+                Value::Int((i % keyword_values.len()) as i64 + 1),
+            ],
         )
         .expect("publication_keyword row");
         if i > 0 {
@@ -335,35 +406,50 @@ pub fn database() -> Database {
     for (i, _) in AUTHORS.iter().enumerate() {
         db.insert(
             "domain_author",
-            vec![Value::Int(i as i64 + 1), Value::Int((i % DOMAINS.len()) as i64 + 1)],
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::Int((i % DOMAINS.len()) as i64 + 1),
+            ],
         )
         .expect("domain_author row");
     }
     for (i, _) in CONFERENCES.iter().enumerate() {
         db.insert(
             "domain_conference",
-            vec![Value::Int(i as i64 + 1), Value::Int((i % DOMAINS.len()) as i64 + 1)],
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::Int((i % DOMAINS.len()) as i64 + 1),
+            ],
         )
         .expect("domain_conference row");
     }
     for (i, _) in JOURNALS.iter().enumerate() {
         db.insert(
             "domain_journal",
-            vec![Value::Int(i as i64 + 1), Value::Int((i % DOMAINS.len()) as i64 + 1)],
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::Int((i % DOMAINS.len()) as i64 + 1),
+            ],
         )
         .expect("domain_journal row");
     }
     for (i, _) in keyword_values.iter().enumerate() {
         db.insert(
             "domain_keyword",
-            vec![Value::Int(i as i64 + 1), Value::Int((i % DOMAINS.len()) as i64 + 1)],
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::Int((i % DOMAINS.len()) as i64 + 1),
+            ],
         )
         .expect("domain_keyword row");
     }
     for (i, _) in ORGANIZATIONS.iter().enumerate() {
         db.insert(
             "organization_domain",
-            vec![Value::Int(i as i64 + 1), Value::Int((i % DOMAINS.len()) as i64 + 1)],
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::Int((i % DOMAINS.len()) as i64 + 1),
+            ],
         )
         .expect("organization_domain row");
     }
@@ -434,7 +520,10 @@ pub fn cases() -> Vec<BenchmarkCase> {
     }
 
     // T2 — "papers after/before {year}": single-table numeric selections (16).
-    for (i, year) in [1995, 1998, 2000, 2003, 2005, 2008, 2010, 2012].iter().enumerate() {
+    for (i, year) in [1995, 1998, 2000, 2003, 2005, 2008, 2010, 2012]
+        .iter()
+        .enumerate()
+    {
         let (word, op, sym) = if i % 2 == 0 {
             ("after", BinOp::Gt, ">")
         } else {
@@ -446,7 +535,13 @@ pub fn cases() -> Vec<BenchmarkCase> {
                 format!("Return the {noun} published {word} {year}"),
                 vec![
                     select_attr(noun, "publication", "title"),
-                    filter_num(&format!("{word} {year}"), "publication", "year", op, *year as f64),
+                    filter_num(
+                        &format!("{word} {year}"),
+                        "publication",
+                        "year",
+                        op,
+                        *year as f64,
+                    ),
                 ],
                 &format!("SELECT p.title FROM publication p WHERE p.year {sym} {year}"),
                 // "before {year}" keywords are satisfied by many numeric
@@ -578,7 +673,13 @@ pub fn cases() -> Vec<BenchmarkCase> {
             vec![
                 select_group("author", "author", "name"),
                 select_agg("papers", "publication", "pid", Aggregate::Count),
-                filter_num(&format!("after {year}"), "publication", "year", BinOp::Gt, year as f64),
+                filter_num(
+                    &format!("after {year}"),
+                    "publication",
+                    "year",
+                    BinOp::Gt,
+                    year as f64,
+                ),
             ],
             &format!(
                 "SELECT a.name, COUNT(p.pid) FROM author a, writes w, publication p \
@@ -703,7 +804,13 @@ pub fn cases() -> Vec<BenchmarkCase> {
                 vec![
                     select_attr("papers", "publication", "title"),
                     filter_eq(domain, "domain", "name", domain),
-                    filter_num(&format!("after {year}"), "publication", "year", BinOp::Gt, year as f64),
+                    filter_num(
+                        &format!("after {year}"),
+                        "publication",
+                        "year",
+                        BinOp::Gt,
+                        year as f64,
+                    ),
                 ],
                 &pub_domain_sql(domain, &format!(" AND p.year > {year}")),
                 CaseKind::JoinAmbiguous,
@@ -758,7 +865,10 @@ mod tests {
                     continue;
                 };
                 let Some(relation) = case.gold_sql.resolve_qualifier(qualifier) else {
-                    panic!("gold SQL of case {} has unresolved qualifier {qualifier}", case.id);
+                    panic!(
+                        "gold SQL of case {} has unresolved qualifier {qualifier}",
+                        case.id
+                    );
                 };
                 assert!(
                     db.predicate_nonempty(relation, pred),
@@ -787,7 +897,11 @@ mod tests {
     #[test]
     fn keyword_texts_are_nonempty_and_mapped() {
         for case in cases() {
-            assert!(!case.nlq.keywords.is_empty(), "case {} has no keywords", case.id);
+            assert!(
+                !case.nlq.keywords.is_empty(),
+                "case {} has no keywords",
+                case.id
+            );
             assert_eq!(
                 case.nlq.keywords.len(),
                 case.nlq.gold_mappings.len(),

@@ -11,14 +11,27 @@ use crate::benchmark::{
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use relational::{Database, DataType, Schema, Value};
+use relational::{DataType, Database, Schema, Value};
 use sqlparse::{Aggregate, BinOp};
 use std::sync::Arc;
 
 /// Cities used by the benchmark.
 pub const CITIES: [&str; 16] = [
-    "Phoenix", "Las Vegas", "Charlotte", "Pittsburgh", "Madison", "Edinburgh", "Karlsruhe",
-    "Montreal", "Waterloo", "Urbana", "Tempe", "Scottsdale", "Mesa", "Chandler", "Henderson",
+    "Phoenix",
+    "Las Vegas",
+    "Charlotte",
+    "Pittsburgh",
+    "Madison",
+    "Edinburgh",
+    "Karlsruhe",
+    "Montreal",
+    "Waterloo",
+    "Urbana",
+    "Tempe",
+    "Scottsdale",
+    "Mesa",
+    "Chandler",
+    "Henderson",
     "Gilbert",
 ];
 
@@ -29,8 +42,22 @@ pub const STATES: [&str; 14] = [
 
 /// Business categories.
 pub const CATEGORIES: [&str; 16] = [
-    "Mexican", "Italian", "Chinese", "Thai", "Pizza", "Burgers", "Sushi", "Vegan", "Barbeque",
-    "Seafood", "Steakhouse", "Breakfast", "Coffee", "Bakeries", "Nightlife", "Indian",
+    "Mexican",
+    "Italian",
+    "Chinese",
+    "Thai",
+    "Pizza",
+    "Burgers",
+    "Sushi",
+    "Vegan",
+    "Barbeque",
+    "Seafood",
+    "Steakhouse",
+    "Breakfast",
+    "Coffee",
+    "Bakeries",
+    "Nightlife",
+    "Indian",
 ];
 
 /// Business names referenced by the benchmark.
@@ -79,7 +106,11 @@ pub fn schema() -> Schema {
         )
         .relation(
             "category",
-            &[("id", Integer), ("business_id", Integer), ("category_name", Text)],
+            &[
+                ("id", Integer),
+                ("business_id", Integer),
+                ("category_name", Text),
+            ],
             Some("id"),
         )
         .relation(
@@ -108,7 +139,12 @@ pub fn schema() -> Schema {
         )
         .relation(
             "checkin",
-            &[("cid", Integer), ("business_id", Integer), ("checkin_count", Integer), ("day", Text)],
+            &[
+                ("cid", Integer),
+                ("business_id", Integer),
+                ("checkin_count", Integer),
+                ("day", Text),
+            ],
             Some("cid"),
         )
         .relation(
@@ -125,7 +161,11 @@ pub fn schema() -> Schema {
         )
         .relation(
             "neighbourhood",
-            &[("id", Integer), ("business_id", Integer), ("neighbourhood_name", Text)],
+            &[
+                ("id", Integer),
+                ("business_id", Integer),
+                ("neighbourhood_name", Text),
+            ],
             Some("id"),
         )
         .foreign_key("category", "business_id", "business", "business_id")
@@ -160,7 +200,10 @@ pub fn database() -> Database {
                 Value::Float(33.0 + i as f64 / 10.0),
                 Value::Float(-112.0 - i as f64 / 10.0),
                 Value::Int(rng.gen_range(5..900) as i64),
-                Value::Float((rng.gen_range(2..11) as f64) / 2.0),
+                // Cycle stars through the full 1.0..5.0 scale so every
+                // boundary predicate in the gold SQL (e.g. `stars > 4.5`)
+                // is satisfiable regardless of the RNG stream.
+                Value::Float(((2 + (i % 9)) as f64) / 2.0),
                 Value::Int((i % 2) as i64),
             ],
         )
@@ -332,7 +375,13 @@ pub fn cases() -> Vec<BenchmarkCase> {
                 format!("Find {noun} rated above {x} stars"),
                 vec![
                     select_attr(noun, "business", "name"),
-                    filter_num(&format!("above {x} stars"), "business", "stars", BinOp::Gt, x),
+                    filter_num(
+                        &format!("above {x} stars"),
+                        "business",
+                        "stars",
+                        BinOp::Gt,
+                        x,
+                    ),
                 ],
                 &format!("SELECT b.name FROM business b WHERE b.stars > {x}"),
                 CaseKind::KeywordAmbiguous,
@@ -469,7 +518,9 @@ mod tests {
             for pred in case.gold_sql.filter_predicates() {
                 let cols = pred.columns();
                 let Some(col) = cols.first() else { continue };
-                let Some(qualifier) = col.qualifier.as_deref() else { continue };
+                let Some(qualifier) = col.qualifier.as_deref() else {
+                    continue;
+                };
                 let relation = case
                     .gold_sql
                     .resolve_qualifier(qualifier)
@@ -487,7 +538,12 @@ mod tests {
     fn stats_match_table_ii() {
         let stats = dataset().stats();
         assert_eq!(
-            (stats.relations, stats.attributes, stats.fk_pk, stats.queries),
+            (
+                stats.relations,
+                stats.attributes,
+                stats.fk_pk,
+                stats.queries
+            ),
             (7, 38, 7, 127)
         );
     }

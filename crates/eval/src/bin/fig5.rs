@@ -8,5 +8,8 @@ fn main() {
     let kappas: Vec<usize> = (1..=10).collect();
     let sweep = fig5(&datasets, &kappas);
     println!("{}", sweep.render());
-    println!("{}", serde_json::to_string_pretty(&sweep).expect("serializable result"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&sweep).expect("serializable result")
+    );
 }

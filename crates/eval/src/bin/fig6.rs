@@ -8,5 +8,8 @@ fn main() {
     let lambdas: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
     let sweep = fig6(&datasets, &lambdas);
     println!("{}", sweep.render());
-    println!("{}", serde_json::to_string_pretty(&sweep).expect("serializable result"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&sweep).expect("serializable result")
+    );
 }

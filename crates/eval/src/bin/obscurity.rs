@@ -7,5 +7,8 @@ fn main() {
     let datasets = Dataset::all();
     let ablation = obscurity(&datasets);
     println!("{}", ablation.render());
-    println!("{}", serde_json::to_string_pretty(&ablation).expect("serializable result"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&ablation).expect("serializable result")
+    );
 }

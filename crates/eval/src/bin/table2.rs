@@ -7,5 +7,8 @@ fn main() {
     let datasets = Dataset::all();
     let table = table2(&datasets);
     println!("{}", table.render());
-    println!("{}", serde_json::to_string_pretty(&table).expect("serializable result"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&table).expect("serializable result")
+    );
 }

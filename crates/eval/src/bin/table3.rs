@@ -9,5 +9,8 @@ fn main() {
     let datasets = Dataset::all();
     let table = table3(&datasets, &TemplarConfig::paper_defaults());
     println!("{}", table.render());
-    println!("{}", serde_json::to_string_pretty(&table).expect("serializable result"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&table).expect("serializable result")
+    );
 }

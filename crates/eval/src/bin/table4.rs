@@ -8,5 +8,8 @@ fn main() {
     let datasets = Dataset::all();
     let table = table4(&datasets, &TemplarConfig::paper_defaults());
     println!("{}", table.render());
-    println!("{}", serde_json::to_string_pretty(&table).expect("serializable result"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&table).expect("serializable result")
+    );
 }

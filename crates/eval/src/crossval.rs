@@ -111,10 +111,11 @@ pub fn evaluate_system_with_folds(
     for fold in dataset.folds(folds) {
         let instance = system.build(Arc::clone(&dataset.db), &fold.log, config);
         for case_id in &fold.test_case_ids {
-            let case = dataset.case(*case_id).expect("fold references a known case");
+            let case = dataset
+                .case(*case_id)
+                .expect("fold references a known case");
             let results = instance.translate(&case.nlq);
-            let keywords: Vec<Keyword> =
-                case.nlq.keywords.iter().map(|(k, _)| k.clone()).collect();
+            let keywords: Vec<Keyword> = case.nlq.keywords.iter().map(|(k, _)| k.clone()).collect();
             kw.record(kw_correct(&results, &keywords, &case.nlq.gold_mappings));
             fq.record(fq_correct(&results, &case.gold_sql));
         }
@@ -141,11 +142,13 @@ mod tests {
         // pipeline end to end.
         let dataset = Dataset::yelp();
         let config = TemplarConfig::default();
-        let acc =
-            evaluate_system_with_folds(&dataset, SystemKind::PipelinePlus, &config, 2);
+        let acc = evaluate_system_with_folds(&dataset, SystemKind::PipelinePlus, &config, 2);
         assert_eq!(acc.fq.total, dataset.cases.len());
         assert_eq!(acc.kw.total, dataset.cases.len());
-        assert!(acc.fq.correct > 0, "Pipeline+ should answer some Yelp queries");
+        assert!(
+            acc.fq.correct > 0,
+            "Pipeline+ should answer some Yelp queries"
+        );
         assert!(acc.kw.correct >= acc.fq.correct);
     }
 }

@@ -142,14 +142,31 @@ mod tests {
 
     fn academic_schema() -> Schema {
         Schema::builder("academic")
-            .relation("author", &[("aid", DataType::Integer), ("name", DataType::Text)], Some("aid"))
-            .relation("writes", &[("aid", DataType::Integer), ("pid", DataType::Integer)], None)
+            .relation(
+                "author",
+                &[("aid", DataType::Integer), ("name", DataType::Text)],
+                Some("aid"),
+            )
+            .relation(
+                "writes",
+                &[("aid", DataType::Integer), ("pid", DataType::Integer)],
+                None,
+            )
             .relation(
                 "publication",
-                &[("pid", DataType::Integer), ("title", DataType::Text), ("year", DataType::Integer), ("jid", DataType::Integer)],
+                &[
+                    ("pid", DataType::Integer),
+                    ("title", DataType::Text),
+                    ("year", DataType::Integer),
+                    ("jid", DataType::Integer),
+                ],
                 Some("pid"),
             )
-            .relation("journal", &[("jid", DataType::Integer), ("name", DataType::Text)], Some("jid"))
+            .relation(
+                "journal",
+                &[("jid", DataType::Integer), ("name", DataType::Text)],
+                Some("jid"),
+            )
             .foreign_key("writes", "aid", "author", "aid")
             .foreign_key("writes", "pid", "publication", "pid")
             .foreign_key("publication", "jid", "journal", "jid")
@@ -305,7 +322,10 @@ mod tests {
         let sg = SchemaGraph::from_schema(&academic_schema());
         let tconfig = TemplarConfig::default().with_log_joins(false);
         // Join path over publication only...
-        let pub_bag = vec![BagItem::Attribute(AttributeRef::new("publication", "title"))];
+        let pub_bag = vec![BagItem::Attribute(AttributeRef::new(
+            "publication",
+            "title",
+        ))];
         let inference = infer_joins(&sg, None, &tconfig, &pub_bag).unwrap();
         let best = inference.best().unwrap().path.clone();
         // ...but the configuration references journal.name.

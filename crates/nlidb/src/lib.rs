@@ -28,5 +28,5 @@ pub mod system;
 
 pub use construct::construct_query;
 pub use nalir::NaLirSystem;
-pub use pipeline::PipelineSystem;
-pub use system::{Nlq, NlidbSystem, RankedSql};
+pub use pipeline::{translate_with, PipelineSystem};
+pub use system::{NlidbSystem, Nlq, RankedSql, TemplarSource};

@@ -18,16 +18,18 @@
 //! mapping and join inference to Templar, as in the paper.
 
 use crate::pipeline::translate_with;
-use crate::system::{Nlq, NlidbSystem, RankedSql};
+use crate::system::{NlidbSystem, Nlq, RankedSql, TemplarSource};
 use nlp::{SynonymLexicon, TextSimilarity, WordModel};
 use relational::Database;
 use std::sync::Arc;
-use templar_core::{Keyword, KeywordMetadata, QueryContext, QueryLog, Templar, TemplarConfig};
+use templar_core::{
+    Keyword, KeywordMetadata, QueryContext, QueryLog, SharedTemplar, Templar, TemplarConfig,
+};
 
-/// A NaLIR-style NLIDB (baseline or Templar-augmented).
+/// A NaLIR-style NLIDB (baseline, Templar-augmented, or live-serving).
 pub struct NaLirSystem {
     name: String,
-    templar: Arc<Templar>,
+    source: TemplarSource,
 }
 
 impl NaLirSystem {
@@ -42,7 +44,7 @@ impl NaLirSystem {
         let templar = Templar::with_similarity(db, &QueryLog::new(), config, similarity);
         NaLirSystem {
             name: "NaLIR".to_string(),
-            templar: Arc::new(templar),
+            source: TemplarSource::Fixed(Arc::new(templar)),
         }
     }
 
@@ -52,13 +54,24 @@ impl NaLirSystem {
         let templar = Templar::new(db, log, config);
         NaLirSystem {
             name: "NaLIR+".to_string(),
-            templar: Arc::new(templar),
+            source: TemplarSource::Fixed(Arc::new(templar)),
         }
     }
 
-    /// The underlying Templar facade.
-    pub fn templar(&self) -> &Templar {
-        &self.templar
+    /// NaLIR+ over a live serving handle (`TemplarService::handle()`): the
+    /// same noisy parser, but keyword mapping and join inference run against
+    /// the service's newest published snapshot.
+    pub fn serving(handle: SharedTemplar) -> Self {
+        NaLirSystem {
+            name: "NaLIR+live".to_string(),
+            source: TemplarSource::Shared(handle),
+        }
+    }
+
+    /// The Templar facade used for the next translation (the current
+    /// snapshot, in the serving variant).
+    pub fn templar(&self) -> Arc<Templar> {
+        self.source.current()
     }
 
     /// NaLIR's parse of the NLQ: the gold keywords, degraded by the
@@ -142,7 +155,7 @@ impl NlidbSystem for NaLirSystem {
         if keywords.is_empty() {
             return Vec::new();
         }
-        translate_with(&self.templar, &keywords)
+        translate_with(&self.source.current(), &keywords)
     }
 }
 
@@ -156,13 +169,20 @@ mod tests {
         let schema = Schema::builder("academic")
             .relation(
                 "publication",
-                &[("pid", DataType::Integer), ("title", DataType::Text), ("year", DataType::Integer)],
+                &[
+                    ("pid", DataType::Integer),
+                    ("title", DataType::Text),
+                    ("year", DataType::Integer),
+                ],
                 Some("pid"),
             )
             .build();
         let mut db = Database::new(schema);
-        db.insert("publication", vec![1.into(), "Deep Joins".into(), 2005.into()])
-            .unwrap();
+        db.insert(
+            "publication",
+            vec![1.into(), "Deep Joins".into(), 2005.into()],
+        )
+        .unwrap();
         Arc::new(db)
     }
 

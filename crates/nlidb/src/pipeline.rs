@@ -14,23 +14,23 @@
 //! paper describes.
 
 use crate::construct::construct_query;
-use crate::system::{Nlq, NlidbSystem, RankedSql};
+use crate::system::{NlidbSystem, Nlq, RankedSql, TemplarSource};
 use relational::Database;
 use sqlparse::canonicalize;
 use std::collections::BTreeSet;
 use std::sync::Arc;
 use templar_core::{
-    BagItem, Configuration, Keyword, KeywordMetadata, MappedElement, QueryLog, Templar,
-    TemplarConfig,
+    BagItem, Configuration, Keyword, KeywordMetadata, MappedElement, QueryLog, SharedTemplar,
+    Templar, TemplarConfig,
 };
 
 /// How many of the top configurations are expanded into SQL candidates.
 const CONFIGS_PER_QUERY: usize = 6;
 
-/// A pipeline-style NLIDB (baseline or Templar-augmented).
+/// A pipeline-style NLIDB (baseline, Templar-augmented, or live-serving).
 pub struct PipelineSystem {
     name: String,
-    templar: Arc<Templar>,
+    source: TemplarSource,
 }
 
 impl PipelineSystem {
@@ -43,7 +43,7 @@ impl PipelineSystem {
         let templar = Templar::new(db, &QueryLog::new(), config);
         PipelineSystem {
             name: "Pipeline".to_string(),
-            templar: Arc::new(templar),
+            source: TemplarSource::Fixed(Arc::new(templar)),
         }
     }
 
@@ -53,7 +53,7 @@ impl PipelineSystem {
         let templar = Templar::new(db, log, config);
         PipelineSystem {
             name: "Pipeline+".to_string(),
-            templar: Arc::new(templar),
+            source: TemplarSource::Fixed(Arc::new(templar)),
         }
     }
 
@@ -62,13 +62,25 @@ impl PipelineSystem {
     pub fn with_templar(name: impl Into<String>, templar: Arc<Templar>) -> Self {
         PipelineSystem {
             name: name.into(),
-            templar,
+            source: TemplarSource::Fixed(templar),
         }
     }
 
-    /// The underlying Templar facade.
-    pub fn templar(&self) -> &Templar {
-        &self.templar
+    /// Pipeline+ over a live serving handle (`TemplarService::handle()`):
+    /// every translation runs against the service's newest published
+    /// snapshot, so ingested log entries sharpen subsequent translations
+    /// without rebuilding the system.
+    pub fn serving(handle: SharedTemplar) -> Self {
+        PipelineSystem {
+            name: "Pipeline+live".to_string(),
+            source: TemplarSource::Shared(handle),
+        }
+    }
+
+    /// The Templar facade used for the next translation (the current
+    /// snapshot, in the serving variant).
+    pub fn templar(&self) -> Arc<Templar> {
+        self.source.current()
     }
 
     /// The keywords this system feeds to keyword mapping.  Pipeline receives
@@ -79,8 +91,9 @@ impl PipelineSystem {
 }
 
 /// Shared translation driver: map keywords, infer joins for the top
-/// configurations, construct SQL, and rank.
-pub(crate) fn translate_with(
+/// configurations, construct SQL, and rank.  Public so the serving layer
+/// (`templar-service`) can drive translations against a snapshot directly.
+pub fn translate_with(
     templar: &Templar,
     keywords: &[(Keyword, KeywordMetadata)],
 ) -> Vec<RankedSql> {
@@ -146,7 +159,7 @@ impl NlidbSystem for PipelineSystem {
 
     fn translate(&self, nlq: &Nlq) -> Vec<RankedSql> {
         let keywords = self.parse(nlq);
-        translate_with(&self.templar, &keywords)
+        translate_with(&self.source.current(), &keywords)
     }
 }
 
@@ -242,13 +255,11 @@ mod tests {
 
     #[test]
     fn augmented_system_produces_the_intended_translation() {
-        let system =
-            PipelineSystem::augmented(academic_db(), &log(), TemplarConfig::default());
+        let system = PipelineSystem::augmented(academic_db(), &log(), TemplarConfig::default());
         assert_eq!(system.name(), "Pipeline+");
         let results = system.translate(&papers_after_2000());
         assert!(!results.is_empty());
-        let gold =
-            parse_query("SELECT p.title FROM publication p WHERE p.year > 2000").unwrap();
+        let gold = parse_query("SELECT p.title FROM publication p WHERE p.year > 2000").unwrap();
         assert!(
             canon::equivalent(&results[0].query, &gold),
             "top-1 was: {}",

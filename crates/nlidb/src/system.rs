@@ -2,7 +2,34 @@
 
 use serde::{Deserialize, Serialize};
 use sqlparse::Query;
-use templar_core::{Configuration, Keyword, KeywordMetadata, MappedElement};
+use std::sync::Arc;
+use templar_core::{
+    Configuration, Keyword, KeywordMetadata, MappedElement, SharedTemplar, Templar,
+};
+
+/// Where a host system gets its Templar facade from.
+///
+/// * [`TemplarSource::Fixed`] — the batch setting of the paper: one
+///   immutable facade for the system's lifetime.
+/// * [`TemplarSource::Shared`] — the serving setting: a
+///   [`SharedTemplar`] handle (as produced by `templar_service::
+///   TemplarService::handle`) whose snapshot is re-loaded per translation,
+///   so the system picks up every published ingest epoch without rebuilds
+///   or locks on the translation path.
+pub enum TemplarSource {
+    Fixed(Arc<Templar>),
+    Shared(SharedTemplar),
+}
+
+impl TemplarSource {
+    /// The facade to use for one translation.  O(1) in both variants.
+    pub fn current(&self) -> Arc<Templar> {
+        match self {
+            TemplarSource::Fixed(templar) => Arc::clone(templar),
+            TemplarSource::Shared(handle) => handle.load(),
+        }
+    }
+}
 
 /// A natural-language query together with its gold-standard hand parse.
 ///

@@ -222,7 +222,11 @@ impl WordModel {
         if wa.is_empty() || wb.is_empty() {
             return 0.0;
         }
-        let (short, long) = if wa.len() <= wb.len() { (&wa, &wb) } else { (&wb, &wa) };
+        let (short, long) = if wa.len() <= wb.len() {
+            (&wa, &wb)
+        } else {
+            (&wb, &wa)
+        };
         let mut total = 0.0;
         for s in short.iter() {
             let best = long
@@ -257,7 +261,10 @@ mod tests {
         let syn = m.word_similarity("papers", "publication");
         let unrelated = m.word_similarity("papers", "city");
         assert!(syn > 0.7, "synonym similarity too low: {syn}");
-        assert!(unrelated < 0.5, "unrelated similarity too high: {unrelated}");
+        assert!(
+            unrelated < 0.5,
+            "unrelated similarity too high: {unrelated}"
+        );
         assert!(syn > unrelated);
     }
 

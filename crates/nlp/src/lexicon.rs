@@ -62,14 +62,43 @@ impl SynonymLexicon {
     pub fn builtin() -> Self {
         let mut lex = Self::new();
         // -------- academic (MAS) --------
-        let paper = lex.add_group(&["paper", "papers", "publication", "publications", "article", "articles"]);
+        let paper = lex.add_group(&[
+            "paper",
+            "papers",
+            "publication",
+            "publications",
+            "article",
+            "articles",
+        ]);
         let journal = lex.add_group(&["journal", "journals", "venue", "periodical"]);
         let conference = lex.add_group(&["conference", "conferences", "meeting", "symposium"]);
-        let author = lex.add_group(&["author", "authors", "writer", "researcher", "researchers", "person", "people"]);
-        let organization = lex.add_group(&["organization", "organizations", "institution", "university", "affiliation"]);
+        let author = lex.add_group(&[
+            "author",
+            "authors",
+            "writer",
+            "researcher",
+            "researchers",
+            "person",
+            "people",
+        ]);
+        let organization = lex.add_group(&[
+            "organization",
+            "organizations",
+            "institution",
+            "university",
+            "affiliation",
+        ]);
         let keyword_g = lex.add_group(&["keyword", "keywords", "topic", "topics", "term"]);
         let domain_g = lex.add_group(&["domain", "domains", "area", "areas", "field", "fields"]);
-        let citation = lex.add_group(&["citation", "citations", "cite", "cites", "cited", "reference", "references"]);
+        let citation = lex.add_group(&[
+            "citation",
+            "citations",
+            "cite",
+            "cites",
+            "cited",
+            "reference",
+            "references",
+        ]);
         let year_g = lex.add_group(&["year", "years", "date", "time"]);
         let title_g = lex.add_group(&["title", "titles", "name", "names", "called"]);
         let count_g = lex.add_group(&["count", "number", "total", "many"]);
@@ -84,10 +113,33 @@ impl SynonymLexicon {
         lex.relate(title_g, paper);
 
         // -------- business reviews (Yelp) --------
-        let business = lex.add_group(&["business", "businesses", "place", "places", "establishment", "shop", "store"]);
-        let restaurant = lex.add_group(&["restaurant", "restaurants", "diner", "eatery", "bar", "cafe"]);
+        let business = lex.add_group(&[
+            "business",
+            "businesses",
+            "place",
+            "places",
+            "establishment",
+            "shop",
+            "store",
+        ]);
+        let restaurant = lex.add_group(&[
+            "restaurant",
+            "restaurants",
+            "diner",
+            "eatery",
+            "bar",
+            "cafe",
+        ]);
         let review_g = lex.add_group(&["review", "reviews", "comment", "comments", "feedback"]);
-        let user_g = lex.add_group(&["user", "users", "reviewer", "reviewers", "member", "customer", "customers"]);
+        let user_g = lex.add_group(&[
+            "user",
+            "users",
+            "reviewer",
+            "reviewers",
+            "member",
+            "customer",
+            "customers",
+        ]);
         let rating = lex.add_group(&["rating", "ratings", "stars", "star", "score"]);
         let city_g = lex.add_group(&["city", "cities", "town", "location"]);
         let state_g = lex.add_group(&["state", "states", "province"]);
@@ -244,7 +296,11 @@ mod tests {
     #[test]
     fn relation_is_symmetric() {
         let lex = SynonymLexicon::builtin();
-        for (a, b) in [("papers", "journal"), ("actor", "director"), ("city", "state")] {
+        for (a, b) in [
+            ("papers", "journal"),
+            ("actor", "director"),
+            ("city", "state"),
+        ] {
             assert_eq!(lex.relation(a, b), lex.relation(b, a));
         }
     }

@@ -393,7 +393,14 @@ mod tests {
 
     #[test]
     fn stemming_is_idempotent_on_common_words() {
-        for w in ["restaurant", "paper", "journal", "review", "actor", "domain"] {
+        for w in [
+            "restaurant",
+            "paper",
+            "journal",
+            "review",
+            "actor",
+            "domain",
+        ] {
             let once = porter_stem(w);
             let twice = porter_stem(&once);
             // Porter is not idempotent in general, but should be stable for

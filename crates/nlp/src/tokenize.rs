@@ -72,7 +72,11 @@ pub fn tokenize(input: &str) -> Vec<Token> {
             let start = i;
             let mut seen_dot = false;
             while i < chars.len()
-                && (chars[i].is_ascii_digit() || (chars[i] == '.' && !seen_dot && i + 1 < chars.len() && chars[i + 1].is_ascii_digit()))
+                && (chars[i].is_ascii_digit()
+                    || (chars[i] == '.'
+                        && !seen_dot
+                        && i + 1 < chars.len()
+                        && chars[i + 1].is_ascii_digit()))
             {
                 if chars[i] == '.' {
                     seen_dot = true;
@@ -181,7 +185,10 @@ mod tests {
 
     #[test]
     fn extracts_numbers() {
-        assert_eq!(extract_numbers("between 1995 and 2005"), vec![1995.0, 2005.0]);
+        assert_eq!(
+            extract_numbers("between 1995 and 2005"),
+            vec![1995.0, 2005.0]
+        );
         assert_eq!(extract_numbers("rating 4.5"), vec![4.5]);
         assert!(extract_numbers("no numbers here").is_empty());
     }

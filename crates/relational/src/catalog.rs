@@ -177,13 +177,19 @@ impl Schema {
         for r in &self.relations {
             if let Some(pk) = &r.primary_key {
                 if r.attribute(pk).is_none() {
-                    problems.push(format!("relation {} declares missing primary key {pk}", r.name));
+                    problems.push(format!(
+                        "relation {} declares missing primary key {pk}",
+                        r.name
+                    ));
                 }
             }
             let mut seen = std::collections::HashSet::new();
             for a in &r.attributes {
                 if !seen.insert(a.name.to_lowercase()) {
-                    problems.push(format!("relation {} has duplicate attribute {}", r.name, a.name));
+                    problems.push(format!(
+                        "relation {} has duplicate attribute {}",
+                        r.name, a.name
+                    ));
                 }
             }
         }
@@ -299,9 +305,7 @@ mod tests {
     fn lookup_by_name_is_case_insensitive() {
         let s = small_schema();
         assert!(s.relation("Publication").is_some());
-        assert!(s
-            .attribute(&AttributeRef::new("journal", "NAME"))
-            .is_some());
+        assert!(s.attribute(&AttributeRef::new("journal", "NAME")).is_some());
         assert!(s.relation("missing").is_none());
     }
 
@@ -348,6 +352,9 @@ mod tests {
 
     #[test]
     fn attribute_ref_display() {
-        assert_eq!(AttributeRef::new("journal", "name").to_string(), "journal.name");
+        assert_eq!(
+            AttributeRef::new("journal", "name").to_string(),
+            "journal.name"
+        );
     }
 }

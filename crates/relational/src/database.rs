@@ -151,9 +151,8 @@ impl Database {
             return false;
         };
         table.rows().any(|row| {
-            let lookup = |name: &str| -> Option<Value> {
-                table.column_index(name).map(|i| row[i].clone())
-            };
+            let lookup =
+                |name: &str| -> Option<Value> { table.column_index(name).map(|i| row[i].clone()) };
             evaluate(pred, &lookup).unwrap_or(false)
         })
     }
@@ -238,7 +237,10 @@ mod tests {
         let db = sample_db();
         let matches = db.text_search("natural language", &[]);
         assert_eq!(matches.len(), 1);
-        assert_eq!(matches[0].attribute, AttributeRef::new("publication", "title"));
+        assert_eq!(
+            matches[0].attribute,
+            AttributeRef::new("publication", "title")
+        );
         assert_eq!(db.text_search("TKDE", &[]).len(), 1);
         assert!(db.text_search("quantum chromodynamics", &[]).is_empty());
     }

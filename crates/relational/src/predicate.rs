@@ -38,7 +38,9 @@ fn compare_text(s: &str, op: BinOp, t: &str) -> bool {
     match op {
         BinOp::Eq => s.eq_ignore_ascii_case(t),
         BinOp::NotEq => !s.eq_ignore_ascii_case(t),
-        BinOp::Like => s.to_lowercase().contains(&t.to_lowercase().replace('%', "")),
+        BinOp::Like => s
+            .to_lowercase()
+            .contains(&t.to_lowercase().replace('%', "")),
         BinOp::Lt => s.to_lowercase() < t.to_lowercase(),
         BinOp::LtEq => s.to_lowercase() <= t.to_lowercase(),
         BinOp::Gt => s.to_lowercase() > t.to_lowercase(),
@@ -184,7 +186,10 @@ mod tests {
         assert_eq!(evaluate(&between, &lookup_year_2003), Some(true));
         let inn = Predicate::In {
             col: ColumnRef::new("name"),
-            values: vec![Literal::String("TMC".into()), Literal::String("TKDE".into())],
+            values: vec![
+                Literal::String("TMC".into()),
+                Literal::String("TKDE".into()),
+            ],
             negated: false,
         };
         assert_eq!(evaluate(&inn, &lookup_year_2003), Some(true));

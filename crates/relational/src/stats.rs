@@ -54,7 +54,11 @@ mod tests {
                 &[("id", DataType::Integer), ("name", DataType::Text)],
                 Some("id"),
             )
-            .relation("u", &[("id", DataType::Integer), ("tid", DataType::Integer)], Some("id"))
+            .relation(
+                "u",
+                &[("id", DataType::Integer), ("tid", DataType::Integer)],
+                Some("id"),
+            )
             .foreign_key("u", "tid", "t", "id")
             .build();
         let mut db = Database::new(schema);

@@ -194,7 +194,11 @@ mod tests {
         Schema::builder("mini")
             .relation(
                 "publication",
-                &[("pid", DataType::Integer), ("title", DataType::Text), ("jid", DataType::Integer)],
+                &[
+                    ("pid", DataType::Integer),
+                    ("title", DataType::Text),
+                    ("jid", DataType::Integer),
+                ],
                 Some("pid"),
             )
             .relation(

@@ -276,11 +276,7 @@ impl JoinGraph {
 
     fn clone_node(&mut self, node: NodeId) -> NodeId {
         let relation = self.nodes[node].relation.clone();
-        let instance = self
-            .nodes
-            .iter()
-            .filter(|n| n.relation == relation)
-            .count();
+        let instance = self.nodes.iter().filter(|n| n.relation == relation).count();
         let id = self.nodes.len();
         self.nodes.push(JoinNode { relation, instance });
         id
@@ -306,7 +302,11 @@ mod tests {
             )
             .relation(
                 "publication",
-                &[("pid", DataType::Integer), ("title", DataType::Text), ("jid", DataType::Integer)],
+                &[
+                    ("pid", DataType::Integer),
+                    ("title", DataType::Text),
+                    ("jid", DataType::Integer),
+                ],
                 Some("pid"),
             )
             .relation(
@@ -351,8 +351,20 @@ mod tests {
     #[test]
     fn shortest_path_prefers_lower_weights() {
         let schema = Schema::builder("tri")
-            .relation("a", &[("id", DataType::Integer), ("bid", DataType::Integer), ("cid", DataType::Integer)], Some("id"))
-            .relation("b", &[("id", DataType::Integer), ("cid", DataType::Integer)], Some("id"))
+            .relation(
+                "a",
+                &[
+                    ("id", DataType::Integer),
+                    ("bid", DataType::Integer),
+                    ("cid", DataType::Integer),
+                ],
+                Some("id"),
+            )
+            .relation(
+                "b",
+                &[("id", DataType::Integer), ("cid", DataType::Integer)],
+                Some("id"),
+            )
             .relation("c", &[("id", DataType::Integer)], Some("id"))
             .foreign_key("a", "bid", "b", "id")
             .foreign_key("a", "cid", "c", "id")

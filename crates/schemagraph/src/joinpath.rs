@@ -167,8 +167,16 @@ mod tests {
     fn chain_graph() -> JoinGraph {
         let schema = Schema::builder("chain")
             .relation("a", &[("id", DataType::Integer)], Some("id"))
-            .relation("b", &[("id", DataType::Integer), ("aid", DataType::Integer)], Some("id"))
-            .relation("c", &[("id", DataType::Integer), ("bid", DataType::Integer)], Some("id"))
+            .relation(
+                "b",
+                &[("id", DataType::Integer), ("aid", DataType::Integer)],
+                Some("id"),
+            )
+            .relation(
+                "c",
+                &[("id", DataType::Integer), ("bid", DataType::Integer)],
+                Some("id"),
+            )
             .foreign_key("b", "aid", "a", "id")
             .foreign_key("c", "bid", "b", "id")
             .build();

@@ -284,13 +284,45 @@ mod tests {
     /// keyword (3 hops via publication_keyword, keyword, domain_keyword).
     fn mas_like_schema() -> Schema {
         Schema::builder("mas_mini")
-            .relation("publication", &[("pid", DataType::Integer), ("title", DataType::Text), ("cid", DataType::Integer)], Some("pid"))
-            .relation("conference", &[("cid", DataType::Integer), ("name", DataType::Text)], Some("cid"))
-            .relation("domain_conference", &[("cid", DataType::Integer), ("did", DataType::Integer)], None)
-            .relation("domain", &[("did", DataType::Integer), ("name", DataType::Text)], Some("did"))
-            .relation("publication_keyword", &[("pid", DataType::Integer), ("kid", DataType::Integer)], None)
-            .relation("keyword", &[("kid", DataType::Integer), ("keyword", DataType::Text)], Some("kid"))
-            .relation("domain_keyword", &[("kid", DataType::Integer), ("did", DataType::Integer)], None)
+            .relation(
+                "publication",
+                &[
+                    ("pid", DataType::Integer),
+                    ("title", DataType::Text),
+                    ("cid", DataType::Integer),
+                ],
+                Some("pid"),
+            )
+            .relation(
+                "conference",
+                &[("cid", DataType::Integer), ("name", DataType::Text)],
+                Some("cid"),
+            )
+            .relation(
+                "domain_conference",
+                &[("cid", DataType::Integer), ("did", DataType::Integer)],
+                None,
+            )
+            .relation(
+                "domain",
+                &[("did", DataType::Integer), ("name", DataType::Text)],
+                Some("did"),
+            )
+            .relation(
+                "publication_keyword",
+                &[("pid", DataType::Integer), ("kid", DataType::Integer)],
+                None,
+            )
+            .relation(
+                "keyword",
+                &[("kid", DataType::Integer), ("keyword", DataType::Text)],
+                Some("kid"),
+            )
+            .relation(
+                "domain_keyword",
+                &[("kid", DataType::Integer), ("did", DataType::Integer)],
+                None,
+            )
             .foreign_key("publication", "cid", "conference", "cid")
             .foreign_key("domain_conference", "cid", "conference", "cid")
             .foreign_key("domain_conference", "did", "domain", "did")
@@ -325,10 +357,16 @@ mod tests {
         // (3 edges) rather than through keyword (4 edges): exactly the
         // unintended behaviour of Example 2 in the paper.
         let g = graph();
-        let terminals = [g.node_of("publication").unwrap(), g.node_of("domain").unwrap()];
+        let terminals = [
+            g.node_of("publication").unwrap(),
+            g.node_of("domain").unwrap(),
+        ];
         let p = steiner_tree(&g, &terminals).unwrap();
         let names = p.relation_names(&g);
-        assert!(names.contains(&"conference".to_string()), "path was {names:?}");
+        assert!(
+            names.contains(&"conference".to_string()),
+            "path was {names:?}"
+        );
         assert!(!names.contains(&"keyword".to_string()));
         assert_eq!(p.edges.len(), 3);
         assert!(p.is_valid_tree(&g));
@@ -347,7 +385,10 @@ mod tests {
             sg
         };
         let g = JoinGraph::from_schema_graph(&sg);
-        let terminals = [g.node_of("publication").unwrap(), g.node_of("domain").unwrap()];
+        let terminals = [
+            g.node_of("publication").unwrap(),
+            g.node_of("domain").unwrap(),
+        ];
         let p = steiner_tree(&g, &terminals).unwrap();
         let names = p.relation_names(&g);
         assert!(names.contains(&"keyword".to_string()), "path was {names:?}");
@@ -373,7 +414,10 @@ mod tests {
     #[test]
     fn k_best_returns_distinct_paths_in_score_order() {
         let g = graph();
-        let terminals = [g.node_of("publication").unwrap(), g.node_of("domain").unwrap()];
+        let terminals = [
+            g.node_of("publication").unwrap(),
+            g.node_of("domain").unwrap(),
+        ];
         let paths = k_best_join_paths(&g, &terminals, 3);
         assert!(paths.len() >= 2, "expected at least two alternative paths");
         for w in paths.windows(2) {
@@ -403,9 +447,21 @@ mod tests {
     fn steiner_on_forked_graph_spans_both_instances() {
         // Example 7: two author instances plus publication.
         let schema = Schema::builder("selfjoin")
-            .relation("author", &[("aid", DataType::Integer), ("name", DataType::Text)], Some("aid"))
-            .relation("writes", &[("aid", DataType::Integer), ("pid", DataType::Integer)], None)
-            .relation("publication", &[("pid", DataType::Integer), ("title", DataType::Text)], Some("pid"))
+            .relation(
+                "author",
+                &[("aid", DataType::Integer), ("name", DataType::Text)],
+                Some("aid"),
+            )
+            .relation(
+                "writes",
+                &[("aid", DataType::Integer), ("pid", DataType::Integer)],
+                None,
+            )
+            .relation(
+                "publication",
+                &[("pid", DataType::Integer), ("title", DataType::Text)],
+                Some("pid"),
+            )
             .foreign_key("writes", "aid", "author", "aid")
             .foreign_key("writes", "pid", "publication", "pid")
             .build();

@@ -1,0 +1,83 @@
+//! Serving-layer configuration.
+
+use std::time::Duration;
+
+/// Tunables of the [`TemplarService`](crate::TemplarService) serving loop.
+///
+/// The Templar-level parameters (κ, λ, obscurity, …) stay in
+/// [`templar_core::TemplarConfig`]; this struct only shapes the *operational*
+/// behaviour: queue bounds, snapshot refresh cadence and log retention.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceConfig {
+    /// Capacity of the bounded ingestion queue.  `submit_sql` fails fast
+    /// with `ServiceError::QueueFull` when the queue is at capacity, so a
+    /// slow rebuild can never exert unbounded memory pressure.
+    pub queue_capacity: usize,
+    /// Publish a fresh snapshot after this many newly-applied log entries
+    /// (the "epoch" size).
+    pub refresh_every: usize,
+    /// Also publish a fresh snapshot when there are pending entries and this
+    /// much time has passed since the last publication, so a trickle of
+    /// ingests still becomes visible promptly.
+    pub refresh_interval: Duration,
+    /// Maximum number of entries drained from the queue per worker wake-up.
+    pub ingest_batch: usize,
+    /// Retain at most this many queries in the live log; the oldest entries
+    /// are evicted (and removed from the QFG incrementally) beyond it.
+    /// `None` keeps the log unbounded.
+    pub max_log_entries: Option<usize>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_capacity: 1024,
+            refresh_every: 64,
+            refresh_interval: Duration::from_millis(250),
+            ingest_batch: 128,
+            max_log_entries: None,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Set the ingestion queue capacity (clamped to ≥ 1).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Set the snapshot refresh epoch (clamped to ≥ 1).
+    pub fn with_refresh_every(mut self, every: usize) -> Self {
+        self.refresh_every = every.max(1);
+        self
+    }
+
+    /// Set the time-based refresh interval.
+    pub fn with_refresh_interval(mut self, interval: Duration) -> Self {
+        self.refresh_interval = interval;
+        self
+    }
+
+    /// Bound the live log to `n` entries (eviction beyond it).
+    pub fn with_max_log_entries(mut self, n: usize) -> Self {
+        self.max_log_entries = Some(n.max(1));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_clamp() {
+        let c = ServiceConfig::default()
+            .with_queue_capacity(0)
+            .with_refresh_every(0)
+            .with_max_log_entries(0);
+        assert_eq!(c.queue_capacity, 1);
+        assert_eq!(c.refresh_every, 1);
+        assert_eq!(c.max_log_entries, Some(1));
+    }
+}

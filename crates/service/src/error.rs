@@ -1,0 +1,80 @@
+//! Serving-layer errors.
+
+use std::fmt;
+use templar_core::Obscurity;
+
+/// Errors surfaced by [`TemplarService`](crate::TemplarService) operations.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The bounded ingestion queue is at capacity; the entry was dropped.
+    QueueFull,
+    /// The service is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// Snapshot persistence failed.
+    Snapshot(SnapshotError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::QueueFull => write!(f, "ingestion queue is full"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Snapshot(e) => write!(f, "snapshot error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<SnapshotError> for ServiceError {
+    fn from(e: SnapshotError) -> Self {
+        ServiceError::Snapshot(e)
+    }
+}
+
+/// Errors reading or writing an on-disk snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with the snapshot magic.
+    BadMagic,
+    /// The snapshot format version is not supported by this build.
+    UnsupportedVersion { found: u32, supported: u32 },
+    /// The snapshot was produced at a different obscurity level than the
+    /// configuration expects; its counts would be meaningless to mix in.
+    ObscurityMismatch {
+        expected: Obscurity,
+        found: Obscurity,
+    },
+    /// The snapshot body failed to parse.
+    Corrupt(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "io: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a Templar snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported snapshot version {found} (this build supports {supported})"
+            ),
+            SnapshotError::ObscurityMismatch { expected, found } => write!(
+                f,
+                "snapshot obscurity level {} does not match configured {}",
+                found.name(),
+                expected.name()
+            ),
+            SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}

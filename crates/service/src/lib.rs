@@ -1,0 +1,41 @@
+//! **templar-service**: the concurrent query-serving subsystem.
+//!
+//! The paper treats the SQL query log as a static input: the Query Fragment
+//! Graph is built once and every caller drives [`templar_core::Templar`]
+//! synchronously.  In a deployed NLIDB the log *grows while the system
+//! serves* — every answered natural-language query produces a new logged SQL
+//! query that should sharpen future keyword mappings and join inferences.
+//! This crate closes that loop:
+//!
+//! * [`server::TemplarService`] — lock-free concurrent reads over an
+//!   `Arc`-swapped immutable snapshot, with a single background worker that
+//!   ingests newly-logged queries and publishes refreshed snapshots
+//!   epoch-style,
+//! * [`ingest::IngestQueue`] — the bounded, fail-fast queue between
+//!   translation threads and the worker,
+//! * [`snapshot`] — versioned on-disk persistence of the log + QFG so a
+//!   restart does not replay the whole log,
+//! * [`metrics::ServiceMetrics`] — translations served, latency quantiles,
+//!   ingest lag, QFG size and join-cache statistics as plain data,
+//! * [`config::ServiceConfig`] / [`error::ServiceError`] — operational
+//!   tunables and failure modes.
+//!
+//! The paper-facing semantics are unchanged: a snapshot is an ordinary
+//! [`templar_core::Templar`] and still exposes exactly the two interface
+//! calls of Figure 2.  Host systems consume the service through
+//! [`templar_core::SharedTemplar`] (see `PipelineSystem::serving` /
+//! `NaLirSystem::serving` in the `nlidb` crate).
+
+pub mod config;
+pub mod error;
+pub mod ingest;
+pub mod metrics;
+pub mod server;
+pub mod snapshot;
+
+pub use config::ServiceConfig;
+pub use error::{ServiceError, SnapshotError};
+pub use ingest::IngestQueue;
+pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use server::TemplarService;
+pub use snapshot::{read_snapshot, write_snapshot, Snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

@@ -1,0 +1,225 @@
+//! Service observability: counters and a latency histogram, exported as a
+//! plain struct so callers and benches can consume them without pulling in a
+//! metrics framework.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets (bucket `i` covers
+/// `[2^i, 2^(i+1))` microseconds; the last bucket is open-ended).
+const BUCKETS: usize = 40;
+
+/// Lock-free service counters, updated by translation and ingestion paths.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    translations: AtomicU64,
+    empty_translations: AtomicU64,
+    ingest_submitted: AtomicU64,
+    ingest_rejected: AtomicU64,
+    ingest_applied: AtomicU64,
+    ingest_parse_errors: AtomicU64,
+    evictions: AtomicU64,
+    snapshot_swaps: AtomicU64,
+    latency_buckets: LatencyHistogram,
+}
+
+#[derive(Debug)]
+struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+    total_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            total_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Approximate quantile: the upper bound of the bucket where the
+    /// cumulative count crosses `q`.
+    fn quantile_us(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, count) in counts.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                // Upper bound of bucket i is 2^i µs (bucket 0 is < 1 µs).
+                return 1u64 << i.min(63);
+            }
+        }
+        1u64 << (BUCKETS - 1).min(63)
+    }
+}
+
+impl ServiceMetrics {
+    pub(crate) fn record_translation(&self, latency: Duration, produced_results: bool) {
+        self.translations.fetch_add(1, Ordering::Relaxed);
+        if !produced_results {
+            self.empty_translations.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency_buckets.record(latency);
+    }
+
+    pub(crate) fn record_submitted(&self) {
+        self.ingest_submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rejected(&self) {
+        self.ingest_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_applied(&self, n: u64) {
+        self.ingest_applied.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_parse_errors(&self, n: u64) {
+        self.ingest_parse_errors.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_evictions(&self, n: u64) {
+        self.evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_swap(&self) {
+        self.snapshot_swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn ingest_applied_total(&self) -> u64 {
+        self.ingest_applied.load(Ordering::Relaxed)
+            + self.ingest_parse_errors.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn ingest_accepted_total(&self) -> u64 {
+        // Saturating: the two counters are independent relaxed atomics, so a
+        // reader racing `submit_sql` can transiently observe the rejected
+        // increment before the submitted one.
+        self.ingest_submitted
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.ingest_rejected.load(Ordering::Relaxed))
+    }
+
+    /// Export a point-in-time view.  QFG and cache figures are filled in by
+    /// the service, which owns the current snapshot.
+    pub(crate) fn export(&self) -> MetricsSnapshot {
+        let translations = self.translations.load(Ordering::Relaxed);
+        let mean_us = self
+            .latency_buckets
+            .total_us
+            .load(Ordering::Relaxed)
+            .checked_div(translations)
+            .unwrap_or(0);
+        MetricsSnapshot {
+            translations_served: translations,
+            empty_translations: self.empty_translations.load(Ordering::Relaxed),
+            translate_p50_us: self.latency_buckets.quantile_us(0.50),
+            translate_p99_us: self.latency_buckets.quantile_us(0.99),
+            translate_mean_us: mean_us,
+            ingest_submitted: self.ingest_submitted.load(Ordering::Relaxed),
+            ingest_rejected: self.ingest_rejected.load(Ordering::Relaxed),
+            ingest_applied: self.ingest_applied.load(Ordering::Relaxed),
+            ingest_parse_errors: self.ingest_parse_errors.load(Ordering::Relaxed),
+            ingest_lag: self
+                .ingest_accepted_total()
+                .saturating_sub(self.ingest_applied_total()),
+            log_evictions: self.evictions.load(Ordering::Relaxed),
+            snapshot_swaps: self.snapshot_swaps.load(Ordering::Relaxed),
+            join_cache_hits: 0,
+            join_cache_misses: 0,
+            qfg_fragments: 0,
+            qfg_edges: 0,
+            qfg_queries: 0,
+        }
+    }
+}
+
+/// A point-in-time view of the service's health, as plain data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Translations served since start.
+    pub translations_served: u64,
+    /// Translations that produced no SQL candidate.
+    pub empty_translations: u64,
+    /// Approximate translation latency quantiles (power-of-two bucket upper
+    /// bounds) and exact mean, in microseconds.
+    pub translate_p50_us: u64,
+    pub translate_p99_us: u64,
+    pub translate_mean_us: u64,
+    /// Ingestion counters: accepted into the queue / rejected at capacity /
+    /// applied to the QFG / failed to parse.
+    pub ingest_submitted: u64,
+    pub ingest_rejected: u64,
+    pub ingest_applied: u64,
+    pub ingest_parse_errors: u64,
+    /// Entries accepted but not yet applied (queue + in-flight batch).
+    pub ingest_lag: u64,
+    /// Log entries evicted under `max_log_entries`.
+    pub log_evictions: u64,
+    /// Snapshots published since start.
+    pub snapshot_swaps: u64,
+    /// Join-cache statistics of the *current* snapshot (reset at swap).
+    pub join_cache_hits: u64,
+    pub join_cache_misses: u64,
+    /// Size of the current snapshot's Query Fragment Graph.
+    pub qfg_fragments: u64,
+    pub qfg_edges: u64,
+    pub qfg_queries: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bounded() {
+        let m = ServiceMetrics::default();
+        for us in [10u64, 20, 40, 80, 5000] {
+            m.record_translation(Duration::from_micros(us), true);
+        }
+        let snap = m.export();
+        assert_eq!(snap.translations_served, 5);
+        assert!(snap.translate_p50_us <= snap.translate_p99_us);
+        // p99 bucket upper bound must cover the 5 ms outlier.
+        assert!(snap.translate_p99_us >= 5000);
+        assert!(snap.translate_mean_us >= 10);
+    }
+
+    #[test]
+    fn lag_is_submitted_minus_applied() {
+        let m = ServiceMetrics::default();
+        for _ in 0..5 {
+            m.record_submitted();
+        }
+        m.record_rejected();
+        m.record_applied(3);
+        let snap = m.export();
+        assert_eq!(snap.ingest_submitted, 5);
+        assert_eq!(snap.ingest_lag, 1); // 5 submitted - 1 rejected - 3 applied
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let snap = ServiceMetrics::default().export();
+        assert_eq!(snap.translate_p50_us, 0);
+        assert_eq!(snap.translate_p99_us, 0);
+    }
+}

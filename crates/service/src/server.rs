@@ -1,0 +1,382 @@
+//! The concurrent translation service.
+//!
+//! [`TemplarService`] turns the batch-oriented [`Templar`] facade into a
+//! long-running serving system:
+//!
+//! ```text
+//!  translation threads                    ingestion worker (1 thread)
+//!  ───────────────────                    ───────────────────────────
+//!  handle.load() ──► Arc<Templar> ◄────── store(Arc::new(rebuilt))
+//!       │   (immutable snapshot)                    ▲
+//!       ▼                                           │ epoch refresh:
+//!  translate(nlq) ──► submit_sql(answered) ──►  bounded queue
+//!                                               parse + qfg.ingest()
+//!                                               (+ eviction via remove())
+//! ```
+//!
+//! * **Reads are snapshot-isolated and never blocked by ingestion.**  Every
+//!   translation loads the current `Arc<Templar>` and works on it; the
+//!   worker rebuilds the next snapshot *outside* any lock and publishes it
+//!   with an O(1) pointer swap ([`SharedTemplar`]).
+//! * **Ingestion is incremental.**  The worker owns a master
+//!   [`QueryLog`] + [`QueryFragmentGraph`] pair and applies each logged
+//!   query with [`QueryFragmentGraph::ingest`] (`O(fragments²)`), instead of
+//!   rebuilding the graph from the log.  Publishing a snapshot costs one
+//!   graph clone + `Templar::from_parts`.
+//! * **Refresh is epoch-style.**  A new snapshot is published every
+//!   `refresh_every` applied entries, or after `refresh_interval` when a
+//!   smaller trickle is pending — so a quiet service still converges.
+//! * **The queue is bounded.**  `submit_sql` fails fast with
+//!   [`ServiceError::QueueFull`]; translation latency is never sacrificed to
+//!   ingestion backpressure.
+
+use crate::config::ServiceConfig;
+use crate::error::ServiceError;
+use crate::ingest::IngestQueue;
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::snapshot;
+use nlidb::{translate_with, Nlq, RankedSql};
+use nlp::TextSimilarity;
+use parking_lot::Mutex;
+use relational::Database;
+use sqlparse::parse_query;
+use std::path::Path;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+use templar_core::{QueryFragmentGraph, QueryLog, SharedTemplar, Templar, TemplarConfig};
+
+/// Master mutable serving state, owned by the ingestion worker (and briefly
+/// borrowed by `save_snapshot` / `force_refresh`).
+struct MasterState {
+    log: QueryLog,
+    qfg: QueryFragmentGraph,
+    /// Applied entries not yet reflected in a published snapshot.
+    pending_since_swap: usize,
+    last_swap: Instant,
+}
+
+struct ServiceInner {
+    handle: SharedTemplar,
+    queue: IngestQueue,
+    metrics: ServiceMetrics,
+    master: Mutex<MasterState>,
+    db: Arc<Database>,
+    similarity: TextSimilarity,
+    templar_config: TemplarConfig,
+    service_config: ServiceConfig,
+}
+
+/// A concurrent, incrementally-updating Templar serving handle.
+pub struct TemplarService {
+    inner: Arc<ServiceInner>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl TemplarService {
+    /// Start a service over a database and an initial query log, with the
+    /// default similarity model.
+    pub fn spawn(
+        db: Arc<Database>,
+        initial_log: &QueryLog,
+        templar_config: TemplarConfig,
+        service_config: ServiceConfig,
+    ) -> Self {
+        Self::spawn_with_similarity(
+            db,
+            initial_log,
+            TextSimilarity::new(),
+            templar_config,
+            service_config,
+        )
+    }
+
+    /// Start a service with an explicit similarity model.
+    pub fn spawn_with_similarity(
+        db: Arc<Database>,
+        initial_log: &QueryLog,
+        similarity: TextSimilarity,
+        templar_config: TemplarConfig,
+        service_config: ServiceConfig,
+    ) -> Self {
+        let qfg = QueryFragmentGraph::build(initial_log, templar_config.obscurity);
+        Self::spawn_from_state(
+            db,
+            initial_log.clone(),
+            qfg,
+            similarity,
+            templar_config,
+            service_config,
+        )
+    }
+
+    /// Restore a service from an on-disk snapshot written by
+    /// [`TemplarService::save_snapshot`].  The stored QFG is reused as-is —
+    /// no log replay.  Fails if the snapshot's obscurity level does not
+    /// match `templar_config.obscurity`.
+    pub fn spawn_from_snapshot(
+        db: Arc<Database>,
+        path: &Path,
+        templar_config: TemplarConfig,
+        service_config: ServiceConfig,
+    ) -> Result<Self, ServiceError> {
+        let snap = snapshot::read_snapshot(path, templar_config.obscurity)?;
+        Ok(Self::spawn_from_state(
+            db,
+            snap.log,
+            snap.qfg,
+            TextSimilarity::new(),
+            templar_config,
+            service_config,
+        ))
+    }
+
+    fn spawn_from_state(
+        db: Arc<Database>,
+        log: QueryLog,
+        qfg: QueryFragmentGraph,
+        similarity: TextSimilarity,
+        templar_config: TemplarConfig,
+        service_config: ServiceConfig,
+    ) -> Self {
+        let initial = Templar::from_parts(
+            Arc::clone(&db),
+            qfg.clone(),
+            similarity.clone(),
+            templar_config.clone(),
+        );
+        let inner = Arc::new(ServiceInner {
+            handle: SharedTemplar::new(initial),
+            queue: IngestQueue::new(service_config.queue_capacity),
+            metrics: ServiceMetrics::default(),
+            master: Mutex::new(MasterState {
+                log,
+                qfg,
+                pending_since_swap: 0,
+                last_swap: Instant::now(),
+            }),
+            db,
+            similarity,
+            templar_config,
+            service_config,
+        });
+        let worker = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("templar-ingest".to_string())
+                .spawn(move || ingest_worker(inner))
+                .expect("spawn ingestion worker")
+        };
+        TemplarService {
+            inner,
+            worker: Mutex::new(Some(worker)),
+        }
+    }
+
+    /// The swappable snapshot handle, for wiring into host NLIDB systems
+    /// (`PipelineSystem::serving`, `NaLirSystem::serving`).
+    pub fn handle(&self) -> SharedTemplar {
+        self.inner.handle.clone()
+    }
+
+    /// The current immutable snapshot.
+    pub fn snapshot(&self) -> Arc<Templar> {
+        self.inner.handle.load()
+    }
+
+    /// Translate an NLQ against the current snapshot, recording service
+    /// metrics.  Lock-free with respect to ingestion: a snapshot rebuild in
+    /// flight does not delay this call.
+    pub fn translate(&self, nlq: &Nlq) -> Vec<RankedSql> {
+        let started = Instant::now();
+        let templar = self.inner.handle.load();
+        let results = translate_with(&templar, &nlq.keywords);
+        self.inner
+            .metrics
+            .record_translation(started.elapsed(), !results.is_empty());
+        results
+    }
+
+    /// Submit a newly-logged SQL query for ingestion.  Non-blocking; fails
+    /// fast when the bounded queue is at capacity.
+    pub fn submit_sql(&self, sql: &str) -> Result<(), ServiceError> {
+        self.inner.metrics.record_submitted();
+        match self.inner.queue.submit(sql.to_string()) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.inner.metrics.record_rejected();
+                Err(e)
+            }
+        }
+    }
+
+    /// Block until every accepted entry has been applied and published in a
+    /// snapshot.  Intended for tests, benches and orderly shutdown — the
+    /// serving path never needs it.
+    pub fn flush(&self) {
+        loop {
+            let drained = self.inner.queue.is_empty()
+                && self.inner.metrics.ingest_applied_total()
+                    >= self.inner.metrics.ingest_accepted_total();
+            if drained {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        self.force_refresh();
+    }
+
+    /// Immediately publish a snapshot of the current master state.
+    pub fn force_refresh(&self) {
+        let qfg = {
+            let mut master = self.inner.master.lock();
+            master.pending_since_swap = 0;
+            master.last_swap = Instant::now();
+            master.qfg.clone()
+        };
+        publish(&self.inner, qfg);
+    }
+
+    /// Persist the current master state (log + QFG) to `path`.
+    ///
+    /// The master lock is held only for the clone; serialization and disk
+    /// I/O happen after it is released, so a snapshot save never stalls the
+    /// ingestion worker for the duration of the write.
+    pub fn save_snapshot(&self, path: &Path) -> Result<(), ServiceError> {
+        let (log, qfg) = {
+            let master = self.inner.master.lock();
+            (master.log.clone(), master.qfg.clone())
+        };
+        snapshot::write_snapshot(path, &log, &qfg)?;
+        Ok(())
+    }
+
+    /// Point-in-time service metrics, including the current snapshot's QFG
+    /// size and join-cache statistics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.inner.metrics.export();
+        let current = self.inner.handle.load();
+        let (hits, misses) = current.join_cache_stats();
+        snap.join_cache_hits = hits;
+        snap.join_cache_misses = misses;
+        snap.qfg_fragments = current.qfg().fragment_count() as u64;
+        snap.qfg_edges = current.qfg().edge_count() as u64;
+        snap.qfg_queries = current.qfg().query_count() as u64;
+        snap
+    }
+
+    /// The service configuration in use.
+    pub fn service_config(&self) -> &ServiceConfig {
+        &self.inner.service_config
+    }
+
+    /// The Templar configuration in use.
+    pub fn templar_config(&self) -> &TemplarConfig {
+        &self.inner.templar_config
+    }
+
+    /// Stop accepting ingests, drain the queue, publish the final snapshot
+    /// and join the worker.  Called automatically on drop.
+    pub fn shutdown(&self) {
+        self.inner.queue.close();
+        if let Some(worker) = self.worker.lock().take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for TemplarService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Publish `qfg` as a fresh immutable snapshot.  Runs *outside* the master
+/// lock: the expensive part (schema graph + facade construction) never
+/// blocks producers or the next ingest batch.
+fn publish(inner: &ServiceInner, qfg: QueryFragmentGraph) {
+    let templar = Templar::from_parts(
+        Arc::clone(&inner.db),
+        qfg,
+        inner.similarity.clone(),
+        inner.templar_config.clone(),
+    );
+    inner.handle.store(Arc::new(templar));
+    inner.metrics.record_swap();
+}
+
+/// The ingestion worker loop: drain → apply incrementally → maybe publish.
+fn ingest_worker(inner: Arc<ServiceInner>) {
+    let config = inner.service_config.clone();
+    loop {
+        let batch = inner
+            .queue
+            .drain(config.ingest_batch, config.refresh_interval);
+        let closed = inner.queue.is_closed();
+        if batch.is_empty() && closed && inner.queue.is_empty() {
+            // Drained after close: publish anything still pending and exit.
+            let pending = {
+                let master = inner.master.lock();
+                master.pending_since_swap
+            };
+            if pending > 0 {
+                let qfg = {
+                    let mut master = inner.master.lock();
+                    master.pending_since_swap = 0;
+                    master.qfg.clone()
+                };
+                publish(&inner, qfg);
+            }
+            return;
+        }
+
+        let mut applied = 0u64;
+        let mut parse_errors = 0u64;
+        let mut evictions = 0u64;
+        let to_publish: Option<QueryFragmentGraph> = {
+            let mut master = inner.master.lock();
+            for sql in &batch {
+                match parse_query(sql) {
+                    Ok(query) => {
+                        master.qfg.ingest(&query);
+                        master.log.push(query);
+                        master.pending_since_swap += 1;
+                        applied += 1;
+                    }
+                    Err(_) => parse_errors += 1,
+                }
+            }
+            if let Some(cap) = config.max_log_entries {
+                while master.log.len() > cap {
+                    if let Some(old) = master.log.pop_oldest() {
+                        master.qfg.remove(&old);
+                        evictions += 1;
+                    }
+                }
+            }
+            let due_by_count = master.pending_since_swap >= config.refresh_every;
+            let due_by_time = master.pending_since_swap > 0
+                && master.last_swap.elapsed() >= config.refresh_interval;
+            if due_by_count || due_by_time {
+                master.pending_since_swap = 0;
+                master.last_swap = Instant::now();
+                Some(master.qfg.clone())
+            } else {
+                None
+            }
+        };
+        if applied > 0 {
+            inner.metrics.record_applied(applied);
+        }
+        if parse_errors > 0 {
+            inner.metrics.record_parse_errors(parse_errors);
+        }
+        if evictions > 0 {
+            inner.metrics.record_evictions(evictions);
+        }
+        // The rebuild runs after the master lock is released.
+        if let Some(qfg) = to_publish {
+            publish(&inner, qfg);
+        }
+    }
+}

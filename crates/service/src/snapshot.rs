@@ -1,0 +1,195 @@
+//! Versioned on-disk snapshots of the serving state.
+//!
+//! A snapshot captures the live [`QueryLog`] *and* the
+//! [`QueryFragmentGraph`] built from it, so a restarted service resumes
+//! serving log-informed translations immediately — no re-parse and no QFG
+//! rebuild of a potentially multi-million-entry log.
+//!
+//! # Format (version 1)
+//!
+//! ```text
+//! TEMPLAR-SNAPSHOT v1 obscurity=NoConstOp\n   ← header line, ASCII
+//! {"log": …, "qfg": …}                        ← body, one JSON document
+//! ```
+//!
+//! The header carries everything needed to *reject* a snapshot before
+//! parsing the (potentially large) body:
+//!
+//! * the magic string guards against feeding an arbitrary file in,
+//! * the version gates format evolution,
+//! * the obscurity level must match the configuration the service runs at —
+//!   QFG counts produced at one obscurity level are meaningless at another,
+//!   so a mismatch is a hard error rather than a silent accuracy bug.
+//!
+//! Writes go through a sibling temp file and an atomic rename, so a crash
+//! mid-write can never leave a truncated snapshot at the target path.
+
+use crate::error::SnapshotError;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::Path;
+use templar_core::{Obscurity, QueryFragmentGraph, QueryLog};
+
+/// First token of every snapshot file.
+pub const SNAPSHOT_MAGIC: &str = "TEMPLAR-SNAPSHOT";
+/// The format version this build writes and accepts.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// The deserialized content of a snapshot file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// The query log at capture time.
+    pub log: QueryLog,
+    /// The Query Fragment Graph over that log.
+    pub qfg: QueryFragmentGraph,
+}
+
+/// Serialize the serving state to `path` (atomic replace).
+pub fn write_snapshot(
+    path: &Path,
+    log: &QueryLog,
+    qfg: &QueryFragmentGraph,
+) -> Result<(), SnapshotError> {
+    let header = format!(
+        "{SNAPSHOT_MAGIC} v{SNAPSHOT_VERSION} obscurity={}\n",
+        qfg.obscurity().name()
+    );
+    // Serialize from the borrows directly (same field layout as
+    // [`Snapshot`]) — no intermediate clone of a potentially large state.
+    let body_value = serde::Value::Map(vec![
+        ("log".to_string(), serde::Serialize::to_value(log)),
+        ("qfg".to_string(), serde::Serialize::to_value(qfg)),
+    ]);
+    let body =
+        serde_json::to_string(&body_value).map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, header + &body)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Read and validate a snapshot, rejecting wrong magic, unsupported versions
+/// and — crucially — snapshots captured at a different obscurity level than
+/// `expected`.
+pub fn read_snapshot(path: &Path, expected: Obscurity) -> Result<Snapshot, SnapshotError> {
+    let text = fs::read_to_string(path)?;
+    let (header, body) = text.split_once('\n').ok_or(SnapshotError::BadMagic)?;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some(SNAPSHOT_MAGIC) {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = parts
+        .next()
+        .and_then(|v| v.strip_prefix('v'))
+        .and_then(|v| v.parse::<u32>().ok())
+        .ok_or(SnapshotError::BadMagic)?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion {
+            found: version,
+            supported: SNAPSHOT_VERSION,
+        });
+    }
+    let obscurity = parts
+        .next()
+        .and_then(|v| v.strip_prefix("obscurity="))
+        .and_then(parse_obscurity)
+        .ok_or_else(|| SnapshotError::Corrupt("missing obscurity in header".to_string()))?;
+    if obscurity != expected {
+        return Err(SnapshotError::ObscurityMismatch {
+            expected,
+            found: obscurity,
+        });
+    }
+    let snapshot: Snapshot =
+        serde_json::from_str(body).map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+    if snapshot.qfg.obscurity() != obscurity {
+        return Err(SnapshotError::Corrupt(
+            "body obscurity disagrees with header".to_string(),
+        ));
+    }
+    Ok(snapshot)
+}
+
+fn parse_obscurity(name: &str) -> Option<Obscurity> {
+    Obscurity::ALL.into_iter().find(|o| o.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("templar-snap-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn sample_state(obscurity: Obscurity) -> (QueryLog, QueryFragmentGraph) {
+        let (log, skipped) = QueryLog::from_sql([
+            "SELECT p.title FROM publication p WHERE p.year > 2000",
+            "SELECT p.title FROM publication p, journal j WHERE j.name = 'TKDE' AND p.jid = j.jid",
+            "SELECT j.name FROM journal j",
+        ]);
+        assert_eq!(skipped, 0);
+        let qfg = QueryFragmentGraph::build(&log, obscurity);
+        (log, qfg)
+    }
+
+    #[test]
+    fn round_trip_preserves_log_and_counts() {
+        let (log, qfg) = sample_state(Obscurity::NoConstOp);
+        let path = temp_path("roundtrip");
+        write_snapshot(&path, &log, &qfg).unwrap();
+        let snapshot = read_snapshot(&path, Obscurity::NoConstOp).unwrap();
+        assert_eq!(snapshot.log, log);
+        assert_eq!(snapshot.qfg, qfg);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn obscurity_mismatch_is_rejected() {
+        let (log, qfg) = sample_state(Obscurity::NoConst);
+        let path = temp_path("mismatch");
+        write_snapshot(&path, &log, &qfg).unwrap();
+        match read_snapshot(&path, Obscurity::NoConstOp) {
+            Err(SnapshotError::ObscurityMismatch { expected, found }) => {
+                assert_eq!(expected, Obscurity::NoConstOp);
+                assert_eq!(found, Obscurity::NoConst);
+            }
+            other => panic!("expected ObscurityMismatch, got {other:?}"),
+        }
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_and_bad_version_are_rejected() {
+        let path = temp_path("magic");
+        fs::write(&path, "NOT-A-SNAPSHOT v1 obscurity=Full\n{}").unwrap();
+        assert!(matches!(
+            read_snapshot(&path, Obscurity::Full),
+            Err(SnapshotError::BadMagic)
+        ));
+        fs::write(&path, "TEMPLAR-SNAPSHOT v99 obscurity=Full\n{}").unwrap();
+        assert!(matches!(
+            read_snapshot(&path, Obscurity::Full),
+            Err(SnapshotError::UnsupportedVersion { found: 99, .. })
+        ));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_body_is_rejected() {
+        let path = temp_path("corrupt");
+        fs::write(
+            &path,
+            "TEMPLAR-SNAPSHOT v1 obscurity=NoConstOp\n{this is not json",
+        )
+        .unwrap();
+        assert!(matches!(
+            read_snapshot(&path, Obscurity::NoConstOp),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        fs::remove_file(&path).ok();
+    }
+}

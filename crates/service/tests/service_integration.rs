@@ -1,0 +1,351 @@
+//! Integration tests for the concurrent serving subsystem: live ingestion
+//! sharpening translations, reads proceeding during ingestion, snapshot
+//! persistence round-trips, and the host-system wire-through.
+
+use nlidb::{NlidbSystem, Nlq, PipelineSystem};
+use relational::{DataType, Database, Schema};
+use sqlparse::{canon, parse_query, BinOp};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use templar_core::{Keyword, KeywordMetadata, Obscurity, QueryLog, TemplarConfig};
+use templar_service::{ServiceConfig, ServiceError, TemplarService};
+
+fn academic_db() -> Arc<Database> {
+    let schema = Schema::builder("academic")
+        .relation(
+            "publication",
+            &[
+                ("pid", DataType::Integer),
+                ("title", DataType::Text),
+                ("year", DataType::Integer),
+                ("jid", DataType::Integer),
+            ],
+            Some("pid"),
+        )
+        .relation(
+            "journal",
+            &[("jid", DataType::Integer), ("name", DataType::Text)],
+            Some("jid"),
+        )
+        .foreign_key("publication", "jid", "journal", "jid")
+        .build();
+    let mut db = Database::new(schema);
+    db.insert(
+        "publication",
+        vec![1.into(), "Query Processing".into(), 2003.into(), 1.into()],
+    )
+    .unwrap();
+    db.insert(
+        "publication",
+        vec![2.into(), "Data Integration".into(), 1997.into(), 2.into()],
+    )
+    .unwrap();
+    db.insert("journal", vec![1.into(), "TKDE".into()]).unwrap();
+    db.insert("journal", vec![2.into(), "TMC".into()]).unwrap();
+    Arc::new(db)
+}
+
+fn papers_after_2000() -> Nlq {
+    Nlq::new(
+        "Return the papers after 2000",
+        vec![
+            (Keyword::new("papers"), KeywordMetadata::select()),
+            (
+                Keyword::new("after 2000"),
+                KeywordMetadata::filter_with_op(BinOp::Gt),
+            ),
+        ],
+        vec![],
+    )
+}
+
+fn fast_refresh() -> ServiceConfig {
+    ServiceConfig::default()
+        .with_refresh_every(4)
+        .with_refresh_interval(Duration::from_millis(20))
+}
+
+#[test]
+fn ingested_queries_become_visible_and_sharpen_translations() {
+    let service = TemplarService::spawn(
+        academic_db(),
+        &QueryLog::new(),
+        TemplarConfig::paper_defaults(),
+        fast_refresh(),
+    );
+    assert_eq!(service.metrics().qfg_queries, 0);
+
+    // Serve one translation against the empty-log snapshot.
+    let before = service.translate(&papers_after_2000());
+
+    // The service's own traffic gets logged back in.
+    for sql in [
+        "SELECT p.title FROM publication p WHERE p.year > 1995",
+        "SELECT p.title FROM publication p WHERE p.year > 2010",
+        "SELECT p.title FROM publication p, journal j WHERE j.name = 'TKDE' AND p.jid = j.jid",
+    ] {
+        service.submit_sql(sql).unwrap();
+    }
+    service.flush();
+
+    let metrics = service.metrics();
+    assert_eq!(metrics.ingest_applied, 3);
+    assert_eq!(metrics.qfg_queries, 3, "snapshot must reflect the ingests");
+    assert!(metrics.snapshot_swaps >= 1);
+    assert!(metrics.qfg_fragments > 0);
+
+    // With the log absorbed, the top translation is the paper's intended one.
+    let after = service.translate(&papers_after_2000());
+    assert!(!before.is_empty() && !after.is_empty());
+    let gold = parse_query("SELECT p.title FROM publication p WHERE p.year > 2000").unwrap();
+    assert!(
+        canon::equivalent(&after[0].query, &gold),
+        "top-1 after ingestion was: {}",
+        after[0].query
+    );
+
+    let m = service.metrics();
+    assert_eq!(m.translations_served, 2);
+    assert!(m.translate_p50_us > 0);
+    assert!(m.translate_p99_us >= m.translate_p50_us);
+}
+
+#[test]
+fn unparsable_ingests_are_counted_not_fatal() {
+    let service = TemplarService::spawn(
+        academic_db(),
+        &QueryLog::new(),
+        TemplarConfig::paper_defaults(),
+        fast_refresh(),
+    );
+    service.submit_sql("THIS IS NOT SQL AT ALL").unwrap();
+    service
+        .submit_sql("SELECT p.title FROM publication p")
+        .unwrap();
+    service.flush();
+    let m = service.metrics();
+    assert_eq!(m.ingest_parse_errors, 1);
+    assert_eq!(m.ingest_applied, 1);
+    assert_eq!(m.qfg_queries, 1);
+    assert_eq!(m.ingest_lag, 0);
+}
+
+#[test]
+fn reads_proceed_while_ingestion_is_in_flight() {
+    let service = Arc::new(TemplarService::spawn(
+        academic_db(),
+        &QueryLog::new(),
+        TemplarConfig::paper_defaults(),
+        // Swap on every applied entry to maximise rebuild pressure.
+        ServiceConfig::default()
+            .with_refresh_every(1)
+            .with_refresh_interval(Duration::from_millis(1))
+            .with_queue_capacity(10_000),
+    ));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let reads_done = Arc::new(AtomicU64::new(0));
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            let reads_done = Arc::clone(&reads_done);
+            std::thread::spawn(move || {
+                let nlq = papers_after_2000();
+                while !stop.load(Ordering::Relaxed) {
+                    let results = service.translate(&nlq);
+                    assert!(!results.is_empty(), "translation must not fail mid-ingest");
+                    reads_done.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    // Hammer ingestion while the readers run.
+    for i in 0..300 {
+        let year = 1980 + (i % 40);
+        let _ = service.submit_sql(&format!(
+            "SELECT p.title FROM publication p WHERE p.year > {year}"
+        ));
+    }
+    service.flush();
+    let reads_during_ingest = reads_done.load(Ordering::Relaxed);
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().unwrap();
+    }
+
+    let m = service.metrics();
+    assert!(
+        reads_during_ingest > 0,
+        "readers must make progress while snapshots are being rebuilt"
+    );
+    assert!(m.snapshot_swaps >= 1);
+    assert_eq!(m.ingest_lag, 0);
+    assert_eq!(m.qfg_queries, m.ingest_applied);
+}
+
+#[test]
+fn log_eviction_bounds_the_graph() {
+    let service = TemplarService::spawn(
+        academic_db(),
+        &QueryLog::new(),
+        TemplarConfig::paper_defaults(),
+        fast_refresh().with_max_log_entries(5),
+    );
+    for i in 0..20 {
+        service
+            .submit_sql(&format!(
+                "SELECT p.title FROM publication p WHERE p.year > {}",
+                1990 + i
+            ))
+            .unwrap();
+    }
+    service.flush();
+    let m = service.metrics();
+    assert_eq!(m.ingest_applied, 20);
+    assert_eq!(m.log_evictions, 15);
+    assert_eq!(m.qfg_queries, 5, "evicted queries must leave the QFG");
+}
+
+#[test]
+fn snapshot_round_trip_restores_the_serving_state() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("templar-svc-snap-{}.snap", std::process::id()));
+
+    let service = TemplarService::spawn(
+        academic_db(),
+        &QueryLog::new(),
+        TemplarConfig::paper_defaults(),
+        fast_refresh(),
+    );
+    for sql in [
+        "SELECT p.title FROM publication p WHERE p.year > 1995",
+        "SELECT j.name FROM journal j",
+        "SELECT p.title FROM publication p, journal j WHERE j.name = 'TKDE' AND p.jid = j.jid",
+    ] {
+        service.submit_sql(sql).unwrap();
+    }
+    service.flush();
+    service.save_snapshot(&path).unwrap();
+    let saved_metrics = service.metrics();
+    drop(service);
+
+    let restored = TemplarService::spawn_from_snapshot(
+        academic_db(),
+        &path,
+        TemplarConfig::paper_defaults(),
+        fast_refresh(),
+    )
+    .unwrap();
+    let m = restored.metrics();
+    assert_eq!(m.qfg_queries, saved_metrics.qfg_queries);
+    assert_eq!(m.qfg_fragments, saved_metrics.qfg_fragments);
+    assert_eq!(m.qfg_edges, saved_metrics.qfg_edges);
+
+    // The restored service serves the same translation.
+    let results = restored.translate(&papers_after_2000());
+    let gold = parse_query("SELECT p.title FROM publication p WHERE p.year > 2000").unwrap();
+    assert!(canon::equivalent(&results[0].query, &gold));
+
+    // And keeps ingesting from where it left off.
+    restored
+        .submit_sql("SELECT p.title FROM publication p WHERE p.year > 2015")
+        .unwrap();
+    restored.flush();
+    assert_eq!(
+        restored.metrics().qfg_queries,
+        saved_metrics.qfg_queries + 1
+    );
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn snapshot_with_wrong_obscurity_is_refused() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("templar-svc-obsc-{}.snap", std::process::id()));
+
+    let service = TemplarService::spawn(
+        academic_db(),
+        &QueryLog::new(),
+        TemplarConfig::paper_defaults().with_obscurity(Obscurity::NoConst),
+        fast_refresh(),
+    );
+    service
+        .submit_sql("SELECT p.title FROM publication p")
+        .unwrap();
+    service.flush();
+    service.save_snapshot(&path).unwrap();
+    drop(service);
+
+    let err = TemplarService::spawn_from_snapshot(
+        academic_db(),
+        &path,
+        TemplarConfig::paper_defaults().with_obscurity(Obscurity::NoConstOp),
+        fast_refresh(),
+    )
+    .err()
+    .expect("obscurity mismatch must be rejected");
+    assert!(matches!(err, ServiceError::Snapshot(_)), "got: {err}");
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn host_systems_ride_the_live_handle() {
+    let service = TemplarService::spawn(
+        academic_db(),
+        &QueryLog::new(),
+        TemplarConfig::paper_defaults(),
+        fast_refresh(),
+    );
+    let system = PipelineSystem::serving(service.handle());
+    assert_eq!(system.name(), "Pipeline+live");
+
+    let before_qfg = system.templar().qfg().query_count();
+    assert_eq!(before_qfg, 0);
+
+    for sql in [
+        "SELECT p.title FROM publication p WHERE p.year > 1995",
+        "SELECT p.title FROM publication p WHERE p.year > 2010",
+    ] {
+        service.submit_sql(sql).unwrap();
+    }
+    service.flush();
+
+    // Without reconstruction, the same system object now sees the refreshed
+    // snapshot and translates with log evidence.
+    assert_eq!(system.templar().qfg().query_count(), 2);
+    let results = system.translate(&papers_after_2000());
+    let gold = parse_query("SELECT p.title FROM publication p WHERE p.year > 2000").unwrap();
+    assert!(
+        canon::equivalent(&results[0].query, &gold),
+        "top-1 was: {}",
+        results[0].query
+    );
+}
+
+#[test]
+fn shutdown_publishes_pending_ingests() {
+    let service = TemplarService::spawn(
+        academic_db(),
+        &QueryLog::new(),
+        TemplarConfig::paper_defaults(),
+        // Refresh thresholds the test will NOT reach before shutdown.
+        ServiceConfig::default()
+            .with_refresh_every(1_000_000)
+            .with_refresh_interval(Duration::from_secs(3600)),
+    );
+    let handle = service.handle();
+    service
+        .submit_sql("SELECT p.title FROM publication p")
+        .unwrap();
+    service.shutdown();
+    assert_eq!(
+        handle.load().qfg().query_count(),
+        1,
+        "shutdown must flush pending entries into a final snapshot"
+    );
+}

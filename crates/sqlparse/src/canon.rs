@@ -72,9 +72,9 @@ fn lowercase_predicate(p: &mut Predicate) {
             lowercase_expr(left);
             lowercase_expr(right);
         }
-        Predicate::In { col, .. } | Predicate::Between { col, .. } | Predicate::IsNull { col, .. } => {
-            lowercase_column(col)
-        }
+        Predicate::In { col, .. }
+        | Predicate::Between { col, .. }
+        | Predicate::IsNull { col, .. } => lowercase_column(col),
     }
 }
 
@@ -162,9 +162,9 @@ fn strip_qualifiers_pred(p: &Predicate) -> String {
                 c.qualifier = None;
             }
         }
-        Predicate::In { col, .. } | Predicate::Between { col, .. } | Predicate::IsNull { col, .. } => {
-            col.qualifier = None
-        }
+        Predicate::In { col, .. }
+        | Predicate::Between { col, .. }
+        | Predicate::IsNull { col, .. } => col.qualifier = None,
     }
     p.to_string()
 }
@@ -208,7 +208,10 @@ fn refined_signatures(q: &Query) -> HashMap<String, String> {
                 })
                 .unwrap_or_default();
             neighbour_sigs.sort();
-            next.insert(binding.clone(), format!("{sig}~[{}]", neighbour_sigs.join(";")));
+            next.insert(
+                binding.clone(),
+                format!("{sig}~[{}]", neighbour_sigs.join(";")),
+            );
         }
         sigs = next;
     }
@@ -274,9 +277,9 @@ fn rename_predicate(p: &mut Predicate, rename: &HashMap<String, String>) {
             rename_expr(left, rename);
             rename_expr(right, rename);
         }
-        Predicate::In { col, .. } | Predicate::Between { col, .. } | Predicate::IsNull { col, .. } => {
-            rename_column(col, rename)
-        }
+        Predicate::In { col, .. }
+        | Predicate::Between { col, .. }
+        | Predicate::IsNull { col, .. } => rename_column(col, rename),
     }
 }
 
@@ -321,15 +324,11 @@ fn qualify_unqualified_columns(q: &mut Query) {
         }
     };
     let fix_expr = |e: &mut Expr| match e {
-        Expr::Column(c) => {
-            if c.qualifier.is_none() {
-                c.qualifier = Some(binding.clone());
-            }
+        Expr::Column(c) if c.qualifier.is_none() => {
+            c.qualifier = Some(binding.clone());
         }
-        Expr::Aggregate { arg: Some(c), .. } => {
-            if c.qualifier.is_none() {
-                c.qualifier = Some(binding.clone());
-            }
+        Expr::Aggregate { arg: Some(c), .. } if c.qualifier.is_none() => {
+            c.qualifier = Some(binding.clone());
         }
         _ => {}
     };

@@ -144,9 +144,7 @@ impl<'a> Lexer<'a> {
                             break
                         }
                         Some(ch) => s.push(ch),
-                        None => {
-                            return Err(ParseError::new("unterminated string literal", offset))
-                        }
+                        None => return Err(ParseError::new("unterminated string literal", offset)),
                     }
                 }
                 TokenKind::StringLit(s)
@@ -186,7 +184,10 @@ impl<'a> Lexer<'a> {
                     }
                 }
                 if s.is_empty() {
-                    return Err(ParseError::new(format!("unexpected character '{c}'"), offset));
+                    return Err(ParseError::new(
+                        format!("unexpected character '{c}'"),
+                        offset,
+                    ));
                 }
                 if is_keyword(&s) {
                     TokenKind::Keyword(s.to_uppercase())

@@ -43,7 +43,9 @@ impl Parser {
     }
 
     fn bump(&mut self) -> TokenKind {
-        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -197,9 +199,9 @@ impl Parser {
         let mut tables = Vec::new();
         loop {
             let table = self.parse_ident()?;
-            let alias = if self.eat_keyword("AS") {
-                Some(self.parse_ident()?)
-            } else if matches!(self.peek(), TokenKind::Ident(_)) {
+            // An alias follows either an explicit `AS` or directly as a
+            // bare identifier.
+            let alias = if self.eat_keyword("AS") || matches!(self.peek(), TokenKind::Ident(_)) {
                 Some(self.parse_ident()?)
             } else {
                 None

@@ -88,10 +88,8 @@ fn predicate_strategy() -> impl Strategy<Value = Predicate> {
                 values,
                 negated,
             }),
-        (column_strategy(), any::<bool>()).prop_map(|(c, negated)| Predicate::IsNull {
-            col: c,
-            negated,
-        }),
+        (column_strategy(), any::<bool>())
+            .prop_map(|(c, negated)| Predicate::IsNull { col: c, negated }),
     ]
 }
 
@@ -115,16 +113,18 @@ fn query_strategy() -> impl Strategy<Value = Query> {
         proptest::collection::vec(column_strategy(), 0..3),
         proptest::option::of(0u64..1000),
     )
-        .prop_map(|(distinct, select, from, predicates, group_by, limit)| Query {
-            distinct,
-            select,
-            from,
-            predicates,
-            group_by,
-            having: Vec::new(),
-            order_by: Vec::new(),
-            limit,
-        })
+        .prop_map(
+            |(distinct, select, from, predicates, group_by, limit)| Query {
+                distinct,
+                select,
+                from,
+                predicates,
+                group_by,
+                having: Vec::new(),
+                order_by: Vec::new(),
+                limit,
+            },
+        )
 }
 
 proptest! {

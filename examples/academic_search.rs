@@ -29,14 +29,18 @@ fn main() {
 
     // Pick the paper's flagship scenarios from the benchmark.
     let scenarios = [
-        "Find papers in the Databases domain",       // Examples 1-3
-        "Return the papers published after 2000",    // Example 4
-        "Find papers published in TKDE",             // Example 5 (journal value)
+        "Find papers in the Databases domain",    // Examples 1-3
+        "Return the papers published after 2000", // Example 4
+        "Find papers published in TKDE",          // Example 5 (journal value)
         "Find papers written by both John Smith and Hugo Martin", // Example 7 self-join
     ];
 
     for wanted in scenarios {
-        let Some(case) = dataset.cases.iter().find(|c| c.nlq.text.contains(wanted) || wanted.contains(&c.nlq.text)) else {
+        let Some(case) = dataset
+            .cases
+            .iter()
+            .find(|c| c.nlq.text.contains(wanted) || wanted.contains(&c.nlq.text))
+        else {
             // Fall back to substring search over the benchmark.
             continue;
         };
@@ -49,7 +53,11 @@ fn main() {
                     let correct = canon::equivalent(&top.query, &case.gold_sql);
                     println!(
                         "{name}: {} {}",
-                        if correct { "[correct]  " } else { "[incorrect]" },
+                        if correct {
+                            "[correct]  "
+                        } else {
+                            "[incorrect]"
+                        },
                         top.query
                     );
                 }

@@ -11,10 +11,7 @@ use templar_core::{Obscurity, QueryFragment, QueryFragmentGraph};
 fn main() {
     let dataset = Dataset::imdb();
     let log = dataset.full_log();
-    println!(
-        "IMDB query log: {} queries\n",
-        log.len()
-    );
+    println!("IMDB query log: {} queries\n", log.len());
 
     for level in Obscurity::ALL {
         let qfg = QueryFragmentGraph::build(&log, level);
@@ -45,8 +42,14 @@ fn main() {
         expr: "actor.name".into(),
         context: templar_core::QueryContext::Select,
     };
-    println!("\nDice(director.name ?op ?val, movie.title SELECT) = {:.3}", qfg.dice(&director_pred, &movie_title));
-    println!("Dice(director.name ?op ?val, actor.name SELECT)  = {:.3}", qfg.dice(&director_pred, &actor_name));
+    println!(
+        "\nDice(director.name ?op ?val, movie.title SELECT) = {:.3}",
+        qfg.dice(&director_pred, &movie_title)
+    );
+    println!(
+        "Dice(director.name ?op ?val, actor.name SELECT)  = {:.3}",
+        qfg.dice(&director_pred, &actor_name)
+    );
 
     // Log-driven join edge weights: frequently co-queried relations get
     // cheaper edges (w_L = 1 - Dice).

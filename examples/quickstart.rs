@@ -8,12 +8,10 @@
 
 use std::sync::Arc;
 
-use nlidb::{construct_query, Nlq, NlidbSystem, PipelineSystem};
-use relational::{Database, DataType, Schema};
+use nlidb::{construct_query, NlidbSystem, Nlq, PipelineSystem};
+use relational::{DataType, Database, Schema};
 use sqlparse::BinOp;
-use templar_core::{
-    BagItem, Keyword, KeywordMetadata, QueryLog, Templar, TemplarConfig,
-};
+use templar_core::{BagItem, Keyword, KeywordMetadata, QueryLog, Templar, TemplarConfig};
 
 fn main() {
     // 1. A miniature academic database (publication + journal).
@@ -40,12 +38,22 @@ fn main() {
     db.insert("journal", vec![2.into(), "TMC".into()]).unwrap();
     db.insert(
         "publication",
-        vec![1.into(), "Scalable Query Processing".into(), 2003.into(), 1.into()],
+        vec![
+            1.into(),
+            "Scalable Query Processing".into(),
+            2003.into(),
+            1.into(),
+        ],
     )
     .unwrap();
     db.insert(
         "publication",
-        vec![2.into(), "Natural Language Interfaces".into(), 2008.into(), 2.into()],
+        vec![
+            2.into(),
+            "Natural Language Interfaces".into(),
+            2008.into(),
+            2.into(),
+        ],
     )
     .unwrap();
     let db = Arc::new(db);

@@ -1,0 +1,155 @@
+//! Serving: running Templar as a long-lived, incrementally-learning service.
+//!
+//! The quickstart example drives `Templar` in the paper's batch setting: the
+//! query log is fixed up front.  This example runs the production-shaped
+//! loop instead — a `TemplarService` serves translations from an immutable
+//! snapshot while newly-logged SQL flows back in through a bounded queue,
+//! sharpening subsequent translations without a restart:
+//!
+//! 1. start a service over a database with an *empty* query log,
+//! 2. translate "Return the papers after 2000",
+//! 3. feed the service the SQL its users' sessions logged,
+//! 4. watch the refreshed snapshot change the evidence (QFG size, metrics),
+//! 5. persist a snapshot and restore a second service from it instantly.
+//!
+//! Run with: `cargo run --release --example serving`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use nlidb::{NlidbSystem, Nlq, PipelineSystem};
+use relational::{DataType, Database, Schema};
+use sqlparse::BinOp;
+use templar_core::{Keyword, KeywordMetadata, QueryLog, TemplarConfig};
+use templar_service::{ServiceConfig, TemplarService};
+
+fn main() {
+    // 1. The miniature academic database of the quickstart.
+    let schema = Schema::builder("academic")
+        .relation(
+            "publication",
+            &[
+                ("pid", DataType::Integer),
+                ("title", DataType::Text),
+                ("year", DataType::Integer),
+                ("jid", DataType::Integer),
+            ],
+            Some("pid"),
+        )
+        .relation(
+            "journal",
+            &[("jid", DataType::Integer), ("name", DataType::Text)],
+            Some("jid"),
+        )
+        .foreign_key("publication", "jid", "journal", "jid")
+        .build();
+    let mut db = Database::new(schema);
+    db.insert("journal", vec![1.into(), "TKDE".into()]).unwrap();
+    db.insert("journal", vec![2.into(), "TMC".into()]).unwrap();
+    db.insert(
+        "publication",
+        vec![
+            1.into(),
+            "Scalable Query Processing".into(),
+            2003.into(),
+            1.into(),
+        ],
+    )
+    .unwrap();
+    db.insert(
+        "publication",
+        vec![
+            2.into(),
+            "Natural Language Interfaces".into(),
+            2008.into(),
+            2.into(),
+        ],
+    )
+    .unwrap();
+    let db = Arc::new(db);
+
+    // 2. A service with an EMPTY log: refresh aggressively so this demo sees
+    //    ingests almost immediately.
+    let service = TemplarService::spawn(
+        Arc::clone(&db),
+        &QueryLog::new(),
+        TemplarConfig::paper_defaults(),
+        ServiceConfig::default()
+            .with_refresh_every(2)
+            .with_refresh_interval(Duration::from_millis(10)),
+    );
+
+    let nlq = Nlq::new(
+        "Return the papers after 2000",
+        vec![
+            (Keyword::new("papers"), KeywordMetadata::select()),
+            (
+                Keyword::new("after 2000"),
+                KeywordMetadata::filter_with_op(BinOp::Gt),
+            ),
+        ],
+        vec![],
+    );
+
+    let before = service.translate(&nlq);
+    println!("Cold service (no log evidence):");
+    println!("  top translation: {}", before[0].query);
+    println!(
+        "  QFG: {} queries, {} fragments\n",
+        service.metrics().qfg_queries,
+        service.metrics().qfg_fragments
+    );
+
+    // 3. User sessions log SQL; the service ingests it live.
+    for sql in [
+        "SELECT p.title FROM publication p WHERE p.year > 1995",
+        "SELECT p.title FROM publication p WHERE p.year > 2010",
+        "SELECT p.title FROM publication p, journal j WHERE j.name = 'TKDE' AND p.jid = j.jid",
+        "SELECT p.title FROM publication p, journal j WHERE j.name = 'TMC' AND p.jid = j.jid",
+        "SELECT j.name FROM journal j",
+    ] {
+        service.submit_sql(sql).expect("queue accepts the entry");
+    }
+    service.flush(); // deterministic for the demo; a real deployment never waits
+
+    // 4. Same service object, fresher evidence.
+    let after = service.translate(&nlq);
+    let metrics = service.metrics();
+    println!("After ingesting 5 logged queries (no restart):");
+    println!("  top translation: {}", after[0].query);
+    println!(
+        "  QFG: {} queries, {} fragments, {} edges",
+        metrics.qfg_queries, metrics.qfg_fragments, metrics.qfg_edges
+    );
+    println!(
+        "  service: {} translations served, {} snapshot swaps, ingest lag {}",
+        metrics.translations_served, metrics.snapshot_swaps, metrics.ingest_lag
+    );
+
+    // Host systems ride the same live handle.
+    let live_system = PipelineSystem::serving(service.handle());
+    let ranked = live_system.translate(&nlq);
+    println!(
+        "\n{} (through the serving handle): {}",
+        live_system.name(),
+        ranked[0].query
+    );
+
+    // 5. Persist and restore: the new service starts with the full QFG, no
+    //    log replay.
+    let path = std::env::temp_dir().join("templar-serving-example.snap");
+    service.save_snapshot(&path).expect("snapshot written");
+    let restored = TemplarService::spawn_from_snapshot(
+        db,
+        &path,
+        TemplarConfig::paper_defaults(),
+        ServiceConfig::default(),
+    )
+    .expect("snapshot accepted");
+    println!(
+        "\nRestored from {} — QFG has {} queries again",
+        path.display(),
+        restored.metrics().qfg_queries
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -38,10 +38,8 @@ fn log_joins_help_on_mas() {
     let dataset = Dataset::mas();
     let with = TemplarConfig::paper_defaults().with_log_joins(true);
     let without = TemplarConfig::paper_defaults().with_log_joins(false);
-    let acc_with =
-        evaluate_system_with_folds(&dataset, SystemKind::PipelinePlus, &with, 2);
-    let acc_without =
-        evaluate_system_with_folds(&dataset, SystemKind::PipelinePlus, &without, 2);
+    let acc_with = evaluate_system_with_folds(&dataset, SystemKind::PipelinePlus, &with, 2);
+    let acc_without = evaluate_system_with_folds(&dataset, SystemKind::PipelinePlus, &without, 2);
     assert!(
         acc_with.fq_percent() > acc_without.fq_percent(),
         "LogJoin=Y ({:.1}%) should beat LogJoin=N ({:.1}%)",
@@ -57,8 +55,7 @@ fn lambda_one_hurts_accuracy_on_imdb() {
     let dataset = Dataset::imdb();
     let tuned = TemplarConfig::paper_defaults().with_lambda(0.8);
     let similarity_only = TemplarConfig::paper_defaults().with_lambda(1.0);
-    let acc_tuned =
-        evaluate_system_with_folds(&dataset, SystemKind::PipelinePlus, &tuned, 2);
+    let acc_tuned = evaluate_system_with_folds(&dataset, SystemKind::PipelinePlus, &tuned, 2);
     let acc_sim =
         evaluate_system_with_folds(&dataset, SystemKind::PipelinePlus, &similarity_only, 2);
     assert!(

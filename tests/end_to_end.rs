@@ -94,9 +94,8 @@ fn translations_are_deterministic_across_runs() {
     for case in dataset.cases.iter().take(10) {
         let first = augmented.translate(&case.nlq);
         let second = augmented.translate(&case.nlq);
-        let render = |rs: &[nlidb::RankedSql]| {
-            rs.iter().map(|r| r.query.to_string()).collect::<Vec<_>>()
-        };
+        let render =
+            |rs: &[nlidb::RankedSql]| rs.iter().map(|r| r.query.to_string()).collect::<Vec<_>>();
         assert_eq!(render(&first), render(&second), "case {}", case.id);
     }
 }

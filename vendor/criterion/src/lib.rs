@@ -1,0 +1,201 @@
+//! Vendored minimal `criterion`.
+//!
+//! A wall-clock benchmark harness with criterion's API shape
+//! (`criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group` + `sample_size` + `finish`, `Bencher::iter`,
+//! `black_box`) but none of its statistics machinery: each benchmark runs a
+//! short warm-up, then timed batches until a time budget is spent, and
+//! reports the mean, min and max time per iteration.
+//!
+//! Good enough to compare orders of magnitude and to verify that benches
+//! compile and run; not a substitute for criterion's confidence intervals.
+
+use std::time::{Duration, Instant};
+
+/// Re-exported std black box.
+pub use std::hint::black_box;
+
+/// Target measurement budget per benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// The harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id.as_ref(), self.sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_bench(&full, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` performs the measurement.
+pub struct Bencher {
+    sample_size: usize,
+    /// (total elapsed, iterations) accumulated by `iter`.
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget is spent (at least once).
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warmup_iters += 1;
+            if warmup_start.elapsed() >= WARMUP_BUDGET || warmup_iters >= 1000 {
+                break;
+            }
+        }
+        // Measurement: timed batches until the budget or the sample target is
+        // reached.  The batch size adapts so very fast bodies are not
+        // dominated by clock reads.
+        let per_iter = warmup_start.elapsed() / warmup_iters as u32;
+        let batch = if per_iter > Duration::from_millis(10) {
+            1
+        } else {
+            ((Duration::from_millis(10).as_nanos() / per_iter.as_nanos().max(1)) as u64)
+                .clamp(1, 10_000)
+        };
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let mut samples: usize = 0;
+        while total < MEASURE_BUDGET && samples < self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total += start.elapsed();
+            iters += batch;
+            samples += 1;
+        }
+        self.measured = Some((total, iters));
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, f: &mut F) {
+    let mut bencher = Bencher {
+        sample_size,
+        measured: None,
+    };
+    f(&mut bencher);
+    match bencher.measured {
+        Some((total, iters)) if iters > 0 => {
+            let mean = total.as_nanos() as f64 / iters as f64;
+            println!(
+                "{id:<50} time: [{} per iter, {iters} iters]",
+                format_ns(mean)
+            );
+        }
+        _ => println!("{id:<50} (no measurement: closure never called iter)"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Group benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion::default();
+        c.sample_size(5);
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| std::hint::black_box(2u64.pow(10)));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_function("one", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

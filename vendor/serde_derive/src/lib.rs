@@ -1,0 +1,477 @@
+//! Vendored minimal `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! its own tiny serde implementation (see `vendor/serde`).  This crate
+//! provides the `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! it, written against `proc_macro` alone (no `syn`/`quote`): the item is
+//! parsed by hand into a small shape description and the generated impls are
+//! rendered as source text.
+//!
+//! Supported shapes — everything this workspace derives on:
+//!
+//! * structs with named fields,
+//! * tuple and unit structs,
+//! * enums with unit, tuple and struct variants.
+//!
+//! Generics are deliberately unsupported (no workspace type needs them); the
+//! macro panics with a clear message rather than emitting wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a derive input looks like, reduced to what codegen needs.
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    render(gen_serialize(&shape))
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    render(gen_deserialize(&shape))
+}
+
+fn render(src: String) -> TokenStream {
+    src.parse()
+        .unwrap_or_else(|e| panic!("serde_derive generated invalid Rust: {e}\n{src}"))
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (`# [ ... ]`) and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                // The bracketed attribute body.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                // `pub(crate)` and friends carry a parenthesised group.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic type `{name}` is not supported");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+            other => panic!("serde_derive: malformed struct `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+/// Field names of a named-field body.  A field is: attributes, optional
+/// visibility, `name : Type`, where the type runs until a comma at angle
+/// depth zero (commas inside `HashMap<K, V>` are not field separators).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Attributes and visibility before the field name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.next() else {
+            break;
+        };
+        fields.push(id.to_string());
+        // Skip `: Type` until a top-level comma.
+        let mut depth: i64 = 0;
+        for tok in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct / tuple-variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut depth: i64 = 0;
+    let mut saw_token = false;
+    for tok in stream {
+        saw_token = true;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    if !saw_token {
+        0
+    } else {
+        // `(A, B)` has one separating comma; `(A, B,)` ends with one.
+        count + 1
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Attributes before the variant name.
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.next() else {
+            break;
+        };
+        let name = id.to_string();
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip to the comma separating variants (covers `= discr` if ever used).
+        for tok in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+/// `a` → tuple-field binder name `f_a` safe for match arms.
+fn binders(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("f{i}")).collect()
+}
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            let body = if *arity == 1 {
+                // Newtype structs serialize transparently, serde-style.
+                items[0].clone()
+            } else {
+                format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string())"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binds = binders(*arity);
+                            let payload = if *arity == 1 {
+                                format!("::serde::Serialize::to_value({})", binds[0])
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), {payload})])",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Value::Map(vec![{}]))])",
+                                fields.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::map_field(entries, \"{f}\", \"{name}\")?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let entries = value.as_map().ok_or_else(|| ::serde::Error::expected(\"map\", \"{name}\"))?;\n\
+                         ::std::result::Result::Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            if *arity == 1 {
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                         fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                             ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))\n\
+                         }}\n\
+                     }}"
+                )
+            } else {
+                let inits: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::seq_item(items, {i}, \"{name}\")?"))
+                    .collect();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                         fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                             let items = value.as_seq().ok_or_else(|| ::serde::Error::expected(\"seq\", \"{name}\"))?;\n\
+                             ::std::result::Result::Ok({name}({}))\n\
+                         }}\n\
+                     }}",
+                    inits.join(", ")
+                )
+            }
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(_value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0})", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(arity) => Some(if *arity == 1 {
+                            format!(
+                                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(payload)?))"
+                            )
+                        } else {
+                            let inits: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::seq_item(items, {i}, \"{name}::{vname}\")?"))
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{\n\
+                                     let items = payload.as_seq().ok_or_else(|| ::serde::Error::expected(\"seq\", \"{name}::{vname}\"))?;\n\
+                                     ::std::result::Result::Ok({name}::{vname}({}))\n\
+                                 }}",
+                                inits.join(", ")
+                            )
+                        }),
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::map_field(entries, \"{f}\", \"{name}::{vname}\")?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                     let entries = payload.as_map().ok_or_else(|| ::serde::Error::expected(\"map\", \"{name}::{vname}\"))?;\n\
+                                     ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit}\n\
+                                 other => ::std::result::Result::Err(::serde::Error::new(format!(\"unknown unit variant `{{other}}` for {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                                 let (tag, payload) = &m[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {data}\n\
+                                     other => ::std::result::Result::Err(::serde::Error::new(format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => ::std::result::Result::Err(::serde::Error::expected(\"enum value\", \"{name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    unit_arms.join(",\n") + ","
+                },
+                data = if data_arms.is_empty() {
+                    String::new()
+                } else {
+                    data_arms.join(",\n") + ","
+                },
+            )
+        }
+    }
+}
