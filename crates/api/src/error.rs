@@ -1,0 +1,229 @@
+//! The API error taxonomy.
+//!
+//! Every failure a wire client can observe is one [`ApiError`] variant with
+//! structured payloads — tenant names, version numbers, obscurity levels —
+//! rather than stringified `Debug` output, so clients can match on failure
+//! modes and the errors round-trip losslessly through the JSON protocol.
+
+use nlidb::TranslateError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use templar_core::{Obscurity, TemplarError};
+
+/// Why a persisted snapshot was rejected (the wire form of the service's
+/// `SnapshotError`, minus the unserializable `io::Error` payload).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SnapshotRejection {
+    /// The file does not start with the snapshot magic.
+    BadMagic,
+    /// The snapshot format version is not supported by the serving build.
+    UnsupportedVersion {
+        /// Version found in the file header.
+        found: u32,
+        /// Version the serving build supports.
+        supported: u32,
+    },
+    /// The snapshot was produced at a different obscurity level than the
+    /// tenant's configuration expects.
+    ObscurityMismatch {
+        /// The level the configuration asks for.
+        expected: Obscurity,
+        /// The level the snapshot was captured at.
+        found: Obscurity,
+    },
+    /// The snapshot body failed to parse.
+    Corrupt {
+        /// The parser's diagnostic.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SnapshotRejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotRejection::BadMagic => write!(f, "not a Templar snapshot (bad magic)"),
+            SnapshotRejection::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported snapshot version {found} (this build supports {supported})"
+            ),
+            SnapshotRejection::ObscurityMismatch { expected, found } => write!(
+                f,
+                "snapshot obscurity level {} does not match configured {}",
+                found.name(),
+                expected.name()
+            ),
+            SnapshotRejection::Corrupt { detail } => write!(f, "corrupt snapshot: {detail}"),
+        }
+    }
+}
+
+/// Every error the translation API can return to a client.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ApiError {
+    /// The request named a tenant the registry does not host.
+    UnknownTenant {
+        /// The tenant id that failed to resolve.
+        tenant: String,
+    },
+    /// The request was structurally valid JSON but semantically invalid
+    /// (e.g. a λ override outside `[0, 1]`, an empty keyword list).
+    InvalidRequest {
+        /// What was wrong.
+        reason: String,
+    },
+    /// The envelope carried a different protocol version than this build
+    /// speaks.
+    VersionMismatch {
+        /// The version this build speaks.
+        expected: u32,
+        /// The version the envelope carried.
+        found: u32,
+    },
+    /// The envelope was not parseable at all.
+    MalformedEnvelope {
+        /// The decoder's diagnostic.
+        detail: String,
+    },
+    /// Translation ran but produced no SQL.
+    TranslationFailed {
+        /// Where the pipeline stopped.
+        kind: TranslateError,
+    },
+    /// The tenant's ingestion queue is at capacity; retry later.
+    Backpressure,
+    /// The tenant (or the whole registry) is shutting down.
+    ShuttingDown,
+    /// The tenant's Templar facade could not be (re)constructed.
+    Construction {
+        /// The typed core error.
+        error: TemplarError,
+    },
+    /// Snapshot persistence was rejected with a structured reason.
+    SnapshotRejected {
+        /// Why the snapshot was unusable.
+        rejection: SnapshotRejection,
+    },
+    /// Snapshot persistence failed in the filesystem layer.
+    SnapshotIo {
+        /// The I/O diagnostic.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiError::UnknownTenant { tenant } => write!(f, "unknown tenant `{tenant}`"),
+            ApiError::InvalidRequest { reason } => write!(f, "invalid request: {reason}"),
+            ApiError::VersionMismatch { expected, found } => write!(
+                f,
+                "protocol version mismatch: peer speaks v{found}, this build speaks v{expected}"
+            ),
+            ApiError::MalformedEnvelope { detail } => {
+                write!(f, "malformed protocol envelope: {detail}")
+            }
+            ApiError::TranslationFailed { kind } => write!(f, "translation failed: {kind}"),
+            ApiError::Backpressure => {
+                write!(f, "ingestion queue at capacity (backpressure); retry later")
+            }
+            ApiError::ShuttingDown => write!(f, "service is shutting down"),
+            ApiError::Construction { error } => write!(f, "construction failed: {error}"),
+            ApiError::SnapshotRejected { rejection } => {
+                write!(f, "snapshot rejected: {rejection}")
+            }
+            ApiError::SnapshotIo { detail } => write!(f, "snapshot io error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+impl From<TranslateError> for ApiError {
+    fn from(kind: TranslateError) -> Self {
+        ApiError::TranslationFailed { kind }
+    }
+}
+
+impl From<TemplarError> for ApiError {
+    fn from(error: TemplarError) -> Self {
+        ApiError::Construction { error }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants() -> Vec<ApiError> {
+        vec![
+            ApiError::UnknownTenant {
+                tenant: "nope".into(),
+            },
+            ApiError::InvalidRequest {
+                reason: "lambda override 7 outside [0, 1]".into(),
+            },
+            ApiError::VersionMismatch {
+                expected: 1,
+                found: 9,
+            },
+            ApiError::MalformedEnvelope {
+                detail: "expected map".into(),
+            },
+            ApiError::TranslationFailed {
+                kind: TranslateError::NoJoinPath,
+            },
+            ApiError::Backpressure,
+            ApiError::ShuttingDown,
+            ApiError::Construction {
+                error: TemplarError::ObscurityMismatch {
+                    expected: Obscurity::NoConstOp,
+                    found: Obscurity::Full,
+                },
+            },
+            ApiError::SnapshotRejected {
+                rejection: SnapshotRejection::ObscurityMismatch {
+                    expected: Obscurity::NoConstOp,
+                    found: Obscurity::NoConst,
+                },
+            },
+            ApiError::SnapshotRejected {
+                rejection: SnapshotRejection::Corrupt {
+                    detail: "body obscurity disagrees with header".into(),
+                },
+            },
+            ApiError::SnapshotIo {
+                detail: "permission denied".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_serde() {
+        for err in all_variants() {
+            let json = serde_json::to_string(&err).unwrap();
+            let back: ApiError = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, err, "variant failed to round-trip: {json}");
+        }
+    }
+
+    #[test]
+    fn displays_are_structured_not_debug_dumps() {
+        for err in all_variants() {
+            let text = err.to_string();
+            assert!(
+                !text.contains("ApiError") && !text.contains("{"),
+                "display leaks Debug formatting: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn translate_errors_convert() {
+        assert_eq!(
+            ApiError::from(TranslateError::NoKeywords),
+            ApiError::TranslationFailed {
+                kind: TranslateError::NoKeywords
+            }
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Translation responses.
+
+use nlidb::{Explanation, RankedSql};
+use serde::{Deserialize, Serialize};
+
+/// One ranked SQL candidate with its complete score decomposition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SqlCandidate {
+    /// The SQL text.
+    pub sql: String,
+    /// The blended final score (larger is better).
+    pub score: f64,
+    /// The decomposition of `score`: word-similarity, log-popularity and
+    /// co-occurrence/Dice components of the configuration score, plus the
+    /// join path's schema-distance vs log-evidence breakdown.  The λ-blend
+    /// of Section IV is reproducible from these components alone
+    /// ([`Explanation::recompute_final`]).
+    pub explanation: Explanation,
+}
+
+impl From<&RankedSql> for SqlCandidate {
+    fn from(ranked: &RankedSql) -> Self {
+        SqlCandidate {
+            sql: ranked.query.to_string(),
+            score: ranked.score,
+            explanation: ranked.explanation.clone(),
+        }
+    }
+}
+
+/// The response to a [`TranslateRequest`](crate::TranslateRequest).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TranslateResponse {
+    /// The tenant that served the request.
+    pub tenant: String,
+    /// Ranked candidates, best first; never empty (failure to translate is
+    /// an [`ApiError`](crate::ApiError), not an empty response).
+    pub candidates: Vec<SqlCandidate>,
+}
+
+impl TranslateResponse {
+    /// Build a response from ranked translations, keeping at most `top_k`.
+    pub fn from_ranked(
+        tenant: impl Into<String>,
+        ranked: &[RankedSql],
+        top_k: Option<usize>,
+    ) -> Self {
+        let limit = top_k.unwrap_or(usize::MAX).max(1);
+        TranslateResponse {
+            tenant: tenant.into(),
+            candidates: ranked.iter().take(limit).map(SqlCandidate::from).collect(),
+        }
+    }
+
+    /// The best candidate.
+    pub fn best(&self) -> Option<&SqlCandidate> {
+        self.candidates.first()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlidb::JoinExplanation;
+
+    fn explanation() -> Explanation {
+        let join = JoinExplanation {
+            edges: 1,
+            total_weight: 0.4,
+            used_log_weights: true,
+            score: 0.0,
+        };
+        let join = JoinExplanation {
+            score: join.recompute_score(),
+            ..join
+        };
+        let mut e = Explanation {
+            lambda: 0.8,
+            sigma_score: 0.9,
+            log_popularity: 0.1,
+            dice_cooccurrence: 0.3,
+            qfg_pairs: 1,
+            qfg_score: 0.3,
+            config_score: 0.0,
+            join,
+            final_score: 0.0,
+        };
+        e.config_score = e.recompute_config_score();
+        e.final_score = e.recompute_final();
+        e
+    }
+
+    #[test]
+    fn responses_round_trip_through_serde() {
+        let resp = TranslateResponse {
+            tenant: "imdb".to_string(),
+            candidates: vec![SqlCandidate {
+                sql: "SELECT m.title FROM movie m".to_string(),
+                score: 0.72,
+                explanation: explanation(),
+            }],
+        };
+        let back: TranslateResponse =
+            serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();
+        assert_eq!(back, resp);
+        assert!(back.best().unwrap().explanation.is_consistent(1e-12));
+    }
+}

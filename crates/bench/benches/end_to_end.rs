@@ -11,15 +11,16 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.sample_size(20);
     for dataset in [Dataset::mas(), Dataset::yelp(), Dataset::imdb()] {
         let log = dataset.full_log();
-        let baseline = PipelineSystem::baseline(dataset.db.clone());
+        let baseline = PipelineSystem::baseline(dataset.db.clone()).unwrap();
         let augmented =
-            PipelineSystem::augmented(dataset.db.clone(), &log, TemplarConfig::paper_defaults());
+            PipelineSystem::augmented(dataset.db.clone(), &log, TemplarConfig::paper_defaults())
+                .unwrap();
         let case = &dataset.cases[0];
         group.bench_function(format!("{}/pipeline", dataset.name), |b| {
-            b.iter(|| baseline.translate(&case.nlq).len())
+            b.iter(|| baseline.translate(&case.nlq).map(|r| r.len()).unwrap_or(0))
         });
         group.bench_function(format!("{}/pipeline_plus", dataset.name), |b| {
-            b.iter(|| augmented.translate(&case.nlq).len())
+            b.iter(|| augmented.translate(&case.nlq).map(|r| r.len()).unwrap_or(0))
         });
     }
     group.finish();

@@ -18,10 +18,10 @@ fn bench_joins(c: &mut Criterion) {
     let default_cfg = TemplarConfig::default().with_log_joins(false);
     let log_cfg = TemplarConfig::default();
     c.bench_function("join_inference/default_weights", |b| {
-        b.iter(|| infer_joins(&graph, None, &default_cfg, &bag).is_some())
+        b.iter(|| infer_joins(&graph, None, &default_cfg, &bag).is_ok())
     });
     c.bench_function("join_inference/log_weights", |b| {
-        b.iter(|| infer_joins(&graph, Some(&qfg), &log_cfg, &bag).is_some())
+        b.iter(|| infer_joins(&graph, Some(&qfg), &log_cfg, &bag).is_ok())
     });
     let self_join_bag = vec![
         BagItem::Attribute(AttributeRef::new("publication", "title")),
@@ -29,7 +29,7 @@ fn bench_joins(c: &mut Criterion) {
         BagItem::Attribute(AttributeRef::new("author", "name")),
     ];
     c.bench_function("join_inference/self_join_fork", |b| {
-        b.iter(|| infer_joins(&graph, Some(&qfg), &log_cfg, &self_join_bag).is_some())
+        b.iter(|| infer_joins(&graph, Some(&qfg), &log_cfg, &self_join_bag).is_ok())
     });
 }
 

@@ -17,12 +17,13 @@ fn bench_mapping(c: &mut Criterion) {
             KeywordMetadata::filter_with_op(BinOp::Gt),
         ),
     ];
-    let with_log = Templar::new(dataset.db.clone(), &log, TemplarConfig::paper_defaults());
+    let with_log = Templar::new(dataset.db.clone(), &log, TemplarConfig::paper_defaults()).unwrap();
     let without_log = Templar::new(
         dataset.db.clone(),
         &QueryLog::new(),
         TemplarConfig::paper_defaults().with_lambda(1.0),
-    );
+    )
+    .unwrap();
     c.bench_function("keyword_mapping/with_query_log", |b| {
         b.iter(|| with_log.map_keywords(&keywords).len())
     });

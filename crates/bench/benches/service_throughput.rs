@@ -37,24 +37,28 @@ fn bench_service(c: &mut Criterion) {
             &log,
             TemplarConfig::paper_defaults(),
             ServiceConfig::default(),
-        );
+        )
+        .unwrap();
         group.bench_function("translate/quiet", |b| {
-            b.iter(|| service.translate(&nlq).len())
+            b.iter(|| service.translate(&nlq).map(|r| r.len()).unwrap_or(0))
         });
     }
 
     // Under pressure: a producer floods the queue and the worker swaps a
     // fresh snapshot every 8 applied entries.
     {
-        let service = Arc::new(TemplarService::spawn(
-            dataset.db.clone(),
-            &log,
-            TemplarConfig::paper_defaults(),
-            ServiceConfig::default()
-                .with_refresh_every(8)
-                .with_refresh_interval(Duration::from_millis(1))
-                .with_queue_capacity(4096),
-        ));
+        let service = Arc::new(
+            TemplarService::spawn(
+                dataset.db.clone(),
+                &log,
+                TemplarConfig::paper_defaults(),
+                ServiceConfig::default()
+                    .with_refresh_every(8)
+                    .with_refresh_interval(Duration::from_millis(1))
+                    .with_queue_capacity(4096),
+            )
+            .unwrap(),
+        );
         let stop = Arc::new(AtomicBool::new(false));
         let submitted = Arc::new(AtomicU64::new(0));
         let producer = {
@@ -77,7 +81,7 @@ fn bench_service(c: &mut Criterion) {
         };
 
         group.bench_function("translate/with_ingest", |b| {
-            b.iter(|| service.translate(&nlq).len())
+            b.iter(|| service.translate(&nlq).map(|r| r.len()).unwrap_or(0))
         });
 
         stop.store(true, Ordering::Relaxed);
@@ -105,12 +109,15 @@ fn bench_service(c: &mut Criterion) {
 
     // Raw ingestion throughput: how fast entries are accepted and absorbed.
     {
-        let service = Arc::new(TemplarService::spawn(
-            dataset.db.clone(),
-            &log,
-            TemplarConfig::paper_defaults(),
-            ServiceConfig::default().with_queue_capacity(100_000),
-        ));
+        let service = Arc::new(
+            TemplarService::spawn(
+                dataset.db.clone(),
+                &log,
+                TemplarConfig::paper_defaults(),
+                ServiceConfig::default().with_queue_capacity(100_000),
+            )
+            .unwrap(),
+        );
         let mut i = 0usize;
         group.bench_function("ingest/submit", |b| {
             b.iter(|| {

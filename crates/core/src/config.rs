@@ -58,6 +58,11 @@ pub struct TemplarConfig {
     pub max_configurations: usize,
     /// Number of alternative join paths to enumerate per relation bag.
     pub join_candidates: usize,
+    /// Maximum number of join inferences kept in the facade's cache.  The
+    /// cache is keyed by relation-bag signature; under serving traffic the
+    /// set of distinct bags is unbounded, so the cache evicts oldest-first
+    /// beyond this capacity.
+    pub join_cache_capacity: usize,
 }
 
 impl Default for TemplarConfig {
@@ -70,6 +75,7 @@ impl Default for TemplarConfig {
             epsilon: 0.05,
             max_configurations: 16,
             join_candidates: 4,
+            join_cache_capacity: 1024,
         }
     }
 }
@@ -102,6 +108,12 @@ impl TemplarConfig {
     /// Enable or disable log-driven join weights.
     pub fn with_log_joins(mut self, on: bool) -> Self {
         self.use_log_joins = on;
+        self
+    }
+
+    /// Set the join-cache capacity (clamped to ≥ 1).
+    pub fn with_join_cache_capacity(mut self, capacity: usize) -> Self {
+        self.join_cache_capacity = capacity.max(1);
         self
     }
 }

@@ -1,0 +1,100 @@
+//! Typed errors of the Templar core.
+//!
+//! Construction and join inference used to signal failure with `panic!` and
+//! bare `Option`s; the serving stack needs them as values it can route to a
+//! wire client, so every failure mode is an enum variant here.
+
+use crate::config::Obscurity;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors constructing a [`Templar`](crate::Templar) facade.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TemplarError {
+    /// The Query Fragment Graph was built at a different obscurity level than
+    /// the configuration expects.  Mixing levels would silently produce wrong
+    /// Dice scores, so construction refuses the pair outright.
+    ObscurityMismatch {
+        /// The level the configuration asks for.
+        expected: Obscurity,
+        /// The level the graph was built at.
+        found: Obscurity,
+    },
+}
+
+impl fmt::Display for TemplarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemplarError::ObscurityMismatch { expected, found } => write!(
+                f,
+                "QFG obscurity level {} does not match the configured {}",
+                found.name(),
+                expected.name()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TemplarError {}
+
+/// Errors from join path inference (`INFERJOINS`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinInferenceError {
+    /// The bag of relations/attributes was empty.
+    EmptyBag,
+    /// A bag item names a relation the schema does not contain.
+    UnknownRelation(String),
+    /// The bag's relations cannot be connected in the schema graph.
+    Disconnected,
+}
+
+impl fmt::Display for JoinInferenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinInferenceError::EmptyBag => write!(f, "empty relation/attribute bag"),
+            JoinInferenceError::UnknownRelation(r) => {
+                write!(f, "relation `{r}` is not part of the schema")
+            }
+            JoinInferenceError::Disconnected => {
+                write!(
+                    f,
+                    "the bag's relations cannot be connected in the schema graph"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for JoinInferenceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_context() {
+        let e = TemplarError::ObscurityMismatch {
+            expected: Obscurity::NoConstOp,
+            found: Obscurity::Full,
+        };
+        let text = e.to_string();
+        assert!(text.contains("Full") && text.contains("NoConstOp"));
+        assert!(JoinInferenceError::UnknownRelation("movies".into())
+            .to_string()
+            .contains("movies"));
+    }
+
+    #[test]
+    fn errors_round_trip_through_serde() {
+        let e = TemplarError::ObscurityMismatch {
+            expected: Obscurity::NoConst,
+            found: Obscurity::Full,
+        };
+        let back: TemplarError = serde_json::from_str(&serde_json::to_string(&e).unwrap()).unwrap();
+        assert_eq!(back, e);
+        let j = JoinInferenceError::UnknownRelation("writes".into());
+        let back: JoinInferenceError =
+            serde_json::from_str(&serde_json::to_string(&j).unwrap()).unwrap();
+        assert_eq!(back, j);
+    }
+}

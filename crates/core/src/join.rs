@@ -9,6 +9,7 @@
 //! schema-graph fork of Algorithm 4 so that self-joins are produced.
 
 use crate::config::TemplarConfig;
+use crate::error::JoinInferenceError;
 use crate::qfg::QueryFragmentGraph;
 use relational::AttributeRef;
 use schemagraph::{steiner::k_best_join_paths, JoinGraph, JoinPath, SchemaGraph};
@@ -52,6 +53,10 @@ pub struct JoinInference {
     pub graph: JoinGraph,
     /// Ranked join paths, best first.
     pub paths: Vec<ScoredJoinPath>,
+    /// Whether edge weights came from query-log evidence (`w_L = 1 − Dice`)
+    /// rather than unit schema distances.  Carried so explanations can tell a
+    /// wire client which weighting produced each path's `total_weight`.
+    pub used_log_weights: bool,
 }
 
 impl JoinInference {
@@ -99,41 +104,45 @@ pub fn relation_instance_counts(bag: &[BagItem]) -> BTreeMap<String, usize> {
 /// `INFERJOINS`: compute ranked join paths for a bag of relations and
 /// attributes.
 ///
-/// Returns `None` when the bag is empty or its relations cannot be connected
-/// in the schema graph.
+/// Fails with a typed [`JoinInferenceError`] when the bag is empty, names an
+/// unknown relation, or its relations cannot be connected in the schema
+/// graph.
 pub fn infer_joins(
     schema_graph: &SchemaGraph,
     qfg: Option<&QueryFragmentGraph>,
     config: &TemplarConfig,
     bag: &[BagItem],
-) -> Option<JoinInference> {
+) -> Result<JoinInference, JoinInferenceError> {
     if bag.is_empty() {
-        return None;
+        return Err(JoinInferenceError::EmptyBag);
     }
     // 1. Weight the schema graph.
     let mut weighted = schema_graph.clone();
     weighted.clear_weights();
-    if config.use_log_joins {
-        if let Some(qfg) = qfg {
-            apply_log_weights(&mut weighted, qfg);
-        }
+    let used_log_weights = config.use_log_joins && qfg.is_some();
+    if let (true, Some(qfg)) = (config.use_log_joins, qfg) {
+        apply_log_weights(&mut weighted, qfg);
     }
     // 2. Build the join graph and fork for duplicate references.
     let mut graph = JoinGraph::from_schema_graph(&weighted);
     let counts = relation_instance_counts(bag);
     let mut terminals = Vec::new();
     for (relation, instances) in &counts {
-        let original = graph.node_of(relation)?;
+        let original = graph
+            .node_of(relation)
+            .ok_or_else(|| JoinInferenceError::UnknownRelation(relation.clone()))?;
         terminals.push(original);
         for _ in 1..*instances {
-            let clone = graph.fork(relation)?;
+            let clone = graph
+                .fork(relation)
+                .ok_or_else(|| JoinInferenceError::UnknownRelation(relation.clone()))?;
             terminals.push(clone);
         }
     }
     // 3. Enumerate candidate join paths.
     let paths = k_best_join_paths(&graph, &terminals, config.join_candidates.max(1));
     if paths.is_empty() {
-        return None;
+        return Err(JoinInferenceError::Disconnected);
     }
     let mut scored: Vec<ScoredJoinPath> = paths
         .into_iter()
@@ -148,9 +157,10 @@ pub fn infer_joins(
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.path.edges.len().cmp(&b.path.edges.len()))
     });
-    Some(JoinInference {
+    Ok(JoinInference {
         graph,
         paths: scored,
+        used_log_weights,
     })
 }
 
@@ -352,12 +362,18 @@ mod tests {
     }
 
     #[test]
-    fn empty_bag_or_unknown_relation_yields_none() {
+    fn empty_bag_or_unknown_relation_yields_typed_errors() {
         let sg = SchemaGraph::from_schema(&mas_mini_schema());
         let config = TemplarConfig::default();
-        assert!(infer_joins(&sg, None, &config, &[]).is_none());
+        assert_eq!(
+            infer_joins(&sg, None, &config, &[]).unwrap_err(),
+            JoinInferenceError::EmptyBag
+        );
         let bag = vec![BagItem::Relation("not_a_table".into())];
-        assert!(infer_joins(&sg, None, &config, &bag).is_none());
+        assert_eq!(
+            infer_joins(&sg, None, &config, &bag).unwrap_err(),
+            JoinInferenceError::UnknownRelation("not_a_table".into())
+        );
     }
 
     #[test]

@@ -177,6 +177,13 @@ pub struct MappingCandidate {
 }
 
 /// A configuration (Definition 5): one mapping per keyword, plus its scores.
+///
+/// Every component entering the final λ-blend is carried individually, so a
+/// caller (or a wire client holding an `Explanation`) can recompute `score`
+/// from the parts: `Score_QFG` is the log-popularity component when the
+/// configuration has fewer than two non-relation fragments (`qfg_pairs ==
+/// 0`) and the pairwise-Dice component otherwise, and
+/// `score = λ·Score_σ + (1−λ)·Score_QFG`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Configuration {
     /// One mapping per keyword, in the order the keywords were given.
@@ -185,6 +192,17 @@ pub struct Configuration {
     pub sigma_score: f64,
     /// The query-log-driven score `Score_QFG`.
     pub qfg_score: f64,
+    /// Log-popularity component: mean normalised occurrence frequency of the
+    /// configuration's non-relation fragments in the query log.
+    pub log_popularity: f64,
+    /// Co-occurrence component: the smoothed geometric aggregation of the
+    /// pairwise Dice coefficients (Section V-C.2); 0 when `qfg_pairs == 0`.
+    pub dice_cooccurrence: f64,
+    /// Number of fragment pairs behind `dice_cooccurrence`.  When 0, the
+    /// log-popularity fallback is the effective `Score_QFG`.
+    pub qfg_pairs: usize,
+    /// The λ this configuration was scored under.
+    pub lambda: f64,
     /// The final combined score `λ·Score_σ + (1−λ)·Score_QFG`.
     pub score: f64,
 }
@@ -507,32 +525,43 @@ impl<'a> KeywordMapper<'a> {
     }
 
     /// Compute `Score_σ`, `Score_QFG` and the λ-combination for one
-    /// configuration.
+    /// configuration, retaining each component for explanations.
     pub fn score_configuration(&self, mappings: Vec<MappingCandidate>) -> Configuration {
         let sigma_score = geometric_mean(mappings.iter().map(|m| m.score));
-        let qfg_score = self.qfg_configuration_score(&mappings);
+        let qfg = self.qfg_breakdown(&mappings);
+        let qfg_score = if qfg.pairs == 0 {
+            qfg.log_popularity
+        } else {
+            qfg.dice
+        };
         let lambda = self.config.lambda;
         let score = lambda * sigma_score + (1.0 - lambda) * qfg_score;
         Configuration {
             mappings,
             sigma_score,
             qfg_score,
+            log_popularity: qfg.log_popularity,
+            dice_cooccurrence: qfg.dice,
+            qfg_pairs: qfg.pairs,
+            lambda,
             score,
         }
     }
 
-    /// `Score_QFG`: the geometric aggregation of the Dice coefficients of all
-    /// pairs of non-relation fragments in the configuration
-    /// (Section V-C.2).  With fewer than two non-relation fragments there are
-    /// no pairs; we fall back to the normalised occurrence frequency of the
-    /// fragments so that log evidence still contributes.
+    /// `Score_QFG`, decomposed: the geometric aggregation of the Dice
+    /// coefficients of all pairs of non-relation fragments in the
+    /// configuration (Section V-C.2).  With fewer than two non-relation
+    /// fragments there are no pairs; the effective score falls back to the
+    /// normalised occurrence frequency of the fragments so that log evidence
+    /// still contributes.  Both components are returned so explanations can
+    /// show which one drove the blend.
     ///
     /// Each Dice value is smoothed with a small additive constant before the
     /// product is taken.  The paper's plain product would be annihilated by a
     /// single never-co-occurring pair even when every other pair carries
     /// strong evidence; smoothing preserves the ranking induced by the Dice
     /// values while keeping partially-supported configurations comparable.
-    fn qfg_configuration_score(&self, mappings: &[MappingCandidate]) -> f64 {
+    fn qfg_breakdown(&self, mappings: &[MappingCandidate]) -> QfgBreakdown {
         /// Additive smoothing applied to each pairwise Dice coefficient.
         const QFG_SMOOTHING: f64 = 0.01;
         let fragments: Vec<QueryFragment> = mappings
@@ -541,11 +570,21 @@ impl<'a> KeywordMapper<'a> {
             .map(|m| m.element.fragment(self.config))
             .collect();
         let total_queries = self.qfg.query_count().max(1) as f64;
-        if fragments.len() < 2 {
-            return fragments
-                .first()
+        let log_popularity = if fragments.is_empty() {
+            0.0
+        } else {
+            fragments
+                .iter()
                 .map(|f| self.qfg.occurrences(f) as f64 / total_queries)
-                .unwrap_or(0.0);
+                .sum::<f64>()
+                / fragments.len() as f64
+        };
+        if fragments.len() < 2 {
+            return QfgBreakdown {
+                log_popularity,
+                dice: 0.0,
+                pairs: 0,
+            };
         }
         let phi = mappings.len() as f64;
         let mut product = 1.0f64;
@@ -557,11 +596,20 @@ impl<'a> KeywordMapper<'a> {
                 pairs += 1;
             }
         }
-        if pairs == 0 {
-            return 0.0;
+        QfgBreakdown {
+            log_popularity,
+            dice: product.powf(1.0 / phi).clamp(0.0, 1.0),
+            pairs,
         }
-        product.powf(1.0 / phi).clamp(0.0, 1.0)
     }
+}
+
+/// The two components of `Score_QFG` (internal to scoring; the public
+/// decomposition lives on [`Configuration`]).
+struct QfgBreakdown {
+    log_popularity: f64,
+    dice: f64,
+    pairs: usize,
 }
 
 /// Similarity discount applied to key-like attributes (`id`, `*_id`, and the

@@ -22,6 +22,7 @@
 //! described in Section III-E.
 
 pub mod config;
+pub mod error;
 pub mod fragment;
 pub mod join;
 pub mod keyword;
@@ -30,6 +31,7 @@ pub mod shared;
 pub mod templar;
 
 pub use config::{Obscurity, TemplarConfig};
+pub use error::{JoinInferenceError, TemplarError};
 pub use fragment::{fragments_of_query, QueryContext, QueryFragment};
 pub use join::{apply_log_weights, infer_joins, BagItem, JoinInference, ScoredJoinPath};
 pub use keyword::{
@@ -37,4 +39,4 @@ pub use keyword::{
 };
 pub use qfg::{QueryFragmentGraph, QueryLog};
 pub use shared::SharedTemplar;
-pub use templar::Templar;
+pub use templar::{JoinCacheStats, Templar};

@@ -73,7 +73,7 @@ mod tests {
             .build();
         let mut db = Database::new(schema);
         db.insert("r", vec![year.into()]).unwrap();
-        Templar::new(Arc::new(db), &QueryLog::new(), TemplarConfig::default())
+        Templar::new(Arc::new(db), &QueryLog::new(), TemplarConfig::default()).unwrap()
     }
 
     #[test]

@@ -7,8 +7,14 @@
 //!
 //! * [`Templar::map_keywords`] — `MAPKEYWORDS(D, S, M)`, and
 //! * [`Templar::infer_joins`] — `INFERJOINS(G_s, B_D)`.
+//!
+//! Both calls also exist in `_with` variants that take an explicit
+//! [`TemplarConfig`], so a serving layer can apply per-request overrides
+//! (λ, `use_log_joins`) against the same immutable snapshot without
+//! rebuilding anything.
 
 use crate::config::TemplarConfig;
+use crate::error::{JoinInferenceError, TemplarError};
 use crate::join::{infer_joins, BagItem, JoinInference};
 use crate::keyword::{Configuration, Keyword, KeywordMapper, KeywordMetadata};
 use crate::qfg::{QueryFragmentGraph, QueryLog};
@@ -16,9 +22,120 @@ use nlp::TextSimilarity;
 use parking_lot::Mutex;
 use relational::Database;
 use schemagraph::SchemaGraph;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// One bag element of a join-cache key, pre-lowercased.  Structured (instead
+/// of a formatted string) so lookups hash a small tuple rather than allocate
+/// and join a signature string on every call.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum BagKeyItem {
+    Relation(String),
+    Attribute(String, String),
+}
+
+/// Cache key for one join inference.  Besides the (sorted) relation bag it
+/// carries every configuration parameter that can change the inference
+/// result or its interpretation — so a request served under per-request
+/// overrides can never alias a cached inference computed under different
+/// parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct JoinCacheKey {
+    bag: Vec<BagKeyItem>,
+    use_log_joins: bool,
+    join_candidates: usize,
+    /// λ does not enter join inference arithmetic, but it is part of the
+    /// request contract; keeping it in the key guarantees full isolation
+    /// between override configurations (bit-exact comparison).
+    lambda_bits: u64,
+}
+
+impl JoinCacheKey {
+    fn new(bag: &[BagItem], config: &TemplarConfig) -> Self {
+        let mut items: Vec<BagKeyItem> = bag
+            .iter()
+            .map(|item| match item {
+                BagItem::Relation(r) => BagKeyItem::Relation(r.to_lowercase()),
+                BagItem::Attribute(a) => {
+                    BagKeyItem::Attribute(a.relation.to_lowercase(), a.attribute.to_lowercase())
+                }
+            })
+            .collect();
+        items.sort();
+        JoinCacheKey {
+            bag: items,
+            use_log_joins: config.use_log_joins,
+            join_candidates: config.join_candidates,
+            lambda_bits: config.lambda.to_bits(),
+        }
+    }
+}
+
+/// Bounded join-inference cache with oldest-first (FIFO) eviction.
+struct JoinCache {
+    map: HashMap<JoinCacheKey, Arc<JoinInference>>,
+    /// Insertion order; each key appears exactly once (inserts happen only
+    /// on a miss).
+    order: VecDeque<JoinCacheKey>,
+    capacity: usize,
+}
+
+impl JoinCache {
+    fn new(capacity: usize) -> Self {
+        JoinCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn get(&self, key: &JoinCacheKey) -> Option<Arc<JoinInference>> {
+        self.map.get(key).map(Arc::clone)
+    }
+
+    /// Insert, evicting oldest entries beyond capacity.  Returns the number
+    /// of evictions performed.
+    fn insert(&mut self, key: JoinCacheKey, value: Arc<JoinInference>) -> u64 {
+        if let Some(existing) = self.map.get_mut(&key) {
+            // Two threads can miss on the same bag concurrently and both
+            // compute the inference; the second insert replaces the value in
+            // place — it must not evict an unrelated resident entry.
+            *existing = value;
+            return 0;
+        }
+        let mut evicted = 0u64;
+        while self.map.len() >= self.capacity {
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
+            self.map.remove(&oldest);
+            evicted += 1;
+        }
+        self.map.insert(key.clone(), value);
+        self.order.push_back(key);
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Point-in-time join-cache statistics, observable by the serving layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JoinCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to run join inference.
+    pub misses: u64,
+    /// Entries evicted to stay within the configured capacity.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Configured capacity bound.
+    pub capacity: usize,
+}
 
 /// The Templar system.
 pub struct Templar {
@@ -27,18 +144,24 @@ pub struct Templar {
     qfg: QueryFragmentGraph,
     similarity: TextSimilarity,
     config: TemplarConfig,
-    /// Cache of join inferences keyed by the (sorted) relation bag signature.
-    /// Join inference is the most expensive step and the same bag recurs for
+    /// Cache of join inferences keyed by the structured bag signature plus
+    /// the (possibly overridden) parameters the inference ran under.  Join
+    /// inference is the most expensive step and the same bag recurs for
     /// every configuration that maps keywords to the same relations.
-    join_cache: Mutex<HashMap<String, Arc<JoinInference>>>,
-    /// Join-cache hit / miss counters (observable by the serving layer).
+    join_cache: Mutex<JoinCache>,
+    /// Join-cache hit / miss / eviction counters.
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
 }
 
 impl Templar {
     /// Build Templar for a database, a SQL query log and a configuration.
-    pub fn new(db: Arc<Database>, log: &QueryLog, config: TemplarConfig) -> Self {
+    pub fn new(
+        db: Arc<Database>,
+        log: &QueryLog,
+        config: TemplarConfig,
+    ) -> Result<Self, TemplarError> {
         let qfg = QueryFragmentGraph::build(log, config.obscurity);
         Self::from_parts(db, qfg, TextSimilarity::new(), config)
     }
@@ -50,7 +173,7 @@ impl Templar {
         log: &QueryLog,
         config: TemplarConfig,
         similarity: TextSimilarity,
-    ) -> Self {
+    ) -> Result<Self, TemplarError> {
         let qfg = QueryFragmentGraph::build(log, config.obscurity);
         Self::from_parts(db, qfg, similarity, config)
     }
@@ -62,32 +185,34 @@ impl Templar {
     /// ([`QueryFragmentGraph::ingest`]) and hands a clone here, so a refresh
     /// costs one graph clone instead of a full log replay.
     ///
-    /// # Panics
-    ///
-    /// If the graph's obscurity level does not match `config.obscurity` —
-    /// mixing levels would silently produce wrong Dice scores.
+    /// Fails with [`TemplarError::ObscurityMismatch`] if the graph's
+    /// obscurity level does not match `config.obscurity` — mixing levels
+    /// would silently produce wrong Dice scores.
     pub fn from_parts(
         db: Arc<Database>,
         qfg: QueryFragmentGraph,
         similarity: TextSimilarity,
         config: TemplarConfig,
-    ) -> Self {
-        assert_eq!(
-            qfg.obscurity(),
-            config.obscurity,
-            "QFG obscurity level must match the Templar configuration"
-        );
+    ) -> Result<Self, TemplarError> {
+        if qfg.obscurity() != config.obscurity {
+            return Err(TemplarError::ObscurityMismatch {
+                expected: config.obscurity,
+                found: qfg.obscurity(),
+            });
+        }
         let schema_graph = SchemaGraph::from_schema(db.schema());
-        Templar {
+        let capacity = config.join_cache_capacity;
+        Ok(Templar {
             db,
             schema_graph,
             qfg,
             similarity,
             config,
-            join_cache: Mutex::new(HashMap::new()),
+            join_cache: Mutex::new(JoinCache::new(capacity)),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
-        }
+            cache_evictions: AtomicU64::new(0),
+        })
     }
 
     /// The configuration in use.
@@ -120,45 +245,70 @@ impl Templar {
         &self.similarity
     }
 
-    /// Join-cache statistics: `(hits, misses)` since construction.
-    pub fn join_cache_stats(&self) -> (u64, u64) {
-        (
-            self.cache_hits.load(Ordering::Relaxed),
-            self.cache_misses.load(Ordering::Relaxed),
-        )
+    /// Join-cache statistics since construction.
+    pub fn join_cache_stats(&self) -> JoinCacheStats {
+        let (entries, capacity) = {
+            let cache = self.join_cache.lock();
+            (cache.len(), cache.capacity)
+        };
+        JoinCacheStats {
+            hits: self.cache_hits.load(Ordering::Relaxed),
+            misses: self.cache_misses.load(Ordering::Relaxed),
+            evictions: self.cache_evictions.load(Ordering::Relaxed),
+            entries,
+            capacity,
+        }
     }
 
     /// `MAPKEYWORDS`: map keywords (with metadata) to ranked configurations.
     pub fn map_keywords(&self, keywords: &[(Keyword, KeywordMetadata)]) -> Vec<Configuration> {
-        let mapper = KeywordMapper::new(&self.db, &self.qfg, &self.similarity, &self.config);
+        self.map_keywords_with(keywords, &self.config)
+    }
+
+    /// `MAPKEYWORDS` under an explicit configuration (per-request overrides).
+    ///
+    /// The configuration's obscurity must equal the snapshot's — overrides
+    /// may change λ, `use_log_joins`, κ and friends, but the QFG is fixed at
+    /// its build-time obscurity.
+    pub fn map_keywords_with(
+        &self,
+        keywords: &[(Keyword, KeywordMetadata)],
+        config: &TemplarConfig,
+    ) -> Vec<Configuration> {
+        let mapper = KeywordMapper::new(&self.db, &self.qfg, &self.similarity, config);
         mapper.map_keywords(keywords)
     }
 
     /// `INFERJOINS`: ranked join paths for a bag of relations/attributes.
-    pub fn infer_joins(&self, bag: &[BagItem]) -> Option<Arc<JoinInference>> {
-        let mut signature: Vec<String> = bag
-            .iter()
-            .map(|item| match item {
-                BagItem::Relation(r) => format!("r:{}", r.to_lowercase()),
-                BagItem::Attribute(a) => format!("a:{}", a.to_string().to_lowercase()),
-            })
-            .collect();
-        signature.sort();
-        let key = format!("{}|log={}", signature.join(","), self.config.use_log_joins);
+    pub fn infer_joins(&self, bag: &[BagItem]) -> Result<Arc<JoinInference>, JoinInferenceError> {
+        self.infer_joins_with(bag, &self.config)
+    }
+
+    /// `INFERJOINS` under an explicit configuration (per-request overrides).
+    /// Cached: the cache key includes the override parameters, so inferences
+    /// computed under different configurations never alias.
+    pub fn infer_joins_with(
+        &self,
+        bag: &[BagItem],
+        config: &TemplarConfig,
+    ) -> Result<Arc<JoinInference>, JoinInferenceError> {
+        let key = JoinCacheKey::new(bag, config);
         if let Some(hit) = self.join_cache.lock().get(&key) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Some(Arc::clone(hit));
+            return Ok(hit);
         }
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
-        let qfg = if self.config.use_log_joins {
+        let qfg = if config.use_log_joins {
             Some(&self.qfg)
         } else {
             None
         };
-        let result = infer_joins(&self.schema_graph, qfg, &self.config, bag)?;
-        let result = Arc::new(result);
-        self.join_cache.lock().insert(key, Arc::clone(&result));
-        Some(result)
+        let result = Arc::new(infer_joins(&self.schema_graph, qfg, config, bag)?);
+        let evicted = self.join_cache.lock().insert(key, Arc::clone(&result));
+        if evicted > 0 {
+            self.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        Ok(result)
     }
 }
 
@@ -214,7 +364,7 @@ mod tests {
 
     #[test]
     fn facade_exposes_both_interface_calls() {
-        let templar = Templar::new(db(), &log(), TemplarConfig::default());
+        let templar = Templar::new(db(), &log(), TemplarConfig::default()).unwrap();
         // Keyword mapping.
         let keywords = vec![
             (Keyword::new("papers"), KeywordMetadata::select()),
@@ -235,8 +385,24 @@ mod tests {
     }
 
     #[test]
+    fn obscurity_mismatch_is_a_typed_error_not_a_panic() {
+        let config = TemplarConfig::default(); // NoConstOp
+        let qfg = QueryFragmentGraph::build(&log(), crate::config::Obscurity::Full);
+        match Templar::from_parts(db(), qfg, TextSimilarity::new(), config) {
+            Err(err) => assert_eq!(
+                err,
+                TemplarError::ObscurityMismatch {
+                    expected: crate::config::Obscurity::NoConstOp,
+                    found: crate::config::Obscurity::Full,
+                }
+            ),
+            Ok(_) => panic!("mismatched obscurity must be rejected"),
+        }
+    }
+
+    #[test]
     fn join_inference_is_cached() {
-        let templar = Templar::new(db(), &log(), TemplarConfig::default());
+        let templar = Templar::new(db(), &log(), TemplarConfig::default()).unwrap();
         let bag = vec![
             BagItem::Attribute(AttributeRef::new("publication", "title")),
             BagItem::Attribute(AttributeRef::new("journal", "name")),
@@ -247,11 +413,60 @@ mod tests {
             Arc::ptr_eq(&first, &second),
             "second call should hit the cache"
         );
+        let stats = templar.join_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn override_configs_do_not_alias_cached_inferences() {
+        let templar = Templar::new(db(), &log(), TemplarConfig::default()).unwrap();
+        let bag = vec![
+            BagItem::Attribute(AttributeRef::new("publication", "title")),
+            BagItem::Attribute(AttributeRef::new("journal", "name")),
+        ];
+        let with_log = templar.infer_joins(&bag).unwrap();
+        let no_log = templar
+            .infer_joins_with(&bag, &TemplarConfig::default().with_log_joins(false))
+            .unwrap();
+        assert!(
+            !Arc::ptr_eq(&with_log, &no_log),
+            "different use_log_joins must be distinct cache entries"
+        );
+        // A different λ is also a distinct entry (never aliases).
+        let lambda_override = templar
+            .infer_joins_with(&bag, &TemplarConfig::default().with_lambda(0.3))
+            .unwrap();
+        assert!(!Arc::ptr_eq(&with_log, &lambda_override));
+        assert_eq!(templar.join_cache_stats().misses, 3);
+    }
+
+    #[test]
+    fn join_cache_is_bounded_with_fifo_eviction() {
+        let config = TemplarConfig::default().with_join_cache_capacity(2);
+        let templar = Templar::new(db(), &log(), config).unwrap();
+        let bags: Vec<Vec<BagItem>> = vec![
+            vec![BagItem::Relation("publication".into())],
+            vec![BagItem::Relation("journal".into())],
+            vec![
+                BagItem::Attribute(AttributeRef::new("publication", "title")),
+                BagItem::Attribute(AttributeRef::new("journal", "name")),
+            ],
+        ];
+        for bag in &bags {
+            templar.infer_joins(bag).unwrap();
+        }
+        let stats = templar.join_cache_stats();
+        assert_eq!(stats.capacity, 2);
+        assert!(stats.entries <= 2, "cache exceeded its bound");
+        assert_eq!(stats.evictions, 1, "third insert evicts the oldest entry");
+        // The oldest bag was evicted: looking it up again is a miss.
+        templar.infer_joins(&bags[0]).unwrap();
+        assert_eq!(templar.join_cache_stats().misses, 4);
     }
 
     #[test]
     fn qfg_is_built_at_the_configured_obscurity() {
-        let templar = Templar::new(db(), &log(), TemplarConfig::default());
+        let templar = Templar::new(db(), &log(), TemplarConfig::default()).unwrap();
         let frag = crate::fragment::QueryFragment {
             expr: "publication.year ?op ?val".into(),
             context: QueryContext::Where,

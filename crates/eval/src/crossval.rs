@@ -5,7 +5,7 @@ use datasets::Dataset;
 use nlidb::{NaLirSystem, NlidbSystem, PipelineSystem};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
-use templar_core::{Keyword, QueryLog, TemplarConfig};
+use templar_core::{Keyword, QueryLog, TemplarConfig, TemplarError};
 
 /// The four systems evaluated in Table III.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -46,20 +46,23 @@ impl SystemKind {
 
     /// Instantiate the system for one cross-validation fold.  Baselines never
     /// see the query log; augmented systems receive the training folds' log.
+    /// Construction is fallible since `Templar::new` validates its inputs;
+    /// with a benchmark dataset's self-consistent configuration it always
+    /// succeeds.
     pub fn build(
         self,
         db: Arc<relational::Database>,
         log: &QueryLog,
         config: &TemplarConfig,
-    ) -> Box<dyn NlidbSystem> {
-        match self {
-            SystemKind::NaLir => Box::new(NaLirSystem::baseline(db)),
-            SystemKind::NaLirPlus => Box::new(NaLirSystem::augmented(db, log, config.clone())),
-            SystemKind::Pipeline => Box::new(PipelineSystem::baseline(db)),
+    ) -> Result<Box<dyn NlidbSystem>, TemplarError> {
+        Ok(match self {
+            SystemKind::NaLir => Box::new(NaLirSystem::baseline(db)?),
+            SystemKind::NaLirPlus => Box::new(NaLirSystem::augmented(db, log, config.clone())?),
+            SystemKind::Pipeline => Box::new(PipelineSystem::baseline(db)?),
             SystemKind::PipelinePlus => {
-                Box::new(PipelineSystem::augmented(db, log, config.clone()))
+                Box::new(PipelineSystem::augmented(db, log, config.clone())?)
             }
-        }
+        })
     }
 }
 
@@ -109,12 +112,16 @@ pub fn evaluate_system_with_folds(
     let mut kw = Accuracy::default();
     let mut fq = Accuracy::default();
     for fold in dataset.folds(folds) {
-        let instance = system.build(Arc::clone(&dataset.db), &fold.log, config);
+        let instance = system
+            .build(Arc::clone(&dataset.db), &fold.log, config)
+            .expect("benchmark datasets build at a consistent obscurity");
         for case_id in &fold.test_case_ids {
             let case = dataset
                 .case(*case_id)
                 .expect("fold references a known case");
-            let results = instance.translate(&case.nlq);
+            // A typed translation failure counts as zero candidates for the
+            // accuracy metrics, exactly as the paper scores a miss.
+            let results = instance.translate(&case.nlq).unwrap_or_default();
             let keywords: Vec<Keyword> = case.nlq.keywords.iter().map(|(k, _)| k.clone()).collect();
             kw.record(kw_correct(&results, &keywords, &case.nlq.gold_mappings));
             fq.record(fq_correct(&results, &case.gold_sql));

@@ -102,10 +102,27 @@ mod tests {
     use templar_core::{Configuration, MappingCandidate};
 
     fn ranked(sql: &str, score: f64) -> RankedSql {
+        let explanation = nlidb::Explanation {
+            lambda: 1.0,
+            sigma_score: score,
+            log_popularity: 0.0,
+            dice_cooccurrence: 0.0,
+            qfg_pairs: 0,
+            qfg_score: 0.0,
+            config_score: score,
+            join: nlidb::JoinExplanation {
+                edges: 0,
+                total_weight: 0.0,
+                used_log_weights: false,
+                score: 1.0,
+            },
+            final_score: score,
+        };
         RankedSql {
             query: parse_query(sql).unwrap(),
             score,
             configuration: None,
+            explanation,
         }
     }
 
@@ -172,6 +189,10 @@ mod tests {
                 .collect(),
             sigma_score: 1.0,
             qfg_score: 1.0,
+            log_popularity: 1.0,
+            dice_cooccurrence: 0.0,
+            qfg_pairs: 0,
+            lambda: 1.0,
             score: 1.0,
         };
         let mut result = ranked("SELECT p.title FROM publication p", 1.0);

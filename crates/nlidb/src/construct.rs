@@ -186,6 +186,10 @@ mod tests {
             mappings: elements.into_iter().map(mapping).collect(),
             sigma_score: 1.0,
             qfg_score: 1.0,
+            log_popularity: 1.0,
+            dice_cooccurrence: 0.0,
+            qfg_pairs: 0,
+            lambda: 1.0,
             score: 1.0,
         }
     }

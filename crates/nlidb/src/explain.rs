@@ -1,0 +1,191 @@
+//! Per-candidate score explanations.
+//!
+//! Every ranked SQL candidate carries an [`Explanation`] that decomposes its
+//! final score into the components of Section IV's λ-blend — the
+//! word-similarity score, the log-popularity and co-occurrence/Dice parts of
+//! `Score_QFG` — and its join path into schema distance versus log-evidence
+//! weight.  The decomposition is *complete*: [`Explanation::recompute_final`]
+//! reproduces the blended score from the components alone, so a wire client
+//! can audit any ranking decision without access to the database, the QFG or
+//! the similarity model.
+
+use serde::{Deserialize, Serialize};
+use templar_core::Configuration;
+
+/// The share of the final score contributed by the configuration versus the
+/// join path: `final = config_score · (JOIN_BLEND_BASE + JOIN_BLEND_WEIGHT ·
+/// join_score)`.  The configuration score carries the keyword-mapping
+/// evidence; the join-path score only modulates it, so a popular-but-
+/// irrelevant join edge can never override a clearly better keyword mapping.
+pub const JOIN_BLEND_BASE: f64 = 0.75;
+/// See [`JOIN_BLEND_BASE`].
+pub const JOIN_BLEND_WEIGHT: f64 = 0.25;
+
+/// How a join path's score was derived: its schema distance (edge count) and
+/// total edge weight, which is log-evidence-driven (`w_L = 1 − Dice`) when
+/// `used_log_weights` is set and plain unit schema distance otherwise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JoinExplanation {
+    /// Number of join edges (the schema-distance component).
+    pub edges: usize,
+    /// Total edge weight of the join tree (the log-evidence component when
+    /// `used_log_weights`; equal to `edges` under unit weights).
+    pub total_weight: f64,
+    /// Whether edge weights came from query-log Dice evidence.
+    pub used_log_weights: bool,
+    /// The resulting join-path score `Score_j ∈ (0, 1]`.
+    pub score: f64,
+}
+
+impl JoinExplanation {
+    /// Recompute `score` from `edges` and `total_weight` — the same
+    /// definition [`schemagraph::JoinPath::score`] ranks paths with, so an
+    /// explanation can never drift from the ranking arithmetic.
+    pub fn recompute_score(&self) -> f64 {
+        schemagraph::join_path_score(self.total_weight, self.edges)
+    }
+}
+
+/// A complete decomposition of one candidate's final score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Explanation {
+    /// The λ the candidate was scored under (per-request overridable).
+    pub lambda: f64,
+    /// Word-similarity score `Score_σ` (geometric mean of mapping σ's).
+    pub sigma_score: f64,
+    /// Log-popularity component of `Score_QFG`: mean normalised occurrence
+    /// frequency of the configuration's non-relation fragments.
+    pub log_popularity: f64,
+    /// Co-occurrence component of `Score_QFG`: smoothed geometric
+    /// aggregation of pairwise Dice coefficients.
+    pub dice_cooccurrence: f64,
+    /// Number of fragment pairs behind `dice_cooccurrence`; when 0 the
+    /// log-popularity fallback is the effective `Score_QFG`.
+    pub qfg_pairs: usize,
+    /// The effective `Score_QFG` used in the blend.
+    pub qfg_score: f64,
+    /// The blended configuration score `λ·Score_σ + (1−λ)·Score_QFG`.
+    pub config_score: f64,
+    /// The join-path decomposition.
+    pub join: JoinExplanation,
+    /// The candidate's final score
+    /// `config_score · (JOIN_BLEND_BASE + JOIN_BLEND_WEIGHT · join.score)`.
+    pub final_score: f64,
+}
+
+impl Explanation {
+    /// Assemble an explanation from a scored configuration and its join
+    /// path's characteristics.
+    pub fn from_parts(config: &Configuration, join: JoinExplanation, final_score: f64) -> Self {
+        Explanation {
+            lambda: config.lambda,
+            sigma_score: config.sigma_score,
+            log_popularity: config.log_popularity,
+            dice_cooccurrence: config.dice_cooccurrence,
+            qfg_pairs: config.qfg_pairs,
+            qfg_score: config.qfg_score,
+            config_score: config.score,
+            join,
+            final_score,
+        }
+    }
+
+    /// The effective `Score_QFG` implied by the components.
+    pub fn recompute_qfg_score(&self) -> f64 {
+        if self.qfg_pairs == 0 {
+            self.log_popularity
+        } else {
+            self.dice_cooccurrence
+        }
+    }
+
+    /// The blended configuration score implied by the components.
+    pub fn recompute_config_score(&self) -> f64 {
+        self.lambda * self.sigma_score + (1.0 - self.lambda) * self.recompute_qfg_score()
+    }
+
+    /// The final score implied by the components — the λ-blend of Section IV
+    /// modulated by the join-path score.
+    pub fn recompute_final(&self) -> f64 {
+        self.recompute_config_score()
+            * (JOIN_BLEND_BASE + JOIN_BLEND_WEIGHT * self.join.recompute_score())
+    }
+
+    /// True when every stored aggregate matches its recomputation within
+    /// `tolerance` — i.e. the explanation is self-consistent and the blend
+    /// is reproducible from the response alone.
+    pub fn is_consistent(&self, tolerance: f64) -> bool {
+        (self.recompute_qfg_score() - self.qfg_score).abs() <= tolerance
+            && (self.recompute_config_score() - self.config_score).abs() <= tolerance
+            && (self.join.recompute_score() - self.join.score).abs() <= tolerance
+            && (self.recompute_final() - self.final_score).abs() <= tolerance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Explanation {
+        let join = JoinExplanation {
+            edges: 2,
+            total_weight: 0.8,
+            used_log_weights: true,
+            score: 0.0,
+        };
+        let join = JoinExplanation {
+            score: join.recompute_score(),
+            ..join
+        };
+        let mut e = Explanation {
+            lambda: 0.8,
+            sigma_score: 0.7,
+            log_popularity: 0.2,
+            dice_cooccurrence: 0.45,
+            qfg_pairs: 1,
+            qfg_score: 0.45,
+            config_score: 0.0,
+            join,
+            final_score: 0.0,
+        };
+        e.config_score = e.recompute_config_score();
+        e.final_score = e.recompute_final();
+        e
+    }
+
+    #[test]
+    fn consistent_explanations_recompute_exactly() {
+        let e = sample();
+        assert!(e.is_consistent(1e-12));
+        assert!((e.config_score - (0.8 * 0.7 + 0.2 * 0.45)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tampered_explanations_fail_the_consistency_check() {
+        let mut e = sample();
+        e.final_score += 0.05;
+        assert!(!e.is_consistent(1e-9));
+        let mut e = sample();
+        e.qfg_pairs = 0; // switches the QFG component to log-popularity
+        assert!(!e.is_consistent(1e-9));
+    }
+
+    #[test]
+    fn trivial_join_path_scores_one() {
+        let j = JoinExplanation {
+            edges: 0,
+            total_weight: 0.0,
+            used_log_weights: false,
+            score: 1.0,
+        };
+        assert_eq!(j.recompute_score(), 1.0);
+    }
+
+    #[test]
+    fn explanations_round_trip_through_serde() {
+        let e = sample();
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Explanation = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

@@ -22,11 +22,13 @@
 //! rather than to Templar.
 
 pub mod construct;
+pub mod explain;
 pub mod nalir;
 pub mod pipeline;
 pub mod system;
 
 pub use construct::construct_query;
+pub use explain::{Explanation, JoinExplanation, JOIN_BLEND_BASE, JOIN_BLEND_WEIGHT};
 pub use nalir::NaLirSystem;
-pub use pipeline::{translate_with, PipelineSystem};
-pub use system::{NlidbSystem, Nlq, RankedSql, TemplarSource};
+pub use pipeline::{translate_with, translate_with_config, PipelineSystem};
+pub use system::{NlidbSystem, Nlq, RankedSql, TemplarSource, TranslateError};

@@ -18,12 +18,13 @@
 //! mapping and join inference to Templar, as in the paper.
 
 use crate::pipeline::translate_with;
-use crate::system::{NlidbSystem, Nlq, RankedSql, TemplarSource};
+use crate::system::{NlidbSystem, Nlq, RankedSql, TemplarSource, TranslateError};
 use nlp::{SynonymLexicon, TextSimilarity, WordModel};
 use relational::Database;
 use std::sync::Arc;
 use templar_core::{
     Keyword, KeywordMetadata, QueryContext, QueryLog, SharedTemplar, Templar, TemplarConfig,
+    TemplarError,
 };
 
 /// A NaLIR-style NLIDB (baseline, Templar-augmented, or live-serving).
@@ -35,27 +36,31 @@ pub struct NaLirSystem {
 impl NaLirSystem {
     /// The vanilla NaLIR baseline: lexicon (WordNet-style) similarity, preset
     /// (unit) join weights, no query-log information, noisy parser.
-    pub fn baseline(db: Arc<Database>) -> Self {
+    pub fn baseline(db: Arc<Database>) -> Result<Self, TemplarError> {
         let config = TemplarConfig::default()
             .with_lambda(1.0)
             .with_log_joins(false);
         let similarity =
             TextSimilarity::with_model(WordModel::with_lexicon(SynonymLexicon::builtin()));
-        let templar = Templar::with_similarity(db, &QueryLog::new(), config, similarity);
-        NaLirSystem {
+        let templar = Templar::with_similarity(db, &QueryLog::new(), config, similarity)?;
+        Ok(NaLirSystem {
             name: "NaLIR".to_string(),
             source: TemplarSource::Fixed(Arc::new(templar)),
-        }
+        })
     }
 
     /// NaLIR+ — the same noisy parser, with keyword mapping and join path
     /// inference deferred to Templar.
-    pub fn augmented(db: Arc<Database>, log: &QueryLog, config: TemplarConfig) -> Self {
-        let templar = Templar::new(db, log, config);
-        NaLirSystem {
+    pub fn augmented(
+        db: Arc<Database>,
+        log: &QueryLog,
+        config: TemplarConfig,
+    ) -> Result<Self, TemplarError> {
+        let templar = Templar::new(db, log, config)?;
+        Ok(NaLirSystem {
             name: "NaLIR+".to_string(),
             source: TemplarSource::Fixed(Arc::new(templar)),
-        }
+        })
     }
 
     /// NaLIR+ over a live serving handle (`TemplarService::handle()`): the
@@ -150,10 +155,10 @@ impl NlidbSystem for NaLirSystem {
         &self.name
     }
 
-    fn translate(&self, nlq: &Nlq) -> Vec<RankedSql> {
+    fn translate(&self, nlq: &Nlq) -> Result<Vec<RankedSql>, TranslateError> {
         let keywords = self.parse(nlq);
         if keywords.is_empty() {
-            return Vec::new();
+            return Err(TranslateError::NoKeywords);
         }
         translate_with(&self.source.current(), &keywords)
     }
@@ -221,16 +226,17 @@ mod tests {
 
     #[test]
     fn baseline_and_augmented_report_their_names() {
-        let base = NaLirSystem::baseline(db());
-        let plus = NaLirSystem::augmented(db(), &QueryLog::new(), TemplarConfig::default());
+        let base = NaLirSystem::baseline(db()).unwrap();
+        let plus =
+            NaLirSystem::augmented(db(), &QueryLog::new(), TemplarConfig::default()).unwrap();
         assert_eq!(base.name(), "NaLIR");
         assert_eq!(plus.name(), "NaLIR+");
     }
 
     #[test]
     fn baseline_still_translates_easy_queries() {
-        let system = NaLirSystem::baseline(db());
-        let results = system.translate(&easy_nlq());
+        let system = NaLirSystem::baseline(db()).unwrap();
+        let results = system.translate(&easy_nlq()).unwrap();
         assert!(!results.is_empty());
     }
 }

@@ -14,14 +14,15 @@
 //! paper describes.
 
 use crate::construct::construct_query;
-use crate::system::{NlidbSystem, Nlq, RankedSql, TemplarSource};
+use crate::explain::{Explanation, JoinExplanation, JOIN_BLEND_BASE, JOIN_BLEND_WEIGHT};
+use crate::system::{NlidbSystem, Nlq, RankedSql, TemplarSource, TranslateError};
 use relational::Database;
 use sqlparse::canonicalize;
 use std::collections::BTreeSet;
 use std::sync::Arc;
 use templar_core::{
     BagItem, Configuration, Keyword, KeywordMetadata, MappedElement, QueryLog, SharedTemplar,
-    Templar, TemplarConfig,
+    Templar, TemplarConfig, TemplarError,
 };
 
 /// How many of the top configurations are expanded into SQL candidates.
@@ -36,25 +37,29 @@ pub struct PipelineSystem {
 impl PipelineSystem {
     /// The vanilla Pipeline baseline: similarity-only keyword mapping and
     /// minimum-length join paths (no query-log information at all).
-    pub fn baseline(db: Arc<Database>) -> Self {
+    pub fn baseline(db: Arc<Database>) -> Result<Self, TemplarError> {
         let config = TemplarConfig::default()
             .with_lambda(1.0)
             .with_log_joins(false);
-        let templar = Templar::new(db, &QueryLog::new(), config);
-        PipelineSystem {
+        let templar = Templar::new(db, &QueryLog::new(), config)?;
+        Ok(PipelineSystem {
             name: "Pipeline".to_string(),
             source: TemplarSource::Fixed(Arc::new(templar)),
-        }
+        })
     }
 
     /// Pipeline+ — the baseline augmented with Templar using the given query
     /// log and configuration.
-    pub fn augmented(db: Arc<Database>, log: &QueryLog, config: TemplarConfig) -> Self {
-        let templar = Templar::new(db, log, config);
-        PipelineSystem {
+    pub fn augmented(
+        db: Arc<Database>,
+        log: &QueryLog,
+        config: TemplarConfig,
+    ) -> Result<Self, TemplarError> {
+        let templar = Templar::new(db, log, config)?;
+        Ok(PipelineSystem {
             name: "Pipeline+".to_string(),
             source: TemplarSource::Fixed(Arc::new(templar)),
-        }
+        })
     }
 
     /// Build from an existing Templar instance under a custom display name
@@ -96,20 +101,40 @@ impl PipelineSystem {
 pub fn translate_with(
     templar: &Templar,
     keywords: &[(Keyword, KeywordMetadata)],
-) -> Vec<RankedSql> {
-    let configurations = templar.map_keywords(keywords);
+) -> Result<Vec<RankedSql>, TranslateError> {
+    translate_with_config(templar, keywords, templar.config())
+}
+
+/// [`translate_with`] under an explicit configuration.  The serving layer
+/// uses this to apply per-request overrides (λ, `use_log_joins`) against an
+/// immutable snapshot; the override-aware join cache keeps inferences from
+/// different configurations from aliasing.
+pub fn translate_with_config(
+    templar: &Templar,
+    keywords: &[(Keyword, KeywordMetadata)],
+    config: &TemplarConfig,
+) -> Result<Vec<RankedSql>, TranslateError> {
+    if keywords.is_empty() {
+        return Err(TranslateError::NoKeywords);
+    }
+    let configurations = templar.map_keywords_with(keywords, config);
+    if configurations.is_empty() {
+        return Err(TranslateError::NoMappings);
+    }
     let mut results: Vec<RankedSql> = Vec::new();
     let mut seen: BTreeSet<String> = BTreeSet::new();
-    for config in configurations.into_iter().take(CONFIGS_PER_QUERY) {
-        let bag = bag_of(&config);
+    let mut any_join_path = false;
+    for configuration in configurations.into_iter().take(CONFIGS_PER_QUERY) {
+        let bag = bag_of(&configuration);
         if bag.is_empty() {
             continue;
         }
-        let Some(inference) = templar.infer_joins(&bag) else {
+        let Ok(inference) = templar.infer_joins_with(&bag, config) else {
             continue;
         };
+        any_join_path = true;
         for scored_path in inference.paths.iter().take(2) {
-            let Some(query) = construct_query(&config, &inference, &scored_path.path) else {
+            let Some(query) = construct_query(&configuration, &inference, &scored_path.path) else {
                 continue;
             };
             let canonical = canonicalize(&query).to_string();
@@ -120,13 +145,28 @@ pub fn translate_with(
             // the join-path score only modulates it.  Blending (rather than
             // multiplying outright) keeps a popular-but-irrelevant join edge
             // from overriding a clearly better keyword mapping.
-            let score = config.score * (0.75 + 0.25 * scored_path.score);
+            let score =
+                configuration.score * (JOIN_BLEND_BASE + JOIN_BLEND_WEIGHT * scored_path.score);
+            let join = JoinExplanation {
+                edges: scored_path.path.edges.len(),
+                total_weight: scored_path.path.total_weight,
+                used_log_weights: inference.used_log_weights,
+                score: scored_path.score,
+            };
             results.push(RankedSql {
+                explanation: Explanation::from_parts(&configuration, join, score),
                 query,
                 score,
-                configuration: Some(config.clone()),
+                configuration: Some(configuration.clone()),
             });
         }
+    }
+    if results.is_empty() {
+        return Err(if any_join_path {
+            TranslateError::NoSql
+        } else {
+            TranslateError::NoJoinPath
+        });
     }
     results.sort_by(|a, b| {
         b.score
@@ -134,7 +174,7 @@ pub fn translate_with(
             .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| a.query.to_string().cmp(&b.query.to_string()))
     });
-    results
+    Ok(results)
 }
 
 /// The bag of relations/attributes implied by a configuration, handed to
@@ -157,7 +197,7 @@ impl NlidbSystem for PipelineSystem {
         &self.name
     }
 
-    fn translate(&self, nlq: &Nlq) -> Vec<RankedSql> {
+    fn translate(&self, nlq: &Nlq) -> Result<Vec<RankedSql>, TranslateError> {
         let keywords = self.parse(nlq);
         translate_with(&self.source.current(), &keywords)
     }
@@ -243,9 +283,9 @@ mod tests {
 
     #[test]
     fn baseline_translates_a_simple_query() {
-        let system = PipelineSystem::baseline(academic_db());
+        let system = PipelineSystem::baseline(academic_db()).unwrap();
         assert_eq!(system.name(), "Pipeline");
-        let results = system.translate(&papers_after_2000());
+        let results = system.translate(&papers_after_2000()).unwrap();
         assert!(!results.is_empty());
         // Ranked best-first with scores in descending order.
         for w in results.windows(2) {
@@ -255,9 +295,10 @@ mod tests {
 
     #[test]
     fn augmented_system_produces_the_intended_translation() {
-        let system = PipelineSystem::augmented(academic_db(), &log(), TemplarConfig::default());
+        let system =
+            PipelineSystem::augmented(academic_db(), &log(), TemplarConfig::default()).unwrap();
         assert_eq!(system.name(), "Pipeline+");
-        let results = system.translate(&papers_after_2000());
+        let results = system.translate(&papers_after_2000()).unwrap();
         assert!(!results.is_empty());
         let gold = parse_query("SELECT p.title FROM publication p WHERE p.year > 2000").unwrap();
         assert!(
@@ -269,8 +310,8 @@ mod tests {
 
     #[test]
     fn duplicate_translations_are_deduplicated() {
-        let system = PipelineSystem::baseline(academic_db());
-        let results = system.translate(&papers_after_2000());
+        let system = PipelineSystem::baseline(academic_db()).unwrap();
+        let results = system.translate(&papers_after_2000()).unwrap();
         let mut canon_forms: Vec<String> = results
             .iter()
             .map(|r| canonicalize(&r.query).to_string())
@@ -282,9 +323,27 @@ mod tests {
     }
 
     #[test]
-    fn empty_keywords_produce_no_translation() {
-        let system = PipelineSystem::baseline(academic_db());
+    fn empty_keywords_are_a_typed_error() {
+        let system = PipelineSystem::baseline(academic_db()).unwrap();
         let nlq = Nlq::new("gibberish", vec![], vec![]);
-        assert!(system.translate(&nlq).is_empty());
+        assert!(matches!(
+            system.translate(&nlq),
+            Err(TranslateError::NoKeywords)
+        ));
+    }
+
+    #[test]
+    fn every_candidate_carries_a_consistent_explanation() {
+        let system =
+            PipelineSystem::augmented(academic_db(), &log(), TemplarConfig::default()).unwrap();
+        let results = system.translate(&papers_after_2000()).unwrap();
+        for r in &results {
+            assert!(
+                r.explanation.is_consistent(1e-9),
+                "explanation must recompute the blended score: {:?}",
+                r.explanation
+            );
+            assert!((r.explanation.final_score - r.score).abs() < 1e-12);
+        }
     }
 }

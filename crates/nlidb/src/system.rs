@@ -1,7 +1,9 @@
 //! The common interface of all NLIDB systems under evaluation.
 
+use crate::explain::Explanation;
 use serde::{Deserialize, Serialize};
 use sqlparse::Query;
+use std::fmt;
 use std::sync::Arc;
 use templar_core::{
     Configuration, Keyword, KeywordMetadata, MappedElement, SharedTemplar, Templar,
@@ -85,7 +87,44 @@ pub struct RankedSql {
     /// The keyword-mapping configuration behind the query, when the system
     /// exposes one (used for the KW accuracy metric).
     pub configuration: Option<Configuration>,
+    /// The complete decomposition of `score` into its λ-blend components
+    /// (Section IV) and join-path characteristics.
+    pub explanation: Explanation,
 }
+
+/// Why a translation produced no SQL, as a typed value instead of an empty
+/// vector.  Ordered roughly by how far the pipeline got before failing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TranslateError {
+    /// The parse handed to keyword mapping contained no keywords.
+    NoKeywords,
+    /// Keyword mapping produced no candidate configurations.
+    NoMappings,
+    /// No configuration's relation bag could be connected by a join path.
+    NoJoinPath,
+    /// Join paths were found but SQL construction failed for every
+    /// configuration/path pair.
+    NoSql,
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::NoKeywords => write!(f, "the parse contained no keywords"),
+            TranslateError::NoMappings => {
+                write!(f, "keyword mapping produced no candidate configurations")
+            }
+            TranslateError::NoJoinPath => {
+                write!(f, "no configuration's relations could be joined")
+            }
+            TranslateError::NoSql => {
+                write!(f, "SQL construction failed for every candidate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
 
 /// A natural-language interface to a database.
 pub trait NlidbSystem {
@@ -94,8 +133,9 @@ pub trait NlidbSystem {
     fn name(&self) -> &str;
 
     /// Translate an NLQ into a ranked list of SQL queries (best first).
-    /// An empty vector means the system failed to produce any translation.
-    fn translate(&self, nlq: &Nlq) -> Vec<RankedSql>;
+    /// Failure to produce any translation is a typed [`TranslateError`];
+    /// a successful result is never empty.
+    fn translate(&self, nlq: &Nlq) -> Result<Vec<RankedSql>, TranslateError>;
 }
 
 #[cfg(test)]

@@ -3,6 +3,20 @@
 use crate::joingraph::{JoinGraph, NodeId};
 use std::collections::BTreeSet;
 
+/// The similarity-oriented join-path score used everywhere a path is ranked
+/// or explained: 1 for a single-relation path, otherwise
+/// `1 / (1 + Σw/√|E| + 0.1·|E|)` — the paper's cost-like `Σw / |E|²` turned
+/// into a larger-is-better value in `(0, 1]`.  The one definition shared by
+/// [`JoinPath::score`] and the wire-facing explanation recomputation, so
+/// tuning it can never silently desynchronise the two.
+pub fn join_path_score(total_weight: f64, edges: usize) -> f64 {
+    if edges == 0 {
+        return 1.0;
+    }
+    let e = edges as f64;
+    1.0 / (1.0 + total_weight / e.sqrt() + 0.1 * e)
+}
+
 /// A join condition between two relation instances, ready to be rendered as
 /// `left.attr = right.attr` in a WHERE clause.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,14 +66,7 @@ impl JoinPath {
     /// size normalisation so the value stays in `(0, 1]` and *larger is
     /// better*, matching how every other score in the system is oriented.
     pub fn score(&self) -> f64 {
-        if self.edges.is_empty() {
-            return 1.0;
-        }
-        let e = self.edges.len() as f64;
-        // The raw paper formula (Σw / |E|²) is a *cost-like* quantity when
-        // weights are distances; we expose it via `raw_cost` and derive a
-        // similarity-oriented score from it.
-        1.0 / (1.0 + self.total_weight / e.sqrt() + 0.1 * e)
+        join_path_score(self.total_weight, self.edges.len())
     }
 
     /// The literal `Σ w / |E_j|²` value from the paper (kept for analysis and

@@ -22,5 +22,5 @@ pub mod steiner;
 
 pub use graph::{SchemaGraph, VertexKind};
 pub use joingraph::{JoinEdge, JoinGraph, NodeId};
-pub use joinpath::{JoinCondition, JoinPath};
+pub use joinpath::{join_path_score, JoinCondition, JoinPath};
 pub use steiner::steiner_tree;

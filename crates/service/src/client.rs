@@ -1,0 +1,65 @@
+//! An in-process client for the JSON line protocol.
+//!
+//! [`RegistryClient`] speaks to a [`TenantRegistry`] *through the wire
+//! encoding*: every call serializes a request envelope, hands the line to
+//! the registry, and decodes the response line.  In-process it exists so
+//! examples and tests exercise exactly the bytes a remote client would send;
+//! a socket transport only needs to replace the `handle_line` hop.
+
+use crate::registry::TenantRegistry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use templar_api::{
+    decode_response, encode_request, ApiError, RequestBody, RequestEnvelope, ResponseBody,
+    TranslateRequest, TranslateResponse,
+};
+
+/// A typed client over the line protocol, bound to one registry.
+pub struct RegistryClient<'a> {
+    registry: &'a TenantRegistry,
+    next_id: AtomicU64,
+}
+
+impl<'a> RegistryClient<'a> {
+    /// A client with correlation ids starting at 1.
+    pub fn new(registry: &'a TenantRegistry) -> Self {
+        RegistryClient {
+            registry,
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    fn roundtrip(&self, body: RequestBody) -> Result<ResponseBody, ApiError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let line = encode_request(&RequestEnvelope::new(id, body));
+        let response_line = self.registry.handle_line(&line);
+        let envelope = decode_response(&response_line)?;
+        debug_assert!(
+            envelope.id == id || envelope.id == 0,
+            "response correlation id must echo the request"
+        );
+        envelope.into_result()
+    }
+
+    /// Translate one request, through the wire encoding and back.
+    pub fn translate(&self, request: TranslateRequest) -> Result<TranslateResponse, ApiError> {
+        match self.roundtrip(RequestBody::Translate(request))? {
+            ResponseBody::Translated(response) => Ok(response),
+            other => Err(ApiError::MalformedEnvelope {
+                detail: format!("unexpected response body for Translate: {other:?}"),
+            }),
+        }
+    }
+
+    /// Submit answered SQL to a tenant's log.
+    pub fn submit_sql(&self, tenant: &str, sql: &str) -> Result<(), ApiError> {
+        match self.roundtrip(RequestBody::SubmitSql {
+            tenant: tenant.to_string(),
+            sql: sql.to_string(),
+        })? {
+            ResponseBody::SqlAccepted => Ok(()),
+            other => Err(ApiError::MalformedEnvelope {
+                detail: format!("unexpected response body for SubmitSql: {other:?}"),
+            }),
+        }
+    }
+}

@@ -1,7 +1,9 @@
-//! Serving-layer errors.
+//! Serving-layer errors, and their projection onto the wire-facing
+//! [`ApiError`] taxonomy.
 
 use std::fmt;
-use templar_core::Obscurity;
+use templar_api::{ApiError, SnapshotRejection};
+use templar_core::{Obscurity, TemplarError};
 
 /// Errors surfaced by [`TemplarService`](crate::TemplarService) operations.
 #[derive(Debug)]
@@ -10,6 +12,8 @@ pub enum ServiceError {
     QueueFull,
     /// The service is shutting down and no longer accepts work.
     ShuttingDown,
+    /// The Templar facade could not be constructed (obscurity mismatch).
+    Construction(TemplarError),
     /// Snapshot persistence failed.
     Snapshot(SnapshotError),
 }
@@ -19,6 +23,7 @@ impl fmt::Display for ServiceError {
         match self {
             ServiceError::QueueFull => write!(f, "ingestion queue is full"),
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Construction(e) => write!(f, "construction error: {e}"),
             ServiceError::Snapshot(e) => write!(f, "snapshot error: {e}"),
         }
     }
@@ -29,6 +34,12 @@ impl std::error::Error for ServiceError {}
 impl From<SnapshotError> for ServiceError {
     fn from(e: SnapshotError) -> Self {
         ServiceError::Snapshot(e)
+    }
+}
+
+impl From<TemplarError> for ServiceError {
+    fn from(e: TemplarError) -> Self {
+        ServiceError::Construction(e)
     }
 }
 
@@ -76,5 +87,95 @@ impl std::error::Error for SnapshotError {}
 impl From<std::io::Error> for SnapshotError {
     fn from(e: std::io::Error) -> Self {
         SnapshotError::Io(e)
+    }
+}
+
+/// Project a snapshot error onto the wire taxonomy.  Every structured field
+/// crosses as data; only the unserializable `io::Error` is stringified (via
+/// `Display`, not `Debug`).
+impl From<SnapshotError> for ApiError {
+    fn from(e: SnapshotError) -> Self {
+        match e {
+            SnapshotError::Io(io) => ApiError::SnapshotIo {
+                detail: io.to_string(),
+            },
+            SnapshotError::BadMagic => ApiError::SnapshotRejected {
+                rejection: SnapshotRejection::BadMagic,
+            },
+            SnapshotError::UnsupportedVersion { found, supported } => ApiError::SnapshotRejected {
+                rejection: SnapshotRejection::UnsupportedVersion { found, supported },
+            },
+            SnapshotError::ObscurityMismatch { expected, found } => ApiError::SnapshotRejected {
+                rejection: SnapshotRejection::ObscurityMismatch { expected, found },
+            },
+            SnapshotError::Corrupt(detail) => ApiError::SnapshotRejected {
+                rejection: SnapshotRejection::Corrupt { detail },
+            },
+        }
+    }
+}
+
+/// Project a service error onto the wire taxonomy: queue-full becomes
+/// [`ApiError::Backpressure`] so clients can distinguish "retry later" from
+/// hard failures.
+impl From<ServiceError> for ApiError {
+    fn from(e: ServiceError) -> Self {
+        match e {
+            ServiceError::QueueFull => ApiError::Backpressure,
+            ServiceError::ShuttingDown => ApiError::ShuttingDown,
+            ServiceError::Construction(error) => ApiError::Construction { error },
+            ServiceError::Snapshot(snapshot) => snapshot.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_full_maps_to_backpressure() {
+        assert_eq!(
+            ApiError::from(ServiceError::QueueFull),
+            ApiError::Backpressure
+        );
+        assert_eq!(
+            ApiError::from(ServiceError::ShuttingDown),
+            ApiError::ShuttingDown
+        );
+    }
+
+    #[test]
+    fn corrupt_snapshots_cross_as_structured_data() {
+        let api: ApiError =
+            ServiceError::Snapshot(SnapshotError::Corrupt("truncated body".into())).into();
+        assert_eq!(
+            api,
+            ApiError::SnapshotRejected {
+                rejection: SnapshotRejection::Corrupt {
+                    detail: "truncated body".into()
+                }
+            }
+        );
+        // Round-trip through the wire encoding loses nothing.
+        let back: ApiError = serde_json::from_str(&serde_json::to_string(&api).unwrap()).unwrap();
+        assert_eq!(back, api);
+    }
+
+    #[test]
+    fn obscurity_mismatch_crosses_with_both_levels() {
+        let api: ApiError = ServiceError::Snapshot(SnapshotError::ObscurityMismatch {
+            expected: Obscurity::NoConstOp,
+            found: Obscurity::Full,
+        })
+        .into();
+        let ApiError::SnapshotRejected {
+            rejection: SnapshotRejection::ObscurityMismatch { expected, found },
+        } = api
+        else {
+            panic!("wrong projection: {api:?}");
+        };
+        assert_eq!(expected, Obscurity::NoConstOp);
+        assert_eq!(found, Obscurity::Full);
     }
 }

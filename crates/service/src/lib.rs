@@ -18,7 +18,13 @@
 //! * [`metrics::ServiceMetrics`] — translations served, latency quantiles,
 //!   ingest lag, QFG size and join-cache statistics as plain data,
 //! * [`config::ServiceConfig`] / [`error::ServiceError`] — operational
-//!   tunables and failure modes.
+//!   tunables and failure modes,
+//! * [`registry::TenantRegistry`] — multi-tenant routing: one service per
+//!   database, fronted by the versioned JSON line protocol of `templar-api`
+//!   (typed requests, explained responses, the [`templar_api::ApiError`]
+//!   taxonomy),
+//! * [`client::RegistryClient`] — an in-process client that talks to the
+//!   registry through the wire encoding.
 //!
 //! The paper-facing semantics are unchanged: a snapshot is an ordinary
 //! [`templar_core::Templar`] and still exposes exactly the two interface
@@ -26,16 +32,20 @@
 //! [`templar_core::SharedTemplar`] (see `PipelineSystem::serving` /
 //! `NaLirSystem::serving` in the `nlidb` crate).
 
+pub mod client;
 pub mod config;
 pub mod error;
 pub mod ingest;
 pub mod metrics;
+pub mod registry;
 pub mod server;
 pub mod snapshot;
 
+pub use client::RegistryClient;
 pub use config::ServiceConfig;
 pub use error::{ServiceError, SnapshotError};
 pub use ingest::IngestQueue;
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use registry::TenantRegistry;
 pub use server::TemplarService;
 pub use snapshot::{read_snapshot, write_snapshot, Snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

@@ -145,6 +145,8 @@ impl ServiceMetrics {
             snapshot_swaps: self.snapshot_swaps.load(Ordering::Relaxed),
             join_cache_hits: 0,
             join_cache_misses: 0,
+            join_cache_evictions: 0,
+            join_cache_entries: 0,
             qfg_fragments: 0,
             qfg_edges: 0,
             qfg_queries: 0,
@@ -176,9 +178,13 @@ pub struct MetricsSnapshot {
     pub log_evictions: u64,
     /// Snapshots published since start.
     pub snapshot_swaps: u64,
-    /// Join-cache statistics of the *current* snapshot (reset at swap).
+    /// Join-cache statistics of the *current* snapshot (reset at swap):
+    /// hits / misses / entries evicted under the capacity bound / resident
+    /// entries.
     pub join_cache_hits: u64,
     pub join_cache_misses: u64,
+    pub join_cache_evictions: u64,
+    pub join_cache_entries: u64,
     /// Size of the current snapshot's Query Fragment Graph.
     pub qfg_fragments: u64,
     pub qfg_edges: u64,

@@ -1,0 +1,117 @@
+//! Multi-tenant routing: one [`TemplarService`] per database, addressed by
+//! tenant id.
+//!
+//! ```text
+//!             JSON line                 ┌──────────────────────────────┐
+//!  client ──► {"version":1, ...} ────► │ TenantRegistry               │
+//!             handle_line()            │   "mas"  ─► TemplarService A │
+//!                                      │   "imdb" ─► TemplarService B │
+//!             {"version":1, ok,…} ◄─── │   "yelp" ─► TemplarService C │
+//!  client ◄── response line            └──────────────────────────────┘
+//! ```
+//!
+//! The registry owns the request/response boundary: it decodes envelopes,
+//! rejects protocol-version mismatches, routes by tenant id, applies the
+//! request's per-tenant service, and projects every failure onto the
+//! [`ApiError`] taxonomy.  Registration and lookup are guarded by a plain
+//! `RwLock` — registration is rare, lookups clone an `Arc`, and the actual
+//! translation work runs entirely outside the lock.
+
+use crate::server::TemplarService;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use templar_api::{
+    decode_request, encode_response, ApiError, RequestBody, ResponseBody, ResponseEnvelope,
+    TranslateRequest, TranslateResponse,
+};
+
+/// Routes requests to one [`TemplarService`] per tenant (database).
+#[derive(Default)]
+pub struct TenantRegistry {
+    tenants: RwLock<BTreeMap<String, Arc<TemplarService>>>,
+}
+
+impl TenantRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a tenant's service under an id, returning the shared handle.
+    /// Re-registering an id replaces the previous service (its in-flight
+    /// snapshots stay alive until their readers drop).
+    pub fn register(
+        &self,
+        tenant: impl Into<String>,
+        service: TemplarService,
+    ) -> Arc<TemplarService> {
+        let service = Arc::new(service);
+        self.tenants
+            .write()
+            .insert(tenant.into(), Arc::clone(&service));
+        service
+    }
+
+    /// Resolve a tenant id.
+    pub fn get(&self, tenant: &str) -> Result<Arc<TemplarService>, ApiError> {
+        self.tenants
+            .read()
+            .get(tenant)
+            .map(Arc::clone)
+            .ok_or_else(|| ApiError::UnknownTenant {
+                tenant: tenant.to_string(),
+            })
+    }
+
+    /// The registered tenant ids, sorted.
+    pub fn tenant_ids(&self) -> Vec<String> {
+        self.tenants.read().keys().cloned().collect()
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.read().len()
+    }
+
+    /// True when no tenant is registered.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.read().is_empty()
+    }
+
+    /// Route one typed translation request.
+    pub fn translate(&self, request: &TranslateRequest) -> Result<TranslateResponse, ApiError> {
+        self.get(&request.tenant)?.translate_request(request)
+    }
+
+    /// Route one SQL ingestion.  A full tenant queue surfaces as
+    /// [`ApiError::Backpressure`].
+    pub fn submit_sql(&self, tenant: &str, sql: &str) -> Result<(), ApiError> {
+        self.get(tenant)?.submit_sql(sql).map_err(ApiError::from)
+    }
+
+    /// Serve one JSON protocol line, producing exactly one response line.
+    /// Never fails: every error becomes the `err` arm of a response
+    /// envelope, echoing the request's correlation id when it could be
+    /// recovered.
+    pub fn handle_line(&self, line: &str) -> String {
+        let envelope = match decode_request(line) {
+            Ok(envelope) => envelope,
+            Err((id, err)) => return encode_response(&ResponseEnvelope::failure(id, err)),
+        };
+        let id = envelope.id;
+        let outcome = match &envelope.body {
+            RequestBody::Translate(request) => {
+                self.translate(request).map(ResponseBody::Translated)
+            }
+            RequestBody::SubmitSql { tenant, sql } => self
+                .submit_sql(tenant, sql)
+                .map(|()| ResponseBody::SqlAccepted),
+        };
+        let response = match outcome {
+            Ok(body) => ResponseEnvelope::success(id, body),
+            Err(err) => ResponseEnvelope::failure(id, err),
+        };
+        encode_response(&response)
+    }
+}

@@ -35,7 +35,7 @@ use crate::error::ServiceError;
 use crate::ingest::IngestQueue;
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::snapshot;
-use nlidb::{translate_with, Nlq, RankedSql};
+use nlidb::{translate_with, translate_with_config, Nlq, RankedSql, TranslateError};
 use nlp::TextSimilarity;
 use parking_lot::Mutex;
 use relational::Database;
@@ -44,6 +44,7 @@ use std::path::Path;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
+use templar_api::{ApiError, TranslateRequest, TranslateResponse};
 use templar_core::{QueryFragmentGraph, QueryLog, SharedTemplar, Templar, TemplarConfig};
 
 /// Master mutable serving state, owned by the ingestion worker (and briefly
@@ -81,7 +82,7 @@ impl TemplarService {
         initial_log: &QueryLog,
         templar_config: TemplarConfig,
         service_config: ServiceConfig,
-    ) -> Self {
+    ) -> Result<Self, ServiceError> {
         Self::spawn_with_similarity(
             db,
             initial_log,
@@ -98,7 +99,7 @@ impl TemplarService {
         similarity: TextSimilarity,
         templar_config: TemplarConfig,
         service_config: ServiceConfig,
-    ) -> Self {
+    ) -> Result<Self, ServiceError> {
         let qfg = QueryFragmentGraph::build(initial_log, templar_config.obscurity);
         Self::spawn_from_state(
             db,
@@ -121,14 +122,14 @@ impl TemplarService {
         service_config: ServiceConfig,
     ) -> Result<Self, ServiceError> {
         let snap = snapshot::read_snapshot(path, templar_config.obscurity)?;
-        Ok(Self::spawn_from_state(
+        Self::spawn_from_state(
             db,
             snap.log,
             snap.qfg,
             TextSimilarity::new(),
             templar_config,
             service_config,
-        ))
+        )
     }
 
     fn spawn_from_state(
@@ -138,13 +139,13 @@ impl TemplarService {
         similarity: TextSimilarity,
         templar_config: TemplarConfig,
         service_config: ServiceConfig,
-    ) -> Self {
+    ) -> Result<Self, ServiceError> {
         let initial = Templar::from_parts(
             Arc::clone(&db),
             qfg.clone(),
             similarity.clone(),
             templar_config.clone(),
-        );
+        )?;
         let inner = Arc::new(ServiceInner {
             handle: SharedTemplar::new(initial),
             queue: IngestQueue::new(service_config.queue_capacity),
@@ -167,10 +168,10 @@ impl TemplarService {
                 .spawn(move || ingest_worker(inner))
                 .expect("spawn ingestion worker")
         };
-        TemplarService {
+        Ok(TemplarService {
             inner,
             worker: Mutex::new(Some(worker)),
-        }
+        })
     }
 
     /// The swappable snapshot handle, for wiring into host NLIDB systems
@@ -187,14 +188,46 @@ impl TemplarService {
     /// Translate an NLQ against the current snapshot, recording service
     /// metrics.  Lock-free with respect to ingestion: a snapshot rebuild in
     /// flight does not delay this call.
-    pub fn translate(&self, nlq: &Nlq) -> Vec<RankedSql> {
+    pub fn translate(&self, nlq: &Nlq) -> Result<Vec<RankedSql>, TranslateError> {
         let started = Instant::now();
         let templar = self.inner.handle.load();
         let results = translate_with(&templar, &nlq.keywords);
         self.inner
             .metrics
-            .record_translation(started.elapsed(), !results.is_empty());
+            .record_translation(started.elapsed(), results.is_ok());
         results
+    }
+
+    /// Serve one typed API request against the current snapshot, applying
+    /// its per-request overrides (λ, `use_log_joins`, top-k).  The override
+    /// configuration only lives for this call — the snapshot, its QFG and
+    /// its cache are shared untouched, and the override-aware join-cache key
+    /// keeps differently-configured inferences from aliasing.
+    pub fn translate_request(
+        &self,
+        request: &TranslateRequest,
+    ) -> Result<TranslateResponse, ApiError> {
+        if let Some(reason) = request.overrides.validate() {
+            return Err(ApiError::InvalidRequest { reason });
+        }
+        if request.keywords.is_empty() {
+            return Err(ApiError::InvalidRequest {
+                reason: "request carries no keywords".to_string(),
+            });
+        }
+        let started = Instant::now();
+        let templar = self.inner.handle.load();
+        let config = request.overrides.apply(templar.config());
+        let results = translate_with_config(&templar, &request.keywords, &config);
+        self.inner
+            .metrics
+            .record_translation(started.elapsed(), results.is_ok());
+        let ranked = results?;
+        Ok(TranslateResponse::from_ranked(
+            request.tenant.clone(),
+            &ranked,
+            request.overrides.top_k,
+        ))
     }
 
     /// Submit a newly-logged SQL query for ingestion.  Non-blocking; fails
@@ -256,9 +289,11 @@ impl TemplarService {
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut snap = self.inner.metrics.export();
         let current = self.inner.handle.load();
-        let (hits, misses) = current.join_cache_stats();
-        snap.join_cache_hits = hits;
-        snap.join_cache_misses = misses;
+        let cache = current.join_cache_stats();
+        snap.join_cache_hits = cache.hits;
+        snap.join_cache_misses = cache.misses;
+        snap.join_cache_evictions = cache.evictions;
+        snap.join_cache_entries = cache.entries as u64;
         snap.qfg_fragments = current.qfg().fragment_count() as u64;
         snap.qfg_edges = current.qfg().edge_count() as u64;
         snap.qfg_queries = current.qfg().query_count() as u64;
@@ -295,12 +330,16 @@ impl Drop for TemplarService {
 /// lock: the expensive part (schema graph + facade construction) never
 /// blocks producers or the next ingest batch.
 fn publish(inner: &ServiceInner, qfg: QueryFragmentGraph) {
+    // The master QFG is maintained at the service's configured obscurity, so
+    // reconstruction cannot hit the mismatch arm; this is an internal
+    // invariant of the worker, not a public construction path.
     let templar = Templar::from_parts(
         Arc::clone(&inner.db),
         qfg,
         inner.similarity.clone(),
         inner.templar_config.clone(),
-    );
+    )
+    .expect("service QFG always matches the configured obscurity");
     inner.handle.store(Arc::new(templar));
     inner.metrics.record_swap();
 }

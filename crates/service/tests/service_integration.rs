@@ -73,11 +73,12 @@ fn ingested_queries_become_visible_and_sharpen_translations() {
         &QueryLog::new(),
         TemplarConfig::paper_defaults(),
         fast_refresh(),
-    );
+    )
+    .unwrap();
     assert_eq!(service.metrics().qfg_queries, 0);
 
     // Serve one translation against the empty-log snapshot.
-    let before = service.translate(&papers_after_2000());
+    let before = service.translate(&papers_after_2000()).unwrap();
 
     // The service's own traffic gets logged back in.
     for sql in [
@@ -96,7 +97,7 @@ fn ingested_queries_become_visible_and_sharpen_translations() {
     assert!(metrics.qfg_fragments > 0);
 
     // With the log absorbed, the top translation is the paper's intended one.
-    let after = service.translate(&papers_after_2000());
+    let after = service.translate(&papers_after_2000()).unwrap();
     assert!(!before.is_empty() && !after.is_empty());
     let gold = parse_query("SELECT p.title FROM publication p WHERE p.year > 2000").unwrap();
     assert!(
@@ -118,7 +119,8 @@ fn unparsable_ingests_are_counted_not_fatal() {
         &QueryLog::new(),
         TemplarConfig::paper_defaults(),
         fast_refresh(),
-    );
+    )
+    .unwrap();
     service.submit_sql("THIS IS NOT SQL AT ALL").unwrap();
     service
         .submit_sql("SELECT p.title FROM publication p")
@@ -133,16 +135,19 @@ fn unparsable_ingests_are_counted_not_fatal() {
 
 #[test]
 fn reads_proceed_while_ingestion_is_in_flight() {
-    let service = Arc::new(TemplarService::spawn(
-        academic_db(),
-        &QueryLog::new(),
-        TemplarConfig::paper_defaults(),
-        // Swap on every applied entry to maximise rebuild pressure.
-        ServiceConfig::default()
-            .with_refresh_every(1)
-            .with_refresh_interval(Duration::from_millis(1))
-            .with_queue_capacity(10_000),
-    ));
+    let service = Arc::new(
+        TemplarService::spawn(
+            academic_db(),
+            &QueryLog::new(),
+            TemplarConfig::paper_defaults(),
+            // Swap on every applied entry to maximise rebuild pressure.
+            ServiceConfig::default()
+                .with_refresh_every(1)
+                .with_refresh_interval(Duration::from_millis(1))
+                .with_queue_capacity(10_000),
+        )
+        .unwrap(),
+    );
 
     let stop = Arc::new(AtomicBool::new(false));
     let reads_done = Arc::new(AtomicU64::new(0));
@@ -155,7 +160,7 @@ fn reads_proceed_while_ingestion_is_in_flight() {
                 let nlq = papers_after_2000();
                 while !stop.load(Ordering::Relaxed) {
                     let results = service.translate(&nlq);
-                    assert!(!results.is_empty(), "translation must not fail mid-ingest");
+                    assert!(results.is_ok(), "translation must not fail mid-ingest");
                     reads_done.fetch_add(1, Ordering::Relaxed);
                 }
             })
@@ -193,7 +198,8 @@ fn log_eviction_bounds_the_graph() {
         &QueryLog::new(),
         TemplarConfig::paper_defaults(),
         fast_refresh().with_max_log_entries(5),
-    );
+    )
+    .unwrap();
     for i in 0..20 {
         service
             .submit_sql(&format!(
@@ -219,7 +225,8 @@ fn snapshot_round_trip_restores_the_serving_state() {
         &QueryLog::new(),
         TemplarConfig::paper_defaults(),
         fast_refresh(),
-    );
+    )
+    .unwrap();
     for sql in [
         "SELECT p.title FROM publication p WHERE p.year > 1995",
         "SELECT j.name FROM journal j",
@@ -245,7 +252,7 @@ fn snapshot_round_trip_restores_the_serving_state() {
     assert_eq!(m.qfg_edges, saved_metrics.qfg_edges);
 
     // The restored service serves the same translation.
-    let results = restored.translate(&papers_after_2000());
+    let results = restored.translate(&papers_after_2000()).unwrap();
     let gold = parse_query("SELECT p.title FROM publication p WHERE p.year > 2000").unwrap();
     assert!(canon::equivalent(&results[0].query, &gold));
 
@@ -272,7 +279,8 @@ fn snapshot_with_wrong_obscurity_is_refused() {
         &QueryLog::new(),
         TemplarConfig::paper_defaults().with_obscurity(Obscurity::NoConst),
         fast_refresh(),
-    );
+    )
+    .unwrap();
     service
         .submit_sql("SELECT p.title FROM publication p")
         .unwrap();
@@ -300,7 +308,8 @@ fn host_systems_ride_the_live_handle() {
         &QueryLog::new(),
         TemplarConfig::paper_defaults(),
         fast_refresh(),
-    );
+    )
+    .unwrap();
     let system = PipelineSystem::serving(service.handle());
     assert_eq!(system.name(), "Pipeline+live");
 
@@ -318,7 +327,7 @@ fn host_systems_ride_the_live_handle() {
     // Without reconstruction, the same system object now sees the refreshed
     // snapshot and translates with log evidence.
     assert_eq!(system.templar().qfg().query_count(), 2);
-    let results = system.translate(&papers_after_2000());
+    let results = system.translate(&papers_after_2000()).unwrap();
     let gold = parse_query("SELECT p.title FROM publication p WHERE p.year > 2000").unwrap();
     assert!(
         canon::equivalent(&results[0].query, &gold),
@@ -337,7 +346,8 @@ fn shutdown_publishes_pending_ingests() {
         ServiceConfig::default()
             .with_refresh_every(1_000_000)
             .with_refresh_interval(Duration::from_secs(3600)),
-    );
+    )
+    .unwrap();
     let handle = service.handle();
     service
         .submit_sql("SELECT p.title FROM publication p")

@@ -23,9 +23,10 @@ fn main() {
     // cross-validation protocol we would hold out the test fold; for the demo
     // we use the full log).
     let log = dataset.full_log();
-    let baseline = PipelineSystem::baseline(dataset.db.clone());
+    let baseline = PipelineSystem::baseline(dataset.db.clone()).expect("baseline builds");
     let augmented =
-        PipelineSystem::augmented(dataset.db.clone(), &log, TemplarConfig::paper_defaults());
+        PipelineSystem::augmented(dataset.db.clone(), &log, TemplarConfig::paper_defaults())
+            .expect("augmented system builds");
 
     // Pick the paper's flagship scenarios from the benchmark.
     let scenarios = [
@@ -47,7 +48,7 @@ fn main() {
         println!("NLQ : {}", case.nlq.text);
         println!("gold: {}", case.gold_sql);
         for (name, system) in [("Pipeline ", &baseline), ("Pipeline+", &augmented)] {
-            let results = system.translate(&case.nlq);
+            let results = system.translate(&case.nlq).unwrap_or_default();
             match results.first() {
                 Some(top) => {
                     let correct = canon::equivalent(&top.query, &case.gold_sql);

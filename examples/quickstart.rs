@@ -68,7 +68,8 @@ fn main() {
 
     // 3. Templar with the paper's default parameters (NoConstOp, kappa=5,
     //    lambda=0.8).
-    let templar = Templar::new(Arc::clone(&db), &log, TemplarConfig::paper_defaults());
+    let templar = Templar::new(Arc::clone(&db), &log, TemplarConfig::paper_defaults())
+        .expect("QFG and configuration share an obscurity level");
 
     // 4. The NLQ "Return the papers after 2000", hand-parsed into keywords
     //    and metadata exactly as a host NLIDB would do (Example 4).
@@ -111,8 +112,9 @@ fn main() {
     println!("Final SQL: {sql}");
 
     // 8. Or simply use the ready-made Pipeline+ system end to end.
-    let system = PipelineSystem::augmented(db, &log, TemplarConfig::paper_defaults());
+    let system = PipelineSystem::augmented(db, &log, TemplarConfig::paper_defaults())
+        .expect("system builds");
     let nlq = Nlq::new("Return the papers after 2000", keywords, vec![]);
-    let ranked = system.translate(&nlq);
+    let ranked = system.translate(&nlq).expect("the NLQ translates");
     println!("\nPipeline+ top translation: {}", ranked[0].query);
 }

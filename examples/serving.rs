@@ -77,7 +77,8 @@ fn main() {
         ServiceConfig::default()
             .with_refresh_every(2)
             .with_refresh_interval(Duration::from_millis(10)),
-    );
+    )
+    .expect("service starts at a consistent obscurity");
 
     let nlq = Nlq::new(
         "Return the papers after 2000",
@@ -91,7 +92,9 @@ fn main() {
         vec![],
     );
 
-    let before = service.translate(&nlq);
+    let before = service
+        .translate(&nlq)
+        .expect("cold service still translates");
     println!("Cold service (no log evidence):");
     println!("  top translation: {}", before[0].query);
     println!(
@@ -113,7 +116,7 @@ fn main() {
     service.flush(); // deterministic for the demo; a real deployment never waits
 
     // 4. Same service object, fresher evidence.
-    let after = service.translate(&nlq);
+    let after = service.translate(&nlq).expect("warm service translates");
     let metrics = service.metrics();
     println!("After ingesting 5 logged queries (no restart):");
     println!("  top translation: {}", after[0].query);
@@ -128,7 +131,7 @@ fn main() {
 
     // Host systems ride the same live handle.
     let live_system = PipelineSystem::serving(service.handle());
-    let ranked = live_system.translate(&nlq);
+    let ranked = live_system.translate(&nlq).expect("live system translates");
     println!(
         "\n{} (through the serving handle): {}",
         live_system.name(),

@@ -10,6 +10,8 @@
 //! * [`schemagraph`] — schema graph and Steiner-tree join paths,
 //! * [`templar_core`] — query fragments, QFG, keyword mapping, join inference,
 //! * [`nlidb`] — Pipeline / NaLIR baselines and their augmented variants,
+//! * [`templar_api`] — the typed, versioned, explainable translation API,
+//! * [`templar_service`] — the concurrent multi-tenant serving subsystem,
 //! * [`datasets`] — MAS / Yelp / IMDB benchmarks,
 //! * [`eval`] — metrics, cross-validation and experiment drivers.
 
@@ -20,4 +22,6 @@ pub use nlp;
 pub use relational;
 pub use schemagraph;
 pub use sqlparse;
+pub use templar_api;
 pub use templar_core;
+pub use templar_service;

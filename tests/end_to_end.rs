@@ -24,8 +24,9 @@ fn example_1_to_3_domain_query_needs_the_log() {
     let case = find_case(&dataset, "papers in the Databases domain");
 
     let augmented =
-        PipelineSystem::augmented(dataset.db.clone(), &log, TemplarConfig::paper_defaults());
-    let results = augmented.translate(&case.nlq);
+        PipelineSystem::augmented(dataset.db.clone(), &log, TemplarConfig::paper_defaults())
+            .unwrap();
+    let results = augmented.translate(&case.nlq).unwrap();
     assert!(!results.is_empty());
     assert!(
         canon::equivalent(&results[0].query, &case.gold_sql),
@@ -45,8 +46,9 @@ fn example_4_papers_after_2000() {
     let log = dataset.full_log();
     let case = find_case(&dataset, "published after 2000");
     let augmented =
-        PipelineSystem::augmented(dataset.db.clone(), &log, TemplarConfig::paper_defaults());
-    let results = augmented.translate(&case.nlq);
+        PipelineSystem::augmented(dataset.db.clone(), &log, TemplarConfig::paper_defaults())
+            .unwrap();
+    let results = augmented.translate(&case.nlq).unwrap();
     let gold = parse_query("SELECT p.title FROM publication p WHERE p.year > 2000").unwrap();
     assert!(canon::equivalent(&results[0].query, &gold));
 }
@@ -57,8 +59,9 @@ fn example_7_self_join_is_produced() {
     let log = dataset.full_log();
     let case = find_case(&dataset, "written by both");
     let augmented =
-        PipelineSystem::augmented(dataset.db.clone(), &log, TemplarConfig::paper_defaults());
-    let results = augmented.translate(&case.nlq);
+        PipelineSystem::augmented(dataset.db.clone(), &log, TemplarConfig::paper_defaults())
+            .unwrap();
+    let results = augmented.translate(&case.nlq).unwrap();
     assert!(!results.is_empty());
     let top = &results[0].query;
     // Two author instances and two writes instances.
@@ -76,11 +79,12 @@ fn augmentation_never_requires_changing_the_host_interface() {
     let dataset = Dataset::yelp();
     let log = dataset.full_log();
     let case = &dataset.cases[0];
-    let baseline = PipelineSystem::baseline(dataset.db.clone());
+    let baseline = PipelineSystem::baseline(dataset.db.clone()).unwrap();
     let augmented =
-        PipelineSystem::augmented(dataset.db.clone(), &log, TemplarConfig::paper_defaults());
-    let a = baseline.translate(&case.nlq);
-    let b = augmented.translate(&case.nlq);
+        PipelineSystem::augmented(dataset.db.clone(), &log, TemplarConfig::paper_defaults())
+            .unwrap();
+    let a = baseline.translate(&case.nlq).unwrap();
+    let b = augmented.translate(&case.nlq).unwrap();
     assert!(!a.is_empty());
     assert!(!b.is_empty());
 }
@@ -90,10 +94,11 @@ fn translations_are_deterministic_across_runs() {
     let dataset = Dataset::imdb();
     let log = dataset.full_log();
     let augmented =
-        PipelineSystem::augmented(dataset.db.clone(), &log, TemplarConfig::paper_defaults());
+        PipelineSystem::augmented(dataset.db.clone(), &log, TemplarConfig::paper_defaults())
+            .unwrap();
     for case in dataset.cases.iter().take(10) {
-        let first = augmented.translate(&case.nlq);
-        let second = augmented.translate(&case.nlq);
+        let first = augmented.translate(&case.nlq).unwrap_or_default();
+        let second = augmented.translate(&case.nlq).unwrap_or_default();
         let render =
             |rs: &[nlidb::RankedSql]| rs.iter().map(|r| r.query.to_string()).collect::<Vec<_>>();
         assert_eq!(render(&first), render(&second), "case {}", case.id);
