@@ -21,11 +21,13 @@
 //! struct.TenantRegistry.html)) against these types.
 
 pub mod error;
+pub mod metrics;
 pub mod protocol;
 pub mod request;
 pub mod response;
 
 pub use error::{ApiError, SnapshotRejection};
+pub use metrics::MetricsReport;
 pub use protocol::{
     decode_request, decode_response, encode_request, encode_response, RequestBody, RequestEnvelope,
     ResponseBody, ResponseEnvelope, PROTOCOL_VERSION,

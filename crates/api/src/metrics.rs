@@ -1,0 +1,74 @@
+//! The wire form of a tenant's service metrics.
+//!
+//! `templar-service` owns the live counters ([`MetricsSnapshot`](
+//! ../templar_service/metrics/struct.MetricsSnapshot.html)); this is the
+//! serializable projection a registry client receives from a `Metrics`
+//! request.  Field-for-field identical to the service-side snapshot so
+//! nothing is lost at the boundary — including the columnar data-plane
+//! gauges (interner / CSR sizes, compactions) and the skipped-statement
+//! count that makes malformed bootstrap logs observable.
+
+use serde::{Deserialize, Serialize};
+
+/// A point-in-time view of one tenant's serving health.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Translations served since start, and how many produced no SQL.
+    pub translations_served: u64,
+    pub empty_translations: u64,
+    /// Approximate translation latency quantiles (power-of-two bucket upper
+    /// bounds) and exact mean, in microseconds.
+    pub translate_p50_us: u64,
+    pub translate_p99_us: u64,
+    pub translate_mean_us: u64,
+    /// Ingestion counters: accepted into the queue / rejected at capacity /
+    /// applied to the QFG / failed to parse on the live path.
+    pub ingest_submitted: u64,
+    pub ingest_rejected: u64,
+    pub ingest_applied: u64,
+    pub ingest_parse_errors: u64,
+    /// Statements skipped as unparsable while assembling the service's
+    /// query log from raw SQL text.
+    pub log_skipped_statements: u64,
+    /// Entries accepted but not yet applied.
+    pub ingest_lag: u64,
+    /// Log entries evicted under the retention bound.
+    pub log_evictions: u64,
+    /// Snapshots published since start.
+    pub snapshot_swaps: u64,
+    /// Join-cache statistics of the current snapshot.
+    pub join_cache_hits: u64,
+    pub join_cache_misses: u64,
+    pub join_cache_evictions: u64,
+    pub join_cache_entries: u64,
+    /// Query Fragment Graph size (live fragments / edges / queries).
+    pub qfg_fragments: u64,
+    pub qfg_edges: u64,
+    pub qfg_queries: u64,
+    /// Columnar data-plane gauges: interner table size, compacted CSR
+    /// edges, pending delta pairs, compactions performed.
+    pub qfg_interned_fragments: u64,
+    pub qfg_csr_edges: u64,
+    pub qfg_pending_deltas: u64,
+    pub qfg_compactions: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_reports_round_trip_through_serde() {
+        let report = MetricsReport {
+            translations_served: 7,
+            qfg_interned_fragments: 42,
+            qfg_csr_edges: 17,
+            qfg_compactions: 3,
+            log_skipped_statements: 2,
+            ..MetricsReport::default()
+        };
+        let back: MetricsReport =
+            serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -14,6 +14,7 @@
 //! Anything that fails to parse at all is [`ApiError::MalformedEnvelope`].
 
 use crate::error::ApiError;
+use crate::metrics::MetricsReport;
 use crate::request::TranslateRequest;
 use crate::response::TranslateResponse;
 use serde::{Deserialize, Serialize, Value};
@@ -33,6 +34,12 @@ pub enum RequestBody {
         /// The SQL text to ingest.
         sql: String,
     },
+    /// Fetch a tenant's serving metrics (latency, ingestion, QFG and
+    /// columnar data-plane gauges).
+    Metrics {
+        /// The tenant whose metrics are requested.
+        tenant: String,
+    },
 }
 
 /// Success payloads, mirroring [`RequestBody`].
@@ -42,6 +49,8 @@ pub enum ResponseBody {
     Translated(TranslateResponse),
     /// The SQL was accepted into the tenant's ingestion queue.
     SqlAccepted,
+    /// The tenant's point-in-time metrics.
+    Metrics(MetricsReport),
 }
 
 /// A versioned request envelope.
@@ -228,6 +237,27 @@ mod tests {
         );
         let back = decode_request(&encode_request(&envelope)).unwrap();
         assert_eq!(back, envelope);
+    }
+
+    #[test]
+    fn metrics_bodies_round_trip() {
+        let request = RequestEnvelope::new(
+            9,
+            RequestBody::Metrics {
+                tenant: "mas".into(),
+            },
+        );
+        assert_eq!(decode_request(&encode_request(&request)).unwrap(), request);
+        let report = MetricsReport {
+            translations_served: 12,
+            qfg_interned_fragments: 99,
+            qfg_csr_edges: 41,
+            log_skipped_statements: 1,
+            ..MetricsReport::default()
+        };
+        let response = ResponseEnvelope::success(9, ResponseBody::Metrics(report));
+        let line = encode_response(&response);
+        assert_eq!(decode_response(&line).unwrap(), response);
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! Benchmark: building the Query Fragment Graph from a benchmark-sized query
-//! log at each obscurity level (Section IV).
+//! log at each obscurity level (Section IV), plus the columnar data plane's
+//! hot operations: delta-log compaction and id-based Dice lookups.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use templar_core::{FragmentId, Obscurity, QueryFragmentGraph};
+
 use datasets::Dataset;
-use templar_core::{Obscurity, QueryFragmentGraph};
 
 fn bench_qfg(c: &mut Criterion) {
     let log = Dataset::mas().full_log();
@@ -15,6 +17,32 @@ fn bench_qfg(c: &mut Criterion) {
     let qfg = QueryFragmentGraph::build(&log, Obscurity::NoConstOp);
     c.bench_function("qfg/relation_dice", |b| {
         b.iter(|| qfg.relation_dice("publication", "journal"))
+    });
+    // Dice over pre-resolved ids on a compacted graph: the scoring hot path.
+    let ids: Vec<FragmentId> = qfg.fragments().filter_map(|(f, _)| qfg.lookup(f)).collect();
+    c.bench_function("qfg/dice_by_id_all_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for i in 0..ids.len() {
+                for j in (i + 1)..ids.len() {
+                    acc += qfg.dice_by_id(ids[i], ids[j]);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    // Ingest-then-compact: what a snapshot publish pays after an epoch of
+    // incremental ingestion.
+    let mut uncompacted = QueryFragmentGraph::empty(Obscurity::NoConstOp);
+    for q in log.queries() {
+        uncompacted.ingest(q);
+    }
+    c.bench_function("qfg/compact_after_full_ingest", |b| {
+        b.iter(|| {
+            let mut g = uncompacted.clone();
+            g.compact();
+            g.csr_edge_len()
+        })
     });
 }
 

@@ -63,6 +63,12 @@ pub struct TemplarConfig {
     /// set of distinct bags is unbounded, so the cache evicts oldest-first
     /// beyond this capacity.
     pub join_cache_capacity: usize,
+    /// Number of worker threads candidate-configuration scoring may fan out
+    /// over (default: the machine's available parallelism).  Scoring runs
+    /// over interned fragment-id slices, so shards share the immutable
+    /// columnar QFG without synchronization; small batches are always scored
+    /// inline regardless of this setting.
+    pub scoring_threads: usize,
 }
 
 impl Default for TemplarConfig {
@@ -76,8 +82,16 @@ impl Default for TemplarConfig {
             max_configurations: 16,
             join_candidates: 4,
             join_cache_capacity: 1024,
+            scoring_threads: default_scoring_threads(),
         }
     }
+}
+
+/// The default scoring fan-out: one shard per available hardware thread.
+fn default_scoring_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl TemplarConfig {
@@ -116,6 +130,13 @@ impl TemplarConfig {
         self.join_cache_capacity = capacity.max(1);
         self
     }
+
+    /// Set the scoring worker-pool size (clamped to ≥ 1; 1 disables the
+    /// fan-out entirely).
+    pub fn with_scoring_threads(mut self, threads: usize) -> Self {
+        self.scoring_threads = threads.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -133,9 +154,18 @@ mod tests {
 
     #[test]
     fn builder_methods_clamp_inputs() {
-        let c = TemplarConfig::default().with_kappa(0).with_lambda(2.0);
+        let c = TemplarConfig::default()
+            .with_kappa(0)
+            .with_lambda(2.0)
+            .with_scoring_threads(0);
         assert_eq!(c.kappa, 1);
         assert_eq!(c.lambda, 1.0);
+        assert_eq!(c.scoring_threads, 1);
+    }
+
+    #[test]
+    fn scoring_threads_default_to_available_parallelism() {
+        assert!(TemplarConfig::default().scoring_threads >= 1);
     }
 
     #[test]

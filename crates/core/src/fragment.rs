@@ -49,13 +49,49 @@ impl fmt::Display for QueryContext {
 }
 
 /// A query fragment `(χ, τ)`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct QueryFragment {
     /// The canonical textual form of the expression / predicate, with alias
     /// qualifiers resolved to relation names and identifiers lower-cased.
     pub expr: String,
     /// The clause context.
     pub context: QueryContext,
+}
+
+// `Clone` is hand-written (instead of derived) so test builds can count
+// fragment clones: the id-based scoring hot path is contractually
+// clone-free, and `keyword::tests::scoring_never_clones_query_fragments`
+// enforces that with the counter below.
+impl Clone for QueryFragment {
+    fn clone(&self) -> Self {
+        #[cfg(test)]
+        clone_counter::record();
+        QueryFragment {
+            expr: self.expr.clone(),
+            context: self.context,
+        }
+    }
+}
+
+/// Thread-local [`QueryFragment`] clone counter, available to this crate's
+/// unit tests.  Thread-local (rather than a process-wide atomic) so
+/// concurrently running tests cannot perturb each other's readings.
+#[cfg(test)]
+pub(crate) mod clone_counter {
+    use std::cell::Cell;
+
+    thread_local! {
+        static CLONES: Cell<u64> = const { Cell::new(0) };
+    }
+
+    pub(crate) fn record() {
+        CLONES.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Clones performed on the current thread so far.
+    pub(crate) fn current() -> u64 {
+        CLONES.with(Cell::get)
+    }
 }
 
 impl QueryFragment {

@@ -10,11 +10,11 @@
 
 use crate::config::TemplarConfig;
 use crate::error::JoinInferenceError;
-use crate::qfg::QueryFragmentGraph;
+use crate::qfg::{FragmentId, QueryFragmentGraph};
 use relational::AttributeRef;
 use schemagraph::{steiner::k_best_join_paths, JoinGraph, JoinPath, SchemaGraph};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// One element of the bag `B_D` handed to `INFERJOINS`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -116,15 +116,20 @@ pub fn infer_joins(
     if bag.is_empty() {
         return Err(JoinInferenceError::EmptyBag);
     }
-    // 1. Weight the schema graph.
-    let mut weighted = schema_graph.clone();
-    weighted.clear_weights();
+    // 1. Build the join graph (unit weights; custom weights on the schema
+    //    graph are deliberately ignored, as the old clone-and-clear did) and
+    //    weight its edges directly.  Relation fragments are resolved to
+    //    interned ids once per request, so each edge weight costs two map
+    //    lookups and one columnar Dice read — no fragment construction, no
+    //    schema-graph clone.
+    let mut graph = JoinGraph::unweighted(schema_graph);
     let used_log_weights = config.use_log_joins && qfg.is_some();
     if let (true, Some(qfg)) = (config.use_log_joins, qfg) {
-        apply_log_weights(&mut weighted, qfg);
+        let relation_ids =
+            resolve_relation_ids(qfg, graph.nodes().iter().map(|node| node.relation.as_str()));
+        graph.set_weights(|a, b| log_weight(qfg, &relation_ids, a, b));
     }
-    // 2. Build the join graph and fork for duplicate references.
-    let mut graph = JoinGraph::from_schema_graph(&weighted);
+    // 2. Fork the join graph for duplicate references.
     let counts = relation_instance_counts(bag);
     let mut terminals = Vec::new();
     for (relation, instances) in &counts {
@@ -164,8 +169,46 @@ pub fn infer_joins(
     })
 }
 
+/// Resolve each relation name to the id of its `FROM` fragment, once, so
+/// per-edge weight evaluation is two map lookups and one columnar Dice read.
+fn resolve_relation_ids<'a>(
+    qfg: &QueryFragmentGraph,
+    relations: impl Iterator<Item = &'a str>,
+) -> HashMap<String, Option<FragmentId>> {
+    relations
+        .map(|relation| {
+            let lower = relation.to_lowercase();
+            let id = qfg.lookup_relation(&lower);
+            (lower, id)
+        })
+        .collect()
+}
+
+/// The log-driven weight `w_L(a, b) = 1 − Dice(a, b)` of one relation pair,
+/// over pre-resolved ids.  The single source of the weighting rule: both
+/// [`infer_joins`] and [`apply_log_weights`] go through here.
+fn log_weight(
+    qfg: &QueryFragmentGraph,
+    relation_ids: &HashMap<String, Option<FragmentId>>,
+    a: &str,
+    b: &str,
+) -> f64 {
+    let (Some(Some(x)), Some(Some(y))) = (
+        relation_ids.get(&a.to_lowercase()),
+        relation_ids.get(&b.to_lowercase()),
+    ) else {
+        // A relation the log never mentions has Dice 0 with everything:
+        // w_L = 1 − 0.
+        return 1.0;
+    };
+    (1.0 - qfg.dice_by_id(*x, *y)).clamp(0.0, 1.0)
+}
+
 /// Apply the log-driven weight function `w_L = 1 − Dice` to every pair of
-/// relations connected by a FK-PK edge (Section VI-A.2).
+/// relations connected by a FK-PK edge (Section VI-A.2).  [`infer_joins`]
+/// weights its join graph directly (no schema-graph clone); this remains for
+/// callers that keep a weighted [`SchemaGraph`] around, and applies the same
+/// [`log_weight`] rule.
 pub fn apply_log_weights(schema_graph: &mut SchemaGraph, qfg: &QueryFragmentGraph) {
     let pairs: Vec<(String, String)> = schema_graph
         .schema()
@@ -173,9 +216,13 @@ pub fn apply_log_weights(schema_graph: &mut SchemaGraph, qfg: &QueryFragmentGrap
         .iter()
         .map(|fk| (fk.from_relation.clone(), fk.to_relation.clone()))
         .collect();
+    let relation_ids = resolve_relation_ids(
+        qfg,
+        pairs.iter().flat_map(|(a, b)| [a.as_str(), b.as_str()]),
+    );
     for (a, b) in pairs {
-        let dice = qfg.relation_dice(&a, &b);
-        schema_graph.set_relation_weight(&a, &b, (1.0 - dice).clamp(0.0, 1.0));
+        let weight = log_weight(qfg, &relation_ids, &a, &b);
+        schema_graph.set_relation_weight(&a, &b, weight);
     }
 }
 

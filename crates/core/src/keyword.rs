@@ -8,7 +8,7 @@
 
 use crate::config::TemplarConfig;
 use crate::fragment::{QueryContext, QueryFragment};
-use crate::qfg::QueryFragmentGraph;
+use crate::qfg::{FragmentId, QueryFragmentGraph};
 use nlp::{contains_number, extract_numbers, tokenize_lower, SimilarityModel};
 use relational::{AttributeRef, Database};
 use serde::{Deserialize, Serialize};
@@ -365,24 +365,28 @@ impl<'a> KeywordMapper<'a> {
         keyword: &Keyword,
         candidates: Vec<MappedElement>,
     ) -> Vec<MappingCandidate> {
-        let mut scored: Vec<MappingCandidate> = candidates
+        // The tie-break key is derived once per candidate, not re-formatted
+        // inside every comparison of the sort.
+        let mut scored: Vec<(MappingCandidate, String)> = candidates
             .into_iter()
             .map(|element| {
                 let score = self.score_candidate(keyword, &element);
-                MappingCandidate {
+                let candidate = MappingCandidate {
                     keyword: keyword.clone(),
                     element,
                     score,
-                }
+                };
+                let key = candidate_sort_key(&candidate);
+                (candidate, key)
             })
             .collect();
         scored.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
+            b.0.score
+                .partial_cmp(&a.0.score)
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| candidate_sort_key(a).cmp(&candidate_sort_key(b)))
+                .then_with(|| a.1.cmp(&b.1))
         });
-        self.prune(scored)
+        self.prune(scored.into_iter().map(|(c, _)| c).collect())
     }
 
     /// The σ score of a single candidate.
@@ -459,18 +463,20 @@ impl<'a> KeywordMapper<'a> {
     }
 
     /// The PRUNE procedure of Algorithm 3.
-    fn prune(&self, scored: Vec<MappingCandidate>) -> Vec<MappingCandidate> {
+    fn prune(&self, mut scored: Vec<MappingCandidate>) -> Vec<MappingCandidate> {
         if scored.is_empty() {
             return scored;
         }
         let exact_threshold = 1.0 - self.config.epsilon;
-        let exact: Vec<MappingCandidate> = scored
+        // The list is sorted by score descending, so exact matches are a
+        // prefix — keeping them is a truncation, not a filtered re-clone.
+        let exact_len = scored
             .iter()
-            .filter(|c| c.score >= exact_threshold)
-            .cloned()
-            .collect();
-        if !exact.is_empty() {
-            return exact;
+            .take_while(|c| c.score >= exact_threshold)
+            .count();
+        if exact_len > 0 {
+            scored.truncate(exact_len);
+            return scored;
         }
         let kappa = self.config.kappa;
         if scored.len() <= kappa {
@@ -487,48 +493,95 @@ impl<'a> KeywordMapper<'a> {
 
     /// Generate the cartesian product of per-keyword candidates and score
     /// every configuration (Section V-C).
+    ///
+    /// Candidates are resolved to interned [`FragmentId`]s *once per
+    /// request*; the product is enumerated as index tuples (no candidate
+    /// clones) and scored over id slices — pure array arithmetic against
+    /// the columnar QFG — sharded across `TemplarConfig::scoring_threads`
+    /// workers.  Only the winning configurations are materialized.
     fn generate_and_score_configurations(
         &self,
         per_keyword: &[Vec<MappingCandidate>],
     ) -> Vec<Configuration> {
         const MAX_GENERATED: usize = 5000;
-        let mut configs: Vec<Vec<MappingCandidate>> = vec![Vec::new()];
+        let resolved: Vec<Vec<ResolvedCandidate>> = per_keyword
+            .iter()
+            .map(|candidates| {
+                candidates
+                    .iter()
+                    .map(|c| self.resolve_candidate(c))
+                    .collect()
+            })
+            .collect();
+        let mut tuples: Vec<Vec<u32>> = vec![Vec::new()];
         for candidates in per_keyword {
-            let mut next = Vec::with_capacity(configs.len() * candidates.len());
-            for partial in &configs {
-                for cand in candidates {
-                    let mut extended = partial.clone();
-                    extended.push(cand.clone());
+            let mut next = Vec::with_capacity(tuples.len() * candidates.len());
+            'fill: for partial in &tuples {
+                for index in 0..candidates.len() as u32 {
+                    let mut extended = Vec::with_capacity(partial.len() + 1);
+                    extended.extend_from_slice(partial);
+                    extended.push(index);
                     next.push(extended);
                     if next.len() >= MAX_GENERATED {
-                        break;
+                        break 'fill;
                     }
                 }
-                if next.len() >= MAX_GENERATED {
-                    break;
-                }
             }
-            configs = next;
+            tuples = next;
         }
-        let mut scored: Vec<Configuration> = configs
-            .into_iter()
-            .map(|mappings| self.score_configuration(mappings))
-            .collect();
+        let scorer = TupleScorer {
+            qfg: self.qfg,
+            lambda: self.config.lambda,
+            resolved: &resolved,
+        };
+        let mut scored = scorer.score_all(tuples, self.config.scoring_threads);
         scored.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| config_sort_key(a).cmp(&config_sort_key(b)))
+                // The joined key is only materialized on an exact score tie,
+                // like the fragment-keyed implementation before it.
+                .then_with(|| {
+                    joined_sort_key(&resolved, &a.indices)
+                        .cmp(&joined_sort_key(&resolved, &b.indices))
+                })
         });
         scored.truncate(self.config.max_configurations);
         scored
+            .into_iter()
+            .map(|s| {
+                let mappings: Vec<MappingCandidate> = s
+                    .indices
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &i)| per_keyword[k][i as usize].clone())
+                    .collect();
+                Configuration {
+                    mappings,
+                    sigma_score: s.sigma,
+                    qfg_score: s.qfg_score(),
+                    log_popularity: s.log_popularity,
+                    dice_cooccurrence: s.dice,
+                    qfg_pairs: s.pairs,
+                    lambda: self.config.lambda,
+                    score: s.score,
+                }
+            })
+            .collect()
     }
 
     /// Compute `Score_σ`, `Score_QFG` and the λ-combination for one
-    /// configuration, retaining each component for explanations.
+    /// configuration, retaining each component for explanations.  Runs the
+    /// same id-based arithmetic as the batched scoring path, so a
+    /// configuration scored here can never diverge from the ranking.
     pub fn score_configuration(&self, mappings: Vec<MappingCandidate>) -> Configuration {
         let sigma_score = geometric_mean(mappings.iter().map(|m| m.score));
-        let qfg = self.qfg_breakdown(&mappings);
+        let slots: Vec<FragmentSlot> = mappings
+            .iter()
+            .filter(|m| !m.element.is_relation())
+            .map(|m| self.resolve_slot(&m.element))
+            .collect();
+        let qfg = qfg_breakdown(self.qfg, &slots, mappings.len());
         let qfg_score = if qfg.pairs == 0 {
             qfg.log_popularity
         } else {
@@ -548,59 +601,216 @@ impl<'a> KeywordMapper<'a> {
         }
     }
 
-    /// `Score_QFG`, decomposed: the geometric aggregation of the Dice
-    /// coefficients of all pairs of non-relation fragments in the
-    /// configuration (Section V-C.2).  With fewer than two non-relation
-    /// fragments there are no pairs; the effective score falls back to the
-    /// normalised occurrence frequency of the fragments so that log evidence
-    /// still contributes.  Both components are returned so explanations can
-    /// show which one drove the blend.
-    ///
-    /// Each Dice value is smoothed with a small additive constant before the
-    /// product is taken.  The paper's plain product would be annihilated by a
-    /// single never-co-occurring pair even when every other pair carries
-    /// strong evidence; smoothing preserves the ranking induced by the Dice
-    /// values while keeping partially-supported configurations comparable.
-    fn qfg_breakdown(&self, mappings: &[MappingCandidate]) -> QfgBreakdown {
-        /// Additive smoothing applied to each pairwise Dice coefficient.
-        const QFG_SMOOTHING: f64 = 0.01;
-        let fragments: Vec<QueryFragment> = mappings
-            .iter()
-            .filter(|m| !m.element.is_relation())
-            .map(|m| m.element.fragment(self.config))
-            .collect();
-        let total_queries = self.qfg.query_count().max(1) as f64;
-        let log_popularity = if fragments.is_empty() {
-            0.0
+    /// Resolve one pruned candidate to the columnar scoring domain: its σ,
+    /// its interned fragment id and its deterministic tie-break key.
+    fn resolve_candidate(&self, candidate: &MappingCandidate) -> ResolvedCandidate {
+        ResolvedCandidate {
+            sigma: candidate.score,
+            slot: self.resolve_slot(&candidate.element),
+            sort_key: candidate_sort_key(candidate),
+        }
+    }
+
+    /// Resolve a mapped element's query fragment to its [`FragmentId`].
+    fn resolve_slot(&self, element: &MappedElement) -> FragmentSlot {
+        if element.is_relation() {
+            return FragmentSlot::Relation;
+        }
+        match self.qfg.lookup(&element.fragment(self.config)) {
+            Some(id) => FragmentSlot::Known(id),
+            None => FragmentSlot::Unknown,
+        }
+    }
+}
+
+/// How a candidate participates in `Score_QFG`, resolved once per request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FragmentSlot {
+    /// A FROM-context mapping — excluded from the QFG score (Section V-C.2).
+    Relation,
+    /// A non-relation fragment present in the graph.
+    Known(FragmentId),
+    /// A non-relation fragment the log has never seen (`n_v = 0`).
+    Unknown,
+}
+
+/// A pruned candidate's request-scoped resolution.
+struct ResolvedCandidate {
+    sigma: f64,
+    slot: FragmentSlot,
+    sort_key: String,
+}
+
+/// One scored index tuple: the candidate indices (one per keyword, in
+/// keyword order) plus every component of the λ-blend.
+struct ScoredTuple {
+    indices: Vec<u32>,
+    sigma: f64,
+    log_popularity: f64,
+    dice: f64,
+    pairs: usize,
+    score: f64,
+}
+
+/// The deterministic tie-break key of an index tuple: its candidates' keys
+/// joined with `|` (identical to the old per-configuration key).
+fn joined_sort_key(resolved: &[Vec<ResolvedCandidate>], indices: &[u32]) -> String {
+    let mut key = String::new();
+    for (k, &i) in indices.iter().enumerate() {
+        if k > 0 {
+            key.push('|');
+        }
+        key.push_str(&resolved[k][i as usize].sort_key);
+    }
+    key
+}
+
+impl ScoredTuple {
+    fn qfg_score(&self) -> f64 {
+        if self.pairs == 0 {
+            self.log_popularity
         } else {
-            fragments
+            self.dice
+        }
+    }
+}
+
+/// Scores index tuples against the columnar QFG.  Holds only `Sync` borrows
+/// (the immutable graph and the per-request resolution tables), so shards
+/// can fan out over scoped threads without synchronization.
+struct TupleScorer<'a> {
+    qfg: &'a QueryFragmentGraph,
+    lambda: f64,
+    resolved: &'a [Vec<ResolvedCandidate>],
+}
+
+impl TupleScorer<'_> {
+    /// Minimum number of tuples a worker shard should own; batches smaller
+    /// than two shards' worth are scored inline (thread spawn latency would
+    /// dwarf the arithmetic).
+    const SHARD_MIN: usize = 1024;
+
+    fn score_all(&self, tuples: Vec<Vec<u32>>, threads: usize) -> Vec<ScoredTuple> {
+        let shard_count = threads
+            .max(1)
+            .min(tuples.len().div_ceil(Self::SHARD_MIN).max(1));
+        if shard_count <= 1 {
+            return tuples.into_iter().map(|t| self.score(t)).collect();
+        }
+        let shard_len = tuples.len().div_ceil(shard_count);
+        let mut shards: Vec<Vec<Vec<u32>>> = Vec::with_capacity(shard_count);
+        let mut rest = tuples;
+        while rest.len() > shard_len {
+            let tail = rest.split_off(shard_len);
+            shards.push(std::mem::replace(&mut rest, tail));
+        }
+        shards.push(rest);
+        // Rayon-style scoped fan-out: shards are moved into scoped workers
+        // and the results are reassembled in shard order, so the outcome is
+        // byte-identical to the serial path.
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .into_iter()
+                .map(|shard| {
+                    scope
+                        .spawn(move || shard.into_iter().map(|t| self.score(t)).collect::<Vec<_>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("configuration scoring shard panicked"))
+                .collect()
+        })
+    }
+
+    fn score(&self, indices: Vec<u32>) -> ScoredTuple {
+        let sigma = geometric_mean(
+            indices
                 .iter()
-                .map(|f| self.qfg.occurrences(f) as f64 / total_queries)
-                .sum::<f64>()
-                / fragments.len() as f64
+                .enumerate()
+                .map(|(k, &i)| self.resolved[k][i as usize].sigma),
+        );
+        let slots: Vec<FragmentSlot> = indices
+            .iter()
+            .enumerate()
+            .map(|(k, &i)| self.resolved[k][i as usize].slot)
+            .filter(|slot| *slot != FragmentSlot::Relation)
+            .collect();
+        let breakdown = qfg_breakdown(self.qfg, &slots, indices.len());
+        let qfg_score = if breakdown.pairs == 0 {
+            breakdown.log_popularity
+        } else {
+            breakdown.dice
         };
-        if fragments.len() < 2 {
-            return QfgBreakdown {
-                log_popularity,
-                dice: 0.0,
-                pairs: 0,
-            };
+        let score = self.lambda * sigma + (1.0 - self.lambda) * qfg_score;
+        ScoredTuple {
+            indices,
+            sigma,
+            log_popularity: breakdown.log_popularity,
+            dice: breakdown.dice,
+            pairs: breakdown.pairs,
+            score,
         }
-        let phi = mappings.len() as f64;
-        let mut product = 1.0f64;
-        let mut pairs = 0usize;
-        for i in 0..fragments.len() {
-            for j in (i + 1)..fragments.len() {
-                let dice = self.qfg.dice(&fragments[i], &fragments[j]);
-                product *= (dice + QFG_SMOOTHING).min(1.0);
-                pairs += 1;
-            }
-        }
-        QfgBreakdown {
+    }
+}
+
+/// `Score_QFG`, decomposed: the geometric aggregation of the Dice
+/// coefficients of all pairs of non-relation fragments in the configuration
+/// (Section V-C.2).  With fewer than two non-relation fragments there are no
+/// pairs; the effective score falls back to the normalised occurrence
+/// frequency of the fragments so that log evidence still contributes.  Both
+/// components are returned so explanations can show which one drove the
+/// blend.
+///
+/// Each Dice value is smoothed with a small additive constant before the
+/// product is taken.  The paper's plain product would be annihilated by a
+/// single never-co-occurring pair even when every other pair carries strong
+/// evidence; smoothing preserves the ranking induced by the Dice values
+/// while keeping partially-supported configurations comparable.
+///
+/// `slots` carries the configuration's non-relation fragments as resolved
+/// ids; `phi` is the total number of mappings (relations included), exactly
+/// as in the fragment-keyed implementation this replaces.
+fn qfg_breakdown(qfg: &QueryFragmentGraph, slots: &[FragmentSlot], phi: usize) -> QfgBreakdown {
+    /// Additive smoothing applied to each pairwise Dice coefficient.
+    const QFG_SMOOTHING: f64 = 0.01;
+    let total_queries = qfg.query_count().max(1) as f64;
+    let log_popularity = if slots.is_empty() {
+        0.0
+    } else {
+        slots
+            .iter()
+            .map(|slot| match slot {
+                FragmentSlot::Known(id) => qfg.occurrences_by_id(*id) as f64 / total_queries,
+                _ => 0.0,
+            })
+            .sum::<f64>()
+            / slots.len() as f64
+    };
+    if slots.len() < 2 {
+        return QfgBreakdown {
             log_popularity,
-            dice: product.powf(1.0 / phi).clamp(0.0, 1.0),
-            pairs,
+            dice: 0.0,
+            pairs: 0,
+        };
+    }
+    let mut product = 1.0f64;
+    let mut pairs = 0usize;
+    for i in 0..slots.len() {
+        for j in (i + 1)..slots.len() {
+            let dice = match (slots[i], slots[j]) {
+                (FragmentSlot::Known(a), FragmentSlot::Known(b)) => qfg.dice_by_id(a, b),
+                // A fragment absent from the log co-occurs with nothing.
+                _ => 0.0,
+            };
+            product *= (dice + QFG_SMOOTHING).min(1.0);
+            pairs += 1;
         }
+    }
+    QfgBreakdown {
+        log_popularity,
+        dice: product.powf(1.0 / phi as f64).clamp(0.0, 1.0),
+        pairs,
     }
 }
 
@@ -650,14 +860,6 @@ fn candidate_sort_key(c: &MappingCandidate) -> String {
         MappedElement::Attribute { attr, .. } => format!("1:{attr}"),
         MappedElement::Predicate { attr, op, value } => format!("2:{attr}:{}:{value}", op.symbol()),
     }
-}
-
-fn config_sort_key(c: &Configuration) -> String {
-    c.mappings
-        .iter()
-        .map(candidate_sort_key)
-        .collect::<Vec<_>>()
-        .join("|")
 }
 
 #[cfg(test)]
@@ -908,5 +1110,87 @@ mod tests {
         assert_eq!(geometric_mean([].into_iter()), 0.0);
         assert!((geometric_mean([0.25, 1.0].into_iter()) - 0.5).abs() < 1e-12);
         assert_eq!(geometric_mean([0.5, 0.0].into_iter()), 0.0);
+    }
+
+    #[test]
+    fn scoring_never_clones_query_fragments() {
+        // The id-based hot path is contractually clone-free: candidates are
+        // resolved to FragmentIds once per request and every score is pure
+        // array arithmetic.  Scoring is pinned to one thread so the
+        // thread-local counter observes the entire path.
+        let db = academic_db();
+        let config = TemplarConfig::default().with_scoring_threads(1);
+        let qfg = QueryFragmentGraph::build(&academic_log(), config.obscurity);
+        let sim = TextSimilarity::new();
+        let mapper = KeywordMapper::new(&db, &qfg, &sim, &config);
+        let keywords = vec![
+            (Keyword::new("papers"), KeywordMetadata::select()),
+            (Keyword::new("TKDE"), KeywordMetadata::filter()),
+            (
+                Keyword::new("after 1995"),
+                KeywordMetadata::filter_with_op(BinOp::Gt),
+            ),
+        ];
+        let before = crate::fragment::clone_counter::current();
+        let configs = mapper.map_keywords(&keywords);
+        let cloned = crate::fragment::clone_counter::current() - before;
+        assert!(!configs.is_empty());
+        assert_eq!(
+            cloned, 0,
+            "MAPKEYWORDS must not clone any QueryFragment; counted {cloned}"
+        );
+    }
+
+    #[test]
+    fn parallel_scoring_matches_single_threaded_scoring() {
+        // End-to-end: thread count must never change what MAPKEYWORDS
+        // returns.
+        let keywords = vec![
+            (Keyword::new("papers"), KeywordMetadata::select()),
+            (Keyword::new("TKDE"), KeywordMetadata::filter()),
+        ];
+        let serial = run_mapper(&keywords, &TemplarConfig::default().with_scoring_threads(1));
+        let parallel = run_mapper(&keywords, &TemplarConfig::default().with_scoring_threads(8));
+        assert_eq!(serial, parallel, "fan-out must not change any result");
+
+        // Shard-level: a batch large enough to actually engage the scoped
+        // fan-out produces bit-identical scores in identical order.
+        let config = TemplarConfig::default();
+        let qfg = QueryFragmentGraph::build(&academic_log(), config.obscurity);
+        let title_id = qfg
+            .lookup(&QueryFragment::attribute(
+                &AttributeRef::new("publication", "title"),
+                None,
+                QueryContext::Select,
+            ))
+            .unwrap();
+        let per_slot: Vec<ResolvedCandidate> = (0..40)
+            .map(|i| ResolvedCandidate {
+                sigma: 0.3 + (i as f64) / 100.0,
+                slot: if i % 3 == 0 {
+                    FragmentSlot::Known(title_id)
+                } else if i % 3 == 1 {
+                    FragmentSlot::Unknown
+                } else {
+                    FragmentSlot::Relation
+                },
+                sort_key: format!("k{i:03}"),
+            })
+            .collect();
+        let resolved = vec![per_slot];
+        let scorer = TupleScorer {
+            qfg: &qfg,
+            lambda: config.lambda,
+            resolved: &resolved,
+        };
+        let tuples: Vec<Vec<u32>> = (0..40u32).cycle().take(2048).map(|i| vec![i]).collect();
+        let serial = scorer.score_all(tuples.clone(), 1);
+        let sharded = scorer.score_all(tuples, 4);
+        assert_eq!(serial.len(), sharded.len());
+        for (a, b) in serial.iter().zip(&sharded) {
+            assert_eq!(a.indices, b.indices);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+            assert_eq!(a.sigma.to_bits(), b.sigma.to_bits());
+        }
     }
 }

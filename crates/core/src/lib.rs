@@ -37,6 +37,6 @@ pub use join::{apply_log_weights, infer_joins, BagItem, JoinInference, ScoredJoi
 pub use keyword::{
     Configuration, Keyword, KeywordMapper, KeywordMetadata, MappedElement, MappingCandidate,
 };
-pub use qfg::{QueryFragmentGraph, QueryLog};
+pub use qfg::{FragmentId, FragmentInterner, QueryFragmentGraph, QueryLog};
 pub use shared::SharedTemplar;
 pub use templar::{JoinCacheStats, Templar};

@@ -1,4 +1,5 @@
-//! The Query Fragment Graph (Definition 6).
+//! The Query Fragment Graph (Definition 6), on an interned, columnar
+//! data plane.
 //!
 //! The QFG stores, for a SQL query log `L`:
 //!
@@ -11,12 +12,49 @@
 //! `Dice(c1, c2) = 2·n_e(c1, c2) / (n_v(c1) + n_v(c2))`,
 //! which drives both the configuration score (Section V-C.2) and the
 //! log-driven join edge weights (Section VI-A.2).
+//!
+//! # Representation
+//!
+//! Earlier revisions kept owned [`QueryFragment`] structs as map keys, so
+//! every candidate scored during `MAPKEYWORDS` / `INFERJOINS` hashed (and
+//! for pair lookups, cloned) whole fragments.  The graph now interns every
+//! fragment to a dense [`FragmentId`] and stores the counts columnar:
+//!
+//! ```text
+//! FragmentInterner   fragment ⇄ FragmentId(u32), ids stable across
+//!                    ingest/remove (freed ids are recycled, never remapped)
+//! occurrences        Vec<u64> indexed by FragmentId          (n_v)
+//! CSR adjacency      offsets / neighbors / counts, one row per fragment,
+//!                    each unordered pair stored once under its smaller id,
+//!                    with precomputed Dice denominators n_v(a) + n_v(b)
+//! delta log          BTreeMap<(id, id), i64> of co-occurrence changes not
+//!                    yet folded into the CSR
+//! ```
+//!
+//! Reads are always exact: `n_e` is the CSR count plus the pending delta.
+//! Mutations (`ingest` / `remove`) only touch the columnar occurrence
+//! vector and the delta log; [`QueryFragmentGraph::compact`] folds the
+//! delta into a fresh CSR (done automatically when the delta grows large,
+//! and by the serving layer every time a snapshot is published, so the
+//! scoring hot path always runs on the compacted arrays).
+//!
+//! The graph supports two mutation models:
+//!
+//! * **batch** — [`QueryFragmentGraph::build`] over a whole [`QueryLog`], and
+//! * **incremental** — [`QueryFragmentGraph::ingest`] /
+//!   [`QueryFragmentGraph::remove`] for one query at a time, in
+//!   `O(fragments²·log)` per query, which lets a long-running service absorb
+//!   newly-logged queries (and evict old ones) without rebuilding the whole
+//!   graph.  Ingesting every query of a log into an empty graph is
+//!   equivalent to a batch build, and the columnar graph is observationally
+//!   equivalent to the reference map-based model (both proved by property
+//!   tests in `tests/qfg_properties.rs`).
 
 use crate::config::Obscurity;
 use crate::fragment::{fragments_of_query, QueryFragment};
 use serde::{Deserialize, Serialize};
 use sqlparse::{parse_query, Query};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// A SQL query log: the raw material of the QFG.
 ///
@@ -42,7 +80,9 @@ impl QueryLog {
 
     /// Build a log from SQL strings, skipping (and reporting) unparsable
     /// entries.  Real query logs contain noise; Templar only ever uses what
-    /// it can parse.
+    /// it can parse.  The skipped count should be surfaced (the serving
+    /// layer exports it as the `log_skipped_statements` metric) rather than
+    /// dropped.
     pub fn from_sql<'a>(statements: impl IntoIterator<Item = &'a str>) -> (Self, usize) {
         let mut queries = VecDeque::new();
         let mut skipped = 0;
@@ -82,29 +122,155 @@ impl QueryLog {
     }
 }
 
-/// The Query Fragment Graph.
+/// A dense identifier for an interned [`QueryFragment`].
 ///
-/// The graph supports two mutation models:
+/// Ids are stable for as long as the fragment is live (its occurrence count
+/// is positive): `ingest` / `remove` never remap a live id.  Ids of
+/// fragments whose count drops to zero are recycled for fragments interned
+/// later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FragmentId(u32);
+
+impl FragmentId {
+    /// The raw index into the graph's columnar arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The fragment ⇄ id table.
 ///
-/// * **batch** — [`QueryFragmentGraph::build`] over a whole [`QueryLog`], and
-/// * **incremental** — [`QueryFragmentGraph::ingest`] /
-///   [`QueryFragmentGraph::remove`] for one query at a time, in
-///   `O(fragments²)` per query, which lets a long-running service absorb
-///   newly-logged queries (and evict old ones) without rebuilding the whole
-///   graph.  Ingesting every query of a log into an empty graph is
-///   equivalent to a batch build (proved by a property test in
-///   `tests/qfg_properties.rs`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// `intern` assigns the next free id (recycling released slots);
+/// `get` resolves only *live* fragments — a fragment whose occurrence count
+/// dropped to zero is released and no longer resolvable, exactly like the
+/// old map-based graph pruned zero-count keys.
+#[derive(Debug, Clone, Default)]
+pub struct FragmentInterner {
+    ids: HashMap<QueryFragment, FragmentId>,
+    fragments: Vec<QueryFragment>,
+    free: Vec<u32>,
+}
+
+impl FragmentInterner {
+    /// The id of a live fragment.
+    pub fn get(&self, fragment: &QueryFragment) -> Option<FragmentId> {
+        self.ids.get(fragment).copied()
+    }
+
+    /// The fragment behind an id.  Meaningful only for live ids.
+    pub fn resolve(&self, id: FragmentId) -> &QueryFragment {
+        &self.fragments[id.index()]
+    }
+
+    /// Intern a fragment, returning its id (existing or newly assigned).
+    fn intern(&mut self, fragment: &QueryFragment) -> FragmentId {
+        if let Some(id) = self.ids.get(fragment) {
+            return *id;
+        }
+        let id = match self.free.pop() {
+            Some(slot) => {
+                self.fragments[slot as usize] = fragment.clone();
+                FragmentId(slot)
+            }
+            None => {
+                self.fragments.push(fragment.clone());
+                FragmentId((self.fragments.len() - 1) as u32)
+            }
+        };
+        self.ids.insert(fragment.clone(), id);
+        id
+    }
+
+    /// Release a dead fragment's id back to the free list.
+    fn release(&mut self, id: FragmentId) {
+        self.ids.remove(&self.fragments[id.index()]);
+        self.free.push(id.0);
+    }
+
+    /// Size of the id space (live + recyclable slots) — the length of the
+    /// columnar arrays.
+    pub fn table_len(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// Number of live fragments.
+    pub fn live_len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Iterate over the live fragments and their ids.
+    pub fn live(&self) -> impl Iterator<Item = (&QueryFragment, FragmentId)> {
+        self.ids.iter().map(|(f, id)| (f, *id))
+    }
+}
+
+/// Compressed-sparse-row co-occurrence adjacency.  Each unordered pair
+/// `(a, b)` with `a < b` is stored once in row `a`; rows are sorted by
+/// neighbor id so a pair lookup is one binary search.  `denominators[e]`
+/// caches `n_v(a) + n_v(b)` as of the last compaction, so a Dice lookup on a
+/// compacted graph needs no occurrence loads.
+#[derive(Debug, Clone, Default)]
+struct CsrAdjacency {
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
+    counts: Vec<u64>,
+    denominators: Vec<u64>,
+}
+
+impl CsrAdjacency {
+    fn empty() -> Self {
+        CsrAdjacency {
+            offsets: vec![0],
+            neighbors: Vec::new(),
+            counts: Vec::new(),
+            denominators: Vec::new(),
+        }
+    }
+
+    /// The flat index of edge `(lo, hi)` (`lo < hi`), if present.
+    fn edge_index(&self, lo: u32, hi: u32) -> Option<usize> {
+        let row = lo as usize;
+        if row + 1 >= self.offsets.len() {
+            return None;
+        }
+        let (start, end) = (self.offsets[row] as usize, self.offsets[row + 1] as usize);
+        self.neighbors[start..end]
+            .binary_search(&hi)
+            .ok()
+            .map(|i| start + i)
+    }
+
+    fn count(&self, lo: u32, hi: u32) -> u64 {
+        self.edge_index(lo, hi).map(|e| self.counts[e]).unwrap_or(0)
+    }
+}
+
+/// Once the delta log holds this many pending pairs, `ingest` folds it into
+/// the CSR eagerly so lookups on a long-running mutable graph stay mostly
+/// on the compacted fast path and delta memory stays bounded.
+const DELTA_AUTO_COMPACT: usize = 65_536;
+
+/// The Query Fragment Graph over interned fragment ids.
+#[derive(Debug, Clone)]
 pub struct QueryFragmentGraph {
     obscurity: Obscurity,
-    /// `n_v`: per-fragment occurrence counts (number of queries containing
-    /// the fragment at least once).
-    occurrences: HashMap<QueryFragment, u64>,
-    /// `n_e`: co-occurrence counts for unordered fragment pairs, keyed with
-    /// the lexicographically smaller fragment first.
-    co_occurrences: HashMap<(QueryFragment, QueryFragment), u64>,
+    interner: FragmentInterner,
+    /// `n_v`, indexed by [`FragmentId`]; 0 for released slots.
+    occurrences: Vec<u64>,
+    /// Compacted `n_e` baseline.
+    csr: CsrAdjacency,
+    /// Pending `n_e` changes since the last compaction, keyed `(lo, hi)`.
+    delta: BTreeMap<(u32, u32), i64>,
+    /// True when any occurrence count changed since the last compaction
+    /// (the CSR's precomputed denominators are then stale).
+    occurrences_dirty: bool,
+    /// Number of distinct pairs with a positive net count.
+    live_edges: usize,
     /// Number of queries the graph was built from.
     query_count: usize,
+    /// Number of compactions performed over this graph's lifetime
+    /// (monotonic; cloned along with the graph, exported by metrics).
+    compactions: u64,
 }
 
 impl QueryFragmentGraph {
@@ -113,38 +279,53 @@ impl QueryFragmentGraph {
     pub fn empty(obscurity: Obscurity) -> Self {
         QueryFragmentGraph {
             obscurity,
-            occurrences: HashMap::new(),
-            co_occurrences: HashMap::new(),
+            interner: FragmentInterner::default(),
+            occurrences: Vec::new(),
+            csr: CsrAdjacency::empty(),
+            delta: BTreeMap::new(),
+            occurrences_dirty: false,
+            live_edges: 0,
             query_count: 0,
+            compactions: 0,
         }
     }
 
-    /// Build the QFG of a query log at an obscurity level.
+    /// Build the QFG of a query log at an obscurity level.  The result is
+    /// compacted, so lookups run on the CSR fast path immediately.
     pub fn build(log: &QueryLog, obscurity: Obscurity) -> Self {
         let mut graph = Self::empty(obscurity);
         for query in log.queries() {
             graph.ingest(query);
         }
+        graph.compact();
         graph
     }
 
     /// Incrementally ingest one query into the graph, updating `n_v` / `n_e`
-    /// in `O(fragments²)` — no rebuild.
+    /// in `O(fragments²·log)` — no rebuild.
     pub fn ingest(&mut self, query: &Query) {
         self.query_count += 1;
         // A query contributes at most 1 to n_v / n_e per fragment (pair),
         // matching "the number of occurrences in L of the query fragment":
         // occurrences are counted per logged query.
         let fragments = Self::distinct_fragments(query, self.obscurity);
+        let mut ids: Vec<u32> = Vec::with_capacity(fragments.len());
         for f in &fragments {
-            *self.occurrences.entry(f.clone()).or_insert(0) += 1;
-        }
-        let list: Vec<&QueryFragment> = fragments.iter().collect();
-        for i in 0..list.len() {
-            for j in (i + 1)..list.len() {
-                let key = Self::pair_key(list[i], list[j]);
-                *self.co_occurrences.entry(key).or_insert(0) += 1;
+            let id = self.interner.intern(f);
+            if id.index() >= self.occurrences.len() {
+                self.occurrences.resize(id.index() + 1, 0);
             }
+            self.occurrences[id.index()] += 1;
+            ids.push(id.0);
+        }
+        self.occurrences_dirty = true;
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len() {
+                self.bump_pair(ids[i], ids[j], 1);
+            }
+        }
+        if self.delta.len() >= DELTA_AUTO_COMPACT {
+            self.compact();
         }
     }
 
@@ -156,8 +337,8 @@ impl QueryFragmentGraph {
     }
 
     /// Remove one previously-ingested query from the graph (log eviction),
-    /// decrementing `n_v` / `n_e` and pruning counts that reach zero so the
-    /// graph's memory footprint tracks the live log.
+    /// decrementing `n_v` / `n_e` and releasing ids whose counts reach zero
+    /// so the graph's live footprint tracks the live log.
     ///
     /// Returns `false` (leaving the graph untouched) if the query's
     /// fragments are not fully present — i.e. it was never ingested at this
@@ -168,41 +349,158 @@ impl QueryFragmentGraph {
         }
         let fragments = Self::distinct_fragments(query, self.obscurity);
         // Validate first so a bad call cannot corrupt the counts.
+        let mut ids: Vec<u32> = Vec::with_capacity(fragments.len());
         for f in &fragments {
-            if self.occurrences.get(f).copied().unwrap_or(0) == 0 {
-                return false;
+            match self.interner.get(f) {
+                Some(id) if self.occurrences[id.index()] > 0 => ids.push(id.0),
+                _ => return false,
             }
         }
-        let list: Vec<&QueryFragment> = fragments.iter().collect();
-        for i in 0..list.len() {
-            for j in (i + 1)..list.len() {
-                let key = Self::pair_key(list[i], list[j]);
-                if self.co_occurrences.get(&key).copied().unwrap_or(0) == 0 {
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len() {
+                if self.pair_count(ids[i], ids[j]) == 0 {
                     return false;
                 }
             }
         }
         self.query_count -= 1;
-        for f in &fragments {
-            if let Some(count) = self.occurrences.get_mut(f) {
-                *count -= 1;
-                if *count == 0 {
-                    self.occurrences.remove(f);
-                }
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len() {
+                self.bump_pair(ids[i], ids[j], -1);
             }
         }
-        for i in 0..list.len() {
-            for j in (i + 1)..list.len() {
-                let key = Self::pair_key(list[i], list[j]);
-                if let Some(count) = self.co_occurrences.get_mut(&key) {
-                    *count -= 1;
-                    if *count == 0 {
-                        self.co_occurrences.remove(&key);
+        for &id in &ids {
+            let slot = id as usize;
+            self.occurrences[slot] -= 1;
+            if self.occurrences[slot] == 0 {
+                self.interner.release(FragmentId(id));
+            }
+        }
+        self.occurrences_dirty = true;
+        true
+    }
+
+    /// Current net count of an unordered id pair.
+    fn pair_count(&self, a: u32, b: u32) -> u64 {
+        if a == b {
+            return self.occurrences[a as usize];
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        let base = self.csr.count(key.0, key.1) as i64;
+        let net = base + self.delta.get(&key).copied().unwrap_or(0);
+        debug_assert!(net >= 0, "pair count must never go negative");
+        net.max(0) as u64
+    }
+
+    /// Apply a +1/−1 co-occurrence change to a pair, maintaining the live
+    /// edge counter.
+    fn bump_pair(&mut self, a: u32, b: u32, change: i64) {
+        let key = if a < b { (a, b) } else { (b, a) };
+        let base = self.csr.count(key.0, key.1) as i64;
+        let entry = self.delta.entry(key).or_insert(0);
+        let before = base + *entry;
+        *entry += change;
+        let after = before + change;
+        if *entry == 0 {
+            // The delta cancelled out; drop the entry so compaction and the
+            // auto-compact threshold only see real pending work.
+            self.delta.remove(&key);
+        }
+        if before == 0 && after > 0 {
+            self.live_edges += 1;
+        } else if before > 0 && after == 0 {
+            self.live_edges -= 1;
+        }
+    }
+
+    /// Fold the delta log into a fresh CSR and recompute the precomputed
+    /// Dice denominators.  Idempotent; ids are never remapped.  The serving
+    /// layer calls this on every snapshot publish
+    /// (`Templar::from_parts` compacts the graph it receives), so the
+    /// translation hot path always reads compacted arrays.
+    pub fn compact(&mut self) {
+        if self.is_compacted() {
+            return;
+        }
+        let n = self.interner.table_len();
+        let merged = self.net_edges();
+        let mut offsets = vec![0u32; n + 1];
+        for &(lo, _, _) in &merged {
+            offsets[lo as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut neighbors = Vec::with_capacity(merged.len());
+        let mut counts = Vec::with_capacity(merged.len());
+        let mut denominators = Vec::with_capacity(merged.len());
+        for &(lo, hi, count) in &merged {
+            neighbors.push(hi);
+            counts.push(count);
+            denominators.push(self.occurrences[lo as usize] + self.occurrences[hi as usize]);
+        }
+        self.live_edges = merged.len();
+        self.csr = CsrAdjacency {
+            offsets,
+            neighbors,
+            counts,
+            denominators,
+        };
+        self.delta.clear();
+        self.occurrences_dirty = false;
+        self.compactions += 1;
+    }
+
+    /// True when the delta log is empty and the CSR (including its
+    /// precomputed denominators) reflects the current counts.
+    pub fn is_compacted(&self) -> bool {
+        self.delta.is_empty()
+            && !self.occurrences_dirty
+            && self.csr.offsets.len() == self.interner.table_len() + 1
+    }
+
+    /// All pairs with a positive net count, sorted by `(lo, hi)`:
+    /// the CSR baseline merged with the pending delta.
+    fn net_edges(&self) -> Vec<(u32, u32, u64)> {
+        let mut merged = Vec::with_capacity(self.csr.counts.len() + self.delta.len());
+        let mut pending = self.delta.iter().peekable();
+        let rows = self.csr.offsets.len().saturating_sub(1);
+        for lo in 0..rows as u32 {
+            let (start, end) = (
+                self.csr.offsets[lo as usize] as usize,
+                self.csr.offsets[lo as usize + 1] as usize,
+            );
+            for e in start..end {
+                let hi = self.csr.neighbors[e];
+                // Delta-only pairs that sort before this CSR edge are new.
+                while let Some((&key, &change)) = pending.peek() {
+                    if key < (lo, hi) {
+                        if change > 0 {
+                            merged.push((key.0, key.1, change as u64));
+                        }
+                        pending.next();
+                    } else {
+                        break;
                     }
                 }
+                let mut net = self.csr.counts[e] as i64;
+                if let Some((&key, &change)) = pending.peek() {
+                    if key == (lo, hi) {
+                        net += change;
+                        pending.next();
+                    }
+                }
+                if net > 0 {
+                    merged.push((lo, hi, net as u64));
+                }
             }
         }
-        true
+        for (&(lo, hi), &change) in pending {
+            if change > 0 {
+                merged.push((lo, hi, change as u64));
+            }
+        }
+        merged
     }
 
     /// The distinct fragments of one query at an obscurity level, ordered.
@@ -210,27 +508,19 @@ impl QueryFragmentGraph {
         fragments_of_query(query, obscurity).into_iter().collect()
     }
 
-    fn pair_key(a: &QueryFragment, b: &QueryFragment) -> (QueryFragment, QueryFragment) {
-        if a <= b {
-            (a.clone(), b.clone())
-        } else {
-            (b.clone(), a.clone())
-        }
-    }
-
     /// The obscurity level the graph was built at.
     pub fn obscurity(&self) -> Obscurity {
         self.obscurity
     }
 
-    /// Number of distinct fragments (vertices).
+    /// Number of distinct live fragments (vertices).
     pub fn fragment_count(&self) -> usize {
-        self.occurrences.len()
+        self.interner.live_len()
     }
 
-    /// Number of distinct co-occurring pairs (edges).
+    /// Number of distinct co-occurring pairs with a positive count (edges).
     pub fn edge_count(&self) -> usize {
-        self.co_occurrences.len()
+        self.live_edges
     }
 
     /// Number of queries the graph was built from.
@@ -238,9 +528,54 @@ impl QueryFragmentGraph {
         self.query_count
     }
 
+    /// The interner (for callers that resolve fragments to ids once and
+    /// score over ids afterwards).
+    pub fn interner(&self) -> &FragmentInterner {
+        &self.interner
+    }
+
+    /// The id of a live fragment, for id-based scoring.
+    pub fn lookup(&self, fragment: &QueryFragment) -> Option<FragmentId> {
+        self.interner.get(fragment)
+    }
+
+    /// The id of a relation's `FROM` fragment.
+    pub fn lookup_relation(&self, relation: &str) -> Option<FragmentId> {
+        self.lookup(&QueryFragment::relation(relation))
+    }
+
+    /// Size of the interner table (live + recyclable slots) — the length of
+    /// the columnar arrays, exported by serving metrics.
+    pub fn interned_len(&self) -> usize {
+        self.interner.table_len()
+    }
+
+    /// Number of edges resident in the compacted CSR baseline.
+    pub fn csr_edge_len(&self) -> usize {
+        self.csr.counts.len()
+    }
+
+    /// Number of pairs in the pending delta log.
+    pub fn pending_delta_len(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Number of compactions performed over this graph's lifetime.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
     /// `n_v(c)`: occurrence count of a fragment.
     pub fn occurrences(&self, fragment: &QueryFragment) -> u64 {
-        self.occurrences.get(fragment).copied().unwrap_or(0)
+        self.interner
+            .get(fragment)
+            .map(|id| self.occurrences[id.index()])
+            .unwrap_or(0)
+    }
+
+    /// `n_v` by id — one array load.
+    pub fn occurrences_by_id(&self, id: FragmentId) -> u64 {
+        self.occurrences[id.index()]
     }
 
     /// `n_e(c1, c2)`: co-occurrence count of a fragment pair.
@@ -248,20 +583,52 @@ impl QueryFragmentGraph {
         if a == b {
             return self.occurrences(a);
         }
-        self.co_occurrences
-            .get(&Self::pair_key(a, b))
-            .copied()
-            .unwrap_or(0)
+        match (self.interner.get(a), self.interner.get(b)) {
+            (Some(x), Some(y)) => self.co_occurrences_by_id(x, y),
+            _ => 0,
+        }
+    }
+
+    /// `n_e` by id pair.
+    pub fn co_occurrences_by_id(&self, a: FragmentId, b: FragmentId) -> u64 {
+        self.pair_count(a.0, b.0)
     }
 
     /// The Dice coefficient of two fragments, in `[0, 1]`.
     pub fn dice(&self, a: &QueryFragment, b: &QueryFragment) -> f64 {
-        let na = self.occurrences(a);
-        let nb = self.occurrences(b);
+        match (self.interner.get(a), self.interner.get(b)) {
+            (Some(x), Some(y)) => self.dice_by_id(x, y),
+            // A fragment the log never saw has n_v = 0 and co-occurs with
+            // nothing, so every Dice involving it is 0.
+            _ => 0.0,
+        }
+    }
+
+    /// The Dice coefficient by id pair.  On a compacted graph this is one
+    /// binary search plus one division against the precomputed denominator;
+    /// occurrence counts are not touched at all.
+    pub fn dice_by_id(&self, a: FragmentId, b: FragmentId) -> f64 {
+        if a == b {
+            // Dice(c, c) = 2·n_v / (n_v + n_v) = 1 for any live fragment.
+            return if self.occurrences[a.index()] > 0 {
+                1.0
+            } else {
+                0.0
+            };
+        }
+        let (lo, hi) = if a.0 < b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        if self.delta.is_empty() && !self.occurrences_dirty {
+            return match self.csr.edge_index(lo, hi) {
+                Some(e) => (2.0 * self.csr.counts[e] as f64) / (self.csr.denominators[e] as f64),
+                None => 0.0,
+            };
+        }
+        let na = self.occurrences[lo as usize];
+        let nb = self.occurrences[hi as usize];
         if na + nb == 0 {
             return 0.0;
         }
-        let ne = self.co_occurrences(a, b);
+        let ne = self.pair_count(lo, hi);
         (2.0 * ne as f64) / ((na + nb) as f64)
     }
 
@@ -273,19 +640,224 @@ impl QueryFragmentGraph {
 
     /// The most frequent fragments (for inspection and examples).
     pub fn top_fragments(&self, n: usize) -> Vec<(QueryFragment, u64)> {
-        let mut all: Vec<(QueryFragment, u64)> = self
-            .occurrences
-            .iter()
-            .map(|(f, c)| (f.clone(), *c))
-            .collect();
+        let mut all: Vec<(QueryFragment, u64)> =
+            self.fragments().map(|(f, c)| (f.clone(), c)).collect();
         all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         all.truncate(n);
         all
     }
 
-    /// Iterate over all fragments and their occurrence counts.
+    /// Iterate over all live fragments and their occurrence counts.
     pub fn fragments(&self) -> impl Iterator<Item = (&QueryFragment, u64)> {
-        self.occurrences.iter().map(|(f, c)| (f, *c))
+        self.interner
+            .live()
+            .map(|(f, id)| (f, self.occurrences[id.index()]))
+    }
+
+    /// Iterate over all co-occurring fragment pairs and their counts
+    /// (canonical id order; used by observational equality, snapshot
+    /// tooling and inspection).
+    pub fn co_occurrence_entries(&self) -> Vec<(&QueryFragment, &QueryFragment, u64)> {
+        self.net_edges()
+            .into_iter()
+            .map(|(lo, hi, count)| {
+                (
+                    self.interner.resolve(FragmentId(lo)),
+                    self.interner.resolve(FragmentId(hi)),
+                    count,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Equality is *observational*: two graphs are equal when they were built at
+/// the same obscurity from the same number of queries and agree on every
+/// occurrence and co-occurrence count — regardless of id assignment order,
+/// free-list state or compaction progress.  (A shuffled incremental build
+/// interns fragments in a different order than a batch build; both must
+/// compare equal.)
+impl PartialEq for QueryFragmentGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.obscurity == other.obscurity
+            && self.query_count == other.query_count
+            && self.fragment_count() == other.fragment_count()
+            && self.edge_count() == other.edge_count()
+            && self.fragments().all(|(f, c)| other.occurrences(f) == c)
+            && self
+                .co_occurrence_entries()
+                .iter()
+                .all(|(a, b, c)| other.co_occurrences(a, b) == *c)
+    }
+}
+
+/// Snapshot format v2 body: the interner table plus the columnar arrays,
+/// densified to live ids (dead slots are an in-process artifact of id
+/// stability and are dropped on the wire).
+#[derive(Serialize, Deserialize)]
+struct ColumnarQfg {
+    obscurity: Obscurity,
+    query_count: u64,
+    fragments: Vec<QueryFragment>,
+    occurrences: Vec<u64>,
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
+    counts: Vec<u64>,
+}
+
+impl Serialize for QueryFragmentGraph {
+    fn to_value(&self) -> serde::Value {
+        // Serialize a compacted, densified view; `to_value` takes `&self`,
+        // so an uncompacted graph is compacted on a clone.
+        let owned;
+        let graph = if self.is_compacted() {
+            self
+        } else {
+            let mut c = self.clone();
+            c.compact();
+            owned = c;
+            &owned
+        };
+        let table = graph.interner.table_len();
+        let mut remap: Vec<u32> = vec![u32::MAX; table];
+        let mut fragments = Vec::with_capacity(graph.fragment_count());
+        let mut occurrences = Vec::with_capacity(graph.fragment_count());
+        for (slot, entry) in remap.iter_mut().enumerate() {
+            if graph.occurrences[slot] > 0 {
+                *entry = fragments.len() as u32;
+                fragments.push(graph.interner.fragments[slot].clone());
+                occurrences.push(graph.occurrences[slot]);
+            }
+        }
+        // The remap is monotone over live slots, so row order and in-row
+        // neighbor order survive unchanged.
+        let n = fragments.len();
+        let mut offsets = vec![0u32; n + 1];
+        let mut neighbors = Vec::with_capacity(graph.csr.neighbors.len());
+        let mut counts = Vec::with_capacity(graph.csr.counts.len());
+        for lo in 0..table {
+            let new_lo = remap[lo];
+            let (start, end) = (
+                graph.csr.offsets[lo] as usize,
+                graph.csr.offsets[lo + 1] as usize,
+            );
+            for e in start..end {
+                debug_assert!(new_lo != u32::MAX, "CSR edge touching a dead slot");
+                neighbors.push(remap[graph.csr.neighbors[e] as usize]);
+                counts.push(graph.csr.counts[e]);
+                offsets[new_lo as usize + 1] += 1;
+            }
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        ColumnarQfg {
+            obscurity: graph.obscurity,
+            query_count: graph.query_count as u64,
+            fragments,
+            occurrences,
+            offsets,
+            neighbors,
+            counts,
+        }
+        .to_value()
+    }
+}
+
+impl Deserialize for QueryFragmentGraph {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let columnar = ColumnarQfg::from_value(value)?;
+        QueryFragmentGraph::from_columnar(columnar).map_err(serde::Error::new)
+    }
+}
+
+impl QueryFragmentGraph {
+    /// Validate and adopt a deserialized columnar body.  Every structural
+    /// invariant is checked so a corrupted or truncated snapshot surfaces as
+    /// a typed error instead of panics or silently wrong scores.
+    fn from_columnar(c: ColumnarQfg) -> Result<Self, String> {
+        let n = c.fragments.len();
+        if c.occurrences.len() != n {
+            return Err(format!(
+                "occurrence column length {} does not match {} fragments",
+                c.occurrences.len(),
+                n
+            ));
+        }
+        if c.occurrences.contains(&0) {
+            return Err("serialized graph contains a zero-occurrence fragment".to_string());
+        }
+        if c.offsets.len() != n + 1 || c.offsets.first() != Some(&0) {
+            return Err(format!(
+                "CSR offsets length {} does not match {} fragments",
+                c.offsets.len(),
+                n
+            ));
+        }
+        if c.offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("CSR offsets are not monotone".to_string());
+        }
+        let edges = *c.offsets.last().unwrap() as usize;
+        if c.neighbors.len() != edges || c.counts.len() != edges {
+            return Err(format!(
+                "truncated CSR: offsets expect {} edges, found {} neighbors / {} counts",
+                edges,
+                c.neighbors.len(),
+                c.counts.len()
+            ));
+        }
+        let mut ids: HashMap<QueryFragment, FragmentId> = HashMap::with_capacity(n);
+        for (slot, fragment) in c.fragments.iter().enumerate() {
+            if ids
+                .insert(fragment.clone(), FragmentId(slot as u32))
+                .is_some()
+            {
+                return Err(format!("duplicate interned fragment {fragment}"));
+            }
+        }
+        let mut denominators = Vec::with_capacity(edges);
+        for lo in 0..n {
+            let (start, end) = (c.offsets[lo] as usize, c.offsets[lo + 1] as usize);
+            let mut prev: Option<u32> = None;
+            for e in start..end {
+                let hi = c.neighbors[e];
+                if (hi as usize) >= n || hi <= lo as u32 {
+                    return Err(format!("CSR neighbor {hi} out of range for row {lo}"));
+                }
+                if prev.is_some_and(|p| p >= hi) {
+                    return Err(format!("CSR row {lo} neighbors are not strictly sorted"));
+                }
+                prev = Some(hi);
+                let count = c.counts[e];
+                if count == 0 || count > c.occurrences[lo].min(c.occurrences[hi as usize]) {
+                    return Err(format!(
+                        "co-occurrence count {count} of pair ({lo}, {hi}) is inconsistent \
+                         with its occurrence counts"
+                    ));
+                }
+                denominators.push(c.occurrences[lo] + c.occurrences[hi as usize]);
+            }
+        }
+        Ok(QueryFragmentGraph {
+            obscurity: c.obscurity,
+            interner: FragmentInterner {
+                ids,
+                fragments: c.fragments,
+                free: Vec::new(),
+            },
+            occurrences: c.occurrences,
+            live_edges: edges,
+            csr: CsrAdjacency {
+                offsets: c.offsets,
+                neighbors: c.neighbors,
+                counts: c.counts,
+                denominators,
+            },
+            delta: BTreeMap::new(),
+            occurrences_dirty: false,
+            query_count: c.query_count as usize,
+            compactions: 0,
+        })
     }
 }
 
@@ -388,6 +960,8 @@ mod tests {
         let qfg = QueryFragmentGraph::build(&figure3_log(), Obscurity::NoConstOp);
         let title = frag("publication.title", QueryContext::Select);
         assert!((qfg.dice(&title, &title) - 1.0).abs() < 1e-12);
+        let id = qfg.lookup(&title).unwrap();
+        assert!((qfg.dice_by_id(id, id) - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -419,6 +993,7 @@ mod tests {
         for (f, c) in batch.fragments() {
             assert_eq!(incremental.occurrences(f), c);
         }
+        assert_eq!(batch, incremental);
     }
 
     #[test]
@@ -427,5 +1002,101 @@ mod tests {
         let top = qfg.top_fragments(3);
         assert_eq!(top[0].0, QueryFragment::relation("journal"));
         assert!(top[0].1 >= top[1].1 && top[1].1 >= top[2].1);
+    }
+
+    #[test]
+    fn ids_are_stable_and_lookups_match_fragment_keyed_reads() {
+        let qfg = QueryFragmentGraph::build(&figure3_log(), Obscurity::NoConstOp);
+        let title = frag("publication.title", QueryContext::Select);
+        let year_pred = frag("publication.year ?op ?val", QueryContext::Where);
+        let a = qfg.lookup(&title).unwrap();
+        let b = qfg.lookup(&year_pred).unwrap();
+        assert_eq!(qfg.occurrences_by_id(a), qfg.occurrences(&title));
+        assert_eq!(
+            qfg.co_occurrences_by_id(a, b),
+            qfg.co_occurrences(&title, &year_pred)
+        );
+        assert_eq!(qfg.dice_by_id(a, b), qfg.dice(&title, &year_pred));
+        assert_eq!(qfg.interner().resolve(a), &title);
+    }
+
+    #[test]
+    fn compaction_preserves_counts() {
+        let log = figure3_log();
+        let mut incremental = QueryFragmentGraph::empty(Obscurity::NoConstOp);
+        for q in log.queries() {
+            incremental.ingest(q);
+        }
+        assert!(!incremental.is_compacted());
+        let before_fragments: Vec<(QueryFragment, u64)> = incremental
+            .fragments()
+            .map(|(f, c)| (f.clone(), c))
+            .collect();
+        let uncompacted = incremental.clone();
+        incremental.compact();
+        assert!(incremental.is_compacted());
+        assert_eq!(incremental.compactions(), 1);
+        assert_eq!(incremental.csr_edge_len(), incremental.edge_count());
+        assert_eq!(incremental.pending_delta_len(), 0);
+        for (f, c) in &before_fragments {
+            assert_eq!(incremental.occurrences(f), *c);
+        }
+        assert_eq!(incremental, uncompacted);
+    }
+
+    #[test]
+    fn released_ids_are_recycled_for_new_fragments() {
+        let (log, _) = QueryLog::from_sql(["SELECT p.title FROM publication p"]);
+        let mut qfg = QueryFragmentGraph::build(&log, Obscurity::NoConstOp);
+        let table_before = qfg.interned_len();
+        assert!(qfg.remove(&log.queries()[0]));
+        assert_eq!(qfg.fragment_count(), 0);
+        // Re-ingesting reuses the freed slots instead of growing the table.
+        let (log2, _) = QueryLog::from_sql(["SELECT j.name FROM journal j"]);
+        qfg.ingest(&log2.queries()[0]);
+        assert_eq!(qfg.interned_len(), table_before);
+        assert_eq!(
+            qfg.occurrences(&frag("journal.name", QueryContext::Select)),
+            1
+        );
+        // The dead publication fragments are gone.
+        assert_eq!(
+            qfg.occurrences(&frag("publication.title", QueryContext::Select)),
+            0
+        );
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_observational_state() {
+        let mut qfg = QueryFragmentGraph::build(&figure3_log(), Obscurity::NoConstOp);
+        // Leave some pending delta so serialization exercises the
+        // compact-on-write path.
+        let (extra, _) = QueryLog::from_sql(["SELECT p.year FROM publication p"]);
+        qfg.ingest(&extra.queries()[0]);
+        let value = serde::Serialize::to_value(&qfg);
+        let back = QueryFragmentGraph::from_value(&value).unwrap();
+        assert_eq!(back, qfg);
+        assert!(back.is_compacted());
+        assert_eq!(back.query_count(), qfg.query_count());
+    }
+
+    #[test]
+    fn corrupted_columnar_bodies_are_rejected() {
+        let qfg = QueryFragmentGraph::build(&figure3_log(), Obscurity::NoConstOp);
+        let value = serde::Serialize::to_value(&qfg);
+        // Truncate the neighbor column: offsets promise more edges.
+        let serde::Value::Map(mut fields) = value.clone() else {
+            panic!("columnar body must be a map")
+        };
+        for (key, field) in &mut fields {
+            if key == "neighbors" {
+                let serde::Value::Seq(items) = field else {
+                    panic!("neighbors must be a seq")
+                };
+                items.pop();
+            }
+        }
+        let err = QueryFragmentGraph::from_value(&serde::Value::Map(fields)).unwrap_err();
+        assert!(err.to_string().contains("truncated CSR"), "{err}");
     }
 }

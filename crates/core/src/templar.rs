@@ -190,7 +190,7 @@ impl Templar {
     /// would silently produce wrong Dice scores.
     pub fn from_parts(
         db: Arc<Database>,
-        qfg: QueryFragmentGraph,
+        mut qfg: QueryFragmentGraph,
         similarity: TextSimilarity,
         config: TemplarConfig,
     ) -> Result<Self, TemplarError> {
@@ -200,6 +200,10 @@ impl Templar {
                 found: qfg.obscurity(),
             });
         }
+        // A facade is an immutable snapshot: fold any pending delta into the
+        // CSR now so every lookup on the serving path takes the compacted
+        // fast path (binary search + precomputed Dice denominator).
+        qfg.compact();
         let schema_graph = SchemaGraph::from_schema(db.schema());
         let capacity = config.join_cache_capacity;
         Ok(Templar {

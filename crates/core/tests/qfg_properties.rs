@@ -3,12 +3,17 @@
 //!
 //! * incremental `ingest` over a shuffled log ≡ batch `build`,
 //! * `remove` is the exact inverse of `ingest`,
+//! * the interned/columnar graph is observationally equivalent to the
+//!   reference map-based model it replaced (same occurrence, co-occurrence
+//!   and Dice values within 1e-12) under arbitrary ingest/remove/compact
+//!   sequences,
 //! * Dice-coefficient edge cases (self-co-occurrence, zero-count fragments).
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use templar_core::{Obscurity, QueryFragment, QueryFragmentGraph, QueryLog};
+use rand::{Rng, RngCore, SeedableRng};
+use std::collections::HashMap;
+use templar_core::{fragments_of_query, Obscurity, QueryFragment, QueryFragmentGraph, QueryLog};
 
 /// Tables and columns of the miniature academic schema used to generate
 /// random-but-parsable SQL.
@@ -58,6 +63,119 @@ fn parse_log(sqls: &[String]) -> QueryLog {
     let (log, skipped) = QueryLog::from_sql(sqls.iter().map(String::as_str));
     assert_eq!(skipped, 0, "generated SQL must parse: {sqls:?}");
     log
+}
+
+// ---------------------------------------------------------------------------
+// Reference model: the map-based QFG the columnar graph replaced
+// ---------------------------------------------------------------------------
+
+/// The old representation, verbatim in behaviour: owned fragments as map
+/// keys, unordered pairs keyed with the lexicographically smaller fragment
+/// first, zero counts pruned.  Kept as the executable specification the
+/// interned/columnar production graph is checked against.
+#[derive(Default)]
+struct ModelQfg {
+    occurrences: HashMap<QueryFragment, u64>,
+    co_occurrences: HashMap<(QueryFragment, QueryFragment), u64>,
+    query_count: usize,
+}
+
+impl ModelQfg {
+    fn pair_key(a: &QueryFragment, b: &QueryFragment) -> (QueryFragment, QueryFragment) {
+        if a <= b {
+            (a.clone(), b.clone())
+        } else {
+            (b.clone(), a.clone())
+        }
+    }
+
+    fn distinct_fragments(
+        query: &sqlparse::Query,
+        obscurity: Obscurity,
+    ) -> std::collections::BTreeSet<QueryFragment> {
+        fragments_of_query(query, obscurity).into_iter().collect()
+    }
+
+    fn ingest(&mut self, query: &sqlparse::Query, obscurity: Obscurity) {
+        self.query_count += 1;
+        let fragments = Self::distinct_fragments(query, obscurity);
+        for f in &fragments {
+            *self.occurrences.entry(f.clone()).or_insert(0) += 1;
+        }
+        let list: Vec<&QueryFragment> = fragments.iter().collect();
+        for i in 0..list.len() {
+            for j in (i + 1)..list.len() {
+                let key = Self::pair_key(list[i], list[j]);
+                *self.co_occurrences.entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+
+    fn remove(&mut self, query: &sqlparse::Query, obscurity: Obscurity) -> bool {
+        if self.query_count == 0 {
+            return false;
+        }
+        let fragments = Self::distinct_fragments(query, obscurity);
+        for f in &fragments {
+            if self.occurrences.get(f).copied().unwrap_or(0) == 0 {
+                return false;
+            }
+        }
+        let list: Vec<&QueryFragment> = fragments.iter().collect();
+        for i in 0..list.len() {
+            for j in (i + 1)..list.len() {
+                let key = Self::pair_key(list[i], list[j]);
+                if self.co_occurrences.get(&key).copied().unwrap_or(0) == 0 {
+                    return false;
+                }
+            }
+        }
+        self.query_count -= 1;
+        for f in &fragments {
+            if let Some(count) = self.occurrences.get_mut(f) {
+                *count -= 1;
+                if *count == 0 {
+                    self.occurrences.remove(f);
+                }
+            }
+        }
+        for i in 0..list.len() {
+            for j in (i + 1)..list.len() {
+                let key = Self::pair_key(list[i], list[j]);
+                if let Some(count) = self.co_occurrences.get_mut(&key) {
+                    *count -= 1;
+                    if *count == 0 {
+                        self.co_occurrences.remove(&key);
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn occurrences(&self, fragment: &QueryFragment) -> u64 {
+        self.occurrences.get(fragment).copied().unwrap_or(0)
+    }
+
+    fn co_occurrences(&self, a: &QueryFragment, b: &QueryFragment) -> u64 {
+        if a == b {
+            return self.occurrences(a);
+        }
+        self.co_occurrences
+            .get(&Self::pair_key(a, b))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn dice(&self, a: &QueryFragment, b: &QueryFragment) -> f64 {
+        let na = self.occurrences(a);
+        let nb = self.occurrences(b);
+        if na + nb == 0 {
+            return 0.0;
+        }
+        let ne = self.co_occurrences(a, b);
+        (2.0 * ne as f64) / ((na + nb) as f64)
+    }
 }
 
 proptest! {
@@ -115,6 +233,79 @@ proptest! {
         prop_assert_eq!(graph.fragment_count(), 0);
         prop_assert_eq!(graph.edge_count(), 0);
         prop_assert_eq!(graph.query_count(), 0);
+    }
+
+    /// The interned/columnar graph is observationally equivalent to the
+    /// reference map-based model under an arbitrary interleaving of ingests,
+    /// removes and compactions: every occurrence count, co-occurrence count
+    /// and Dice coefficient agrees (counts exactly, Dice within 1e-12) at
+    /// every step, at every obscurity level.
+    #[test]
+    fn columnar_graph_is_observationally_equivalent_to_the_map_model(
+        base in log_strategy(),
+        extra in log_strategy(),
+        op_seed in any::<u64>(),
+    ) {
+        for obscurity in Obscurity::ALL {
+            let base_log = parse_log(&base);
+            let extra_log = parse_log(&extra);
+            let mut model = ModelQfg::default();
+            let mut graph = QueryFragmentGraph::empty(obscurity);
+            // Deterministic op schedule: ingest the base, then interleave
+            // ingest/remove/compact decisions drawn from the seed.
+            let mut rng = StdRng::seed_from_u64(op_seed);
+            for query in base_log.queries() {
+                model.ingest(query, obscurity);
+                graph.ingest(query);
+            }
+            for query in extra_log.queries() {
+                match rng.next_u64() % 4 {
+                    // Removing a base query exercises id release/recycling;
+                    // both sides must agree on whether the removal applies.
+                    0 => {
+                        let victims: Vec<_> = base_log.queries().iter().cloned().collect();
+                        let victim = &victims[(rng.next_u64() as usize) % victims.len()];
+                        let model_removed = model.remove(victim, obscurity);
+                        let graph_removed = graph.remove(victim);
+                        prop_assert_eq!(model_removed, graph_removed);
+                    }
+                    // Compaction must be observation-neutral.
+                    1 => graph.compact(),
+                    _ => {
+                        model.ingest(query, obscurity);
+                        graph.ingest(query);
+                    }
+                }
+                prop_assert_eq!(model.query_count, graph.query_count());
+                prop_assert_eq!(model.occurrences.len(), graph.fragment_count());
+                prop_assert_eq!(model.co_occurrences.len(), graph.edge_count());
+            }
+            // Full observational sweep over the union of live fragments plus
+            // a fragment neither side has seen.
+            let mut fragments: Vec<QueryFragment> =
+                model.occurrences.keys().cloned().collect();
+            fragments.push(QueryFragment {
+                expr: "never.seen ?op ?val".to_string(),
+                context: templar_core::QueryContext::Where,
+            });
+            for a in &fragments {
+                prop_assert_eq!(model.occurrences(a), graph.occurrences(a));
+                for b in &fragments {
+                    prop_assert_eq!(
+                        model.co_occurrences(a, b),
+                        graph.co_occurrences(a, b),
+                        "co-occurrence mismatch for {} / {}", a, b
+                    );
+                    let d_model = model.dice(a, b);
+                    let d_graph = graph.dice(a, b);
+                    prop_assert!(
+                        (d_model - d_graph).abs() < 1e-12,
+                        "dice mismatch for {} / {}: model {} vs columnar {}",
+                        a, b, d_model, d_graph
+                    );
+                }
+            }
+        }
     }
 
     /// Dice stays within [0, 1] for arbitrary fragment pairs drawn from the

@@ -4,7 +4,7 @@ use crate::crossval::{evaluate_system, DatasetAccuracy, SystemKind};
 use datasets::Dataset;
 use relational::DatasetStats;
 use serde::{Deserialize, Serialize};
-use templar_core::{Obscurity, TemplarConfig};
+use templar_core::{Obscurity, QueryFragmentGraph, TemplarConfig};
 
 /// Table II — dataset statistics.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -271,6 +271,13 @@ pub struct ObscurityRow {
     pub obscurity: String,
     /// Full-query accuracy in percent.
     pub fq_percent: f64,
+    /// Distinct fragments in the QFG of the dataset's full log at this
+    /// obscurity level — the interner-table footprint the columnar data
+    /// plane carries.  Higher obscurity collapses predicate variants, so
+    /// this shrinks as the level increases.
+    pub qfg_fragments: usize,
+    /// Distinct co-occurring fragment pairs (CSR edges) at this level.
+    pub qfg_edges: usize,
 }
 
 /// The obscurity ablation (Section VII-B: "all obscurity levels ...
@@ -293,10 +300,13 @@ pub fn obscurity(datasets: &[Dataset]) -> ObscurityAblation {
         for level in Obscurity::ALL {
             let config = TemplarConfig::default().with_obscurity(level);
             let acc = evaluate_system(dataset, SystemKind::PipelinePlus, &config);
+            let qfg = QueryFragmentGraph::build(&dataset.full_log(), level);
             rows.push(ObscurityRow {
                 dataset: dataset.name.clone(),
                 obscurity: level.name().to_string(),
                 fq_percent: acc.fq_percent(),
+                qfg_fragments: qfg.fragment_count(),
+                qfg_edges: qfg.edge_count(),
             });
         }
     }
@@ -308,7 +318,7 @@ impl ObscurityAblation {
     pub fn render(&self) -> String {
         let mut out = String::from(
             "Obscurity ablation: Pipeline+ FQ accuracy per fragment obscurity level\n\
-             Dataset    Obscurity    FQ (%)   (Pipeline baseline)\n",
+             Dataset    Obscurity    FQ (%)   (Pipeline baseline)   QFG frags  edges\n",
         );
         for r in &self.rows {
             let base = self
@@ -318,8 +328,8 @@ impl ObscurityAblation {
                 .map(|(_, v)| *v)
                 .unwrap_or(0.0);
             out.push_str(&format!(
-                "{:<10} {:<12} {:>6.1}   ({:.1})\n",
-                r.dataset, r.obscurity, r.fq_percent, base
+                "{:<10} {:<12} {:>6.1}   ({:.1})              {:>9}  {:>5}\n",
+                r.dataset, r.obscurity, r.fq_percent, base, r.qfg_fragments, r.qfg_edges
             ));
         }
         out

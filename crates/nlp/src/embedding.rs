@@ -15,6 +15,8 @@
 use crate::lexicon::SynonymLexicon;
 use crate::stem::porter_stem;
 use crate::tokenize::split_identifier;
+use std::collections::HashMap;
+use std::sync::RwLock;
 
 /// Dimensionality of the synthetic embedding space.
 pub const EMBEDDING_DIM: usize = 64;
@@ -91,21 +93,51 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// Upper bound on memoized word vectors.  Schema vocabularies and common
+/// keyword words fit comfortably; an adversarial stream of unique words
+/// cannot grow the cache past this.
+const VECTOR_CACHE_CAP: usize = 4096;
+
 /// The deterministic word-embedding model.
 ///
 /// Construction is cheap; the model owns a [`SynonymLexicon`] that supplies
 /// domain knowledge (the role the Google-News corpus plays in the paper).
-#[derive(Debug, Clone)]
+///
+/// Word vectors are deterministic functions of the word, so the model
+/// memoizes them (bounded, thread-safe): under serving traffic the same
+/// schema-element words are embedded for every candidate of every request,
+/// and the memo turns those repeats into a map hit plus a 64-float copy.
+#[derive(Debug)]
 pub struct WordModel {
     lexicon: SynonymLexicon,
     /// Blend factor between lexicon similarity and character-level cosine.
     /// `1.0` means lexicon-only, `0.0` character-only.
     lexicon_weight: f64,
+    /// Bounded word → vector memo.  A lock-poisoning panic elsewhere only
+    /// disables the memo (lookups fall through to recomputation).
+    vector_cache: RwLock<HashMap<String, PhraseVector>>,
 }
 
 impl Default for WordModel {
     fn default() -> Self {
         Self::with_lexicon(SynonymLexicon::builtin())
+    }
+}
+
+impl Clone for WordModel {
+    fn clone(&self) -> Self {
+        WordModel {
+            lexicon: self.lexicon.clone(),
+            lexicon_weight: self.lexicon_weight,
+            // Carry the warmth over: a cloned model (snapshot refresh) starts
+            // with the words the previous snapshot already embedded.
+            vector_cache: RwLock::new(
+                self.vector_cache
+                    .read()
+                    .map(|cache| cache.clone())
+                    .unwrap_or_default(),
+            ),
+        }
     }
 }
 
@@ -120,6 +152,7 @@ impl WordModel {
         WordModel {
             lexicon,
             lexicon_weight: 0.75,
+            vector_cache: RwLock::new(HashMap::new()),
         }
     }
 
@@ -129,6 +162,7 @@ impl WordModel {
         WordModel {
             lexicon: SynonymLexicon::new(),
             lexicon_weight: 0.0,
+            vector_cache: RwLock::new(HashMap::new()),
         }
     }
 
@@ -139,8 +173,24 @@ impl WordModel {
 
     /// Embed a single word into the synthetic vector space using hashed
     /// character n-grams (n = 2..=4) of the *stemmed* word plus the whole
-    /// stem, mirroring fastText-style subword embeddings.
+    /// stem, mirroring fastText-style subword embeddings.  Memoized: the
+    /// embedding is a pure function of the word.
     pub fn word_vector(&self, word: &str) -> PhraseVector {
+        if let Ok(cache) = self.vector_cache.read() {
+            if let Some(hit) = cache.get(word) {
+                return hit.clone();
+            }
+        }
+        let vector = self.compute_word_vector(word);
+        if let Ok(mut cache) = self.vector_cache.write() {
+            if cache.len() < VECTOR_CACHE_CAP {
+                cache.insert(word.to_string(), vector.clone());
+            }
+        }
+        vector
+    }
+
+    fn compute_word_vector(&self, word: &str) -> PhraseVector {
         let stem = porter_stem(&word.to_lowercase());
         let padded = format!("^{stem}$");
         let bytes = padded.as_bytes();

@@ -70,6 +70,10 @@ impl JoinEdge {
 pub struct JoinGraph {
     nodes: Vec<JoinNode>,
     edges: Vec<JoinEdge>,
+    /// Per-node incident edge indices, maintained on every edge insertion so
+    /// the Dijkstra relaxations inside path enumeration read a slice instead
+    /// of scanning the full edge list per node.
+    adjacency: Vec<Vec<usize>>,
 }
 
 impl JoinGraph {
@@ -77,6 +81,21 @@ impl JoinGraph {
     /// edge per FK-PK relationship, with weights taken from the schema
     /// graph's weight function.
     pub fn from_schema_graph(graph: &SchemaGraph) -> Self {
+        Self::build(graph, |fk| {
+            graph.relation_weight(&fk.from_relation, &fk.to_relation)
+        })
+    }
+
+    /// Build the join graph with unit edge weights, ignoring any custom
+    /// weights on the schema graph.  This is the starting point for join
+    /// inference, which then either keeps the paper's default weight
+    /// function or applies log-driven weights via
+    /// [`JoinGraph::set_weights`] — without cloning the schema graph.
+    pub fn unweighted(graph: &SchemaGraph) -> Self {
+        Self::build(graph, |_| 1.0)
+    }
+
+    fn build(graph: &SchemaGraph, weight: impl Fn(&ForeignKey) -> f64) -> Self {
         let schema = graph.schema();
         let mut nodes = Vec::new();
         let mut index: BTreeMap<String, NodeId> = BTreeMap::new();
@@ -87,7 +106,11 @@ impl JoinGraph {
                 instance: 0,
             });
         }
-        let mut edges = Vec::new();
+        let mut result = JoinGraph {
+            adjacency: vec![Vec::new(); nodes.len()],
+            nodes,
+            edges: Vec::new(),
+        };
         for fk in &schema.foreign_keys {
             let (Some(&from), Some(&to)) = (
                 index.get(&fk.from_relation.to_lowercase()),
@@ -95,14 +118,24 @@ impl JoinGraph {
             ) else {
                 continue;
             };
-            edges.push(JoinEdge {
+            result.push_edge(JoinEdge {
                 fk_node: from,
                 pk_node: to,
                 fk: fk.clone(),
-                weight: graph.relation_weight(&fk.from_relation, &fk.to_relation),
+                weight: weight(fk),
             });
         }
-        JoinGraph { nodes, edges }
+        result
+    }
+
+    /// Append an edge, keeping the incident-edge index in sync.
+    fn push_edge(&mut self, edge: JoinEdge) {
+        let id = self.edges.len();
+        self.adjacency[edge.fk_node].push(id);
+        if edge.pk_node != edge.fk_node {
+            self.adjacency[edge.pk_node].push(id);
+        }
+        self.edges.push(edge);
     }
 
     /// All nodes.
@@ -137,14 +170,10 @@ impl JoinGraph {
         &self.nodes[id]
     }
 
-    /// Edges incident to a node, in id order.
-    pub fn incident_edges(&self, node: NodeId) -> Vec<usize> {
-        self.edges
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.touches(node))
-            .map(|(i, _)| i)
-            .collect()
+    /// Edges incident to a node, in insertion (id) order.  A slice into the
+    /// maintained adjacency index — no per-call scan or allocation.
+    pub fn incident_edges(&self, node: NodeId) -> &[usize] {
+        &self.adjacency[node]
     }
 
     /// Re-assign edge weights with a per-relation-pair weight function.
@@ -195,7 +224,7 @@ impl JoinGraph {
                 break;
             }
             visited[u] = true;
-            for ei in self.incident_edges(u) {
+            for &ei in self.incident_edges(u) {
                 let e = &self.edges[ei];
                 let v = e.other(u);
                 // Use a small per-hop epsilon so that among equal-weight
@@ -238,7 +267,10 @@ impl JoinGraph {
         stack.push((original, root_clone));
         while let Some((old, new)) = stack.pop() {
             visited.insert(old);
-            for ei in self.incident_edges(old) {
+            // The incident list is snapshotted because the loop body appends
+            // edges (which would otherwise alias the adjacency index).
+            let incident: Vec<usize> = self.incident_edges(old).to_vec();
+            for ei in incident {
                 let edge = self.edges[ei].clone();
                 let conn = edge.other(old);
                 // Ignore edges to clones created during this fork.
@@ -251,7 +283,7 @@ impl JoinGraph {
                 if edge.fk_node == old {
                     // Forward FK-PK edge (old holds the foreign key): attach
                     // the clone to the original target and stop traversal.
-                    self.edges.push(JoinEdge {
+                    self.push_edge(JoinEdge {
                         fk_node: new,
                         pk_node: conn,
                         fk: edge.fk.clone(),
@@ -261,7 +293,7 @@ impl JoinGraph {
                     // Edge against the FK direction: clone the neighbour and
                     // keep traversing.
                     let cloned = self.clone_node(conn);
-                    self.edges.push(JoinEdge {
+                    self.push_edge(JoinEdge {
                         fk_node: cloned,
                         pk_node: new,
                         fk: edge.fk.clone(),
@@ -279,6 +311,7 @@ impl JoinGraph {
         let instance = self.nodes.iter().filter(|n| n.relation == relation).count();
         let id = self.nodes.len();
         self.nodes.push(JoinNode { relation, instance });
+        self.adjacency.push(Vec::new());
         id
     }
 }
@@ -400,8 +433,8 @@ mod tests {
         let publication = g.node_of("publication").unwrap();
         let connects = g
             .incident_edges(writes_clone)
-            .into_iter()
-            .any(|ei| g.edges()[ei].touches(publication));
+            .iter()
+            .any(|&ei| g.edges()[ei].touches(publication));
         assert!(connects);
     }
 
@@ -435,6 +468,42 @@ mod tests {
             } else {
                 assert!((e.weight - 1.0).abs() < 1e-9);
             }
+        }
+    }
+
+    #[test]
+    fn unweighted_ignores_custom_schema_weights() {
+        let mut sg = SchemaGraph::from_schema(&academic_schema());
+        sg.set_relation_weight("publication", "journal", 0.05);
+        let weighted = JoinGraph::from_schema_graph(&sg);
+        assert!(weighted
+            .edges()
+            .iter()
+            .any(|e| (e.weight - 0.05).abs() < 1e-12));
+        let unit = JoinGraph::unweighted(&sg);
+        assert!(unit.edges().iter().all(|e| (e.weight - 1.0).abs() < 1e-12));
+        assert_eq!(unit.nodes().len(), weighted.nodes().len());
+        assert_eq!(unit.edges().len(), weighted.edges().len());
+    }
+
+    #[test]
+    fn adjacency_index_stays_consistent_across_forks() {
+        let mut g = graph();
+        g.fork("author").unwrap();
+        g.fork("publication").unwrap();
+        for node in 0..g.nodes().len() {
+            let scanned: Vec<usize> = g
+                .edges()
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.touches(node))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(
+                g.incident_edges(node),
+                scanned.as_slice(),
+                "adjacency of node {node} diverged from an edge scan"
+            );
         }
     }
 

@@ -246,7 +246,7 @@ fn shortest_path_excluding(
         }
         let Some(u) = current else { break };
         visited[u] = true;
-        for ei in graph.incident_edges(u) {
+        for &ei in graph.incident_edges(u) {
             if excluded.contains(&ei) {
                 continue;
             }

@@ -9,8 +9,8 @@
 use crate::registry::TenantRegistry;
 use std::sync::atomic::{AtomicU64, Ordering};
 use templar_api::{
-    decode_response, encode_request, ApiError, RequestBody, RequestEnvelope, ResponseBody,
-    TranslateRequest, TranslateResponse,
+    decode_response, encode_request, ApiError, MetricsReport, RequestBody, RequestEnvelope,
+    ResponseBody, TranslateRequest, TranslateResponse,
 };
 
 /// A typed client over the line protocol, bound to one registry.
@@ -59,6 +59,18 @@ impl<'a> RegistryClient<'a> {
             ResponseBody::SqlAccepted => Ok(()),
             other => Err(ApiError::MalformedEnvelope {
                 detail: format!("unexpected response body for SubmitSql: {other:?}"),
+            }),
+        }
+    }
+
+    /// Fetch a tenant's serving metrics.
+    pub fn metrics(&self, tenant: &str) -> Result<MetricsReport, ApiError> {
+        match self.roundtrip(RequestBody::Metrics {
+            tenant: tenant.to_string(),
+        })? {
+            ResponseBody::Metrics(report) => Ok(report),
+            other => Err(ApiError::MalformedEnvelope {
+                detail: format!("unexpected response body for Metrics: {other:?}"),
             }),
         }
     }

@@ -18,6 +18,7 @@ pub struct ServiceMetrics {
     ingest_rejected: AtomicU64,
     ingest_applied: AtomicU64,
     ingest_parse_errors: AtomicU64,
+    log_skipped_statements: AtomicU64,
     evictions: AtomicU64,
     snapshot_swaps: AtomicU64,
     latency_buckets: LatencyHistogram,
@@ -96,6 +97,10 @@ impl ServiceMetrics {
         self.ingest_parse_errors.fetch_add(n, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_log_skipped(&self, n: u64) {
+        self.log_skipped_statements.fetch_add(n, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_evictions(&self, n: u64) {
         self.evictions.fetch_add(n, Ordering::Relaxed);
     }
@@ -138,6 +143,7 @@ impl ServiceMetrics {
             ingest_rejected: self.ingest_rejected.load(Ordering::Relaxed),
             ingest_applied: self.ingest_applied.load(Ordering::Relaxed),
             ingest_parse_errors: self.ingest_parse_errors.load(Ordering::Relaxed),
+            log_skipped_statements: self.log_skipped_statements.load(Ordering::Relaxed),
             ingest_lag: self
                 .ingest_accepted_total()
                 .saturating_sub(self.ingest_applied_total()),
@@ -150,6 +156,10 @@ impl ServiceMetrics {
             qfg_fragments: 0,
             qfg_edges: 0,
             qfg_queries: 0,
+            qfg_interned_fragments: 0,
+            qfg_csr_edges: 0,
+            qfg_pending_deltas: 0,
+            qfg_compactions: 0,
         }
     }
 }
@@ -172,6 +182,12 @@ pub struct MetricsSnapshot {
     pub ingest_rejected: u64,
     pub ingest_applied: u64,
     pub ingest_parse_errors: u64,
+    /// Statements skipped as unparsable while assembling a [`QueryLog`]
+    /// from raw SQL text (`QueryLog::from_sql`) — e.g. the initial log a
+    /// service was spawned from.  Kept separate from `ingest_parse_errors`
+    /// (the live `submit_sql` path) so malformed bootstrap logs are
+    /// observable instead of silently dropped.
+    pub log_skipped_statements: u64,
     /// Entries accepted but not yet applied (queue + in-flight batch).
     pub ingest_lag: u64,
     /// Log entries evicted under `max_log_entries`.
@@ -189,6 +205,15 @@ pub struct MetricsSnapshot {
     pub qfg_fragments: u64,
     pub qfg_edges: u64,
     pub qfg_queries: u64,
+    /// Columnar data-plane gauges of the current snapshot: interner table
+    /// size (live + recyclable id slots), edges resident in the compacted
+    /// CSR, pending delta-log pairs (0 on a published snapshot, which is
+    /// compacted on construction), and the number of compactions the
+    /// graph's lineage has undergone.
+    pub qfg_interned_fragments: u64,
+    pub qfg_csr_edges: u64,
+    pub qfg_pending_deltas: u64,
+    pub qfg_compactions: u64,
 }
 
 #[cfg(test)]

@@ -17,13 +17,14 @@
 //! `RwLock` — registration is rare, lookups clone an `Arc`, and the actual
 //! translation work runs entirely outside the lock.
 
+use crate::metrics::MetricsSnapshot;
 use crate::server::TemplarService;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use templar_api::{
-    decode_request, encode_response, ApiError, RequestBody, ResponseBody, ResponseEnvelope,
-    TranslateRequest, TranslateResponse,
+    decode_request, encode_response, ApiError, MetricsReport, RequestBody, ResponseBody,
+    ResponseEnvelope, TranslateRequest, TranslateResponse,
 };
 
 /// Routes requests to one [`TemplarService`] per tenant (database).
@@ -90,6 +91,11 @@ impl TenantRegistry {
         self.get(tenant)?.submit_sql(sql).map_err(ApiError::from)
     }
 
+    /// Fetch one tenant's serving metrics in wire form.
+    pub fn metrics(&self, tenant: &str) -> Result<MetricsReport, ApiError> {
+        Ok(metrics_report(&self.get(tenant)?.metrics()))
+    }
+
     /// Serve one JSON protocol line, producing exactly one response line.
     /// Never fails: every error becomes the `err` arm of a response
     /// envelope, echoing the request's correlation id when it could be
@@ -107,11 +113,42 @@ impl TenantRegistry {
             RequestBody::SubmitSql { tenant, sql } => self
                 .submit_sql(tenant, sql)
                 .map(|()| ResponseBody::SqlAccepted),
+            RequestBody::Metrics { tenant } => self.metrics(tenant).map(ResponseBody::Metrics),
         };
         let response = match outcome {
             Ok(body) => ResponseEnvelope::success(id, body),
             Err(err) => ResponseEnvelope::failure(id, err),
         };
         encode_response(&response)
+    }
+}
+
+/// Project a service-side metrics snapshot onto its wire form.
+fn metrics_report(snapshot: &MetricsSnapshot) -> MetricsReport {
+    MetricsReport {
+        translations_served: snapshot.translations_served,
+        empty_translations: snapshot.empty_translations,
+        translate_p50_us: snapshot.translate_p50_us,
+        translate_p99_us: snapshot.translate_p99_us,
+        translate_mean_us: snapshot.translate_mean_us,
+        ingest_submitted: snapshot.ingest_submitted,
+        ingest_rejected: snapshot.ingest_rejected,
+        ingest_applied: snapshot.ingest_applied,
+        ingest_parse_errors: snapshot.ingest_parse_errors,
+        log_skipped_statements: snapshot.log_skipped_statements,
+        ingest_lag: snapshot.ingest_lag,
+        log_evictions: snapshot.log_evictions,
+        snapshot_swaps: snapshot.snapshot_swaps,
+        join_cache_hits: snapshot.join_cache_hits,
+        join_cache_misses: snapshot.join_cache_misses,
+        join_cache_evictions: snapshot.join_cache_evictions,
+        join_cache_entries: snapshot.join_cache_entries,
+        qfg_fragments: snapshot.qfg_fragments,
+        qfg_edges: snapshot.qfg_edges,
+        qfg_queries: snapshot.qfg_queries,
+        qfg_interned_fragments: snapshot.qfg_interned_fragments,
+        qfg_csr_edges: snapshot.qfg_csr_edges,
+        qfg_pending_deltas: snapshot.qfg_pending_deltas,
+        qfg_compactions: snapshot.qfg_compactions,
     }
 }

@@ -111,6 +111,26 @@ impl TemplarService {
         )
     }
 
+    /// Start a service from raw SQL log lines.  Unparsable statements are
+    /// skipped — real logs contain noise — but *counted*: the skip count is
+    /// exported as the `log_skipped_statements` metric (and over the wire in
+    /// the registry's `Metrics` response), so a mis-formatted bootstrap log
+    /// shows up in observability instead of silently serving from a
+    /// half-empty QFG.
+    pub fn spawn_from_sql<'a>(
+        db: Arc<Database>,
+        statements: impl IntoIterator<Item = &'a str>,
+        templar_config: TemplarConfig,
+        service_config: ServiceConfig,
+    ) -> Result<Self, ServiceError> {
+        let (log, skipped) = QueryLog::from_sql(statements);
+        let service = Self::spawn(db, &log, templar_config, service_config)?;
+        if skipped > 0 {
+            service.inner.metrics.record_log_skipped(skipped as u64);
+        }
+        Ok(service)
+    }
+
     /// Restore a service from an on-disk snapshot written by
     /// [`TemplarService::save_snapshot`].  The stored QFG is reused as-is —
     /// no log replay.  Fails if the snapshot's obscurity level does not
@@ -265,6 +285,10 @@ impl TemplarService {
             let mut master = self.inner.master.lock();
             master.pending_since_swap = 0;
             master.last_swap = Instant::now();
+            // Fold the delta log in place so each pending pair is merged
+            // exactly once (the clone below and every future clone start
+            // compacted) and the master's own lookups take the CSR path.
+            master.qfg.compact();
             master.qfg.clone()
         };
         publish(&self.inner, qfg);
@@ -277,7 +301,10 @@ impl TemplarService {
     /// ingestion worker for the duration of the write.
     pub fn save_snapshot(&self, path: &Path) -> Result<(), ServiceError> {
         let (log, qfg) = {
-            let master = self.inner.master.lock();
+            let mut master = self.inner.master.lock();
+            // Compact in place first; the serializer would otherwise clone
+            // the graph a second time to compact the copy.
+            master.qfg.compact();
             (master.log.clone(), master.qfg.clone())
         };
         snapshot::write_snapshot(path, &log, &qfg)?;
@@ -297,6 +324,17 @@ impl TemplarService {
         snap.qfg_fragments = current.qfg().fragment_count() as u64;
         snap.qfg_edges = current.qfg().edge_count() as u64;
         snap.qfg_queries = current.qfg().query_count() as u64;
+        snap.qfg_interned_fragments = current.qfg().interned_len() as u64;
+        snap.qfg_csr_edges = current.qfg().csr_edge_len() as u64;
+        // Pending deltas and compactions are ingest-plane gauges: a
+        // *published* snapshot is always compacted (its pending count would
+        // read 0 by construction), so sample the master graph, where delta
+        // pairs actually accumulate between publishes.
+        {
+            let master = self.inner.master.lock();
+            snap.qfg_pending_deltas = master.qfg.pending_delta_len() as u64;
+            snap.qfg_compactions = master.qfg.compactions();
+        }
         snap
     }
 
@@ -362,6 +400,7 @@ fn ingest_worker(inner: Arc<ServiceInner>) {
                 let qfg = {
                     let mut master = inner.master.lock();
                     master.pending_since_swap = 0;
+                    master.qfg.compact();
                     master.qfg.clone()
                 };
                 publish(&inner, qfg);
@@ -399,6 +438,13 @@ fn ingest_worker(inner: Arc<ServiceInner>) {
             if due_by_count || due_by_time {
                 master.pending_since_swap = 0;
                 master.last_swap = Instant::now();
+                // Compact in place at the publish boundary: each epoch's
+                // delta pairs are folded into the master CSR exactly once,
+                // the published clone is born compacted
+                // (`Templar::from_parts`'s compact becomes a no-op), and
+                // ingest/remove lookups until the next epoch run against a
+                // fresh CSR instead of an ever-growing delta map.
+                master.qfg.compact();
                 Some(master.qfg.clone())
             } else {
                 None

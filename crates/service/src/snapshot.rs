@@ -5,12 +5,27 @@
 //! serving log-informed translations immediately — no re-parse and no QFG
 //! rebuild of a potentially multi-million-entry log.
 //!
-//! # Format (version 1)
+//! # Format (version 2)
 //!
 //! ```text
-//! TEMPLAR-SNAPSHOT v1 obscurity=NoConstOp\n   ← header line, ASCII
+//! TEMPLAR-SNAPSHOT v2 obscurity=NoConstOp\n   ← header line, ASCII
 //! {"log": …, "qfg": …}                        ← body, one JSON document
 //! ```
+//!
+//! The `qfg` body is the graph's columnar form: the interner table (live
+//! fragments, densified to ids `0..n`), the occurrence column, and the CSR
+//! adjacency (`offsets` / `neighbors` / `counts`).  Compared to the v1
+//! format — which wrote every `n_v` / `n_e` entry as a
+//! `[fragment, count]` / `[[fragment, fragment], count]` pair, repeating
+//! each fragment once per incident edge — every fragment is written exactly
+//! once and each edge costs two integers, so v2 snapshots are substantially
+//! smaller and load without re-hashing every pair key.
+//!
+//! **Migration:** v1 snapshots still load.  A v1 body carries the complete
+//! query log, and an ingest-from-empty build is property-tested equal to
+//! the graph the v1 writer serialized, so the migration path deserializes
+//! the log and rebuilds the columnar graph from it — same counts, new
+//! representation.  The result is only ever written back as v2.
 //!
 //! The header carries everything needed to *reject* a snapshot before
 //! parsing the (potentially large) body:
@@ -20,6 +35,11 @@
 //! * the obscurity level must match the configuration the service runs at —
 //!   QFG counts produced at one obscurity level are meaningless at another,
 //!   so a mismatch is a hard error rather than a silent accuracy bug.
+//!
+//! Structural damage below the header (truncated CSR columns, occurrence /
+//! co-occurrence inconsistencies, duplicate interned fragments) is caught by
+//! the columnar deserializer's validation and surfaces as
+//! [`SnapshotError::Corrupt`].
 //!
 //! Writes go through a sibling temp file and an atomic rename, so a crash
 //! mid-write can never leave a truncated snapshot at the target path.
@@ -32,8 +52,10 @@ use templar_core::{Obscurity, QueryFragmentGraph, QueryLog};
 
 /// First token of every snapshot file.
 pub const SNAPSHOT_MAGIC: &str = "TEMPLAR-SNAPSHOT";
-/// The format version this build writes and accepts.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// The format version this build writes.
+pub const SNAPSHOT_VERSION: u32 = 2;
+/// The oldest format version this build still reads (via migration).
+pub const SNAPSHOT_MIN_SUPPORTED_VERSION: u32 = 1;
 
 /// The deserialized content of a snapshot file.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -44,7 +66,7 @@ pub struct Snapshot {
     pub qfg: QueryFragmentGraph,
 }
 
-/// Serialize the serving state to `path` (atomic replace).
+/// Serialize the serving state to `path` (atomic replace, format v2).
 pub fn write_snapshot(
     path: &Path,
     log: &QueryLog,
@@ -70,7 +92,8 @@ pub fn write_snapshot(
 
 /// Read and validate a snapshot, rejecting wrong magic, unsupported versions
 /// and — crucially — snapshots captured at a different obscurity level than
-/// `expected`.
+/// `expected`.  Version 1 snapshots are migrated on the fly (see the module
+/// docs); version 2 is read natively.
 pub fn read_snapshot(path: &Path, expected: Obscurity) -> Result<Snapshot, SnapshotError> {
     let text = fs::read_to_string(path)?;
     let (header, body) = text.split_once('\n').ok_or(SnapshotError::BadMagic)?;
@@ -83,7 +106,7 @@ pub fn read_snapshot(path: &Path, expected: Obscurity) -> Result<Snapshot, Snaps
         .and_then(|v| v.strip_prefix('v'))
         .and_then(|v| v.parse::<u32>().ok())
         .ok_or(SnapshotError::BadMagic)?;
-    if version != SNAPSHOT_VERSION {
+    if !(SNAPSHOT_MIN_SUPPORTED_VERSION..=SNAPSHOT_VERSION).contains(&version) {
         return Err(SnapshotError::UnsupportedVersion {
             found: version,
             supported: SNAPSHOT_VERSION,
@@ -100,8 +123,11 @@ pub fn read_snapshot(path: &Path, expected: Obscurity) -> Result<Snapshot, Snaps
             found: obscurity,
         });
     }
-    let snapshot: Snapshot =
-        serde_json::from_str(body).map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+    let snapshot = match version {
+        1 => migrate_v1(body, obscurity)?,
+        _ => serde_json::from_str::<Snapshot>(body)
+            .map_err(|e| SnapshotError::Corrupt(e.to_string()))?,
+    };
     if snapshot.qfg.obscurity() != obscurity {
         return Err(SnapshotError::Corrupt(
             "body obscurity disagrees with header".to_string(),
@@ -110,8 +136,81 @@ pub fn read_snapshot(path: &Path, expected: Obscurity) -> Result<Snapshot, Snaps
     Ok(snapshot)
 }
 
+/// Load a v1 body: deserialize the stored log and rebuild the columnar graph
+/// from it.  Ingest-from-empty equals the batch build the v1 writer
+/// serialized (property-tested), so translations served from the migrated
+/// state are identical.
+fn migrate_v1(body: &str, obscurity: Obscurity) -> Result<Snapshot, SnapshotError> {
+    let value = serde_json::parse_value(body).map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+    let entries = value
+        .as_map()
+        .ok_or_else(|| SnapshotError::Corrupt("v1 body is not a JSON object".to_string()))?;
+    let log_value = entries
+        .iter()
+        .find(|(k, _)| k == "log")
+        .map(|(_, v)| v)
+        .ok_or_else(|| SnapshotError::Corrupt("v1 body is missing its log".to_string()))?;
+    let log = QueryLog::from_value(log_value)
+        .map_err(|e| SnapshotError::Corrupt(format!("v1 log: {e}")))?;
+    let qfg = QueryFragmentGraph::build(&log, obscurity);
+    Ok(Snapshot { log, qfg })
+}
+
 fn parse_obscurity(name: &str) -> Option<Obscurity> {
     Obscurity::ALL.into_iter().find(|o| o.name() == name)
+}
+
+/// Write a snapshot in the retired v1 format: `n_v` as `[fragment, count]`
+/// pairs and `n_e` as `[[fragment, fragment], count]` pairs, both in the
+/// canonical serde ordering the old derived writer produced.  Kept only so
+/// tests can prove the migration path against byte-faithful v1 artifacts.
+#[cfg(test)]
+pub(crate) fn write_snapshot_v1(
+    path: &Path,
+    log: &QueryLog,
+    qfg: &QueryFragmentGraph,
+) -> Result<(), SnapshotError> {
+    use serde::{canonical_cmp, Value};
+    let header = format!("{SNAPSHOT_MAGIC} v1 obscurity={}\n", qfg.obscurity().name());
+    let mut occurrence_pairs: Vec<Value> = qfg
+        .fragments()
+        .map(|(fragment, count)| Value::Seq(vec![fragment.to_value(), Value::U64(count)]))
+        .collect();
+    occurrence_pairs.sort_by(canonical_cmp);
+    let mut co_occurrence_pairs: Vec<Value> = qfg
+        .co_occurrence_entries()
+        .into_iter()
+        .map(|(a, b, count)| {
+            // The v1 map key was the pair with the lexicographically smaller
+            // fragment first.
+            let (first, second) = if a <= b { (a, b) } else { (b, a) };
+            Value::Seq(vec![
+                Value::Seq(vec![first.to_value(), second.to_value()]),
+                Value::U64(count),
+            ])
+        })
+        .collect();
+    co_occurrence_pairs.sort_by(canonical_cmp);
+    let qfg_value = Value::Map(vec![
+        ("obscurity".to_string(), qfg.obscurity().to_value()),
+        ("occurrences".to_string(), Value::Seq(occurrence_pairs)),
+        (
+            "co_occurrences".to_string(),
+            Value::Seq(co_occurrence_pairs),
+        ),
+        (
+            "query_count".to_string(),
+            Value::U64(qfg.query_count() as u64),
+        ),
+    ]);
+    let body_value = Value::Map(vec![
+        ("log".to_string(), log.to_value()),
+        ("qfg".to_string(), qfg_value),
+    ]);
+    let body =
+        serde_json::to_string(&body_value).map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+    fs::write(path, header + &body)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -148,6 +247,39 @@ mod tests {
     }
 
     #[test]
+    fn written_snapshots_carry_the_v2_header() {
+        let (log, qfg) = sample_state(Obscurity::NoConstOp);
+        let path = temp_path("v2header");
+        write_snapshot(&path, &log, &qfg).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("TEMPLAR-SNAPSHOT v2 obscurity=NoConstOp\n"));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_snapshots_migrate_to_identical_state() {
+        let (log, qfg) = sample_state(Obscurity::NoConstOp);
+        let path = temp_path("v1migrate");
+        write_snapshot_v1(&path, &log, &qfg).unwrap();
+        let migrated = read_snapshot(&path, Obscurity::NoConstOp).unwrap();
+        assert_eq!(migrated.log, log);
+        assert_eq!(migrated.qfg, qfg, "migrated counts must be identical");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_snapshots_respect_the_obscurity_gate() {
+        let (log, qfg) = sample_state(Obscurity::NoConst);
+        let path = temp_path("v1gate");
+        write_snapshot_v1(&path, &log, &qfg).unwrap();
+        assert!(matches!(
+            read_snapshot(&path, Obscurity::NoConstOp),
+            Err(SnapshotError::ObscurityMismatch { .. })
+        ));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn obscurity_mismatch_is_rejected() {
         let (log, qfg) = sample_state(Obscurity::NoConst);
         let path = temp_path("mismatch");
@@ -165,7 +297,7 @@ mod tests {
     #[test]
     fn bad_magic_and_bad_version_are_rejected() {
         let path = temp_path("magic");
-        fs::write(&path, "NOT-A-SNAPSHOT v1 obscurity=Full\n{}").unwrap();
+        fs::write(&path, "NOT-A-SNAPSHOT v2 obscurity=Full\n{}").unwrap();
         assert!(matches!(
             read_snapshot(&path, Obscurity::Full),
             Err(SnapshotError::BadMagic)
@@ -175,6 +307,11 @@ mod tests {
             read_snapshot(&path, Obscurity::Full),
             Err(SnapshotError::UnsupportedVersion { found: 99, .. })
         ));
+        fs::write(&path, "TEMPLAR-SNAPSHOT v0 obscurity=Full\n{}").unwrap();
+        assert!(matches!(
+            read_snapshot(&path, Obscurity::Full),
+            Err(SnapshotError::UnsupportedVersion { found: 0, .. })
+        ));
         fs::remove_file(&path).ok();
     }
 
@@ -183,7 +320,7 @@ mod tests {
         let path = temp_path("corrupt");
         fs::write(
             &path,
-            "TEMPLAR-SNAPSHOT v1 obscurity=NoConstOp\n{this is not json",
+            "TEMPLAR-SNAPSHOT v2 obscurity=NoConstOp\n{this is not json",
         )
         .unwrap();
         assert!(matches!(
@@ -191,5 +328,171 @@ mod tests {
             Err(SnapshotError::Corrupt(_))
         ));
         fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_header_is_rejected() {
+        let path = temp_path("corrupt-header");
+        // Version present but obscurity mangled.
+        fs::write(&path, "TEMPLAR-SNAPSHOT v2 obscurity=Sideways\n{}").unwrap();
+        assert!(matches!(
+            read_snapshot(&path, Obscurity::NoConstOp),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        // Obscurity field missing entirely.
+        fs::write(&path, "TEMPLAR-SNAPSHOT v2\n{}").unwrap();
+        assert!(matches!(
+            read_snapshot(&path, Obscurity::NoConstOp),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_csr_is_rejected_as_corrupt() {
+        let (log, qfg) = sample_state(Obscurity::NoConstOp);
+        let path = temp_path("truncated-csr");
+        write_snapshot(&path, &log, &qfg).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        // Drop one entry from the counts column: offsets now promise more
+        // edges than the columns hold.
+        let truncated = {
+            let marker = "\"counts\":[";
+            let start = text.find(marker).expect("counts column present") + marker.len();
+            let end = text[start..].find(']').unwrap() + start;
+            let column = &text[start..end];
+            let shorter = match column.rfind(',') {
+                Some(last_comma) => &column[..last_comma],
+                None => "",
+            };
+            format!("{}{}{}", &text[..start], shorter, &text[end..])
+        };
+        fs::write(&path, truncated).unwrap();
+        match read_snapshot(&path, Obscurity::NoConstOp) {
+            Err(SnapshotError::Corrupt(detail)) => {
+                assert!(detail.contains("truncated CSR"), "detail was: {detail}")
+            }
+            other => panic!("expected Corrupt for a truncated CSR, got {other:?}"),
+        }
+        fs::remove_file(&path).ok();
+    }
+
+    /// The end-to-end migration proof: a service state persisted with the
+    /// old v1 writer restores through the v2 loader and serves *identical*
+    /// translations (queries and scores) to the same state persisted as v2.
+    #[test]
+    fn v1_snapshot_restores_and_serves_identically_under_v2() {
+        use crate::config::ServiceConfig;
+        use crate::server::TemplarService;
+        use nlidb::Nlq;
+        use relational::{DataType, Database, Schema};
+        use sqlparse::BinOp;
+        use std::sync::Arc;
+        use templar_core::{Keyword, KeywordMetadata, TemplarConfig};
+
+        let schema = Schema::builder("academic")
+            .relation(
+                "publication",
+                &[
+                    ("pid", relational::DataType::Integer),
+                    ("title", DataType::Text),
+                    ("year", DataType::Integer),
+                    ("jid", DataType::Integer),
+                ],
+                Some("pid"),
+            )
+            .relation(
+                "journal",
+                &[("jid", DataType::Integer), ("name", DataType::Text)],
+                Some("jid"),
+            )
+            .foreign_key("publication", "jid", "journal", "jid")
+            .build();
+        let mut db = Database::new(schema);
+        db.insert(
+            "publication",
+            vec![1.into(), "Query Processing".into(), 2003.into(), 1.into()],
+        )
+        .unwrap();
+        db.insert("journal", vec![1.into(), "TKDE".into()]).unwrap();
+        let db = Arc::new(db);
+
+        let (log, skipped) = QueryLog::from_sql([
+            "SELECT p.title FROM publication p WHERE p.year > 1995",
+            "SELECT j.name FROM journal j",
+            "SELECT p.title FROM publication p, journal j WHERE j.name = 'TKDE' AND p.jid = j.jid",
+        ]);
+        assert_eq!(skipped, 0);
+        let qfg = QueryFragmentGraph::build(&log, Obscurity::NoConstOp);
+        let v1_path = temp_path("serve-v1");
+        let v2_path = temp_path("serve-v2");
+        write_snapshot_v1(&v1_path, &log, &qfg).unwrap();
+        write_snapshot(&v2_path, &log, &qfg).unwrap();
+
+        let nlq = Nlq::new(
+            "Return the papers after 2000",
+            vec![
+                (Keyword::new("papers"), KeywordMetadata::select()),
+                (
+                    Keyword::new("after 2000"),
+                    KeywordMetadata::filter_with_op(BinOp::Gt),
+                ),
+            ],
+            vec![],
+        );
+        let from_v1 = TemplarService::spawn_from_snapshot(
+            Arc::clone(&db),
+            &v1_path,
+            TemplarConfig::paper_defaults(),
+            ServiceConfig::default(),
+        )
+        .expect("v1 snapshots must keep loading via the migration path");
+        let from_v2 = TemplarService::spawn_from_snapshot(
+            db,
+            &v2_path,
+            TemplarConfig::paper_defaults(),
+            ServiceConfig::default(),
+        )
+        .unwrap();
+        let a = from_v1.translate(&nlq).unwrap();
+        let b = from_v2.translate(&nlq).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.query.to_string(), y.query.to_string());
+            assert!((x.score - y.score).abs() < 1e-12);
+        }
+        // Re-saving the migrated state produces a v2 snapshot.
+        from_v1.save_snapshot(&v1_path).unwrap();
+        let text = fs::read_to_string(&v1_path).unwrap();
+        assert!(text.starts_with("TEMPLAR-SNAPSHOT v2 "));
+        fs::remove_file(&v1_path).ok();
+        fs::remove_file(&v2_path).ok();
+    }
+
+    #[test]
+    fn v2_snapshots_are_smaller_than_v1() {
+        // The columnar body writes each fragment once; the v1 pair encoding
+        // repeated fragments once per incident edge.
+        let mut sql: Vec<String> = Vec::new();
+        for year in 0..40 {
+            sql.push(format!(
+                "SELECT p.title, j.name FROM publication p, journal j \
+                 WHERE p.jid = j.jid AND p.year > {year}"
+            ));
+        }
+        let (log, _) = QueryLog::from_sql(sql.iter().map(String::as_str));
+        let qfg = QueryFragmentGraph::build(&log, Obscurity::NoConstOp);
+        let v1 = temp_path("size-v1");
+        let v2 = temp_path("size-v2");
+        write_snapshot_v1(&v1, &log, &qfg).unwrap();
+        write_snapshot(&v2, &log, &qfg).unwrap();
+        let v1_len = fs::metadata(&v1).unwrap().len();
+        let v2_len = fs::metadata(&v2).unwrap().len();
+        assert!(
+            v2_len < v1_len,
+            "v2 snapshot ({v2_len} B) should be smaller than v1 ({v1_len} B)"
+        );
+        fs::remove_file(&v1).ok();
+        fs::remove_file(&v2).ok();
     }
 }

@@ -270,6 +270,32 @@ fn snapshot_round_trip_restores_the_serving_state() {
 }
 
 #[test]
+fn spawn_from_sql_counts_skipped_statements() {
+    let service = TemplarService::spawn_from_sql(
+        academic_db(),
+        [
+            "SELECT p.title FROM publication p WHERE p.year > 1995",
+            "% totally not SQL %",
+            "SELECT j.name FROM journal j",
+            "ALSO NOT SQL",
+        ],
+        TemplarConfig::paper_defaults(),
+        fast_refresh(),
+    )
+    .unwrap();
+    let m = service.metrics();
+    assert_eq!(m.log_skipped_statements, 2);
+    assert_eq!(m.qfg_queries, 2);
+    // The live-path parse-error counter stays independent.
+    assert_eq!(m.ingest_parse_errors, 0);
+    // Columnar gauges are populated: a published snapshot is compacted.
+    assert_eq!(m.qfg_pending_deltas, 0);
+    assert!(m.qfg_interned_fragments >= m.qfg_fragments);
+    assert_eq!(m.qfg_csr_edges, m.qfg_edges);
+    assert!(m.qfg_compactions >= 1);
+}
+
+#[test]
 fn snapshot_with_wrong_obscurity_is_refused() {
     let dir = std::env::temp_dir();
     let path = dir.join(format!("templar-svc-obsc-{}.snap", std::process::id()));

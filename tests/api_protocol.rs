@@ -256,6 +256,50 @@ fn unknown_tenant_is_a_typed_error() {
 }
 
 #[test]
+fn metrics_flow_over_the_wire_per_tenant() {
+    let registry = two_tenant_registry();
+    let client = RegistryClient::new(&registry);
+
+    // Serve one translation and feed one malformed + one good SQL line, so
+    // the counters have something to show.
+    client
+        .translate(TranslateRequest::new(
+            "academic",
+            "papers after 2000",
+            academic_keywords(),
+        ))
+        .unwrap();
+    client
+        .submit_sql("academic", "SELECT j.name FROM journal j")
+        .unwrap();
+    registry.get("academic").unwrap().flush();
+
+    let academic = client.metrics("academic").unwrap();
+    assert_eq!(academic.translations_served, 1);
+    assert_eq!(academic.ingest_applied, 1);
+    assert!(academic.qfg_queries >= 1);
+    // The columnar data plane is visible over the wire: a published
+    // snapshot is compacted (no pending deltas) and the CSR carries every
+    // live edge.
+    assert_eq!(academic.qfg_pending_deltas, 0);
+    assert_eq!(academic.qfg_csr_edges, academic.qfg_edges);
+    assert!(academic.qfg_interned_fragments >= academic.qfg_fragments);
+    assert!(academic.qfg_compactions >= 1);
+
+    // Tenants do not bleed into each other.
+    let store = client.metrics("store").unwrap();
+    assert_eq!(store.translations_served, 0);
+
+    // Unknown tenants surface the usual typed error.
+    assert_eq!(
+        client.metrics("warehouse").unwrap_err(),
+        ApiError::UnknownTenant {
+            tenant: "warehouse".to_string()
+        }
+    );
+}
+
+#[test]
 fn version_mismatched_and_malformed_envelopes_are_rejected() {
     let registry = two_tenant_registry();
 

@@ -9,11 +9,33 @@
 //!
 //! Good enough to compare orders of magnitude and to verify that benches
 //! compile and run; not a substitute for criterion's confidence intervals.
+//!
+//! Like real criterion, passing `--test` to the bench binary
+//! (`cargo bench -- --test`) switches to **smoke mode**: every benchmark
+//! body runs exactly once, unmeasured.  CI uses this to prove the benches
+//! compile and execute on every change without paying measurement time.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// Re-exported std black box.
 pub use std::hint::black_box;
+
+/// Smoke mode: run each benchmark body once, skip warm-up and measurement.
+static SMOKE_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Inspect the bench binary's CLI arguments; called by [`criterion_main!`].
+/// Recognizes criterion's `--test` flag (smoke mode).
+#[doc(hidden)]
+pub fn configure_from_args() {
+    if std::env::args().any(|arg| arg == "--test") {
+        SMOKE_MODE.store(true, Ordering::Relaxed);
+    }
+}
+
+fn smoke_mode() -> bool {
+    SMOKE_MODE.load(Ordering::Relaxed)
+}
 
 /// Target measurement budget per benchmark.
 const MEASURE_BUDGET: Duration = Duration::from_millis(300);
@@ -87,6 +109,13 @@ pub struct Bencher {
 
 impl Bencher {
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if smoke_mode() {
+            // Smoke mode: execute the body once so panics and logic errors
+            // surface, without timing anything.
+            black_box(f());
+            self.measured = Some((Duration::ZERO, 0));
+            return;
+        }
         // Warm-up: run until the warm-up budget is spent (at least once).
         let warmup_start = Instant::now();
         let mut warmup_iters: u64 = 0;
@@ -130,6 +159,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, f: &mut F) {
     };
     f(&mut bencher);
     match bencher.measured {
+        Some((_, 0)) if smoke_mode() => println!("{id:<50} (smoke: ran once, unmeasured)"),
         Some((total, iters)) if iters > 0 => {
             let mean = total.as_nanos() as f64 / iters as f64;
             println!(
@@ -164,11 +194,12 @@ macro_rules! criterion_group {
     };
 }
 
-/// Emit `main` running the given groups.
+/// Emit `main` running the given groups (honouring `--test` smoke mode).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            $crate::configure_from_args();
             $($group();)+
         }
     };
