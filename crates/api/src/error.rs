@@ -108,6 +108,11 @@ pub enum ApiError {
         /// The I/O diagnostic.
         detail: String,
     },
+    /// The durable ingest path (write-ahead journal / checkpoint) failed.
+    Durability {
+        /// The journal or checkpoint diagnostic.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ApiError {
@@ -132,6 +137,7 @@ impl fmt::Display for ApiError {
                 write!(f, "snapshot rejected: {rejection}")
             }
             ApiError::SnapshotIo { detail } => write!(f, "snapshot io error: {detail}"),
+            ApiError::Durability { detail } => write!(f, "durability error: {detail}"),
         }
     }
 }
@@ -193,6 +199,9 @@ mod tests {
             },
             ApiError::SnapshotIo {
                 detail: "permission denied".into(),
+            },
+            ApiError::Durability {
+                detail: "corrupt journal segment wal-0.seg: CRC mismatch".into(),
             },
         ]
     }

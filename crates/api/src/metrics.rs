@@ -36,6 +36,23 @@ pub struct MetricsReport {
     pub log_evictions: u64,
     /// Snapshots published since start.
     pub snapshot_swaps: u64,
+    /// Accepted-SQL feedback entries received over the `Feedback` request
+    /// (a subset of `ingest_submitted`).
+    pub feedback_accepted: u64,
+    /// Write-ahead journal counters (0 on a non-durable tenant): records
+    /// appended / fsyncs issued / records replayed at recovery / segments
+    /// garbage-collected / filesystem failures absorbed, plus the sequence
+    /// number of the last journal record applied (the next checkpoint's
+    /// watermark).
+    pub wal_appended: u64,
+    pub wal_fsyncs: u64,
+    pub wal_replayed: u64,
+    pub wal_segments_gc: u64,
+    pub wal_io_errors: u64,
+    /// Bytes cut off a torn journal tail at recovery (bounded data loss:
+    /// acknowledged-but-unsynced entries that did not survive a crash).
+    pub wal_truncated_bytes: u64,
+    pub wal_applied_seq: u64,
     /// Join-cache statistics of the current snapshot.
     pub join_cache_hits: u64,
     pub join_cache_misses: u64,
@@ -65,6 +82,12 @@ mod tests {
             qfg_csr_edges: 17,
             qfg_compactions: 3,
             log_skipped_statements: 2,
+            feedback_accepted: 4,
+            wal_appended: 9,
+            wal_fsyncs: 2,
+            wal_replayed: 5,
+            wal_segments_gc: 1,
+            wal_applied_seq: 9,
             ..MetricsReport::default()
         };
         let back: MetricsReport =

@@ -34,7 +34,18 @@ pub enum RequestBody {
         /// The SQL text to ingest.
         sql: String,
     },
-    /// Fetch a tenant's serving metrics (latency, ingestion, QFG and
+    /// Close the learning loop: the client *accepted* this SQL (ran it, or
+    /// a user approved the translation).  Rides the same durable ingest
+    /// path as `SubmitSql` — journaled before it is applied on a durable
+    /// tenant — and is counted separately (`feedback_accepted`), so the
+    /// loop's close rate is observable.
+    Feedback {
+        /// The tenant whose log learns from the acceptance.
+        tenant: String,
+        /// The accepted SQL text.
+        sql: String,
+    },
+    /// Fetch a tenant's serving metrics (latency, ingestion, durability and
     /// columnar data-plane gauges).
     Metrics {
         /// The tenant whose metrics are requested.
@@ -49,8 +60,12 @@ pub enum ResponseBody {
     Translated(TranslateResponse),
     /// The SQL was accepted into the tenant's ingestion queue.
     SqlAccepted,
-    /// The tenant's point-in-time metrics.
-    Metrics(MetricsReport),
+    /// The feedback was accepted into the tenant's ingestion queue.
+    FeedbackAccepted,
+    /// The tenant's point-in-time metrics (boxed: the report is an order of
+    /// magnitude larger than the other variants, and every response would
+    /// otherwise pay its stack size).
+    Metrics(Box<MetricsReport>),
 }
 
 /// A versioned request envelope.
@@ -240,6 +255,24 @@ mod tests {
     }
 
     #[test]
+    fn feedback_round_trips() {
+        let envelope = RequestEnvelope::new(
+            8,
+            RequestBody::Feedback {
+                tenant: "mas".into(),
+                sql: "SELECT p.title FROM publication p WHERE p.year > 2000".into(),
+            },
+        );
+        let back = decode_request(&encode_request(&envelope)).unwrap();
+        assert_eq!(back, envelope);
+        let response = ResponseEnvelope::success(8, ResponseBody::FeedbackAccepted);
+        assert_eq!(
+            decode_response(&encode_response(&response)).unwrap(),
+            response
+        );
+    }
+
+    #[test]
     fn metrics_bodies_round_trip() {
         let request = RequestEnvelope::new(
             9,
@@ -255,7 +288,7 @@ mod tests {
             log_skipped_statements: 1,
             ..MetricsReport::default()
         };
-        let response = ResponseEnvelope::success(9, ResponseBody::Metrics(report));
+        let response = ResponseEnvelope::success(9, ResponseBody::Metrics(Box::new(report)));
         let line = encode_response(&response);
         assert_eq!(decode_response(&line).unwrap(), response);
     }

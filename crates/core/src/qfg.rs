@@ -182,8 +182,35 @@ impl FragmentInterner {
     }
 
     /// Release a dead fragment's id back to the free list.
+    ///
+    /// # Why recycling cannot leak stale state (audit)
+    ///
+    /// A slot is only released when its occurrence count reaches 0, and
+    /// `n_e(c, x) ≤ n_v(c)` holds for every pair (maintained by `ingest` /
+    /// `remove`), so at release time every pair touching the slot has **net
+    /// count 0**.  That net 0 may be represented as "no entry anywhere" *or*
+    /// as a positive CSR baseline exactly cancelled by pending negative
+    /// deltas — both read as 0 and both compact to the edge's removal.  A
+    /// fragment later interned into the recycled slot therefore starts from
+    /// occurrence 0 (`remove` zeroed the column) and net-0 pairs, no matter
+    /// how many compactions happen between the release and the re-intern;
+    /// its first co-occurrence bump lands *on top of* any leftover
+    /// cancelled baseline and nets to exactly 1.  The
+    /// `recycled_ids_never_inherit_stale_state` property test in
+    /// `tests/qfg_properties.rs` pins this under arbitrary
+    /// remove → compact-interleaved → re-intern schedules.
     fn release(&mut self, id: FragmentId) {
-        self.ids.remove(&self.fragments[id.index()]);
+        let removed = self.ids.remove(&self.fragments[id.index()]);
+        debug_assert_eq!(
+            removed,
+            Some(id),
+            "released a slot whose fragment was not live under that id"
+        );
+        debug_assert!(
+            !self.free.contains(&id.0),
+            "double-release of fragment id {}",
+            id.0
+        );
         self.free.push(id.0);
     }
 
@@ -311,9 +338,24 @@ impl QueryFragmentGraph {
         let fragments = Self::distinct_fragments(query, self.obscurity);
         let mut ids: Vec<u32> = Vec::with_capacity(fragments.len());
         for f in &fragments {
+            #[cfg(debug_assertions)]
+            let was_live = self.interner.get(f).is_some();
             let id = self.interner.intern(f);
             if id.index() >= self.occurrences.len() {
                 self.occurrences.resize(id.index() + 1, 0);
+            }
+            // A freshly interned fragment — whether its slot is brand new or
+            // recycled — must start from a zeroed occurrence column; a
+            // recycled slot inheriting the old tenant's count would inflate
+            // n_v (and every Dice denominator) silently.
+            #[cfg(debug_assertions)]
+            if !was_live {
+                debug_assert_eq!(
+                    self.occurrences[id.index()],
+                    0,
+                    "recycled slot {} inherited a stale occurrence count",
+                    id.index()
+                );
             }
             self.occurrences[id.index()] += 1;
             ids.push(id.0);

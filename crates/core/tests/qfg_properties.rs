@@ -308,6 +308,85 @@ proptest! {
         }
     }
 
+    /// Id-recycling audit (remove → compact-interleaved → re-intern): after
+    /// removing *every* base query — releasing every fragment slot, with
+    /// compactions interleaved at seed-chosen points so the cancelled
+    /// baselines are folded away at different stages — re-ingesting a fresh
+    /// log must intern new fragments into the recycled slots without
+    /// inheriting stale occurrence counts or pending delta-log entries
+    /// addressed to the slots' previous tenants.  The recycled graph is
+    /// checked observation-for-observation against the map-based reference
+    /// model (which has no ids to recycle) and against a from-scratch build
+    /// of the second log.
+    #[test]
+    fn recycled_ids_never_inherit_stale_state(
+        base in log_strategy(),
+        extra in log_strategy(),
+        compact_seed in any::<u64>(),
+    ) {
+        for obscurity in Obscurity::ALL {
+            let base_log = parse_log(&base);
+            let extra_log = parse_log(&extra);
+            let mut graph = QueryFragmentGraph::build(&base_log, obscurity);
+            let slots_before = graph.interned_len();
+
+            // Remove everything, compacting at seed-chosen interleavings so
+            // the release → compact → re-intern orderings all get exercised
+            // across cases (including "no compaction at all" and
+            // "compaction between every removal").
+            let mut rng = StdRng::seed_from_u64(compact_seed);
+            for query in base_log.queries() {
+                prop_assert!(graph.remove(query));
+                if rng.next_u64() % 3 == 0 {
+                    graph.compact();
+                }
+            }
+            prop_assert_eq!(graph.fragment_count(), 0);
+            prop_assert_eq!(graph.edge_count(), 0);
+
+            // Re-ingest a different log into the recycled slots, against the
+            // reference model built fresh (the model never recycles —
+            // fragments are its keys — so any inherited state diverges).
+            let mut model = ModelQfg::default();
+            for query in extra_log.queries() {
+                model.ingest(query, obscurity);
+                graph.ingest(query);
+                if rng.next_u64() % 3 == 0 {
+                    graph.compact();
+                }
+            }
+            prop_assert!(
+                graph.interned_len() >= slots_before.min(graph.fragment_count()),
+                "the id table never shrinks"
+            );
+            prop_assert_eq!(model.query_count, graph.query_count());
+            prop_assert_eq!(model.occurrences.len(), graph.fragment_count());
+            prop_assert_eq!(model.co_occurrences.len(), graph.edge_count());
+            let fragments: Vec<QueryFragment> = model.occurrences.keys().cloned().collect();
+            for a in &fragments {
+                prop_assert_eq!(
+                    model.occurrences(a), graph.occurrences(a),
+                    "recycled slot inherited a stale occurrence for {}", a
+                );
+                for b in &fragments {
+                    prop_assert_eq!(
+                        model.co_occurrences(a, b), graph.co_occurrences(a, b),
+                        "recycled slot inherited a stale pair count for {} / {}", a, b
+                    );
+                    let (dm, dg) = (model.dice(a, b), graph.dice(a, b));
+                    prop_assert!(
+                        (dm - dg).abs() < 1e-12,
+                        "dice diverged on recycled ids for {} / {}: {} vs {}", a, b, dm, dg
+                    );
+                }
+            }
+            // And the recycled graph is observationally the graph a clean
+            // build of the second log produces.
+            let rebuilt = QueryFragmentGraph::build(&extra_log, obscurity);
+            prop_assert_eq!(&graph, &rebuilt);
+        }
+    }
+
     /// Dice stays within [0, 1] for arbitrary fragment pairs drawn from the
     /// graph, and is symmetric.
     #[test]

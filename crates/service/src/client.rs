@@ -63,12 +63,28 @@ impl<'a> RegistryClient<'a> {
         }
     }
 
+    /// Report accepted SQL back to a tenant — the client's half of the
+    /// learning loop.  The entry rides the same durable ingest path as
+    /// [`RegistryClient::submit_sql`] and is counted under
+    /// `feedback_accepted` in the tenant's metrics.
+    pub fn feedback(&self, tenant: &str, sql: &str) -> Result<(), ApiError> {
+        match self.roundtrip(RequestBody::Feedback {
+            tenant: tenant.to_string(),
+            sql: sql.to_string(),
+        })? {
+            ResponseBody::FeedbackAccepted => Ok(()),
+            other => Err(ApiError::MalformedEnvelope {
+                detail: format!("unexpected response body for Feedback: {other:?}"),
+            }),
+        }
+    }
+
     /// Fetch a tenant's serving metrics.
     pub fn metrics(&self, tenant: &str) -> Result<MetricsReport, ApiError> {
         match self.roundtrip(RequestBody::Metrics {
             tenant: tenant.to_string(),
         })? {
-            ResponseBody::Metrics(report) => Ok(report),
+            ResponseBody::Metrics(report) => Ok(*report),
             other => Err(ApiError::MalformedEnvelope {
                 detail: format!("unexpected response body for Metrics: {other:?}"),
             }),

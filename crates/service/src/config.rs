@@ -2,6 +2,41 @@
 
 use std::time::Duration;
 
+/// Durability tunables of the write-ahead ingest journal (see
+/// [`crate::wal`]).  Only consulted by services started through
+/// [`TemplarService::recover`](crate::TemplarService::recover) — a plain
+/// in-memory service never touches the filesystem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalConfig {
+    /// Fsync the journal once this many appended records are dirty
+    /// (group commit).  `1` fsyncs every record — maximum durability,
+    /// minimum throughput.
+    pub fsync_every: usize,
+    /// Also fsync when any record has been dirty this long, so a trickle of
+    /// ingests is never more than one interval away from durability.
+    pub fsync_interval: Duration,
+    /// Seal a segment file and start the next after this many records;
+    /// segments wholly below the snapshot watermark are garbage-collected.
+    pub segment_max_records: u64,
+    /// Upper bound on frames staged in memory awaiting a successful journal
+    /// write.  When a wedged disk keeps the buffer above this for a whole
+    /// batch cycle, the worker stops draining the queue, so producers see
+    /// [`ServiceError::QueueFull`](crate::ServiceError::QueueFull)
+    /// backpressure instead of the process growing without bound.
+    pub max_staged_bytes: usize,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            fsync_every: 16,
+            fsync_interval: Duration::from_millis(20),
+            segment_max_records: 8192,
+            max_staged_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
 /// Tunables of the [`TemplarService`](crate::TemplarService) serving loop.
 ///
 /// The Templar-level parameters (κ, λ, obscurity, …) stay in
@@ -26,6 +61,8 @@ pub struct ServiceConfig {
     /// are evicted (and removed from the QFG incrementally) beyond it.
     /// `None` keeps the log unbounded.
     pub max_log_entries: Option<usize>,
+    /// Write-ahead journal tunables (durable services only).
+    pub wal: WalConfig,
 }
 
 impl Default for ServiceConfig {
@@ -36,6 +73,7 @@ impl Default for ServiceConfig {
             refresh_interval: Duration::from_millis(250),
             ingest_batch: 128,
             max_log_entries: None,
+            wal: WalConfig::default(),
         }
     }
 }
@@ -64,6 +102,30 @@ impl ServiceConfig {
         self.max_log_entries = Some(n.max(1));
         self
     }
+
+    /// Fsync the journal after this many dirty records (clamped to ≥ 1).
+    pub fn with_wal_fsync_every(mut self, every: usize) -> Self {
+        self.wal.fsync_every = every.max(1);
+        self
+    }
+
+    /// Fsync the journal once any record has been dirty this long.
+    pub fn with_wal_fsync_interval(mut self, interval: Duration) -> Self {
+        self.wal.fsync_interval = interval;
+        self
+    }
+
+    /// Seal journal segments after this many records (clamped to ≥ 1).
+    pub fn with_wal_segment_max_records(mut self, records: u64) -> Self {
+        self.wal.segment_max_records = records.max(1);
+        self
+    }
+
+    /// Bound the journal's in-memory staging buffer (clamped to ≥ 1 KiB).
+    pub fn with_wal_max_staged_bytes(mut self, bytes: usize) -> Self {
+        self.wal.max_staged_bytes = bytes.max(1024);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -75,9 +137,13 @@ mod tests {
         let c = ServiceConfig::default()
             .with_queue_capacity(0)
             .with_refresh_every(0)
-            .with_max_log_entries(0);
+            .with_max_log_entries(0)
+            .with_wal_fsync_every(0)
+            .with_wal_segment_max_records(0);
         assert_eq!(c.queue_capacity, 1);
         assert_eq!(c.refresh_every, 1);
         assert_eq!(c.max_log_entries, Some(1));
+        assert_eq!(c.wal.fsync_every, 1);
+        assert_eq!(c.wal.segment_max_records, 1);
     }
 }

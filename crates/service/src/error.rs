@@ -16,6 +16,11 @@ pub enum ServiceError {
     Construction(TemplarError),
     /// Snapshot persistence failed.
     Snapshot(SnapshotError),
+    /// The write-ahead ingest journal failed (recovery or checkpointing).
+    Wal(WalError),
+    /// The operation requires a durable service (one started through
+    /// [`TemplarService::recover`](crate::TemplarService::recover)).
+    NotDurable,
 }
 
 impl fmt::Display for ServiceError {
@@ -25,6 +30,13 @@ impl fmt::Display for ServiceError {
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
             ServiceError::Construction(e) => write!(f, "construction error: {e}"),
             ServiceError::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            ServiceError::Wal(e) => write!(f, "write-ahead journal error: {e}"),
+            ServiceError::NotDurable => {
+                write!(
+                    f,
+                    "service has no durable directory (not started via recover)"
+                )
+            }
         }
     }
 }
@@ -40,6 +52,48 @@ impl From<SnapshotError> for ServiceError {
 impl From<TemplarError> for ServiceError {
     fn from(e: TemplarError) -> Self {
         ServiceError::Construction(e)
+    }
+}
+
+impl From<WalError> for ServiceError {
+    fn from(e: WalError) -> Self {
+        ServiceError::Wal(e)
+    }
+}
+
+/// Errors reading or writing the write-ahead ingest journal.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The journal's promise was broken below the truncatable tail: a torn
+    /// or gapped segment that is *not* the final one, or an undecodable
+    /// record.  Evidence the journal durably accepted is gone, so recovery
+    /// refuses to serve a silently thinner state.
+    Corrupt {
+        /// The segment file the damage was found in.
+        segment: String,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "io: {e}"),
+            WalError::Corrupt { segment, detail } => {
+                write!(f, "corrupt journal segment {segment}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
     }
 }
 
@@ -125,6 +179,12 @@ impl From<ServiceError> for ApiError {
             ServiceError::ShuttingDown => ApiError::ShuttingDown,
             ServiceError::Construction(error) => ApiError::Construction { error },
             ServiceError::Snapshot(snapshot) => snapshot.into(),
+            ServiceError::Wal(wal) => ApiError::Durability {
+                detail: wal.to_string(),
+            },
+            ServiceError::NotDurable => ApiError::Durability {
+                detail: "service has no durable directory".to_string(),
+            },
         }
     }
 }

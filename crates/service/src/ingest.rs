@@ -12,7 +12,7 @@
 use crate::error::ServiceError;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 #[derive(Debug)]
 struct QueueState {
@@ -58,16 +58,31 @@ impl IngestQueue {
     /// Dequeue up to `max` entries, waiting at most `timeout` for the first
     /// one.  Returns an empty vector on timeout or when the queue is closed
     /// and drained.
+    ///
+    /// The wait loops on the condvar against an absolute deadline: condvar
+    /// waits are allowed to wake spuriously (and `notify_all` from `close`
+    /// races benignly with late producers), so a single `wait_timeout` would
+    /// both return an empty batch early *and* shorten the effective
+    /// deadline — spinning the worker loop faster than its configured
+    /// refresh interval.  Waking with no entries before the deadline goes
+    /// back to sleep for exactly the time that remains.
     pub fn drain(&self, max: usize, timeout: Duration) -> Vec<String> {
+        let deadline = Instant::now() + timeout;
         let mut state = self.lock();
-        if state.entries.is_empty() && !state.closed {
-            let (next, _timed_out) =
-                self.not_empty
-                    .wait_timeout(state, timeout)
-                    .unwrap_or_else(|e| {
-                        let (guard, timeout_result) = e.into_inner();
-                        (guard, timeout_result)
-                    });
+        while state.entries.is_empty() && !state.closed {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                break;
+            };
+            if remaining.is_zero() {
+                break;
+            }
+            let (next, _timed_out) = self
+                .not_empty
+                .wait_timeout(state, remaining)
+                .unwrap_or_else(|e| {
+                    let (guard, timeout_result) = e.into_inner();
+                    (guard, timeout_result)
+                });
             state = next;
         }
         let take = state.entries.len().min(max.max(1));
@@ -134,6 +149,52 @@ mod tests {
         let batch = q.drain(4, Duration::from_millis(20));
         assert!(batch.is_empty());
         assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    /// Regression: `drain` used to issue a single `wait_timeout`, so any
+    /// wakeup without entries — a spurious one, or a racing `notify_all` —
+    /// returned an empty batch before the deadline and shortened the
+    /// worker's sleep.  The loop must absorb such wakeups and keep waiting
+    /// out the full deadline.
+    #[test]
+    fn spurious_wakeups_do_not_end_the_wait_early() {
+        let q = Arc::new(IngestQueue::new(8));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let start = Instant::now();
+                let batch = q.drain(4, Duration::from_millis(200));
+                (batch, start.elapsed())
+            })
+        };
+        // Hammer the condvar with entry-less notifications well before the
+        // deadline — exactly what a spurious wakeup looks like to `drain`.
+        for _ in 0..10 {
+            std::thread::sleep(Duration::from_millis(5));
+            q.not_empty.notify_all();
+        }
+        let (batch, waited) = consumer.join().unwrap();
+        assert!(batch.is_empty(), "no entries were ever enqueued");
+        assert!(
+            waited >= Duration::from_millis(150),
+            "an entry-less wakeup must not end the wait early (waited {waited:?})"
+        );
+    }
+
+    /// A real entry arriving after a burst of spurious wakeups is still
+    /// delivered promptly — the loop re-checks the queue on every wake.
+    #[test]
+    fn entries_after_spurious_wakeups_are_still_delivered() {
+        let q = Arc::new(IngestQueue::new(8));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.drain(4, Duration::from_secs(30)))
+        };
+        std::thread::sleep(Duration::from_millis(5));
+        q.not_empty.notify_all(); // spurious
+        std::thread::sleep(Duration::from_millis(5));
+        q.submit("real".into()).unwrap();
+        assert_eq!(consumer.join().unwrap(), vec!["real".to_string()]);
     }
 
     #[test]

@@ -15,6 +15,11 @@
 //!   translation threads and the worker,
 //! * [`snapshot`] — versioned on-disk persistence of the log + QFG so a
 //!   restart does not replay the whole log,
+//! * [`wal`] — the write-ahead ingest journal: accepted entries are
+//!   journaled (CRC-framed, fsync-batched segments) *before* they are
+//!   applied, and [`server::TemplarService::recover`] restores a crashed
+//!   service from latest-snapshot + journal-tail, torn final record
+//!   truncated,
 //! * [`metrics::ServiceMetrics`] — translations served, latency quantiles,
 //!   ingest lag, QFG size and join-cache statistics as plain data,
 //! * [`config::ServiceConfig`] / [`error::ServiceError`] — operational
@@ -40,12 +45,16 @@ pub mod metrics;
 pub mod registry;
 pub mod server;
 pub mod snapshot;
+pub mod wal;
 
 pub use client::RegistryClient;
-pub use config::ServiceConfig;
-pub use error::{ServiceError, SnapshotError};
+pub use config::{ServiceConfig, WalConfig};
+pub use error::{ServiceError, SnapshotError, WalError};
 pub use ingest::IngestQueue;
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
 pub use registry::TenantRegistry;
-pub use server::TemplarService;
-pub use snapshot::{read_snapshot, write_snapshot, Snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use server::{TemplarService, LOCK_FILE, SNAPSHOT_FILE, WAL_DIR};
+pub use snapshot::{
+    read_snapshot, read_snapshot_with_watermark, write_snapshot, write_snapshot_with_watermark,
+    Snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};

@@ -21,6 +21,13 @@ pub struct ServiceMetrics {
     log_skipped_statements: AtomicU64,
     evictions: AtomicU64,
     snapshot_swaps: AtomicU64,
+    feedback_accepted: AtomicU64,
+    wal_appended: AtomicU64,
+    wal_fsyncs: AtomicU64,
+    wal_replayed: AtomicU64,
+    wal_segments_gc: AtomicU64,
+    wal_io_errors: AtomicU64,
+    wal_truncated_bytes: AtomicU64,
     latency_buckets: LatencyHistogram,
 }
 
@@ -109,6 +116,38 @@ impl ServiceMetrics {
         self.snapshot_swaps.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_feedback(&self) {
+        self.feedback_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_wal_appended(&self, n: u64) {
+        self.wal_appended.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_wal_fsync(&self) {
+        self.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_wal_replayed(&self, n: u64) {
+        self.wal_replayed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_wal_segments_gc(&self, n: u64) {
+        self.wal_segments_gc.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_wal_io_error(&self) {
+        self.wal_io_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_wal_io_errors(&self, n: u64) {
+        self.wal_io_errors.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_wal_truncated(&self, bytes: u64) {
+        self.wal_truncated_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     pub(crate) fn ingest_applied_total(&self) -> u64 {
         self.ingest_applied.load(Ordering::Relaxed)
             + self.ingest_parse_errors.load(Ordering::Relaxed)
@@ -149,6 +188,14 @@ impl ServiceMetrics {
                 .saturating_sub(self.ingest_applied_total()),
             log_evictions: self.evictions.load(Ordering::Relaxed),
             snapshot_swaps: self.snapshot_swaps.load(Ordering::Relaxed),
+            feedback_accepted: self.feedback_accepted.load(Ordering::Relaxed),
+            wal_appended: self.wal_appended.load(Ordering::Relaxed),
+            wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
+            wal_replayed: self.wal_replayed.load(Ordering::Relaxed),
+            wal_segments_gc: self.wal_segments_gc.load(Ordering::Relaxed),
+            wal_io_errors: self.wal_io_errors.load(Ordering::Relaxed),
+            wal_truncated_bytes: self.wal_truncated_bytes.load(Ordering::Relaxed),
+            wal_applied_seq: 0,
             join_cache_hits: 0,
             join_cache_misses: 0,
             join_cache_evictions: 0,
@@ -194,6 +241,26 @@ pub struct MetricsSnapshot {
     pub log_evictions: u64,
     /// Snapshots published since start.
     pub snapshot_swaps: u64,
+    /// Accepted-SQL feedback entries received over the `Feedback` wire
+    /// request (a subset of `ingest_submitted` — feedback rides the same
+    /// durable ingest path).
+    pub feedback_accepted: u64,
+    /// Write-ahead journal counters (all 0 on a non-durable service):
+    /// records appended / fsyncs issued / records replayed at recovery /
+    /// segments garbage-collected below the snapshot watermark / append or
+    /// fsync failures (entries *not* covered by the journal).
+    pub wal_appended: u64,
+    pub wal_fsyncs: u64,
+    pub wal_replayed: u64,
+    pub wal_segments_gc: u64,
+    pub wal_io_errors: u64,
+    /// Bytes cut off a torn journal tail at recovery — a non-zero value is
+    /// the signature of actual (bounded, expected) data loss: one or more
+    /// acknowledged-but-unsynced entries did not survive the crash.
+    pub wal_truncated_bytes: u64,
+    /// Sequence number of the last journal record applied to the master
+    /// state — the watermark the next checkpoint will record.
+    pub wal_applied_seq: u64,
     /// Join-cache statistics of the *current* snapshot (reset at swap):
     /// hits / misses / entries evicted under the capacity bound / resident
     /// entries.

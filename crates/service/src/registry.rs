@@ -91,6 +91,14 @@ impl TenantRegistry {
         self.get(tenant)?.submit_sql(sql).map_err(ApiError::from)
     }
 
+    /// Route one accepted-SQL feedback entry: same durable ingest path as
+    /// [`TenantRegistry::submit_sql`], counted under `feedback_accepted`.
+    pub fn feedback(&self, tenant: &str, sql: &str) -> Result<(), ApiError> {
+        self.get(tenant)?
+            .submit_feedback(sql)
+            .map_err(ApiError::from)
+    }
+
     /// Fetch one tenant's serving metrics in wire form.
     pub fn metrics(&self, tenant: &str) -> Result<MetricsReport, ApiError> {
         Ok(metrics_report(&self.get(tenant)?.metrics()))
@@ -113,7 +121,12 @@ impl TenantRegistry {
             RequestBody::SubmitSql { tenant, sql } => self
                 .submit_sql(tenant, sql)
                 .map(|()| ResponseBody::SqlAccepted),
-            RequestBody::Metrics { tenant } => self.metrics(tenant).map(ResponseBody::Metrics),
+            RequestBody::Feedback { tenant, sql } => self
+                .feedback(tenant, sql)
+                .map(|()| ResponseBody::FeedbackAccepted),
+            RequestBody::Metrics { tenant } => self
+                .metrics(tenant)
+                .map(|report| ResponseBody::Metrics(Box::new(report))),
         };
         let response = match outcome {
             Ok(body) => ResponseEnvelope::success(id, body),
@@ -139,6 +152,14 @@ fn metrics_report(snapshot: &MetricsSnapshot) -> MetricsReport {
         ingest_lag: snapshot.ingest_lag,
         log_evictions: snapshot.log_evictions,
         snapshot_swaps: snapshot.snapshot_swaps,
+        feedback_accepted: snapshot.feedback_accepted,
+        wal_appended: snapshot.wal_appended,
+        wal_fsyncs: snapshot.wal_fsyncs,
+        wal_replayed: snapshot.wal_replayed,
+        wal_segments_gc: snapshot.wal_segments_gc,
+        wal_io_errors: snapshot.wal_io_errors,
+        wal_truncated_bytes: snapshot.wal_truncated_bytes,
+        wal_applied_seq: snapshot.wal_applied_seq,
         join_cache_hits: snapshot.join_cache_hits,
         join_cache_misses: snapshot.join_cache_misses,
         join_cache_evictions: snapshot.join_cache_evictions,

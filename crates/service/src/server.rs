@@ -31,21 +31,29 @@
 //!   ingestion backpressure.
 
 use crate::config::ServiceConfig;
-use crate::error::ServiceError;
+use crate::error::{ServiceError, WalError};
 use crate::ingest::IngestQueue;
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::snapshot;
+use crate::wal::{self, WalWriter};
 use nlidb::{translate_with, translate_with_config, Nlq, RankedSql, TranslateError};
 use nlp::TextSimilarity;
 use parking_lot::Mutex;
 use relational::Database;
 use sqlparse::parse_query;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 use templar_api::{ApiError, TranslateRequest, TranslateResponse};
 use templar_core::{QueryFragmentGraph, QueryLog, SharedTemplar, Templar, TemplarConfig};
+
+/// File name of the durable snapshot inside a service's durable directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.templar";
+/// Subdirectory holding the write-ahead journal segments.
+pub const WAL_DIR: &str = "wal";
+/// Advisory lock file claiming exclusive ownership of a durable directory.
+pub const LOCK_FILE: &str = "LOCK";
 
 /// Master mutable serving state, owned by the ingestion worker (and briefly
 /// borrowed by `save_snapshot` / `force_refresh`).
@@ -55,6 +63,38 @@ struct MasterState {
     /// Applied entries not yet reflected in a published snapshot.
     pending_since_swap: usize,
     last_swap: Instant,
+    /// Sequence number of the last journal record applied to this state
+    /// (0 = none) — the watermark a checkpoint taken now would record.
+    /// Advances per journal record, parse failures included, so replay
+    /// alignment never depends on what happened to parse.
+    applied_seq: u64,
+}
+
+/// The durable half of a recovered service: the directory its snapshot and
+/// journal live in, and the journal's single writer.
+struct Durable {
+    dir: PathBuf,
+    wal: Mutex<WalWriter>,
+    /// Holds the advisory lock on `dir/LOCK` for the service's lifetime.
+    /// The OS releases it when the file closes — process death included —
+    /// so a crashed owner never wedges its directory.
+    _lock: std::fs::File,
+    /// Serializes whole checkpoints.  `checkpoint` is public and also runs
+    /// from `shutdown`; two interleaved checkpoints could otherwise invert —
+    /// an older watermark's snapshot renamed over a newer one *after* the
+    /// newer checkpoint GC'd the segments the older watermark still needs,
+    /// leaving the directory unrecoverable.
+    checkpoint_lock: Mutex<()>,
+}
+
+impl Durable {
+    fn snapshot_path(&self) -> PathBuf {
+        self.dir.join(SNAPSHOT_FILE)
+    }
+
+    fn wal_dir(&self) -> PathBuf {
+        self.dir.join(WAL_DIR)
+    }
 }
 
 struct ServiceInner {
@@ -66,6 +106,8 @@ struct ServiceInner {
     similarity: TextSimilarity,
     templar_config: TemplarConfig,
     service_config: ServiceConfig,
+    /// `Some` on services started through [`TemplarService::recover`].
+    durable: Option<Durable>,
 }
 
 /// A concurrent, incrementally-updating Templar serving handle.
@@ -152,6 +194,158 @@ impl TemplarService {
         )
     }
 
+    /// Recover (or bootstrap) a **durable** service from a directory, with
+    /// the default similarity model.  See
+    /// [`TemplarService::recover_with_similarity`].
+    pub fn recover(
+        db: Arc<Database>,
+        dir: &Path,
+        templar_config: TemplarConfig,
+        service_config: ServiceConfig,
+    ) -> Result<Self, ServiceError> {
+        Self::recover_with_similarity(
+            db,
+            dir,
+            TextSimilarity::new(),
+            templar_config,
+            service_config,
+        )
+    }
+
+    /// Recover a durable service end-to-end:
+    ///
+    /// 1. load the latest valid snapshot (`dir/snapshot.templar`) if one
+    ///    exists, taking its journal **watermark** from the header,
+    /// 2. replay the write-ahead journal tail (`dir/wal/`) above the
+    ///    watermark — a torn final record is truncated, not fatal,
+    /// 3. re-apply the log retention bound, and
+    /// 4. resume journaling on a fresh segment.
+    ///
+    /// An empty (or absent) directory bootstraps a fresh durable service, so
+    /// `recover` is also the way to *start* one; every subsequent start goes
+    /// through the same code path a crash would exercise.  The ingestion
+    /// worker journals every accepted entry *before* applying it, so a
+    /// `kill -9` between checkpoints loses at most the un-fsynced journal
+    /// tail (bounded by the `fsync_every` / `fsync_interval` knobs of
+    /// [`crate::config::WalConfig`]).
+    pub fn recover_with_similarity(
+        db: Arc<Database>,
+        dir: &Path,
+        similarity: TextSimilarity,
+        templar_config: TemplarConfig,
+        service_config: ServiceConfig,
+    ) -> Result<Self, ServiceError> {
+        std::fs::create_dir_all(dir).map_err(WalError::Io)?;
+        // Claim exclusive ownership before touching anything: two live
+        // services journaling into the same directory would truncate each
+        // other's segments and overwrite each other's snapshots.  The lock
+        // is advisory and process-scoped, so a `kill -9`'d owner releases
+        // it automatically.
+        let lock = std::fs::File::create(dir.join(LOCK_FILE)).map_err(WalError::Io)?;
+        lock.try_lock().map_err(|e| {
+            WalError::Io(std::io::Error::new(
+                std::io::ErrorKind::WouldBlock,
+                format!(
+                    "durable directory {} is owned by a live service: {e}",
+                    dir.display()
+                ),
+            ))
+        })?;
+        // Sweep snapshot temp files a crash orphaned mid-checkpoint: their
+        // names are unique per write (pid + counter), so unlike the old
+        // fixed `.tmp` name they never self-overwrite — without this sweep
+        // each crash mid-checkpoint would leak a full snapshot-sized file.
+        // Safe under the lock just taken: any `.tmp` here is abandoned.
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if name.starts_with('.') && name.ends_with(".tmp") {
+                    std::fs::remove_file(entry.path()).ok();
+                }
+            }
+        }
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        let (mut log, mut qfg, watermark) = if snapshot_path.exists() {
+            let (snap, watermark) =
+                snapshot::read_snapshot_with_watermark(&snapshot_path, templar_config.obscurity)?;
+            (snap.log, snap.qfg, watermark)
+        } else {
+            (
+                QueryLog::new(),
+                QueryFragmentGraph::empty(templar_config.obscurity),
+                0,
+            )
+        };
+        let wal_dir = dir.join(WAL_DIR);
+        let replayed = wal::replay(&wal_dir, watermark)?;
+        let replay_count = replayed.entries.len() as u64;
+        let mut replay_parse_errors = 0u64;
+        for (_seq, sql) in &replayed.entries {
+            match parse_query(sql) {
+                Ok(query) => {
+                    qfg.ingest(&query);
+                    log.push(query);
+                }
+                Err(_) => replay_parse_errors += 1,
+            }
+        }
+        // The retention bound the worker would have enforced while these
+        // entries streamed in; eviction keeps exactly the newest `cap`
+        // entries either way, so recovered state equals uninterrupted state.
+        if let Some(cap) = service_config.max_log_entries {
+            while log.len() > cap {
+                if let Some(old) = log.pop_oldest() {
+                    qfg.remove(&old);
+                }
+            }
+        }
+        let applied_seq = replayed.next_seq - 1;
+        let writer = WalWriter::create(&wal_dir, replayed.next_seq, service_config.wal.clone())
+            .map_err(WalError::Io)?;
+        let durable = Durable {
+            dir: dir.to_path_buf(),
+            wal: Mutex::new(writer),
+            _lock: lock,
+            checkpoint_lock: Mutex::new(()),
+        };
+        let service = Self::spawn_from_parts(
+            db,
+            log,
+            qfg,
+            similarity,
+            templar_config,
+            service_config,
+            Some(durable),
+            applied_seq,
+        )?;
+        if replay_count > 0 {
+            service.inner.metrics.record_wal_replayed(replay_count);
+        }
+        if replayed.truncated_bytes > 0 {
+            // A torn tail was cut: bounded data loss (acknowledged but
+            // un-fsynced entries), surfaced so operators can tell "clean
+            // recovery" from "recovery that dropped the tail".
+            service
+                .inner
+                .metrics
+                .record_wal_truncated(replayed.truncated_bytes);
+        }
+        if replay_parse_errors > 0 {
+            // Replay is bootstrap-log assembly, so unparsable records count
+            // under `log_skipped_statements` — NOT `ingest_parse_errors`,
+            // which participates in the accepted == applied accounting that
+            // `flush` and `ingest_lag` rely on; inflating the applied side
+            // with errors no submission matched would let `flush` return
+            // before live entries were applied.
+            service
+                .inner
+                .metrics
+                .record_log_skipped(replay_parse_errors);
+        }
+        Ok(service)
+    }
+
     fn spawn_from_state(
         db: Arc<Database>,
         log: QueryLog,
@@ -159,6 +353,29 @@ impl TemplarService {
         similarity: TextSimilarity,
         templar_config: TemplarConfig,
         service_config: ServiceConfig,
+    ) -> Result<Self, ServiceError> {
+        Self::spawn_from_parts(
+            db,
+            log,
+            qfg,
+            similarity,
+            templar_config,
+            service_config,
+            None,
+            0,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn spawn_from_parts(
+        db: Arc<Database>,
+        log: QueryLog,
+        qfg: QueryFragmentGraph,
+        similarity: TextSimilarity,
+        templar_config: TemplarConfig,
+        service_config: ServiceConfig,
+        durable: Option<Durable>,
+        applied_seq: u64,
     ) -> Result<Self, ServiceError> {
         let initial = Templar::from_parts(
             Arc::clone(&db),
@@ -175,11 +392,13 @@ impl TemplarService {
                 qfg,
                 pending_since_swap: 0,
                 last_swap: Instant::now(),
+                applied_seq,
             }),
             db,
             similarity,
             templar_config,
             service_config,
+            durable,
         });
         let worker = {
             let inner = Arc::clone(&inner);
@@ -263,6 +482,63 @@ impl TemplarService {
         }
     }
 
+    /// Submit accepted-SQL **feedback**: a client confirming it ran (or
+    /// approved) this translation.  Feedback rides exactly the same
+    /// durable ingest path as [`TemplarService::submit_sql`] — journaled
+    /// before it is applied on a durable service — and is additionally
+    /// counted under the `feedback_accepted` metric so the learning loop's
+    /// close rate is observable separately from raw log shipping.
+    pub fn submit_feedback(&self, sql: &str) -> Result<(), ServiceError> {
+        self.submit_sql(sql)?;
+        self.inner.metrics.record_feedback();
+        Ok(())
+    }
+
+    /// Checkpoint a durable service: force the journal tail down, write the
+    /// snapshot with the covered sequence number (the watermark) into the
+    /// durable directory, and garbage-collect journal segments wholly below
+    /// it.  Returns the watermark.  Fails with [`ServiceError::NotDurable`]
+    /// on a service that was not started through
+    /// [`TemplarService::recover`].
+    pub fn checkpoint(&self) -> Result<u64, ServiceError> {
+        let durable = self
+            .inner
+            .durable
+            .as_ref()
+            .ok_or(ServiceError::NotDurable)?;
+        // One checkpoint at a time: see `Durable::checkpoint_lock`.
+        let _checkpoint = durable.checkpoint_lock.lock();
+        // Sync first: the snapshot+journal pair stays self-consistent even
+        // if the snapshot write below fails half-way (the old snapshot and
+        // the longer journal still recover the same state).
+        {
+            let mut wal = durable.wal.lock();
+            match wal.sync() {
+                Ok(true) => self.inner.metrics.record_wal_fsync(),
+                Ok(false) => {}
+                Err(e) => {
+                    self.inner.metrics.record_wal_io_error();
+                    return Err(WalError::Io(e).into());
+                }
+            }
+        }
+        let (log, qfg, watermark) = self.clone_master_state();
+        snapshot::write_snapshot_with_watermark(
+            &durable.snapshot_path(),
+            &log,
+            &qfg,
+            Some(watermark),
+        )?;
+        match wal::gc_segments(&durable.wal_dir(), watermark) {
+            Ok(0) => {}
+            Ok(n) => self.inner.metrics.record_wal_segments_gc(n as u64),
+            // The checkpoint itself succeeded; a GC failure only delays
+            // space reclamation and is retried next time.
+            Err(_) => self.inner.metrics.record_wal_io_error(),
+        }
+        Ok(watermark)
+    }
+
     /// Block until every accepted entry has been applied and published in a
     /// snapshot.  Intended for tests, benches and orderly shutdown — the
     /// serving path never needs it.
@@ -299,16 +575,36 @@ impl TemplarService {
     /// The master lock is held only for the clone; serialization and disk
     /// I/O happen after it is released, so a snapshot save never stalls the
     /// ingestion worker for the duration of the write.
+    ///
+    /// On a durable service the snapshot carries the applied journal
+    /// watermark even when `path` is outside the durable directory: a
+    /// watermark-less snapshot written over `snapshot.templar` would make
+    /// the next recovery replay the *entire* journal on top of a state that
+    /// already contains it, silently doubling every count.
     pub fn save_snapshot(&self, path: &Path) -> Result<(), ServiceError> {
-        let (log, qfg) = {
-            let mut master = self.inner.master.lock();
-            // Compact in place first; the serializer would otherwise clone
-            // the graph a second time to compact the copy.
-            master.qfg.compact();
-            (master.log.clone(), master.qfg.clone())
-        };
-        snapshot::write_snapshot(path, &log, &qfg)?;
+        // On a durable service, serialize with `checkpoint`: an unlocked
+        // save aimed at the durable snapshot path could otherwise land an
+        // older-watermark snapshot *after* a newer checkpoint GC'd the
+        // segments that older watermark still needs.
+        let _checkpoint = self
+            .inner
+            .durable
+            .as_ref()
+            .map(|durable| durable.checkpoint_lock.lock());
+        let (log, qfg, applied_seq) = self.clone_master_state();
+        let watermark = self.inner.durable.as_ref().map(|_| applied_seq);
+        snapshot::write_snapshot_with_watermark(path, &log, &qfg, watermark)?;
         Ok(())
+    }
+
+    /// Compact the master graph in place (the serializer would otherwise
+    /// clone it a second time to compact the copy) and clone the state for
+    /// persistence.  The master lock is held only for the clone — disk I/O
+    /// always happens after it is released.
+    fn clone_master_state(&self) -> (QueryLog, QueryFragmentGraph, u64) {
+        let mut master = self.inner.master.lock();
+        master.qfg.compact();
+        (master.log.clone(), master.qfg.clone(), master.applied_seq)
     }
 
     /// Point-in-time service metrics, including the current snapshot's QFG
@@ -334,6 +630,7 @@ impl TemplarService {
             let master = self.inner.master.lock();
             snap.qfg_pending_deltas = master.qfg.pending_delta_len() as u64;
             snap.qfg_compactions = master.qfg.compactions();
+            snap.wal_applied_seq = master.applied_seq;
         }
         snap
     }
@@ -349,11 +646,22 @@ impl TemplarService {
     }
 
     /// Stop accepting ingests, drain the queue, publish the final snapshot
-    /// and join the worker.  Called automatically on drop.
+    /// and join the worker.  A durable service additionally checkpoints, so
+    /// an orderly shutdown leaves nothing for the next recovery to replay.
+    /// Called automatically on drop.
     pub fn shutdown(&self) {
         self.inner.queue.close();
         if let Some(worker) = self.worker.lock().take() {
             let _ = worker.join();
+        }
+        if self.inner.durable.is_some() {
+            // Best-effort: the journal is already synced by the worker's
+            // exit path, so a failed final checkpoint only means the next
+            // start replays a longer tail.  Journal-side failures inside
+            // `checkpoint` record themselves under `wal_io_errors`;
+            // snapshot-side failures are deliberately NOT mislabeled as
+            // journal errors here.
+            let _ = self.checkpoint();
         }
     }
 }
@@ -382,16 +690,60 @@ fn publish(inner: &ServiceInner, qfg: QueryFragmentGraph) {
     inner.metrics.record_swap();
 }
 
-/// The ingestion worker loop: drain → apply incrementally → maybe publish.
+/// The ingestion worker loop: drain → journal → apply incrementally →
+/// maybe publish.
 fn ingest_worker(inner: Arc<ServiceInner>) {
     let config = inner.service_config.clone();
+    // The journal's time-based fsync only runs when this loop wakes, so a
+    // dirty tail must cap the sleep at `fsync_interval` — otherwise the real
+    // durability window would be max(fsync_interval, refresh_interval), not
+    // what `WalConfig` promises.
+    let mut wal_dirty = false;
     loop {
-        let batch = inner
-            .queue
-            .drain(config.ingest_batch, config.refresh_interval);
+        // A wedged journal (writes failing, frames piling up in the staging
+        // buffer) must not keep absorbing the queue into memory: stop
+        // draining until a sync succeeds, so the bounded queue fills and
+        // producers get real `QueueFull` backpressure.  A closed queue
+        // overrides the stall — shutdown must still drain (the leftover
+        // staging is bounded by the queue capacity).
+        if let Some(durable) = &inner.durable {
+            let mut wal = durable.wal.lock();
+            if wal.staged_bytes() > config.wal.max_staged_bytes && !inner.queue.is_closed() {
+                match wal.sync() {
+                    Ok(true) => inner.metrics.record_wal_fsync(),
+                    Ok(false) => {}
+                    Err(_) => inner.metrics.record_wal_io_error(),
+                }
+                if wal.staged_bytes() > config.wal.max_staged_bytes {
+                    drop(wal);
+                    std::thread::sleep(
+                        config
+                            .wal
+                            .fsync_interval
+                            .max(std::time::Duration::from_millis(1)),
+                    );
+                    continue;
+                }
+            }
+        }
+        let timeout = if wal_dirty {
+            config.refresh_interval.min(config.wal.fsync_interval)
+        } else {
+            config.refresh_interval
+        };
+        let batch = inner.queue.drain(config.ingest_batch, timeout);
         let closed = inner.queue.is_closed();
         if batch.is_empty() && closed && inner.queue.is_empty() {
-            // Drained after close: publish anything still pending and exit.
+            // Drained after close: force the journal tail down, publish
+            // anything still pending and exit.
+            if let Some(durable) = &inner.durable {
+                let mut wal = durable.wal.lock();
+                match wal.sync() {
+                    Ok(true) => inner.metrics.record_wal_fsync(),
+                    Ok(false) => {}
+                    Err(_) => inner.metrics.record_wal_io_error(),
+                }
+            }
             let pending = {
                 let master = inner.master.lock();
                 master.pending_since_swap
@@ -408,8 +760,50 @@ fn ingest_worker(inner: Arc<ServiceInner>) {
             return;
         }
 
+        // Empty entries never reach the journal (a zero-length frame is
+        // indistinguishable from a zero-filled crash artifact) or the
+        // parser; they still count as parse errors so the accepted ==
+        // applied accounting that `flush` relies on stays balanced.
+        let mut batch = batch;
+        let mut empty_entries = 0u64;
+        batch.retain(|sql| {
+            let keep = !sql.is_empty();
+            if !keep {
+                empty_entries += 1;
+            }
+            keep
+        });
+
+        // Journal the batch *before* any of it touches the master state:
+        // an entry is only learned from once it is (at least staged to be)
+        // durable.  Sequence numbers advance per record — parse failures
+        // included — so the applied watermark always aligns with replay.
+        let last_seq: Option<u64> = inner.durable.as_ref().and_then(|durable| {
+            let mut wal = durable.wal.lock();
+            let mut last = None;
+            for sql in &batch {
+                last = Some(wal.append(sql));
+            }
+            if !batch.is_empty() {
+                inner.metrics.record_wal_appended(batch.len() as u64);
+            }
+            // Runs on every wake-up (even empty ones), so an aged dirty
+            // tail is flushed within one fsync interval of falling idle.
+            match wal.maybe_sync() {
+                Ok(true) => inner.metrics.record_wal_fsync(),
+                Ok(false) => {}
+                Err(_) => inner.metrics.record_wal_io_error(),
+            }
+            let io_errors = wal.take_io_errors();
+            if io_errors > 0 {
+                inner.metrics.record_wal_io_errors(io_errors);
+            }
+            wal_dirty = wal.dirty() > 0;
+            last
+        });
+
         let mut applied = 0u64;
-        let mut parse_errors = 0u64;
+        let mut parse_errors = empty_entries;
         let mut evictions = 0u64;
         let to_publish: Option<QueryFragmentGraph> = {
             let mut master = inner.master.lock();
@@ -423,6 +817,9 @@ fn ingest_worker(inner: Arc<ServiceInner>) {
                     }
                     Err(_) => parse_errors += 1,
                 }
+            }
+            if let Some(last_seq) = last_seq {
+                master.applied_seq = last_seq;
             }
             if let Some(cap) = config.max_log_entries {
                 while master.log.len() > cap {

@@ -41,13 +41,25 @@
 //! the columnar deserializer's validation and surfaces as
 //! [`SnapshotError::Corrupt`].
 //!
-//! Writes go through a sibling temp file and an atomic rename, so a crash
-//! mid-write can never leave a truncated snapshot at the target path.
+//! The header may additionally carry `watermark=N` — the highest write-ahead
+//! journal sequence number the snapshot covers (see [`crate::wal`]).
+//! Recovery loads the snapshot and replays only the journal records above
+//! the watermark.  Snapshots written outside the durable path omit the
+//! token; readers treat that as watermark 0.
+//!
+//! Writes go through a *uniquely named* sibling temp file (pid + a
+//! process-wide counter, so concurrent saves — even of targets sharing a
+//! file stem, like `mas.v1` / `mas.v2` — never collide), are fsynced, and
+//! land with an atomic rename followed by a parent-directory fsync.  A crash
+//! mid-write can never leave a truncated snapshot at the target path, and a
+//! power loss after the rename cannot resurrect the old file under the new
+//! name.
 
 use crate::error::SnapshotError;
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use templar_core::{Obscurity, QueryFragmentGraph, QueryLog};
 
 /// First token of every snapshot file.
@@ -72,10 +84,25 @@ pub fn write_snapshot(
     log: &QueryLog,
     qfg: &QueryFragmentGraph,
 ) -> Result<(), SnapshotError> {
-    let header = format!(
-        "{SNAPSHOT_MAGIC} v{SNAPSHOT_VERSION} obscurity={}\n",
+    write_snapshot_with_watermark(path, log, qfg, None)
+}
+
+/// Serialize the serving state to `path`, optionally recording the journal
+/// sequence number the snapshot covers (the recovery watermark).
+pub fn write_snapshot_with_watermark(
+    path: &Path,
+    log: &QueryLog,
+    qfg: &QueryFragmentGraph,
+    watermark: Option<u64>,
+) -> Result<(), SnapshotError> {
+    let mut header = format!(
+        "{SNAPSHOT_MAGIC} v{SNAPSHOT_VERSION} obscurity={}",
         qfg.obscurity().name()
     );
+    if let Some(watermark) = watermark {
+        header.push_str(&format!(" watermark={watermark}"));
+    }
+    header.push('\n');
     // Serialize from the borrows directly (same field layout as
     // [`Snapshot`]) — no intermediate clone of a potentially large state.
     let body_value = serde::Value::Map(vec![
@@ -84,10 +111,49 @@ pub fn write_snapshot(
     ]);
     let body =
         serde_json::to_string(&body_value).map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
-    let tmp = path.with_extension("tmp");
-    fs::write(&tmp, header + &body)?;
-    fs::rename(&tmp, path)?;
-    Ok(())
+    // A unique sibling temp name per write: `path.with_extension("tmp")`
+    // would collide for concurrent saves of targets sharing a stem
+    // (`mas.v1` / `mas.v2` both map to `mas.tmp`) — one writer's rename
+    // would then publish the other's half-written bytes.
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| {
+            SnapshotError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "snapshot path has no file name",
+            ))
+        })?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = parent.join(format!(
+        ".{file_name}.{}.{}.tmp",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let result = (|| -> Result<(), SnapshotError> {
+        {
+            use std::io::Write;
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(header.as_bytes())?;
+            file.write_all(body.as_bytes())?;
+            // The bytes must be durable *before* the rename publishes the
+            // name, or a power loss could leave a valid name over garbage.
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        // And the rename itself must be durable: fsync the directory entry.
+        crate::wal::sync_dir(&parent)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        fs::remove_file(&tmp).ok();
+    }
+    result
 }
 
 /// Read and validate a snapshot, rejecting wrong magic, unsupported versions
@@ -95,6 +161,15 @@ pub fn write_snapshot(
 /// `expected`.  Version 1 snapshots are migrated on the fly (see the module
 /// docs); version 2 is read natively.
 pub fn read_snapshot(path: &Path, expected: Obscurity) -> Result<Snapshot, SnapshotError> {
+    read_snapshot_with_watermark(path, expected).map(|(snapshot, _)| snapshot)
+}
+
+/// [`read_snapshot`], additionally returning the journal watermark recorded
+/// in the header (0 when the snapshot was written outside the durable path).
+pub fn read_snapshot_with_watermark(
+    path: &Path,
+    expected: Obscurity,
+) -> Result<(Snapshot, u64), SnapshotError> {
     let text = fs::read_to_string(path)?;
     let (header, body) = text.split_once('\n').ok_or(SnapshotError::BadMagic)?;
     let mut parts = header.split_whitespace();
@@ -123,6 +198,16 @@ pub fn read_snapshot(path: &Path, expected: Obscurity) -> Result<Snapshot, Snaps
             found: obscurity,
         });
     }
+    // Optional trailing token; a snapshot without it covers no journal
+    // records.  A malformed value is corruption — recovering with watermark
+    // 0 would double-apply every journaled entry.
+    let watermark = match parts.next() {
+        Some(token) => token
+            .strip_prefix("watermark=")
+            .and_then(|v| v.parse::<u64>().ok())
+            .ok_or_else(|| SnapshotError::Corrupt(format!("unparsable header token `{token}`")))?,
+        None => 0,
+    };
     let snapshot = match version {
         1 => migrate_v1(body, obscurity)?,
         _ => serde_json::from_str::<Snapshot>(body)
@@ -133,7 +218,7 @@ pub fn read_snapshot(path: &Path, expected: Obscurity) -> Result<Snapshot, Snaps
             "body obscurity disagrees with header".to_string(),
         ));
     }
-    Ok(snapshot)
+    Ok((snapshot, watermark))
 }
 
 /// Load a v1 body: deserialize the stored log and rebuild the columnar graph
@@ -243,6 +328,95 @@ mod tests {
         let snapshot = read_snapshot(&path, Obscurity::NoConstOp).unwrap();
         assert_eq!(snapshot.log, log);
         assert_eq!(snapshot.qfg, qfg);
+        fs::remove_file(&path).ok();
+    }
+
+    /// Regression: the old writer derived its temp file with
+    /// `path.with_extension("tmp")`, so two snapshot targets sharing a file
+    /// stem (`mas.v1` / `mas.v2`) raced on the *same* `mas.tmp` — one save
+    /// could publish the other's half-written bytes.  The unique sibling
+    /// temp name makes concurrent saves of stem-sharing targets safe.
+    #[test]
+    fn concurrent_saves_sharing_a_stem_do_not_collide() {
+        let (log_a, qfg_a) = sample_state(Obscurity::NoConstOp);
+        let (extra, _) = QueryLog::from_sql(["SELECT p.year FROM publication p"]);
+        let mut log_b = log_a.clone();
+        log_b.push(extra.queries()[0].clone());
+        let qfg_b = QueryFragmentGraph::build(&log_b, Obscurity::NoConstOp);
+
+        let dir =
+            std::env::temp_dir().join(format!("templar-snap-concurrent-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path_a = dir.join("mas.v1");
+        let path_b = dir.join("mas.v2");
+        assert_eq!(
+            path_a.with_extension("tmp"),
+            path_b.with_extension("tmp"),
+            "the regression needs targets whose naive temp paths collide"
+        );
+
+        std::thread::scope(|scope| {
+            let a = scope.spawn(|| {
+                for _ in 0..20 {
+                    write_snapshot(&path_a, &log_a, &qfg_a).unwrap();
+                }
+            });
+            let b = scope.spawn(|| {
+                for _ in 0..20 {
+                    write_snapshot(&path_b, &log_b, &qfg_b).unwrap();
+                }
+            });
+            a.join().unwrap();
+            b.join().unwrap();
+        });
+
+        // Each target holds its own writer's state, not the sibling's.
+        let snap_a = read_snapshot(&path_a, Obscurity::NoConstOp).unwrap();
+        let snap_b = read_snapshot(&path_b, Obscurity::NoConstOp).unwrap();
+        assert_eq!(snap_a.log, log_a);
+        assert_eq!(snap_a.qfg, qfg_a);
+        assert_eq!(snap_b.log, log_b);
+        assert_eq!(snap_b.qfg, qfg_b);
+        // No temp litter survives a successful save.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn watermark_round_trips_and_defaults_to_zero() {
+        let (log, qfg) = sample_state(Obscurity::NoConstOp);
+        let path = temp_path("watermark");
+        write_snapshot_with_watermark(&path, &log, &qfg, Some(42)).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("TEMPLAR-SNAPSHOT v2 obscurity=NoConstOp watermark=42\n"));
+        let (snapshot, watermark) =
+            read_snapshot_with_watermark(&path, Obscurity::NoConstOp).unwrap();
+        assert_eq!(watermark, 42);
+        assert_eq!(snapshot.log, log);
+        // The plain reader still accepts a watermarked snapshot.
+        assert_eq!(read_snapshot(&path, Obscurity::NoConstOp).unwrap().qfg, qfg);
+        // And a plain snapshot reads back with watermark 0.
+        write_snapshot(&path, &log, &qfg).unwrap();
+        let (_, watermark) = read_snapshot_with_watermark(&path, Obscurity::NoConstOp).unwrap();
+        assert_eq!(watermark, 0);
+        // A mangled watermark token is corruption, not silently 0.
+        fs::write(
+            &path,
+            "TEMPLAR-SNAPSHOT v2 obscurity=NoConstOp watermark=banana\n{}",
+        )
+        .unwrap();
+        assert!(matches!(
+            read_snapshot_with_watermark(&path, Obscurity::NoConstOp),
+            Err(SnapshotError::Corrupt(_))
+        ));
         fs::remove_file(&path).ok();
     }
 

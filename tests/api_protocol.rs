@@ -299,6 +299,43 @@ fn metrics_flow_over_the_wire_per_tenant() {
     );
 }
 
+/// The learning loop closes through the wire: a client reports accepted SQL
+/// with a `Feedback` request, the entry rides the same ingest path as
+/// `SubmitSql`, sharpens subsequent translations, and is counted separately
+/// in the tenant's metrics.
+#[test]
+fn feedback_closes_the_learning_loop_over_the_wire() {
+    let registry = two_tenant_registry();
+    let client = RegistryClient::new(&registry);
+
+    client
+        .feedback(
+            "academic",
+            "SELECT p.title FROM publication p WHERE p.year > 1995",
+        )
+        .unwrap();
+    client
+        .submit_sql("academic", "SELECT j.name FROM journal j")
+        .unwrap();
+    registry.get("academic").unwrap().flush();
+
+    let metrics = client.metrics("academic").unwrap();
+    assert_eq!(metrics.feedback_accepted, 1, "feedback counted separately");
+    assert_eq!(
+        metrics.ingest_applied, 2,
+        "feedback and plain submissions share the ingest path"
+    );
+    assert!(metrics.qfg_queries >= 2);
+
+    // Unknown tenants surface the usual typed error.
+    assert_eq!(
+        client.feedback("warehouse", "SELECT 1 FROM t").unwrap_err(),
+        ApiError::UnknownTenant {
+            tenant: "warehouse".to_string()
+        }
+    );
+}
+
 #[test]
 fn version_mismatched_and_malformed_envelopes_are_rejected() {
     let registry = two_tenant_registry();
