@@ -16,6 +16,15 @@ pub struct MetricsReport {
     /// Translations served since start, and how many produced no SQL.
     pub translations_served: u64,
     pub empty_translations: u64,
+    /// Best-first configuration-search counters, summed over every
+    /// translation: configurations scored / provably pruned without
+    /// scoring / prefix subtrees cut by the admissible bound, plus how
+    /// many requests ran out of their search budget (best-effort rather
+    /// than provably exact rankings).
+    pub search_tuples_scored: u64,
+    pub search_tuples_pruned: u64,
+    pub search_bound_cutoffs: u64,
+    pub search_budget_exhausted: u64,
     /// Approximate translation latency quantiles (power-of-two bucket upper
     /// bounds) and exact mean, in microseconds.
     pub translate_p50_us: u64,
@@ -78,6 +87,10 @@ mod tests {
     fn metrics_reports_round_trip_through_serde() {
         let report = MetricsReport {
             translations_served: 7,
+            search_tuples_scored: 19,
+            search_tuples_pruned: 100,
+            search_bound_cutoffs: 6,
+            search_budget_exhausted: 1,
             qfg_interned_fragments: 42,
             qfg_csr_edges: 17,
             qfg_compactions: 3,

@@ -4,8 +4,8 @@
 //! carries the protocol version and a client-chosen correlation id:
 //!
 //! ```text
-//! {"version": 1, "id": 7, "body": {"Translate": {...}}}     → request
-//! {"version": 1, "id": 7, "ok": {...}, "err": null}          → response
+//! {"version": 2, "id": 7, "body": {"Translate": {...}}}     → request
+//! {"version": 2, "id": 7, "ok": {...}, "err": null}          → response
 //! ```
 //!
 //! The version field is checked *before* the body is decoded: an envelope
@@ -20,7 +20,15 @@ use crate::response::TranslateResponse;
 use serde::{Deserialize, Serialize, Value};
 
 /// The protocol generation this build speaks.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2: every translation candidate's `Explanation` carries
+/// `search_budget_exhausted`, and `MetricsReport` gained the
+/// configuration-search counters (`search_tuples_scored` /
+/// `search_tuples_pruned` / `search_bound_cutoffs` /
+/// `search_budget_exhausted`).  The fields are required on decode, so
+/// mixed-generation peers are rejected by the version check instead of
+/// failing mid-body.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Operations a client can request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -310,7 +318,7 @@ mod tests {
 
     #[test]
     fn malformed_lines_recover_the_correlation_id_when_present() {
-        let line = r#"{"version": 1, "id": 11, "body": {"Nonsense": 1}}"#;
+        let line = r#"{"version": 2, "id": 11, "body": {"Nonsense": 1}}"#;
         match decode_request(line) {
             Err((id, ApiError::MalformedEnvelope { .. })) => assert_eq!(id, 11),
             other => panic!("expected MalformedEnvelope with id, got {other:?}"),

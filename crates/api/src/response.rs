@@ -84,6 +84,7 @@ mod tests {
             config_score: 0.0,
             join,
             final_score: 0.0,
+            search_budget_exhausted: false,
         };
         e.config_score = e.recompute_config_score();
         e.final_score = e.recompute_final();

@@ -1,0 +1,62 @@
+//! Benchmark: the best-first configuration search under stress — long
+//! multi-keyword questions whose cartesian products (10⁶ to 3·10¹⁰ tuples)
+//! the pre-search enumerator either could not finish or silently truncated.
+//!
+//! `search_stress/exact_1m` runs the provably exact search over a > 10⁶
+//! tuple product; `search_stress/deep_15kw` searches a 5¹⁵-tuple space
+//! (exactly, in practice — see the exactness tests); and
+//! `search_stress/exhaustive_1m` is the enumerate-everything reference on
+//! the same million-tuple scenario, for the ratio the PR records.
+//!
+//! With `BENCH_JSON=1` an extra machine-readable line records how many
+//! tuples the search scored versus the enumeration, so `BENCH_PR5.json`
+//! captures the pruning win alongside the timings.
+
+use bench::stress;
+use criterion::{criterion_group, criterion_main, Criterion};
+use templar_core::Templar;
+
+fn bench_search_stress(c: &mut Criterion) {
+    let exact = stress::exact_scenario();
+    let exact_templar = Templar::new(exact.db.clone(), &exact.log, exact.config.clone()).unwrap();
+    let deep = stress::deep_scenario();
+    let deep_templar = Templar::new(deep.db.clone(), &deep.log, deep.config.clone()).unwrap();
+
+    if std::env::var_os("BENCH_JSON").is_some() {
+        let (_, fast) = exact_templar.map_keywords_with_stats(&exact.keywords, &exact.config);
+        let (_, reference) = exact_templar.map_keywords_exhaustive(&exact.keywords, &exact.config);
+        println!(
+            "BENCHJSON {{\"id\":\"search_stress/exact_1m_tuples\",\
+             \"tuples_scored\":{},\"tuples_enumerated\":{},\"budget_exhausted\":{}}}",
+            fast.tuples_scored, reference.tuples_scored, fast.budget_exhausted
+        );
+    }
+
+    c.bench_function("search_stress/exact_1m", |b| {
+        b.iter(|| {
+            exact_templar
+                .map_keywords_with_stats(&exact.keywords, &exact.config)
+                .0
+                .len()
+        })
+    });
+    c.bench_function("search_stress/deep_15kw", |b| {
+        b.iter(|| {
+            deep_templar
+                .map_keywords_with_stats(&deep.keywords, &deep.config)
+                .0
+                .len()
+        })
+    });
+    c.bench_function("search_stress/exhaustive_1m", |b| {
+        b.iter(|| {
+            exact_templar
+                .map_keywords_exhaustive(&exact.keywords, &exact.config)
+                .0
+                .len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_search_stress);
+criterion_main!(benches);

@@ -69,6 +69,19 @@ pub struct TemplarConfig {
     /// columnar QFG without synchronization; small batches are always scored
     /// inline regardless of this setting.
     pub scoring_threads: usize,
+    /// Work budget of the best-first configuration search: the maximum
+    /// number of candidate-tuple evaluations (complete configurations
+    /// scored plus prefixes bound-checked) one `MAPKEYWORDS` call may
+    /// spend.  The search is **exact** — identical to exhaustively scoring
+    /// the whole cartesian product — whenever it completes within the
+    /// budget; when the budget runs out it returns the best configurations
+    /// found so far and raises the `search_budget_exhausted` flag in its
+    /// [`SearchStats`](crate::SearchStats) (surfaced through explanations
+    /// and service metrics) instead of truncating silently.  Every search
+    /// worker completes its first depth-first dive before honouring
+    /// exhaustion, so even a starved budget yields at least one ranked
+    /// configuration.
+    pub search_budget: usize,
 }
 
 impl Default for TemplarConfig {
@@ -83,9 +96,18 @@ impl Default for TemplarConfig {
             join_candidates: 4,
             join_cache_capacity: 1024,
             scoring_threads: default_scoring_threads(),
+            search_budget: DEFAULT_SEARCH_BUDGET,
         }
     }
 }
+
+/// Default best-first search budget.  Far above what pruned candidate lists
+/// produce on the paper's benchmarks (κ = 5 over a handful of keywords), so
+/// ordinary requests always run to provable exactness, while a
+/// pathological many-keyword request is hard-capped at
+/// `O(budget · keywords)` work instead of enumerating an unbounded
+/// cartesian product.
+pub const DEFAULT_SEARCH_BUDGET: usize = 100_000;
 
 /// The default scoring fan-out: one shard per available hardware thread.
 fn default_scoring_threads() -> usize {
@@ -135,6 +157,13 @@ impl TemplarConfig {
     /// fan-out entirely).
     pub fn with_scoring_threads(mut self, threads: usize) -> Self {
         self.scoring_threads = threads.max(1);
+        self
+    }
+
+    /// Set the best-first search budget (clamped to ≥ 1).  Use
+    /// `usize::MAX` for an effectively unbounded, always-exact search.
+    pub fn with_search_budget(mut self, budget: usize) -> Self {
+        self.search_budget = budget.max(1);
         self
     }
 }

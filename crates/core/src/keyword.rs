@@ -13,6 +13,11 @@ use nlp::{contains_number, extract_numbers, tokenize_lower, SimilarityModel};
 use relational::{AttributeRef, Database};
 use serde::{Deserialize, Serialize};
 use sqlparse::{Aggregate, BinOp, ColumnRef, Expr, Literal, Predicate};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
+
+/// Additive smoothing applied to each pairwise Dice coefficient of
+/// `Score_QFG` (see [`qfg_breakdown`]).
+const QFG_SMOOTHING: f64 = 0.01;
 
 /// A keyword phrase extracted from the NLQ by the host NLIDB.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -258,25 +263,72 @@ impl<'a> KeywordMapper<'a> {
     /// `MAPKEYWORDS` (Algorithm 1): map every keyword to candidates, prune,
     /// and return ranked configurations.
     pub fn map_keywords(&self, keywords: &[(Keyword, KeywordMetadata)]) -> Vec<Configuration> {
-        if keywords.is_empty() {
-            return Vec::new();
+        self.map_keywords_with_stats(keywords).0
+    }
+
+    /// [`KeywordMapper::map_keywords`] plus the [`SearchStats`] of the
+    /// best-first configuration search that ranked the result — how many
+    /// complete configurations were scored, how many the admissible bound
+    /// proved irrelevant without scoring, and whether the search budget ran
+    /// out before exactness was established.
+    pub fn map_keywords_with_stats(
+        &self,
+        keywords: &[(Keyword, KeywordMetadata)],
+    ) -> (Vec<Configuration>, SearchStats) {
+        let per_keyword = self.pruned_candidate_lists(keywords);
+        if per_keyword.is_empty() {
+            return (Vec::new(), SearchStats::default());
         }
+        let resolved = self.resolve_lists(&per_keyword);
+        let search = ConfigurationSearch::new(self.qfg, self.config, &resolved);
+        let (scored, stats) = search.run();
+        (self.materialize(&per_keyword, scored), stats)
+    }
+
+    /// The exhaustive reference enumerator the best-first search replaced:
+    /// scores **every** tuple of the cartesian product with the pairwise
+    /// [`qfg_breakdown`] and selects the top configurations under the
+    /// identical deterministic comparator.  Exponential in the number of
+    /// keywords — kept as the executable specification that tests, benches
+    /// and validation tooling check the search against (the two are
+    /// byte-identical whenever the search completes within its budget), not
+    /// as a serving path.
+    pub fn map_keywords_exhaustive(
+        &self,
+        keywords: &[(Keyword, KeywordMetadata)],
+    ) -> (Vec<Configuration>, SearchStats) {
+        let per_keyword = self.pruned_candidate_lists(keywords);
+        if per_keyword.is_empty() {
+            return (Vec::new(), SearchStats::default());
+        }
+        let resolved = self.resolve_lists(&per_keyword);
+        let scorer = TupleScorer {
+            qfg: self.qfg,
+            lambda: self.config.lambda,
+            resolved: &resolved,
+        };
+        let (scored, stats) = exhaustive_top_k(&scorer, &resolved, self.config.max_configurations);
+        (self.materialize(&per_keyword, scored), stats)
+    }
+
+    /// Candidate retrieval + scoring + pruning for every keyword (the
+    /// per-keyword half of Algorithm 1).  Keywords with no surviving
+    /// candidate are skipped: one unmappable keyword would zero out every
+    /// configuration, while the remaining keywords can still produce a
+    /// (partial) query.
+    fn pruned_candidate_lists(
+        &self,
+        keywords: &[(Keyword, KeywordMetadata)],
+    ) -> Vec<Vec<MappingCandidate>> {
         let mut per_keyword: Vec<Vec<MappingCandidate>> = Vec::with_capacity(keywords.len());
         for (kw, meta) in keywords {
             let candidates = self.keyword_candidates(kw, meta);
             let pruned = self.score_and_prune(kw, candidates);
-            if pruned.is_empty() {
-                // A keyword with no candidates would zero out every
-                // configuration; keep going with the remaining keywords so
-                // that the NLIDB can still produce a (partial) query.
-                continue;
+            if !pruned.is_empty() {
+                per_keyword.push(pruned);
             }
-            per_keyword.push(pruned);
         }
-        if per_keyword.is_empty() {
-            return Vec::new();
-        }
-        self.generate_and_score_configurations(&per_keyword)
+        per_keyword
     }
 
     /// `KEYWORDCANDS` (Algorithm 2).
@@ -491,62 +543,13 @@ impl<'a> KeywordMapper<'a> {
             .collect()
     }
 
-    /// Generate the cartesian product of per-keyword candidates and score
-    /// every configuration (Section V-C).
-    ///
-    /// Candidates are resolved to interned [`FragmentId`]s *once per
-    /// request*; the product is enumerated as index tuples (no candidate
-    /// clones) and scored over id slices — pure array arithmetic against
-    /// the columnar QFG — sharded across `TemplarConfig::scoring_threads`
-    /// workers.  Only the winning configurations are materialized.
-    fn generate_and_score_configurations(
+    /// Materialize winning index tuples into [`Configuration`]s (the only
+    /// point at which candidates are cloned).
+    fn materialize(
         &self,
         per_keyword: &[Vec<MappingCandidate>],
+        scored: Vec<ScoredTuple>,
     ) -> Vec<Configuration> {
-        const MAX_GENERATED: usize = 5000;
-        let resolved: Vec<Vec<ResolvedCandidate>> = per_keyword
-            .iter()
-            .map(|candidates| {
-                candidates
-                    .iter()
-                    .map(|c| self.resolve_candidate(c))
-                    .collect()
-            })
-            .collect();
-        let mut tuples: Vec<Vec<u32>> = vec![Vec::new()];
-        for candidates in per_keyword {
-            let mut next = Vec::with_capacity(tuples.len() * candidates.len());
-            'fill: for partial in &tuples {
-                for index in 0..candidates.len() as u32 {
-                    let mut extended = Vec::with_capacity(partial.len() + 1);
-                    extended.extend_from_slice(partial);
-                    extended.push(index);
-                    next.push(extended);
-                    if next.len() >= MAX_GENERATED {
-                        break 'fill;
-                    }
-                }
-            }
-            tuples = next;
-        }
-        let scorer = TupleScorer {
-            qfg: self.qfg,
-            lambda: self.config.lambda,
-            resolved: &resolved,
-        };
-        let mut scored = scorer.score_all(tuples, self.config.scoring_threads);
-        scored.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                // The joined key is only materialized on an exact score tie,
-                // like the fragment-keyed implementation before it.
-                .then_with(|| {
-                    joined_sort_key(&resolved, &a.indices)
-                        .cmp(&joined_sort_key(&resolved, &b.indices))
-                })
-        });
-        scored.truncate(self.config.max_configurations);
         scored
             .into_iter()
             .map(|s| {
@@ -568,6 +571,28 @@ impl<'a> KeywordMapper<'a> {
                 }
             })
             .collect()
+    }
+
+    /// Resolve every pruned candidate list to the columnar scoring domain
+    /// (one pass per request; the search never touches a [`QueryFragment`]
+    /// again).  The per-candidate *pair-factor cap* — the admissible upper
+    /// bound on any smoothed Dice factor the candidate can contribute to a
+    /// configuration — is derived here because it needs a cross-list view:
+    /// a fragment offered for two different keywords can be paired with
+    /// itself (`Dice = 1`), so its cap must not rely on the `max_dice`
+    /// column, which only covers *other* fragments.
+    fn resolve_lists(&self, per_keyword: &[Vec<MappingCandidate>]) -> Vec<Vec<ResolvedCandidate>> {
+        let mut resolved: Vec<Vec<ResolvedCandidate>> = per_keyword
+            .iter()
+            .map(|candidates| {
+                candidates
+                    .iter()
+                    .map(|c| self.resolve_candidate(c))
+                    .collect()
+            })
+            .collect();
+        assign_pair_factor_caps(self.qfg, &mut resolved);
+        resolved
     }
 
     /// Compute `Score_σ`, `Score_QFG` and the λ-combination for one
@@ -602,12 +627,23 @@ impl<'a> KeywordMapper<'a> {
     }
 
     /// Resolve one pruned candidate to the columnar scoring domain: its σ,
-    /// its interned fragment id and its deterministic tie-break key.
+    /// its interned fragment id, its deterministic tie-break key, and its
+    /// normalised log popularity (the same expression [`qfg_breakdown`]
+    /// evaluates per tuple, hoisted to once per request).
     fn resolve_candidate(&self, candidate: &MappingCandidate) -> ResolvedCandidate {
+        let slot = self.resolve_slot(&candidate.element);
+        let popularity = match slot {
+            FragmentSlot::Known(id) => {
+                self.qfg.occurrences_by_id(id) as f64 / self.qfg.query_count().max(1) as f64
+            }
+            _ => 0.0,
+        };
         ResolvedCandidate {
             sigma: candidate.score,
-            slot: self.resolve_slot(&candidate.element),
+            slot,
             sort_key: candidate_sort_key(candidate),
+            popularity,
+            pair_factor_cap: 1.0,
         }
     }
 
@@ -639,6 +675,15 @@ struct ResolvedCandidate {
     sigma: f64,
     slot: FragmentSlot,
     sort_key: String,
+    /// `n_v / |L|` — this candidate's contribution to the log-popularity
+    /// component (0 for relations and never-logged fragments).
+    popularity: f64,
+    /// Admissible upper bound on any smoothed pair factor
+    /// `(Dice + QFG_SMOOTHING).min(1)` this candidate can contribute to a
+    /// configuration; derived from the QFG's `max_dice` column (and forced
+    /// to 1.0 when the fragment is offered for more than one keyword, since
+    /// a self-pair has Dice 1).  Set by [`KeywordMapper::resolve_lists`].
+    pair_factor_cap: f64,
 }
 
 /// One scored index tuple: the candidate indices (one per keyword, in
@@ -652,19 +697,6 @@ struct ScoredTuple {
     score: f64,
 }
 
-/// The deterministic tie-break key of an index tuple: its candidates' keys
-/// joined with `|` (identical to the old per-configuration key).
-fn joined_sort_key(resolved: &[Vec<ResolvedCandidate>], indices: &[u32]) -> String {
-    let mut key = String::new();
-    for (k, &i) in indices.iter().enumerate() {
-        if k > 0 {
-            key.push('|');
-        }
-        key.push_str(&resolved[k][i as usize].sort_key);
-    }
-    key
-}
-
 impl ScoredTuple {
     fn qfg_score(&self) -> f64 {
         if self.pairs == 0 {
@@ -675,9 +707,136 @@ impl ScoredTuple {
     }
 }
 
-/// Scores index tuples against the columnar QFG.  Holds only `Sync` borrows
-/// (the immutable graph and the per-request resolution tables), so shards
-/// can fan out over scoped threads without synchronization.
+/// Statistics of one best-first configuration search, surfaced through
+/// [`Templar::map_keywords_with_stats`](crate::Templar), translation
+/// explanations and the serving metrics instead of being dropped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Complete configurations actually scored.
+    pub tuples_scored: u64,
+    /// Complete configurations the admissible bound proved unable to enter
+    /// the top-k, skipped without being scored (saturating: a pruned prefix
+    /// of a many-keyword request can cover more than `u64::MAX` tuples).
+    pub tuples_pruned: u64,
+    /// Prefix subtrees cut by the bound (each cut covers one or more
+    /// pruned tuples).
+    pub bound_cutoffs: u64,
+    /// True when [`TemplarConfig::search_budget`] ran out before the search
+    /// proved exactness; the returned ranking is then the best found so
+    /// far.  Surfaced as `search_budget_exhausted` in explanations — never
+    /// a silent truncation.
+    pub budget_exhausted: bool,
+}
+
+impl SearchStats {
+    /// Fold a worker's statistics into the request total.
+    fn absorb(&mut self, other: SearchStats) {
+        self.tuples_scored += other.tuples_scored;
+        self.tuples_pruned = self.tuples_pruned.saturating_add(other.tuples_pruned);
+        self.bound_cutoffs += other.bound_cutoffs;
+        self.budget_exhausted |= other.budget_exhausted;
+    }
+}
+
+/// Assign every candidate's [`ResolvedCandidate::pair_factor_cap`] across
+/// the request's resolved lists.  Needs the cross-list view: a fragment
+/// offered for two different keywords can be paired with itself
+/// (`Dice = 1`), so its cap must not rely on the QFG's `max_dice` column,
+/// which only covers *other* fragments.
+fn assign_pair_factor_caps(qfg: &QueryFragmentGraph, resolved: &mut [Vec<ResolvedCandidate>]) {
+    let mut lists_containing: std::collections::HashMap<FragmentId, usize> =
+        std::collections::HashMap::new();
+    for list in resolved.iter() {
+        let mut seen: Vec<FragmentId> = Vec::new();
+        for candidate in list {
+            if let FragmentSlot::Known(id) = candidate.slot {
+                if !seen.contains(&id) {
+                    seen.push(id);
+                    *lists_containing.entry(id).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    for list in resolved.iter_mut() {
+        for candidate in list {
+            candidate.pair_factor_cap = match candidate.slot {
+                // A relation mapping adds no fragment slot, hence no
+                // pair factors; 1.0 is the multiplicative identity.
+                FragmentSlot::Relation => 1.0,
+                // A never-logged fragment co-occurs with nothing: every
+                // factor it contributes is exactly the smoothing floor.
+                FragmentSlot::Unknown => QFG_SMOOTHING,
+                FragmentSlot::Known(id) => {
+                    if lists_containing.get(&id).copied().unwrap_or(0) >= 2 {
+                        // The fragment can be chosen for two keywords at
+                        // once, making a self-pair (Dice = 1) possible.
+                        1.0
+                    } else {
+                        (qfg.max_dice_by_id(id) + QFG_SMOOTHING).min(1.0)
+                    }
+                }
+            };
+        }
+    }
+}
+
+/// The deterministic tie-break bytes of an index tuple: its candidates'
+/// sort keys joined with `|`, streamed without materializing the joined
+/// `String` (the comparison is byte-identical to comparing the formatted
+/// keys, pinned by a regression test).
+fn joined_key_bytes<'r>(
+    resolved: &'r [Vec<ResolvedCandidate>],
+    indices: &'r [u32],
+) -> impl Iterator<Item = u8> + 'r {
+    indices.iter().enumerate().flat_map(move |(k, &i)| {
+        let separator = if k > 0 { Some(b'|') } else { None };
+        separator
+            .into_iter()
+            .chain(resolved[k][i as usize].sort_key.bytes())
+    })
+}
+
+/// The total order all configuration rankings use: score descending, then
+/// the joined tie-break key ascending, then the index tuple itself (the
+/// enumeration order the pre-search stable sort preserved on full ties).
+fn cmp_scored(
+    resolved: &[Vec<ResolvedCandidate>],
+    a: &ScoredTuple,
+    b: &ScoredTuple,
+) -> std::cmp::Ordering {
+    b.score
+        .partial_cmp(&a.score)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then_with(|| {
+            joined_key_bytes(resolved, &a.indices).cmp(joined_key_bytes(resolved, &b.indices))
+        })
+        .then_with(|| a.indices.cmp(&b.indices))
+}
+
+/// Insert a scored tuple into a capacity-bounded ranking kept sorted under
+/// [`cmp_scored`].  Selecting the top `capacity` this way is exactly
+/// "sort everything, truncate" — without holding everything.
+fn offer_tuple(
+    resolved: &[Vec<ResolvedCandidate>],
+    top: &mut Vec<ScoredTuple>,
+    capacity: usize,
+    tuple: ScoredTuple,
+) {
+    if top.len() == capacity {
+        let Some(worst) = top.last() else { return };
+        if cmp_scored(resolved, &tuple, worst) != std::cmp::Ordering::Less {
+            return;
+        }
+        top.pop();
+    }
+    let at = top.partition_point(|e| cmp_scored(resolved, e, &tuple) == std::cmp::Ordering::Less);
+    top.insert(at, tuple);
+}
+
+/// Scores one index tuple against the columnar QFG via the pairwise
+/// [`qfg_breakdown`] — the executable specification of a configuration's
+/// score, used by the exhaustive reference enumerator (the best-first
+/// search reproduces it bit-for-bit through prefix-incremental state).
 struct TupleScorer<'a> {
     qfg: &'a QueryFragmentGraph,
     lambda: f64,
@@ -685,44 +844,6 @@ struct TupleScorer<'a> {
 }
 
 impl TupleScorer<'_> {
-    /// Minimum number of tuples a worker shard should own; batches smaller
-    /// than two shards' worth are scored inline (thread spawn latency would
-    /// dwarf the arithmetic).
-    const SHARD_MIN: usize = 1024;
-
-    fn score_all(&self, tuples: Vec<Vec<u32>>, threads: usize) -> Vec<ScoredTuple> {
-        let shard_count = threads
-            .max(1)
-            .min(tuples.len().div_ceil(Self::SHARD_MIN).max(1));
-        if shard_count <= 1 {
-            return tuples.into_iter().map(|t| self.score(t)).collect();
-        }
-        let shard_len = tuples.len().div_ceil(shard_count);
-        let mut shards: Vec<Vec<Vec<u32>>> = Vec::with_capacity(shard_count);
-        let mut rest = tuples;
-        while rest.len() > shard_len {
-            let tail = rest.split_off(shard_len);
-            shards.push(std::mem::replace(&mut rest, tail));
-        }
-        shards.push(rest);
-        // Rayon-style scoped fan-out: shards are moved into scoped workers
-        // and the results are reassembled in shard order, so the outcome is
-        // byte-identical to the serial path.
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = shards
-                .into_iter()
-                .map(|shard| {
-                    scope
-                        .spawn(move || shard.into_iter().map(|t| self.score(t)).collect::<Vec<_>>())
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("configuration scoring shard panicked"))
-                .collect()
-        })
-    }
-
     fn score(&self, indices: Vec<u32>) -> ScoredTuple {
         let sigma = geometric_mean(
             indices
@@ -754,6 +875,526 @@ impl TupleScorer<'_> {
     }
 }
 
+/// Enumerate and score the whole cartesian product (odometer order — the
+/// lexicographic index order the old enumerator generated), selecting the
+/// top `capacity` under [`cmp_scored`].
+fn exhaustive_top_k(
+    scorer: &TupleScorer<'_>,
+    resolved: &[Vec<ResolvedCandidate>],
+    capacity: usize,
+) -> (Vec<ScoredTuple>, SearchStats) {
+    let mut top: Vec<ScoredTuple> = Vec::with_capacity(capacity.min(64));
+    let mut stats = SearchStats::default();
+    let mut indices = vec![0u32; resolved.len()];
+    loop {
+        stats.tuples_scored += 1;
+        offer_tuple(resolved, &mut top, capacity, scorer.score(indices.clone()));
+        // Advance the odometer, most-significant keyword first.
+        let mut level = resolved.len();
+        loop {
+            if level == 0 {
+                return (top, stats);
+            }
+            level -= 1;
+            indices[level] += 1;
+            if (indices[level] as usize) < resolved[level].len() {
+                break;
+            }
+            indices[level] = 0;
+        }
+    }
+}
+
+/// Absolute slack added to every admissible upper bound before comparing
+/// it with the score floor.  The bound arithmetic reorders the floating-
+/// point operations of the exact leaf score (products of per-keyword
+/// maxima instead of per-candidate values), so without slack an ulp-level
+/// rounding difference could prune a true top-k member; 1e-9 dwarfs any
+/// accumulated rounding error at these magnitudes while costing next to
+/// nothing in pruning power.
+const BOUND_MARGIN: f64 = 1e-9;
+
+/// Below this many potential tuples the search always runs on the calling
+/// thread: worker spawn latency would dwarf the arithmetic.
+const PARALLEL_MIN_TUPLES: u64 = 2048;
+
+/// Prefix-incremental score state of the best-first search.  Extending a
+/// prefix by one candidate updates this in O(prefix slots) — the pair
+/// factors against the new slot — instead of rescoring all O(k²) pairs,
+/// and performs the *identical* floating-point operation sequence as
+/// [`TupleScorer::score`] / [`qfg_breakdown`] on the complete tuple, so a
+/// leaf finalized from this state is bit-for-bit the exhaustive score.
+#[derive(Clone, Copy)]
+struct PrefixState {
+    /// Running product of the mappings' σ (keyword order).
+    sigma_product: f64,
+    /// Running product of the smoothed pair factors (the order
+    /// [`qfg_breakdown`] multiplies them in).
+    pair_product: f64,
+    /// Running sum of the non-relation slots' popularity (slot order).
+    pop_sum: f64,
+    /// Maximum popularity among the prefix's slots (for the admissible
+    /// log-popularity bound: a mean never exceeds its maximum element).
+    max_pop: f64,
+}
+
+impl PrefixState {
+    fn empty() -> Self {
+        PrefixState {
+            sigma_product: 1.0,
+            pair_product: 1.0,
+            pop_sum: 0.0,
+            max_pop: 0.0,
+        }
+    }
+}
+
+/// The exact best-first configuration search (branch-and-bound DFS over
+/// index prefixes).
+///
+/// Each keyword's pruned candidates are already sorted by σ descending, so
+/// depth-first descent finds strong configurations early; the score floor
+/// (the current k-th best score, shared across workers through one atomic)
+/// then lets the **admissible upper bound** cut entire prefix subtrees that
+/// provably cannot enter the top k.  The bound blends
+///
+/// * `λ ·` the best completable geometric σ — the prefix's running σ
+///   product times the precomputed product of per-keyword maxima over the
+///   remaining keywords, and
+/// * `(1−λ) ·` an optimistic `Score_QFG` completion — the prefix's running
+///   pair product times caps on every *guaranteed* future pair factor
+///   (from the QFG's per-fragment `max_dice` column), or the best
+///   reachable log popularity when the configuration can finish with
+///   fewer than two fragments.
+///
+/// Because the bound is admissible and pruning is strict (`ub < floor`,
+/// with ties retained), the result is byte-identical to exhaustively
+/// scoring the cartesian product — same scores, same order, same
+/// tie-breaks — whenever the search completes within
+/// [`TemplarConfig::search_budget`]; the budget turns a pathological
+/// many-keyword request into a best-effort ranking with an explicit
+/// `budget_exhausted` flag instead of unbounded work.
+///
+/// First-keyword candidates are sharded round-robin across
+/// `TemplarConfig::scoring_threads` scoped workers; the atomic floor makes
+/// every worker's discoveries prune every other worker's subtrees.  Each
+/// worker keeps its own local top-k (a superset filter: any global top-k
+/// member ranks top-k within its worker), and the merge re-sorts under the
+/// same total order, so the outcome is independent of the fan-out.
+struct ConfigurationSearch<'a> {
+    qfg: &'a QueryFragmentGraph,
+    lambda: f64,
+    top_k: usize,
+    threads: usize,
+    resolved: &'a [Vec<ResolvedCandidate>],
+    keyword_count: usize,
+    /// `[d]`: product over keywords `k ≥ d` of the list's maximum σ.
+    max_sigma_suffix: Vec<f64>,
+    /// `[d]`: maximum candidate popularity over keywords `k ≥ d`.
+    max_pop_suffix: Vec<f64>,
+    /// `[d]`: how many keywords `k ≥ d` *must* add a fragment slot (every
+    /// candidate is a non-relation mapping).
+    must_remaining: Vec<usize>,
+    /// `[d][m]`: admissible cap on the product of all future pair factors
+    /// a completion from depth `d` with `m` prefix slots is guaranteed to
+    /// multiply in — each must-add keyword `k ≥ d` contributes its best
+    /// pair-factor cap once per slot guaranteed to precede it.
+    dice_bound: Vec<Vec<f64>>,
+    /// `[d]`: number of complete tuples below one depth-`d` prefix
+    /// (saturating), for the pruned-tuple accounting.
+    suffix_tuples: Vec<u64>,
+    /// Shared work budget (`TemplarConfig::search_budget`): one unit per
+    /// prefix extension evaluated, which hard-caps total search work at
+    /// `O(budget · keywords)` regardless of the product size.
+    budget: u64,
+    /// Minimum potential-tuple count before the search fans out
+    /// ([`PARALLEL_MIN_TUPLES`]; tests lower it to drive the worker
+    /// machinery on small inputs).
+    parallel_min_tuples: u64,
+    evaluations: AtomicU64,
+    /// Bits of the shared score floor (the best k-th score any worker has
+    /// proven); starts at `-∞`.
+    floor_bits: AtomicU64,
+    exhausted: AtomicBool,
+}
+
+impl<'a> ConfigurationSearch<'a> {
+    fn new(
+        qfg: &'a QueryFragmentGraph,
+        config: &TemplarConfig,
+        resolved: &'a [Vec<ResolvedCandidate>],
+    ) -> Self {
+        let k = resolved.len();
+        let mut max_sigma_suffix = vec![1.0f64; k + 1];
+        let mut max_pop_suffix = vec![0.0f64; k + 1];
+        let mut must_remaining = vec![0usize; k + 1];
+        let mut suffix_tuples = vec![1u64; k + 1];
+        let must: Vec<bool> = resolved
+            .iter()
+            .map(|list| list.iter().all(|c| c.slot != FragmentSlot::Relation))
+            .collect();
+        let caps: Vec<f64> = resolved
+            .iter()
+            .map(|list| list.iter().map(|c| c.pair_factor_cap).fold(0.0, f64::max))
+            .collect();
+        for d in (0..k).rev() {
+            let best_sigma = resolved[d].iter().map(|c| c.sigma).fold(0.0, f64::max);
+            max_sigma_suffix[d] = best_sigma * max_sigma_suffix[d + 1];
+            max_pop_suffix[d] = resolved[d]
+                .iter()
+                .map(|c| c.popularity)
+                .fold(max_pop_suffix[d + 1], f64::max);
+            must_remaining[d] = must_remaining[d + 1] + usize::from(must[d]);
+            suffix_tuples[d] = suffix_tuples[d + 1].saturating_mul(resolved[d].len() as u64);
+        }
+        // dice_bound[d][m]: walk the remaining must-add keywords in order;
+        // the i-th of them is guaranteed m + i pair factors, each bounded
+        // by that keyword's cap.  Caps are ≤ 1, so ignoring the *optional*
+        // future pairs (relation-capable keywords) keeps the bound
+        // admissible.
+        let mut dice_bound = vec![vec![1.0f64; k + 1]; k + 1];
+        for (d, row) in dice_bound.iter_mut().enumerate().take(k) {
+            for (m, entry) in row.iter_mut().enumerate() {
+                let mut guaranteed_slots = m as i32;
+                let mut product = 1.0f64;
+                for j in d..k {
+                    if must[j] {
+                        product *= caps[j].powi(guaranteed_slots);
+                        guaranteed_slots += 1;
+                    }
+                }
+                *entry = product;
+            }
+        }
+        ConfigurationSearch {
+            qfg,
+            lambda: config.lambda,
+            top_k: config.max_configurations,
+            threads: config.scoring_threads.max(1),
+            resolved,
+            keyword_count: k,
+            max_sigma_suffix,
+            max_pop_suffix,
+            must_remaining,
+            dice_bound,
+            suffix_tuples,
+            // A starved budget still yields results: each worker always
+            // completes its first depth-first dive (see the overdraw
+            // handling in `SearchWorker::explore`) before honouring
+            // exhaustion, so the budget is taken as-is.
+            budget: (config.search_budget as u64).max(1),
+            parallel_min_tuples: PARALLEL_MIN_TUPLES,
+            evaluations: AtomicU64::new(0),
+            floor_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            exhausted: AtomicBool::new(false),
+        }
+    }
+
+    /// Pick the round-robin shard layout: `(depth, worker_count)`.  Depth 0
+    /// shards the first keyword's candidates; when that list is narrower
+    /// than the thread pool (e.g. one unambiguous first keyword followed by
+    /// many ambiguous ones), sharding moves to the flattened first-two-level
+    /// prefix space so a skewed request still fans out.
+    fn shard_layout(&self) -> (usize, usize) {
+        let first_len = self.resolved[0].len();
+        if self.suffix_tuples[0] < self.parallel_min_tuples {
+            return (0, 1);
+        }
+        if self.threads <= first_len || self.keyword_count < 2 {
+            return (0, self.threads.min(first_len));
+        }
+        let prefix_space = first_len * self.resolved[1].len();
+        (1, self.threads.min(prefix_space))
+    }
+
+    /// Run the search and return the final ranking plus its statistics.
+    fn run(&self) -> (Vec<ScoredTuple>, SearchStats) {
+        if self.top_k == 0 {
+            return (Vec::new(), SearchStats::default());
+        }
+        let (shard_depth, workers) = self.shard_layout();
+        let mut results: Vec<(Vec<ScoredTuple>, SearchStats)> = if workers <= 1 {
+            vec![SearchWorker::new(self, 0, 0, 1).run()]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        scope.spawn(move || SearchWorker::new(self, shard_depth, w, workers).run())
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("configuration search worker panicked"))
+                    .collect()
+            })
+        };
+        let mut stats = SearchStats::default();
+        let mut merged: Vec<ScoredTuple> = Vec::new();
+        for (top, worker_stats) in results.drain(..) {
+            stats.absorb(worker_stats);
+            merged.extend(top);
+        }
+        stats.budget_exhausted |= self.exhausted.load(AtomicOrdering::Relaxed);
+        merged.sort_by(|a, b| cmp_scored(self.resolved, a, b));
+        merged.truncate(self.top_k);
+        (merged, stats)
+    }
+
+    /// True when no completion of a depth-`d` prefix with `m` slots and the
+    /// given running state can beat the floor.  Strict comparison: a
+    /// completion that could *tie* the k-th score is kept, because the
+    /// tie-break key may rank it inside the top k.
+    fn prunable(&self, d: usize, state: &PrefixState, m: usize, floor: f64) -> bool {
+        if floor == f64::NEG_INFINITY {
+            return false;
+        }
+        let k = self.keyword_count as f64;
+        let sigma_base = state.sigma_product * self.max_sigma_suffix[d];
+        let ub_sigma = if sigma_base <= 0.0 {
+            0.0
+        } else {
+            sigma_base.powf(1.0 / k)
+        };
+        let ub = if self.lambda >= 1.0 {
+            // λ = 1: Score_QFG cannot contribute (the blend multiplies it
+            // by zero), so the σ bound alone is admissible.
+            self.lambda * ub_sigma
+        } else {
+            let ub_dice = (state.pair_product * self.dice_bound[d][m.min(self.keyword_count)])
+                .powf(1.0 / k)
+                .min(1.0);
+            let ub_qfg = if m + self.must_remaining[d] >= 2 {
+                // At least one pair is guaranteed: Score_QFG is the Dice
+                // aggregation for every completion.
+                ub_dice
+            } else {
+                // Completions may finish with < 2 slots, where Score_QFG
+                // falls back to log popularity (a mean, bounded by its
+                // largest element).
+                ub_dice.max(state.max_pop.max(self.max_pop_suffix[d]))
+            };
+            self.lambda * ub_sigma + (1.0 - self.lambda) * ub_qfg
+        };
+        ub + BOUND_MARGIN < floor
+    }
+
+    /// Finalize a complete prefix into a scored tuple (same operation
+    /// sequence as [`TupleScorer::score`], from the incrementally-carried
+    /// state).
+    fn finalize(&self, indices: &[u32], state: &PrefixState, slot_count: usize) -> ScoredTuple {
+        let k = self.keyword_count;
+        let sigma = if state.sigma_product <= 0.0 {
+            0.0
+        } else {
+            state.sigma_product.powf(1.0 / k as f64)
+        };
+        let log_popularity = if slot_count == 0 {
+            0.0
+        } else {
+            state.pop_sum / slot_count as f64
+        };
+        let pairs = slot_count * slot_count.saturating_sub(1) / 2;
+        let dice = if pairs == 0 {
+            0.0
+        } else {
+            state.pair_product.powf(1.0 / k as f64).clamp(0.0, 1.0)
+        };
+        let qfg_score = if pairs == 0 { log_popularity } else { dice };
+        let score = self.lambda * sigma + (1.0 - self.lambda) * qfg_score;
+        ScoredTuple {
+            indices: indices.to_vec(),
+            sigma,
+            log_popularity,
+            dice,
+            pairs,
+            score,
+        }
+    }
+
+    /// Charge one prefix extension against the shared budget; false when
+    /// the budget is exhausted (the caller unwinds and returns its best).
+    fn charge(&self) -> bool {
+        if self.exhausted.load(AtomicOrdering::Relaxed) {
+            return false;
+        }
+        if self.evaluations.fetch_add(1, AtomicOrdering::Relaxed) >= self.budget {
+            self.exhausted.store(true, AtomicOrdering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    fn floor(&self) -> f64 {
+        f64::from_bits(self.floor_bits.load(AtomicOrdering::Relaxed))
+    }
+
+    /// Raise the shared floor to `candidate` if it is higher (atomic max).
+    fn raise_floor(&self, candidate: f64) {
+        let mut current = self.floor_bits.load(AtomicOrdering::Relaxed);
+        while f64::from_bits(current) < candidate {
+            match self.floor_bits.compare_exchange_weak(
+                current,
+                candidate.to_bits(),
+                AtomicOrdering::Relaxed,
+                AtomicOrdering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+/// One search worker: owns a round-robin shard of the depth-`shard_depth`
+/// prefix space (flattened over the levels up to and including that depth)
+/// and a local top-k.
+struct SearchWorker<'a, 'r> {
+    search: &'a ConfigurationSearch<'r>,
+    shard_depth: usize,
+    offset: usize,
+    stride: usize,
+    indices: Vec<u32>,
+    /// The prefix's non-relation slots, in keyword order.
+    slots: Vec<FragmentSlot>,
+    top: Vec<ScoredTuple>,
+    stats: SearchStats,
+}
+
+impl<'a, 'r> SearchWorker<'a, 'r> {
+    fn new(
+        search: &'a ConfigurationSearch<'r>,
+        shard_depth: usize,
+        offset: usize,
+        stride: usize,
+    ) -> Self {
+        SearchWorker {
+            search,
+            shard_depth,
+            offset,
+            stride,
+            indices: Vec::with_capacity(search.keyword_count),
+            slots: Vec::with_capacity(search.keyword_count),
+            top: Vec::new(),
+            stats: SearchStats::default(),
+        }
+    }
+
+    fn run(mut self) -> (Vec<ScoredTuple>, SearchStats) {
+        self.explore(0, PrefixState::empty());
+        (self.top, self.stats)
+    }
+
+    /// True when candidate `i` of keyword `d` belongs to this worker's
+    /// shard.  Only the shard depth filters: the flattened rank of the
+    /// prefix up to `d` is taken modulo the worker count, so the workers
+    /// partition the prefix space exactly.
+    fn in_shard(&self, d: usize, i: usize) -> bool {
+        if d != self.shard_depth || self.stride <= 1 {
+            return true;
+        }
+        let mut rank = i;
+        if d > 0 {
+            rank += self.indices[d - 1] as usize * self.search.resolved[d].len();
+        }
+        rank % self.stride == self.offset
+    }
+
+    /// Depth-first over the candidates of keyword `d`; returns false when
+    /// the budget ran out and the whole search should unwind.
+    fn explore(&mut self, d: usize, state: PrefixState) -> bool {
+        let search = self.search;
+        let list = &search.resolved[d];
+        let mut i = 0;
+        while i < list.len() {
+            if !self.in_shard(d, i) {
+                i += 1;
+                continue;
+            }
+            let overdrawn = !search.charge();
+            if overdrawn {
+                self.stats.budget_exhausted = true;
+                if self.stats.tuples_scored > 0 {
+                    return false;
+                }
+                // The shared budget is gone but this worker has not
+                // completed a single configuration yet: keep following the
+                // current (first) dive so even a starved budget split
+                // across workers yields at least one ranked result per
+                // worker.  The leaf arm below stops the worker right after
+                // that first configuration is scored.
+            }
+            let candidate = &list[i];
+            let mut next = state;
+            next.sigma_product = state.sigma_product * candidate.sigma;
+            let adds_slot = candidate.slot != FragmentSlot::Relation;
+            if adds_slot {
+                // Extend the pair product with the new slot's factors, in
+                // the exact order `qfg_breakdown` visits them.
+                for &prior in &self.slots {
+                    let dice = match (prior, candidate.slot) {
+                        (FragmentSlot::Known(a), FragmentSlot::Known(b)) => {
+                            search.qfg.dice_by_id(a, b)
+                        }
+                        // A fragment absent from the log co-occurs with
+                        // nothing.
+                        _ => 0.0,
+                    };
+                    next.pair_product *= (dice + QFG_SMOOTHING).min(1.0);
+                }
+                next.pop_sum = state.pop_sum + candidate.popularity;
+                if candidate.popularity > next.max_pop {
+                    next.max_pop = candidate.popularity;
+                }
+                self.slots.push(candidate.slot);
+            }
+            self.indices.push(i as u32);
+            let keep_going = if d + 1 == search.keyword_count {
+                self.stats.tuples_scored += 1;
+                let tuple = search.finalize(&self.indices, &next, self.slots.len());
+                self.offer(tuple);
+                !overdrawn
+            } else if d >= self.shard_depth
+                // Above the shard depth every worker walks the same
+                // prefixes: pruning there would count the same skipped
+                // subtree once per worker (and the walk is a handful of
+                // extensions), so cutting starts at the shard depth.
+                && search.prunable(d + 1, &next, self.slots.len(), search.floor())
+            {
+                self.stats.bound_cutoffs += 1;
+                self.stats.tuples_pruned = self
+                    .stats
+                    .tuples_pruned
+                    .saturating_add(search.suffix_tuples[d + 1]);
+                true
+            } else {
+                self.explore(d + 1, next)
+            };
+            self.indices.pop();
+            if adds_slot {
+                self.slots.pop();
+            }
+            if !keep_going {
+                return false;
+            }
+            i += 1;
+        }
+        true
+    }
+
+    /// Offer a scored leaf to the local top-k; when the local ranking is
+    /// full, its k-th score becomes a candidate for the shared floor (any
+    /// single worker's k-th best is a lower bound on the global k-th best).
+    fn offer(&mut self, tuple: ScoredTuple) {
+        let search = self.search;
+        offer_tuple(search.resolved, &mut self.top, search.top_k, tuple);
+        if self.top.len() == search.top_k {
+            if let Some(worst) = self.top.last() {
+                search.raise_floor(worst.score);
+            }
+        }
+    }
+}
+
 /// `Score_QFG`, decomposed: the geometric aggregation of the Dice
 /// coefficients of all pairs of non-relation fragments in the configuration
 /// (Section V-C.2).  With fewer than two non-relation fragments there are no
@@ -772,8 +1413,6 @@ impl TupleScorer<'_> {
 /// ids; `phi` is the total number of mappings (relations included), exactly
 /// as in the fragment-keyed implementation this replaces.
 fn qfg_breakdown(qfg: &QueryFragmentGraph, slots: &[FragmentSlot], phi: usize) -> QfgBreakdown {
-    /// Additive smoothing applied to each pairwise Dice coefficient.
-    const QFG_SMOOTHING: f64 = 0.01;
     let total_queries = qfg.query_count().max(1) as f64;
     let log_popularity = if slots.is_empty() {
         0.0
@@ -796,8 +1435,12 @@ fn qfg_breakdown(qfg: &QueryFragmentGraph, slots: &[FragmentSlot], phi: usize) -
     }
     let mut product = 1.0f64;
     let mut pairs = 0usize;
-    for i in 0..slots.len() {
-        for j in (i + 1)..slots.len() {
+    // Pairs are visited in slot-append order — every pair the j-th slot
+    // forms with its predecessors, for growing j — so the best-first
+    // search's prefix-incremental pair product performs the identical
+    // floating-point operation sequence and finalizes bit-for-bit equal.
+    for j in 1..slots.len() {
+        for i in 0..j {
             let dice = match (slots[i], slots[j]) {
                 (FragmentSlot::Known(a), FragmentSlot::Known(b)) => qfg.dice_by_id(a, b),
                 // A fragment absent from the log co-occurs with nothing.
@@ -1152,45 +1795,372 @@ mod tests {
         let serial = run_mapper(&keywords, &TemplarConfig::default().with_scoring_threads(1));
         let parallel = run_mapper(&keywords, &TemplarConfig::default().with_scoring_threads(8));
         assert_eq!(serial, parallel, "fan-out must not change any result");
+    }
 
-        // Shard-level: a batch large enough to actually engage the scoped
-        // fan-out produces bit-identical scores in identical order.
-        let config = TemplarConfig::default();
-        let qfg = QueryFragmentGraph::build(&academic_log(), config.obscurity);
-        let title_id = qfg
-            .lookup(&QueryFragment::attribute(
-                &AttributeRef::new("publication", "title"),
-                None,
-                QueryContext::Select,
-            ))
-            .unwrap();
-        let per_slot: Vec<ResolvedCandidate> = (0..40)
-            .map(|i| ResolvedCandidate {
-                sigma: 0.3 + (i as f64) / 100.0,
-                slot: if i % 3 == 0 {
-                    FragmentSlot::Known(title_id)
-                } else if i % 3 == 1 {
-                    FragmentSlot::Unknown
-                } else {
-                    FragmentSlot::Relation
-                },
-                sort_key: format!("k{i:03}"),
+    // -----------------------------------------------------------------
+    // Best-first search: exactness, determinism and bound admissibility
+    // -----------------------------------------------------------------
+
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The joined tie-break key as the pre-search implementation formatted
+    /// it (an allocated `String`); the streamed byte comparator must order
+    /// tuples exactly like comparing these.
+    fn joined_sort_key_string(resolved: &[Vec<ResolvedCandidate>], indices: &[u32]) -> String {
+        let mut key = String::new();
+        for (k, &i) in indices.iter().enumerate() {
+            if k > 0 {
+                key.push('|');
+            }
+            key.push_str(&resolved[k][i as usize].sort_key);
+        }
+        key
+    }
+
+    /// A random QFG plus per-keyword candidate lists over its fragments.
+    /// σ values are drawn from a coarse grid so exact score ties (the
+    /// tie-break comparator's job) actually occur.
+    fn random_search_input(
+        seed: u64,
+        keywords: usize,
+        max_candidates: usize,
+    ) -> (QueryFragmentGraph, Vec<Vec<ResolvedCandidate>>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sql: Vec<String> = Vec::new();
+        let tables = [("publication", "p"), ("journal", "j"), ("author", "a")];
+        let cols = ["title", "name", "year"];
+        for _ in 0..rng.gen_range(1..30usize) {
+            let (table, alias) = tables[rng.gen_range(0..tables.len())];
+            let mut q = format!(
+                "SELECT {alias}.{} FROM {table} {alias}",
+                cols[rng.gen_range(0..cols.len())]
+            );
+            if rng.gen_range(0..2u32) == 0 {
+                q.push_str(&format!(
+                    " WHERE {alias}.{} > {}",
+                    cols[rng.gen_range(0..cols.len())],
+                    rng.gen_range(0..5i64)
+                ));
+            }
+            sql.push(q);
+        }
+        let (log, _) = QueryLog::from_sql(sql.iter().map(String::as_str));
+        let qfg = QueryFragmentGraph::build(&log, Obscurity::NoConstOp);
+        let ids: Vec<FragmentId> = qfg
+            .fragments()
+            .map(|(f, _)| qfg.lookup(f).unwrap())
+            .collect();
+        let keys = ["a", "ab", "abc", "b", "b|c", "k0", "k1"];
+        let resolved: Vec<Vec<ResolvedCandidate>> = (0..keywords)
+            .map(|_| {
+                (0..rng.gen_range(1..=max_candidates))
+                    .map(|_| {
+                        let slot = match rng.gen_range(0..4u32) {
+                            0 => FragmentSlot::Relation,
+                            1 => FragmentSlot::Unknown,
+                            _ if !ids.is_empty() => {
+                                FragmentSlot::Known(ids[rng.gen_range(0..ids.len())])
+                            }
+                            _ => FragmentSlot::Unknown,
+                        };
+                        let popularity = match slot {
+                            FragmentSlot::Known(id) => {
+                                qfg.occurrences_by_id(id) as f64 / qfg.query_count().max(1) as f64
+                            }
+                            _ => 0.0,
+                        };
+                        ResolvedCandidate {
+                            sigma: rng.gen_range(0..=8u32) as f64 / 8.0,
+                            slot,
+                            sort_key: keys[rng.gen_range(0..keys.len())].to_string(),
+                            popularity,
+                            pair_factor_cap: 1.0,
+                        }
+                    })
+                    .collect()
             })
             .collect();
-        let resolved = vec![per_slot];
+        let resolved = finish_resolution(&qfg, resolved);
+        (qfg, resolved)
+    }
+
+    /// Run the production cap assignment over directly-built candidate
+    /// lists (the generator above bypasses the mapper).
+    fn finish_resolution(
+        qfg: &QueryFragmentGraph,
+        mut resolved: Vec<Vec<ResolvedCandidate>>,
+    ) -> Vec<Vec<ResolvedCandidate>> {
+        assign_pair_factor_caps(qfg, &mut resolved);
+        resolved
+    }
+
+    /// The simplest possible reference: score *everything*, sort with the
+    /// original allocated-string tie-break, truncate.
+    fn full_sort_reference(
+        qfg: &QueryFragmentGraph,
+        lambda: f64,
+        resolved: &[Vec<ResolvedCandidate>],
+        top_k: usize,
+    ) -> Vec<ScoredTuple> {
         let scorer = TupleScorer {
-            qfg: &qfg,
-            lambda: config.lambda,
-            resolved: &resolved,
+            qfg,
+            lambda,
+            resolved,
         };
-        let tuples: Vec<Vec<u32>> = (0..40u32).cycle().take(2048).map(|i| vec![i]).collect();
-        let serial = scorer.score_all(tuples.clone(), 1);
-        let sharded = scorer.score_all(tuples, 4);
-        assert_eq!(serial.len(), sharded.len());
-        for (a, b) in serial.iter().zip(&sharded) {
-            assert_eq!(a.indices, b.indices);
-            assert_eq!(a.score.to_bits(), b.score.to_bits());
-            assert_eq!(a.sigma.to_bits(), b.sigma.to_bits());
+        let mut all: Vec<ScoredTuple> = Vec::new();
+        let mut indices = vec![0u32; resolved.len()];
+        'enumerate: loop {
+            all.push(scorer.score(indices.clone()));
+            let mut level = resolved.len();
+            loop {
+                if level == 0 {
+                    break 'enumerate;
+                }
+                level -= 1;
+                indices[level] += 1;
+                if (indices[level] as usize) < resolved[level].len() {
+                    break;
+                }
+                indices[level] = 0;
+            }
+        }
+        all.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| {
+                    joined_sort_key_string(resolved, &a.indices)
+                        .cmp(&joined_sort_key_string(resolved, &b.indices))
+                })
+                .then_with(|| a.indices.cmp(&b.indices))
+        });
+        all.truncate(top_k);
+        all
+    }
+
+    fn assert_tuples_identical(label: &str, a: &[ScoredTuple], b: &[ScoredTuple]) {
+        assert_eq!(a.len(), b.len(), "{label}: ranking lengths differ");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.indices, y.indices, "{label}: tuple order differs");
+            assert_eq!(x.score.to_bits(), y.score.to_bits(), "{label}: score bits");
+            assert_eq!(x.sigma.to_bits(), y.sigma.to_bits(), "{label}: sigma bits");
+            assert_eq!(
+                x.log_popularity.to_bits(),
+                y.log_popularity.to_bits(),
+                "{label}: log-popularity bits"
+            );
+            assert_eq!(x.dice.to_bits(), y.dice.to_bits(), "{label}: dice bits");
+            assert_eq!(x.pairs, y.pairs, "{label}: pair counts");
+        }
+    }
+
+    fn search_config(threads: usize) -> TemplarConfig {
+        TemplarConfig::default()
+            .with_scoring_threads(threads)
+            .with_search_budget(usize::MAX)
+    }
+
+    proptest! {
+        /// The best-first search is byte-identical — scores, order and every
+        /// explanation component — to scoring the entire cartesian product
+        /// and sorting it with the original string tie-break, on random
+        /// candidate lists over random QFGs, at several λ, serial and
+        /// fanned out.
+        #[test]
+        fn best_first_search_is_byte_identical_to_exhaustive(
+            seed in any::<u64>(),
+            keywords in 1usize..6,
+            lambda_grid in 0u32..5,
+        ) {
+            let (qfg, resolved) = random_search_input(seed, keywords, 4);
+            let lambda = f64::from(lambda_grid) / 4.0;
+            let config = search_config(1).with_lambda(lambda);
+            let reference = full_sort_reference(
+                &qfg, lambda, &resolved, config.max_configurations,
+            );
+            for threads in [1usize, 4] {
+                let config = search_config(threads).with_lambda(lambda);
+                let mut search = ConfigurationSearch::new(&qfg, &config, &resolved);
+                // Drop the fan-out gate so threads = 4 genuinely exercises
+                // the sharded workers (incl. depth-1 sharding when the
+                // first list is narrower than the pool) on these small
+                // inputs instead of falling back to one worker.
+                search.parallel_min_tuples = 0;
+                let (found, stats) = search.run();
+                prop_assert!(!stats.budget_exhausted);
+                assert_tuples_identical(
+                    &format!("seed {seed} λ {lambda} threads {threads}"),
+                    &reference,
+                    &found,
+                );
+            }
+        }
+
+        /// The streamed joined-key comparator orders index tuples exactly
+        /// like comparing the allocated joined strings — including the
+        /// prefix-vs-separator cases (`"ab" | "x"` vs `"abc" | "a"`) where
+        /// per-component comparison would get it wrong.
+        #[test]
+        fn streamed_key_comparison_matches_string_comparison(seed in any::<u64>()) {
+            let (_, resolved) = random_search_input(seed, 3, 4);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+            for _ in 0..32 {
+                let pick = |rng: &mut StdRng| -> Vec<u32> {
+                    resolved
+                        .iter()
+                        .map(|list| rng.gen_range(0..list.len()) as u32)
+                        .collect()
+                };
+                let a = pick(&mut rng);
+                let b = pick(&mut rng);
+                let streamed = joined_key_bytes(&resolved, &a)
+                    .cmp(joined_key_bytes(&resolved, &b));
+                let allocated = joined_sort_key_string(&resolved, &a)
+                    .cmp(&joined_sort_key_string(&resolved, &b));
+                prop_assert_eq!(streamed, allocated);
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_key_comparison_pins_the_separator_prefix_case() {
+        // keys ["ab", "x"] vs ["abc", "a"]: joined "ab|x" > "abc|a"
+        // because '|' (0x7C) sorts after 'c' (0x63).  Naive per-component
+        // comparison would order them the other way around.
+        let mk = |keys: [&str; 2]| -> Vec<ResolvedCandidate> {
+            keys.iter()
+                .map(|k| ResolvedCandidate {
+                    sigma: 0.5,
+                    slot: FragmentSlot::Unknown,
+                    sort_key: (*k).to_string(),
+                    popularity: 0.0,
+                    pair_factor_cap: QFG_SMOOTHING,
+                })
+                .collect()
+        };
+        let resolved = vec![mk(["ab", "abc"]), mk(["x", "a"])];
+        let left = [0u32, 0u32]; // "ab|x"
+        let right = [1u32, 1u32]; // "abc|a"
+        assert_eq!(
+            joined_key_bytes(&resolved, &left).cmp(joined_key_bytes(&resolved, &right)),
+            joined_sort_key_string(&resolved, &left)
+                .cmp(&joined_sort_key_string(&resolved, &right)),
+        );
+        assert_eq!(
+            joined_key_bytes(&resolved, &left).cmp(joined_key_bytes(&resolved, &right)),
+            std::cmp::Ordering::Greater,
+        );
+    }
+
+    #[test]
+    fn map_keywords_matches_the_exhaustive_enumerator_end_to_end() {
+        let db = academic_db();
+        let config = TemplarConfig::default().with_search_budget(usize::MAX);
+        let qfg = QueryFragmentGraph::build(&academic_log(), config.obscurity);
+        let sim = TextSimilarity::new();
+        let mapper = KeywordMapper::new(&db, &qfg, &sim, &config);
+        let keywords = vec![
+            (Keyword::new("papers"), KeywordMetadata::select()),
+            (Keyword::new("TKDE"), KeywordMetadata::filter()),
+            (
+                Keyword::new("after 1995"),
+                KeywordMetadata::filter_with_op(BinOp::Gt),
+            ),
+        ];
+        let (best_first, search_stats) = mapper.map_keywords_with_stats(&keywords);
+        let (exhaustive, reference_stats) = mapper.map_keywords_exhaustive(&keywords);
+        assert_eq!(best_first, exhaustive);
+        assert!(!search_stats.budget_exhausted);
+        assert!(!reference_stats.budget_exhausted);
+        assert!(search_stats.tuples_scored <= reference_stats.tuples_scored);
+        assert_eq!(
+            search_stats.tuples_scored + search_stats.tuples_pruned,
+            reference_stats.tuples_scored,
+            "every tuple is either scored or provably pruned"
+        );
+    }
+
+    #[test]
+    fn exhausted_budget_is_flagged_and_bounds_the_work() {
+        let (qfg, resolved) = random_search_input(7, 5, 4);
+        let config = search_config(1).with_search_budget(10);
+        let search = ConfigurationSearch::new(&qfg, &config, &resolved);
+        let (found, stats) = search.run();
+        assert!(
+            stats.budget_exhausted,
+            "a 10-evaluation budget must run out"
+        );
+        assert!(stats.tuples_scored <= 10);
+        // What it did return is still sorted under the total order.
+        for pair in found.windows(2) {
+            assert_eq!(
+                cmp_scored(&resolved, &pair[0], &pair[1]),
+                std::cmp::Ordering::Less
+            );
+        }
+        // And a generous budget on the same input is exact and unflagged.
+        let config = search_config(1);
+        let search = ConfigurationSearch::new(&qfg, &config, &resolved);
+        let (_, stats) = search.run();
+        assert!(!stats.budget_exhausted);
+    }
+
+    #[test]
+    fn skewed_first_list_shards_at_depth_one_and_stays_exact() {
+        // One unambiguous first keyword (a single candidate) followed by
+        // wide lists: depth-0 sharding would serialize this shape, so the
+        // layout moves to the flattened first-two-level prefix space.
+        let (qfg, mut resolved) = random_search_input(23, 3, 6);
+        resolved[0].truncate(1);
+        let lambda = 0.8;
+        let reference = full_sort_reference(&qfg, lambda, &resolved, 16);
+        let config = search_config(4).with_lambda(lambda);
+        let mut search = ConfigurationSearch::new(&qfg, &config, &resolved);
+        search.parallel_min_tuples = 0;
+        assert_eq!(search.shard_layout().0, 1, "must shard at depth 1");
+        assert!(search.shard_layout().1 > 1, "must still fan out");
+        let (found, stats) = search.run();
+        assert!(!stats.budget_exhausted);
+        assert_tuples_identical("skewed first list", &reference, &found);
+    }
+
+    #[test]
+    fn starved_budget_yields_a_result_even_with_parallel_workers() {
+        // Inflate the lists so the product (8^4 = 4096) engages the
+        // worker fan-out, then give the *whole pool* a 2-evaluation
+        // budget: each worker must still finish its first dive and
+        // return at least one configuration, never an empty result.
+        let (qfg, base) = random_search_input(11, 4, 8);
+        let resolved: Vec<Vec<ResolvedCandidate>> = base
+            .iter()
+            .map(|list| {
+                (0..8)
+                    .map(|i| {
+                        let c = &list[i % list.len()];
+                        ResolvedCandidate {
+                            sigma: c.sigma,
+                            slot: c.slot,
+                            sort_key: format!("{}{i}", c.sort_key),
+                            popularity: c.popularity,
+                            pair_factor_cap: c.pair_factor_cap,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        assert!(resolved.iter().map(|l| l.len() as u64).product::<u64>() >= 2048);
+        let config = search_config(4).with_search_budget(2);
+        let search = ConfigurationSearch::new(&qfg, &config, &resolved);
+        let (found, stats) = search.run();
+        assert!(stats.budget_exhausted);
+        assert!(
+            !found.is_empty(),
+            "every worker must complete its first dive before honouring exhaustion"
+        );
+        for tuple in &found {
+            assert_eq!(tuple.indices.len(), resolved.len());
         }
     }
 }

@@ -36,6 +36,7 @@ pub use fragment::{fragments_of_query, QueryContext, QueryFragment};
 pub use join::{apply_log_weights, infer_joins, BagItem, JoinInference, ScoredJoinPath};
 pub use keyword::{
     Configuration, Keyword, KeywordMapper, KeywordMetadata, MappedElement, MappingCandidate,
+    SearchStats,
 };
 pub use qfg::{FragmentId, FragmentInterner, QueryFragmentGraph, QueryLog};
 pub use shared::SharedTemplar;

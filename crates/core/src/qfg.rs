@@ -288,6 +288,12 @@ pub struct QueryFragmentGraph {
     csr: CsrAdjacency,
     /// Pending `n_e` changes since the last compaction, keyed `(lo, hi)`.
     delta: BTreeMap<(u32, u32), i64>,
+    /// Per-fragment maximum Dice coefficient over all *other* fragments,
+    /// recomputed by [`QueryFragmentGraph::compact`] (exact on a compacted
+    /// graph, unused otherwise — see [`QueryFragmentGraph::max_dice_by_id`]).
+    /// Drives the admissible co-occurrence upper bound of the best-first
+    /// configuration search.
+    max_dice: Vec<f64>,
     /// True when any occurrence count changed since the last compaction
     /// (the CSR's precomputed denominators are then stale).
     occurrences_dirty: bool,
@@ -310,6 +316,7 @@ impl QueryFragmentGraph {
             occurrences: Vec::new(),
             csr: CsrAdjacency::empty(),
             delta: BTreeMap::new(),
+            max_dice: Vec::new(),
             occurrences_dirty: false,
             live_edges: 0,
             query_count: 0,
@@ -476,11 +483,33 @@ impl QueryFragmentGraph {
         let mut neighbors = Vec::with_capacity(merged.len());
         let mut counts = Vec::with_capacity(merged.len());
         let mut denominators = Vec::with_capacity(merged.len());
+        // Rebuild the per-fragment max-Dice column in the same pass: every
+        // positive pair is visited exactly once, and the Dice value is
+        // computed with the same expression the compacted fast path of
+        // [`QueryFragmentGraph::dice_by_id`] uses, so the column is exact
+        // (bit-for-bit) for every pair lookup that follows.
+        let mut max_dice = vec![0.0f64; n];
         for &(lo, hi, count) in &merged {
             neighbors.push(hi);
             counts.push(count);
-            denominators.push(self.occurrences[lo as usize] + self.occurrences[hi as usize]);
+            let denominator = self.occurrences[lo as usize] + self.occurrences[hi as usize];
+            denominators.push(denominator);
+            // Only pairs of *live* fragments enter the column: removing a
+            // query more times than it was ingested (tolerated — `remove`
+            // validates fragment presence, not multiset membership) can
+            // leave a positive pair count on a released slot, and such a
+            // pair is unreachable through any live-id lookup.
+            if self.occurrences[lo as usize] > 0 && self.occurrences[hi as usize] > 0 {
+                let dice = (2.0 * count as f64) / (denominator as f64);
+                if dice > max_dice[lo as usize] {
+                    max_dice[lo as usize] = dice;
+                }
+                if dice > max_dice[hi as usize] {
+                    max_dice[hi as usize] = dice;
+                }
+            }
         }
+        self.max_dice = max_dice;
         self.live_edges = merged.len();
         self.csr = CsrAdjacency {
             offsets,
@@ -674,6 +703,34 @@ impl QueryFragmentGraph {
         (2.0 * ne as f64) / ((na + nb) as f64)
     }
 
+    /// An upper bound on `max over all other fragments x of Dice(id, x)`.
+    ///
+    /// On a compacted graph this is **exact**: the column is rebuilt by
+    /// [`QueryFragmentGraph::compact`] from the same arithmetic the pair
+    /// lookup uses, so for every live partner `x ≠ id`,
+    /// `dice_by_id(id, x) ≤ max_dice_by_id(id)` holds bit-for-bit.  On a
+    /// graph with pending deltas the column may be stale in either
+    /// direction, so the trivially admissible bound `1.0` is returned
+    /// instead — callers on the scoring hot path always see a compacted
+    /// graph (`Templar::from_parts` compacts on snapshot construction).
+    ///
+    /// A fragment with no co-occurring partner has `max_dice = 0.0` (Dice
+    /// with every other fragment is 0), and a released slot reads `0.0`
+    /// until it is re-interned and recompacted.
+    ///
+    /// Like [`QueryFragmentGraph::dice_by_id`], the value can exceed `1.0`
+    /// in the degenerate states produced by removing a query more times
+    /// than it was ingested; consumers that need a probability-like bound
+    /// should clamp (the configuration search's smoothed pair factor caps
+    /// at 1, so both the exact column and the fallback stay admissible).
+    pub fn max_dice_by_id(&self, id: FragmentId) -> f64 {
+        if self.delta.is_empty() && !self.occurrences_dirty && id.index() < self.max_dice.len() {
+            self.max_dice[id.index()]
+        } else {
+            1.0
+        }
+    }
+
     /// The Dice coefficient between two relations' `FROM` fragments, used by
     /// the log-driven join edge weight `w_L = 1 − Dice`.
     pub fn relation_dice(&self, a: &str, b: &str) -> f64 {
@@ -858,6 +915,7 @@ impl QueryFragmentGraph {
             }
         }
         let mut denominators = Vec::with_capacity(edges);
+        let mut max_dice = vec![0.0f64; n];
         for lo in 0..n {
             let (start, end) = (c.offsets[lo] as usize, c.offsets[lo + 1] as usize);
             let mut prev: Option<u32> = None;
@@ -877,7 +935,15 @@ impl QueryFragmentGraph {
                          with its occurrence counts"
                     ));
                 }
-                denominators.push(c.occurrences[lo] + c.occurrences[hi as usize]);
+                let denominator = c.occurrences[lo] + c.occurrences[hi as usize];
+                denominators.push(denominator);
+                let dice = (2.0 * count as f64) / (denominator as f64);
+                if dice > max_dice[lo] {
+                    max_dice[lo] = dice;
+                }
+                if dice > max_dice[hi as usize] {
+                    max_dice[hi as usize] = dice;
+                }
             }
         }
         Ok(QueryFragmentGraph {
@@ -896,6 +962,7 @@ impl QueryFragmentGraph {
                 denominators,
             },
             delta: BTreeMap::new(),
+            max_dice,
             occurrences_dirty: false,
             query_count: c.query_count as usize,
             compactions: 0,
@@ -1106,6 +1173,50 @@ mod tests {
             qfg.occurrences(&frag("publication.title", QueryContext::Select)),
             0
         );
+    }
+
+    #[test]
+    fn max_dice_column_is_exact_on_a_compacted_graph() {
+        let qfg = QueryFragmentGraph::build(&figure3_log(), Obscurity::NoConstOp);
+        let live: Vec<QueryFragment> = qfg.fragments().map(|(f, _)| f.clone()).collect();
+        for a in &live {
+            let id = qfg.lookup(a).unwrap();
+            let expected = live
+                .iter()
+                .filter(|b| *b != a)
+                .map(|b| qfg.dice(a, b))
+                .fold(0.0, f64::max);
+            assert_eq!(
+                qfg.max_dice_by_id(id),
+                expected,
+                "max_dice must equal the true per-fragment maximum for {a}"
+            );
+            // Admissibility bit-for-bit: no pair lookup may exceed it.
+            for b in &live {
+                if b != a {
+                    assert!(qfg.dice(a, b) <= qfg.max_dice_by_id(id));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_dice_falls_back_to_admissible_one_while_uncompacted() {
+        let mut qfg = QueryFragmentGraph::build(&figure3_log(), Obscurity::NoConstOp);
+        // journal.name co-occurs most strongly with the journal relation
+        // (25 of 28 journal queries), so its true maximum is 50/53 < 1.
+        let jname = frag("journal.name", QueryContext::Select);
+        let id = qfg.lookup(&jname).unwrap();
+        assert!((qfg.max_dice_by_id(id) - 50.0 / 53.0).abs() < 1e-12);
+        let (extra, _) = QueryLog::from_sql(["SELECT p.year FROM publication p"]);
+        qfg.ingest(&extra.queries()[0]);
+        // Pending deltas: the column may be stale, so the trivial bound wins.
+        assert_eq!(qfg.max_dice_by_id(id), 1.0);
+        qfg.compact();
+        assert!(qfg.max_dice_by_id(id) < 1.0);
+        // A serde round-trip (snapshot load) restores the exact column.
+        let back = QueryFragmentGraph::from_value(&serde::Serialize::to_value(&qfg)).unwrap();
+        assert_eq!(back.max_dice_by_id(id), qfg.max_dice_by_id(id));
     }
 
     #[test]

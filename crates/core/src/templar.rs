@@ -16,7 +16,7 @@
 use crate::config::TemplarConfig;
 use crate::error::{JoinInferenceError, TemplarError};
 use crate::join::{infer_joins, BagItem, JoinInference};
-use crate::keyword::{Configuration, Keyword, KeywordMapper, KeywordMetadata};
+use crate::keyword::{Configuration, Keyword, KeywordMapper, KeywordMetadata, SearchStats};
 use crate::qfg::{QueryFragmentGraph, QueryLog};
 use nlp::TextSimilarity;
 use parking_lot::Mutex;
@@ -279,8 +279,36 @@ impl Templar {
         keywords: &[(Keyword, KeywordMetadata)],
         config: &TemplarConfig,
     ) -> Vec<Configuration> {
+        self.map_keywords_with_stats(keywords, config).0
+    }
+
+    /// [`Templar::map_keywords_with`] plus the best-first search's
+    /// [`SearchStats`] — configurations scored/pruned, bound cutoffs, and
+    /// whether `config.search_budget` ran out before the ranking was proven
+    /// exact.  The serving layer threads these into its metrics and into
+    /// every explanation's `search_budget_exhausted` flag.
+    pub fn map_keywords_with_stats(
+        &self,
+        keywords: &[(Keyword, KeywordMetadata)],
+        config: &TemplarConfig,
+    ) -> (Vec<Configuration>, SearchStats) {
         let mapper = KeywordMapper::new(&self.db, &self.qfg, &self.similarity, config);
-        mapper.map_keywords(keywords)
+        mapper.map_keywords_with_stats(keywords)
+    }
+
+    /// The exhaustive reference enumerator behind
+    /// [`Templar::map_keywords`]: scores the *entire* cartesian product of
+    /// pruned candidates under the given configuration (pass
+    /// `templar.config()` to mirror [`Templar::map_keywords`]).
+    /// Exponential — exposed for tests, benches and validation tooling
+    /// that prove the best-first search exact, never for serving.
+    pub fn map_keywords_exhaustive(
+        &self,
+        keywords: &[(Keyword, KeywordMetadata)],
+        config: &TemplarConfig,
+    ) -> (Vec<Configuration>, SearchStats) {
+        let mapper = KeywordMapper::new(&self.db, &self.qfg, &self.similarity, config);
+        mapper.map_keywords_exhaustive(keywords)
     }
 
     /// `INFERJOINS`: ranked join paths for a bag of relations/attributes.

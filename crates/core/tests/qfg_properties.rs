@@ -176,6 +176,43 @@ impl ModelQfg {
         let ne = self.co_occurrences(a, b);
         (2.0 * ne as f64) / ((na + nb) as f64)
     }
+
+    /// The reference for the columnar graph's `max_dice` column: the maximum
+    /// Dice coefficient between `a` and every *other* live fragment.
+    fn max_dice(&self, a: &QueryFragment) -> f64 {
+        self.occurrences
+            .keys()
+            .filter(|b| *b != a)
+            .map(|b| self.dice(a, b))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Assert the columnar graph's per-fragment `max_dice` column against the
+/// model: the clamped bound the search consumes is always admissible, and
+/// after a compaction the column is exact.  (Both sides can exceed 1.0 in
+/// the degenerate phantom-removal states `remove` tolerates, which is why
+/// admissibility is stated on the clamped value the search actually uses.)
+fn assert_max_dice_consistent(model: &ModelQfg, graph: &QueryFragmentGraph) {
+    let mut compacted = graph.clone();
+    compacted.compact();
+    for fragment in model.occurrences.keys() {
+        let expected = model.max_dice(fragment);
+        let id = graph
+            .lookup(fragment)
+            .expect("live model fragment must be interned");
+        assert!(
+            graph.max_dice_by_id(id).min(1.0) >= expected.min(1.0) - 1e-12,
+            "max_dice must stay an admissible upper bound for {fragment}: \
+             column {} < true max {expected}",
+            graph.max_dice_by_id(id)
+        );
+        let exact = compacted.max_dice_by_id(id);
+        assert!(
+            (exact - expected).abs() < 1e-12,
+            "compacted max_dice must be exact for {fragment}: column {exact} vs model {expected}"
+        );
+    }
 }
 
 proptest! {
@@ -279,6 +316,9 @@ proptest! {
                 prop_assert_eq!(model.query_count, graph.query_count());
                 prop_assert_eq!(model.occurrences.len(), graph.fragment_count());
                 prop_assert_eq!(model.co_occurrences.len(), graph.edge_count());
+                // The max-Dice column must stay an admissible upper bound at
+                // every intermediate state and become exact on compaction.
+                assert_max_dice_consistent(&model, &graph);
             }
             // Full observational sweep over the union of live fragments plus
             // a fragment neither side has seen.
@@ -380,6 +420,9 @@ proptest! {
                     );
                 }
             }
+            // Recycled slots must not inherit the previous tenant's
+            // max-Dice either.
+            assert_max_dice_consistent(&model, &graph);
             // And the recycled graph is observationally the graph a clean
             // build of the second log produces.
             let rebuilt = QueryFragmentGraph::build(&extra_log, obscurity);

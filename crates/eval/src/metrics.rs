@@ -117,6 +117,7 @@ mod tests {
                 score: 1.0,
             },
             final_score: score,
+            search_budget_exhausted: false,
         };
         RankedSql {
             query: parse_query(sql).unwrap(),

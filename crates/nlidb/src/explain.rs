@@ -71,12 +71,24 @@ pub struct Explanation {
     /// The candidate's final score
     /// `config_score · (JOIN_BLEND_BASE + JOIN_BLEND_WEIGHT · join.score)`.
     pub final_score: f64,
+    /// True when the best-first configuration search hit its
+    /// `TemplarConfig::search_budget` before proving the ranking exact:
+    /// this candidate came from the best configurations found within the
+    /// budget, and a better mapping may exist outside it.  False means the
+    /// ranking is provably identical to exhaustively scoring every
+    /// configuration.
+    pub search_budget_exhausted: bool,
 }
 
 impl Explanation {
-    /// Assemble an explanation from a scored configuration and its join
-    /// path's characteristics.
-    pub fn from_parts(config: &Configuration, join: JoinExplanation, final_score: f64) -> Self {
+    /// Assemble an explanation from a scored configuration, its join
+    /// path's characteristics and the configuration search's outcome.
+    pub fn from_parts(
+        config: &Configuration,
+        join: JoinExplanation,
+        final_score: f64,
+        search_budget_exhausted: bool,
+    ) -> Self {
         Explanation {
             lambda: config.lambda,
             sigma_score: config.sigma_score,
@@ -87,6 +99,7 @@ impl Explanation {
             config_score: config.score,
             join,
             final_score,
+            search_budget_exhausted,
         }
     }
 
@@ -147,6 +160,7 @@ mod tests {
             config_score: 0.0,
             join,
             final_score: 0.0,
+            search_budget_exhausted: false,
         };
         e.config_score = e.recompute_config_score();
         e.final_score = e.recompute_final();

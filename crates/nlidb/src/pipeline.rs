@@ -21,8 +21,8 @@ use sqlparse::canonicalize;
 use std::collections::BTreeSet;
 use std::sync::Arc;
 use templar_core::{
-    BagItem, Configuration, Keyword, KeywordMetadata, MappedElement, QueryLog, SharedTemplar,
-    Templar, TemplarConfig, TemplarError,
+    BagItem, Configuration, Keyword, KeywordMetadata, MappedElement, QueryLog, SearchStats,
+    SharedTemplar, Templar, TemplarConfig, TemplarError,
 };
 
 /// How many of the top configurations are expanded into SQL candidates.
@@ -114,10 +114,35 @@ pub fn translate_with_config(
     keywords: &[(Keyword, KeywordMetadata)],
     config: &TemplarConfig,
 ) -> Result<Vec<RankedSql>, TranslateError> {
+    translate_with_config_stats(templar, keywords, config).0
+}
+
+/// [`translate_with_config`] plus the [`SearchStats`] of the best-first
+/// configuration search behind the translation — returned even when the
+/// translation fails downstream of keyword mapping, so the serving layer's
+/// counters always see the search work that was actually spent.
+pub fn translate_with_config_stats(
+    templar: &Templar,
+    keywords: &[(Keyword, KeywordMetadata)],
+    config: &TemplarConfig,
+) -> (Result<Vec<RankedSql>, TranslateError>, SearchStats) {
     if keywords.is_empty() {
-        return Err(TranslateError::NoKeywords);
+        return (Err(TranslateError::NoKeywords), SearchStats::default());
     }
-    let configurations = templar.map_keywords_with(keywords, config);
+    let (configurations, stats) = templar.map_keywords_with_stats(keywords, config);
+    (
+        rank_configurations(templar, config, configurations, &stats),
+        stats,
+    )
+}
+
+/// Expand the top configurations into ranked SQL candidates.
+fn rank_configurations(
+    templar: &Templar,
+    config: &TemplarConfig,
+    configurations: Vec<Configuration>,
+    stats: &SearchStats,
+) -> Result<Vec<RankedSql>, TranslateError> {
     if configurations.is_empty() {
         return Err(TranslateError::NoMappings);
     }
@@ -154,7 +179,12 @@ pub fn translate_with_config(
                 score: scored_path.score,
             };
             results.push(RankedSql {
-                explanation: Explanation::from_parts(&configuration, join, score),
+                explanation: Explanation::from_parts(
+                    &configuration,
+                    join,
+                    score,
+                    stats.budget_exhausted,
+                ),
                 query,
                 score,
                 configuration: Some(configuration.clone()),

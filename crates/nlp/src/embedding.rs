@@ -16,6 +16,7 @@ use crate::lexicon::SynonymLexicon;
 use crate::stem::porter_stem;
 use crate::tokenize::split_identifier;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
 /// Dimensionality of the synthetic embedding space.
@@ -98,6 +99,12 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// cannot grow the cache past this.
 const VECTOR_CACHE_CAP: usize = 4096;
 
+/// Upper bound on memoized *phrase* vectors.  Phrases (multi-word keywords,
+/// split identifiers) are more varied than single words, but a serving
+/// deployment still re-embeds the same schema-element names and recurring
+/// keyword phrases on every request.
+const PHRASE_CACHE_CAP: usize = 2048;
+
 /// The deterministic word-embedding model.
 ///
 /// Construction is cheap; the model owns a [`SynonymLexicon`] that supplies
@@ -116,6 +123,12 @@ pub struct WordModel {
     /// Bounded word → vector memo.  A lock-poisoning panic elsewhere only
     /// disables the memo (lookups fall through to recomputation).
     vector_cache: RwLock<HashMap<String, PhraseVector>>,
+    /// Bounded phrase → vector memo (same policy as the word memo; a
+    /// phrase vector is a pure function of the phrase text).
+    phrase_cache: RwLock<HashMap<String, PhraseVector>>,
+    /// Phrase-memo hit/miss counters, observable for tuning and tests.
+    phrase_hits: AtomicU64,
+    phrase_misses: AtomicU64,
 }
 
 impl Default for WordModel {
@@ -130,13 +143,23 @@ impl Clone for WordModel {
             lexicon: self.lexicon.clone(),
             lexicon_weight: self.lexicon_weight,
             // Carry the warmth over: a cloned model (snapshot refresh) starts
-            // with the words the previous snapshot already embedded.
+            // with the words and phrases the previous snapshot already
+            // embedded.  Counters restart: they describe one instance's
+            // traffic, not its lineage's.
             vector_cache: RwLock::new(
                 self.vector_cache
                     .read()
                     .map(|cache| cache.clone())
                     .unwrap_or_default(),
             ),
+            phrase_cache: RwLock::new(
+                self.phrase_cache
+                    .read()
+                    .map(|cache| cache.clone())
+                    .unwrap_or_default(),
+            ),
+            phrase_hits: AtomicU64::new(0),
+            phrase_misses: AtomicU64::new(0),
         }
     }
 }
@@ -153,6 +176,9 @@ impl WordModel {
             lexicon,
             lexicon_weight: 0.75,
             vector_cache: RwLock::new(HashMap::new()),
+            phrase_cache: RwLock::new(HashMap::new()),
+            phrase_hits: AtomicU64::new(0),
+            phrase_misses: AtomicU64::new(0),
         }
     }
 
@@ -163,6 +189,9 @@ impl WordModel {
             lexicon: SynonymLexicon::new(),
             lexicon_weight: 0.0,
             vector_cache: RwLock::new(HashMap::new()),
+            phrase_cache: RwLock::new(HashMap::new()),
+            phrase_hits: AtomicU64::new(0),
+            phrase_misses: AtomicU64::new(0),
         }
     }
 
@@ -219,7 +248,29 @@ impl WordModel {
 
     /// Embed a phrase (or identifier) by averaging its word vectors.  SQL
     /// identifiers are split on underscores / camel-case first.
+    ///
+    /// Memoized at the phrase level (bounded, thread-safe): the splitting,
+    /// per-word lookups and re-normalisation used to run on every call even
+    /// though every word vector was already cached.  Hit/miss counts are
+    /// observable via [`WordModel::phrase_cache_stats`].
     pub fn phrase_vector(&self, phrase: &str) -> PhraseVector {
+        if let Ok(cache) = self.phrase_cache.read() {
+            if let Some(hit) = cache.get(phrase) {
+                self.phrase_hits.fetch_add(1, Ordering::Relaxed);
+                return hit.clone();
+            }
+        }
+        self.phrase_misses.fetch_add(1, Ordering::Relaxed);
+        let vector = self.compute_phrase_vector(phrase);
+        if let Ok(mut cache) = self.phrase_cache.write() {
+            if cache.len() < PHRASE_CACHE_CAP {
+                cache.insert(phrase.to_string(), vector.clone());
+            }
+        }
+        vector
+    }
+
+    fn compute_phrase_vector(&self, phrase: &str) -> PhraseVector {
         let words = split_identifier(phrase);
         if words.is_empty() {
             return PhraseVector::zero();
@@ -230,6 +281,14 @@ impl WordModel {
         }
         acc.scale(1.0 / words.len() as f64);
         acc
+    }
+
+    /// Phrase-memo `(hits, misses)` since this instance was constructed.
+    pub fn phrase_cache_stats(&self) -> (u64, u64) {
+        (
+            self.phrase_hits.load(Ordering::Relaxed),
+            self.phrase_misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Character-level similarity between two words, normalised to `[0, 1]`.
@@ -383,6 +442,28 @@ mod tests {
             let s = m.phrase_similarity(a, b);
             assert!((0.0..=1.0).contains(&s), "{a} vs {b} -> {s}");
         }
+    }
+
+    #[test]
+    fn phrase_vectors_are_memoized_with_observable_hit_rate() {
+        let m = WordModel::new();
+        assert_eq!(m.phrase_cache_stats(), (0, 0));
+        let first = m.phrase_vector("restaurant businesses");
+        assert_eq!(m.phrase_cache_stats(), (0, 1));
+        let second = m.phrase_vector("restaurant businesses");
+        assert_eq!(m.phrase_cache_stats(), (1, 1));
+        assert_eq!(first, second, "memo must return the identical vector");
+        // The memo is keyed by the exact phrase text; a different phrase is
+        // a fresh miss and an uncached computation agrees with the memoized
+        // path's output.
+        let other = m.phrase_vector("business");
+        assert_eq!(m.phrase_cache_stats(), (1, 2));
+        assert_eq!(other, m.compute_phrase_vector("business"));
+        // Cloned models inherit warmth but report their own traffic.
+        let cloned = m.clone();
+        assert_eq!(cloned.phrase_cache_stats(), (0, 0));
+        cloned.phrase_vector("restaurant businesses");
+        assert_eq!(cloned.phrase_cache_stats(), (1, 0), "clone starts warm");
     }
 
     #[test]

@@ -14,6 +14,10 @@ const BUCKETS: usize = 40;
 pub struct ServiceMetrics {
     translations: AtomicU64,
     empty_translations: AtomicU64,
+    search_tuples_scored: AtomicU64,
+    search_tuples_pruned: AtomicU64,
+    search_bound_cutoffs: AtomicU64,
+    search_budget_exhausted: AtomicU64,
     ingest_submitted: AtomicU64,
     ingest_rejected: AtomicU64,
     ingest_applied: AtomicU64,
@@ -86,6 +90,18 @@ impl ServiceMetrics {
             self.empty_translations.fetch_add(1, Ordering::Relaxed);
         }
         self.latency_buckets.record(latency);
+    }
+
+    pub(crate) fn record_search(&self, stats: &templar_core::SearchStats) {
+        self.search_tuples_scored
+            .fetch_add(stats.tuples_scored, Ordering::Relaxed);
+        self.search_tuples_pruned
+            .fetch_add(stats.tuples_pruned, Ordering::Relaxed);
+        self.search_bound_cutoffs
+            .fetch_add(stats.bound_cutoffs, Ordering::Relaxed);
+        if stats.budget_exhausted {
+            self.search_budget_exhausted.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     pub(crate) fn record_submitted(&self) {
@@ -175,6 +191,10 @@ impl ServiceMetrics {
         MetricsSnapshot {
             translations_served: translations,
             empty_translations: self.empty_translations.load(Ordering::Relaxed),
+            search_tuples_scored: self.search_tuples_scored.load(Ordering::Relaxed),
+            search_tuples_pruned: self.search_tuples_pruned.load(Ordering::Relaxed),
+            search_bound_cutoffs: self.search_bound_cutoffs.load(Ordering::Relaxed),
+            search_budget_exhausted: self.search_budget_exhausted.load(Ordering::Relaxed),
             translate_p50_us: self.latency_buckets.quantile_us(0.50),
             translate_p99_us: self.latency_buckets.quantile_us(0.99),
             translate_mean_us: mean_us,
@@ -218,6 +238,16 @@ pub struct MetricsSnapshot {
     pub translations_served: u64,
     /// Translations that produced no SQL candidate.
     pub empty_translations: u64,
+    /// Best-first configuration-search counters, summed over every
+    /// translation served: complete configurations scored, configurations
+    /// the admissible bound skipped without scoring, prefix subtrees cut
+    /// by the bound, and how many requests exhausted their
+    /// `search_budget` (returning a best-effort instead of provably exact
+    /// ranking — also flagged per candidate in its explanation).
+    pub search_tuples_scored: u64,
+    pub search_tuples_pruned: u64,
+    pub search_bound_cutoffs: u64,
+    pub search_budget_exhausted: u64,
     /// Approximate translation latency quantiles (power-of-two bucket upper
     /// bounds) and exact mean, in microseconds.
     pub translate_p50_us: u64,

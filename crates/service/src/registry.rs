@@ -3,10 +3,10 @@
 //!
 //! ```text
 //!             JSON line                 ┌──────────────────────────────┐
-//!  client ──► {"version":1, ...} ────► │ TenantRegistry               │
+//!  client ──► {"version":2, ...} ────► │ TenantRegistry               │
 //!             handle_line()            │   "mas"  ─► TemplarService A │
 //!                                      │   "imdb" ─► TemplarService B │
-//!             {"version":1, ok,…} ◄─── │   "yelp" ─► TemplarService C │
+//!             {"version":2, ok,…} ◄─── │   "yelp" ─► TemplarService C │
 //!  client ◄── response line            └──────────────────────────────┘
 //! ```
 //!
@@ -141,6 +141,10 @@ fn metrics_report(snapshot: &MetricsSnapshot) -> MetricsReport {
     MetricsReport {
         translations_served: snapshot.translations_served,
         empty_translations: snapshot.empty_translations,
+        search_tuples_scored: snapshot.search_tuples_scored,
+        search_tuples_pruned: snapshot.search_tuples_pruned,
+        search_bound_cutoffs: snapshot.search_bound_cutoffs,
+        search_budget_exhausted: snapshot.search_budget_exhausted,
         translate_p50_us: snapshot.translate_p50_us,
         translate_p99_us: snapshot.translate_p99_us,
         translate_mean_us: snapshot.translate_mean_us,

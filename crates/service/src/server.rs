@@ -36,7 +36,7 @@ use crate::ingest::IngestQueue;
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::snapshot;
 use crate::wal::{self, WalWriter};
-use nlidb::{translate_with, translate_with_config, Nlq, RankedSql, TranslateError};
+use nlidb::{translate_with_config_stats, Nlq, RankedSql, TranslateError};
 use nlp::TextSimilarity;
 use parking_lot::Mutex;
 use relational::Database;
@@ -430,7 +430,9 @@ impl TemplarService {
     pub fn translate(&self, nlq: &Nlq) -> Result<Vec<RankedSql>, TranslateError> {
         let started = Instant::now();
         let templar = self.inner.handle.load();
-        let results = translate_with(&templar, &nlq.keywords);
+        let (results, search) =
+            translate_with_config_stats(&templar, &nlq.keywords, templar.config());
+        self.inner.metrics.record_search(&search);
         self.inner
             .metrics
             .record_translation(started.elapsed(), results.is_ok());
@@ -457,7 +459,8 @@ impl TemplarService {
         let started = Instant::now();
         let templar = self.inner.handle.load();
         let config = request.overrides.apply(templar.config());
-        let results = translate_with_config(&templar, &request.keywords, &config);
+        let (results, search) = translate_with_config_stats(&templar, &request.keywords, &config);
+        self.inner.metrics.record_search(&search);
         self.inner
             .metrics
             .record_translation(started.elapsed(), results.is_ok());

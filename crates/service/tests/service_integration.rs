@@ -110,6 +110,14 @@ fn ingested_queries_become_visible_and_sharpen_translations() {
     assert_eq!(m.translations_served, 2);
     assert!(m.translate_p50_us > 0);
     assert!(m.translate_p99_us >= m.translate_p50_us);
+    // Both translations ran the best-first configuration search; the
+    // academic requests fit comfortably inside the default budget, so the
+    // rankings were provably exact.
+    assert!(m.search_tuples_scored > 0);
+    assert_eq!(m.search_budget_exhausted, 0);
+    for candidate in &after {
+        assert!(!candidate.explanation.search_budget_exhausted);
+    }
 }
 
 #[test]

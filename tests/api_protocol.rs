@@ -340,13 +340,13 @@ fn feedback_closes_the_learning_loop_over_the_wire() {
 fn version_mismatched_and_malformed_envelopes_are_rejected() {
     let registry = two_tenant_registry();
 
-    let wrong_version = r#"{"version": 2, "id": 5, "body": {"SubmitSql": {"tenant": "academic", "sql": "SELECT j.name FROM journal j"}}}"#;
+    let wrong_version = r#"{"version": 1, "id": 5, "body": {"SubmitSql": {"tenant": "academic", "sql": "SELECT j.name FROM journal j"}}}"#;
     let envelope = decode_response(&registry.handle_line(wrong_version)).unwrap();
     assert_eq!(
         envelope.into_result(),
         Err(ApiError::VersionMismatch {
             expected: PROTOCOL_VERSION,
-            found: 2
+            found: 1
         })
     );
 
@@ -356,7 +356,7 @@ fn version_mismatched_and_malformed_envelopes_are_rejected() {
         Err(ApiError::MalformedEnvelope { .. })
     ));
 
-    let bad_body = r#"{"version": 1, "id": 9, "body": {"Nonsense": true}}"#;
+    let bad_body = r#"{"version": 2, "id": 9, "body": {"Nonsense": true}}"#;
     let envelope = decode_response(&registry.handle_line(bad_body)).unwrap();
     assert_eq!(envelope.id, 9, "recoverable ids are echoed on errors");
     assert!(matches!(

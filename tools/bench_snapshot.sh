@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Record a machine-readable benchmark snapshot.
+#
+# Runs the configuration-search-relevant benches (keyword_mapping, the
+# search_stress scenarios, join_inference) through the vendored criterion
+# harness and collects their BENCHJSON result lines into one JSON document,
+# so the repository's perf trajectory is recorded per PR instead of living
+# in commit messages.
+#
+# Usage:
+#   tools/bench_snapshot.sh [mean|smoke] [output.json]
+#
+#   mean   (default) — measure and record mean ns/iter for every benchmark
+#   smoke            — run every benchmark body once, unmeasured (CI-fast;
+#                      records null means, proving the benches execute)
+#
+# Environment: BENCH_OUT overrides the output path (default BENCH_PR5.json).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-mean}"
+OUT="${2:-${BENCH_OUT:-BENCH_PR5.json}}"
+BENCHES=(keyword_mapping search_stress join_inference)
+
+EXTRA_ARGS=()
+if [ "$MODE" = "smoke" ]; then
+  EXTRA_ARGS+=(--test)
+elif [ "$MODE" != "mean" ]; then
+  echo "usage: $0 [mean|smoke] [output.json]" >&2
+  exit 2
+fi
+
+lines="$(mktemp)"
+trap 'rm -f "$lines"' EXIT
+
+for bench in "${BENCHES[@]}"; do
+  echo "== cargo bench -p bench --bench $bench (${MODE})" >&2
+  BENCH_JSON=1 cargo bench -p bench --bench "$bench" -- ${EXTRA_ARGS[@]+"${EXTRA_ARGS[@]}"} \
+    | tee /dev/stderr \
+    | sed -n 's/^BENCHJSON //p' >> "$lines"
+done
+
+{
+  printf '{\n  "mode": "%s",\n  "results": [\n' "$MODE"
+  sed 's/^/    /' "$lines" | sed '$!s/$/,/'
+  printf '  ]\n}\n'
+} > "$OUT"
+
+echo "wrote $(wc -l < "$lines") benchmark results to $OUT" >&2

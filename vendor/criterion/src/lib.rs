@@ -159,16 +159,36 @@ fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, f: &mut F) {
     };
     f(&mut bencher);
     match bencher.measured {
-        Some((_, 0)) if smoke_mode() => println!("{id:<50} (smoke: ran once, unmeasured)"),
+        Some((_, 0)) if smoke_mode() => {
+            println!("{id:<50} (smoke: ran once, unmeasured)");
+            emit_json(id, None, 0);
+        }
         Some((total, iters)) if iters > 0 => {
             let mean = total.as_nanos() as f64 / iters as f64;
             println!(
                 "{id:<50} time: [{} per iter, {iters} iters]",
                 format_ns(mean)
             );
+            emit_json(id, Some(mean), iters);
         }
         _ => println!("{id:<50} (no measurement: closure never called iter)"),
     }
+}
+
+/// With `BENCH_JSON=1` in the environment, every result is additionally
+/// printed as a `BENCHJSON {...}` line — one JSON object per benchmark —
+/// so tooling (`tools/bench_snapshot.sh`) can collect means into a
+/// machine-readable snapshot without parsing the human-format output.
+/// Smoke-mode runs emit `"mean_ns": null`.
+fn emit_json(id: &str, mean_ns: Option<f64>, iters: u64) {
+    if std::env::var_os("BENCH_JSON").is_none() {
+        return;
+    }
+    let mean = match mean_ns {
+        Some(ns) => format!("{ns:.1}"),
+        None => "null".to_string(),
+    };
+    println!("BENCHJSON {{\"id\":\"{id}\",\"mean_ns\":{mean},\"iters\":{iters}}}");
 }
 
 fn format_ns(ns: f64) -> String {
