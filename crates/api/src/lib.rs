@@ -27,10 +27,10 @@ pub mod request;
 pub mod response;
 
 pub use error::{ApiError, SnapshotRejection};
-pub use metrics::MetricsReport;
+pub use metrics::{HistogramBucket, MetricsReport, SlowQueryReport, StageLatencyReport};
 pub use protocol::{
     decode_request, decode_response, encode_request, encode_response, RequestBody, RequestEnvelope,
     ResponseBody, ResponseEnvelope, PROTOCOL_VERSION,
 };
 pub use request::{RequestOverrides, TranslateRequest};
-pub use response::{SqlCandidate, TranslateResponse};
+pub use response::{SqlCandidate, TraceReport, TranslateResponse};

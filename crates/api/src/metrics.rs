@@ -9,6 +9,59 @@
 //! count that makes malformed bootstrap logs observable.
 
 use serde::{Deserialize, Serialize};
+use templar_core::{RequestTrace, SearchStats};
+
+/// One cumulative histogram bucket: how many observations were `≤ le_us`
+/// microseconds.  `le_us == u64::MAX` is the `+Inf` bucket and always equals
+/// the histogram's total count — the same cumulative-bucket contract as
+/// Prometheus' `le` label, so expositions can be assembled from the wire
+/// form without re-aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramBucket {
+    /// Inclusive upper bound of the bucket, in microseconds (`u64::MAX` for
+    /// `+Inf`).
+    pub le_us: u64,
+    /// Observations at or below the bound (cumulative).
+    pub count: u64,
+}
+
+/// One pipeline stage's accumulated latency distribution across every
+/// translation the tenant served.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageLatencyReport {
+    /// The stage's stable name (`templar_core::Stage::name`).
+    pub stage: String,
+    /// Timed calls recorded for the stage.
+    pub count: u64,
+    /// Approximate quantiles (power-of-two bucket upper bounds), µs.
+    pub p50_us: u64,
+    pub p99_us: u64,
+    /// Exact mean and sum of the recorded durations, µs.
+    pub mean_us: u64,
+    pub sum_us: u64,
+    /// Cumulative buckets (trailing-empty buckets trimmed; the final entry
+    /// is always `+Inf`).
+    pub buckets: Vec<HistogramBucket>,
+}
+
+/// One captured slow query: the full per-stage breakdown of one of the
+/// slowest translations the tenant has served, kept in a bounded ring.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlowQueryReport {
+    /// Monotonic capture sequence number (later captures have larger
+    /// values; survives evictions from the ring).
+    pub seq: u64,
+    /// The natural-language question as received.
+    pub question: String,
+    /// End-to-end latency, µs.
+    pub total_us: u64,
+    /// Whether the translation produced SQL.
+    pub ok: bool,
+    /// The per-stage breakdown recorded while serving the request.
+    pub trace: RequestTrace,
+    /// The configuration search's work counters for the request.
+    pub search: SearchStats,
+}
 
 /// A point-in-time view of one tenant's serving health.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
@@ -26,10 +79,17 @@ pub struct MetricsReport {
     pub search_bound_cutoffs: u64,
     pub search_budget_exhausted: u64,
     /// Approximate translation latency quantiles (power-of-two bucket upper
-    /// bounds) and exact mean, in microseconds.
+    /// bounds) and exact mean/sum, in microseconds.
     pub translate_p50_us: u64,
     pub translate_p99_us: u64,
     pub translate_mean_us: u64,
+    pub translate_sum_us: u64,
+    /// Cumulative end-to-end latency buckets (Prometheus `le` semantics;
+    /// final entry is `+Inf`).
+    pub translate_buckets: Vec<HistogramBucket>,
+    /// Per-stage latency distributions, one entry per pipeline stage in
+    /// execution order.
+    pub stage_latencies: Vec<StageLatencyReport>,
     /// Ingestion counters: accepted into the queue / rejected at capacity /
     /// applied to the QFG / failed to parse on the live path.
     pub ingest_submitted: u64,
@@ -101,6 +161,27 @@ mod tests {
             wal_replayed: 5,
             wal_segments_gc: 1,
             wal_applied_seq: 9,
+            translate_sum_us: 900,
+            translate_buckets: vec![
+                HistogramBucket { le_us: 0, count: 0 },
+                HistogramBucket { le_us: 1, count: 2 },
+                HistogramBucket {
+                    le_us: u64::MAX,
+                    count: 7,
+                },
+            ],
+            stage_latencies: vec![StageLatencyReport {
+                stage: "config_search".to_string(),
+                count: 7,
+                p50_us: 128,
+                p99_us: 256,
+                mean_us: 120,
+                sum_us: 840,
+                buckets: vec![HistogramBucket {
+                    le_us: u64::MAX,
+                    count: 7,
+                }],
+            }],
             ..MetricsReport::default()
         };
         let back: MetricsReport =

@@ -4,8 +4,8 @@
 //! carries the protocol version and a client-chosen correlation id:
 //!
 //! ```text
-//! {"version": 2, "id": 7, "body": {"Translate": {...}}}     → request
-//! {"version": 2, "id": 7, "ok": {...}, "err": null}          → response
+//! {"version": 3, "id": 7, "body": {"Translate": {...}}}     → request
+//! {"version": 3, "id": 7, "ok": {...}, "err": null}          → response
 //! ```
 //!
 //! The version field is checked *before* the body is decoded: an envelope
@@ -14,21 +14,22 @@
 //! Anything that fails to parse at all is [`ApiError::MalformedEnvelope`].
 
 use crate::error::ApiError;
-use crate::metrics::MetricsReport;
+use crate::metrics::{MetricsReport, SlowQueryReport};
 use crate::request::TranslateRequest;
 use crate::response::TranslateResponse;
 use serde::{Deserialize, Serialize, Value};
 
 /// The protocol generation this build speaks.
 ///
-/// v2: every translation candidate's `Explanation` carries
-/// `search_budget_exhausted`, and `MetricsReport` gained the
-/// configuration-search counters (`search_tuples_scored` /
-/// `search_tuples_pruned` / `search_bound_cutoffs` /
-/// `search_budget_exhausted`).  The fields are required on decode, so
-/// mixed-generation peers are rejected by the version check instead of
-/// failing mid-body.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// v3 (observability): `TranslateRequest` gained its `trace` flag and
+/// `TranslateResponse` the matching optional per-stage breakdown;
+/// `MetricsReport` gained the latency-histogram fields (`translate_sum_us`
+/// / `translate_buckets` / `stage_latencies`); and the `SlowQueries` /
+/// `Prometheus` operations were added.  As with v2 (search counters,
+/// `search_budget_exhausted` explanations), the new fields are required on
+/// decode, so mixed-generation peers are rejected by the version check
+/// instead of failing mid-body.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Operations a client can request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -59,6 +60,18 @@ pub enum RequestBody {
         /// The tenant whose metrics are requested.
         tenant: String,
     },
+    /// Fetch a tenant's captured slow queries: the slowest translations
+    /// served so far, each with its per-stage latency breakdown.
+    SlowQueries {
+        /// The tenant whose slow-query ring is read.
+        tenant: String,
+    },
+    /// Fetch metrics in Prometheus text exposition format — one tenant, or
+    /// every registered tenant assembled into a single exposition.
+    Prometheus {
+        /// The tenant to expose, or `None` for all tenants.
+        tenant: Option<String>,
+    },
 }
 
 /// Success payloads, mirroring [`RequestBody`].
@@ -74,6 +87,10 @@ pub enum ResponseBody {
     /// magnitude larger than the other variants, and every response would
     /// otherwise pay its stack size).
     Metrics(Box<MetricsReport>),
+    /// The tenant's captured slow queries, slowest first.
+    SlowQueries(Vec<SlowQueryReport>),
+    /// A Prometheus text-format exposition of the requested tenants.
+    Prometheus(String),
 }
 
 /// A versioned request envelope.
@@ -317,8 +334,31 @@ mod tests {
     }
 
     #[test]
+    fn slow_query_and_prometheus_bodies_round_trip() {
+        let request = RequestEnvelope::new(
+            10,
+            RequestBody::SlowQueries {
+                tenant: "mas".into(),
+            },
+        );
+        assert_eq!(decode_request(&encode_request(&request)).unwrap(), request);
+        for tenant in [None, Some("mas".to_string())] {
+            let request = RequestEnvelope::new(11, RequestBody::Prometheus { tenant });
+            assert_eq!(decode_request(&encode_request(&request)).unwrap(), request);
+        }
+        let response = ResponseEnvelope::success(
+            11,
+            ResponseBody::Prometheus("# TYPE templar_translations_total counter\n".into()),
+        );
+        assert_eq!(
+            decode_response(&encode_response(&response)).unwrap(),
+            response
+        );
+    }
+
+    #[test]
     fn malformed_lines_recover_the_correlation_id_when_present() {
-        let line = r#"{"version": 2, "id": 11, "body": {"Nonsense": 1}}"#;
+        let line = r#"{"version": 3, "id": 11, "body": {"Nonsense": 1}}"#;
         match decode_request(line) {
             Err((id, ApiError::MalformedEnvelope { .. })) => assert_eq!(id, 11),
             other => panic!("expected MalformedEnvelope with id, got {other:?}"),

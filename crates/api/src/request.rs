@@ -64,6 +64,12 @@ pub struct TranslateRequest {
     pub keywords: Vec<(Keyword, KeywordMetadata)>,
     /// Per-request configuration overrides.
     pub overrides: RequestOverrides,
+    /// When true, the response carries a per-stage latency breakdown of
+    /// this request ([`TranslateResponse::trace`](
+    /// crate::TranslateResponse::trace)).  The server traces every request
+    /// for its own histograms either way; this flag only controls whether
+    /// the breakdown is shipped back.
+    pub trace: bool,
 }
 
 impl TranslateRequest {
@@ -78,7 +84,14 @@ impl TranslateRequest {
             nlq: nlq.into(),
             keywords,
             overrides: RequestOverrides::default(),
+            trace: false,
         }
+    }
+
+    /// Request a per-stage latency breakdown in the response.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
     }
 
     /// Set a per-request λ override.
@@ -146,7 +159,9 @@ mod tests {
             vec![(Keyword::new("papers"), KeywordMetadata::select())],
         )
         .with_lambda(0.5)
-        .with_top_k(2);
+        .with_top_k(2)
+        .with_trace();
+        assert!(req.trace);
         let back: TranslateRequest =
             serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
         assert_eq!(back, req);

@@ -2,6 +2,7 @@
 
 use nlidb::{Explanation, RankedSql};
 use serde::{Deserialize, Serialize};
+use templar_core::{RequestTrace, SearchStats};
 
 /// One ranked SQL candidate with its complete score decomposition.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -28,6 +29,18 @@ impl From<&RankedSql> for SqlCandidate {
     }
 }
 
+/// The per-request observability payload returned when a
+/// [`TranslateRequest`](crate::TranslateRequest) sets its `trace` flag.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceReport {
+    /// Per-stage latency breakdown of this request.  Stage durations are
+    /// measured on non-overlapping request-thread spans, so they sum to at
+    /// most `breakdown.total_nanos` (the measured end-to-end latency).
+    pub breakdown: RequestTrace,
+    /// The best-first configuration search's work counters for this request.
+    pub search: SearchStats,
+}
+
 /// The response to a [`TranslateRequest`](crate::TranslateRequest).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TranslateResponse {
@@ -36,6 +49,8 @@ pub struct TranslateResponse {
     /// Ranked candidates, best first; never empty (failure to translate is
     /// an [`ApiError`](crate::ApiError), not an empty response).
     pub candidates: Vec<SqlCandidate>,
+    /// The per-stage breakdown, present iff the request asked for it.
+    pub trace: Option<TraceReport>,
 }
 
 impl TranslateResponse {
@@ -49,7 +64,14 @@ impl TranslateResponse {
         TranslateResponse {
             tenant: tenant.into(),
             candidates: ranked.iter().take(limit).map(SqlCandidate::from).collect(),
+            trace: None,
         }
+    }
+
+    /// Attach the per-stage breakdown a tracing request asked for.
+    pub fn with_trace(mut self, trace: TraceReport) -> Self {
+        self.trace = Some(trace);
+        self
     }
 
     /// The best candidate.
@@ -100,10 +122,39 @@ mod tests {
                 score: 0.72,
                 explanation: explanation(),
             }],
+            trace: None,
         };
         let back: TranslateResponse =
             serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();
         assert_eq!(back, resp);
         assert!(back.best().unwrap().explanation.is_consistent(1e-12));
+    }
+
+    #[test]
+    fn traced_responses_round_trip_through_serde() {
+        use std::time::Duration;
+        use templar_core::{SearchStats, Stage, TraceSpans};
+
+        let spans = TraceSpans::new();
+        spans.add(Stage::CandidatePruning, 9_000);
+        spans.add(Stage::ConfigSearch, 120_000);
+        let report = TraceReport {
+            breakdown: spans.finish(Duration::from_micros(150)),
+            search: SearchStats {
+                tuples_scored: 40,
+                tuples_pruned: 8,
+                bound_cutoffs: 2,
+                budget_exhausted: false,
+            },
+        };
+        let resp = TranslateResponse {
+            tenant: "mas".to_string(),
+            candidates: Vec::new(),
+            trace: None,
+        }
+        .with_trace(report.clone());
+        let back: TranslateResponse =
+            serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();
+        assert_eq!(back.trace, Some(report));
     }
 }

@@ -1,0 +1,49 @@
+//! Benchmark: the cost of per-request tracing on the translation path.
+//!
+//! The disabled context is the default everywhere in `templar_core` and must
+//! stay within noise of the pre-tracing build (<1% on keyword mapping); the
+//! enabled variant measures what the serving layer actually pays to trace
+//! every request — a handful of monotonic-clock reads per stage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::Dataset;
+use nlidb::translate_traced;
+use sqlparse::BinOp;
+use templar_core::{Keyword, KeywordMetadata, Templar, TemplarConfig, TraceCtx, TraceSpans};
+
+fn bench_tracing(c: &mut Criterion) {
+    let dataset = Dataset::mas();
+    let log = dataset.full_log();
+    let keywords = vec![
+        (Keyword::new("papers"), KeywordMetadata::select()),
+        (Keyword::new("Databases"), KeywordMetadata::filter()),
+        (
+            Keyword::new("after 2000"),
+            KeywordMetadata::filter_with_op(BinOp::Gt),
+        ),
+    ];
+    let templar = Templar::new(dataset.db.clone(), &log, TemplarConfig::paper_defaults()).unwrap();
+
+    c.bench_function("tracing_overhead/translate_disabled", |b| {
+        b.iter(|| {
+            let (results, _) =
+                translate_traced(&templar, &keywords, templar.config(), TraceCtx::disabled());
+            results.map(|r| r.len()).unwrap_or(0)
+        })
+    });
+    c.bench_function("tracing_overhead/translate_enabled", |b| {
+        b.iter(|| {
+            let spans = TraceSpans::new();
+            let (results, _) = translate_traced(
+                &templar,
+                &keywords,
+                templar.config(),
+                TraceCtx::enabled(&spans),
+            );
+            results.map(|r| r.len()).unwrap_or(0)
+        })
+    });
+}
+
+criterion_group!(benches, bench_tracing);
+criterion_main!(benches);

@@ -9,6 +9,7 @@
 use crate::config::TemplarConfig;
 use crate::fragment::{QueryContext, QueryFragment};
 use crate::qfg::{FragmentId, QueryFragmentGraph};
+use crate::trace::{Stage, TraceCtx};
 use nlp::{contains_number, extract_numbers, tokenize_lower, SimilarityModel};
 use relational::{AttributeRef, Database};
 use serde::{Deserialize, Serialize};
@@ -275,13 +276,32 @@ impl<'a> KeywordMapper<'a> {
         &self,
         keywords: &[(Keyword, KeywordMetadata)],
     ) -> (Vec<Configuration>, SearchStats) {
-        let per_keyword = self.pruned_candidate_lists(keywords);
+        self.map_keywords_traced(keywords, TraceCtx::disabled())
+    }
+
+    /// [`KeywordMapper::map_keywords_with_stats`] recording per-stage spans
+    /// into `trace`: candidate retrieval/pruning under
+    /// [`Stage::CandidatePruning`], everything from fragment-id resolution
+    /// through the best-first search and materialization under
+    /// [`Stage::ConfigSearch`] (with each sharded worker's busy time
+    /// reported separately).  The disabled context makes this identical to
+    /// the untraced call.
+    pub fn map_keywords_traced(
+        &self,
+        keywords: &[(Keyword, KeywordMetadata)],
+        trace: TraceCtx<'_>,
+    ) -> (Vec<Configuration>, SearchStats) {
+        let per_keyword = {
+            let _span = trace.span(Stage::CandidatePruning);
+            self.pruned_candidate_lists(keywords)
+        };
         if per_keyword.is_empty() {
             return (Vec::new(), SearchStats::default());
         }
+        let _span = trace.span(Stage::ConfigSearch);
         let resolved = self.resolve_lists(&per_keyword);
         let search = ConfigurationSearch::new(self.qfg, self.config, &resolved);
-        let (scored, stats) = search.run();
+        let (scored, stats) = search.run_traced(trace);
         (self.materialize(&per_keyword, scored), stats)
     }
 
@@ -710,7 +730,7 @@ impl ScoredTuple {
 /// Statistics of one best-first configuration search, surfaced through
 /// [`Templar::map_keywords_with_stats`](crate::Templar), translation
 /// explanations and the serving metrics instead of being dropped.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SearchStats {
     /// Complete configurations actually scored.
     pub tuples_scored: u64,
@@ -1108,18 +1128,34 @@ impl<'a> ConfigurationSearch<'a> {
     }
 
     /// Run the search and return the final ranking plus its statistics.
+    #[cfg(test)]
     fn run(&self) -> (Vec<ScoredTuple>, SearchStats) {
+        self.run_traced(TraceCtx::disabled())
+    }
+
+    /// [`ConfigurationSearch::run`] reporting each worker's busy time into
+    /// `trace` — the wall-clock `config_search` span belongs to the caller;
+    /// this accounts the CPU the fan-out actually burned.
+    fn run_traced(&self, trace: TraceCtx<'_>) -> (Vec<ScoredTuple>, SearchStats) {
         if self.top_k == 0 {
             return (Vec::new(), SearchStats::default());
         }
         let (shard_depth, workers) = self.shard_layout();
         let mut results: Vec<(Vec<ScoredTuple>, SearchStats)> = if workers <= 1 {
-            vec![SearchWorker::new(self, 0, 0, 1).run()]
+            let started = trace.worker_start();
+            let result = SearchWorker::new(self, 0, 0, 1).run();
+            trace.finish_worker(started);
+            vec![result]
         } else {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|w| {
-                        scope.spawn(move || SearchWorker::new(self, shard_depth, w, workers).run())
+                        scope.spawn(move || {
+                            let started = trace.worker_start();
+                            let result = SearchWorker::new(self, shard_depth, w, workers).run();
+                            trace.finish_worker(started);
+                            result
+                        })
                     })
                     .collect();
                 handles

@@ -15,7 +15,10 @@
 //!   default or log-driven edge weights and self-join forking,
 //! * [`templar`] — the [`Templar`](templar::Templar) facade exposing exactly
 //!   the two interface calls of Figure 2, which the `nlidb` crate's systems
-//!   consume.
+//!   consume,
+//! * [`trace`] — zero-dependency per-request tracing: thread-aware stage
+//!   timers with a disabled-by-default fast path, used by the serving layer
+//!   to attribute latency to pipeline stages.
 //!
 //! The crate deliberately has no knowledge of any specific NLIDB: it consumes
 //! keywords + metadata and emits configurations and join paths, exactly as
@@ -29,6 +32,7 @@ pub mod keyword;
 pub mod qfg;
 pub mod shared;
 pub mod templar;
+pub mod trace;
 
 pub use config::{Obscurity, TemplarConfig};
 pub use error::{JoinInferenceError, TemplarError};
@@ -41,3 +45,4 @@ pub use keyword::{
 pub use qfg::{FragmentId, FragmentInterner, QueryFragmentGraph, QueryLog};
 pub use shared::SharedTemplar;
 pub use templar::{JoinCacheStats, Templar};
+pub use trace::{RequestTrace, SpanGuard, Stage, StageSpan, TraceCtx, TraceSpans, STAGE_COUNT};

@@ -18,6 +18,7 @@ use crate::error::{JoinInferenceError, TemplarError};
 use crate::join::{infer_joins, BagItem, JoinInference};
 use crate::keyword::{Configuration, Keyword, KeywordMapper, KeywordMetadata, SearchStats};
 use crate::qfg::{QueryFragmentGraph, QueryLog};
+use crate::trace::{Stage, TraceCtx};
 use nlp::TextSimilarity;
 use parking_lot::Mutex;
 use relational::Database;
@@ -292,8 +293,21 @@ impl Templar {
         keywords: &[(Keyword, KeywordMetadata)],
         config: &TemplarConfig,
     ) -> (Vec<Configuration>, SearchStats) {
+        self.map_keywords_traced(keywords, config, TraceCtx::disabled())
+    }
+
+    /// [`Templar::map_keywords_with_stats`] recording per-stage spans into
+    /// `trace` (candidate pruning, configuration search, worker busy time).
+    /// With [`TraceCtx::disabled`] this is the identical untraced fast
+    /// path.
+    pub fn map_keywords_traced(
+        &self,
+        keywords: &[(Keyword, KeywordMetadata)],
+        config: &TemplarConfig,
+        trace: TraceCtx<'_>,
+    ) -> (Vec<Configuration>, SearchStats) {
         let mapper = KeywordMapper::new(&self.db, &self.qfg, &self.similarity, config);
-        mapper.map_keywords_with_stats(keywords)
+        mapper.map_keywords_traced(keywords, trace)
     }
 
     /// The exhaustive reference enumerator behind
@@ -324,6 +338,20 @@ impl Templar {
         bag: &[BagItem],
         config: &TemplarConfig,
     ) -> Result<Arc<JoinInference>, JoinInferenceError> {
+        self.infer_joins_traced(bag, config, TraceCtx::disabled())
+    }
+
+    /// [`Templar::infer_joins_with`] recorded under
+    /// [`Stage::JoinInference`] in `trace` — cache hits included, so the
+    /// span's call count equals the number of inferences the request asked
+    /// for while its duration exposes how much of that the cache absorbed.
+    pub fn infer_joins_traced(
+        &self,
+        bag: &[BagItem],
+        config: &TemplarConfig,
+        trace: TraceCtx<'_>,
+    ) -> Result<Arc<JoinInference>, JoinInferenceError> {
+        let _span = trace.span(Stage::JoinInference);
         let key = JoinCacheKey::new(bag, config);
         if let Some(hit) = self.join_cache.lock().get(&key) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);

@@ -22,7 +22,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 use templar_core::{
     BagItem, Configuration, Keyword, KeywordMetadata, MappedElement, QueryLog, SearchStats,
-    SharedTemplar, Templar, TemplarConfig, TemplarError,
+    SharedTemplar, Stage, Templar, TemplarConfig, TemplarError, TraceCtx,
 };
 
 /// How many of the top configurations are expanded into SQL candidates.
@@ -126,12 +126,28 @@ pub fn translate_with_config_stats(
     keywords: &[(Keyword, KeywordMetadata)],
     config: &TemplarConfig,
 ) -> (Result<Vec<RankedSql>, TranslateError>, SearchStats) {
+    translate_traced(templar, keywords, config, TraceCtx::disabled())
+}
+
+/// [`translate_with_config_stats`] recording per-stage spans into `trace`:
+/// candidate pruning and the configuration search inside keyword mapping,
+/// then join inference, SQL construction and final ranking here.  Spans are
+/// non-overlapping on this thread, so their durations sum to at most the
+/// caller's measured end-to-end latency; [`TraceCtx::disabled`] (what the
+/// untraced entry points pass) makes the whole path identical to the
+/// pre-tracing build.
+pub fn translate_traced(
+    templar: &Templar,
+    keywords: &[(Keyword, KeywordMetadata)],
+    config: &TemplarConfig,
+    trace: TraceCtx<'_>,
+) -> (Result<Vec<RankedSql>, TranslateError>, SearchStats) {
     if keywords.is_empty() {
         return (Err(TranslateError::NoKeywords), SearchStats::default());
     }
-    let (configurations, stats) = templar.map_keywords_with_stats(keywords, config);
+    let (configurations, stats) = templar.map_keywords_traced(keywords, config, trace);
     (
-        rank_configurations(templar, config, configurations, &stats),
+        rank_configurations(templar, config, configurations, &stats, trace),
         stats,
     )
 }
@@ -142,6 +158,7 @@ fn rank_configurations(
     config: &TemplarConfig,
     configurations: Vec<Configuration>,
     stats: &SearchStats,
+    trace: TraceCtx<'_>,
 ) -> Result<Vec<RankedSql>, TranslateError> {
     if configurations.is_empty() {
         return Err(TranslateError::NoMappings);
@@ -154,15 +171,17 @@ fn rank_configurations(
         if bag.is_empty() {
             continue;
         }
-        let Ok(inference) = templar.infer_joins_with(&bag, config) else {
+        let Ok(inference) = templar.infer_joins_traced(&bag, config, trace) else {
             continue;
         };
         any_join_path = true;
         for scored_path in inference.paths.iter().take(2) {
+            let construct_span = trace.span(Stage::SqlConstruction);
             let Some(query) = construct_query(&configuration, &inference, &scored_path.path) else {
                 continue;
             };
             let canonical = canonicalize(&query).to_string();
+            drop(construct_span);
             if !seen.insert(canonical) {
                 continue;
             }
@@ -198,6 +217,7 @@ fn rank_configurations(
             TranslateError::NoJoinPath
         });
     }
+    let _span = trace.span(Stage::Ranking);
     results.sort_by(|a, b| {
         b.score
             .partial_cmp(&a.score)
@@ -360,6 +380,55 @@ mod tests {
             system.translate(&nlq),
             Err(TranslateError::NoKeywords)
         ));
+    }
+
+    #[test]
+    fn traced_translation_attributes_stages_within_the_total() {
+        use std::time::Instant;
+        use templar_core::{Stage, TraceCtx, TraceSpans};
+
+        let system =
+            PipelineSystem::augmented(academic_db(), &log(), TemplarConfig::default()).unwrap();
+        let templar = system.templar();
+        let keywords = papers_after_2000().keywords;
+
+        let spans = TraceSpans::new();
+        let started = Instant::now();
+        let (results, stats) = translate_traced(
+            &templar,
+            &keywords,
+            templar.config(),
+            TraceCtx::enabled(&spans),
+        );
+        let trace = spans.finish(started.elapsed());
+        assert!(!results.unwrap().is_empty());
+        assert!(stats.tuples_scored > 0);
+
+        // Every stage ran at least once, and the non-overlapping spans must
+        // sum to at most the measured end-to-end latency.
+        for span in &trace.stages {
+            assert!(span.calls > 0, "stage {} never recorded a call", span.stage);
+        }
+        assert!(trace.stage_nanos(Stage::CandidatePruning) > 0);
+        assert!(
+            trace.stage_sum_nanos() <= trace.total_nanos,
+            "stage sum {} exceeds end-to-end total {}",
+            trace.stage_sum_nanos(),
+            trace.total_nanos
+        );
+
+        // Tracing must not change the translation itself.
+        let (untraced, _) = translate_with_config_stats(&templar, &keywords, templar.config());
+        let (traced, _) = translate_traced(
+            &templar,
+            &keywords,
+            templar.config(),
+            TraceCtx::enabled(&TraceSpans::new()),
+        );
+        let queries = |rs: Vec<RankedSql>| -> Vec<String> {
+            rs.into_iter().map(|r| r.query.to_string()).collect()
+        };
+        assert_eq!(queries(untraced.unwrap()), queries(traced.unwrap()));
     }
 
     #[test]

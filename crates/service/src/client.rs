@@ -10,7 +10,7 @@ use crate::registry::TenantRegistry;
 use std::sync::atomic::{AtomicU64, Ordering};
 use templar_api::{
     decode_response, encode_request, ApiError, MetricsReport, RequestBody, RequestEnvelope,
-    ResponseBody, TranslateRequest, TranslateResponse,
+    ResponseBody, SlowQueryReport, TranslateRequest, TranslateResponse,
 };
 
 /// A typed client over the line protocol, bound to one registry.
@@ -87,6 +87,31 @@ impl<'a> RegistryClient<'a> {
             ResponseBody::Metrics(report) => Ok(*report),
             other => Err(ApiError::MalformedEnvelope {
                 detail: format!("unexpected response body for Metrics: {other:?}"),
+            }),
+        }
+    }
+
+    /// Fetch a tenant's captured slow queries, slowest first.
+    pub fn slow_queries(&self, tenant: &str) -> Result<Vec<SlowQueryReport>, ApiError> {
+        match self.roundtrip(RequestBody::SlowQueries {
+            tenant: tenant.to_string(),
+        })? {
+            ResponseBody::SlowQueries(reports) => Ok(reports),
+            other => Err(ApiError::MalformedEnvelope {
+                detail: format!("unexpected response body for SlowQueries: {other:?}"),
+            }),
+        }
+    }
+
+    /// Fetch metrics in Prometheus text exposition format — one tenant, or
+    /// every registered tenant when `tenant` is `None`.
+    pub fn prometheus(&self, tenant: Option<&str>) -> Result<String, ApiError> {
+        match self.roundtrip(RequestBody::Prometheus {
+            tenant: tenant.map(str::to_string),
+        })? {
+            ResponseBody::Prometheus(text) => Ok(text),
+            other => Err(ApiError::MalformedEnvelope {
+                detail: format!("unexpected response body for Prometheus: {other:?}"),
             }),
         }
     }

@@ -63,6 +63,10 @@ pub struct ServiceConfig {
     pub max_log_entries: Option<usize>,
     /// Write-ahead journal tunables (durable services only).
     pub wal: WalConfig,
+    /// How many of the slowest translations to retain with their per-stage
+    /// latency breakdowns ([`TemplarService::slow_queries`](
+    /// crate::TemplarService::slow_queries)).  `0` disables capture.
+    pub slow_query_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -74,6 +78,7 @@ impl Default for ServiceConfig {
             ingest_batch: 128,
             max_log_entries: None,
             wal: WalConfig::default(),
+            slow_query_capacity: 16,
         }
     }
 }
@@ -124,6 +129,12 @@ impl ServiceConfig {
     /// Bound the journal's in-memory staging buffer (clamped to ≥ 1 KiB).
     pub fn with_wal_max_staged_bytes(mut self, bytes: usize) -> Self {
         self.wal.max_staged_bytes = bytes.max(1024);
+        self
+    }
+
+    /// Retain this many slow-query captures (0 disables capture).
+    pub fn with_slow_query_capacity(mut self, capacity: usize) -> Self {
+        self.slow_query_capacity = capacity;
         self
     }
 }

@@ -20,8 +20,13 @@
 //!   applied, and [`server::TemplarService::recover`] restores a crashed
 //!   service from latest-snapshot + journal-tail, torn final record
 //!   truncated,
-//! * [`metrics::ServiceMetrics`] — translations served, latency quantiles,
-//!   ingest lag, QFG size and join-cache statistics as plain data,
+//! * [`metrics::ServiceMetrics`] — translations served, end-to-end *and*
+//!   per-stage latency histograms, ingest lag, QFG size and join-cache
+//!   statistics as plain data, plus a Prometheus text-format exposition
+//!   ([`metrics::prometheus_text`]),
+//! * `slowlog` — bounded capture of the slowest translations served, each
+//!   with its per-stage latency breakdown
+//!   ([`server::TemplarService::slow_queries`]),
 //! * [`config::ServiceConfig`] / [`error::ServiceError`] — operational
 //!   tunables and failure modes,
 //! * [`registry::TenantRegistry`] — multi-tenant routing: one service per
@@ -44,6 +49,7 @@ pub mod ingest;
 pub mod metrics;
 pub mod registry;
 pub mod server;
+pub(crate) mod slowlog;
 pub mod snapshot;
 pub mod wal;
 
@@ -51,7 +57,7 @@ pub use client::RegistryClient;
 pub use config::{ServiceConfig, WalConfig};
 pub use error::{ServiceError, SnapshotError, WalError};
 pub use ingest::IngestQueue;
-pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use metrics::{prometheus_text, MetricsSnapshot, ServiceMetrics};
 pub use registry::TenantRegistry;
 pub use server::{TemplarService, LOCK_FILE, SNAPSHOT_FILE, WAL_DIR};
 pub use snapshot::{

@@ -1,12 +1,16 @@
-//! Service observability: counters and a latency histogram, exported as a
-//! plain struct so callers and benches can consume them without pulling in a
+//! Service observability: counters, end-to-end and per-stage latency
+//! histograms, and a Prometheus text-format exposition — exported as plain
+//! structs so callers and benches can consume them without pulling in a
 //! metrics framework.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+use templar_api::{HistogramBucket, StageLatencyReport};
+use templar_core::trace::{RequestTrace, Stage, STAGE_COUNT};
 
-/// Number of power-of-two latency buckets (bucket `i` covers
-/// `[2^i, 2^(i+1))` microseconds; the last bucket is open-ended).
+/// Number of power-of-two latency buckets.  Bucket 0 holds only 0 µs;
+/// bucket `i ≥ 1` covers `[2^(i-1), 2^i)` microseconds; the last bucket is
+/// open-ended.
 const BUCKETS: usize = 40;
 
 /// Lock-free service counters, updated by translation and ingestion paths.
@@ -33,6 +37,7 @@ pub struct ServiceMetrics {
     wal_io_errors: AtomicU64,
     wal_truncated_bytes: AtomicU64,
     latency_buckets: LatencyHistogram,
+    stage_latency: [LatencyHistogram; STAGE_COUNT],
 }
 
 #[derive(Debug)]
@@ -52,10 +57,27 @@ impl Default for LatencyHistogram {
 
 impl LatencyHistogram {
     fn record(&self, latency: Duration) {
-        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.record_us(latency.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record one observation.  0 µs lands in bucket 0; `us ≥ 1` lands in
+    /// bucket `floor(log2(us)) + 1`, i.e. bucket `i` covers `[2^(i-1), 2^i)`.
+    fn record_us(&self, us: u64) {
         let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
         self.counts[bucket].fetch_add(1, Ordering::Relaxed);
         self.total_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    fn sum_us(&self) -> u64 {
+        self.total_us.load(Ordering::Relaxed)
+    }
+
+    fn mean_us(&self) -> u64 {
+        self.sum_us().checked_div(self.count()).unwrap_or(0)
     }
 
     /// Approximate quantile: the upper bound of the bucket where the
@@ -75,11 +97,58 @@ impl LatencyHistogram {
         for (i, count) in counts.iter().enumerate() {
             seen += count;
             if seen >= target {
-                // Upper bound of bucket i is 2^i µs (bucket 0 is < 1 µs).
+                // Upper bound of bucket i is 2^i µs (bucket i covers
+                // [2^(i-1), 2^i); bucket 0 is exactly 0 µs and still
+                // reports 2^0 = 1 as its conservative bound).
                 return 1u64 << i.min(63);
             }
         }
         1u64 << (BUCKETS - 1).min(63)
+    }
+
+    /// Export cumulative buckets with Prometheus `le` semantics: entry
+    /// `le_us = 2^i − 1` counts every observation strictly below `2^i` µs
+    /// (exact for integer microseconds), trailing empty buckets are
+    /// trimmed, and the final `+Inf` entry (`le_us == u64::MAX`) always
+    /// carries the total count.
+    fn cumulative_buckets(&self) -> Vec<HistogramBucket> {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let last_nonzero = counts.iter().rposition(|&c| c > 0);
+        let mut buckets = Vec::new();
+        let mut cumulative = 0u64;
+        if let Some(last) = last_nonzero {
+            // The open-ended final bucket has no finite bound — it is
+            // covered by +Inf below.
+            for (i, &count) in counts.iter().enumerate().take(last.min(BUCKETS - 2) + 1) {
+                cumulative += count;
+                buckets.push(HistogramBucket {
+                    le_us: (1u64 << i.min(63)) - 1,
+                    count: cumulative,
+                });
+            }
+        }
+        buckets.push(HistogramBucket {
+            le_us: u64::MAX,
+            count: counts.iter().sum(),
+        });
+        buckets
+    }
+
+    /// Project the histogram into its wire report for one pipeline stage.
+    fn stage_report(&self, stage: Stage) -> StageLatencyReport {
+        StageLatencyReport {
+            stage: stage.name().to_string(),
+            count: self.count(),
+            p50_us: self.quantile_us(0.50),
+            p99_us: self.quantile_us(0.99),
+            mean_us: self.mean_us(),
+            sum_us: self.sum_us(),
+            buckets: self.cumulative_buckets(),
+        }
     }
 }
 
@@ -152,12 +221,25 @@ impl ServiceMetrics {
         self.wal_segments_gc.fetch_add(n, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_wal_io_error(&self) {
-        self.wal_io_errors.fetch_add(1, Ordering::Relaxed);
-    }
-
     pub(crate) fn record_wal_io_errors(&self, n: u64) {
         self.wal_io_errors.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Fold one finished request's per-stage breakdown into the stage
+    /// latency histograms: one observation per stage that ran (the stage's
+    /// accumulated duration within the request).
+    pub(crate) fn record_stage_latencies(&self, trace: &RequestTrace) {
+        for stage in Stage::ALL {
+            let nanos = trace.stage_nanos(stage);
+            let ran = trace
+                .stages
+                .iter()
+                .find(|s| s.stage == stage.name())
+                .is_some_and(|s| s.calls > 0);
+            if ran {
+                self.stage_latency[stage as usize].record_us(nanos / 1_000);
+            }
+        }
     }
 
     pub(crate) fn record_wal_truncated(&self, bytes: u64) {
@@ -188,6 +270,10 @@ impl ServiceMetrics {
             .load(Ordering::Relaxed)
             .checked_div(translations)
             .unwrap_or(0);
+        let stage_latencies = Stage::ALL
+            .iter()
+            .map(|&stage| self.stage_latency[stage as usize].stage_report(stage))
+            .collect();
         MetricsSnapshot {
             translations_served: translations,
             empty_translations: self.empty_translations.load(Ordering::Relaxed),
@@ -198,6 +284,9 @@ impl ServiceMetrics {
             translate_p50_us: self.latency_buckets.quantile_us(0.50),
             translate_p99_us: self.latency_buckets.quantile_us(0.99),
             translate_mean_us: mean_us,
+            translate_sum_us: self.latency_buckets.sum_us(),
+            translate_buckets: self.latency_buckets.cumulative_buckets(),
+            stage_latencies,
             ingest_submitted: self.ingest_submitted.load(Ordering::Relaxed),
             ingest_rejected: self.ingest_rejected.load(Ordering::Relaxed),
             ingest_applied: self.ingest_applied.load(Ordering::Relaxed),
@@ -249,10 +338,18 @@ pub struct MetricsSnapshot {
     pub search_bound_cutoffs: u64,
     pub search_budget_exhausted: u64,
     /// Approximate translation latency quantiles (power-of-two bucket upper
-    /// bounds) and exact mean, in microseconds.
+    /// bounds) and exact mean/sum, in microseconds.
     pub translate_p50_us: u64,
     pub translate_p99_us: u64,
     pub translate_mean_us: u64,
+    pub translate_sum_us: u64,
+    /// Cumulative end-to-end latency buckets (Prometheus `le` semantics;
+    /// final entry is `+Inf`).
+    pub translate_buckets: Vec<HistogramBucket>,
+    /// Per-stage latency distributions, one entry per pipeline stage in
+    /// execution order — populated by the serving layer, which traces every
+    /// request it serves.
+    pub stage_latencies: Vec<StageLatencyReport>,
     /// Ingestion counters: accepted into the queue / rejected at capacity /
     /// applied to the QFG / failed to parse.
     pub ingest_submitted: u64,
@@ -313,6 +410,296 @@ pub struct MetricsSnapshot {
     pub qfg_compactions: u64,
 }
 
+impl MetricsSnapshot {
+    /// This snapshot as a Prometheus text-format exposition for one tenant.
+    pub fn to_prometheus_text(&self, tenant: &str) -> String {
+        prometheus_text(&[(tenant, self)])
+    }
+}
+
+/// Every numeric family of the exposition: `(metric name, TYPE, HELP,
+/// extractor)`.  Counters monotonically accumulate since service start;
+/// gauges are point-in-time.
+type FieldGetter = fn(&MetricsSnapshot) -> u64;
+const PROM_FAMILIES: &[(&str, &str, &str, FieldGetter)] = &[
+    (
+        "templar_translations_total",
+        "counter",
+        "Translations served since start.",
+        |s| s.translations_served,
+    ),
+    (
+        "templar_empty_translations_total",
+        "counter",
+        "Translations that produced no SQL candidate.",
+        |s| s.empty_translations,
+    ),
+    (
+        "templar_search_tuples_scored_total",
+        "counter",
+        "Configurations fully scored by the best-first search.",
+        |s| s.search_tuples_scored,
+    ),
+    (
+        "templar_search_tuples_pruned_total",
+        "counter",
+        "Configurations skipped by the admissible bound without scoring.",
+        |s| s.search_tuples_pruned,
+    ),
+    (
+        "templar_search_bound_cutoffs_total",
+        "counter",
+        "Prefix subtrees cut by the admissible bound.",
+        |s| s.search_bound_cutoffs,
+    ),
+    (
+        "templar_search_budget_exhausted_total",
+        "counter",
+        "Requests whose configuration search ran out of budget.",
+        |s| s.search_budget_exhausted,
+    ),
+    (
+        "templar_ingest_submitted_total",
+        "counter",
+        "SQL entries accepted into the ingestion queue.",
+        |s| s.ingest_submitted,
+    ),
+    (
+        "templar_ingest_rejected_total",
+        "counter",
+        "SQL entries rejected at queue capacity.",
+        |s| s.ingest_rejected,
+    ),
+    (
+        "templar_ingest_applied_total",
+        "counter",
+        "SQL entries applied to the Query Fragment Graph.",
+        |s| s.ingest_applied,
+    ),
+    (
+        "templar_ingest_parse_errors_total",
+        "counter",
+        "SQL entries that failed to parse on the live ingest path.",
+        |s| s.ingest_parse_errors,
+    ),
+    (
+        "templar_log_skipped_statements_total",
+        "counter",
+        "Statements skipped as unparsable while assembling the bootstrap log.",
+        |s| s.log_skipped_statements,
+    ),
+    (
+        "templar_log_evictions_total",
+        "counter",
+        "Log entries evicted under the retention bound.",
+        |s| s.log_evictions,
+    ),
+    (
+        "templar_snapshot_swaps_total",
+        "counter",
+        "Snapshots published since start.",
+        |s| s.snapshot_swaps,
+    ),
+    (
+        "templar_feedback_accepted_total",
+        "counter",
+        "Accepted-SQL feedback entries received.",
+        |s| s.feedback_accepted,
+    ),
+    (
+        "templar_wal_appended_total",
+        "counter",
+        "Write-ahead journal records appended.",
+        |s| s.wal_appended,
+    ),
+    (
+        "templar_wal_fsyncs_total",
+        "counter",
+        "Write-ahead journal fsyncs issued.",
+        |s| s.wal_fsyncs,
+    ),
+    (
+        "templar_wal_replayed_total",
+        "counter",
+        "Journal records replayed at recovery.",
+        |s| s.wal_replayed,
+    ),
+    (
+        "templar_wal_segments_gc_total",
+        "counter",
+        "Journal segments garbage-collected.",
+        |s| s.wal_segments_gc,
+    ),
+    (
+        "templar_wal_io_errors_total",
+        "counter",
+        "Journal filesystem failures absorbed.",
+        |s| s.wal_io_errors,
+    ),
+    (
+        "templar_wal_truncated_bytes_total",
+        "counter",
+        "Bytes cut off a torn journal tail at recovery.",
+        |s| s.wal_truncated_bytes,
+    ),
+    (
+        "templar_ingest_lag",
+        "gauge",
+        "Entries accepted but not yet applied.",
+        |s| s.ingest_lag,
+    ),
+    (
+        "templar_wal_applied_seq",
+        "gauge",
+        "Sequence number of the last journal record applied.",
+        |s| s.wal_applied_seq,
+    ),
+    (
+        "templar_join_cache_hits_total",
+        "counter",
+        "Join-cache hits of the current snapshot.",
+        |s| s.join_cache_hits,
+    ),
+    (
+        "templar_join_cache_misses_total",
+        "counter",
+        "Join-cache misses of the current snapshot.",
+        |s| s.join_cache_misses,
+    ),
+    (
+        "templar_join_cache_evictions_total",
+        "counter",
+        "Join-cache evictions of the current snapshot.",
+        |s| s.join_cache_evictions,
+    ),
+    (
+        "templar_join_cache_entries",
+        "gauge",
+        "Resident join-cache entries.",
+        |s| s.join_cache_entries,
+    ),
+    (
+        "templar_qfg_fragments",
+        "gauge",
+        "Live query fragments in the current snapshot's QFG.",
+        |s| s.qfg_fragments,
+    ),
+    (
+        "templar_qfg_edges",
+        "gauge",
+        "Co-occurrence edges in the current snapshot's QFG.",
+        |s| s.qfg_edges,
+    ),
+    (
+        "templar_qfg_queries",
+        "gauge",
+        "Log queries folded into the current snapshot's QFG.",
+        |s| s.qfg_queries,
+    ),
+    (
+        "templar_qfg_interned_fragments",
+        "gauge",
+        "Interner table size of the columnar data plane.",
+        |s| s.qfg_interned_fragments,
+    ),
+    (
+        "templar_qfg_csr_edges",
+        "gauge",
+        "Edges resident in the compacted CSR.",
+        |s| s.qfg_csr_edges,
+    ),
+    (
+        "templar_qfg_pending_deltas",
+        "gauge",
+        "Pending delta-log pairs awaiting compaction.",
+        |s| s.qfg_pending_deltas,
+    ),
+    (
+        "templar_qfg_compactions_total",
+        "counter",
+        "Compactions the QFG lineage has undergone.",
+        |s| s.qfg_compactions,
+    ),
+];
+
+fn prom_bucket_lines(
+    out: &mut String,
+    family: &str,
+    labels: &str,
+    buckets: &[HistogramBucket],
+    sum_us: u64,
+    count: u64,
+) {
+    for bucket in buckets {
+        let le = if bucket.le_us == u64::MAX {
+            "+Inf".to_string()
+        } else {
+            bucket.le_us.to_string()
+        };
+        out.push_str(&format!(
+            "{family}_bucket{{{labels}le=\"{le}\"}} {}\n",
+            bucket.count
+        ));
+    }
+    out.push_str(&format!(
+        "{family}_sum{{{labels_trimmed}}} {sum_us}\n",
+        labels_trimmed = labels.trim_end_matches(',')
+    ));
+    out.push_str(&format!(
+        "{family}_count{{{labels_trimmed}}} {count}\n",
+        labels_trimmed = labels.trim_end_matches(',')
+    ));
+}
+
+/// Assemble a Prometheus text-format exposition over any number of tenants.
+/// Each metric family's `# HELP` / `# TYPE` header appears exactly once,
+/// with one sample per tenant under a `tenant` label — the format's
+/// uniqueness rule, which is why expositions are assembled here rather than
+/// concatenated per tenant.
+pub fn prometheus_text(tenants: &[(&str, &MetricsSnapshot)]) -> String {
+    let mut out = String::new();
+    for (name, kind, help, get) in PROM_FAMILIES {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+        for (tenant, snapshot) in tenants {
+            out.push_str(&format!(
+                "{name}{{tenant=\"{tenant}\"}} {}\n",
+                get(snapshot)
+            ));
+        }
+    }
+    let family = "templar_translate_latency_microseconds";
+    out.push_str(&format!(
+        "# HELP {family} End-to-end translation latency.\n# TYPE {family} histogram\n"
+    ));
+    for (tenant, snapshot) in tenants {
+        prom_bucket_lines(
+            &mut out,
+            family,
+            &format!("tenant=\"{tenant}\","),
+            &snapshot.translate_buckets,
+            snapshot.translate_sum_us,
+            snapshot.translations_served,
+        );
+    }
+    let family = "templar_stage_latency_microseconds";
+    out.push_str(&format!(
+        "# HELP {family} Per-stage translation latency, labelled by pipeline stage.\n# TYPE {family} histogram\n"
+    ));
+    for (tenant, snapshot) in tenants {
+        for stage in &snapshot.stage_latencies {
+            prom_bucket_lines(
+                &mut out,
+                family,
+                &format!("tenant=\"{tenant}\",stage=\"{}\",", stage.stage),
+                &stage.buckets,
+                stage.sum_us,
+                stage.count,
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,5 +736,149 @@ mod tests {
         let snap = ServiceMetrics::default().export();
         assert_eq!(snap.translate_p50_us, 0);
         assert_eq!(snap.translate_p99_us, 0);
+        assert_eq!(snap.translate_sum_us, 0);
+        // Even an empty histogram exposes its +Inf bucket.
+        assert_eq!(
+            snap.translate_buckets,
+            vec![HistogramBucket {
+                le_us: u64::MAX,
+                count: 0
+            }]
+        );
+    }
+
+    #[test]
+    fn bucket_boundaries_match_the_documented_semantics() {
+        // Bucket 0 holds only 0 µs; bucket i ≥ 1 covers [2^(i-1), 2^i).
+        let h = LatencyHistogram::default();
+        h.record_us(0);
+        h.record_us(1); // bucket 1: [1, 2)
+        h.record_us(2); // bucket 2: [2, 4)
+        h.record_us(3); // bucket 2
+        h.record_us(1024); // bucket 11: [1024, 2048)
+        let count_of = |i: usize| h.counts[i].load(Ordering::Relaxed);
+        assert_eq!(count_of(0), 1);
+        assert_eq!(count_of(1), 1);
+        assert_eq!(count_of(2), 2);
+        assert_eq!(count_of(10), 0);
+        assert_eq!(count_of(11), 1);
+    }
+
+    #[test]
+    fn quantiles_report_the_bucket_upper_bound() {
+        let h = LatencyHistogram::default();
+        h.record_us(1);
+        assert_eq!(h.quantile_us(0.5), 2, "1 µs lives in [1, 2) → bound 2");
+        let h = LatencyHistogram::default();
+        h.record_us(1024);
+        assert_eq!(
+            h.quantile_us(0.5),
+            2048,
+            "1024 µs lives in [1024, 2048) → bound 2048"
+        );
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_end_at_inf() {
+        let h = LatencyHistogram::default();
+        for us in [0u64, 1, 3, 3, 700, 1024] {
+            h.record_us(us);
+        }
+        let buckets = h.cumulative_buckets();
+        let last = buckets.last().unwrap();
+        assert_eq!(last.le_us, u64::MAX);
+        assert_eq!(last.count, 6);
+        for w in buckets.windows(2) {
+            assert!(w[0].le_us < w[1].le_us, "bounds must increase");
+            assert!(w[0].count <= w[1].count, "cumulative counts must grow");
+        }
+        // le_us = 2^i − 1 is exact for integer microseconds: everything
+        // at or below 1023 µs (five observations) sits under le 1023.
+        let le_1023 = buckets.iter().find(|b| b.le_us == 1023).unwrap();
+        assert_eq!(le_1023.count, 5);
+        // Trailing empties are trimmed: the largest finite bound covers
+        // the 1024 µs observation's bucket and nothing beyond it.
+        let max_finite = buckets[buckets.len() - 2].le_us;
+        assert_eq!(max_finite, 2047);
+    }
+
+    #[test]
+    fn stage_latencies_fold_per_request_breakdowns() {
+        use templar_core::trace::TraceSpans;
+
+        let m = ServiceMetrics::default();
+        let spans = TraceSpans::new();
+        spans.add(Stage::CandidatePruning, 3_000_000); // 3 ms
+        spans.add(Stage::ConfigSearch, 1_000_000);
+        m.record_stage_latencies(&spans.finish(Duration::from_micros(4_100)));
+        let snap = m.export();
+        assert_eq!(snap.stage_latencies.len(), STAGE_COUNT);
+        let pruning = &snap.stage_latencies[Stage::CandidatePruning as usize];
+        assert_eq!(pruning.stage, "candidate_pruning");
+        assert_eq!(pruning.count, 1);
+        assert_eq!(pruning.sum_us, 3_000);
+        // Stages that never ran record nothing.
+        let ranking = &snap.stage_latencies[Stage::Ranking as usize];
+        assert_eq!(ranking.count, 0);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_valid_text_format() {
+        let m = ServiceMetrics::default();
+        m.record_translation(Duration::from_micros(150), true);
+        m.record_translation(Duration::from_micros(90), false);
+        let spans = templar_core::trace::TraceSpans::new();
+        spans.add(Stage::ConfigSearch, 80_000);
+        m.record_stage_latencies(&spans.finish(Duration::from_micros(150)));
+        let snap = m.export();
+        let text = snap.to_prometheus_text("mas");
+
+        let mut seen_families = std::collections::BTreeSet::new();
+        let mut samples = 0usize;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let family = parts.next().unwrap().to_string();
+                let kind = parts.next().unwrap();
+                assert!(matches!(kind, "counter" | "gauge" | "histogram"));
+                assert!(
+                    seen_families.insert(family.clone()),
+                    "family {family} declared twice"
+                );
+            } else if line.starts_with("# HELP ") {
+                continue;
+            } else {
+                // A sample: name{labels} value — value parses as u64.
+                let (name_labels, value) = line.rsplit_once(' ').unwrap();
+                value
+                    .parse::<u64>()
+                    .unwrap_or_else(|_| panic!("sample value must be an integer: {line}"));
+                assert!(name_labels.starts_with("templar_"), "bad name: {line}");
+                assert!(name_labels.contains("tenant=\"mas\""), "unlabelled: {line}");
+                samples += 1;
+            }
+        }
+        assert!(samples > 30, "expected a full exposition, got {samples}");
+        // The histogram contract: the +Inf bucket equals the count series.
+        assert!(text.contains(
+            "templar_translate_latency_microseconds_bucket{tenant=\"mas\",le=\"+Inf\"} 2"
+        ));
+        assert!(text.contains("templar_translate_latency_microseconds_count{tenant=\"mas\"} 2"));
+    }
+
+    #[test]
+    fn multi_tenant_exposition_declares_each_family_once() {
+        let a = ServiceMetrics::default();
+        a.record_translation(Duration::from_micros(10), true);
+        let b = ServiceMetrics::default();
+        let (sa, sb) = (a.export(), b.export());
+        let text = prometheus_text(&[("mas", &sa), ("yelp", &sb)]);
+        assert_eq!(
+            text.matches("# TYPE templar_translations_total counter")
+                .count(),
+            1
+        );
+        assert!(text.contains("templar_translations_total{tenant=\"mas\"} 1"));
+        assert!(text.contains("templar_translations_total{tenant=\"yelp\"} 0"));
     }
 }

@@ -17,14 +17,14 @@
 //! `RwLock` — registration is rare, lookups clone an `Arc`, and the actual
 //! translation work runs entirely outside the lock.
 
-use crate::metrics::MetricsSnapshot;
+use crate::metrics::{prometheus_text, MetricsSnapshot};
 use crate::server::TemplarService;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use templar_api::{
     decode_request, encode_response, ApiError, MetricsReport, RequestBody, ResponseBody,
-    ResponseEnvelope, TranslateRequest, TranslateResponse,
+    ResponseEnvelope, SlowQueryReport, TranslateRequest, TranslateResponse,
 };
 
 /// Routes requests to one [`TemplarService`] per tenant (database).
@@ -104,6 +104,38 @@ impl TenantRegistry {
         Ok(metrics_report(&self.get(tenant)?.metrics()))
     }
 
+    /// Fetch one tenant's captured slow queries, slowest first.
+    pub fn slow_queries(&self, tenant: &str) -> Result<Vec<SlowQueryReport>, ApiError> {
+        Ok(self.get(tenant)?.slow_queries())
+    }
+
+    /// A Prometheus text-format exposition: one tenant, or every registered
+    /// tenant assembled into a single exposition (each metric family's
+    /// `# HELP`/`# TYPE` header appears exactly once, with one sample per
+    /// tenant under the `tenant` label).
+    pub fn prometheus(&self, tenant: Option<&str>) -> Result<String, ApiError> {
+        match tenant {
+            Some(tenant) => Ok(self.get(tenant)?.metrics().to_prometheus_text(tenant)),
+            None => {
+                let services: Vec<(String, Arc<TemplarService>)> = self
+                    .tenants
+                    .read()
+                    .iter()
+                    .map(|(id, service)| (id.clone(), Arc::clone(service)))
+                    .collect();
+                let snapshots: Vec<(String, MetricsSnapshot)> = services
+                    .iter()
+                    .map(|(id, service)| (id.clone(), service.metrics()))
+                    .collect();
+                let refs: Vec<(&str, &MetricsSnapshot)> = snapshots
+                    .iter()
+                    .map(|(id, snap)| (id.as_str(), snap))
+                    .collect();
+                Ok(prometheus_text(&refs))
+            }
+        }
+    }
+
     /// Serve one JSON protocol line, producing exactly one response line.
     /// Never fails: every error becomes the `err` arm of a response
     /// envelope, echoing the request's correlation id when it could be
@@ -127,6 +159,12 @@ impl TenantRegistry {
             RequestBody::Metrics { tenant } => self
                 .metrics(tenant)
                 .map(|report| ResponseBody::Metrics(Box::new(report))),
+            RequestBody::SlowQueries { tenant } => {
+                self.slow_queries(tenant).map(ResponseBody::SlowQueries)
+            }
+            RequestBody::Prometheus { tenant } => self
+                .prometheus(tenant.as_deref())
+                .map(ResponseBody::Prometheus),
         };
         let response = match outcome {
             Ok(body) => ResponseEnvelope::success(id, body),
@@ -148,6 +186,9 @@ fn metrics_report(snapshot: &MetricsSnapshot) -> MetricsReport {
         translate_p50_us: snapshot.translate_p50_us,
         translate_p99_us: snapshot.translate_p99_us,
         translate_mean_us: snapshot.translate_mean_us,
+        translate_sum_us: snapshot.translate_sum_us,
+        translate_buckets: snapshot.translate_buckets.clone(),
+        stage_latencies: snapshot.stage_latencies.clone(),
         ingest_submitted: snapshot.ingest_submitted,
         ingest_rejected: snapshot.ingest_rejected,
         ingest_applied: snapshot.ingest_applied,
@@ -175,5 +216,154 @@ fn metrics_report(snapshot: &MetricsSnapshot) -> MetricsReport {
         qfg_csr_edges: snapshot.qfg_csr_edges,
         qfg_pending_deltas: snapshot.qfg_pending_deltas,
         qfg_compactions: snapshot.qfg_compactions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every snapshot field must survive the wire projection.  Both structs
+    /// are destructured *without* `..`, so adding a field to either side
+    /// breaks this test's compilation until the projection (and this
+    /// checklist) are updated — a new counter can never silently read 0 on
+    /// the wire.
+    #[test]
+    fn metrics_projection_carries_every_field() {
+        let mut snapshot = MetricsSnapshot {
+            translations_served: 1,
+            empty_translations: 2,
+            search_tuples_scored: 3,
+            search_tuples_pruned: 4,
+            search_bound_cutoffs: 5,
+            search_budget_exhausted: 6,
+            translate_p50_us: 7,
+            translate_p99_us: 8,
+            translate_mean_us: 9,
+            translate_sum_us: 10,
+            translate_buckets: vec![templar_api::HistogramBucket {
+                le_us: u64::MAX,
+                count: 1,
+            }],
+            stage_latencies: vec![],
+            ingest_submitted: 11,
+            ingest_rejected: 12,
+            ingest_applied: 13,
+            ingest_parse_errors: 14,
+            log_skipped_statements: 15,
+            ingest_lag: 16,
+            log_evictions: 17,
+            snapshot_swaps: 18,
+            feedback_accepted: 19,
+            wal_appended: 20,
+            wal_fsyncs: 21,
+            wal_replayed: 22,
+            wal_segments_gc: 23,
+            wal_io_errors: 24,
+            wal_truncated_bytes: 25,
+            wal_applied_seq: 26,
+            join_cache_hits: 27,
+            join_cache_misses: 28,
+            join_cache_evictions: 29,
+            join_cache_entries: 30,
+            qfg_fragments: 31,
+            qfg_edges: 32,
+            qfg_queries: 33,
+            qfg_interned_fragments: 34,
+            qfg_csr_edges: 35,
+            qfg_pending_deltas: 36,
+            qfg_compactions: 37,
+        };
+        snapshot.stage_latencies = vec![templar_api::StageLatencyReport {
+            stage: "config_search".to_string(),
+            count: 1,
+            p50_us: 2,
+            p99_us: 3,
+            mean_us: 4,
+            sum_us: 5,
+            buckets: vec![],
+        }];
+
+        let MetricsReport {
+            translations_served,
+            empty_translations,
+            search_tuples_scored,
+            search_tuples_pruned,
+            search_bound_cutoffs,
+            search_budget_exhausted,
+            translate_p50_us,
+            translate_p99_us,
+            translate_mean_us,
+            translate_sum_us,
+            translate_buckets,
+            stage_latencies,
+            ingest_submitted,
+            ingest_rejected,
+            ingest_applied,
+            ingest_parse_errors,
+            log_skipped_statements,
+            ingest_lag,
+            log_evictions,
+            snapshot_swaps,
+            feedback_accepted,
+            wal_appended,
+            wal_fsyncs,
+            wal_replayed,
+            wal_segments_gc,
+            wal_io_errors,
+            wal_truncated_bytes,
+            wal_applied_seq,
+            join_cache_hits,
+            join_cache_misses,
+            join_cache_evictions,
+            join_cache_entries,
+            qfg_fragments,
+            qfg_edges,
+            qfg_queries,
+            qfg_interned_fragments,
+            qfg_csr_edges,
+            qfg_pending_deltas,
+            qfg_compactions,
+        } = metrics_report(&snapshot);
+
+        assert_eq!(translations_served, 1);
+        assert_eq!(empty_translations, 2);
+        assert_eq!(search_tuples_scored, 3);
+        assert_eq!(search_tuples_pruned, 4);
+        assert_eq!(search_bound_cutoffs, 5);
+        assert_eq!(search_budget_exhausted, 6);
+        assert_eq!(translate_p50_us, 7);
+        assert_eq!(translate_p99_us, 8);
+        assert_eq!(translate_mean_us, 9);
+        assert_eq!(translate_sum_us, 10);
+        assert_eq!(translate_buckets, snapshot.translate_buckets);
+        assert_eq!(stage_latencies, snapshot.stage_latencies);
+        assert_eq!(ingest_submitted, 11);
+        assert_eq!(ingest_rejected, 12);
+        assert_eq!(ingest_applied, 13);
+        assert_eq!(ingest_parse_errors, 14);
+        assert_eq!(log_skipped_statements, 15);
+        assert_eq!(ingest_lag, 16);
+        assert_eq!(log_evictions, 17);
+        assert_eq!(snapshot_swaps, 18);
+        assert_eq!(feedback_accepted, 19);
+        assert_eq!(wal_appended, 20);
+        assert_eq!(wal_fsyncs, 21);
+        assert_eq!(wal_replayed, 22);
+        assert_eq!(wal_segments_gc, 23);
+        assert_eq!(wal_io_errors, 24);
+        assert_eq!(wal_truncated_bytes, 25);
+        assert_eq!(wal_applied_seq, 26);
+        assert_eq!(join_cache_hits, 27);
+        assert_eq!(join_cache_misses, 28);
+        assert_eq!(join_cache_evictions, 29);
+        assert_eq!(join_cache_entries, 30);
+        assert_eq!(qfg_fragments, 31);
+        assert_eq!(qfg_edges, 32);
+        assert_eq!(qfg_queries, 33);
+        assert_eq!(qfg_interned_fragments, 34);
+        assert_eq!(qfg_csr_edges, 35);
+        assert_eq!(qfg_pending_deltas, 36);
+        assert_eq!(qfg_compactions, 37);
     }
 }

@@ -34,9 +34,10 @@ use crate::config::ServiceConfig;
 use crate::error::{ServiceError, WalError};
 use crate::ingest::IngestQueue;
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::slowlog::SlowQueryLog;
 use crate::snapshot;
 use crate::wal::{self, WalWriter};
-use nlidb::{translate_with_config_stats, Nlq, RankedSql, TranslateError};
+use nlidb::{translate_traced, Nlq, RankedSql, TranslateError};
 use nlp::TextSimilarity;
 use parking_lot::Mutex;
 use relational::Database;
@@ -45,8 +46,11 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
-use templar_api::{ApiError, TranslateRequest, TranslateResponse};
-use templar_core::{QueryFragmentGraph, QueryLog, SharedTemplar, Templar, TemplarConfig};
+use templar_api::{ApiError, SlowQueryReport, TraceReport, TranslateRequest, TranslateResponse};
+use templar_core::{
+    Keyword, KeywordMetadata, QueryFragmentGraph, QueryLog, SharedTemplar, Templar, TemplarConfig,
+    TraceCtx, TraceSpans,
+};
 
 /// File name of the durable snapshot inside a service's durable directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.templar";
@@ -101,6 +105,7 @@ struct ServiceInner {
     handle: SharedTemplar,
     queue: IngestQueue,
     metrics: ServiceMetrics,
+    slow_queries: SlowQueryLog,
     master: Mutex<MasterState>,
     db: Arc<Database>,
     similarity: TextSimilarity,
@@ -387,6 +392,7 @@ impl TemplarService {
             handle: SharedTemplar::new(initial),
             queue: IngestQueue::new(service_config.queue_capacity),
             metrics: ServiceMetrics::default(),
+            slow_queries: SlowQueryLog::new(service_config.slow_query_capacity),
             master: Mutex::new(MasterState {
                 log,
                 qfg,
@@ -428,15 +434,58 @@ impl TemplarService {
     /// metrics.  Lock-free with respect to ingestion: a snapshot rebuild in
     /// flight does not delay this call.
     pub fn translate(&self, nlq: &Nlq) -> Result<Vec<RankedSql>, TranslateError> {
-        let started = Instant::now();
         let templar = self.inner.handle.load();
+        let (results, _) =
+            self.traced_translate(&templar, &nlq.text, &nlq.keywords, templar.config());
+        results
+    }
+
+    /// Run one translation with per-stage tracing.  Every served request is
+    /// traced: the breakdown feeds the per-stage latency histograms and the
+    /// slow-query ring, and is returned so `translate_request` can ship it
+    /// to clients that asked.  The added cost over the untraced library
+    /// path is a handful of monotonic-clock reads per request — noise next
+    /// to a translation.
+    fn traced_translate(
+        &self,
+        templar: &Templar,
+        question: &str,
+        keywords: &[(Keyword, KeywordMetadata)],
+        config: &TemplarConfig,
+    ) -> (Result<Vec<RankedSql>, TranslateError>, TraceReport) {
+        let spans = TraceSpans::new();
+        let started = Instant::now();
         let (results, search) =
-            translate_with_config_stats(&templar, &nlq.keywords, templar.config());
+            translate_traced(templar, keywords, config, TraceCtx::enabled(&spans));
+        let total = started.elapsed();
+        let trace = spans.finish(total);
         self.inner.metrics.record_search(&search);
         self.inner
             .metrics
-            .record_translation(started.elapsed(), results.is_ok());
-        results
+            .record_translation(total, results.is_ok());
+        self.inner.metrics.record_stage_latencies(&trace);
+        self.inner.slow_queries.offer(SlowQueryReport {
+            seq: 0, // assigned by the ring
+            question: question.to_string(),
+            total_us: trace.total_us(),
+            ok: results.is_ok(),
+            trace: trace.clone(),
+            search,
+        });
+        (
+            results,
+            TraceReport {
+                breakdown: trace,
+                search,
+            },
+        )
+    }
+
+    /// The slowest translations served so far (bounded by
+    /// [`ServiceConfig::slow_query_capacity`]), slowest first, each with
+    /// its per-stage latency breakdown.
+    pub fn slow_queries(&self) -> Vec<SlowQueryReport> {
+        self.inner.slow_queries.snapshot()
     }
 
     /// Serve one typed API request against the current snapshot, applying
@@ -456,20 +505,21 @@ impl TemplarService {
                 reason: "request carries no keywords".to_string(),
             });
         }
-        let started = Instant::now();
         let templar = self.inner.handle.load();
         let config = request.overrides.apply(templar.config());
-        let (results, search) = translate_with_config_stats(&templar, &request.keywords, &config);
-        self.inner.metrics.record_search(&search);
-        self.inner
-            .metrics
-            .record_translation(started.elapsed(), results.is_ok());
+        let (results, trace) =
+            self.traced_translate(&templar, &request.nlq, &request.keywords, &config);
         let ranked = results?;
-        Ok(TranslateResponse::from_ranked(
+        let response = TranslateResponse::from_ranked(
             request.tenant.clone(),
             &ranked,
             request.overrides.top_k,
-        ))
+        );
+        Ok(if request.trace {
+            response.with_trace(trace)
+        } else {
+            response
+        })
     }
 
     /// Submit a newly-logged SQL query for ingestion.  Non-blocking; fails
@@ -520,7 +570,7 @@ impl TemplarService {
                 Ok(true) => self.inner.metrics.record_wal_fsync(),
                 Ok(false) => {}
                 Err(e) => {
-                    self.inner.metrics.record_wal_io_error();
+                    self.inner.metrics.record_wal_io_errors(1);
                     return Err(WalError::Io(e).into());
                 }
             }
@@ -537,7 +587,7 @@ impl TemplarService {
             Ok(n) => self.inner.metrics.record_wal_segments_gc(n as u64),
             // The checkpoint itself succeeded; a GC failure only delays
             // space reclamation and is retried next time.
-            Err(_) => self.inner.metrics.record_wal_io_error(),
+            Err(_) => self.inner.metrics.record_wal_io_errors(1),
         }
         Ok(watermark)
     }
@@ -715,7 +765,7 @@ fn ingest_worker(inner: Arc<ServiceInner>) {
                 match wal.sync() {
                     Ok(true) => inner.metrics.record_wal_fsync(),
                     Ok(false) => {}
-                    Err(_) => inner.metrics.record_wal_io_error(),
+                    Err(_) => inner.metrics.record_wal_io_errors(1),
                 }
                 if wal.staged_bytes() > config.wal.max_staged_bytes {
                     drop(wal);
@@ -744,7 +794,7 @@ fn ingest_worker(inner: Arc<ServiceInner>) {
                 match wal.sync() {
                     Ok(true) => inner.metrics.record_wal_fsync(),
                     Ok(false) => {}
-                    Err(_) => inner.metrics.record_wal_io_error(),
+                    Err(_) => inner.metrics.record_wal_io_errors(1),
                 }
             }
             let pending = {
@@ -795,7 +845,7 @@ fn ingest_worker(inner: Arc<ServiceInner>) {
             match wal.maybe_sync() {
                 Ok(true) => inner.metrics.record_wal_fsync(),
                 Ok(false) => {}
-                Err(_) => inner.metrics.record_wal_io_error(),
+                Err(_) => inner.metrics.record_wal_io_errors(1),
             }
             let io_errors = wal.take_io_errors();
             if io_errors > 0 {

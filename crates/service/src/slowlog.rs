@@ -1,0 +1,105 @@
+//! Bounded slow-query capture.
+//!
+//! The service traces every translation it serves; this module keeps the
+//! top-N *slowest* of them — question text, per-stage latency breakdown and
+//! search counters — so "why was that request slow" is answerable after the
+//! fact without external tooling.  The ring is a small sorted `Vec` under a
+//! mutex: capture is off the hot path for the overwhelming majority of
+//! requests (a full ring rejects anything faster than its current minimum
+//! with one lock + one comparison), and readers get a clean snapshot.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use templar_api::SlowQueryReport;
+
+/// A bounded, sorted capture of the slowest translations served.
+#[derive(Debug)]
+pub(crate) struct SlowQueryLog {
+    capacity: usize,
+    seq: AtomicU64,
+    /// Sorted by `total_us` descending (slowest first), at most `capacity`
+    /// entries.
+    entries: Mutex<Vec<SlowQueryReport>>,
+}
+
+impl SlowQueryLog {
+    pub(crate) fn new(capacity: usize) -> Self {
+        SlowQueryLog {
+            capacity,
+            seq: AtomicU64::new(0),
+            entries: Mutex::new(Vec::with_capacity(capacity.min(64))),
+        }
+    }
+
+    /// Offer one finished translation for capture.  Kept iff the ring has
+    /// room or the request is slower than the current fastest capture.
+    pub(crate) fn offer(&self, mut report: SlowQueryReport) {
+        if self.capacity == 0 {
+            return;
+        }
+        report.seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut entries = self.entries.lock();
+        if entries.len() == self.capacity
+            && entries
+                .last()
+                .is_some_and(|min| report.total_us <= min.total_us)
+        {
+            return;
+        }
+        let at = entries.partition_point(|existing| existing.total_us >= report.total_us);
+        entries.insert(at, report);
+        entries.truncate(self.capacity);
+    }
+
+    /// Snapshot the captured queries, slowest first.
+    pub(crate) fn snapshot(&self) -> Vec<SlowQueryReport> {
+        self.entries.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use templar_core::{SearchStats, TraceSpans};
+
+    fn report(total_us: u64) -> SlowQueryReport {
+        SlowQueryReport {
+            seq: 0,
+            question: format!("q{total_us}"),
+            total_us,
+            ok: true,
+            trace: TraceSpans::new().finish(std::time::Duration::from_micros(total_us)),
+            search: SearchStats::default(),
+        }
+    }
+
+    #[test]
+    fn keeps_the_slowest_up_to_capacity() {
+        let log = SlowQueryLog::new(3);
+        for us in [50u64, 10, 90, 70, 30] {
+            log.offer(report(us));
+        }
+        let captured = log.snapshot();
+        let totals: Vec<u64> = captured.iter().map(|r| r.total_us).collect();
+        assert_eq!(totals, vec![90, 70, 50]);
+        // Sequence numbers are per-offer and survive eviction.
+        assert!(captured.iter().all(|r| r.seq >= 1 && r.seq <= 5));
+    }
+
+    #[test]
+    fn a_full_ring_rejects_faster_requests_cheaply() {
+        let log = SlowQueryLog::new(2);
+        log.offer(report(100));
+        log.offer(report(200));
+        log.offer(report(5));
+        let totals: Vec<u64> = log.snapshot().iter().map(|r| r.total_us).collect();
+        assert_eq!(totals, vec![200, 100]);
+    }
+
+    #[test]
+    fn zero_capacity_disables_capture() {
+        let log = SlowQueryLog::new(0);
+        log.offer(report(1_000_000));
+        assert!(log.snapshot().is_empty());
+    }
+}

@@ -356,7 +356,7 @@ fn version_mismatched_and_malformed_envelopes_are_rejected() {
         Err(ApiError::MalformedEnvelope { .. })
     ));
 
-    let bad_body = r#"{"version": 2, "id": 9, "body": {"Nonsense": true}}"#;
+    let bad_body = r#"{"version": 3, "id": 9, "body": {"Nonsense": true}}"#;
     let envelope = decode_response(&registry.handle_line(bad_body)).unwrap();
     assert_eq!(envelope.id, 9, "recoverable ids are echoed on errors");
     assert!(matches!(
@@ -489,4 +489,84 @@ proptest! {
             prop_assert!((r.explanation.recompute_final() - r.score).abs() < TOLERANCE);
         }
     }
+}
+
+/// The observability acceptance round-trip: a traced MAS-style translation
+/// over the wire returns a per-stage breakdown whose stage durations sum to
+/// within the measured end-to-end latency, the slow-query ring captures the
+/// request, and the Prometheus exposition parses as text format.
+#[test]
+fn traced_translation_slow_queries_and_prometheus_over_the_wire() {
+    let registry = two_tenant_registry();
+    let client = RegistryClient::new(&registry);
+
+    // An untraced request ships no breakdown.
+    let plain = client
+        .translate(TranslateRequest::new(
+            "academic",
+            "papers after 2000",
+            academic_keywords(),
+        ))
+        .unwrap();
+    assert!(plain.trace.is_none());
+
+    // A traced request ships the per-stage breakdown.
+    let traced = client
+        .translate(
+            TranslateRequest::new("academic", "papers after 2000", academic_keywords())
+                .with_trace(),
+        )
+        .unwrap();
+    assert_eq!(
+        traced.candidates, plain.candidates,
+        "tracing must not change results"
+    );
+    let report = traced.trace.expect("requested trace must be present");
+    let breakdown = &report.breakdown;
+    assert!(breakdown.total_nanos > 0);
+    assert!(
+        breakdown.stage_sum_nanos() <= breakdown.total_nanos,
+        "stage sum {} must fit inside the end-to-end total {}",
+        breakdown.stage_sum_nanos(),
+        breakdown.total_nanos
+    );
+    assert_eq!(breakdown.stages.len(), templar_core::STAGE_COUNT);
+    assert!(breakdown.stages.iter().all(|s| s.calls > 0));
+    assert!(report.search.tuples_scored > 0);
+
+    // Both requests were traced server-side: the slow-query ring holds them.
+    let slow = client.slow_queries("academic").unwrap();
+    assert_eq!(slow.len(), 2);
+    assert!(slow[0].total_us >= slow[1].total_us, "slowest first");
+    assert!(slow
+        .iter()
+        .all(|s| s.question == "papers after 2000" && s.ok));
+    assert!(slow
+        .iter()
+        .all(|s| s.trace.stage_sum_nanos() <= s.trace.total_nanos));
+
+    // Per-tenant exposition carries the stage histograms.
+    let text = client.prometheus(Some("academic")).unwrap();
+    assert!(text.contains("templar_translations_total{tenant=\"academic\"} 2"));
+    assert!(text.contains("# TYPE templar_stage_latency_microseconds histogram"));
+    for line in text.lines().filter(|l| !l.starts_with('#')) {
+        let (_, value) = line.rsplit_once(' ').expect("sample line has a value");
+        value.parse::<u64>().expect("sample values are integers");
+    }
+
+    // The all-tenant exposition declares each family once, samples both.
+    let all = client.prometheus(None).unwrap();
+    assert_eq!(
+        all.matches("# TYPE templar_translations_total counter")
+            .count(),
+        1
+    );
+    assert!(all.contains("tenant=\"academic\""));
+    assert!(all.contains("tenant=\"store\""));
+
+    // Unknown tenants still surface as typed errors.
+    assert!(matches!(
+        client.slow_queries("nope"),
+        Err(ApiError::UnknownTenant { .. })
+    ));
 }

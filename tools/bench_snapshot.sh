@@ -2,8 +2,10 @@
 # Record a machine-readable benchmark snapshot.
 #
 # Runs the configuration-search-relevant benches (keyword_mapping, the
-# search_stress scenarios, join_inference) through the vendored criterion
-# harness and collects their BENCHJSON result lines into one JSON document,
+# search_stress scenarios, join_inference) plus the tracing-overhead pair
+# (translation with tracing disabled vs enabled) through the vendored
+# criterion harness and collects their BENCHJSON result lines into one
+# JSON document,
 # so the repository's perf trajectory is recorded per PR instead of living
 # in commit messages.
 #
@@ -14,14 +16,14 @@
 #   smoke            — run every benchmark body once, unmeasured (CI-fast;
 #                      records null means, proving the benches execute)
 #
-# Environment: BENCH_OUT overrides the output path (default BENCH_PR5.json).
+# Environment: BENCH_OUT overrides the output path (default BENCH_PR6.json).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MODE="${1:-mean}"
-OUT="${2:-${BENCH_OUT:-BENCH_PR5.json}}"
-BENCHES=(keyword_mapping search_stress join_inference)
+OUT="${2:-${BENCH_OUT:-BENCH_PR6.json}}"
+BENCHES=(keyword_mapping search_stress join_inference tracing_overhead)
 
 EXTRA_ARGS=()
 if [ "$MODE" = "smoke" ]; then
