@@ -20,12 +20,14 @@
 //! implements the routing ([`TenantRegistry`](../templar_service/registry/
 //! struct.TenantRegistry.html)) against these types.
 
+pub mod binary;
 pub mod error;
 pub mod metrics;
 pub mod protocol;
 pub mod request;
 pub mod response;
 
+pub use binary::{CodecError, WireCodec, HANDSHAKE_LEN, HANDSHAKE_MAGIC, MAX_FRAME_BYTES};
 pub use error::{ApiError, SnapshotRejection};
 pub use metrics::{HistogramBucket, MetricsReport, SlowQueryReport, StageLatencyReport};
 pub use protocol::{

@@ -121,6 +121,12 @@ pub struct MetricsReport {
     /// Bytes cut off a torn journal tail at recovery (bounded data loss:
     /// acknowledged-but-unsynced entries that did not survive a crash).
     pub wal_truncated_bytes: u64,
+    /// Admission-control sheds: requests rejected with `Backpressure`
+    /// before any work was queued — at the tenant's own in-flight quota,
+    /// and at the serving plane's global in-flight cap (attributed to the
+    /// tenant whose request was turned away).
+    pub admission_tenant_shed: u64,
+    pub admission_global_shed: u64,
     pub wal_applied_seq: u64,
     /// Join-cache statistics of the current snapshot.
     pub join_cache_hits: u64,

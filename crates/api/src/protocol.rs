@@ -74,6 +74,33 @@ pub enum RequestBody {
     },
 }
 
+impl RequestBody {
+    /// The tenant this operation targets, when it names exactly one.
+    pub fn tenant(&self) -> Option<&str> {
+        match self {
+            RequestBody::Translate(request) => Some(&request.tenant),
+            RequestBody::SubmitSql { tenant, .. }
+            | RequestBody::Feedback { tenant, .. }
+            | RequestBody::Metrics { tenant }
+            | RequestBody::SlowQueries { tenant } => Some(tenant),
+            RequestBody::Prometheus { tenant } => tenant.as_deref(),
+        }
+    }
+
+    /// Whether the operation consumes tenant work capacity and therefore
+    /// passes through admission control.  Observability reads (metrics,
+    /// slow queries, Prometheus scrapes) are exempt: an operator must be
+    /// able to see an overloaded tenant's counters *during* the overload.
+    pub fn is_admission_controlled(&self) -> bool {
+        matches!(
+            self,
+            RequestBody::Translate(_)
+                | RequestBody::SubmitSql { .. }
+                | RequestBody::Feedback { .. }
+        )
+    }
+}
+
 /// Success payloads, mirroring [`RequestBody`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ResponseBody {

@@ -1,0 +1,423 @@
+//! Property-based coverage for the protocol-v3 binary codec: encode→decode
+//! identity over generated request and response bodies — every variant,
+//! including `Explanation`-carrying translations and full `MetricsReport`s —
+//! plus typed rejection of truncated and oversized frames.
+//!
+//! The generators deliberately reach the codec's awkward corners: empty and
+//! unicode strings, `u64::MAX` bucket bounds (`+Inf`), negative-exponent
+//! floats, nested optional structure, and multi-candidate responses.
+
+use nlidb::{Explanation, JoinExplanation, TranslateError};
+use proptest::prelude::*;
+use templar_api::binary::{
+    check_frame_len, decode_request_frame, decode_response_frame, encode_request_frame,
+    encode_response_frame, peek_request_id, CodecError, MAX_FRAME_BYTES,
+};
+use templar_api::{
+    ApiError, HistogramBucket, MetricsReport, RequestBody, RequestOverrides, ResponseBody,
+    SlowQueryReport, SqlCandidate, StageLatencyReport, TranslateRequest, TranslateResponse,
+};
+use templar_core::{Keyword, KeywordMetadata, RequestTrace, SearchStats, StageSpan};
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+/// A fraction in `[0, 1]` with a fixed denominator (round-trip equality is
+/// bit-exact either way; the fraction just keeps generated scores plausible).
+fn fraction() -> impl Strategy<Value = f64> {
+    (0u64..10_001).prop_map(|n| n as f64 / 10_000.0)
+}
+
+fn tenant() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,11}"
+}
+
+fn keyword_pair() -> impl Strategy<Value = (Keyword, KeywordMetadata)> {
+    (
+        "[a-z ☃]{1,16}",
+        prop_oneof![
+            Just(KeywordMetadata::select()),
+            Just(KeywordMetadata::filter()),
+            Just(KeywordMetadata::from_clause()),
+            Just(KeywordMetadata::select().with_group_by()),
+        ],
+    )
+        .prop_map(|(text, meta)| (Keyword::new(text), meta))
+}
+
+fn overrides() -> impl Strategy<Value = RequestOverrides> {
+    (
+        proptest::option::of(fraction()),
+        proptest::option::of(any::<bool>()),
+        proptest::option::of(1usize..16),
+    )
+        .prop_map(|(lambda, use_log_joins, top_k)| RequestOverrides {
+            lambda,
+            use_log_joins,
+            top_k,
+        })
+}
+
+fn translate_request() -> impl Strategy<Value = TranslateRequest> {
+    (
+        tenant(),
+        ".{0,40}",
+        proptest::collection::vec(keyword_pair(), 0..5),
+        overrides(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(tenant, nlq, keywords, overrides, trace)| TranslateRequest {
+                tenant,
+                nlq,
+                keywords,
+                overrides,
+                trace,
+            },
+        )
+}
+
+fn request_body() -> impl Strategy<Value = RequestBody> {
+    prop_oneof![
+        translate_request().prop_map(RequestBody::Translate),
+        (tenant(), ".{0,60}").prop_map(|(tenant, sql)| RequestBody::SubmitSql { tenant, sql }),
+        (tenant(), ".{0,60}").prop_map(|(tenant, sql)| RequestBody::Feedback { tenant, sql }),
+        tenant().prop_map(|tenant| RequestBody::Metrics { tenant }),
+        tenant().prop_map(|tenant| RequestBody::SlowQueries { tenant }),
+        proptest::option::of(tenant()).prop_map(|tenant| RequestBody::Prometheus { tenant }),
+    ]
+}
+
+/// An internally consistent `Explanation`: component scores are generated,
+/// the blended scores recomputed with the production arithmetic.
+fn explanation() -> impl Strategy<Value = Explanation> {
+    (
+        fraction(),
+        fraction(),
+        fraction(),
+        fraction(),
+        0usize..6,
+        (0usize..4, fraction(), any::<bool>()),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(lambda, sigma, popularity, dice, pairs, (edges, weight, used_log), exhausted)| {
+                let join = JoinExplanation {
+                    edges,
+                    total_weight: weight * edges as f64,
+                    used_log_weights: used_log,
+                    score: 0.0,
+                };
+                let join = JoinExplanation {
+                    score: join.recompute_score(),
+                    ..join
+                };
+                let mut e = Explanation {
+                    lambda,
+                    sigma_score: sigma,
+                    log_popularity: popularity,
+                    dice_cooccurrence: dice,
+                    qfg_pairs: pairs,
+                    qfg_score: if pairs == 0 { popularity } else { dice },
+                    config_score: 0.0,
+                    join,
+                    final_score: 0.0,
+                    search_budget_exhausted: exhausted,
+                };
+                e.config_score = e.recompute_config_score();
+                e.final_score = e.recompute_final();
+                e
+            },
+        )
+}
+
+fn candidate() -> impl Strategy<Value = SqlCandidate> {
+    (".{1,50}", explanation()).prop_map(|(sql, explanation)| SqlCandidate {
+        sql,
+        score: explanation.final_score,
+        explanation,
+    })
+}
+
+fn search_stats() -> impl Strategy<Value = SearchStats> {
+    (0u64..5_000, 0u64..5_000, 0u64..100, any::<bool>()).prop_map(
+        |(scored, pruned, cutoffs, exhausted)| SearchStats {
+            tuples_scored: scored,
+            tuples_pruned: pruned,
+            bound_cutoffs: cutoffs,
+            budget_exhausted: exhausted,
+        },
+    )
+}
+
+fn request_trace() -> impl Strategy<Value = RequestTrace> {
+    (
+        0u64..10_000_000,
+        proptest::collection::vec(
+            ("[a-z_]{3,16}", 0u64..1_000_000, 0u64..40).prop_map(|(stage, nanos, calls)| {
+                StageSpan {
+                    stage,
+                    nanos,
+                    calls,
+                }
+            }),
+            0..5,
+        ),
+        0u64..1_000_000,
+        0u64..16,
+    )
+        .prop_map(
+            |(total_nanos, stages, worker_nanos, workers)| RequestTrace {
+                total_nanos,
+                stages,
+                search_worker_nanos: worker_nanos,
+                search_workers: workers,
+            },
+        )
+}
+
+fn translate_response() -> impl Strategy<Value = TranslateResponse> {
+    (
+        tenant(),
+        proptest::collection::vec(candidate(), 0..4),
+        proptest::option::of((request_trace(), search_stats())),
+    )
+        .prop_map(|(tenant, candidates, trace)| TranslateResponse {
+            tenant,
+            candidates,
+            trace: trace.map(|(breakdown, search)| templar_api::TraceReport { breakdown, search }),
+        })
+}
+
+fn buckets() -> impl Strategy<Value = Vec<HistogramBucket>> {
+    proptest::collection::vec(0u64..1_000_000, 0..6).prop_map(|mut bounds| {
+        bounds.sort_unstable();
+        let mut cumulative = 0;
+        let mut out: Vec<HistogramBucket> = bounds
+            .into_iter()
+            .map(|le_us| {
+                cumulative += 1;
+                HistogramBucket {
+                    le_us,
+                    count: cumulative,
+                }
+            })
+            .collect();
+        out.push(HistogramBucket {
+            le_us: u64::MAX,
+            count: cumulative,
+        });
+        out
+    })
+}
+
+fn stage_latency() -> impl Strategy<Value = StageLatencyReport> {
+    (
+        "[a-z_]{3,16}",
+        0u64..500,
+        0u64..4_096,
+        0u64..65_536,
+        buckets(),
+    )
+        .prop_map(|(stage, count, p50, p99, buckets)| StageLatencyReport {
+            stage,
+            count,
+            p50_us: p50,
+            p99_us: p99.max(p50),
+            mean_us: p50,
+            sum_us: count * p50,
+            buckets,
+        })
+}
+
+/// A `MetricsReport` with every scalar field exercised: counters are drawn
+/// from one stream and assigned round-robin, so no field is stuck at its
+/// default and a field the codec drops cannot hide.
+fn metrics_report() -> impl Strategy<Value = MetricsReport> {
+    (
+        proptest::collection::vec(0u64..1_000_000, 48..49),
+        buckets(),
+        proptest::collection::vec(stage_latency(), 0..3),
+    )
+        .prop_map(|(counters, translate_buckets, stage_latencies)| {
+            let mut next = counters.into_iter();
+            let mut n = move || next.next().expect("enough generated counters");
+            MetricsReport {
+                translations_served: n(),
+                empty_translations: n(),
+                search_tuples_scored: n(),
+                search_tuples_pruned: n(),
+                search_bound_cutoffs: n(),
+                search_budget_exhausted: n(),
+                translate_p50_us: n(),
+                translate_p99_us: n(),
+                translate_mean_us: n(),
+                translate_sum_us: n(),
+                translate_buckets,
+                stage_latencies,
+                ingest_submitted: n(),
+                ingest_rejected: n(),
+                ingest_applied: n(),
+                ingest_parse_errors: n(),
+                log_skipped_statements: n(),
+                ingest_lag: n(),
+                log_evictions: n(),
+                snapshot_swaps: n(),
+                feedback_accepted: n(),
+                wal_appended: n(),
+                wal_fsyncs: n(),
+                wal_replayed: n(),
+                wal_segments_gc: n(),
+                wal_io_errors: n(),
+                wal_truncated_bytes: n(),
+                admission_tenant_shed: n(),
+                admission_global_shed: n(),
+                wal_applied_seq: n(),
+                join_cache_hits: n(),
+                join_cache_misses: n(),
+                join_cache_evictions: n(),
+                join_cache_entries: n(),
+                qfg_fragments: n(),
+                qfg_edges: n(),
+                qfg_queries: n(),
+                qfg_interned_fragments: n(),
+                qfg_csr_edges: n(),
+                qfg_pending_deltas: n(),
+                qfg_compactions: n(),
+            }
+        })
+}
+
+fn slow_query() -> impl Strategy<Value = SlowQueryReport> {
+    (
+        0u64..10_000,
+        ".{0,40}",
+        0u64..5_000_000,
+        any::<bool>(),
+        request_trace(),
+        search_stats(),
+    )
+        .prop_map(
+            |(seq, question, total_us, ok, trace, search)| SlowQueryReport {
+                seq,
+                question,
+                total_us,
+                ok,
+                trace,
+                search,
+            },
+        )
+}
+
+fn api_error() -> impl Strategy<Value = ApiError> {
+    prop_oneof![
+        tenant().prop_map(|tenant| ApiError::UnknownTenant { tenant }),
+        ".{0,40}".prop_map(|reason| ApiError::InvalidRequest { reason }),
+        (0u32..10, 0u32..10)
+            .prop_map(|(expected, found)| ApiError::VersionMismatch { expected, found }),
+        ".{0,40}".prop_map(|detail| ApiError::MalformedEnvelope { detail }),
+        Just(ApiError::TranslationFailed {
+            kind: TranslateError::NoKeywords,
+        }),
+        Just(ApiError::TranslationFailed {
+            kind: TranslateError::NoJoinPath,
+        }),
+        Just(ApiError::Backpressure),
+        Just(ApiError::ShuttingDown),
+        ".{0,40}".prop_map(|detail| ApiError::SnapshotIo { detail }),
+        ".{0,40}".prop_map(|detail| ApiError::Durability { detail }),
+    ]
+}
+
+fn response_body() -> impl Strategy<Value = ResponseBody> {
+    prop_oneof![
+        translate_response().prop_map(ResponseBody::Translated),
+        Just(ResponseBody::SqlAccepted),
+        Just(ResponseBody::FeedbackAccepted),
+        metrics_report().prop_map(|report| ResponseBody::Metrics(Box::new(report))),
+        proptest::collection::vec(slow_query(), 0..3).prop_map(ResponseBody::SlowQueries),
+        ".{0,200}".prop_map(ResponseBody::Prometheus),
+    ]
+}
+
+fn outcome() -> impl Strategy<Value = Result<ResponseBody, ApiError>> {
+    prop_oneof![response_body().prop_map(Ok), api_error().prop_map(Err),]
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Every request body round-trips bit-exactly through a binary frame,
+    /// with the correlation id preserved and peekable without a body decode.
+    #[test]
+    fn request_frames_round_trip(id in any::<u64>(), body in request_body()) {
+        let frame = encode_request_frame(id, &body);
+        let declared = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+        prop_assert_eq!(declared, frame.len() - 4, "length prefix must cover the payload");
+        prop_assert_eq!(peek_request_id(&frame[4..]), Some(id));
+        let (decoded_id, decoded) = decode_request_frame(&frame[4..]).unwrap();
+        prop_assert_eq!(decoded_id, id);
+        prop_assert_eq!(decoded.unwrap(), body);
+    }
+
+    /// Every response outcome — success bodies including boxed
+    /// `MetricsReport`s and `Explanation`-bearing translations, and every
+    /// common error — round-trips bit-exactly.
+    #[test]
+    fn response_frames_round_trip(id in any::<u64>(), outcome in outcome()) {
+        let frame = encode_response_frame(id, &outcome);
+        let declared = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+        prop_assert_eq!(declared, frame.len() - 4);
+        let (decoded_id, decoded) = decode_response_frame(&frame[4..]).unwrap();
+        prop_assert_eq!(decoded_id, id);
+        prop_assert_eq!(decoded, outcome);
+    }
+
+    /// Chopping a valid frame anywhere yields a typed error — never a
+    /// panic, never a silently-wrong decode.
+    #[test]
+    fn truncated_request_frames_fail_typed(body in request_body(), cut_seed in any::<u64>()) {
+        let frame = encode_request_frame(1, &body);
+        let payload = &frame[4..];
+        let cut = (cut_seed as usize) % payload.len();
+        match decode_request_frame(&payload[..cut]) {
+            Err(CodecError::Runt { .. }) => prop_assert!(cut < 8),
+            Ok((_, Err(CodecError::Truncated { .. })))
+            | Ok((_, Err(CodecError::Malformed { .. }))) => prop_assert!(cut >= 8),
+            other => prop_assert!(false, "cut {} must fail typed, got {:?}", cut, other),
+        }
+    }
+
+    /// Same for response frames.
+    #[test]
+    fn truncated_response_frames_fail_typed(outcome in outcome(), cut_seed in any::<u64>()) {
+        let frame = encode_response_frame(1, &outcome);
+        let payload = &frame[4..];
+        let cut = (cut_seed as usize) % payload.len();
+        prop_assert!(
+            decode_response_frame(&payload[..cut]).is_err(),
+            "cut {} must be rejected", cut
+        );
+    }
+
+    /// Any announced length above the cap is rejected before buffering.
+    #[test]
+    fn oversized_lengths_are_rejected(extra in 1usize..1_000_000) {
+        prop_assert_eq!(
+            check_frame_len(MAX_FRAME_BYTES + extra, MAX_FRAME_BYTES),
+            Err(CodecError::Oversized { len: MAX_FRAME_BYTES + extra, max: MAX_FRAME_BYTES })
+        );
+    }
+
+    /// Flipping the first body byte to an invalid tag is caught.
+    #[test]
+    fn corrupt_body_tags_fail_typed(body in request_body()) {
+        let mut frame = encode_request_frame(1, &body);
+        frame[12] = 0xEE; // first body byte: no such tag
+        let (_, decoded) = decode_request_frame(&frame[4..]).unwrap();
+        prop_assert!(matches!(decoded, Err(CodecError::Malformed { .. })));
+    }
+}

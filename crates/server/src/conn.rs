@@ -1,0 +1,344 @@
+//! Per-connection state machine: codec sniffing at connect time, then
+//! incremental extraction of complete protocol units (JSON lines or binary
+//! frames) from the read buffer.
+//!
+//! A connection starts in `Greeting`: the first bytes decide what it
+//! speaks.  Bytes matching a prefix of the `TPLR` magic wait for the full
+//! 9-byte hello (a negotiating client); anything else — `{`, whitespace, a
+//! telnet user — is a plain JSON-lines session, with the bytes already read
+//! re-interpreted as the first line's beginning.  A JSON envelope can never
+//! start with `T`, so the sniff is unambiguous.
+
+use std::collections::VecDeque;
+use std::net::TcpStream;
+use templar_api::binary::{self, CodecError, WireCodec, HANDSHAKE_LEN};
+
+/// What the connection speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Proto {
+    /// Still sniffing the first bytes.
+    Greeting,
+    /// Newline-delimited JSON protocol lines.
+    JsonLines,
+    /// Length-prefixed binary frames.
+    Binary,
+}
+
+/// One complete protocol unit extracted from the read buffer, ready for a
+/// worker.
+#[derive(Debug, PartialEq)]
+pub(crate) enum Unit {
+    JsonLine(String),
+    BinaryFrame(Vec<u8>),
+}
+
+/// The outcome of feeding newly-read bytes through the state machine.
+#[derive(Debug, PartialEq)]
+pub(crate) enum Parsed {
+    /// Extracted units (possibly none yet — more bytes needed).
+    Units(Vec<Unit>),
+    /// Protocol-fatal condition: send `reply` (if any), flush, close.
+    Fatal {
+        reply: Option<Vec<u8>>,
+        error: CodecError,
+    },
+}
+
+pub(crate) struct Conn {
+    pub stream: TcpStream,
+    pub proto: Proto,
+    /// Bytes read but not yet parsed into complete units.
+    pub inbuf: Vec<u8>,
+    /// Bytes queued to write (responses, handshake ack).
+    pub outbuf: VecDeque<u8>,
+    /// Pipelined requests handed to workers and not yet answered.
+    pub inflight: usize,
+    /// Reading is paused at the pipeline cap (TCP backpressure: the socket
+    /// buffer fills and the peer's sends block — nothing is shed).
+    pub read_paused: bool,
+    /// Flush `outbuf`, then close.
+    pub closing: bool,
+}
+
+impl Conn {
+    pub(crate) fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            proto: Proto::Greeting,
+            inbuf: Vec::new(),
+            outbuf: VecDeque::new(),
+            inflight: 0,
+            read_paused: false,
+            closing: false,
+        }
+    }
+
+    /// The codec a worker should encode this connection's responses in.
+    pub(crate) fn codec(&self) -> WireCodec {
+        match self.proto {
+            Proto::Binary => WireCodec::Binary,
+            _ => WireCodec::Json,
+        }
+    }
+
+    /// Run the state machine over the current `inbuf`: resolve the greeting
+    /// if still pending, then extract every complete unit.
+    pub(crate) fn parse(&mut self, max_unit_bytes: usize) -> Parsed {
+        if self.proto == Proto::Greeting {
+            match self.resolve_greeting() {
+                Greeted::NeedMore => return Parsed::Units(Vec::new()),
+                Greeted::Decided => {}
+                Greeted::Fatal { reply, error } => return Parsed::Fatal { reply, error },
+            }
+        }
+        match self.proto {
+            Proto::JsonLines => self.parse_json_lines(max_unit_bytes),
+            Proto::Binary => self.parse_binary_frames(max_unit_bytes),
+            Proto::Greeting => unreachable!("greeting resolved above"),
+        }
+    }
+
+    fn resolve_greeting(&mut self) -> Greeted {
+        let magic_prefix = self
+            .inbuf
+            .iter()
+            .zip(binary::HANDSHAKE_MAGIC.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        let full_prefix = magic_prefix == self.inbuf.len().min(binary::HANDSHAKE_MAGIC.len());
+        if !full_prefix || self.inbuf.is_empty() {
+            // Not a negotiating client: a bare JSON-lines session, first
+            // bytes included.
+            self.proto = Proto::JsonLines;
+            return Greeted::Decided;
+        }
+        if self.inbuf.len() < HANDSHAKE_LEN {
+            return Greeted::NeedMore;
+        }
+        let hello: [u8; HANDSHAKE_LEN] = self.inbuf[..HANDSHAKE_LEN]
+            .try_into()
+            .expect("length checked");
+        match binary::decode_hello(&hello) {
+            Ok(codec) => {
+                self.inbuf.drain(..HANDSHAKE_LEN);
+                self.outbuf.extend(binary::encode_ack(Some(codec)));
+                self.proto = match codec {
+                    WireCodec::Binary => Proto::Binary,
+                    WireCodec::Json => Proto::JsonLines,
+                };
+                Greeted::Decided
+            }
+            Err(error) => Greeted::Fatal {
+                // The rejecting ack still carries our version, so a
+                // mismatched client learns what to speak.
+                reply: Some(binary::encode_ack(None).to_vec()),
+                error,
+            },
+        }
+    }
+
+    fn parse_json_lines(&mut self, max_unit_bytes: usize) -> Parsed {
+        let mut units = Vec::new();
+        let mut start = 0usize;
+        while let Some(offset) = self.inbuf[start..].iter().position(|&b| b == b'\n') {
+            let line_bytes = &self.inbuf[start..start + offset];
+            start += offset + 1;
+            match std::str::from_utf8(line_bytes) {
+                Ok(line) => {
+                    let trimmed = line.trim();
+                    if !trimmed.is_empty() {
+                        units.push(Unit::JsonLine(trimmed.to_string()));
+                    }
+                }
+                Err(e) => {
+                    self.inbuf.drain(..start);
+                    return Parsed::Fatal {
+                        reply: None,
+                        error: CodecError::Malformed {
+                            detail: format!("invalid utf-8 on a JSON-lines connection: {e}"),
+                        },
+                    };
+                }
+            }
+        }
+        self.inbuf.drain(..start);
+        if self.inbuf.len() > max_unit_bytes {
+            // A "line" growing past the frame cap without a newline can
+            // only exhaust memory; treat it like an oversized frame.
+            return Parsed::Fatal {
+                reply: None,
+                error: CodecError::Oversized {
+                    len: self.inbuf.len(),
+                    max: max_unit_bytes,
+                },
+            };
+        }
+        Parsed::Units(units)
+    }
+
+    fn parse_binary_frames(&mut self, max_unit_bytes: usize) -> Parsed {
+        let mut units = Vec::new();
+        let mut start = 0usize;
+        loop {
+            let rest = &self.inbuf[start..];
+            if rest.len() < 4 {
+                break;
+            }
+            let len = u32::from_le_bytes(rest[..4].try_into().expect("four bytes")) as usize;
+            if let Err(error) = binary::check_frame_len(len, max_unit_bytes) {
+                // The frame cannot be buffered, and without its body the
+                // stream position is lost: connection-fatal.
+                self.inbuf.clear();
+                return Parsed::Fatal { reply: None, error };
+            }
+            if rest.len() < 4 + len {
+                break;
+            }
+            units.push(Unit::BinaryFrame(rest[4..4 + len].to_vec()));
+            start += 4 + len;
+        }
+        self.inbuf.drain(..start);
+        Parsed::Units(units)
+    }
+}
+
+enum Greeted {
+    NeedMore,
+    Decided,
+    Fatal {
+        reply: Option<Vec<u8>>,
+        error: CodecError,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use templar_api::protocol::PROTOCOL_VERSION;
+
+    /// A connected socket pair for state-machine tests (the stream itself
+    /// is never read or written here).
+    fn test_conn() -> Conn {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        Conn::new(stream)
+    }
+
+    #[test]
+    fn json_first_byte_skips_the_handshake() {
+        let mut conn = test_conn();
+        conn.inbuf.extend(b"{\"version\":3}\n{\"ver");
+        match conn.parse(1024) {
+            Parsed::Units(units) => {
+                assert_eq!(units, vec![Unit::JsonLine("{\"version\":3}".into())]);
+            }
+            other => panic!("expected one line, got {other:?}"),
+        }
+        assert_eq!(conn.proto, Proto::JsonLines);
+        assert_eq!(conn.inbuf, b"{\"ver", "partial line stays buffered");
+        assert!(conn.outbuf.is_empty(), "no ack on a bare JSON session");
+    }
+
+    #[test]
+    fn magic_prefix_waits_for_the_full_hello() {
+        let mut conn = test_conn();
+        conn.inbuf.extend(b"TPL");
+        assert_eq!(conn.parse(1024), Parsed::Units(Vec::new()));
+        assert_eq!(conn.proto, Proto::Greeting, "3 magic bytes: undecided");
+
+        conn.inbuf.clear();
+        conn.inbuf.extend(binary::encode_hello(WireCodec::Binary));
+        assert_eq!(conn.parse(1024), Parsed::Units(Vec::new()));
+        assert_eq!(conn.proto, Proto::Binary);
+        let ack: Vec<u8> = conn.outbuf.iter().copied().collect();
+        let ack: [u8; HANDSHAKE_LEN] = ack.as_slice().try_into().unwrap();
+        assert_eq!(binary::decode_ack(&ack).unwrap(), WireCodec::Binary);
+    }
+
+    #[test]
+    fn negotiated_json_still_speaks_lines() {
+        let mut conn = test_conn();
+        conn.inbuf.extend(binary::encode_hello(WireCodec::Json));
+        conn.inbuf.extend(b"{\"id\":1}\n");
+        match conn.parse(1024) {
+            Parsed::Units(units) => assert_eq!(units, vec![Unit::JsonLine("{\"id\":1}".into())]),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(conn.proto, Proto::JsonLines);
+        assert_eq!(conn.outbuf.len(), HANDSHAKE_LEN, "ack queued");
+    }
+
+    #[test]
+    fn version_mismatch_greeting_is_fatal_with_a_rejecting_ack() {
+        let mut conn = test_conn();
+        let mut hello = binary::encode_hello(WireCodec::Binary);
+        hello[4..8].copy_from_slice(&9u32.to_le_bytes());
+        conn.inbuf.extend(hello);
+        match conn.parse(1024) {
+            Parsed::Fatal { reply, error } => {
+                assert_eq!(
+                    error,
+                    CodecError::Version {
+                        expected: PROTOCOL_VERSION,
+                        found: 9
+                    }
+                );
+                let ack: [u8; HANDSHAKE_LEN] = reply.unwrap().as_slice().try_into().unwrap();
+                assert_eq!(binary::decode_ack(&ack), Err(CodecError::Rejected));
+            }
+            other => panic!("expected fatal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_frames_extract_incrementally_and_pipeline() {
+        let mut conn = test_conn();
+        conn.proto = Proto::Binary;
+        let frame_a = [&3u32.to_le_bytes()[..], b"abc"].concat();
+        let frame_b = [&2u32.to_le_bytes()[..], b"xy"].concat();
+        conn.inbuf.extend(&frame_a);
+        conn.inbuf.extend(&frame_b[..4]); // second frame's body missing
+        match conn.parse(1024) {
+            Parsed::Units(units) => assert_eq!(units, vec![Unit::BinaryFrame(b"abc".to_vec())]),
+            other => panic!("{other:?}"),
+        }
+        conn.inbuf.extend(&frame_b[4..]);
+        match conn.parse(1024) {
+            Parsed::Units(units) => assert_eq!(units, vec![Unit::BinaryFrame(b"xy".to_vec())]),
+            other => panic!("{other:?}"),
+        }
+        assert!(conn.inbuf.is_empty());
+    }
+
+    #[test]
+    fn oversized_frame_is_fatal_by_length_alone() {
+        let mut conn = test_conn();
+        conn.proto = Proto::Binary;
+        conn.inbuf.extend(100_000u32.to_le_bytes());
+        match conn.parse(1024) {
+            Parsed::Fatal { error, .. } => assert_eq!(
+                error,
+                CodecError::Oversized {
+                    len: 100_000,
+                    max: 1024
+                }
+            ),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn runaway_json_line_is_fatal() {
+        let mut conn = test_conn();
+        conn.proto = Proto::JsonLines;
+        conn.inbuf.extend(vec![b'x'; 2048]);
+        assert!(matches!(
+            conn.parse(1024),
+            Parsed::Fatal {
+                error: CodecError::Oversized { .. },
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,317 @@
+//! Readiness polling over raw file descriptors — `epoll` on Linux, POSIX
+//! `poll` everywhere else (and on Linux when explicitly forced, so the
+//! fallback stays tested on the platform that never needs it).
+//!
+//! The syscalls are declared directly (`std` already links the platform's C
+//! library, so no crate is needed): this keeps the serving plane
+//! vendored-zero-dep like the rest of the workspace.  The surface is the
+//! small readiness-API subset the reactor uses — level-triggered waits over
+//! `(fd, token)` registrations, with read/write interest flipped as a
+//! connection's buffers fill and drain.
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+/// One readiness notification.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Event {
+    /// The registration's caller-chosen token.
+    pub token: u64,
+    /// The fd is readable (or has pending data before a hangup).
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+    /// Error or peer hangup: the connection is finished either way.
+    pub hangup: bool,
+}
+
+/// Readiness interest of one registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Interest {
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Interest {
+    pub(crate) const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+}
+
+pub(crate) enum Poller {
+    #[cfg(target_os = "linux")]
+    Epoll(epoll::Epoll),
+    Poll(fallback::PollSet),
+}
+
+impl Poller {
+    /// Open a poller: `epoll` where available unless `force_poll` asks for
+    /// the portable fallback.
+    pub(crate) fn new(force_poll: bool) -> io::Result<Poller> {
+        #[cfg(target_os = "linux")]
+        {
+            if !force_poll {
+                return Ok(Poller::Epoll(epoll::Epoll::new()?));
+            }
+        }
+        let _ = force_poll;
+        Ok(Poller::Poll(fallback::PollSet::default()))
+    }
+
+    /// True when backed by the `poll` fallback (observable so tests can
+    /// assert `force_poll` took effect).
+    pub(crate) fn is_fallback(&self) -> bool {
+        matches!(self, Poller::Poll(_))
+    }
+
+    pub(crate) fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(e) => e.ctl(epoll::EPOLL_CTL_ADD, fd, token, interest),
+            Poller::Poll(p) => {
+                p.entries.push(fallback::Entry {
+                    fd,
+                    token,
+                    interest,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    pub(crate) fn reregister(
+        &mut self,
+        fd: RawFd,
+        token: u64,
+        interest: Interest,
+    ) -> io::Result<()> {
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(e) => e.ctl(epoll::EPOLL_CTL_MOD, fd, token, interest),
+            Poller::Poll(p) => {
+                for entry in &mut p.entries {
+                    if entry.fd == fd {
+                        entry.token = token;
+                        entry.interest = interest;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    pub(crate) fn deregister(&mut self, fd: RawFd) {
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(e) => {
+                // Best-effort: the fd is being closed either way.
+                let _ = e.ctl(epoll::EPOLL_CTL_DEL, fd, 0, Interest::READ);
+            }
+            Poller::Poll(p) => p.entries.retain(|entry| entry.fd != fd),
+        }
+    }
+
+    /// Block up to `timeout_ms` for readiness, appending into `events`
+    /// (cleared first).  A timeout simply leaves `events` empty.
+    pub(crate) fn wait(&mut self, events: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+        events.clear();
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(e) => e.wait(events, timeout_ms),
+            Poller::Poll(p) => p.wait(events, timeout_ms),
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod epoll {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    pub(crate) const EPOLL_CTL_ADD: i32 = 1;
+    pub(crate) const EPOLL_CTL_DEL: i32 = 2;
+    pub(crate) const EPOLL_CTL_MOD: i32 = 3;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    /// The kernel's `struct epoll_event`.  On x86-64 the kernel ABI packs
+    /// it (no padding between `events` and `data`); other architectures use
+    /// natural alignment.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+    pub(crate) struct Epoll {
+        epfd: RawFd,
+        buf: Vec<EpollEvent>,
+    }
+
+    impl Epoll {
+        pub(crate) fn new() -> io::Result<Epoll> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Epoll {
+                epfd,
+                buf: Vec::with_capacity(256),
+            })
+        }
+
+        pub(crate) fn ctl(
+            &mut self,
+            op: i32,
+            fd: RawFd,
+            token: u64,
+            interest: Interest,
+        ) -> io::Result<()> {
+            let mut mask = EPOLLRDHUP;
+            if interest.readable {
+                mask |= EPOLLIN;
+            }
+            if interest.writable {
+                mask |= EPOLLOUT;
+            }
+            let mut event = EpollEvent {
+                events: mask,
+                data: token,
+            };
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut event) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub(crate) fn wait(&mut self, events: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+            self.buf.clear();
+            let capacity = self.buf.capacity() as i32;
+            let n = unsafe { epoll_wait(self.epfd, self.buf.as_mut_ptr(), capacity, timeout_ms) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            // SAFETY: the kernel initialized the first `n` entries.
+            unsafe { self.buf.set_len(n as usize) };
+            for raw in &self.buf {
+                // Copy out of the (possibly packed) struct by value; never
+                // take references into it.
+                let mask = raw.events;
+                let token = raw.data;
+                events.push(Event {
+                    token,
+                    readable: mask & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                    writable: mask & EPOLLOUT != 0,
+                    hangup: mask & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            unsafe { close(self.epfd) };
+        }
+    }
+}
+
+mod fallback {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::raw::c_ulong;
+    use std::os::unix::io::RawFd;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    /// POSIX `struct pollfd`.
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout_ms: i32) -> i32;
+    }
+
+    pub(crate) struct Entry {
+        pub fd: RawFd,
+        pub token: u64,
+        pub interest: Interest,
+    }
+
+    #[derive(Default)]
+    pub(crate) struct PollSet {
+        pub entries: Vec<Entry>,
+    }
+
+    impl PollSet {
+        pub(crate) fn wait(&mut self, events: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+            let mut fds: Vec<PollFd> = self
+                .entries
+                .iter()
+                .map(|entry| {
+                    let mut mask = 0i16;
+                    if entry.interest.readable {
+                        mask |= POLLIN;
+                    }
+                    if entry.interest.writable {
+                        mask |= POLLOUT;
+                    }
+                    PollFd {
+                        fd: entry.fd,
+                        events: mask,
+                        revents: 0,
+                    }
+                })
+                .collect();
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for (entry, fd) in self.entries.iter().zip(&fds) {
+                let revents = fd.revents;
+                if revents == 0 {
+                    continue;
+                }
+                events.push(Event {
+                    token: entry.token,
+                    readable: revents & (POLLIN | POLLHUP) != 0,
+                    writable: revents & POLLOUT != 0,
+                    hangup: revents & (POLLERR | POLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}

@@ -67,6 +67,14 @@ pub struct ServiceConfig {
     /// latency breakdowns ([`TemplarService::slow_queries`](
     /// crate::TemplarService::slow_queries)).  `0` disables capture.
     pub slow_query_capacity: usize,
+    /// The tenant's in-flight concurrency quota: how many
+    /// admission-controlled operations (translate / ingest / feedback) may
+    /// execute for this tenant at once.  Beyond it,
+    /// [`TemplarService::try_admit`](crate::TemplarService::try_admit)
+    /// sheds the request — surfaced on the wire as
+    /// [`ApiError::Backpressure`](templar_api::ApiError::Backpressure) and
+    /// counted under `admission_tenant_shed`.
+    pub max_inflight: usize,
 }
 
 impl Default for ServiceConfig {
@@ -79,6 +87,7 @@ impl Default for ServiceConfig {
             max_log_entries: None,
             wal: WalConfig::default(),
             slow_query_capacity: 16,
+            max_inflight: 256,
         }
     }
 }
@@ -137,6 +146,12 @@ impl ServiceConfig {
         self.slow_query_capacity = capacity;
         self
     }
+
+    /// Set the tenant's in-flight concurrency quota (clamped to ≥ 1).
+    pub fn with_max_inflight(mut self, quota: usize) -> Self {
+        self.max_inflight = quota.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -150,11 +165,13 @@ mod tests {
             .with_refresh_every(0)
             .with_max_log_entries(0)
             .with_wal_fsync_every(0)
-            .with_wal_segment_max_records(0);
+            .with_wal_segment_max_records(0)
+            .with_max_inflight(0);
         assert_eq!(c.queue_capacity, 1);
         assert_eq!(c.refresh_every, 1);
         assert_eq!(c.max_log_entries, Some(1));
         assert_eq!(c.wal.fsync_every, 1);
         assert_eq!(c.wal.segment_max_records, 1);
+        assert_eq!(c.max_inflight, 1);
     }
 }

@@ -59,7 +59,7 @@ pub use error::{ServiceError, SnapshotError, WalError};
 pub use ingest::IngestQueue;
 pub use metrics::{prometheus_text, MetricsSnapshot, ServiceMetrics};
 pub use registry::TenantRegistry;
-pub use server::{TemplarService, LOCK_FILE, SNAPSHOT_FILE, WAL_DIR};
+pub use server::{InflightPermit, TemplarService, LOCK_FILE, SNAPSHOT_FILE, WAL_DIR};
 pub use snapshot::{
     read_snapshot, read_snapshot_with_watermark, write_snapshot, write_snapshot_with_watermark,
     Snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,

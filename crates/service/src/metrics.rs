@@ -36,6 +36,8 @@ pub struct ServiceMetrics {
     wal_segments_gc: AtomicU64,
     wal_io_errors: AtomicU64,
     wal_truncated_bytes: AtomicU64,
+    admission_tenant_shed: AtomicU64,
+    admission_global_shed: AtomicU64,
     latency_buckets: LatencyHistogram,
     stage_latency: [LatencyHistogram; STAGE_COUNT],
 }
@@ -225,6 +227,18 @@ impl ServiceMetrics {
         self.wal_io_errors.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// One request shed because the tenant's in-flight quota
+    /// (`ServiceConfig::max_inflight`) was full.
+    pub(crate) fn record_tenant_shed(&self) {
+        self.admission_tenant_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One request shed because the serving plane's *global* in-flight cap
+    /// was full, attributed to the tenant the request targeted.
+    pub(crate) fn record_global_shed(&self) {
+        self.admission_global_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Fold one finished request's per-stage breakdown into the stage
     /// latency histograms: one observation per stage that ran (the stage's
     /// accumulated duration within the request).
@@ -304,6 +318,8 @@ impl ServiceMetrics {
             wal_segments_gc: self.wal_segments_gc.load(Ordering::Relaxed),
             wal_io_errors: self.wal_io_errors.load(Ordering::Relaxed),
             wal_truncated_bytes: self.wal_truncated_bytes.load(Ordering::Relaxed),
+            admission_tenant_shed: self.admission_tenant_shed.load(Ordering::Relaxed),
+            admission_global_shed: self.admission_global_shed.load(Ordering::Relaxed),
             wal_applied_seq: 0,
             join_cache_hits: 0,
             join_cache_misses: 0,
@@ -385,6 +401,13 @@ pub struct MetricsSnapshot {
     /// the signature of actual (bounded, expected) data loss: one or more
     /// acknowledged-but-unsynced entries did not survive the crash.
     pub wal_truncated_bytes: u64,
+    /// Admission-control sheds: requests rejected with `Backpressure`
+    /// before any work was queued, split by which limit fired — the
+    /// tenant's own in-flight quota (`ServiceConfig::max_inflight`) versus
+    /// the serving plane's global in-flight cap (global sheds are
+    /// attributed to the tenant whose request was turned away).
+    pub admission_tenant_shed: u64,
+    pub admission_global_shed: u64,
     /// Sequence number of the last journal record applied to the master
     /// state — the watermark the next checkpoint will record.
     pub wal_applied_seq: u64,
@@ -541,6 +564,18 @@ const PROM_FAMILIES: &[(&str, &str, &str, FieldGetter)] = &[
         "counter",
         "Bytes cut off a torn journal tail at recovery.",
         |s| s.wal_truncated_bytes,
+    ),
+    (
+        "templar_admission_tenant_shed_total",
+        "counter",
+        "Requests shed at the tenant's in-flight quota.",
+        |s| s.admission_tenant_shed,
+    ),
+    (
+        "templar_admission_global_shed_total",
+        "counter",
+        "Requests shed at the serving plane's global in-flight cap.",
+        |s| s.admission_global_shed,
     ),
     (
         "templar_ingest_lag",

@@ -136,17 +136,30 @@ impl TenantRegistry {
         }
     }
 
-    /// Serve one JSON protocol line, producing exactly one response line.
-    /// Never fails: every error becomes the `err` arm of a response
-    /// envelope, echoing the request's correlation id when it could be
-    /// recovered.
-    pub fn handle_line(&self, line: &str) -> String {
-        let envelope = match decode_request(line) {
-            Ok(envelope) => envelope,
-            Err((id, err)) => return encode_response(&ResponseEnvelope::failure(id, err)),
-        };
-        let id = envelope.id;
-        let outcome = match &envelope.body {
+    /// Reserve one slot of the tenant's in-flight quota
+    /// ([`crate::ServiceConfig::max_inflight`]).  A full quota sheds with
+    /// [`ApiError::Backpressure`] and counts an `admission_tenant_shed`.
+    /// The permit releases its slot on drop; hold it across the operation
+    /// it admits.
+    pub fn admit(&self, tenant: &str) -> Result<crate::InflightPermit, ApiError> {
+        self.get(tenant)?.try_admit().ok_or(ApiError::Backpressure)
+    }
+
+    /// Count one request turned away by a serving plane's *global*
+    /// in-flight cap against the tenant it targeted, so global sheds are
+    /// attributable per tenant in the Prometheus exposition.
+    pub fn record_global_shed(&self, tenant: &str) {
+        if let Ok(service) = self.get(tenant) {
+            service.record_global_shed();
+        }
+    }
+
+    /// Execute one decoded operation.  This is the single entry point every
+    /// transport (the in-process [`handle_line`](Self::handle_line) path and
+    /// a network serving plane alike) routes through, so codecs cannot
+    /// drift in behaviour.
+    pub fn dispatch(&self, body: &RequestBody) -> Result<ResponseBody, ApiError> {
+        match body {
             RequestBody::Translate(request) => {
                 self.translate(request).map(ResponseBody::Translated)
             }
@@ -165,12 +178,39 @@ impl TenantRegistry {
             RequestBody::Prometheus { tenant } => self
                 .prometheus(tenant.as_deref())
                 .map(ResponseBody::Prometheus),
+        }
+    }
+
+    /// Serve one JSON protocol line, producing exactly one response line.
+    /// Never fails: every error becomes the `err` arm of a response
+    /// envelope, echoing the request's correlation id when it could be
+    /// recovered.
+    ///
+    /// Admission-controlled operations pass through the tenant's in-flight
+    /// quota exactly as they do on the network plane, so an in-process
+    /// client observes the same `Backpressure` semantics as a socket.
+    pub fn handle_line(&self, line: &str) -> String {
+        let envelope = match decode_request(line) {
+            Ok(envelope) => envelope,
+            Err((id, err)) => return encode_response(&ResponseEnvelope::failure(id, err)),
         };
+        let id = envelope.id;
+        let outcome = self.admit_and_dispatch(&envelope.body);
         let response = match outcome {
             Ok(body) => ResponseEnvelope::success(id, body),
             Err(err) => ResponseEnvelope::failure(id, err),
         };
         encode_response(&response)
+    }
+
+    /// [`dispatch`](Self::dispatch), behind the tenant's in-flight quota for
+    /// operations that consume work capacity.
+    pub fn admit_and_dispatch(&self, body: &RequestBody) -> Result<ResponseBody, ApiError> {
+        let _permit = match body.tenant() {
+            Some(tenant) if body.is_admission_controlled() => Some(self.admit(tenant)?),
+            _ => None,
+        };
+        self.dispatch(body)
     }
 }
 
@@ -204,6 +244,8 @@ fn metrics_report(snapshot: &MetricsSnapshot) -> MetricsReport {
         wal_segments_gc: snapshot.wal_segments_gc,
         wal_io_errors: snapshot.wal_io_errors,
         wal_truncated_bytes: snapshot.wal_truncated_bytes,
+        admission_tenant_shed: snapshot.admission_tenant_shed,
+        admission_global_shed: snapshot.admission_global_shed,
         wal_applied_seq: snapshot.wal_applied_seq,
         join_cache_hits: snapshot.join_cache_hits,
         join_cache_misses: snapshot.join_cache_misses,
@@ -261,6 +303,8 @@ mod tests {
             wal_segments_gc: 23,
             wal_io_errors: 24,
             wal_truncated_bytes: 25,
+            admission_tenant_shed: 38,
+            admission_global_shed: 39,
             wal_applied_seq: 26,
             join_cache_hits: 27,
             join_cache_misses: 28,
@@ -312,6 +356,8 @@ mod tests {
             wal_segments_gc,
             wal_io_errors,
             wal_truncated_bytes,
+            admission_tenant_shed,
+            admission_global_shed,
             wal_applied_seq,
             join_cache_hits,
             join_cache_misses,
@@ -353,6 +399,8 @@ mod tests {
         assert_eq!(wal_segments_gc, 23);
         assert_eq!(wal_io_errors, 24);
         assert_eq!(wal_truncated_bytes, 25);
+        assert_eq!(admission_tenant_shed, 38);
+        assert_eq!(admission_global_shed, 39);
         assert_eq!(wal_applied_seq, 26);
         assert_eq!(join_cache_hits, 27);
         assert_eq!(join_cache_misses, 28);

@@ -43,6 +43,7 @@ use parking_lot::Mutex;
 use relational::Database;
 use sqlparse::parse_query;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -113,6 +114,30 @@ struct ServiceInner {
     service_config: ServiceConfig,
     /// `Some` on services started through [`TemplarService::recover`].
     durable: Option<Durable>,
+    /// Admission-controlled operations currently executing for this tenant,
+    /// bounded by [`ServiceConfig::max_inflight`].
+    inflight: AtomicU64,
+}
+
+/// A reserved slot of a tenant's in-flight quota, handed out by
+/// [`TemplarService::try_admit`].  The slot is released when the permit is
+/// dropped — hold it across the admitted operation.
+pub struct InflightPermit {
+    inner: Arc<ServiceInner>,
+}
+
+impl Drop for InflightPermit {
+    fn drop(&mut self) {
+        self.inner.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl std::fmt::Debug for InflightPermit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InflightPermit")
+            .field("inflight", &self.inner.inflight.load(Ordering::Relaxed))
+            .finish()
+    }
 }
 
 /// A concurrent, incrementally-updating Templar serving handle.
@@ -405,6 +430,7 @@ impl TemplarService {
             templar_config,
             service_config,
             durable,
+            inflight: AtomicU64::new(0),
         });
         let worker = {
             let inner = Arc::clone(&inner);
@@ -545,6 +571,47 @@ impl TemplarService {
         self.submit_sql(sql)?;
         self.inner.metrics.record_feedback();
         Ok(())
+    }
+
+    /// Reserve one slot of this tenant's in-flight quota
+    /// ([`ServiceConfig::max_inflight`]).  Returns `None` — and counts an
+    /// `admission_tenant_shed` — when the quota is full; the caller must
+    /// then shed the request (the wire projection is
+    /// [`ApiError::Backpressure`]) *before* queueing any work for it.
+    pub fn try_admit(&self) -> Option<InflightPermit> {
+        let quota = self.inner.service_config.max_inflight as u64;
+        let mut current = self.inner.inflight.load(Ordering::Relaxed);
+        loop {
+            if current >= quota {
+                self.inner.metrics.record_tenant_shed();
+                return None;
+            }
+            match self.inner.inflight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Some(InflightPermit {
+                        inner: Arc::clone(&self.inner),
+                    })
+                }
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Admission-controlled operations currently holding a permit.
+    pub fn inflight(&self) -> u64 {
+        self.inner.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Count one request turned away by a serving plane's *global* in-flight
+    /// cap against this tenant (the limit lives in the plane, the
+    /// attribution in the tenant's metrics).
+    pub fn record_global_shed(&self) {
+        self.inner.metrics.record_global_shed();
     }
 
     /// Checkpoint a durable service: force the journal tail down, write the

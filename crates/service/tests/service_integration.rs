@@ -393,3 +393,62 @@ fn shutdown_publishes_pending_ingests() {
         "shutdown must flush pending entries into a final snapshot"
     );
 }
+
+#[test]
+fn admission_quota_sheds_with_typed_backpressure_and_counters() {
+    use templar_service::TenantRegistry;
+
+    let registry = TenantRegistry::new();
+    let service = registry.register(
+        "academic",
+        TemplarService::spawn(
+            academic_db(),
+            &QueryLog::new(),
+            TemplarConfig::paper_defaults(),
+            ServiceConfig::default().with_max_inflight(2),
+        )
+        .unwrap(),
+    );
+
+    // Two permits fit the quota; the third sheds and is counted.
+    let first = service.try_admit().expect("first slot fits");
+    let _second = service.try_admit().expect("second slot fits");
+    assert_eq!(service.inflight(), 2);
+    assert!(
+        service.try_admit().is_none(),
+        "quota of 2 must shed the 3rd"
+    );
+    assert!(matches!(
+        registry.admit("academic"),
+        Err(templar_api::ApiError::Backpressure)
+    ));
+
+    // While the quota is full, an admission-controlled line is shed typed…
+    let line = r#"{"version": 3, "id": 5, "body": {"SubmitSql": {"tenant": "academic", "sql": "SELECT p.title FROM publication p"}}}"#;
+    let response = registry.handle_line(line);
+    assert!(
+        response.contains("Backpressure"),
+        "full quota must surface as Backpressure: {response}"
+    );
+    // …while observability reads stay exempt from admission control.
+    let metrics_line = r#"{"version": 3, "id": 6, "body": {"Metrics": {"tenant": "academic"}}}"#;
+    assert!(registry.handle_line(metrics_line).contains("\"ok\""));
+
+    // Dropping a permit frees its slot.
+    drop(first);
+    assert_eq!(service.inflight(), 1);
+    assert!(service.try_admit().is_some());
+
+    // Global-cap sheds are attributed to the tenant alongside quota sheds.
+    registry.record_global_shed("academic");
+    let snap = service.metrics();
+    assert_eq!(snap.admission_tenant_shed, 3); // try_admit + registry.admit + handle_line
+    assert_eq!(snap.admission_global_shed, 1);
+
+    // Both counters are visible in the Prometheus exposition.
+    let text = registry.prometheus(Some("academic")).unwrap();
+    assert!(text.contains("templar_admission_tenant_shed_total{tenant=\"academic\"} 3"));
+    assert!(text.contains("templar_admission_global_shed_total{tenant=\"academic\"} 1"));
+
+    service.shutdown();
+}

@@ -1,0 +1,201 @@
+//! Serving over real sockets: the TCP plane in front of the registry.
+//!
+//! Boots a [`TemplarServer`] over the miniature academic database, then
+//! demonstrates both wire codecs against it from loopback clients:
+//!
+//! 1. build a tenant registry and put the epoll reactor in front of it,
+//! 2. translate over a bare JSON-lines connection (what `nc` speaks),
+//! 3. negotiate the length-prefixed binary codec and pipeline requests,
+//! 4. overload a one-slot tenant quota and watch typed `Backpressure`
+//!    come back with the shed counters in the Prometheus exposition,
+//! 5. print the serving-plane stats and shut down cleanly.
+//!
+//! Run with: `cargo run --release --example server`
+//!
+//! Every operational knob is settable from the environment:
+//!
+//! | variable                     | default       | controls                          |
+//! |------------------------------|---------------|-----------------------------------|
+//! | `TEMPLAR_BIND`               | `127.0.0.1:0` | listen address                    |
+//! | `TEMPLAR_WORKERS`            | `4`           | worker threads                    |
+//! | `TEMPLAR_MAX_CONNECTIONS`    | `1024`        | accept-time connection cap        |
+//! | `TEMPLAR_GLOBAL_INFLIGHT`    | `256`         | server-wide in-flight cap         |
+//! | `TEMPLAR_TENANT_INFLIGHT`    | `256`         | per-tenant in-flight quota        |
+//! | `TEMPLAR_MAX_PIPELINE`       | `128`         | per-connection pipeline depth     |
+//! | `TEMPLAR_QUEUE_CAPACITY`     | `1024`        | ingest queue bound                |
+//! | `TEMPLAR_SLOW_QUERY_CAPACITY`| `32`          | slow-query log capacity           |
+//! | `TEMPLAR_FORCE_POLL`         | unset         | `1` forces the `poll` backend     |
+//! | `TEMPLAR_SERVE_FOREVER`      | unset         | `1` keeps serving until killed    |
+//!
+//! With `TEMPLAR_SERVE_FOREVER=1` the demo clients are skipped and the
+//! process blocks on the listener — point `nc <addr> <port>` at it and
+//! paste a request line from the README's Serving section.
+
+use std::sync::Arc;
+
+use relational::{DataType, Database, Schema};
+use templar_api::{RequestBody, TranslateRequest};
+use templar_core::{Keyword, KeywordMetadata, QueryLog, TemplarConfig};
+use templar_server::{ClientError, ServerConfig, TcpClient, TemplarServer};
+use templar_service::{ServiceConfig, TemplarService, TenantRegistry};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+}
+
+fn academic_db() -> Arc<Database> {
+    let schema = Schema::builder("academic")
+        .relation(
+            "publication",
+            &[
+                ("pid", DataType::Integer),
+                ("title", DataType::Text),
+                ("year", DataType::Integer),
+                ("jid", DataType::Integer),
+            ],
+            Some("pid"),
+        )
+        .relation(
+            "journal",
+            &[("jid", DataType::Integer), ("name", DataType::Text)],
+            Some("jid"),
+        )
+        .foreign_key("publication", "jid", "journal", "jid")
+        .build();
+    let mut db = Database::new(schema);
+    db.insert("journal", vec![1.into(), "TKDE".into()]).unwrap();
+    db.insert(
+        "publication",
+        vec![
+            1.into(),
+            "Scalable Query Processing".into(),
+            2003.into(),
+            1.into(),
+        ],
+    )
+    .unwrap();
+    Arc::new(db)
+}
+
+fn papers_request() -> TranslateRequest {
+    TranslateRequest::new(
+        "academic",
+        "return the papers",
+        vec![(Keyword::new("papers"), KeywordMetadata::select())],
+    )
+}
+
+fn main() {
+    // 1. A registry with one tenant, every service knob env-tunable.
+    let service_config = ServiceConfig::default()
+        .with_queue_capacity(env_usize("TEMPLAR_QUEUE_CAPACITY", 1024))
+        .with_slow_query_capacity(env_usize("TEMPLAR_SLOW_QUERY_CAPACITY", 32))
+        .with_max_inflight(env_usize("TEMPLAR_TENANT_INFLIGHT", 256));
+    let registry = Arc::new(TenantRegistry::new());
+    let service = TemplarService::spawn(
+        academic_db(),
+        &QueryLog::new(),
+        TemplarConfig::paper_defaults(),
+        service_config,
+    )
+    .expect("service starts");
+    registry.register("academic", service);
+
+    let server_config = ServerConfig::default()
+        .with_addr(std::env::var("TEMPLAR_BIND").unwrap_or_else(|_| "127.0.0.1:0".into()))
+        .with_workers(env_usize("TEMPLAR_WORKERS", 4))
+        .with_max_connections(env_usize("TEMPLAR_MAX_CONNECTIONS", 1024))
+        .with_max_global_inflight(env_usize("TEMPLAR_GLOBAL_INFLIGHT", 256))
+        .with_max_pipeline(env_usize("TEMPLAR_MAX_PIPELINE", 128))
+        .with_force_poll(env_flag("TEMPLAR_FORCE_POLL"));
+    let mut server =
+        TemplarServer::start(Arc::clone(&registry), server_config).expect("server binds");
+    let addr = server.local_addr();
+    println!(
+        "Serving tenant \"academic\" on {addr} ({} backend)",
+        if server.is_poll_fallback() {
+            "poll"
+        } else {
+            "epoll"
+        }
+    );
+
+    if env_flag("TEMPLAR_SERVE_FOREVER") {
+        println!("TEMPLAR_SERVE_FOREVER=1 — try from another terminal:");
+        println!(
+            "  echo '{{\"version\":3,\"id\":1,\"body\":{{\"Metrics\":{{\"tenant\":\"academic\"}}}}}}' | nc {} {}",
+            addr.ip(),
+            addr.port()
+        );
+        loop {
+            std::thread::park();
+        }
+    }
+
+    // 2. A bare JSON-lines session: no handshake, netcat-compatible.
+    let mut json = TcpClient::connect_json(addr).expect("connects");
+    let response = json.translate(papers_request()).expect("translates");
+    println!("\nJSON-lines client:");
+    println!("  top translation: {}", response.candidates[0].sql);
+
+    // 3. A negotiated binary session, pipelining 8 requests before
+    //    collecting any response (newest first — correlation ids do the
+    //    matching).
+    let mut binary = TcpClient::connect_binary(addr).expect("negotiates");
+    let ids: Vec<u64> = (0..8)
+        .map(|_| {
+            binary
+                .send(RequestBody::Translate(papers_request()))
+                .expect("sends")
+        })
+        .collect();
+    let mut answered = 0;
+    for id in ids.iter().rev() {
+        binary.recv(*id).expect("each response lands on its id");
+        answered += 1;
+    }
+    println!("Binary client: pipelined 8 requests, collected {answered} out of order");
+
+    // 4. Overload: fill the tenant quota from the side and watch the wire
+    //    shed with a *typed* error while observability stays readable.
+    let service = registry.get("academic").expect("registered");
+    let permits: Vec<_> = std::iter::from_fn(|| service.try_admit()).collect();
+    println!(
+        "\nQuota filled ({} slots held) — next request sheds:",
+        permits.len()
+    );
+    match binary.submit_sql("academic", "SELECT p.title FROM publication p") {
+        Err(ClientError::Api(err)) => println!("  typed error over the wire: {err}"),
+        other => panic!("expected Backpressure, got {other:?}"),
+    }
+    drop(permits);
+    let prom = binary.prometheus(Some("academic")).expect("exposition");
+    for line in prom.lines().filter(|l| l.contains("admission")) {
+        println!("  {line}");
+    }
+
+    // 5. Transport-level counters, then a clean shutdown.
+    let stats = server.stats();
+    println!("\nServing-plane stats:");
+    println!(
+        "  connections: {} accepted, {} rejected",
+        stats.connections_accepted, stats.connections_rejected
+    );
+    println!(
+        "  requests: {} served ({} json, {} binary), {} shed globally",
+        stats.requests_served, stats.json_requests, stats.binary_requests, stats.global_sheds
+    );
+    println!(
+        "  bytes: {} in, {} out",
+        stats.bytes_read, stats.bytes_written
+    );
+    server.shutdown();
+    println!("Shut down cleanly.");
+}

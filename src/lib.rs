@@ -12,6 +12,8 @@
 //! * [`nlidb`] — Pipeline / NaLIR baselines and their augmented variants,
 //! * [`templar_api`] — the typed, versioned, explainable translation API,
 //! * [`templar_service`] — the concurrent multi-tenant serving subsystem,
+//! * [`templar_server`] — the TCP serving plane: epoll reactor, binary
+//!   codec negotiation, layered admission control,
 //! * [`datasets`] — MAS / Yelp / IMDB benchmarks,
 //! * [`eval`] — metrics, cross-validation and experiment drivers.
 
@@ -24,4 +26,5 @@ pub use schemagraph;
 pub use sqlparse;
 pub use templar_api;
 pub use templar_core;
+pub use templar_server;
 pub use templar_service;

@@ -2,34 +2,40 @@
 # Record a machine-readable benchmark snapshot.
 #
 # Runs the configuration-search-relevant benches (keyword_mapping, the
-# search_stress scenarios, join_inference) plus the tracing-overhead pair
-# (translation with tracing disabled vs enabled) through the vendored
-# criterion harness and collects their BENCHJSON result lines into one
-# JSON document,
-# so the repository's perf trajectory is recorded per PR instead of living
-# in commit messages.
+# search_stress scenarios, join_inference), the tracing-overhead pair, and
+# the serving plane (service_throughput: in-process throughput plus the
+# closed-loop socket load harness, whose BENCHJSON lines carry client-side
+# p50/p99 latency, shed rate at fixed offered load, and wire bytes per
+# request for each codec) through the vendored criterion harness, and
+# collects their BENCHJSON result lines into one JSON document, so the
+# repository's perf trajectory is recorded per PR instead of living in
+# commit messages.
 #
 # Usage:
-#   tools/bench_snapshot.sh [mean|smoke] [output.json]
+#   tools/bench_snapshot.sh <output.json> [mean|smoke]
 #
+#   <output.json>    — where the snapshot is written (required; the output
+#                      name is the caller's, not a hard-coded BENCH_PRn)
 #   mean   (default) — measure and record mean ns/iter for every benchmark
 #   smoke            — run every benchmark body once, unmeasured (CI-fast;
 #                      records null means, proving the benches execute)
-#
-# Environment: BENCH_OUT overrides the output path (default BENCH_PR6.json).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-MODE="${1:-mean}"
-OUT="${2:-${BENCH_OUT:-BENCH_PR6.json}}"
-BENCHES=(keyword_mapping search_stress join_inference tracing_overhead)
+if [ $# -lt 1 ]; then
+  echo "usage: $0 <output.json> [mean|smoke]" >&2
+  exit 2
+fi
+OUT="$1"
+MODE="${2:-mean}"
+BENCHES=(keyword_mapping search_stress join_inference tracing_overhead service_throughput)
 
 EXTRA_ARGS=()
 if [ "$MODE" = "smoke" ]; then
   EXTRA_ARGS+=(--test)
 elif [ "$MODE" != "mean" ]; then
-  echo "usage: $0 [mean|smoke] [output.json]" >&2
+  echo "usage: $0 <output.json> [mean|smoke]" >&2
   exit 2
 fi
 
