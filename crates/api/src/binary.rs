@@ -60,6 +60,15 @@ pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
 /// with deeply-nested sequences.
 const MAX_DEPTH: usize = 96;
 
+/// Eager pre-allocation clamp for decoded collections.  A claimed count is
+/// only bounded by remaining *bytes* (≥ 1 per element), but each decoded
+/// element costs tens of bytes of memory and every nesting level's claim is
+/// checked independently — without this clamp a single frame of nested
+/// sequence headers could demand `MAX_DEPTH` multiples of huge reservations
+/// before ever hitting `Truncated`.  Honest collections past the clamp just
+/// grow amortized.
+const PREALLOC_ELEMENTS: usize = 4096;
+
 /// The two encodings a connection can speak after the handshake.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WireCodec {
@@ -371,8 +380,12 @@ impl<'a> Cursor<'a> {
     }
 
     /// A declared collection length, sanity-bounded by the bytes that could
-    /// possibly encode that many elements (≥ 1 byte each) so hostile counts
-    /// cannot trigger huge pre-allocations.
+    /// possibly encode that many elements (≥ 1 byte each).  This bounds the
+    /// *count*, not the eager pre-allocation: decoded in-memory elements are
+    /// far larger than their 1-byte minimum encoding, and nested collections
+    /// each pass this check independently while their parents' buffers stay
+    /// live — so `with_capacity` callers must additionally clamp to
+    /// [`PREALLOC_ELEMENTS`].
     fn length(&mut self) -> Result<usize, CodecError> {
         let n = self.varint()?;
         let remaining = (self.bytes.len() - self.pos) as u64;
@@ -412,7 +425,7 @@ impl<'a> Cursor<'a> {
             }
             TAG_SEQ => {
                 let count = self.length()?;
-                let mut items = Vec::with_capacity(count);
+                let mut items = Vec::with_capacity(count.min(PREALLOC_ELEMENTS));
                 for _ in 0..count {
                     items.push(self.value(depth + 1)?);
                 }
@@ -420,7 +433,7 @@ impl<'a> Cursor<'a> {
             }
             TAG_MAP => {
                 let count = self.length()?;
-                let mut entries = Vec::with_capacity(count);
+                let mut entries = Vec::with_capacity(count.min(PREALLOC_ELEMENTS));
                 for _ in 0..count {
                     let key_len = self.length()?;
                     let key = self.utf8(key_len)?.to_string();
@@ -683,6 +696,25 @@ mod tests {
         assert!(matches!(
             decode_value(&bytes),
             Err(CodecError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn nested_hostile_counts_cannot_multiply_preallocation() {
+        // Every nesting level claims a count that individually passes the
+        // remaining-bytes bound (~500k elements in a 1 MiB body), so the
+        // per-level byte check alone would let MAX_DEPTH live parent Vecs
+        // each reserve hundreds of megabytes before the depth bound or
+        // Truncated is reached.  With capped pre-allocation this decodes
+        // (and fails) in microseconds with trivial memory.
+        let mut bytes = Vec::new();
+        while bytes.len() < 1024 * 1024 {
+            bytes.push(TAG_SEQ);
+            put_varint(500_000, &mut bytes);
+        }
+        assert!(matches!(
+            decode_value(&bytes),
+            Err(CodecError::Malformed { .. }) // depth bound trips first
         ));
     }
 

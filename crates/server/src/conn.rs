@@ -11,6 +11,7 @@
 
 use std::collections::VecDeque;
 use std::net::TcpStream;
+use std::time::Instant;
 use templar_api::binary::{self, CodecError, WireCodec, HANDSHAKE_LEN};
 
 /// What the connection speaks.
@@ -58,6 +59,10 @@ pub(crate) struct Conn {
     pub read_paused: bool,
     /// Flush `outbuf`, then close.
     pub closing: bool,
+    /// Last successful read or write — the idle sweep reaps connections
+    /// whose clock goes stale (slowloris sockets would otherwise pin
+    /// `max_connections` forever).
+    pub last_activity: Instant,
 }
 
 impl Conn {
@@ -70,6 +75,7 @@ impl Conn {
             inflight: 0,
             read_paused: false,
             closing: false,
+            last_activity: Instant::now(),
         }
     }
 
@@ -99,6 +105,12 @@ impl Conn {
     }
 
     fn resolve_greeting(&mut self) -> Greeted {
+        if self.inbuf.is_empty() {
+            // No bytes yet — a spurious readable event must not decide the
+            // protocol, or a later valid TPLR hello would be misparsed as a
+            // JSON line and close the connection.
+            return Greeted::NeedMore;
+        }
         let magic_prefix = self
             .inbuf
             .iter()
@@ -106,7 +118,7 @@ impl Conn {
             .take_while(|(a, b)| a == b)
             .count();
         let full_prefix = magic_prefix == self.inbuf.len().min(binary::HANDSHAKE_MAGIC.len());
-        if !full_prefix || self.inbuf.is_empty() {
+        if !full_prefix {
             // Not a negotiating client: a bare JSON-lines session, first
             // bytes included.
             self.proto = Proto::JsonLines;
@@ -238,6 +250,19 @@ mod tests {
         assert_eq!(conn.proto, Proto::JsonLines);
         assert_eq!(conn.inbuf, b"{\"ver", "partial line stays buffered");
         assert!(conn.outbuf.is_empty(), "no ack on a bare JSON session");
+    }
+
+    #[test]
+    fn empty_buffer_leaves_the_greeting_undecided() {
+        let mut conn = test_conn();
+        // A spurious readable event parses before any bytes arrive…
+        assert_eq!(conn.parse(1024), Parsed::Units(Vec::new()));
+        assert_eq!(conn.proto, Proto::Greeting, "no bytes: no decision");
+
+        // …and a valid binary hello afterwards still negotiates.
+        conn.inbuf.extend(binary::encode_hello(WireCodec::Binary));
+        assert_eq!(conn.parse(1024), Parsed::Units(Vec::new()));
+        assert_eq!(conn.proto, Proto::Binary);
     }
 
     #[test]

@@ -6,32 +6,47 @@
 //!
 //! The reactor owns all sockets.  It accepts, reads, parses complete
 //! protocol units out of each connection's buffer, and hands them to the
-//! worker pool through a condvar-signalled job queue.  Workers decode,
-//! pass the request through admission, dispatch into the registry, encode
-//! the response in the connection's negotiated codec, and push the bytes
-//! onto a completion queue; a byte written to the wake pipe returns the
-//! reactor from `wait` to flush them out.  Responses therefore complete
-//! *out of order* across a pipelining connection — correlation ids are the
-//! only association, exactly as the protocol documents.
+//! worker pool through a condvar-signalled job queue — acquiring each
+//! unit's global admission slot *at enqueue time*, so the decision to shed
+//! is made before any work is queued.  Workers decode, dispatch admitted
+//! requests into the registry, encode the response in the connection's
+//! negotiated codec, and push the bytes onto a completion queue; a byte
+//! written to the wake pipe returns the reactor from `wait` to flush them
+//! out.  Responses therefore complete *out of order* across a pipelining
+//! connection — correlation ids are the only association, exactly as the
+//! protocol documents.
 //!
 //! ## Admission layers
 //!
 //! 1. **Connection cap** (`max_connections`): excess accepts get a
 //!    best-effort JSON `Backpressure` line and an immediate close, before
-//!    any state is allocated.
-//! 2. **Global in-flight cap** (`max_global_inflight`): work-consuming
-//!    requests past it shed with [`ApiError::Backpressure`] *before*
-//!    touching the registry, attributed to the target tenant's
-//!    `admission_global_shed` counter.
+//!    any state is allocated.  Idle and never-greeting connections are
+//!    reaped on the reactor's wait tick (`greeting_timeout_ms` /
+//!    `idle_timeout_ms`), so slowloris-style sockets cannot pin the cap.
+//! 2. **Global in-flight cap** (`max_global_inflight`): the reactor
+//!    acquires a slot per unit as it queues the job and the worker releases
+//!    it on completion, so the count covers queued *and* executing work.  A
+//!    unit that misses a slot still reaches a worker, but only to have its
+//!    typed [`ApiError::Backpressure`] encoded under its own correlation id
+//!    — the registry is never dispatched, and the shed is attributed to the
+//!    target tenant's `admission_global_shed` counter.  (Observability
+//!    requests execute with or without a slot, so the plane stays
+//!    debuggable during overload.)
 //! 3. **Per-tenant quota** ([`ServiceConfig::max_inflight`]): enforced
-//!    inside the registry via [`TenantRegistry::admit`].
+//!    inside the registry via [`TenantRegistry::admit`].  This bounds
+//!    *executing* concurrency per tenant — which can never exceed the
+//!    worker count — so the quota only sheds when set below `workers`;
+//!    queue buildup is the global cap's job.
 //! 4. **Pipeline cap** (`max_pipeline`): a connection with too many
 //!    unanswered requests stops being read — TCP backpressure, nothing is
-//!    shed.
+//!    shed.  Together with the connection cap this also bounds the job
+//!    queue: at most `max_connections × max_pipeline` units can ever be
+//!    queued, and admitted (slot-holding) units among them at most
+//!    `max_global_inflight`.
 //!
 //! [`ServiceConfig::max_inflight`]: templar_service::ServiceConfig
 
-use crate::conn::{Conn, Parsed, Unit};
+use crate::conn::{Conn, Parsed, Proto, Unit};
 use crate::poller::{Event, Interest, Poller};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
@@ -55,6 +70,14 @@ const READ_CHUNK: usize = 16 * 1024;
 /// Reactor wait timeout — a liveness backstop; shutdown and completions
 /// arrive through the wake pipe, not this tick.
 const WAIT_MS: i32 = 250;
+/// Per-readiness-event read budget, in `READ_CHUNK`s.  A peer that sends
+/// faster than the reactor drains must not starve every other connection
+/// or grow `inbuf` past the frame cap before the oversize checks run;
+/// level-triggered readiness resumes the read on the next tick.
+const READ_BURST_CHUNKS: usize = 8;
+/// How often the reactor sweeps for timed-out connections (also the
+/// precision bound of the two timeouts below).
+const SWEEP_INTERVAL: std::time::Duration = std::time::Duration::from_millis(100);
 
 /// Tunables of one serving plane.
 #[derive(Debug, Clone)]
@@ -75,6 +98,14 @@ pub struct ServerConfig {
     pub max_frame_bytes: usize,
     /// Use the portable `poll` backend even where `epoll` exists.
     pub force_poll: bool,
+    /// A connection that has not completed its greeting within this window
+    /// is closed (it holds a `max_connections` slot while deciding
+    /// nothing).
+    pub greeting_timeout_ms: u64,
+    /// A greeted connection with no read or write progress for this long
+    /// (and no request in flight) is closed — idle sockets must not pin
+    /// the connection cap forever.
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +118,8 @@ impl Default for ServerConfig {
             max_pipeline: 128,
             max_frame_bytes: MAX_FRAME_BYTES,
             force_poll: false,
+            greeting_timeout_ms: 5_000,
+            idle_timeout_ms: 300_000,
         }
     }
 }
@@ -121,6 +154,16 @@ impl ServerConfig {
         self.force_poll = force;
         self
     }
+
+    pub fn with_greeting_timeout_ms(mut self, ms: u64) -> Self {
+        self.greeting_timeout_ms = ms.max(1);
+        self
+    }
+
+    pub fn with_idle_timeout_ms(mut self, ms: u64) -> Self {
+        self.idle_timeout_ms = ms.max(1);
+        self
+    }
 }
 
 /// Serving-plane counters (the transport layer's own observability; tenant
@@ -130,6 +173,7 @@ struct ServerStats {
     connections_accepted: AtomicU64,
     connections_rejected: AtomicU64,
     connections_closed: AtomicU64,
+    connections_timed_out: AtomicU64,
     requests_served: AtomicU64,
     global_sheds: AtomicU64,
     json_requests: AtomicU64,
@@ -147,6 +191,9 @@ pub struct ServerStatsSnapshot {
     pub connections_rejected: u64,
     /// Admitted connections since closed (either side).
     pub connections_closed: u64,
+    /// Closures forced by the greeting or idle timeout (a subset of
+    /// `connections_closed`).
+    pub connections_timed_out: u64,
     /// Responses written back, successes and typed failures alike.
     pub requests_served: u64,
     /// Requests shed by the global in-flight cap (layer 2).
@@ -165,6 +212,7 @@ impl ServerStats {
             connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
             connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
             connections_closed: self.connections_closed.load(Ordering::Relaxed),
+            connections_timed_out: self.connections_timed_out.load(Ordering::Relaxed),
             requests_served: self.requests_served.load(Ordering::Relaxed),
             global_sheds: self.global_sheds.load(Ordering::Relaxed),
             json_requests: self.json_requests.load(Ordering::Relaxed),
@@ -180,6 +228,11 @@ struct Job {
     token: u64,
     codec: WireCodec,
     unit: Unit,
+    /// Whether the reactor won a global in-flight slot for this unit at
+    /// enqueue time.  `false` means the worker only decodes far enough to
+    /// answer `Backpressure` under the unit's own correlation id (unless
+    /// the request turns out to be observability, which always executes).
+    admitted_global: bool,
 }
 
 /// One encoded response bound for a connection's write buffer.
@@ -194,7 +247,9 @@ struct Shared {
     config: ServerConfig,
     stats: ServerStats,
     shutdown: AtomicBool,
-    /// In-flight work-consuming requests across every connection.
+    /// Units holding a global admission slot: queued jobs plus executing
+    /// requests (acquired by the reactor at enqueue time, released by the
+    /// worker on completion).
     global_inflight: AtomicU64,
     /// Job queue (std primitives: the vendored `parking_lot` has no
     /// condvar, and the queue needs one to park idle workers).
@@ -270,6 +325,7 @@ impl TemplarServer {
                         wake_rx,
                         conns: HashMap::new(),
                         next_token: FIRST_CONN_TOKEN,
+                        last_sweep: std::time::Instant::now(),
                     }
                     .run()
                 })?
@@ -335,6 +391,8 @@ struct Reactor {
     /// Monotonic, never reused — a stale completion for a closed
     /// connection can never hit its token's successor.
     next_token: u64,
+    /// Last idle/greeting-timeout sweep.
+    last_sweep: std::time::Instant,
 }
 
 impl Reactor {
@@ -352,6 +410,44 @@ impl Reactor {
                 }
             }
             self.apply_completions();
+            self.sweep_timeouts();
+        }
+    }
+
+    /// Reap connections whose activity clock went stale: still greeting
+    /// past `greeting_timeout_ms`, or greeted but making no read/write
+    /// progress for `idle_timeout_ms`.  Connections with requests in
+    /// flight are never reaped — a quiet socket waiting on a slow request
+    /// is not idle.
+    fn sweep_timeouts(&mut self) {
+        let now = std::time::Instant::now();
+        if now.duration_since(self.last_sweep) < SWEEP_INTERVAL {
+            return;
+        }
+        self.last_sweep = now;
+        let greeting = std::time::Duration::from_millis(self.shared.config.greeting_timeout_ms);
+        let idle = std::time::Duration::from_millis(self.shared.config.idle_timeout_ms);
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter_map(|(&token, conn)| {
+                if conn.inflight > 0 {
+                    return None;
+                }
+                let limit = if conn.proto == Proto::Greeting {
+                    greeting
+                } else {
+                    idle
+                };
+                (now.duration_since(conn.last_activity) >= limit).then_some(token)
+            })
+            .collect();
+        for token in expired {
+            self.shared
+                .stats
+                .connections_timed_out
+                .fetch_add(1, Ordering::Relaxed);
+            self.close(token);
         }
     }
 
@@ -433,12 +529,21 @@ impl Reactor {
         }
     }
 
-    /// Read until `WouldBlock`, parse, enqueue jobs.  Returns true when the
-    /// connection is finished.
+    /// Read a bounded burst, parse, acquire admission slots, enqueue jobs.
+    /// Returns true when the connection is finished.
     fn read_ready(&mut self, token: u64) -> bool {
         let conn = self.conns.get_mut(&token).expect("caller checked");
         let mut chunk = [0u8; READ_CHUNK];
+        let mut budget = READ_BURST_CHUNKS;
+        // Stop at the burst budget or once the buffer could already hold
+        // the largest legal unit (prefix included) — a faster-than-drained
+        // peer must not starve the reactor or grow `inbuf` unboundedly.
+        // Level-triggered readiness resumes the read on the next tick.
+        let inbuf_high_water = self.shared.config.max_frame_bytes.saturating_add(4);
         loop {
+            if budget == 0 || conn.inbuf.len() > inbuf_high_water {
+                break;
+            }
             match conn.stream.read(&mut chunk) {
                 Ok(0) => {
                     // Peer sent FIN; serve what is already buffered, then
@@ -447,11 +552,13 @@ impl Reactor {
                     break;
                 }
                 Ok(n) => {
+                    budget -= 1;
                     self.shared
                         .stats
                         .bytes_read
                         .fetch_add(n as u64, Ordering::Relaxed);
                     conn.inbuf.extend_from_slice(&chunk[..n]);
+                    conn.last_activity = std::time::Instant::now();
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -469,7 +576,18 @@ impl Reactor {
                         .lock()
                         .unwrap_or_else(std::sync::PoisonError::into_inner);
                     for unit in units {
-                        jobs.push_back(Job { token, codec, unit });
+                        // Admission layer 2, decided before the job is
+                        // queued (the slot covers queue residency too).
+                        let admitted_global = try_acquire_global(
+                            &self.shared.global_inflight,
+                            self.shared.config.max_global_inflight as u64,
+                        );
+                        jobs.push_back(Job {
+                            token,
+                            codec,
+                            unit,
+                            admitted_global,
+                        });
                         self.shared.jobs_ready.notify_one();
                     }
                 }
@@ -577,6 +695,7 @@ fn flush(conn: &mut Conn, stats: &ServerStats) -> Result<(), ()> {
             Ok(n) => {
                 stats.bytes_written.fetch_add(n as u64, Ordering::Relaxed);
                 conn.outbuf.drain(..n);
+                conn.last_activity = std::time::Instant::now();
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -610,6 +729,11 @@ fn worker_loop(shared: &Shared) {
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
+        // Release the enqueue-time slot when the request finishes, even on
+        // unwind — a leaked slot would shrink the cap forever.
+        let _slot = job
+            .admitted_global
+            .then(|| GlobalSlotRelease(&shared.global_inflight));
         let bytes = serve_unit(shared, &job);
         shared.completions.lock().push(Completion {
             token: job.token,
@@ -628,14 +752,19 @@ fn serve_unit(shared: &Shared, job: &Job) -> Vec<u8> {
                 Ok(envelope) => envelope,
                 Err((id, err)) => return json_response(id, Err(err)),
             };
-            json_response(envelope.id, execute(shared, &envelope.body))
+            json_response(
+                envelope.id,
+                execute(shared, &envelope.body, job.admitted_global),
+            )
         }
         (Unit::BinaryFrame(frame), _) => {
             shared.stats.binary_requests.fetch_add(1, Ordering::Relaxed);
             match binary::decode_request_frame(frame) {
                 Err(err) => binary::encode_response_frame(0, &Err(err.to_api_error())),
                 Ok((id, Err(err))) => binary::encode_response_frame(id, &Err(err.to_api_error())),
-                Ok((id, Ok(body))) => binary::encode_response_frame(id, &execute(shared, &body)),
+                Ok((id, Ok(body))) => {
+                    binary::encode_response_frame(id, &execute(shared, &body, job.admitted_global))
+                }
             }
         }
     }
@@ -651,52 +780,53 @@ fn json_response(id: u64, outcome: Result<templar_api::ResponseBody, ApiError>) 
     line
 }
 
-/// The admission ladder in front of the registry: the global cap sheds
-/// work-consuming requests first (attributed to the target tenant), then
-/// the registry enforces the per-tenant quota and dispatches.
-fn execute(shared: &Shared, body: &RequestBody) -> Result<templar_api::ResponseBody, ApiError> {
+/// The admission ladder in front of the registry: the enqueue-time global
+/// slot decision sheds work-consuming requests first (attributed to the
+/// target tenant), then the registry enforces the per-tenant quota and
+/// dispatches.
+fn execute(
+    shared: &Shared,
+    body: &RequestBody,
+    admitted_global: bool,
+) -> Result<templar_api::ResponseBody, ApiError> {
     if !body.is_admission_controlled() {
-        // Observability must stay readable during overload.
+        // Observability must stay readable during overload, slot or not.
         return shared.registry.dispatch(body);
     }
-    let _global = GlobalSlot::acquire(
-        &shared.global_inflight,
-        shared.config.max_global_inflight as u64,
-    )
-    .ok_or_else(|| {
+    if !admitted_global {
         shared.stats.global_sheds.fetch_add(1, Ordering::Relaxed);
         if let Some(tenant) = body.tenant() {
             shared.registry.record_global_shed(tenant);
         }
-        ApiError::Backpressure
-    })?;
+        return Err(ApiError::Backpressure);
+    }
     shared.registry.admit_and_dispatch(body)
 }
 
-/// RAII slot of the server-wide in-flight cap.
-struct GlobalSlot<'a>(&'a AtomicU64);
-
-impl<'a> GlobalSlot<'a> {
-    fn acquire(counter: &'a AtomicU64, cap: u64) -> Option<GlobalSlot<'a>> {
-        let mut current = counter.load(Ordering::Relaxed);
-        loop {
-            if current >= cap {
-                return None;
-            }
-            match counter.compare_exchange_weak(
-                current,
-                current + 1,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => return Some(GlobalSlot(counter)),
-                Err(observed) => current = observed,
-            }
+/// Try to take one slot of the server-wide in-flight cap (released via
+/// [`GlobalSlotRelease`] when the worker finishes the unit).
+fn try_acquire_global(counter: &AtomicU64, cap: u64) -> bool {
+    let mut current = counter.load(Ordering::Relaxed);
+    loop {
+        if current >= cap {
+            return false;
+        }
+        match counter.compare_exchange_weak(
+            current,
+            current + 1,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return true,
+            Err(observed) => current = observed,
         }
     }
 }
 
-impl Drop for GlobalSlot<'_> {
+/// RAII release of a slot acquired with [`try_acquire_global`].
+struct GlobalSlotRelease<'a>(&'a AtomicU64);
+
+impl Drop for GlobalSlotRelease<'_> {
     fn drop(&mut self) {
         self.0.fetch_sub(1, Ordering::AcqRel);
     }

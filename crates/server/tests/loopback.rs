@@ -354,6 +354,56 @@ fn oversized_binary_frame_is_answered_then_closed() {
 }
 
 #[test]
+fn silent_connection_is_reaped_by_the_greeting_timeout() {
+    let registry = registry_with(ServiceConfig::default());
+    let config = ServerConfig::default().with_greeting_timeout_ms(100);
+    let server = TemplarServer::start(Arc::clone(&registry), config).unwrap();
+
+    // Connect and send nothing: a slowloris socket must not hold its
+    // connection slot forever.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = [0u8; 1];
+    let outcome = stream.read(&mut buf);
+    assert!(
+        matches!(outcome, Ok(0) | Err(_)),
+        "server should close the never-greeting connection, got {outcome:?}"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.connections_timed_out, 1);
+    assert_eq!(stats.connections_closed, 1);
+}
+
+#[test]
+fn idle_greeted_connection_is_reaped_while_active_ones_survive() {
+    let registry = registry_with(ServiceConfig::default());
+    let config = ServerConfig::default()
+        .with_greeting_timeout_ms(5_000)
+        .with_idle_timeout_ms(250);
+    let server = TemplarServer::start(Arc::clone(&registry), config).unwrap();
+
+    let mut idle = TcpClient::connect_binary(server.local_addr()).unwrap();
+    idle.metrics("academic").unwrap();
+
+    // A second connection keeps talking through the idle window and must
+    // be untouched by the sweep that reaps the quiet one.
+    let mut active = TcpClient::connect_binary(server.local_addr()).unwrap();
+    for _ in 0..8 {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        active.metrics("academic").unwrap();
+    }
+
+    assert!(
+        idle.metrics("academic").is_err(),
+        "idle connection should have been closed"
+    );
+    active.metrics("academic").unwrap();
+    assert_eq!(server.stats().connections_timed_out, 1);
+}
+
+#[test]
 fn poll_fallback_backend_serves_identically() {
     let registry = registry_with(ServiceConfig::default());
     let config = ServerConfig::default().with_force_poll(true);

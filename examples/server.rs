@@ -22,6 +22,8 @@
 //! | `TEMPLAR_GLOBAL_INFLIGHT`    | `256`         | server-wide in-flight cap         |
 //! | `TEMPLAR_TENANT_INFLIGHT`    | `256`         | per-tenant in-flight quota        |
 //! | `TEMPLAR_MAX_PIPELINE`       | `128`         | per-connection pipeline depth     |
+//! | `TEMPLAR_GREETING_TIMEOUT_MS`| `5000`        | close never-greeting connections  |
+//! | `TEMPLAR_IDLE_TIMEOUT_MS`    | `300000`      | close fully idle connections      |
 //! | `TEMPLAR_QUEUE_CAPACITY`     | `1024`        | ingest queue bound                |
 //! | `TEMPLAR_SLOW_QUERY_CAPACITY`| `32`          | slow-query log capacity           |
 //! | `TEMPLAR_FORCE_POLL`         | unset         | `1` forces the `poll` backend     |
@@ -114,6 +116,8 @@ fn main() {
         .with_max_connections(env_usize("TEMPLAR_MAX_CONNECTIONS", 1024))
         .with_max_global_inflight(env_usize("TEMPLAR_GLOBAL_INFLIGHT", 256))
         .with_max_pipeline(env_usize("TEMPLAR_MAX_PIPELINE", 128))
+        .with_greeting_timeout_ms(env_usize("TEMPLAR_GREETING_TIMEOUT_MS", 5_000) as u64)
+        .with_idle_timeout_ms(env_usize("TEMPLAR_IDLE_TIMEOUT_MS", 300_000) as u64)
         .with_force_poll(env_flag("TEMPLAR_FORCE_POLL"));
     let mut server =
         TemplarServer::start(Arc::clone(&registry), server_config).expect("server binds");
