@@ -61,6 +61,10 @@ pub struct SlowQueryReport {
     pub trace: RequestTrace,
     /// The configuration search's work counters for the request.
     pub search: SearchStats,
+    /// True when the request was served from the translation cache; its
+    /// breakdown then covers only the lookup, and `search` reports the
+    /// original computation's counters.
+    pub cache_hit: bool,
 }
 
 /// A point-in-time view of one tenant's serving health.
@@ -143,6 +147,23 @@ pub struct MetricsReport {
     pub qfg_csr_edges: u64,
     pub qfg_pending_deltas: u64,
     pub qfg_compactions: u64,
+    /// Epoch-keyed translation-cache counters: requests answered from the
+    /// cache / requests that had to compute (and seeded it) / entries
+    /// dropped at the capacity bound / wholesale invalidations on snapshot
+    /// publish, plus the current entry gauge.  Bypassed requests touch
+    /// neither hits nor misses.
+    pub translation_cache_hits: u64,
+    pub translation_cache_misses: u64,
+    pub translation_cache_evictions: u64,
+    pub translation_cache_invalidations: u64,
+    pub translation_cache_entries: u64,
+    /// Similarity-model memo counters sampled from the current snapshot's
+    /// `WordModel`: single-word and phrase vector cache hits/misses since
+    /// the model instance was built.
+    pub word_memo_hits: u64,
+    pub word_memo_misses: u64,
+    pub phrase_memo_hits: u64,
+    pub phrase_memo_misses: u64,
 }
 
 #[cfg(test)]

@@ -4,8 +4,8 @@
 //! carries the protocol version and a client-chosen correlation id:
 //!
 //! ```text
-//! {"version": 3, "id": 7, "body": {"Translate": {...}}}     → request
-//! {"version": 3, "id": 7, "ok": {...}, "err": null}          → response
+//! {"version": 4, "id": 7, "body": {"Translate": {...}}}     → request
+//! {"version": 4, "id": 7, "ok": {...}, "err": null}          → response
 //! ```
 //!
 //! The version field is checked *before* the body is decoded: an envelope
@@ -21,6 +21,15 @@ use serde::{Deserialize, Serialize, Value};
 
 /// The protocol generation this build speaks.
 ///
+/// v4 (translation cache): `TranslateRequest` gained its `bypass_cache`
+/// flag (force a recompute past the server's epoch-keyed translation
+/// cache — correctness tooling's escape hatch), `TraceReport` and
+/// `SlowQueryReport` gained the `cache_hit` marker so operators never
+/// chase phantom latencies on cached answers, and `MetricsReport` gained
+/// the translation-cache counters (hits / misses / evictions /
+/// invalidations / entries) plus the word- and phrase-memo hit/miss
+/// counters surfaced from the similarity model.
+///
 /// v3 (observability): `TranslateRequest` gained its `trace` flag and
 /// `TranslateResponse` the matching optional per-stage breakdown;
 /// `MetricsReport` gained the latency-histogram fields (`translate_sum_us`
@@ -29,7 +38,7 @@ use serde::{Deserialize, Serialize, Value};
 /// `search_budget_exhausted` explanations), the new fields are required on
 /// decode, so mixed-generation peers are rejected by the version check
 /// instead of failing mid-body.
-pub const PROTOCOL_VERSION: u32 = 3;
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Operations a client can request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -385,7 +394,7 @@ mod tests {
 
     #[test]
     fn malformed_lines_recover_the_correlation_id_when_present() {
-        let line = r#"{"version": 3, "id": 11, "body": {"Nonsense": 1}}"#;
+        let line = r#"{"version": 4, "id": 11, "body": {"Nonsense": 1}}"#;
         match decode_request(line) {
             Err((id, ApiError::MalformedEnvelope { .. })) => assert_eq!(id, 11),
             other => panic!("expected MalformedEnvelope with id, got {other:?}"),

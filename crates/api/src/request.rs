@@ -70,6 +70,11 @@ pub struct TranslateRequest {
     /// for its own histograms either way; this flag only controls whether
     /// the breakdown is shipped back.
     pub trace: bool,
+    /// When true, the server skips its epoch-keyed translation cache for
+    /// this request — no lookup, no insert, no hit/miss accounting — and
+    /// recomputes from the live snapshot.  The escape hatch for correctness
+    /// tooling proving cached answers byte-identical to fresh ones.
+    pub bypass_cache: bool,
 }
 
 impl TranslateRequest {
@@ -85,12 +90,19 @@ impl TranslateRequest {
             keywords,
             overrides: RequestOverrides::default(),
             trace: false,
+            bypass_cache: false,
         }
     }
 
     /// Request a per-stage latency breakdown in the response.
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Skip the server's translation cache for this request.
+    pub fn with_bypass_cache(mut self) -> Self {
+        self.bypass_cache = true;
         self
     }
 
@@ -160,8 +172,10 @@ mod tests {
         )
         .with_lambda(0.5)
         .with_top_k(2)
-        .with_trace();
+        .with_trace()
+        .with_bypass_cache();
         assert!(req.trace);
+        assert!(req.bypass_cache);
         let back: TranslateRequest =
             serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
         assert_eq!(back, req);

@@ -39,6 +39,12 @@ pub struct TraceReport {
     pub breakdown: RequestTrace,
     /// The best-first configuration search's work counters for this request.
     pub search: SearchStats,
+    /// True when this response was served from the translation cache: the
+    /// breakdown then covers only the (tiny) cache lookup, and `search`
+    /// reports the work spent when the cached answer was originally
+    /// computed.  Operators reading traces should not chase stage latencies
+    /// on a hit — there are none.
+    pub cache_hit: bool,
 }
 
 /// The response to a [`TranslateRequest`](crate::TranslateRequest).
@@ -146,6 +152,7 @@ mod tests {
                 bound_cutoffs: 2,
                 budget_exhausted: false,
             },
+            cache_hit: false,
         };
         let resp = TranslateResponse {
             tenant: "mas".to_string(),

@@ -66,14 +66,16 @@ fn translate_request() -> impl Strategy<Value = TranslateRequest> {
         proptest::collection::vec(keyword_pair(), 0..5),
         overrides(),
         any::<bool>(),
+        any::<bool>(),
     )
         .prop_map(
-            |(tenant, nlq, keywords, overrides, trace)| TranslateRequest {
+            |(tenant, nlq, keywords, overrides, trace, bypass_cache)| TranslateRequest {
                 tenant,
                 nlq,
                 keywords,
                 overrides,
                 trace,
+                bypass_cache,
             },
         )
 }
@@ -181,12 +183,16 @@ fn translate_response() -> impl Strategy<Value = TranslateResponse> {
     (
         tenant(),
         proptest::collection::vec(candidate(), 0..4),
-        proptest::option::of((request_trace(), search_stats())),
+        proptest::option::of((request_trace(), search_stats(), any::<bool>())),
     )
         .prop_map(|(tenant, candidates, trace)| TranslateResponse {
             tenant,
             candidates,
-            trace: trace.map(|(breakdown, search)| templar_api::TraceReport { breakdown, search }),
+            trace: trace.map(|(breakdown, search, cache_hit)| templar_api::TraceReport {
+                breakdown,
+                search,
+                cache_hit,
+            }),
         })
 }
 
@@ -236,7 +242,7 @@ fn stage_latency() -> impl Strategy<Value = StageLatencyReport> {
 /// default and a field the codec drops cannot hide.
 fn metrics_report() -> impl Strategy<Value = MetricsReport> {
     (
-        proptest::collection::vec(0u64..1_000_000, 48..49),
+        proptest::collection::vec(0u64..1_000_000, 57..58),
         buckets(),
         proptest::collection::vec(stage_latency(), 0..3),
     )
@@ -285,6 +291,15 @@ fn metrics_report() -> impl Strategy<Value = MetricsReport> {
                 qfg_csr_edges: n(),
                 qfg_pending_deltas: n(),
                 qfg_compactions: n(),
+                translation_cache_hits: n(),
+                translation_cache_misses: n(),
+                translation_cache_evictions: n(),
+                translation_cache_invalidations: n(),
+                translation_cache_entries: n(),
+                word_memo_hits: n(),
+                word_memo_misses: n(),
+                phrase_memo_hits: n(),
+                phrase_memo_misses: n(),
             }
         })
 }
@@ -297,15 +312,17 @@ fn slow_query() -> impl Strategy<Value = SlowQueryReport> {
         any::<bool>(),
         request_trace(),
         search_stats(),
+        any::<bool>(),
     )
         .prop_map(
-            |(seq, question, total_us, ok, trace, search)| SlowQueryReport {
+            |(seq, question, total_us, ok, trace, search, cache_hit)| SlowQueryReport {
                 seq,
                 question,
                 total_us,
                 ok,
                 trace,
                 search,
+                cache_hit,
             },
         )
 }

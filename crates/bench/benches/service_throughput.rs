@@ -375,10 +375,127 @@ fn socket_load_harness(smoke: bool) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Translation-cache phases (Zipfian repeat traffic)
+// ---------------------------------------------------------------------------
+
+/// Deterministic Zipf(s=1) sampler over `n` ranks, driven by a fixed-seed
+/// xorshift64* — benchmark traffic must be reproducible across runs.
+struct Zipf {
+    cdf: Vec<f64>,
+    state: u64,
+}
+
+impl Zipf {
+    fn new(n: usize) -> Self {
+        let weights: Vec<f64> = (1..=n).map(|rank| 1.0 / rank as f64).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Zipf {
+            cdf,
+            state: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    fn next(&mut self) -> usize {
+        self.state ^= self.state >> 12;
+        self.state ^= self.state << 25;
+        self.state ^= self.state >> 27;
+        let bits = self.state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11;
+        let u = bits as f64 / (1u64 << 53) as f64;
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+fn emit_cache_json(id: &str, latencies: &[u64], hit_rate: f64) {
+    let mut sorted = latencies.to_vec();
+    sorted.sort_unstable();
+    let p50 = percentile(&sorted, 0.50);
+    let p99 = percentile(&sorted, 0.99);
+    let mean = sorted.iter().sum::<u64>() / sorted.len().max(1) as u64;
+    println!("{id:<50} p50 {p50} µs, p99 {p99} µs, hit rate {hit_rate:.3}");
+    if std::env::var_os("BENCH_JSON").is_some() {
+        println!(
+            "BENCHJSON {{\"id\":\"{id}\",\"draws\":{},\"p50_us\":{p50},\"p99_us\":{p99},\
+             \"mean_us\":{mean},\"hit_rate\":{hit_rate:.4}}}",
+            latencies.len()
+        );
+    }
+}
+
+/// Hot-repeat vs cold-miss serving under Zipfian question traffic.  The
+/// cold phase forces a full computation per draw (`bypass_cache`); the hot
+/// phase replays the same draw sequence through the epoch-keyed cache, so
+/// the first touch of each distinct question misses and every repeat hits.
+/// Every cached answer is asserted byte-identical to a forced recompute at
+/// the same epoch before the numbers are reported.
+fn translation_cache_phase(smoke: bool) {
+    let dataset = Dataset::mas();
+    let service = TemplarService::spawn(
+        dataset.db.clone(),
+        &dataset.full_log(),
+        TemplarConfig::paper_defaults(),
+        ServiceConfig::default(),
+    )
+    .unwrap();
+
+    let pool_size = if smoke { 4 } else { dataset.cases.len() };
+    let pool: Vec<TranslateRequest> = (0..pool_size).map(|i| wire_request(&dataset, i)).collect();
+    let draws = if smoke { 8 } else { 2048 };
+    let mut zipf = Zipf::new(pool.len());
+    let sequence: Vec<usize> = (0..draws).map(|_| zipf.next()).collect();
+
+    println!(
+        "\ntranslation cache (Zipfian over {} distinct questions, {draws} draws):",
+        pool.len()
+    );
+
+    let mut cold = Vec::with_capacity(draws);
+    for &i in &sequence {
+        let request = pool[i].clone().with_bypass_cache();
+        let started = Instant::now();
+        service.translate_request(&request).unwrap();
+        cold.push(started.elapsed().as_micros() as u64);
+    }
+    emit_cache_json("translation_cache/cold_miss", &cold, 0.0);
+
+    let mut hot = Vec::with_capacity(draws);
+    for &i in &sequence {
+        let started = Instant::now();
+        service.translate_request(&pool[i]).unwrap();
+        hot.push(started.elapsed().as_micros() as u64);
+    }
+    let metrics = service.metrics();
+    let looked_up = metrics.translation_cache_hits + metrics.translation_cache_misses;
+    let hit_rate = metrics.translation_cache_hits as f64 / looked_up.max(1) as f64;
+    for request in &pool {
+        let cached = service.translate_request(request).unwrap();
+        let forced = service
+            .translate_request(&request.clone().with_bypass_cache())
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(&cached).unwrap(),
+            serde_json::to_string(&forced).unwrap(),
+            "a cache hit must be byte-identical to a recompute at the same epoch"
+        );
+    }
+    emit_cache_json("translation_cache/hot_repeat", &hot, hit_rate);
+    service.shutdown();
+}
+
 criterion_group!(benches, bench_service);
 
 fn main() {
     criterion::configure_from_args();
+    let smoke = std::env::args().any(|a| a == "--test");
     benches();
-    socket_load_harness(std::env::args().any(|a| a == "--test"));
+    socket_load_harness(smoke);
+    translation_cache_phase(smoke);
 }

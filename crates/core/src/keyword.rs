@@ -8,7 +8,7 @@
 
 use crate::config::TemplarConfig;
 use crate::fragment::{QueryContext, QueryFragment};
-use crate::qfg::{FragmentId, QueryFragmentGraph};
+use crate::qfg::{DiceGatherScratch, FragmentId, QueryFragmentGraph, ABSENT_FRAGMENT};
 use crate::trace::{Stage, TraceCtx};
 use nlp::{contains_number, extract_numbers, tokenize_lower, SimilarityModel};
 use relational::{AttributeRef, Database};
@@ -237,6 +237,25 @@ impl Configuration {
     }
 }
 
+/// A memo of pruned candidate lists shared *across* requests, layered over
+/// `MAPKEYWORDS` by a serving layer to amortize candidate retrieval, σ
+/// scoring and pruning over concurrently in-flight translations.
+///
+/// The pruned list of a `(keyword, metadata)` pair is a pure, deterministic
+/// function of the snapshot (database, QFG, similarity model) and the
+/// *structural* configuration (κ, ε, obscurity) — none of which per-request
+/// overrides (λ, `use_log_joins`, top-k) may change — so a memo scoped to
+/// one snapshot returns lists byte-identical to recomputation, and the
+/// final ranking cannot diverge from solo execution.  A `get` returning
+/// `None` always falls back to computing; `put` offers the freshly computed
+/// list for reuse and may drop it (e.g. when the memo is full).
+pub trait CandidateMemo: Sync {
+    /// The memoized pruned candidate list for a keyword, if present.
+    fn get(&self, keyword: &Keyword, meta: &KeywordMetadata) -> Option<Vec<MappingCandidate>>;
+    /// Offer a freshly computed pruned list for reuse by concurrent peers.
+    fn put(&self, keyword: &Keyword, meta: &KeywordMetadata, pruned: &[MappingCandidate]);
+}
+
 /// The keyword mapper: executes `MAPKEYWORDS` (Algorithm 1).
 pub struct KeywordMapper<'a> {
     db: &'a Database,
@@ -291,9 +310,24 @@ impl<'a> KeywordMapper<'a> {
         keywords: &[(Keyword, KeywordMetadata)],
         trace: TraceCtx<'_>,
     ) -> (Vec<Configuration>, SearchStats) {
+        self.map_keywords_traced_memo(keywords, trace, None)
+    }
+
+    /// [`KeywordMapper::map_keywords_traced`] consulting an optional
+    /// cross-request [`CandidateMemo`] for the pruned candidate lists.
+    /// `None` is the identical solo path; with a memo, lists found there
+    /// skip retrieval/scoring/pruning and freshly computed ones are offered
+    /// back — the result is byte-identical either way (see the trait docs
+    /// for why).
+    pub fn map_keywords_traced_memo(
+        &self,
+        keywords: &[(Keyword, KeywordMetadata)],
+        trace: TraceCtx<'_>,
+        memo: Option<&dyn CandidateMemo>,
+    ) -> (Vec<Configuration>, SearchStats) {
         let per_keyword = {
             let _span = trace.span(Stage::CandidatePruning);
-            self.pruned_candidate_lists(keywords)
+            self.pruned_candidate_lists(keywords, memo)
         };
         if per_keyword.is_empty() {
             return (Vec::new(), SearchStats::default());
@@ -317,7 +351,7 @@ impl<'a> KeywordMapper<'a> {
         &self,
         keywords: &[(Keyword, KeywordMetadata)],
     ) -> (Vec<Configuration>, SearchStats) {
-        let per_keyword = self.pruned_candidate_lists(keywords);
+        let per_keyword = self.pruned_candidate_lists(keywords, None);
         if per_keyword.is_empty() {
             return (Vec::new(), SearchStats::default());
         }
@@ -335,15 +369,26 @@ impl<'a> KeywordMapper<'a> {
     /// per-keyword half of Algorithm 1).  Keywords with no surviving
     /// candidate are skipped: one unmappable keyword would zero out every
     /// configuration, while the remaining keywords can still produce a
-    /// (partial) query.
+    /// (partial) query.  A [`CandidateMemo`] hit replaces the whole
+    /// retrieve/score/prune pass for that keyword.
     fn pruned_candidate_lists(
         &self,
         keywords: &[(Keyword, KeywordMetadata)],
+        memo: Option<&dyn CandidateMemo>,
     ) -> Vec<Vec<MappingCandidate>> {
         let mut per_keyword: Vec<Vec<MappingCandidate>> = Vec::with_capacity(keywords.len());
         for (kw, meta) in keywords {
-            let candidates = self.keyword_candidates(kw, meta);
-            let pruned = self.score_and_prune(kw, candidates);
+            let pruned = match memo.and_then(|m| m.get(kw, meta)) {
+                Some(hit) => hit,
+                None => {
+                    let candidates = self.keyword_candidates(kw, meta);
+                    let pruned = self.score_and_prune(kw, candidates);
+                    if let Some(m) = memo {
+                        m.put(kw, meta, &pruned);
+                    }
+                    pruned
+                }
+            };
             if !pruned.is_empty() {
                 per_keyword.push(pruned);
             }
@@ -611,6 +656,7 @@ impl<'a> KeywordMapper<'a> {
                     .collect()
             })
             .collect();
+        assign_popularity(self.qfg, &mut resolved);
         assign_pair_factor_caps(self.qfg, &mut resolved);
         resolved
     }
@@ -647,22 +693,16 @@ impl<'a> KeywordMapper<'a> {
     }
 
     /// Resolve one pruned candidate to the columnar scoring domain: its σ,
-    /// its interned fragment id, its deterministic tie-break key, and its
-    /// normalised log popularity (the same expression [`qfg_breakdown`]
-    /// evaluates per tuple, hoisted to once per request).
+    /// its interned fragment id and its deterministic tie-break key.  The
+    /// normalised log popularity and the pair-factor cap are filled in by
+    /// the flat [`assign_popularity`] / [`assign_pair_factor_caps`] sweeps
+    /// over the whole request.
     fn resolve_candidate(&self, candidate: &MappingCandidate) -> ResolvedCandidate {
-        let slot = self.resolve_slot(&candidate.element);
-        let popularity = match slot {
-            FragmentSlot::Known(id) => {
-                self.qfg.occurrences_by_id(id) as f64 / self.qfg.query_count().max(1) as f64
-            }
-            _ => 0.0,
-        };
         ResolvedCandidate {
             sigma: candidate.score,
-            slot,
+            slot: self.resolve_slot(&candidate.element),
             sort_key: candidate_sort_key(candidate),
-            popularity,
+            popularity: 0.0,
             pair_factor_cap: 1.0,
         }
     }
@@ -758,11 +798,46 @@ impl SearchStats {
     }
 }
 
+/// Assign every candidate's [`ResolvedCandidate::popularity`] (`n_v / |L|`,
+/// the same expression [`qfg_breakdown`] evaluates per tuple, hoisted to
+/// once per request) as a flat gather → one divide sweep → scatter, instead
+/// of a per-candidate branch-and-divide.  Relations and never-logged
+/// fragments gather an occurrence count of zero, so the sweep yields their
+/// exact `0.0` (`+0.0 / total ≡ 0.0`) and no branch survives into the
+/// arithmetic pass.
+fn assign_popularity(qfg: &QueryFragmentGraph, resolved: &mut [Vec<ResolvedCandidate>]) {
+    let total = qfg.query_count().max(1) as f64;
+    let mut flat: Vec<f64> = Vec::with_capacity(resolved.iter().map(Vec::len).sum());
+    for list in resolved.iter() {
+        flat.extend(list.iter().map(|candidate| match candidate.slot {
+            FragmentSlot::Known(id) => qfg.occurrences_by_id(id) as f64,
+            _ => 0.0,
+        }));
+    }
+    for value in flat.iter_mut() {
+        *value /= total;
+    }
+    let mut cursor = flat.iter();
+    for list in resolved.iter_mut() {
+        for candidate in list {
+            candidate.popularity = *cursor.next().expect("gather covers every candidate");
+        }
+    }
+}
+
 /// Assign every candidate's [`ResolvedCandidate::pair_factor_cap`] across
 /// the request's resolved lists.  Needs the cross-list view: a fragment
 /// offered for two different keywords can be paired with itself
 /// (`Dice = 1`), so its cap must not rely on the QFG's `max_dice` column,
 /// which only covers *other* fragments.
+///
+/// Structured as a flat raw-Dice gather followed by one branch-free
+/// `(raw + QFG_SMOOTHING).min(1.0)` bound sweep.  The gather encodes each
+/// class so the shared sweep reproduces the per-class value exactly:
+/// relations and multi-list fragments gather `1.0`
+/// (`(1.0 + 0.01).min(1.0) = 1.0`), never-logged fragments gather `0.0`
+/// (`0.0 + 0.01 = QFG_SMOOTHING` exactly), and single-list known fragments
+/// gather their `max_dice` column entry.
 fn assign_pair_factor_caps(qfg: &QueryFragmentGraph, resolved: &mut [Vec<ResolvedCandidate>]) {
     let mut lists_containing: std::collections::HashMap<FragmentId, usize> =
         std::collections::HashMap::new();
@@ -777,25 +852,34 @@ fn assign_pair_factor_caps(qfg: &QueryFragmentGraph, resolved: &mut [Vec<Resolve
             }
         }
     }
+    let mut flat: Vec<f64> = Vec::with_capacity(resolved.iter().map(Vec::len).sum());
+    for list in resolved.iter() {
+        flat.extend(list.iter().map(|candidate| match candidate.slot {
+            // A relation mapping adds no fragment slot, hence no pair
+            // factors; the sweep bounds its 1.0 back to the
+            // multiplicative identity.
+            FragmentSlot::Relation => 1.0,
+            // A never-logged fragment co-occurs with nothing: the sweep
+            // turns its raw 0.0 into exactly the smoothing floor.
+            FragmentSlot::Unknown => 0.0,
+            FragmentSlot::Known(id) => {
+                if lists_containing.get(&id).copied().unwrap_or(0) >= 2 {
+                    // The fragment can be chosen for two keywords at
+                    // once, making a self-pair (Dice = 1) possible.
+                    1.0
+                } else {
+                    qfg.max_dice_by_id(id)
+                }
+            }
+        }));
+    }
+    for value in flat.iter_mut() {
+        *value = (*value + QFG_SMOOTHING).min(1.0);
+    }
+    let mut cursor = flat.iter();
     for list in resolved.iter_mut() {
         for candidate in list {
-            candidate.pair_factor_cap = match candidate.slot {
-                // A relation mapping adds no fragment slot, hence no
-                // pair factors; 1.0 is the multiplicative identity.
-                FragmentSlot::Relation => 1.0,
-                // A never-logged fragment co-occurs with nothing: every
-                // factor it contributes is exactly the smoothing floor.
-                FragmentSlot::Unknown => QFG_SMOOTHING,
-                FragmentSlot::Known(id) => {
-                    if lists_containing.get(&id).copied().unwrap_or(0) >= 2 {
-                        // The fragment can be chosen for two keywords at
-                        // once, making a self-pair (Dice = 1) possible.
-                        1.0
-                    } else {
-                        (qfg.max_dice_by_id(id) + QFG_SMOOTHING).min(1.0)
-                    }
-                }
-            };
+            candidate.pair_factor_cap = *cursor.next().expect("gather covers every candidate");
         }
     }
 }
@@ -1292,6 +1376,13 @@ struct SearchWorker<'a, 'r> {
     indices: Vec<u32>,
     /// The prefix's non-relation slots, in keyword order.
     slots: Vec<FragmentSlot>,
+    /// `slots` flattened to raw interned ids (`ABSENT_FRAGMENT` for
+    /// never-logged fragments), kept in lockstep so each extension runs the
+    /// pair factors as one contiguous [`QueryFragmentGraph::gather_dice`]
+    /// pass instead of a per-prior branchy lookup.
+    slot_ids: Vec<u32>,
+    dice_scratch: DiceGatherScratch,
+    dice_buf: Vec<f64>,
     top: Vec<ScoredTuple>,
     stats: SearchStats,
 }
@@ -1310,6 +1401,9 @@ impl<'a, 'r> SearchWorker<'a, 'r> {
             stride,
             indices: Vec::with_capacity(search.keyword_count),
             slots: Vec::with_capacity(search.keyword_count),
+            slot_ids: Vec::with_capacity(search.keyword_count),
+            dice_scratch: DiceGatherScratch::default(),
+            dice_buf: Vec::with_capacity(search.keyword_count),
             top: Vec::new(),
             stats: SearchStats::default(),
         }
@@ -1365,23 +1459,39 @@ impl<'a, 'r> SearchWorker<'a, 'r> {
             let adds_slot = candidate.slot != FragmentSlot::Relation;
             if adds_slot {
                 // Extend the pair product with the new slot's factors, in
-                // the exact order `qfg_breakdown` visits them.
-                for &prior in &self.slots {
-                    let dice = match (prior, candidate.slot) {
-                        (FragmentSlot::Known(a), FragmentSlot::Known(b)) => {
-                            search.qfg.dice_by_id(a, b)
+                // the exact order `qfg_breakdown` visits them: one
+                // contiguous gather over the prefix's flattened ids, then
+                // one smooth-and-bound multiply sweep.
+                match candidate.slot {
+                    FragmentSlot::Known(id) => {
+                        search.qfg.gather_dice(
+                            id,
+                            &self.slot_ids,
+                            &mut self.dice_scratch,
+                            &mut self.dice_buf,
+                        );
+                        for &dice in &self.dice_buf {
+                            next.pair_product *= (dice + QFG_SMOOTHING).min(1.0);
                         }
-                        // A fragment absent from the log co-occurs with
-                        // nothing.
-                        _ => 0.0,
-                    };
-                    next.pair_product *= (dice + QFG_SMOOTHING).min(1.0);
+                    }
+                    // A fragment absent from the log co-occurs with
+                    // nothing: every pair multiplies in the exact
+                    // smoothing floor.
+                    _ => {
+                        for _ in 0..self.slot_ids.len() {
+                            next.pair_product *= (0.0 + QFG_SMOOTHING).min(1.0);
+                        }
+                    }
                 }
                 next.pop_sum = state.pop_sum + candidate.popularity;
                 if candidate.popularity > next.max_pop {
                     next.max_pop = candidate.popularity;
                 }
                 self.slots.push(candidate.slot);
+                self.slot_ids.push(match candidate.slot {
+                    FragmentSlot::Known(id) => id.index() as u32,
+                    _ => ABSENT_FRAGMENT,
+                });
             }
             self.indices.push(i as u32);
             let keep_going = if d + 1 == search.keyword_count {
@@ -1408,6 +1518,7 @@ impl<'a, 'r> SearchWorker<'a, 'r> {
             self.indices.pop();
             if adds_slot {
                 self.slots.pop();
+                self.slot_ids.pop();
             }
             if !keep_going {
                 return false;
@@ -1449,20 +1560,24 @@ impl<'a, 'r> SearchWorker<'a, 'r> {
 /// ids; `phi` is the total number of mappings (relations included), exactly
 /// as in the fragment-keyed implementation this replaces.
 fn qfg_breakdown(qfg: &QueryFragmentGraph, slots: &[FragmentSlot], phi: usize) -> QfgBreakdown {
-    let total_queries = qfg.query_count().max(1) as f64;
-    let log_popularity = if slots.is_empty() {
+    // Flatten once to raw interned ids (`ABSENT_FRAGMENT` for fragments the
+    // log has never seen) so both components run as contiguous gather +
+    // sweep passes over the columnar arrays instead of per-slot branching.
+    let ids: Vec<u32> = slots
+        .iter()
+        .map(|slot| match slot {
+            FragmentSlot::Known(id) => id.index() as u32,
+            _ => ABSENT_FRAGMENT,
+        })
+        .collect();
+    let mut popularity = Vec::new();
+    qfg.gather_popularity(&ids, &mut popularity);
+    let log_popularity = if ids.is_empty() {
         0.0
     } else {
-        slots
-            .iter()
-            .map(|slot| match slot {
-                FragmentSlot::Known(id) => qfg.occurrences_by_id(*id) as f64 / total_queries,
-                _ => 0.0,
-            })
-            .sum::<f64>()
-            / slots.len() as f64
+        popularity.iter().sum::<f64>() / ids.len() as f64
     };
-    if slots.len() < 2 {
+    if ids.len() < 2 {
         return QfgBreakdown {
             log_popularity,
             dice: 0.0,
@@ -1471,20 +1586,29 @@ fn qfg_breakdown(qfg: &QueryFragmentGraph, slots: &[FragmentSlot], phi: usize) -
     }
     let mut product = 1.0f64;
     let mut pairs = 0usize;
+    let mut scratch = DiceGatherScratch::default();
+    let mut dice = Vec::new();
     // Pairs are visited in slot-append order — every pair the j-th slot
     // forms with its predecessors, for growing j — so the best-first
     // search's prefix-incremental pair product performs the identical
     // floating-point operation sequence and finalizes bit-for-bit equal.
     for j in 1..slots.len() {
-        for i in 0..j {
-            let dice = match (slots[i], slots[j]) {
-                (FragmentSlot::Known(a), FragmentSlot::Known(b)) => qfg.dice_by_id(a, b),
-                // A fragment absent from the log co-occurs with nothing.
-                _ => 0.0,
-            };
-            product *= (dice + QFG_SMOOTHING).min(1.0);
-            pairs += 1;
+        match slots[j] {
+            FragmentSlot::Known(id) => {
+                qfg.gather_dice(id, &ids[..j], &mut scratch, &mut dice);
+                for &d in &dice {
+                    product *= (d + QFG_SMOOTHING).min(1.0);
+                }
+            }
+            // A fragment absent from the log co-occurs with nothing: every
+            // pair it forms multiplies in the exact smoothing floor.
+            _ => {
+                for _ in 0..j {
+                    product *= (0.0 + QFG_SMOOTHING).min(1.0);
+                }
+            }
         }
+        pairs += j;
     }
     QfgBreakdown {
         log_popularity,

@@ -138,6 +138,20 @@ impl FragmentId {
     }
 }
 
+/// Sentinel slot value for the gather kernels
+/// ([`QueryFragmentGraph::gather_dice`] /
+/// [`QueryFragmentGraph::gather_popularity`]): a fragment the log has never
+/// seen (`n_v = 0`), which co-occurs with nothing and reads 0.0 everywhere.
+pub const ABSENT_FRAGMENT: u32 = u32::MAX;
+
+/// Reusable scratch buffer for [`QueryFragmentGraph::gather_dice`], so the
+/// per-extension gather on the configuration-search hot path stays
+/// allocation-free.
+#[derive(Debug, Default)]
+pub struct DiceGatherScratch {
+    denominators: Vec<f64>,
+}
+
 /// The fragment ⇄ id table.
 ///
 /// `intern` assigns the next free id (recycling released slots);
@@ -731,6 +745,93 @@ impl QueryFragmentGraph {
         }
     }
 
+    /// Gather `Dice(candidate, priors[i])` into `out[i]` for a batch of
+    /// prior fragment slots — the columnar counterpart of calling
+    /// [`QueryFragmentGraph::dice_by_id`] once per pair.
+    ///
+    /// On a compacted graph the gather phase resolves every pair to an
+    /// integer `(numerator, denominator)` — one CSR binary search each —
+    /// and the arithmetic then runs as one flat multiply/divide sweep over
+    /// contiguous slices that LLVM can autovectorize.  Each lane evaluates
+    /// the same expression the scalar lookup does (`2·n_e / (n_v(a) +
+    /// n_v(b))`; missing pairs read `(0, 1)`, live self-pairs `(1, 2)`), so
+    /// every gathered value is bit-for-bit the `dice_by_id` result.  With
+    /// pending deltas the per-pair slow path is used instead — same values,
+    /// no sweep.
+    ///
+    /// `priors` entries equal to [`ABSENT_FRAGMENT`] denote fragments the
+    /// log has never seen; they read 0.0.
+    pub fn gather_dice(
+        &self,
+        candidate: FragmentId,
+        priors: &[u32],
+        scratch: &mut DiceGatherScratch,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        if priors.is_empty() {
+            return;
+        }
+        if !self.delta.is_empty() || self.occurrences_dirty {
+            out.extend(priors.iter().map(|&p| {
+                if p == ABSENT_FRAGMENT {
+                    0.0
+                } else {
+                    self.dice_by_id(candidate, FragmentId(p))
+                }
+            }));
+            return;
+        }
+        let c = candidate.0;
+        let den = &mut scratch.denominators;
+        den.clear();
+        den.reserve(priors.len());
+        out.reserve(priors.len());
+        for &p in priors {
+            let (numerator, denominator) = if p == ABSENT_FRAGMENT {
+                (0.0, 1.0)
+            } else if p == c {
+                if self.occurrences[c as usize] > 0 {
+                    (1.0, 2.0)
+                } else {
+                    (0.0, 1.0)
+                }
+            } else {
+                let (lo, hi) = if c < p { (c, p) } else { (p, c) };
+                match self.csr.edge_index(lo, hi) {
+                    Some(e) => (self.csr.counts[e] as f64, self.csr.denominators[e] as f64),
+                    None => (0.0, 1.0),
+                }
+            };
+            out.push(numerator);
+            den.push(denominator);
+        }
+        for (value, &denominator) in out.iter_mut().zip(den.iter()) {
+            *value = (2.0 * *value) / denominator;
+        }
+    }
+
+    /// Gather `n_v(ids[i]) / |L|` into `out[i]` — the normalised
+    /// log-popularity of a batch of fragment slots, as one contiguous
+    /// occurrence gather followed by one divide sweep.  [`ABSENT_FRAGMENT`]
+    /// entries read 0.0; each lane matches the scalar
+    /// `occurrences_by_id(id) as f64 / query_count().max(1) as f64`
+    /// bit-for-bit.
+    pub fn gather_popularity(&self, ids: &[u32], out: &mut Vec<f64>) {
+        let total = self.query_count.max(1) as f64;
+        out.clear();
+        out.extend(ids.iter().map(|&id| {
+            if id == ABSENT_FRAGMENT {
+                0.0
+            } else {
+                self.occurrences[id as usize] as f64
+            }
+        }));
+        for value in out.iter_mut() {
+            *value /= total;
+        }
+    }
+
     /// The Dice coefficient between two relations' `FROM` fragments, used by
     /// the log-driven join edge weight `w_L = 1 − Dice`.
     pub fn relation_dice(&self, a: &str, b: &str) -> f64 {
@@ -1217,6 +1318,54 @@ mod tests {
         // A serde round-trip (snapshot load) restores the exact column.
         let back = QueryFragmentGraph::from_value(&serde::Serialize::to_value(&qfg)).unwrap();
         assert_eq!(back.max_dice_by_id(id), qfg.max_dice_by_id(id));
+    }
+
+    #[test]
+    fn gather_kernels_match_scalar_lookups_bit_for_bit() {
+        let mut qfg = QueryFragmentGraph::build(&figure3_log(), Obscurity::NoConstOp);
+        // Exercise both the compacted sweep and the pending-delta fallback.
+        for compacted in [true, false] {
+            if !compacted {
+                let (extra, _) = QueryLog::from_sql(["SELECT p.year FROM publication p"]);
+                qfg.ingest(&extra.queries()[0]);
+                assert!(!qfg.is_compacted());
+            }
+            let live: Vec<FragmentId> = qfg
+                .fragments()
+                .map(|(f, _)| qfg.lookup(f).unwrap())
+                .collect();
+            let mut ids: Vec<u32> = live.iter().map(|id| id.index() as u32).collect();
+            ids.push(ABSENT_FRAGMENT);
+            let mut scratch = DiceGatherScratch::default();
+            let mut out = Vec::new();
+            for &c in &live {
+                qfg.gather_dice(c, &ids, &mut scratch, &mut out);
+                assert_eq!(out.len(), ids.len());
+                for (i, &id) in ids.iter().enumerate() {
+                    let expected = if id == ABSENT_FRAGMENT {
+                        0.0
+                    } else {
+                        qfg.dice_by_id(c, FragmentId(id))
+                    };
+                    assert_eq!(
+                        out[i].to_bits(),
+                        expected.to_bits(),
+                        "gathered Dice must be bit-identical to the scalar lookup \
+                         (compacted: {compacted})"
+                    );
+                }
+            }
+            let mut pop = Vec::new();
+            qfg.gather_popularity(&ids, &mut pop);
+            for (i, &id) in ids.iter().enumerate() {
+                let expected = if id == ABSENT_FRAGMENT {
+                    0.0
+                } else {
+                    qfg.occurrences_by_id(FragmentId(id)) as f64 / qfg.query_count().max(1) as f64
+                };
+                assert_eq!(pop[i].to_bits(), expected.to_bits());
+            }
+        }
     }
 
     #[test]

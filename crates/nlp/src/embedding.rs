@@ -126,6 +126,9 @@ pub struct WordModel {
     /// Bounded phrase → vector memo (same policy as the word memo; a
     /// phrase vector is a pure function of the phrase text).
     phrase_cache: RwLock<HashMap<String, PhraseVector>>,
+    /// Word-memo hit/miss counters, observable for tuning and tests.
+    word_hits: AtomicU64,
+    word_misses: AtomicU64,
     /// Phrase-memo hit/miss counters, observable for tuning and tests.
     phrase_hits: AtomicU64,
     phrase_misses: AtomicU64,
@@ -158,6 +161,8 @@ impl Clone for WordModel {
                     .map(|cache| cache.clone())
                     .unwrap_or_default(),
             ),
+            word_hits: AtomicU64::new(0),
+            word_misses: AtomicU64::new(0),
             phrase_hits: AtomicU64::new(0),
             phrase_misses: AtomicU64::new(0),
         }
@@ -177,6 +182,8 @@ impl WordModel {
             lexicon_weight: 0.75,
             vector_cache: RwLock::new(HashMap::new()),
             phrase_cache: RwLock::new(HashMap::new()),
+            word_hits: AtomicU64::new(0),
+            word_misses: AtomicU64::new(0),
             phrase_hits: AtomicU64::new(0),
             phrase_misses: AtomicU64::new(0),
         }
@@ -190,6 +197,8 @@ impl WordModel {
             lexicon_weight: 0.0,
             vector_cache: RwLock::new(HashMap::new()),
             phrase_cache: RwLock::new(HashMap::new()),
+            word_hits: AtomicU64::new(0),
+            word_misses: AtomicU64::new(0),
             phrase_hits: AtomicU64::new(0),
             phrase_misses: AtomicU64::new(0),
         }
@@ -207,9 +216,11 @@ impl WordModel {
     pub fn word_vector(&self, word: &str) -> PhraseVector {
         if let Ok(cache) = self.vector_cache.read() {
             if let Some(hit) = cache.get(word) {
+                self.word_hits.fetch_add(1, Ordering::Relaxed);
                 return hit.clone();
             }
         }
+        self.word_misses.fetch_add(1, Ordering::Relaxed);
         let vector = self.compute_word_vector(word);
         if let Ok(mut cache) = self.vector_cache.write() {
             if cache.len() < VECTOR_CACHE_CAP {
@@ -281,6 +292,14 @@ impl WordModel {
         }
         acc.scale(1.0 / words.len() as f64);
         acc
+    }
+
+    /// Word-memo `(hits, misses)` since this instance was constructed.
+    pub fn word_cache_stats(&self) -> (u64, u64) {
+        (
+            self.word_hits.load(Ordering::Relaxed),
+            self.word_misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Phrase-memo `(hits, misses)` since this instance was constructed.
@@ -464,6 +483,22 @@ mod tests {
         assert_eq!(cloned.phrase_cache_stats(), (0, 0));
         cloned.phrase_vector("restaurant businesses");
         assert_eq!(cloned.phrase_cache_stats(), (1, 0), "clone starts warm");
+    }
+
+    #[test]
+    fn word_vectors_are_memoized_with_observable_hit_rate() {
+        let m = WordModel::new();
+        assert_eq!(m.word_cache_stats(), (0, 0));
+        let first = m.word_vector("restaurant");
+        assert_eq!(m.word_cache_stats(), (0, 1));
+        let second = m.word_vector("restaurant");
+        assert_eq!(m.word_cache_stats(), (1, 1));
+        assert_eq!(first, second, "memo must return the identical vector");
+        // Cloned models inherit warmth but report their own traffic.
+        let cloned = m.clone();
+        assert_eq!(cloned.word_cache_stats(), (0, 0));
+        cloned.word_vector("restaurant");
+        assert_eq!(cloned.word_cache_stats(), (1, 0), "clone starts warm");
     }
 
     #[test]

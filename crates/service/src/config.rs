@@ -75,6 +75,11 @@ pub struct ServiceConfig {
     /// [`ApiError::Backpressure`](templar_api::ApiError::Backpressure) and
     /// counted under `admission_tenant_shed`.
     pub max_inflight: usize,
+    /// Capacity of the epoch-keyed translation cache (whole
+    /// `TranslateResponse`s keyed by normalized question + override
+    /// signature, invalidated wholesale on snapshot publish).  `0` disables
+    /// caching entirely — every request computes.
+    pub translation_cache_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -88,6 +93,7 @@ impl Default for ServiceConfig {
             wal: WalConfig::default(),
             slow_query_capacity: 16,
             max_inflight: 256,
+            translation_cache_capacity: 4096,
         }
     }
 }
@@ -150,6 +156,12 @@ impl ServiceConfig {
     /// Set the tenant's in-flight concurrency quota (clamped to ≥ 1).
     pub fn with_max_inflight(mut self, quota: usize) -> Self {
         self.max_inflight = quota.max(1);
+        self
+    }
+
+    /// Bound the translation cache (0 disables caching).
+    pub fn with_translation_cache_capacity(mut self, capacity: usize) -> Self {
+        self.translation_cache_capacity = capacity;
         self
     }
 }

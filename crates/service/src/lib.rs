@@ -51,6 +51,7 @@ pub mod registry;
 pub mod server;
 pub(crate) mod slowlog;
 pub mod snapshot;
+pub(crate) mod transcache;
 pub mod wal;
 
 pub use client::RegistryClient;

@@ -38,6 +38,10 @@ pub struct ServiceMetrics {
     wal_truncated_bytes: AtomicU64,
     admission_tenant_shed: AtomicU64,
     admission_global_shed: AtomicU64,
+    translation_cache_hits: AtomicU64,
+    translation_cache_misses: AtomicU64,
+    translation_cache_evictions: AtomicU64,
+    translation_cache_invalidations: AtomicU64,
     latency_buckets: LatencyHistogram,
     stage_latency: [LatencyHistogram; STAGE_COUNT],
 }
@@ -239,6 +243,30 @@ impl ServiceMetrics {
         self.admission_global_shed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One translation answered from the epoch-keyed translation cache.
+    pub(crate) fn record_translation_cache_hit(&self) {
+        self.translation_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One translation that had to compute (and, on success, seeded the
+    /// translation cache).  Bypassed requests record neither hit nor miss.
+    pub(crate) fn record_translation_cache_miss(&self) {
+        self.translation_cache_misses
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Entries dropped from the translation cache at its capacity bound.
+    pub(crate) fn record_translation_cache_evictions(&self, n: u64) {
+        self.translation_cache_evictions
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// One wholesale translation-cache invalidation (snapshot publish).
+    pub(crate) fn record_translation_cache_invalidation(&self) {
+        self.translation_cache_invalidations
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Fold one finished request's per-stage breakdown into the stage
     /// latency histograms: one observation per stage that ran (the stage's
     /// accumulated duration within the request).
@@ -320,6 +348,17 @@ impl ServiceMetrics {
             wal_truncated_bytes: self.wal_truncated_bytes.load(Ordering::Relaxed),
             admission_tenant_shed: self.admission_tenant_shed.load(Ordering::Relaxed),
             admission_global_shed: self.admission_global_shed.load(Ordering::Relaxed),
+            translation_cache_hits: self.translation_cache_hits.load(Ordering::Relaxed),
+            translation_cache_misses: self.translation_cache_misses.load(Ordering::Relaxed),
+            translation_cache_evictions: self.translation_cache_evictions.load(Ordering::Relaxed),
+            translation_cache_invalidations: self
+                .translation_cache_invalidations
+                .load(Ordering::Relaxed),
+            translation_cache_entries: 0,
+            word_memo_hits: 0,
+            word_memo_misses: 0,
+            phrase_memo_hits: 0,
+            phrase_memo_misses: 0,
             wal_applied_seq: 0,
             join_cache_hits: 0,
             join_cache_misses: 0,
@@ -431,6 +470,23 @@ pub struct MetricsSnapshot {
     pub qfg_csr_edges: u64,
     pub qfg_pending_deltas: u64,
     pub qfg_compactions: u64,
+    /// Epoch-keyed translation-cache counters: requests answered from the
+    /// cache / requests that computed (and seeded it) / entries dropped at
+    /// the capacity bound / wholesale invalidations on snapshot publish.
+    /// Bypassed requests touch neither hits nor misses.  The entry gauge is
+    /// filled in by the service, which owns the cache.
+    pub translation_cache_hits: u64,
+    pub translation_cache_misses: u64,
+    pub translation_cache_evictions: u64,
+    pub translation_cache_invalidations: u64,
+    pub translation_cache_entries: u64,
+    /// Similarity-model memo counters sampled from the current snapshot's
+    /// `WordModel` (reset at swap, like the join-cache figures): single-word
+    /// and phrase vector cache hits/misses.  Filled in by the service.
+    pub word_memo_hits: u64,
+    pub word_memo_misses: u64,
+    pub phrase_memo_hits: u64,
+    pub phrase_memo_misses: u64,
 }
 
 impl MetricsSnapshot {
@@ -654,6 +710,60 @@ const PROM_FAMILIES: &[(&str, &str, &str, FieldGetter)] = &[
         "counter",
         "Compactions the QFG lineage has undergone.",
         |s| s.qfg_compactions,
+    ),
+    (
+        "templar_translation_cache_hits_total",
+        "counter",
+        "Translations answered from the epoch-keyed translation cache.",
+        |s| s.translation_cache_hits,
+    ),
+    (
+        "templar_translation_cache_misses_total",
+        "counter",
+        "Translations computed because the cache had no entry.",
+        |s| s.translation_cache_misses,
+    ),
+    (
+        "templar_translation_cache_evictions_total",
+        "counter",
+        "Translation-cache entries dropped at the capacity bound.",
+        |s| s.translation_cache_evictions,
+    ),
+    (
+        "templar_translation_cache_invalidations_total",
+        "counter",
+        "Wholesale translation-cache invalidations on snapshot publish.",
+        |s| s.translation_cache_invalidations,
+    ),
+    (
+        "templar_translation_cache_entries",
+        "gauge",
+        "Resident translation-cache entries.",
+        |s| s.translation_cache_entries,
+    ),
+    (
+        "templar_word_memo_hits_total",
+        "counter",
+        "Word-vector memo hits of the current snapshot's similarity model.",
+        |s| s.word_memo_hits,
+    ),
+    (
+        "templar_word_memo_misses_total",
+        "counter",
+        "Word-vector memo misses of the current snapshot's similarity model.",
+        |s| s.word_memo_misses,
+    ),
+    (
+        "templar_phrase_memo_hits_total",
+        "counter",
+        "Phrase-vector memo hits of the current snapshot's similarity model.",
+        |s| s.phrase_memo_hits,
+    ),
+    (
+        "templar_phrase_memo_misses_total",
+        "counter",
+        "Phrase-vector memo misses of the current snapshot's similarity model.",
+        |s| s.phrase_memo_misses,
     ),
 ];
 

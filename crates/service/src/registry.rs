@@ -258,6 +258,15 @@ fn metrics_report(snapshot: &MetricsSnapshot) -> MetricsReport {
         qfg_csr_edges: snapshot.qfg_csr_edges,
         qfg_pending_deltas: snapshot.qfg_pending_deltas,
         qfg_compactions: snapshot.qfg_compactions,
+        translation_cache_hits: snapshot.translation_cache_hits,
+        translation_cache_misses: snapshot.translation_cache_misses,
+        translation_cache_evictions: snapshot.translation_cache_evictions,
+        translation_cache_invalidations: snapshot.translation_cache_invalidations,
+        translation_cache_entries: snapshot.translation_cache_entries,
+        word_memo_hits: snapshot.word_memo_hits,
+        word_memo_misses: snapshot.word_memo_misses,
+        phrase_memo_hits: snapshot.phrase_memo_hits,
+        phrase_memo_misses: snapshot.phrase_memo_misses,
     }
 }
 
@@ -317,6 +326,15 @@ mod tests {
             qfg_csr_edges: 35,
             qfg_pending_deltas: 36,
             qfg_compactions: 37,
+            translation_cache_hits: 40,
+            translation_cache_misses: 41,
+            translation_cache_evictions: 42,
+            translation_cache_invalidations: 43,
+            translation_cache_entries: 44,
+            word_memo_hits: 45,
+            word_memo_misses: 46,
+            phrase_memo_hits: 47,
+            phrase_memo_misses: 48,
         };
         snapshot.stage_latencies = vec![templar_api::StageLatencyReport {
             stage: "config_search".to_string(),
@@ -370,6 +388,15 @@ mod tests {
             qfg_csr_edges,
             qfg_pending_deltas,
             qfg_compactions,
+            translation_cache_hits,
+            translation_cache_misses,
+            translation_cache_evictions,
+            translation_cache_invalidations,
+            translation_cache_entries,
+            word_memo_hits,
+            word_memo_misses,
+            phrase_memo_hits,
+            phrase_memo_misses,
         } = metrics_report(&snapshot);
 
         assert_eq!(translations_served, 1);
@@ -413,5 +440,14 @@ mod tests {
         assert_eq!(qfg_csr_edges, 35);
         assert_eq!(qfg_pending_deltas, 36);
         assert_eq!(qfg_compactions, 37);
+        assert_eq!(translation_cache_hits, 40);
+        assert_eq!(translation_cache_misses, 41);
+        assert_eq!(translation_cache_evictions, 42);
+        assert_eq!(translation_cache_invalidations, 43);
+        assert_eq!(translation_cache_entries, 44);
+        assert_eq!(word_memo_hits, 45);
+        assert_eq!(word_memo_misses, 46);
+        assert_eq!(phrase_memo_hits, 47);
+        assert_eq!(phrase_memo_misses, 48);
     }
 }

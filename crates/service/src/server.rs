@@ -36,8 +36,9 @@ use crate::ingest::IngestQueue;
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::slowlog::SlowQueryLog;
 use crate::snapshot;
+use crate::transcache::{request_key, BatchMemo, CachedTranslation, TranslationCache};
 use crate::wal::{self, WalWriter};
-use nlidb::{translate_traced, Nlq, RankedSql, TranslateError};
+use nlidb::{translate_traced_memo, Nlq, RankedSql, TranslateError};
 use nlp::TextSimilarity;
 use parking_lot::Mutex;
 use relational::Database;
@@ -49,8 +50,8 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 use templar_api::{ApiError, SlowQueryReport, TraceReport, TranslateRequest, TranslateResponse};
 use templar_core::{
-    Keyword, KeywordMetadata, QueryFragmentGraph, QueryLog, SharedTemplar, Templar, TemplarConfig,
-    TraceCtx, TraceSpans,
+    CandidateMemo, Keyword, KeywordMetadata, QueryFragmentGraph, QueryLog, SharedTemplar, Templar,
+    TemplarConfig, TraceCtx, TraceSpans,
 };
 
 /// File name of the durable snapshot inside a service's durable directory.
@@ -117,6 +118,12 @@ struct ServiceInner {
     /// Admission-controlled operations currently executing for this tenant,
     /// bounded by [`ServiceConfig::max_inflight`].
     inflight: AtomicU64,
+    /// The epoch-keyed translation cache, invalidated wholesale on every
+    /// snapshot publish.
+    transcache: TranslationCache,
+    /// Batch-scoped candidate-list sharing between concurrently in-flight
+    /// translations on the same snapshot.
+    batch_memo: BatchMemo,
 }
 
 /// A reserved slot of a tenant's in-flight quota, handed out by
@@ -428,9 +435,11 @@ impl TemplarService {
             db,
             similarity,
             templar_config,
+            transcache: TranslationCache::new(service_config.translation_cache_capacity),
             service_config,
             durable,
             inflight: AtomicU64::new(0),
+            batch_memo: BatchMemo::default(),
         });
         let worker = {
             let inner = Arc::clone(&inner);
@@ -462,7 +471,7 @@ impl TemplarService {
     pub fn translate(&self, nlq: &Nlq) -> Result<Vec<RankedSql>, TranslateError> {
         let templar = self.inner.handle.load();
         let (results, _) =
-            self.traced_translate(&templar, &nlq.text, &nlq.keywords, templar.config());
+            self.traced_translate(&templar, &nlq.text, &nlq.keywords, templar.config(), None);
         results
     }
 
@@ -478,11 +487,12 @@ impl TemplarService {
         question: &str,
         keywords: &[(Keyword, KeywordMetadata)],
         config: &TemplarConfig,
+        memo: Option<&dyn CandidateMemo>,
     ) -> (Result<Vec<RankedSql>, TranslateError>, TraceReport) {
         let spans = TraceSpans::new();
         let started = Instant::now();
         let (results, search) =
-            translate_traced(templar, keywords, config, TraceCtx::enabled(&spans));
+            translate_traced_memo(templar, keywords, config, TraceCtx::enabled(&spans), memo);
         let total = started.elapsed();
         let trace = spans.finish(total);
         self.inner.metrics.record_search(&search);
@@ -497,12 +507,14 @@ impl TemplarService {
             ok: results.is_ok(),
             trace: trace.clone(),
             search,
+            cache_hit: false,
         });
         (
             results,
             TraceReport {
                 breakdown: trace,
                 search,
+                cache_hit: false,
             },
         )
     }
@@ -519,6 +531,16 @@ impl TemplarService {
     /// configuration only lives for this call — the snapshot, its QFG and
     /// its cache are shared untouched, and the override-aware join-cache key
     /// keeps differently-configured inferences from aliasing.
+    ///
+    /// Repeated traffic rides the epoch-keyed translation cache: the cache
+    /// epoch is read *before* the snapshot is loaded, a hit returns the
+    /// cached response (byte-identical to recomputing against that
+    /// snapshot), and a computed success is inserted only if the epoch is
+    /// still current — so a concurrent publish can at worst reject an
+    /// insert, never leave a stale entry.  `request.bypass_cache` skips
+    /// lookup, insert and hit/miss accounting entirely.  Misses join the
+    /// tenant's in-flight batch, sharing pruned candidate lists with
+    /// concurrent translations on the same snapshot.
     pub fn translate_request(
         &self,
         request: &TranslateRequest,
@@ -531,21 +553,95 @@ impl TemplarService {
                 reason: "request carries no keywords".to_string(),
             });
         }
+        let epoch = self.inner.transcache.epoch();
         let templar = self.inner.handle.load();
         let config = request.overrides.apply(templar.config());
-        let (results, trace) =
-            self.traced_translate(&templar, &request.nlq, &request.keywords, &config);
+        let key = request_key(&request.nlq, &request.keywords, &request.overrides);
+        if !request.bypass_cache {
+            if let Some(hit) = self.inner.transcache.get(&key) {
+                return Ok(self.serve_cache_hit(request, hit));
+            }
+            self.inner.metrics.record_translation_cache_miss();
+        }
+        // Batches are keyed by (epoch, snapshot address): during the
+        // store-then-invalidate publish window two in-flight requests can
+        // hold different snapshots under one epoch, and both Arcs being
+        // alive makes their addresses distinct — no ABA.
+        let batch = self
+            .inner
+            .batch_memo
+            .enter((epoch, Arc::as_ptr(&templar) as usize));
+        let (results, trace) = self.traced_translate(
+            &templar,
+            &request.nlq,
+            &request.keywords,
+            &config,
+            Some(&batch),
+        );
+        drop(batch);
         let ranked = results?;
         let response = TranslateResponse::from_ranked(
             request.tenant.clone(),
             &ranked,
             request.overrides.top_k,
         );
+        if !request.bypass_cache {
+            let evicted = self.inner.transcache.insert_if_epoch(
+                epoch,
+                key,
+                CachedTranslation {
+                    response: response.clone(),
+                    search: trace.search,
+                },
+            );
+            if evicted > 0 {
+                self.inner
+                    .metrics
+                    .record_translation_cache_evictions(evicted);
+            }
+        }
         Ok(if request.trace {
             response.with_trace(trace)
         } else {
             response
         })
+    }
+
+    /// Serve one request straight from the translation cache: record the
+    /// (lookup-only) latency and the hit, and log a `cache_hit`-marked
+    /// slow-query entry so the capture ring never shows a phantom fast
+    /// translation.  The cached response is returned as stored —
+    /// byte-identical to the computation that produced it — with a fresh
+    /// minimal trace attached when the request asked for one.
+    fn serve_cache_hit(
+        &self,
+        request: &TranslateRequest,
+        hit: CachedTranslation,
+    ) -> TranslateResponse {
+        let started = Instant::now();
+        self.inner.metrics.record_translation_cache_hit();
+        let trace = TraceSpans::new().finish(started.elapsed());
+        self.inner
+            .metrics
+            .record_translation(started.elapsed(), true);
+        self.inner.slow_queries.offer(SlowQueryReport {
+            seq: 0, // assigned by the ring
+            question: request.nlq.clone(),
+            total_us: trace.total_us(),
+            ok: true,
+            trace: trace.clone(),
+            search: hit.search,
+            cache_hit: true,
+        });
+        if request.trace {
+            hit.response.with_trace(TraceReport {
+                breakdown: trace,
+                search: hit.search,
+                cache_hit: true,
+            })
+        } else {
+            hit.response
+        }
     }
 
     /// Submit a newly-logged SQL query for ingestion.  Non-blocking; fails
@@ -742,6 +838,13 @@ impl TemplarService {
         snap.qfg_queries = current.qfg().query_count() as u64;
         snap.qfg_interned_fragments = current.qfg().interned_len() as u64;
         snap.qfg_csr_edges = current.qfg().csr_edge_len() as u64;
+        snap.translation_cache_entries = self.inner.transcache.entries();
+        let (word_hits, word_misses) = current.similarity().model().word_cache_stats();
+        snap.word_memo_hits = word_hits;
+        snap.word_memo_misses = word_misses;
+        let (phrase_hits, phrase_misses) = current.similarity().model().phrase_cache_stats();
+        snap.phrase_memo_hits = phrase_hits;
+        snap.phrase_memo_misses = phrase_misses;
         // Pending deltas and compactions are ingest-plane gauges: a
         // *published* snapshot is always compacted (its pending count would
         // read 0 by construction), so sample the master graph, where delta
@@ -808,6 +911,12 @@ fn publish(inner: &ServiceInner, qfg: QueryFragmentGraph) {
     .expect("service QFG always matches the configured obscurity");
     inner.handle.store(Arc::new(templar));
     inner.metrics.record_swap();
+    // Invalidate *after* the store: a request that raced the swap read the
+    // cache epoch before loading its snapshot, so its insert against the
+    // old epoch is rejected — the worst case is a dropped insert, never a
+    // stale entry served against the new snapshot.
+    inner.transcache.invalidate();
+    inner.metrics.record_translation_cache_invalidation();
 }
 
 /// The ingestion worker loop: drain → journal → apply incrementally →

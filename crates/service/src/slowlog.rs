@@ -70,6 +70,7 @@ mod tests {
             ok: true,
             trace: TraceSpans::new().finish(std::time::Duration::from_micros(total_us)),
             search: SearchStats::default(),
+            cache_hit: false,
         }
     }
 

@@ -395,6 +395,192 @@ fn shutdown_publishes_pending_ingests() {
 }
 
 #[test]
+fn translation_cache_hits_are_byte_identical_and_publish_invalidates() {
+    use templar_api::TranslateRequest;
+
+    let service = TemplarService::spawn(
+        academic_db(),
+        &QueryLog::new(),
+        TemplarConfig::paper_defaults(),
+        fast_refresh(),
+    )
+    .unwrap();
+    let nlq = papers_after_2000();
+    let request = TranslateRequest::new("academic", &nlq.text, nlq.keywords.clone());
+
+    // First request computes and populates; the repeat is served cached.
+    let computed = service.translate_request(&request).unwrap();
+    let cached = service.translate_request(&request).unwrap();
+    // Byte-identity: identical as structs AND as encoded wire bytes.
+    assert_eq!(cached, computed);
+    assert_eq!(
+        serde_json::to_string(&cached).unwrap(),
+        serde_json::to_string(&computed).unwrap()
+    );
+    // A forced recompute at the same epoch proves the cached answer is the
+    // same bytes the live snapshot would produce right now.
+    let recomputed = service
+        .translate_request(&request.clone().with_bypass_cache())
+        .unwrap();
+    assert_eq!(cached, recomputed);
+
+    let m = service.metrics();
+    assert_eq!(m.translation_cache_hits, 1);
+    assert_eq!(m.translation_cache_misses, 1, "bypass must not count");
+    assert_eq!(m.translation_cache_entries, 1);
+    assert_eq!(m.translation_cache_invalidations, 0);
+    assert_eq!(m.translations_served, 3, "hits still count as served");
+
+    // The capture ring marks the cache-served request.
+    let slow = service.slow_queries();
+    assert!(slow.iter().any(|r| r.cache_hit));
+    assert!(slow.iter().any(|r| !r.cache_hit));
+
+    // A traced hit ships a trace marked cache_hit.
+    let traced = service
+        .translate_request(&request.clone().with_trace())
+        .unwrap();
+    assert!(traced.trace.expect("trace requested").cache_hit);
+
+    // Publishing a new snapshot invalidates wholesale: the same question
+    // must be freshly computed against the new log evidence, never stale.
+    for sql in [
+        "SELECT p.title FROM publication p WHERE p.year > 1995",
+        "SELECT p.title FROM publication p WHERE p.year > 2010",
+        "SELECT p.title FROM publication p WHERE p.year > 2005",
+        "SELECT p.title FROM publication p WHERE p.year > 2001",
+    ] {
+        service.submit_sql(sql).unwrap();
+    }
+    service.flush();
+    let m = service.metrics();
+    assert!(m.translation_cache_invalidations >= 1);
+    assert_eq!(m.translation_cache_entries, 0, "publish clears the cache");
+
+    let fresh = service.translate_request(&request).unwrap();
+    let fresh_forced = service
+        .translate_request(&request.clone().with_bypass_cache())
+        .unwrap();
+    assert_eq!(
+        fresh, fresh_forced,
+        "post-publish answer must match a forced recompute on the new snapshot"
+    );
+    assert_ne!(
+        fresh.candidates[0].score, computed.candidates[0].score,
+        "the new log evidence must actually reshape the ranking"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn translation_cache_works_over_the_wire_with_bypass_flag() {
+    use templar_api::TranslateRequest;
+    use templar_service::{RegistryClient, TenantRegistry};
+
+    let registry = TenantRegistry::new();
+    registry.register(
+        "academic",
+        TemplarService::spawn(
+            academic_db(),
+            &QueryLog::new(),
+            TemplarConfig::paper_defaults(),
+            fast_refresh(),
+        )
+        .unwrap(),
+    );
+    let client = RegistryClient::new(&registry);
+    let nlq = papers_after_2000();
+    let request = TranslateRequest::new("academic", &nlq.text, nlq.keywords.clone());
+
+    let computed = client.translate(request.clone()).unwrap();
+    let cached = client.translate(request.clone()).unwrap();
+    let bypassed = client
+        .translate(request.clone().with_bypass_cache())
+        .unwrap();
+    assert_eq!(cached, computed);
+    assert_eq!(cached, bypassed);
+
+    // Cache and memo counters ride the wire projection.
+    let report = client.metrics("academic").unwrap();
+    assert_eq!(report.translation_cache_hits, 1);
+    assert_eq!(report.translation_cache_misses, 1);
+    assert_eq!(report.translation_cache_entries, 1);
+    assert!(
+        report.word_memo_hits + report.word_memo_misses > 0,
+        "translations must touch the word-vector memo"
+    );
+
+    // …and the Prometheus exposition carries the new families.
+    let text = client.prometheus(Some("academic")).unwrap();
+    assert!(text.contains("templar_translation_cache_hits_total{tenant=\"academic\"} 1"));
+    assert!(text.contains("templar_translation_cache_entries{tenant=\"academic\"} 1"));
+    assert!(text.contains("templar_word_memo_hits_total{tenant=\"academic\"}"));
+    assert!(text.contains("templar_phrase_memo_misses_total{tenant=\"academic\"}"));
+}
+
+#[test]
+fn batched_concurrent_translations_match_solo_execution_byte_for_byte() {
+    use templar_api::TranslateRequest;
+
+    let service = Arc::new(
+        TemplarService::spawn_from_sql(
+            academic_db(),
+            [
+                "SELECT p.title FROM publication p WHERE p.year > 1995",
+                "SELECT p.title FROM publication p WHERE p.year > 2010",
+                "SELECT p.title FROM publication p, journal j WHERE j.name = 'TKDE' AND p.jid = j.jid",
+            ],
+            TemplarConfig::paper_defaults(),
+            fast_refresh(),
+        )
+        .unwrap(),
+    );
+
+    let nlq = papers_after_2000();
+    let variants: Vec<TranslateRequest> = vec![
+        TranslateRequest::new("academic", &nlq.text, nlq.keywords.clone()).with_bypass_cache(),
+        TranslateRequest::new("academic", &nlq.text, nlq.keywords.clone())
+            .with_bypass_cache()
+            .with_lambda(0.3),
+        TranslateRequest::new("academic", &nlq.text, nlq.keywords.clone())
+            .with_bypass_cache()
+            .with_top_k(1),
+    ];
+
+    // Solo baselines: sequential requests each start (and drain) their own
+    // batch, so no cross-request sharing is possible here.
+    let solo: Vec<_> = variants
+        .iter()
+        .map(|r| service.translate_request(r).unwrap())
+        .collect();
+    let solo_bytes: Vec<String> = solo
+        .iter()
+        .map(|r| serde_json::to_string(r).unwrap())
+        .collect();
+
+    // Concurrent storm: many in-flight requests coalesce into one batch and
+    // share pruned candidate lists, yet every response must be the same
+    // bytes solo execution produced — overrides included.
+    let threads: Vec<_> = (0..12)
+        .map(|i| {
+            let service = Arc::clone(&service);
+            let request = variants[i % variants.len()].clone();
+            let expected = solo_bytes[i % variants.len()].clone();
+            std::thread::spawn(move || {
+                for _ in 0..4 {
+                    let got = service.translate_request(&request).unwrap();
+                    assert_eq!(serde_json::to_string(&got).unwrap(), expected);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    service.shutdown();
+}
+
+#[test]
 fn admission_quota_sheds_with_typed_backpressure_and_counters() {
     use templar_service::TenantRegistry;
 
@@ -424,14 +610,14 @@ fn admission_quota_sheds_with_typed_backpressure_and_counters() {
     ));
 
     // While the quota is full, an admission-controlled line is shed typed…
-    let line = r#"{"version": 3, "id": 5, "body": {"SubmitSql": {"tenant": "academic", "sql": "SELECT p.title FROM publication p"}}}"#;
+    let line = r#"{"version": 4, "id": 5, "body": {"SubmitSql": {"tenant": "academic", "sql": "SELECT p.title FROM publication p"}}}"#;
     let response = registry.handle_line(line);
     assert!(
         response.contains("Backpressure"),
         "full quota must surface as Backpressure: {response}"
     );
     // …while observability reads stay exempt from admission control.
-    let metrics_line = r#"{"version": 3, "id": 6, "body": {"Metrics": {"tenant": "academic"}}}"#;
+    let metrics_line = r#"{"version": 4, "id": 6, "body": {"Metrics": {"tenant": "academic"}}}"#;
     assert!(registry.handle_line(metrics_line).contains("\"ok\""));
 
     // Dropping a permit frees its slot.

@@ -356,7 +356,7 @@ fn version_mismatched_and_malformed_envelopes_are_rejected() {
         Err(ApiError::MalformedEnvelope { .. })
     ));
 
-    let bad_body = r#"{"version": 3, "id": 9, "body": {"Nonsense": true}}"#;
+    let bad_body = r#"{"version": 4, "id": 9, "body": {"Nonsense": true}}"#;
     let envelope = decode_response(&registry.handle_line(bad_body)).unwrap();
     assert_eq!(envelope.id, 9, "recoverable ids are echoed on errors");
     assert!(matches!(
@@ -510,11 +510,14 @@ fn traced_translation_slow_queries_and_prometheus_over_the_wire() {
         .unwrap();
     assert!(plain.trace.is_none());
 
-    // A traced request ships the per-stage breakdown.
+    // A traced request ships the per-stage breakdown.  The repeat question
+    // bypasses the translation cache so the trace covers a real computation
+    // (a cache-served repeat ships a minimal, `cache_hit`-marked trace).
     let traced = client
         .translate(
             TranslateRequest::new("academic", "papers after 2000", academic_keywords())
-                .with_trace(),
+                .with_trace()
+                .with_bypass_cache(),
         )
         .unwrap();
     assert_eq!(
