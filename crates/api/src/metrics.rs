@@ -125,6 +125,12 @@ pub struct MetricsReport {
     /// Bytes cut off a torn journal tail at recovery (bounded data loss:
     /// acknowledged-but-unsynced entries that did not survive a crash).
     pub wal_truncated_bytes: u64,
+    /// Largest decoded WAL batch the last recovery materialized — the
+    /// bounded-memory replay's high-water mark, at most
+    /// `max(recovery_batch_bytes, largest single record)`.
+    pub recovery_peak_batch_bytes: u64,
+    /// On-disk size of the last snapshot written or recovered from, bytes.
+    pub snapshot_body_bytes: u64,
     /// Admission-control sheds: requests rejected with `Backpressure`
     /// before any work was queued — at the tenant's own in-flight quota,
     /// and at the serving plane's global in-flight cap (attributed to the
@@ -147,6 +153,10 @@ pub struct MetricsReport {
     pub qfg_csr_edges: u64,
     pub qfg_pending_deltas: u64,
     pub qfg_compactions: u64,
+    /// Tiered-compaction gauges of the ingest plane: sorted delta runs
+    /// resident in the master graph and geometric run merges performed.
+    pub qfg_delta_runs: u64,
+    pub qfg_run_merges: u64,
     /// Epoch-keyed translation-cache counters: requests answered from the
     /// cache / requests that had to compute (and seeded it) / entries
     /// dropped at the capacity bound / wholesale invalidations on snapshot

@@ -277,6 +277,8 @@ fn metrics_report() -> impl Strategy<Value = MetricsReport> {
                 wal_segments_gc: n(),
                 wal_io_errors: n(),
                 wal_truncated_bytes: n(),
+                recovery_peak_batch_bytes: n(),
+                snapshot_body_bytes: n(),
                 admission_tenant_shed: n(),
                 admission_global_shed: n(),
                 wal_applied_seq: n(),
@@ -291,6 +293,8 @@ fn metrics_report() -> impl Strategy<Value = MetricsReport> {
                 qfg_csr_edges: n(),
                 qfg_pending_deltas: n(),
                 qfg_compactions: n(),
+                qfg_delta_runs: n(),
+                qfg_run_merges: n(),
                 translation_cache_hits: n(),
                 translation_cache_misses: n(),
                 translation_cache_evictions: n(),

@@ -28,15 +28,21 @@
 //!                    each unordered pair stored once under its smaller id,
 //!                    with precomputed Dice denominators n_v(a) + n_v(b)
 //! delta log          BTreeMap<(id, id), i64> of co-occurrence changes not
-//!                    yet folded into the CSR
+//!                    yet folded into a run or the CSR
+//! tiered runs        Vec<DeltaRun>: sorted immutable columns the delta map
+//!                    folds into when it fills, merged geometrically
 //! ```
 //!
-//! Reads are always exact: `n_e` is the CSR count plus the pending delta.
-//! Mutations (`ingest` / `remove`) only touch the columnar occurrence
-//! vector and the delta log; [`QueryFragmentGraph::compact`] folds the
-//! delta into a fresh CSR (done automatically when the delta grows large,
-//! and by the serving layer every time a snapshot is published, so the
-//! scoring hot path always runs on the compacted arrays).
+//! Reads are always exact: `n_e` is the CSR count plus the pending runs
+//! plus the mutable delta.  Mutations (`ingest` / `remove`) only touch the
+//! columnar occurrence vector and the delta log.  When the delta map fills
+//! (`run_fold_threshold` pairs) it is folded into a sorted immutable
+//! [`DeltaRun`] in O(churn) — **not** into the CSR — and runs merge
+//! geometrically, so the cost of absorbing pending work during heavy ingest
+//! is O(recent churn · log pending), independent of the total CSR size.
+//! [`QueryFragmentGraph::compact`] performs the full fold (runs + delta →
+//! fresh CSR); the serving layer calls it only when a snapshot is
+//! published, so the scoring hot path always runs on the compacted arrays.
 //!
 //! The graph supports two mutation models:
 //!
@@ -286,10 +292,62 @@ impl CsrAdjacency {
     }
 }
 
-/// Once the delta log holds this many pending pairs, `ingest` folds it into
-/// the CSR eagerly so lookups on a long-running mutable graph stay mostly
-/// on the compacted fast path and delta memory stays bounded.
-const DELTA_AUTO_COMPACT: usize = 65_536;
+/// One sorted, immutable run of pending co-occurrence changes: the mutable
+/// delta map folded into a flat `(lo, hi) → net change` column.  Runs are
+/// stacked newest-last and merge geometrically (a run absorbs its newer
+/// neighbour whenever it is less than twice its size), so at most
+/// O(log(pending / fold threshold)) runs exist at any time and every
+/// pending change is re-merged O(log) times before a full compaction folds
+/// everything into the CSR.
+#[derive(Debug, Clone, Default)]
+struct DeltaRun {
+    edges: Vec<((u32, u32), i64)>,
+}
+
+impl DeltaRun {
+    /// The run's net change for a pair, 0 when absent (one binary search).
+    fn net(&self, key: (u32, u32)) -> i64 {
+        self.edges
+            .binary_search_by_key(&key, |&(k, _)| k)
+            .map(|i| self.edges[i].1)
+            .unwrap_or(0)
+    }
+}
+
+/// Merge two sorted pending-change columns, summing same-key changes and
+/// dropping entries whose net cancels to zero.
+fn merge_sorted(a: &[((u32, u32), i64)], b: &[((u32, u32), i64)]) -> Vec<((u32, u32), i64)> {
+    let mut merged = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => {
+                merged.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                merged.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                let net = a[i].1 + b[j].1;
+                if net != 0 {
+                    merged.push((a[i].0, net));
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    merged.extend_from_slice(&a[i..]);
+    merged.extend_from_slice(&b[j..]);
+    merged
+}
+
+/// Once the delta map holds this many pending pairs, `ingest` folds it into
+/// a sorted run (O(churn), *not* a full CSR rebuild) so the mutable map
+/// stays cache-friendly and bounded while runs absorb the history.
+const DELTA_RUN_FOLD: usize = 65_536;
 
 /// The Query Fragment Graph over interned fragment ids.
 #[derive(Debug, Clone)]
@@ -298,10 +356,24 @@ pub struct QueryFragmentGraph {
     interner: FragmentInterner,
     /// `n_v`, indexed by [`FragmentId`]; 0 for released slots.
     occurrences: Vec<u64>,
+    /// Number of distinct pairs with a positive net count incident to each
+    /// slot, maintained by [`QueryFragmentGraph::bump_pair`].  Guards slot
+    /// release: a slot whose occurrence count reaches zero while pairs still
+    /// reference it (possible only through over-removal, which `remove`
+    /// tolerates) has those pairs purged before the slot is recycled, so
+    /// `n_e(c, x) ≤ n_v(c)` holds unconditionally and a recycled slot can
+    /// never alias another fragment's leftover counts.
+    pair_degree: Vec<u32>,
     /// Compacted `n_e` baseline.
     csr: CsrAdjacency,
-    /// Pending `n_e` changes since the last compaction, keyed `(lo, hi)`.
+    /// Pending `n_e` changes since the last run fold, keyed `(lo, hi)`.
     delta: BTreeMap<(u32, u32), i64>,
+    /// Tiered sorted runs of pending changes not yet folded into the CSR,
+    /// oldest (largest) first.
+    runs: Vec<DeltaRun>,
+    /// How many pending pairs the delta map may hold before it is folded
+    /// into a run (tunable for tests and benchmarks; never serialized).
+    run_fold_threshold: usize,
     /// Per-fragment maximum Dice coefficient over all *other* fragments,
     /// recomputed by [`QueryFragmentGraph::compact`] (exact on a compacted
     /// graph, unused otherwise — see [`QueryFragmentGraph::max_dice_by_id`]).
@@ -318,6 +390,10 @@ pub struct QueryFragmentGraph {
     /// Number of compactions performed over this graph's lifetime
     /// (monotonic; cloned along with the graph, exported by metrics).
     compactions: u64,
+    /// Number of delta-map → run folds over this graph's lifetime.
+    run_folds: u64,
+    /// Number of geometric run merges over this graph's lifetime.
+    run_merges: u64,
 }
 
 impl QueryFragmentGraph {
@@ -328,13 +404,18 @@ impl QueryFragmentGraph {
             obscurity,
             interner: FragmentInterner::default(),
             occurrences: Vec::new(),
+            pair_degree: Vec::new(),
             csr: CsrAdjacency::empty(),
             delta: BTreeMap::new(),
+            runs: Vec::new(),
+            run_fold_threshold: DELTA_RUN_FOLD,
             max_dice: Vec::new(),
             occurrences_dirty: false,
             live_edges: 0,
             query_count: 0,
             compactions: 0,
+            run_folds: 0,
+            run_merges: 0,
         }
     }
 
@@ -365,6 +446,9 @@ impl QueryFragmentGraph {
             if id.index() >= self.occurrences.len() {
                 self.occurrences.resize(id.index() + 1, 0);
             }
+            if id.index() >= self.pair_degree.len() {
+                self.pair_degree.resize(id.index() + 1, 0);
+            }
             // A freshly interned fragment — whether its slot is brand new or
             // recycled — must start from a zeroed occurrence column; a
             // recycled slot inheriting the old tenant's count would inflate
@@ -387,8 +471,8 @@ impl QueryFragmentGraph {
                 self.bump_pair(ids[i], ids[j], 1);
             }
         }
-        if self.delta.len() >= DELTA_AUTO_COMPACT {
-            self.compact();
+        if self.delta.len() >= self.run_fold_threshold {
+            self.fold_delta_into_run();
         }
     }
 
@@ -436,11 +520,22 @@ impl QueryFragmentGraph {
             let slot = id as usize;
             self.occurrences[slot] -= 1;
             if self.occurrences[slot] == 0 {
+                if self.pair_degree[slot] > 0 {
+                    // Over-removal left pairs pointing at a dying fragment;
+                    // zero them so the released slot carries no state.
+                    self.purge_incident_pairs(id);
+                }
                 self.interner.release(FragmentId(id));
             }
         }
         self.occurrences_dirty = true;
         true
+    }
+
+    /// The pending runs' total net change for a pair (one binary search per
+    /// run; at most O(log pending) runs exist).
+    fn runs_net(&self, key: (u32, u32)) -> i64 {
+        self.runs.iter().map(|run| run.net(key)).sum()
     }
 
     /// Current net count of an unordered id pair.
@@ -449,7 +544,7 @@ impl QueryFragmentGraph {
             return self.occurrences[a as usize];
         }
         let key = if a < b { (a, b) } else { (b, a) };
-        let base = self.csr.count(key.0, key.1) as i64;
+        let base = self.csr.count(key.0, key.1) as i64 + self.runs_net(key);
         let net = base + self.delta.get(&key).copied().unwrap_or(0);
         debug_assert!(net >= 0, "pair count must never go negative");
         net.max(0) as u64
@@ -459,7 +554,7 @@ impl QueryFragmentGraph {
     /// edge counter.
     fn bump_pair(&mut self, a: u32, b: u32, change: i64) {
         let key = if a < b { (a, b) } else { (b, a) };
-        let base = self.csr.count(key.0, key.1) as i64;
+        let base = self.csr.count(key.0, key.1) as i64 + self.runs_net(key);
         let entry = self.delta.entry(key).or_insert(0);
         let before = base + *entry;
         *entry += change;
@@ -471,16 +566,106 @@ impl QueryFragmentGraph {
         }
         if before == 0 && after > 0 {
             self.live_edges += 1;
+            self.pair_degree[key.0 as usize] += 1;
+            self.pair_degree[key.1 as usize] += 1;
         } else if before > 0 && after == 0 {
             self.live_edges -= 1;
+            self.pair_degree[key.0 as usize] -= 1;
+            self.pair_degree[key.1 as usize] -= 1;
         }
     }
 
-    /// Fold the delta log into a fresh CSR and recompute the precomputed
-    /// Dice denominators.  Idempotent; ids are never remapped.  The serving
-    /// layer calls this on every snapshot publish
-    /// (`Templar::from_parts` compacts the graph it receives), so the
-    /// translation hot path always reads compacted arrays.
+    /// Drive every pair incident to a slot down to net zero.
+    ///
+    /// Called only when a slot's occurrence count reaches zero while its
+    /// pair degree is still positive — a state reachable exclusively through
+    /// over-removal (removing a query more times than it was ingested, which
+    /// `remove` tolerates because it validates fragment presence, not
+    /// multiset membership).  A legal removal always arrives here with
+    /// degree 0: `n_v(c) = 1` means exactly one live query contains `c`, so
+    /// that query's own pair decrements zeroed every incident pair already.
+    /// Purging before release keeps the recycling audit honest — a released
+    /// slot leaves no positive pair behind, so a later tenant of the slot
+    /// (or the same fragment re-interned elsewhere) can never split or
+    /// inherit counts.  The scan is O(edges) but sits on this abuse-only
+    /// path, never on legal eviction.
+    fn purge_incident_pairs(&mut self, slot: u32) {
+        let stale: Vec<(u32, u32, u64)> = self
+            .net_edges()
+            .into_iter()
+            .filter(|&(lo, hi, _)| lo == slot || hi == slot)
+            .collect();
+        for (lo, hi, count) in stale {
+            self.bump_pair(lo, hi, -(count as i64));
+        }
+        debug_assert_eq!(
+            self.pair_degree[slot as usize], 0,
+            "slot {slot} still entangled after an incident-pair purge"
+        );
+    }
+
+    /// Fold the mutable delta map into a new immutable sorted run, then
+    /// merge runs geometrically so the stack stays O(log pending) deep.
+    ///
+    /// This is the cheap tier of compaction: O(|delta|) to drain the map
+    /// (already key-sorted) plus the amortized-O(log) geometric merges —
+    /// no CSR rebuild, no occurrence scan.  `ingest` calls it automatically
+    /// when the delta map reaches the fold threshold, so absorbing a burst
+    /// of pending work costs O(recent churn), not O(total pending) and not
+    /// O(CSR).  The full fold into the CSR is deferred to
+    /// [`QueryFragmentGraph::compact`].
+    pub fn fold_delta_into_run(&mut self) {
+        if self.delta.is_empty() {
+            return;
+        }
+        let edges: Vec<((u32, u32), i64)> = std::mem::take(&mut self.delta).into_iter().collect();
+        self.runs.push(DeltaRun { edges });
+        self.run_folds += 1;
+        // Geometric invariant: every run is at least twice the size of the
+        // run stacked on top of it.  Restoring it after a push merges the
+        // newest runs pairwise, so a pending pair is re-copied only
+        // O(log(pending / threshold)) times across its lifetime.
+        while self.runs.len() >= 2 {
+            let n = self.runs.len();
+            if self.runs[n - 2].edges.len() >= 2 * self.runs[n - 1].edges.len() {
+                break;
+            }
+            let newer = self.runs.pop().expect("len checked");
+            let older = self.runs.pop().expect("len checked");
+            self.runs.push(DeltaRun {
+                edges: merge_sorted(&older.edges, &newer.edges),
+            });
+            self.run_merges += 1;
+        }
+    }
+
+    /// All pending changes — every tiered run plus the mutable delta map —
+    /// merged into one sorted `(key, net change)` column, zero nets dropped.
+    fn pending_net(&self) -> Vec<((u32, u32), i64)> {
+        let mut merged: Vec<((u32, u32), i64)> = Vec::new();
+        for run in &self.runs {
+            merged = if merged.is_empty() {
+                run.edges.clone()
+            } else {
+                merge_sorted(&merged, &run.edges)
+            };
+        }
+        if !self.delta.is_empty() {
+            let delta: Vec<((u32, u32), i64)> = self.delta.iter().map(|(&k, &v)| (k, v)).collect();
+            merged = if merged.is_empty() {
+                delta
+            } else {
+                merge_sorted(&merged, &delta)
+            };
+        }
+        merged
+    }
+
+    /// Fold the tiered runs and the delta log into a fresh CSR and
+    /// recompute the precomputed Dice denominators.  Idempotent; ids are
+    /// never remapped.  The serving layer calls this on every snapshot
+    /// publish (`Templar::from_parts` compacts the graph it receives), so
+    /// the translation hot path always reads compacted arrays.
     pub fn compact(&mut self) {
         if self.is_compacted() {
             return;
@@ -503,9 +688,12 @@ impl QueryFragmentGraph {
         // [`QueryFragmentGraph::dice_by_id`] uses, so the column is exact
         // (bit-for-bit) for every pair lookup that follows.
         let mut max_dice = vec![0.0f64; n];
+        let mut pair_degree = vec![0u32; n];
         for &(lo, hi, count) in &merged {
             neighbors.push(hi);
             counts.push(count);
+            pair_degree[lo as usize] += 1;
+            pair_degree[hi as usize] += 1;
             let denominator = self.occurrences[lo as usize] + self.occurrences[hi as usize];
             denominators.push(denominator);
             // Only pairs of *live* fragments enter the column: removing a
@@ -524,6 +712,7 @@ impl QueryFragmentGraph {
             }
         }
         self.max_dice = max_dice;
+        self.pair_degree = pair_degree;
         self.live_edges = merged.len();
         self.csr = CsrAdjacency {
             offsets,
@@ -532,23 +721,33 @@ impl QueryFragmentGraph {
             denominators,
         };
         self.delta.clear();
+        self.runs.clear();
         self.occurrences_dirty = false;
         self.compactions += 1;
     }
 
-    /// True when the delta log is empty and the CSR (including its
-    /// precomputed denominators) reflects the current counts.
+    /// True when no pending work exists anywhere — delta map or tiered runs
+    /// — and the CSR (including its precomputed denominators) reflects the
+    /// current counts.
     pub fn is_compacted(&self) -> bool {
         self.delta.is_empty()
+            && self.runs.is_empty()
             && !self.occurrences_dirty
             && self.csr.offsets.len() == self.interner.table_len() + 1
     }
 
+    /// True when reads may take the precomputed CSR fast paths: no pending
+    /// change anywhere (map or runs) and fresh denominators.
+    fn fast_path(&self) -> bool {
+        self.delta.is_empty() && self.runs.is_empty() && !self.occurrences_dirty
+    }
+
     /// All pairs with a positive net count, sorted by `(lo, hi)`:
-    /// the CSR baseline merged with the pending delta.
+    /// the CSR baseline merged with all pending changes (runs + delta).
     fn net_edges(&self) -> Vec<(u32, u32, u64)> {
-        let mut merged = Vec::with_capacity(self.csr.counts.len() + self.delta.len());
-        let mut pending = self.delta.iter().peekable();
+        let pending_entries = self.pending_net();
+        let mut merged = Vec::with_capacity(self.csr.counts.len() + pending_entries.len());
+        let mut pending = pending_entries.iter().peekable();
         let rows = self.csr.offsets.len().saturating_sub(1);
         for lo in 0..rows as u32 {
             let (start, end) = (
@@ -557,8 +756,8 @@ impl QueryFragmentGraph {
             );
             for e in start..end {
                 let hi = self.csr.neighbors[e];
-                // Delta-only pairs that sort before this CSR edge are new.
-                while let Some((&key, &change)) = pending.peek() {
+                // Pending-only pairs that sort before this CSR edge are new.
+                while let Some(&&(key, change)) = pending.peek() {
                     if key < (lo, hi) {
                         if change > 0 {
                             merged.push((key.0, key.1, change as u64));
@@ -569,7 +768,7 @@ impl QueryFragmentGraph {
                     }
                 }
                 let mut net = self.csr.counts[e] as i64;
-                if let Some((&key, &change)) = pending.peek() {
+                if let Some(&&(key, change)) = pending.peek() {
                     if key == (lo, hi) {
                         net += change;
                         pending.next();
@@ -580,9 +779,9 @@ impl QueryFragmentGraph {
                 }
             }
         }
-        for (&(lo, hi), &change) in pending {
+        for &(key, change) in pending {
             if change > 0 {
-                merged.push((lo, hi, change as u64));
+                merged.push((key.0, key.1, change as u64));
             }
         }
         merged
@@ -640,9 +839,33 @@ impl QueryFragmentGraph {
         self.csr.counts.len()
     }
 
-    /// Number of pairs in the pending delta log.
+    /// Number of pending pairs across the mutable delta map and every
+    /// tiered run (everything a full compaction would fold into the CSR).
     pub fn pending_delta_len(&self) -> usize {
-        self.delta.len()
+        self.delta.len() + self.runs.iter().map(|r| r.edges.len()).sum::<usize>()
+    }
+
+    /// Number of tiered delta runs currently stacked (O(log pending) by the
+    /// geometric merge invariant); exported by serving metrics.
+    pub fn delta_run_len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Number of delta-map → run folds over this graph's lifetime.
+    pub fn run_folds(&self) -> u64 {
+        self.run_folds
+    }
+
+    /// Number of geometric run merges over this graph's lifetime.
+    pub fn run_merges(&self) -> u64 {
+        self.run_merges
+    }
+
+    /// Override the delta-map fold threshold (clamped to at least 1).  The
+    /// default suits serving; tests and benchmarks lower it to exercise the
+    /// tiered machinery without multi-million-pair logs.
+    pub fn set_run_fold_threshold(&mut self, pairs: usize) {
+        self.run_fold_threshold = pairs.max(1);
     }
 
     /// Number of compactions performed over this graph's lifetime.
@@ -702,7 +925,7 @@ impl QueryFragmentGraph {
             };
         }
         let (lo, hi) = if a.0 < b.0 { (a.0, b.0) } else { (b.0, a.0) };
-        if self.delta.is_empty() && !self.occurrences_dirty {
+        if self.fast_path() {
             return match self.csr.edge_index(lo, hi) {
                 Some(e) => (2.0 * self.csr.counts[e] as f64) / (self.csr.denominators[e] as f64),
                 None => 0.0,
@@ -738,7 +961,7 @@ impl QueryFragmentGraph {
     /// should clamp (the configuration search's smoothed pair factor caps
     /// at 1, so both the exact column and the fallback stay admissible).
     pub fn max_dice_by_id(&self, id: FragmentId) -> f64 {
-        if self.delta.is_empty() && !self.occurrences_dirty && id.index() < self.max_dice.len() {
+        if self.fast_path() && id.index() < self.max_dice.len() {
             self.max_dice[id.index()]
         } else {
             1.0
@@ -772,7 +995,7 @@ impl QueryFragmentGraph {
         if priors.is_empty() {
             return;
         }
-        if !self.delta.is_empty() || self.occurrences_dirty {
+        if !self.fast_path() {
             out.extend(priors.iter().map(|&p| {
                 if p == ABSENT_FRAGMENT {
                     0.0
@@ -1017,6 +1240,7 @@ impl QueryFragmentGraph {
         }
         let mut denominators = Vec::with_capacity(edges);
         let mut max_dice = vec![0.0f64; n];
+        let mut pair_degree = vec![0u32; n];
         for lo in 0..n {
             let (start, end) = (c.offsets[lo] as usize, c.offsets[lo + 1] as usize);
             let mut prev: Option<u32> = None;
@@ -1029,6 +1253,8 @@ impl QueryFragmentGraph {
                     return Err(format!("CSR row {lo} neighbors are not strictly sorted"));
                 }
                 prev = Some(hi);
+                pair_degree[lo] += 1;
+                pair_degree[hi as usize] += 1;
                 let count = c.counts[e];
                 if count == 0 || count > c.occurrences[lo].min(c.occurrences[hi as usize]) {
                     return Err(format!(
@@ -1055,6 +1281,7 @@ impl QueryFragmentGraph {
                 free: Vec::new(),
             },
             occurrences: c.occurrences,
+            pair_degree,
             live_edges: edges,
             csr: CsrAdjacency {
                 offsets: c.offsets,
@@ -1063,11 +1290,360 @@ impl QueryFragmentGraph {
                 denominators,
             },
             delta: BTreeMap::new(),
+            runs: Vec::new(),
+            run_fold_threshold: DELTA_RUN_FOLD,
             max_dice,
             occurrences_dirty: false,
             query_count: c.query_count as usize,
             compactions: 0,
+            run_folds: 0,
+            run_merges: 0,
         })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sectioned serialization (snapshot format v3)
+// ---------------------------------------------------------------------------
+//
+// The v2 body (`to_value`) compacts a *clone* of the graph and densifies it
+// to live ids — a second full copy of the whole state in memory at write
+// time.  The v3 snapshot instead serializes the graph **as-is**, one
+// independent section at a time (interner table, occurrence column, CSR
+// adjacency, pending delta runs), so a streaming writer holds at most one
+// section and no clone, and pending work survives a snapshot without a
+// forced full compaction.  Dead (recyclable) interner slots are written as
+// `null` so raw slot ids in the CSR and the runs stay valid verbatim.
+
+impl QueryFragmentGraph {
+    fn slot_live(&self, slot: usize) -> bool {
+        self.occurrences.get(slot).copied().unwrap_or(0) > 0
+    }
+
+    /// Section `qfg/fragments`: the full interner table in slot order, dead
+    /// slots as `null`.
+    pub fn fragments_section(&self) -> serde::Value {
+        serde::Value::Seq(
+            (0..self.interner.table_len())
+                .map(|slot| {
+                    if self.slot_live(slot) {
+                        self.interner.fragments[slot].to_value()
+                    } else {
+                        serde::Value::Null
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Section `qfg/occurrences`: the raw `n_v` column in slot order
+    /// (0 for dead slots).
+    pub fn occurrences_section(&self) -> serde::Value {
+        serde::Value::Seq(
+            (0..self.interner.table_len())
+                .map(|slot| serde::Value::U64(self.occurrences.get(slot).copied().unwrap_or(0)))
+                .collect(),
+        )
+    }
+
+    /// Section `qfg/adjacency`: the compacted CSR baseline over raw slot
+    /// ids.  Denominators and the max-Dice column are derived at load time.
+    pub fn adjacency_section(&self) -> serde::Value {
+        let seq_u32 = |xs: &[u32]| {
+            serde::Value::Seq(xs.iter().map(|&x| serde::Value::U64(x as u64)).collect())
+        };
+        let seq_u64 =
+            |xs: &[u64]| serde::Value::Seq(xs.iter().map(|&x| serde::Value::U64(x)).collect());
+        serde::Value::Map(vec![
+            ("offsets".to_string(), seq_u32(&self.csr.offsets)),
+            ("neighbors".to_string(), seq_u32(&self.csr.neighbors)),
+            ("counts".to_string(), seq_u64(&self.csr.counts)),
+        ])
+    }
+
+    /// Section `qfg/runs`: every pending tiered run, oldest first, with the
+    /// mutable delta map appended as one final run — so a snapshot needs no
+    /// full compaction before it is written.  Each entry is
+    /// `[lo, hi, net change]`.
+    pub fn runs_section(&self) -> serde::Value {
+        let run_value = |edges: &mut dyn Iterator<Item = ((u32, u32), i64)>| {
+            serde::Value::Seq(
+                edges
+                    .map(|((lo, hi), change)| {
+                        serde::Value::Seq(vec![
+                            serde::Value::U64(lo as u64),
+                            serde::Value::U64(hi as u64),
+                            serde::Value::I64(change),
+                        ])
+                    })
+                    .collect(),
+            )
+        };
+        let mut runs: Vec<serde::Value> = self
+            .runs
+            .iter()
+            .map(|run| run_value(&mut run.edges.iter().copied()))
+            .collect();
+        if !self.delta.is_empty() {
+            runs.push(run_value(&mut self.delta.iter().map(|(&k, &v)| (k, v))));
+        }
+        serde::Value::Seq(runs)
+    }
+
+    /// Rebuild a graph from its v3 sections, validating every structural
+    /// invariant so a corrupted section surfaces as a typed error.  The
+    /// result is observationally identical to the graph that was written:
+    /// raw slot ids, dead slots and pending runs are restored verbatim.
+    pub fn from_sections(
+        obscurity: Obscurity,
+        query_count: u64,
+        fragments: &serde::Value,
+        occurrences: &serde::Value,
+        adjacency: &serde::Value,
+        runs: &serde::Value,
+    ) -> Result<Self, String> {
+        let fragment_slots = fragments
+            .as_seq()
+            .ok_or("fragments section is not a sequence")?;
+        let n = fragment_slots.len();
+        let mut table: Vec<QueryFragment> = Vec::with_capacity(n);
+        let mut ids: HashMap<QueryFragment, FragmentId> = HashMap::new();
+        let mut free: Vec<u32> = Vec::new();
+        for (slot, value) in fragment_slots.iter().enumerate() {
+            if matches!(value, serde::Value::Null) {
+                // Dead slot: keep a placeholder fragment that can never be
+                // interned (contexts are never empty-expr), mirroring the
+                // in-memory state where a released slot's fragment is
+                // unreachable through the id map.
+                table.push(QueryFragment {
+                    expr: String::new(),
+                    context: crate::fragment::QueryContext::Select,
+                });
+                free.push(slot as u32);
+            } else {
+                let fragment = QueryFragment::from_value(value)
+                    .map_err(|e| format!("fragment slot {slot}: {e}"))?;
+                if ids
+                    .insert(fragment.clone(), FragmentId(slot as u32))
+                    .is_some()
+                {
+                    return Err(format!("duplicate interned fragment {fragment}"));
+                }
+                table.push(fragment);
+            }
+        }
+        let occurrence_values = occurrences
+            .as_seq()
+            .ok_or("occurrences section is not a sequence")?;
+        if occurrence_values.len() != n {
+            return Err(format!(
+                "occurrence column length {} does not match {} fragment slots",
+                occurrence_values.len(),
+                n
+            ));
+        }
+        let mut occ: Vec<u64> = Vec::with_capacity(n);
+        for (slot, value) in occurrence_values.iter().enumerate() {
+            let count = value
+                .as_u64()
+                .ok_or_else(|| format!("occurrence {slot} is not an unsigned integer"))?;
+            let live = !matches!(fragment_slots[slot], serde::Value::Null);
+            if live && count == 0 {
+                return Err(format!("live fragment slot {slot} has zero occurrences"));
+            }
+            if !live && count != 0 {
+                return Err(format!("dead fragment slot {slot} has nonzero occurrences"));
+            }
+            occ.push(count);
+        }
+        let adjacency_fields = adjacency.as_map().ok_or("adjacency section is not a map")?;
+        let u32_column = |name: &str| -> Result<Vec<u32>, String> {
+            let column = adjacency_fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("adjacency section is missing `{name}`"))?
+                .as_seq()
+                .ok_or_else(|| format!("adjacency `{name}` is not a sequence"))?;
+            column
+                .iter()
+                .map(|v| {
+                    v.as_u64()
+                        .and_then(|x| u32::try_from(x).ok())
+                        .ok_or_else(|| format!("adjacency `{name}` holds a non-u32 entry"))
+                })
+                .collect()
+        };
+        let offsets = u32_column("offsets")?;
+        let neighbors = u32_column("neighbors")?;
+        let counts: Vec<u64> = {
+            let column = adjacency_fields
+                .iter()
+                .find(|(k, _)| k == "counts")
+                .map(|(_, v)| v)
+                .ok_or("adjacency section is missing `counts`")?
+                .as_seq()
+                .ok_or("adjacency `counts` is not a sequence")?;
+            column
+                .iter()
+                .map(|v| v.as_u64().ok_or("adjacency `counts` holds a non-u64 entry"))
+                .collect::<Result<_, _>>()?
+        };
+        // Fragments interned since the last compact have no CSR row yet, so
+        // the offsets column may cover fewer rows than the table has slots —
+        // never more.
+        if offsets.len() > n + 1 || offsets.first() != Some(&0) {
+            return Err(format!(
+                "CSR offsets length {} does not match {} fragment slots",
+                offsets.len(),
+                n
+            ));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("CSR offsets are not monotone".to_string());
+        }
+        let edges = *offsets.last().unwrap() as usize;
+        if neighbors.len() != edges || counts.len() != edges {
+            return Err(format!(
+                "truncated CSR: offsets expect {} edges, found {} neighbors / {} counts",
+                edges,
+                neighbors.len(),
+                counts.len()
+            ));
+        }
+        let mut denominators = Vec::with_capacity(edges);
+        let mut max_dice = vec![0.0f64; n];
+        for lo in 0..offsets.len().saturating_sub(1) {
+            let (start, end) = (offsets[lo] as usize, offsets[lo + 1] as usize);
+            let mut prev: Option<u32> = None;
+            for e in start..end {
+                let hi = neighbors[e];
+                if (hi as usize) >= n || hi <= lo as u32 {
+                    return Err(format!("CSR neighbor {hi} out of range for row {lo}"));
+                }
+                if prev.is_some_and(|p| p >= hi) {
+                    return Err(format!("CSR row {lo} neighbors are not strictly sorted"));
+                }
+                prev = Some(hi);
+                if counts[e] == 0 {
+                    return Err(format!("CSR pair ({lo}, {hi}) has a zero baseline count"));
+                }
+                let denominator = occ[lo] + occ[hi as usize];
+                denominators.push(denominator);
+                if occ[lo] > 0 && occ[hi as usize] > 0 {
+                    let dice = (2.0 * counts[e] as f64) / (denominator as f64);
+                    if dice > max_dice[lo] {
+                        max_dice[lo] = dice;
+                    }
+                    if dice > max_dice[hi as usize] {
+                        max_dice[hi as usize] = dice;
+                    }
+                }
+            }
+        }
+        let run_values = runs.as_seq().ok_or("runs section is not a sequence")?;
+        let mut parsed_runs: Vec<DeltaRun> = Vec::with_capacity(run_values.len());
+        for (r, run_value) in run_values.iter().enumerate() {
+            let entries = run_value
+                .as_seq()
+                .ok_or_else(|| format!("delta run {r} is not a sequence"))?;
+            let mut run_edges: Vec<((u32, u32), i64)> = Vec::with_capacity(entries.len());
+            let mut prev: Option<(u32, u32)> = None;
+            for entry in entries {
+                let triple = entry
+                    .as_seq()
+                    .filter(|t| t.len() == 3)
+                    .ok_or_else(|| format!("delta run {r} holds a malformed entry"))?;
+                let lo = triple[0]
+                    .as_u64()
+                    .and_then(|x| u32::try_from(x).ok())
+                    .ok_or_else(|| format!("delta run {r} holds a non-u32 id"))?;
+                let hi = triple[1]
+                    .as_u64()
+                    .and_then(|x| u32::try_from(x).ok())
+                    .ok_or_else(|| format!("delta run {r} holds a non-u32 id"))?;
+                let change = triple[2]
+                    .as_i64()
+                    .ok_or_else(|| format!("delta run {r} holds a non-integer change"))?;
+                if (hi as usize) >= n || hi <= lo {
+                    return Err(format!("delta run {r} pair ({lo}, {hi}) is out of range"));
+                }
+                if change == 0 {
+                    return Err(format!("delta run {r} holds a zero-net entry"));
+                }
+                if prev.is_some_and(|p| p >= (lo, hi)) {
+                    return Err(format!("delta run {r} keys are not strictly sorted"));
+                }
+                prev = Some((lo, hi));
+                run_edges.push(((lo, hi), change));
+            }
+            parsed_runs.push(DeltaRun { edges: run_edges });
+        }
+        // Negative-net audit + live-edge count: merge all pending runs and
+        // check every touched pair against its CSR baseline.
+        let csr = CsrAdjacency {
+            offsets,
+            neighbors,
+            counts,
+            denominators,
+        };
+        let mut live_edges = edges;
+        let mut pair_degree = vec![0u32; n];
+        for lo in 0..csr.offsets.len().saturating_sub(1) {
+            let (start, end) = (csr.offsets[lo] as usize, csr.offsets[lo + 1] as usize);
+            for e in start..end {
+                pair_degree[lo] += 1;
+                pair_degree[csr.neighbors[e] as usize] += 1;
+            }
+        }
+        let mut pending: Vec<((u32, u32), i64)> = Vec::new();
+        for run in &parsed_runs {
+            pending = if pending.is_empty() {
+                run.edges.clone()
+            } else {
+                merge_sorted(&pending, &run.edges)
+            };
+        }
+        for &((lo, hi), change) in &pending {
+            let base = csr.count(lo, hi) as i64;
+            let net = base + change;
+            if net < 0 {
+                return Err(format!(
+                    "pending delta drives pair ({lo}, {hi}) negative ({base} {change:+})"
+                ));
+            }
+            if base == 0 && net > 0 {
+                live_edges += 1;
+                pair_degree[lo as usize] += 1;
+                pair_degree[hi as usize] += 1;
+            } else if base > 0 && net == 0 {
+                live_edges -= 1;
+                pair_degree[lo as usize] -= 1;
+                pair_degree[hi as usize] -= 1;
+            }
+        }
+        let graph = QueryFragmentGraph {
+            obscurity,
+            interner: FragmentInterner {
+                ids,
+                fragments: table,
+                free,
+            },
+            occurrences: occ,
+            pair_degree,
+            csr,
+            delta: BTreeMap::new(),
+            runs: parsed_runs,
+            run_fold_threshold: DELTA_RUN_FOLD,
+            max_dice,
+            occurrences_dirty: false,
+            live_edges,
+            query_count: query_count as usize,
+            compactions: 0,
+            run_folds: 0,
+            run_merges: 0,
+        };
+        Ok(graph)
     }
 }
 
@@ -1400,5 +1976,252 @@ mod tests {
         }
         let err = QueryFragmentGraph::from_value(&serde::Value::Map(fields)).unwrap_err();
         assert!(err.to_string().contains("truncated CSR"), "{err}");
+    }
+
+    // -- tiered delta-log compaction ------------------------------------
+
+    /// A varied pool of parsable queries for churn tests.
+    fn churn_queries(n: usize) -> Vec<Query> {
+        let tables = ["publication", "journal", "author", "conference"];
+        let mut sql = Vec::new();
+        for i in 0..n {
+            let t = tables[i % tables.len()];
+            let u = tables[(i / tables.len() + 1) % tables.len()];
+            sql.push(match i % 3 {
+                0 => format!("SELECT {t}.c{} FROM {t} WHERE {t}.y{} > {i}", i % 7, i % 5),
+                1 => format!("SELECT {t}.c{} FROM {t}", i % 7),
+                _ => format!(
+                    "SELECT {t}.c{} FROM {t}, {u} WHERE {t}.k = {u}.k AND {u}.z{} = {i}",
+                    i % 7,
+                    i % 5
+                ),
+            });
+        }
+        let (log, skipped) = QueryLog::from_sql(sql.iter().map(String::as_str));
+        assert_eq!(skipped, 0);
+        log.queries().iter().cloned().collect()
+    }
+
+    #[test]
+    fn run_folding_bounds_the_mutable_delta_and_merges_geometrically() {
+        let mut qfg = QueryFragmentGraph::empty(Obscurity::NoConstOp);
+        qfg.set_run_fold_threshold(16);
+        let mut reference = QueryFragmentGraph::empty(Obscurity::NoConstOp);
+        for query in churn_queries(200) {
+            qfg.ingest(&query);
+            reference.ingest(&query);
+            // One query contributes at most a handful of pairs, so the
+            // mutable delta can only overshoot the threshold by that much
+            // before the post-ingest fold claws it back.
+            assert!(
+                qfg.delta.len() < 16 + 64,
+                "mutable delta must stay bounded by the fold threshold: {}",
+                qfg.delta.len()
+            );
+        }
+        assert!(qfg.run_folds() > 0, "threshold crossings must fold runs");
+        assert!(qfg.delta_run_len() > 0);
+        // Geometric invariant: each run is at least twice the size of the
+        // newer run above it, so the tier count is logarithmic.
+        for pair in qfg.runs.windows(2) {
+            assert!(
+                pair[0].edges.len() >= 2 * pair[1].edges.len(),
+                "runs must keep the geometric size invariant: {} vs {}",
+                pair[0].edges.len(),
+                pair[1].edges.len()
+            );
+        }
+        // Counts and Dice are exact while pending work sits in runs.
+        reference.compact();
+        assert_eq!(qfg, reference);
+        assert_eq!(qfg.compactions(), 0, "folding runs is not a full compact");
+        qfg.compact();
+        assert_eq!(qfg, reference);
+        assert!(qfg.is_compacted());
+        assert_eq!(qfg.pending_delta_len(), 0);
+        assert_eq!(qfg.delta_run_len(), 0);
+    }
+
+    #[test]
+    fn removals_and_recycled_ids_survive_run_folds() {
+        let queries = churn_queries(120);
+        let mut qfg = QueryFragmentGraph::empty(Obscurity::NoConstOp);
+        qfg.set_run_fold_threshold(8);
+        let mut reference = QueryFragmentGraph::empty(Obscurity::NoConstOp);
+        for (i, query) in queries.iter().enumerate() {
+            qfg.ingest(query);
+            reference.ingest(query);
+            if i % 5 == 4 {
+                assert!(qfg.remove(&queries[i - 2]));
+                assert!(reference.remove(&queries[i - 2]));
+            }
+            if i % 37 == 36 {
+                reference.compact();
+            }
+        }
+        assert_eq!(qfg, reference);
+        qfg.compact();
+        reference.compact();
+        assert_eq!(qfg, reference);
+    }
+
+    #[test]
+    fn publish_compaction_cost_tracks_recent_churn_not_total_pending() {
+        // With tiering, the mutable delta that `compact()` folds directly
+        // is bounded by the threshold no matter how much total churn is
+        // pending — the rest already sits in sorted runs.
+        let mut qfg = QueryFragmentGraph::empty(Obscurity::NoConstOp);
+        qfg.set_run_fold_threshold(32);
+        for query in churn_queries(400) {
+            qfg.ingest(&query);
+        }
+        assert!(qfg.pending_delta_len() > 200, "churn must accumulate");
+        assert!(
+            qfg.delta.len() <= 32 + 64,
+            "mutable delta stays O(threshold): {}",
+            qfg.delta.len()
+        );
+        assert!(
+            qfg.runs.len() <= 12,
+            "geometric merging keeps the tier count logarithmic: {}",
+            qfg.runs.len()
+        );
+    }
+
+    // -- sectioned (v3) serialization -----------------------------------
+
+    /// A graph with dead interner slots, a compacted baseline, *and*
+    /// pending runs + mutable delta — the richest v3 shape.
+    fn sectioned_fixture() -> QueryFragmentGraph {
+        let queries = churn_queries(60);
+        let mut qfg = QueryFragmentGraph::empty(Obscurity::NoConstOp);
+        qfg.set_run_fold_threshold(8);
+        for query in &queries[..40] {
+            qfg.ingest(query);
+        }
+        qfg.compact();
+        // Kill some fragments entirely to create dead slots.
+        for query in &queries[..6] {
+            let mut seen = 0;
+            while qfg.remove(query) {
+                seen += 1;
+                assert!(seen < 100);
+            }
+        }
+        // Leave fresh churn pending across runs and the mutable delta.
+        for query in &queries[40..] {
+            qfg.ingest(query);
+        }
+        assert!(!qfg.is_compacted());
+        qfg
+    }
+
+    #[test]
+    fn sections_round_trip_uncompacted_graphs_verbatim() {
+        let qfg = sectioned_fixture();
+        let back = QueryFragmentGraph::from_sections(
+            qfg.obscurity(),
+            qfg.query_count() as u64,
+            &qfg.fragments_section(),
+            &qfg.occurrences_section(),
+            &qfg.adjacency_section(),
+            &qfg.runs_section(),
+        )
+        .unwrap();
+        assert_eq!(back, qfg);
+        assert_eq!(back.query_count(), qfg.query_count());
+        assert_eq!(back.pending_delta_len(), qfg.pending_delta_len());
+        // Raw slot ids line up verbatim, so recycled-slot bookkeeping
+        // survives: interning a new fragment reuses the same free slots.
+        for (fragment, count) in qfg.fragments() {
+            let a = qfg.lookup(fragment).unwrap();
+            let b = back.lookup(fragment).unwrap();
+            assert_eq!(a.index(), b.index());
+            assert_eq!(back.occurrences_by_id(b), count);
+        }
+        // And both sides compact to identical exact state.
+        let mut a = qfg.clone();
+        let mut b = back.clone();
+        a.compact();
+        b.compact();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sections_reject_structural_corruption() {
+        let qfg = sectioned_fixture();
+        let fragments = qfg.fragments_section();
+        let occurrences = qfg.occurrences_section();
+        let adjacency = qfg.adjacency_section();
+        let runs = qfg.runs_section();
+        let rebuild = |f: &serde::Value, o: &serde::Value, a: &serde::Value, r: &serde::Value| {
+            QueryFragmentGraph::from_sections(Obscurity::NoConstOp, 60, f, o, a, r)
+        };
+        // Occurrence column shorter than the fragment table.
+        let serde::Value::Seq(mut occ) = occurrences.clone() else {
+            panic!()
+        };
+        occ.pop();
+        let err = rebuild(&fragments, &serde::Value::Seq(occ), &adjacency, &runs).unwrap_err();
+        assert!(err.contains("occurrence column length"), "{err}");
+        // A live slot with zero occurrences.
+        let serde::Value::Seq(mut occ) = occurrences.clone() else {
+            panic!()
+        };
+        let live = occ
+            .iter()
+            .position(|v| v.as_u64().unwrap() > 0)
+            .expect("fixture has live slots");
+        occ[live] = serde::Value::U64(0);
+        let err = rebuild(&fragments, &serde::Value::Seq(occ), &adjacency, &runs).unwrap_err();
+        assert!(err.contains("zero occurrences"), "{err}");
+        // Truncated CSR neighbor column.
+        let serde::Value::Map(mut adj) = adjacency.clone() else {
+            panic!()
+        };
+        for (key, field) in &mut adj {
+            if key == "neighbors" {
+                let serde::Value::Seq(items) = field else {
+                    panic!()
+                };
+                items.pop();
+            }
+        }
+        let err = rebuild(&fragments, &occurrences, &serde::Value::Map(adj), &runs).unwrap_err();
+        assert!(err.contains("truncated CSR"), "{err}");
+        // A run entry that drives a pair negative.
+        let serde::Value::Seq(mut run_list) = runs.clone() else {
+            panic!()
+        };
+        run_list.push(serde::Value::Seq(vec![serde::Value::Seq(vec![
+            serde::Value::U64(0),
+            serde::Value::U64(1),
+            serde::Value::I64(-1_000_000),
+        ])]));
+        let err = rebuild(
+            &fragments,
+            &occurrences,
+            &adjacency,
+            &serde::Value::Seq(run_list),
+        )
+        .unwrap_err();
+        assert!(err.contains("negative"), "{err}");
+        // Unsorted run keys.
+        let bad_run = serde::Value::Seq(vec![serde::Value::Seq(vec![
+            serde::Value::Seq(vec![
+                serde::Value::U64(1),
+                serde::Value::U64(2),
+                serde::Value::I64(1),
+            ]),
+            serde::Value::Seq(vec![
+                serde::Value::U64(0),
+                serde::Value::U64(2),
+                serde::Value::I64(1),
+            ]),
+        ])]);
+        let err = rebuild(&fragments, &occurrences, &adjacency, &bad_run).unwrap_err();
+        assert!(err.contains("not strictly sorted"), "{err}");
+        // The pristine sections still load.
+        rebuild(&fragments, &occurrences, &adjacency, &runs).unwrap();
     }
 }

@@ -131,11 +131,13 @@ impl ModelQfg {
             }
         }
         self.query_count -= 1;
+        let mut died: Vec<QueryFragment> = Vec::new();
         for f in &fragments {
             if let Some(count) = self.occurrences.get_mut(f) {
                 *count -= 1;
                 if *count == 0 {
                     self.occurrences.remove(f);
+                    died.push(f.clone());
                 }
             }
         }
@@ -149,6 +151,15 @@ impl ModelQfg {
                     }
                 }
             }
+        }
+        // A fragment with zero occurrences co-occurs with nothing:
+        // `n_e(c, x) ≤ n_v(c)` is part of the spec, so pairs stranded by an
+        // over-removal (the fragment died while a pair from some *other*
+        // query still referenced it) are dropped with the fragment — exactly
+        // what the production graph's pre-release purge does.
+        if !died.is_empty() {
+            self.co_occurrences
+                .retain(|(a, b), _| !died.contains(a) && !died.contains(b));
         }
         true
     }
@@ -428,6 +439,114 @@ proptest! {
             let rebuilt = QueryFragmentGraph::build(&extra_log, obscurity);
             prop_assert_eq!(&graph, &rebuilt);
         }
+    }
+
+    /// Tiered compaction is observation-neutral at *every* tier state: with
+    /// a tiny run-fold threshold forcing deltas into sorted runs constantly,
+    /// an arbitrary interleaving of ingests, removes, partial folds and full
+    /// compactions stays observationally identical to the map-based model —
+    /// and the runs always satisfy the geometric merge invariant, so
+    /// publish-time compaction cost is bounded by recent churn.
+    #[test]
+    fn tiered_compaction_interleavings_match_the_model_at_any_tier_state(
+        base in log_strategy(),
+        extra in log_strategy(),
+        threshold in 1usize..24,
+        op_seed in any::<u64>(),
+    ) {
+        let obscurity = Obscurity::NoConstOp;
+        let base_log = parse_log(&base);
+        let extra_log = parse_log(&extra);
+        let mut model = ModelQfg::default();
+        let mut graph = QueryFragmentGraph::empty(obscurity);
+        graph.set_run_fold_threshold(threshold);
+        let mut rng = StdRng::seed_from_u64(op_seed);
+        for query in base_log.queries() {
+            model.ingest(query, obscurity);
+            graph.ingest(query);
+        }
+        for query in extra_log.queries() {
+            match rng.next_u64() % 5 {
+                0 => {
+                    let victims: Vec<_> = base_log.queries().iter().cloned().collect();
+                    let victim = &victims[(rng.next_u64() as usize) % victims.len()];
+                    prop_assert_eq!(model.remove(victim, obscurity), graph.remove(victim));
+                }
+                1 => graph.compact(),
+                // Shrinking the threshold mid-stream forces an immediate
+                // fold cascade on the next ingest; growing it lets the
+                // mutable delta run long — both are legal tier states.
+                2 => graph.set_run_fold_threshold((rng.next_u64() % 32) as usize + 1),
+                _ => {
+                    model.ingest(query, obscurity);
+                    graph.ingest(query);
+                }
+            }
+            prop_assert_eq!(model.query_count, graph.query_count());
+            prop_assert_eq!(model.occurrences.len(), graph.fragment_count());
+            prop_assert_eq!(model.co_occurrences.len(), graph.edge_count());
+        }
+        // Observational sweep at the final (arbitrary) tier state.
+        let fragments: Vec<QueryFragment> = model.occurrences.keys().cloned().collect();
+        for a in &fragments {
+            prop_assert_eq!(model.occurrences(a), graph.occurrences(a));
+            for b in &fragments {
+                prop_assert_eq!(model.co_occurrences(a, b), graph.co_occurrences(a, b));
+                prop_assert!((model.dice(a, b) - graph.dice(a, b)).abs() < 1e-12);
+            }
+        }
+        // Full compaction from any tier state is observation-neutral and
+        // leaves no pending work behind.
+        let mut compacted = graph.clone();
+        compacted.compact();
+        prop_assert!(compacted.is_compacted());
+        prop_assert_eq!(compacted.pending_delta_len(), 0);
+        prop_assert_eq!(&compacted, &graph);
+        prop_assert_eq!(model.query_count, compacted.query_count());
+        prop_assert_eq!(model.co_occurrences.len(), compacted.edge_count());
+    }
+
+    /// A v3 sectioned export of the graph — at an arbitrary uncompacted
+    /// tier state — reconstructs the *identical* graph, section for
+    /// section: same interner slots, same occurrence column, same CSR, same
+    /// pending runs, without forcing a compaction on either side.
+    #[test]
+    fn v3_sections_round_trip_any_tier_state_verbatim(
+        base in log_strategy(),
+        extra in log_strategy(),
+        threshold in 1usize..16,
+        op_seed in any::<u64>(),
+    ) {
+        let obscurity = Obscurity::NoConstOp;
+        let base_log = parse_log(&base);
+        let extra_log = parse_log(&extra);
+        let mut graph = QueryFragmentGraph::build(&base_log, obscurity);
+        graph.set_run_fold_threshold(threshold);
+        let mut rng = StdRng::seed_from_u64(op_seed);
+        for query in extra_log.queries() {
+            if rng.next_u64() % 4 == 0 {
+                let victims: Vec<_> = base_log.queries().iter().cloned().collect();
+                let victim = &victims[(rng.next_u64() as usize) % victims.len()];
+                graph.remove(victim);
+            } else {
+                graph.ingest(query);
+            }
+        }
+        let back = QueryFragmentGraph::from_sections(
+            obscurity,
+            graph.query_count() as u64,
+            &graph.fragments_section(),
+            &graph.occurrences_section(),
+            &graph.adjacency_section(),
+            &graph.runs_section(),
+        ).expect("self-exported sections must reconstruct");
+        prop_assert_eq!(&back, &graph, "sectioned round-trip must be verbatim");
+        prop_assert_eq!(back.pending_delta_len(), graph.pending_delta_len());
+        // Both sides compact to the same canonical graph.
+        let (mut a, mut b) = (graph.clone(), back);
+        a.compact();
+        b.compact();
+        prop_assert_eq!(&a, &b);
     }
 
     /// Dice stays within [0, 1] for arbitrary fragment pairs drawn from the

@@ -25,6 +25,8 @@
 pub mod benchmark;
 pub mod imdb;
 pub mod mas;
+pub mod scale;
 pub mod yelp;
 
 pub use benchmark::{BenchmarkCase, CaseKind, Dataset, Fold};
+pub use scale::scale_log;

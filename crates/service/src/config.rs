@@ -80,6 +80,14 @@ pub struct ServiceConfig {
     /// signature, invalidated wholesale on snapshot publish).  `0` disables
     /// caching entirely — every request computes.
     pub translation_cache_capacity: usize,
+    /// Memory budget for one decoded batch of WAL-tail entries during
+    /// recovery ([`TemplarService::recover`](crate::TemplarService::recover)).
+    /// The journal tail is replayed in batches no larger than this (a single
+    /// oversized record still flows through alone), so recovery's peak
+    /// decoded-entry footprint is bounded by the budget rather than the tail
+    /// length.  Observed per recovery as the `recovery_peak_batch_bytes`
+    /// gauge.
+    pub recovery_batch_bytes: usize,
 }
 
 impl Default for ServiceConfig {
@@ -94,6 +102,7 @@ impl Default for ServiceConfig {
             slow_query_capacity: 16,
             max_inflight: 256,
             translation_cache_capacity: 4096,
+            recovery_batch_bytes: 4 * 1024 * 1024,
         }
     }
 }
@@ -164,6 +173,12 @@ impl ServiceConfig {
         self.translation_cache_capacity = capacity;
         self
     }
+
+    /// Bound one decoded recovery batch (clamped to ≥ 4 KiB).
+    pub fn with_recovery_batch_bytes(mut self, bytes: usize) -> Self {
+        self.recovery_batch_bytes = bytes.max(4096);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -178,12 +193,14 @@ mod tests {
             .with_max_log_entries(0)
             .with_wal_fsync_every(0)
             .with_wal_segment_max_records(0)
-            .with_max_inflight(0);
+            .with_max_inflight(0)
+            .with_recovery_batch_bytes(0);
         assert_eq!(c.queue_capacity, 1);
         assert_eq!(c.refresh_every, 1);
         assert_eq!(c.max_log_entries, Some(1));
         assert_eq!(c.wal.fsync_every, 1);
         assert_eq!(c.wal.segment_max_records, 1);
         assert_eq!(c.max_inflight, 1);
+        assert_eq!(c.recovery_batch_bytes, 4096);
     }
 }

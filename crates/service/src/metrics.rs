@@ -36,6 +36,8 @@ pub struct ServiceMetrics {
     wal_segments_gc: AtomicU64,
     wal_io_errors: AtomicU64,
     wal_truncated_bytes: AtomicU64,
+    recovery_peak_batch_bytes: AtomicU64,
+    snapshot_body_bytes: AtomicU64,
     admission_tenant_shed: AtomicU64,
     admission_global_shed: AtomicU64,
     translation_cache_hits: AtomicU64,
@@ -288,6 +290,18 @@ impl ServiceMetrics {
         self.wal_truncated_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Largest decoded WAL batch the last recovery materialized — recovery's
+    /// bounded-memory high-water mark.
+    pub(crate) fn record_recovery_peak_batch_bytes(&self, bytes: u64) {
+        self.recovery_peak_batch_bytes
+            .store(bytes, Ordering::Relaxed);
+    }
+
+    /// On-disk size of the last snapshot written or recovered from.
+    pub(crate) fn record_snapshot_body_bytes(&self, bytes: u64) {
+        self.snapshot_body_bytes.store(bytes, Ordering::Relaxed);
+    }
+
     pub(crate) fn ingest_applied_total(&self) -> u64 {
         self.ingest_applied.load(Ordering::Relaxed)
             + self.ingest_parse_errors.load(Ordering::Relaxed)
@@ -346,6 +360,8 @@ impl ServiceMetrics {
             wal_segments_gc: self.wal_segments_gc.load(Ordering::Relaxed),
             wal_io_errors: self.wal_io_errors.load(Ordering::Relaxed),
             wal_truncated_bytes: self.wal_truncated_bytes.load(Ordering::Relaxed),
+            recovery_peak_batch_bytes: self.recovery_peak_batch_bytes.load(Ordering::Relaxed),
+            snapshot_body_bytes: self.snapshot_body_bytes.load(Ordering::Relaxed),
             admission_tenant_shed: self.admission_tenant_shed.load(Ordering::Relaxed),
             admission_global_shed: self.admission_global_shed.load(Ordering::Relaxed),
             translation_cache_hits: self.translation_cache_hits.load(Ordering::Relaxed),
@@ -371,6 +387,8 @@ impl ServiceMetrics {
             qfg_csr_edges: 0,
             qfg_pending_deltas: 0,
             qfg_compactions: 0,
+            qfg_delta_runs: 0,
+            qfg_run_merges: 0,
         }
     }
 }
@@ -440,6 +458,14 @@ pub struct MetricsSnapshot {
     /// the signature of actual (bounded, expected) data loss: one or more
     /// acknowledged-but-unsynced entries did not survive the crash.
     pub wal_truncated_bytes: u64,
+    /// Largest decoded WAL batch the last recovery materialized — the
+    /// bounded-memory replay's high-water mark, at most
+    /// `max(ServiceConfig::recovery_batch_bytes, largest single record)`.
+    /// 0 until a durable service recovers.
+    pub recovery_peak_batch_bytes: u64,
+    /// On-disk size of the last snapshot written (or recovered from), in
+    /// bytes — the sectioned v3 body including every frame header and CRC.
+    pub snapshot_body_bytes: u64,
     /// Admission-control sheds: requests rejected with `Backpressure`
     /// before any work was queued, split by which limit fired — the
     /// tenant's own in-flight quota (`ServiceConfig::max_inflight`) versus
@@ -470,6 +496,12 @@ pub struct MetricsSnapshot {
     pub qfg_csr_edges: u64,
     pub qfg_pending_deltas: u64,
     pub qfg_compactions: u64,
+    /// Tiered-compaction gauges of the master graph: sorted delta runs
+    /// currently resident (tiers awaiting the next publish fold) and the
+    /// cumulative count of geometric run merges the lineage has performed.
+    /// Filled in by the service, which owns the master state.
+    pub qfg_delta_runs: u64,
+    pub qfg_run_merges: u64,
     /// Epoch-keyed translation-cache counters: requests answered from the
     /// cache / requests that computed (and seeded it) / entries dropped at
     /// the capacity bound / wholesale invalidations on snapshot publish.
@@ -710,6 +742,30 @@ const PROM_FAMILIES: &[(&str, &str, &str, FieldGetter)] = &[
         "counter",
         "Compactions the QFG lineage has undergone.",
         |s| s.qfg_compactions,
+    ),
+    (
+        "templar_qfg_delta_runs",
+        "gauge",
+        "Sorted delta runs resident in the master graph's tiered compactor.",
+        |s| s.qfg_delta_runs,
+    ),
+    (
+        "templar_qfg_run_merges_total",
+        "counter",
+        "Geometric delta-run merges the QFG lineage has performed.",
+        |s| s.qfg_run_merges,
+    ),
+    (
+        "templar_recovery_peak_batch_bytes",
+        "gauge",
+        "Largest decoded WAL batch the last recovery materialized.",
+        |s| s.recovery_peak_batch_bytes,
+    ),
+    (
+        "templar_snapshot_body_bytes",
+        "gauge",
+        "On-disk size of the last snapshot written or recovered from.",
+        |s| s.snapshot_body_bytes,
     ),
     (
         "templar_translation_cache_hits_total",

@@ -244,6 +244,8 @@ fn metrics_report(snapshot: &MetricsSnapshot) -> MetricsReport {
         wal_segments_gc: snapshot.wal_segments_gc,
         wal_io_errors: snapshot.wal_io_errors,
         wal_truncated_bytes: snapshot.wal_truncated_bytes,
+        recovery_peak_batch_bytes: snapshot.recovery_peak_batch_bytes,
+        snapshot_body_bytes: snapshot.snapshot_body_bytes,
         admission_tenant_shed: snapshot.admission_tenant_shed,
         admission_global_shed: snapshot.admission_global_shed,
         wal_applied_seq: snapshot.wal_applied_seq,
@@ -258,6 +260,8 @@ fn metrics_report(snapshot: &MetricsSnapshot) -> MetricsReport {
         qfg_csr_edges: snapshot.qfg_csr_edges,
         qfg_pending_deltas: snapshot.qfg_pending_deltas,
         qfg_compactions: snapshot.qfg_compactions,
+        qfg_delta_runs: snapshot.qfg_delta_runs,
+        qfg_run_merges: snapshot.qfg_run_merges,
         translation_cache_hits: snapshot.translation_cache_hits,
         translation_cache_misses: snapshot.translation_cache_misses,
         translation_cache_evictions: snapshot.translation_cache_evictions,
@@ -312,6 +316,8 @@ mod tests {
             wal_segments_gc: 23,
             wal_io_errors: 24,
             wal_truncated_bytes: 25,
+            recovery_peak_batch_bytes: 49,
+            snapshot_body_bytes: 50,
             admission_tenant_shed: 38,
             admission_global_shed: 39,
             wal_applied_seq: 26,
@@ -326,6 +332,8 @@ mod tests {
             qfg_csr_edges: 35,
             qfg_pending_deltas: 36,
             qfg_compactions: 37,
+            qfg_delta_runs: 51,
+            qfg_run_merges: 52,
             translation_cache_hits: 40,
             translation_cache_misses: 41,
             translation_cache_evictions: 42,
@@ -374,6 +382,8 @@ mod tests {
             wal_segments_gc,
             wal_io_errors,
             wal_truncated_bytes,
+            recovery_peak_batch_bytes,
+            snapshot_body_bytes,
             admission_tenant_shed,
             admission_global_shed,
             wal_applied_seq,
@@ -388,6 +398,8 @@ mod tests {
             qfg_csr_edges,
             qfg_pending_deltas,
             qfg_compactions,
+            qfg_delta_runs,
+            qfg_run_merges,
             translation_cache_hits,
             translation_cache_misses,
             translation_cache_evictions,
@@ -426,6 +438,8 @@ mod tests {
         assert_eq!(wal_segments_gc, 23);
         assert_eq!(wal_io_errors, 24);
         assert_eq!(wal_truncated_bytes, 25);
+        assert_eq!(recovery_peak_batch_bytes, 49);
+        assert_eq!(snapshot_body_bytes, 50);
         assert_eq!(admission_tenant_shed, 38);
         assert_eq!(admission_global_shed, 39);
         assert_eq!(wal_applied_seq, 26);
@@ -440,6 +454,8 @@ mod tests {
         assert_eq!(qfg_csr_edges, 35);
         assert_eq!(qfg_pending_deltas, 36);
         assert_eq!(qfg_compactions, 37);
+        assert_eq!(qfg_delta_runs, 51);
+        assert_eq!(qfg_run_merges, 52);
         assert_eq!(translation_cache_hits, 40);
         assert_eq!(translation_cache_misses, 41);
         assert_eq!(translation_cache_evictions, 42);

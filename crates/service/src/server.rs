@@ -314,31 +314,43 @@ impl TemplarService {
                 0,
             )
         };
+        let snapshot_body_bytes = std::fs::metadata(&snapshot_path).map(|m| m.len()).ok();
         let wal_dir = dir.join(WAL_DIR);
-        let replayed = wal::replay(&wal_dir, watermark)?;
-        let replay_count = replayed.entries.len() as u64;
+        // Replay the journal tail in bounded batches: ingest applies each
+        // batch against the tiered delta runs and the retention bound is
+        // enforced per batch, so recovery's decoded-entry footprint stays at
+        // `recovery_batch_bytes` (plus one oversized record) no matter how
+        // long the tail is.  Eviction keeps exactly the newest `cap` entries
+        // and the QFG's counts are order-insensitive nets, so per-batch
+        // eviction recovers the same state an uninterrupted worker held.
         let mut replay_parse_errors = 0u64;
-        for (_seq, sql) in &replayed.entries {
-            match parse_query(sql) {
-                Ok(query) => {
-                    qfg.ingest(&query);
-                    log.push(query);
+        let cap = service_config.max_log_entries;
+        let stats = wal::replay_batched(
+            &wal_dir,
+            watermark,
+            service_config.recovery_batch_bytes,
+            &mut |batch| {
+                for (_seq, sql) in batch {
+                    match parse_query(sql) {
+                        Ok(query) => {
+                            qfg.ingest(&query);
+                            log.push(query);
+                        }
+                        Err(_) => replay_parse_errors += 1,
+                    }
                 }
-                Err(_) => replay_parse_errors += 1,
-            }
-        }
-        // The retention bound the worker would have enforced while these
-        // entries streamed in; eviction keeps exactly the newest `cap`
-        // entries either way, so recovered state equals uninterrupted state.
-        if let Some(cap) = service_config.max_log_entries {
-            while log.len() > cap {
-                if let Some(old) = log.pop_oldest() {
-                    qfg.remove(&old);
+                if let Some(cap) = cap {
+                    while log.len() > cap {
+                        if let Some(old) = log.pop_oldest() {
+                            qfg.remove(&old);
+                        }
+                    }
                 }
-            }
-        }
-        let applied_seq = replayed.next_seq - 1;
-        let writer = WalWriter::create(&wal_dir, replayed.next_seq, service_config.wal.clone())
+            },
+        )?;
+        let replay_count = stats.replayed;
+        let applied_seq = stats.next_seq - 1;
+        let writer = WalWriter::create(&wal_dir, stats.next_seq, service_config.wal.clone())
             .map_err(WalError::Io)?;
         let durable = Durable {
             dir: dir.to_path_buf(),
@@ -359,14 +371,21 @@ impl TemplarService {
         if replay_count > 0 {
             service.inner.metrics.record_wal_replayed(replay_count);
         }
-        if replayed.truncated_bytes > 0 {
+        service
+            .inner
+            .metrics
+            .record_recovery_peak_batch_bytes(stats.peak_batch_bytes);
+        if let Some(bytes) = snapshot_body_bytes {
+            service.inner.metrics.record_snapshot_body_bytes(bytes);
+        }
+        if stats.truncated_bytes > 0 {
             // A torn tail was cut: bounded data loss (acknowledged but
             // un-fsynced entries), surfaced so operators can tell "clean
             // recovery" from "recovery that dropped the tail".
             service
                 .inner
                 .metrics
-                .record_wal_truncated(replayed.truncated_bytes);
+                .record_wal_truncated(stats.truncated_bytes);
         }
         if replay_parse_errors > 0 {
             // Replay is bootstrap-log assembly, so unparsable records count
@@ -739,12 +758,13 @@ impl TemplarService {
             }
         }
         let (log, qfg, watermark) = self.clone_master_state();
-        snapshot::write_snapshot_with_watermark(
+        let body_bytes = snapshot::write_snapshot_with_watermark(
             &durable.snapshot_path(),
             &log,
             &qfg,
             Some(watermark),
         )?;
+        self.inner.metrics.record_snapshot_body_bytes(body_bytes);
         match wal::gc_segments(&durable.wal_dir(), watermark) {
             Ok(0) => {}
             Ok(n) => self.inner.metrics.record_wal_segments_gc(n as u64),
@@ -809,7 +829,8 @@ impl TemplarService {
             .map(|durable| durable.checkpoint_lock.lock());
         let (log, qfg, applied_seq) = self.clone_master_state();
         let watermark = self.inner.durable.as_ref().map(|_| applied_seq);
-        snapshot::write_snapshot_with_watermark(path, &log, &qfg, watermark)?;
+        let body_bytes = snapshot::write_snapshot_with_watermark(path, &log, &qfg, watermark)?;
+        self.inner.metrics.record_snapshot_body_bytes(body_bytes);
         Ok(())
     }
 
@@ -853,6 +874,8 @@ impl TemplarService {
             let master = self.inner.master.lock();
             snap.qfg_pending_deltas = master.qfg.pending_delta_len() as u64;
             snap.qfg_compactions = master.qfg.compactions();
+            snap.qfg_delta_runs = master.qfg.delta_run_len() as u64;
+            snap.qfg_run_merges = master.qfg.run_merges();
             snap.wal_applied_seq = master.applied_seq;
         }
         snap

@@ -5,41 +5,58 @@
 //! serving log-informed translations immediately — no re-parse and no QFG
 //! rebuild of a potentially multi-million-entry log.
 //!
-//! # Format (version 2)
+//! # Format (version 3)
 //!
 //! ```text
-//! TEMPLAR-SNAPSHOT v2 obscurity=NoConstOp\n   ← header line, ASCII
-//! {"log": …, "qfg": …}                        ← body, one JSON document
+//! TEMPLAR-SNAPSHOT v3 obscurity=NoConstOp [watermark=N] sections=K\n
+//! [len u32 LE][crc32 u32 LE][name_len u16 LE][name][payload]   ← section 0
+//! [len u32 LE][crc32 u32 LE][name_len u16 LE][name][payload]   ← section 1
+//! …                                                            ← section K-1
 //! ```
 //!
-//! The `qfg` body is the graph's columnar form: the interner table (live
-//! fragments, densified to ids `0..n`), the occurrence column, and the CSR
-//! adjacency (`offsets` / `neighbors` / `counts`).  Compared to the v1
-//! format — which wrote every `n_v` / `n_e` entry as a
-//! `[fragment, count]` / `[[fragment, fragment], count]` pair, repeating
-//! each fragment once per incident edge — every fragment is written exactly
-//! once and each edge costs two integers, so v2 snapshots are substantially
-//! smaller and load without re-hashing every pair key.
+//! The body is `K` independent *sections*, each framed exactly like a WAL
+//! record (`len` counts the body after the 8-byte frame header; the CRC —
+//! the same [`crate::wal::crc32`] — covers `name_len + name + payload`).
+//! The payload of every section is one self-contained JSON document.
+//! Sections appear in a fixed order:
 //!
-//! **Migration:** v1 snapshots still load.  A v1 body carries the complete
-//! query log, and an ingest-from-empty build is property-tested equal to
-//! the graph the v1 writer serialized, so the migration path deserializes
-//! the log and rebuilds the columnar graph from it — same counts, new
-//! representation.  The result is only ever written back as v2.
+//! | section          | payload                                            |
+//! |------------------|----------------------------------------------------|
+//! | `meta`           | log length, log chunk count, query count, obscurity|
+//! | `log/0` … `log/c-1` | chunks of ≤ [`LOG_SECTION_CHUNK`] logged queries|
+//! | `qfg/fragments`  | the full interner table, dead slots as `null`      |
+//! | `qfg/occurrences`| the raw `n_v` column, 0 for dead slots             |
+//! | `qfg/adjacency`  | the compacted CSR baseline (offsets/neighbors/counts)|
+//! | `qfg/runs`       | pending tiered delta runs, mutable delta last      |
+//!
+//! Compared to v2 — one monolithic JSON document that forced the writer to
+//! materialize the entire serialized state (and a *compacted clone* of the
+//! graph) in memory, and the reader to buffer and parse it all at once —
+//! the sectioned layout is written and read **streaming**: the writer holds
+//! one serialized section at a time and serializes the graph *as-is* (no
+//! clone, no forced compaction — pending tiered runs survive a snapshot
+//! verbatim), and the reader validates section-by-section, so a torn or
+//! bit-flipped section is caught by length/CRC checks before any parsing.
+//!
+//! **Migration:** v2 snapshots still load natively (single-document body,
+//! columnar validation), and v1 snapshots load by rebuilding the graph from
+//! the stored log.  Both are only ever written back as v3.
 //!
 //! The header carries everything needed to *reject* a snapshot before
-//! parsing the (potentially large) body:
+//! touching the (potentially large) body:
 //!
 //! * the magic string guards against feeding an arbitrary file in,
 //! * the version gates format evolution,
 //! * the obscurity level must match the configuration the service runs at —
 //!   QFG counts produced at one obscurity level are meaningless at another,
-//!   so a mismatch is a hard error rather than a silent accuracy bug.
+//!   so a mismatch is a hard error rather than a silent accuracy bug,
+//! * `sections=K` lets the reader detect a tail truncated on a section
+//!   boundary (fewer sections than promised is corruption, not EOF).
 //!
-//! Structural damage below the header (truncated CSR columns, occurrence /
-//! co-occurrence inconsistencies, duplicate interned fragments) is caught by
-//! the columnar deserializer's validation and surfaces as
-//! [`SnapshotError::Corrupt`].
+//! Structural damage below the framing layer (truncated CSR columns,
+//! occurrence inconsistencies, duplicate interned fragments, negative
+//! pending nets) is caught by [`QueryFragmentGraph::from_sections`]
+//! validation and surfaces as [`SnapshotError::Corrupt`].
 //!
 //! The header may additionally carry `watermark=N` — the highest write-ahead
 //! journal sequence number the snapshot covers (see [`crate::wal`]).
@@ -56,8 +73,11 @@
 //! name.
 
 use crate::error::SnapshotError;
+use crate::wal::crc32;
 use serde::{Deserialize, Serialize};
+use sqlparse::Query;
 use std::fs;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use templar_core::{Obscurity, QueryFragmentGraph, QueryLog};
@@ -65,9 +85,20 @@ use templar_core::{Obscurity, QueryFragmentGraph, QueryLog};
 /// First token of every snapshot file.
 pub const SNAPSHOT_MAGIC: &str = "TEMPLAR-SNAPSHOT";
 /// The format version this build writes.
-pub const SNAPSHOT_VERSION: u32 = 2;
+pub const SNAPSHOT_VERSION: u32 = 3;
 /// The oldest format version this build still reads (via migration).
 pub const SNAPSHOT_MIN_SUPPORTED_VERSION: u32 = 1;
+/// Logged queries per `log/<i>` section: bounds how much of the log a
+/// streaming reader or writer holds decoded at any moment.
+pub const LOG_SECTION_CHUNK: usize = 4096;
+
+/// Bytes of framing per section: `len: u32` + `crc32: u32`.
+const SECTION_FRAME_HEADER: usize = 8;
+/// Largest section body a reader will buffer (1 GiB): a garbage length read
+/// from a damaged frame must not drive a giant allocation.
+const MAX_SECTION_BYTES: u32 = 1 << 30;
+/// Longest header line a reader will scan for the newline terminator.
+const MAX_HEADER_BYTES: u64 = 4096;
 
 /// The deserialized content of a snapshot file.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -78,23 +109,28 @@ pub struct Snapshot {
     pub qfg: QueryFragmentGraph,
 }
 
-/// Serialize the serving state to `path` (atomic replace, format v2).
+/// Serialize the serving state to `path` (atomic replace, format v3).
+/// Returns the total bytes written (header + all framed sections).
 pub fn write_snapshot(
     path: &Path,
     log: &QueryLog,
     qfg: &QueryFragmentGraph,
-) -> Result<(), SnapshotError> {
+) -> Result<u64, SnapshotError> {
     write_snapshot_with_watermark(path, log, qfg, None)
 }
 
 /// Serialize the serving state to `path`, optionally recording the journal
-/// sequence number the snapshot covers (the recovery watermark).
+/// sequence number the snapshot covers (the recovery watermark).  Returns
+/// the total bytes written so callers can surface snapshot size as a metric
+/// without a second `stat`.
 pub fn write_snapshot_with_watermark(
     path: &Path,
     log: &QueryLog,
     qfg: &QueryFragmentGraph,
     watermark: Option<u64>,
-) -> Result<(), SnapshotError> {
+) -> Result<u64, SnapshotError> {
+    let log_chunks = log.len().div_ceil(LOG_SECTION_CHUNK);
+    let sections = 5 + log_chunks;
     let mut header = format!(
         "{SNAPSHOT_MAGIC} v{SNAPSHOT_VERSION} obscurity={}",
         qfg.obscurity().name()
@@ -102,15 +138,7 @@ pub fn write_snapshot_with_watermark(
     if let Some(watermark) = watermark {
         header.push_str(&format!(" watermark={watermark}"));
     }
-    header.push('\n');
-    // Serialize from the borrows directly (same field layout as
-    // [`Snapshot`]) — no intermediate clone of a potentially large state.
-    let body_value = serde::Value::Map(vec![
-        ("log".to_string(), serde::Serialize::to_value(log)),
-        ("qfg".to_string(), serde::Serialize::to_value(qfg)),
-    ]);
-    let body =
-        serde_json::to_string(&body_value).map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+    header.push_str(&format!(" sections={sections}\n"));
     // A unique sibling temp name per write: `path.with_extension("tmp")`
     // would collide for concurrent saves of targets sharing a stem
     // (`mas.v1` / `mas.v2` both map to `mas.tmp`) — one writer's rename
@@ -135,20 +163,59 @@ pub fn write_snapshot_with_watermark(
         std::process::id(),
         TMP_SEQ.fetch_add(1, Ordering::Relaxed)
     ));
-    let result = (|| -> Result<(), SnapshotError> {
-        {
-            use std::io::Write;
-            let mut file = fs::File::create(&tmp)?;
-            file.write_all(header.as_bytes())?;
-            file.write_all(body.as_bytes())?;
-            // The bytes must be durable *before* the rename publishes the
-            // name, or a power loss could leave a valid name over garbage.
-            file.sync_all()?;
+    let result = (|| -> Result<u64, SnapshotError> {
+        let file = fs::File::create(&tmp)?;
+        let mut out = BufWriter::new(file);
+        let mut bytes = header.len() as u64;
+        out.write_all(header.as_bytes())?;
+        // Stream one section at a time: each `write_section` serializes its
+        // payload, frames it, and drops it before the next is built — the
+        // writer never materializes the whole body (or a clone of the
+        // graph; the columns serialize as-is, pending runs included).
+        let meta = serde::Value::Map(vec![
+            (
+                "obscurity".to_string(),
+                serde::Value::Str(qfg.obscurity().name().to_string()),
+            ),
+            ("log_len".to_string(), serde::Value::U64(log.len() as u64)),
+            (
+                "log_chunks".to_string(),
+                serde::Value::U64(log_chunks as u64),
+            ),
+            (
+                "query_count".to_string(),
+                serde::Value::U64(qfg.query_count() as u64),
+            ),
+        ]);
+        bytes += write_section(&mut out, "meta", &meta)?;
+        let queries = log.queries();
+        for chunk in 0..log_chunks {
+            let lo = chunk * LOG_SECTION_CHUNK;
+            let hi = (lo + LOG_SECTION_CHUNK).min(queries.len());
+            let payload = serde::Value::Seq(
+                queries
+                    .iter()
+                    .skip(lo)
+                    .take(hi - lo)
+                    .map(|q| q.to_value())
+                    .collect(),
+            );
+            bytes += write_section(&mut out, &format!("log/{chunk}"), &payload)?;
         }
+        bytes += write_section(&mut out, "qfg/fragments", &qfg.fragments_section())?;
+        bytes += write_section(&mut out, "qfg/occurrences", &qfg.occurrences_section())?;
+        bytes += write_section(&mut out, "qfg/adjacency", &qfg.adjacency_section())?;
+        bytes += write_section(&mut out, "qfg/runs", &qfg.runs_section())?;
+        let file = out
+            .into_inner()
+            .map_err(|e| SnapshotError::Io(e.into_error()))?;
+        // The bytes must be durable *before* the rename publishes the
+        // name, or a power loss could leave a valid name over garbage.
+        file.sync_all()?;
         fs::rename(&tmp, path)?;
         // And the rename itself must be durable: fsync the directory entry.
         crate::wal::sync_dir(&parent)?;
-        Ok(())
+        Ok(bytes)
     })();
     if result.is_err() {
         fs::remove_file(&tmp).ok();
@@ -156,10 +223,78 @@ pub fn write_snapshot_with_watermark(
     result
 }
 
+/// Frame one section: `[len][crc][name_len][name][payload]`, CRC over
+/// everything after the 8-byte frame header.  Returns the framed size.
+fn write_section(
+    out: &mut impl Write,
+    name: &str,
+    payload: &serde::Value,
+) -> Result<u64, SnapshotError> {
+    let json = serde_json::to_string(payload).map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+    let mut body = Vec::with_capacity(2 + name.len() + json.len());
+    body.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    body.extend_from_slice(name.as_bytes());
+    body.extend_from_slice(json.as_bytes());
+    if body.len() as u64 > MAX_SECTION_BYTES as u64 {
+        return Err(SnapshotError::Corrupt(format!(
+            "section `{name}` exceeds the {MAX_SECTION_BYTES}-byte frame limit"
+        )));
+    }
+    out.write_all(&(body.len() as u32).to_le_bytes())?;
+    out.write_all(&crc32(&body).to_le_bytes())?;
+    out.write_all(&body)?;
+    Ok((SECTION_FRAME_HEADER + body.len()) as u64)
+}
+
+/// Read one framed section: validates the length bound and the CRC before
+/// parsing the payload, so torn or bit-flipped sections surface as
+/// [`SnapshotError::Corrupt`] without any JSON work.
+fn read_section(reader: &mut impl Read) -> Result<(String, serde::Value), SnapshotError> {
+    let mut frame = [0u8; SECTION_FRAME_HEADER];
+    reader.read_exact(&mut frame).map_err(eof_is_torn)?;
+    let len = u32::from_le_bytes(frame[0..4].try_into().unwrap());
+    let stored_crc = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+    if !(2..=MAX_SECTION_BYTES).contains(&len) {
+        return Err(SnapshotError::Corrupt(format!(
+            "section frame length {len} out of range"
+        )));
+    }
+    let mut body = vec![0u8; len as usize];
+    reader.read_exact(&mut body).map_err(eof_is_torn)?;
+    if crc32(&body) != stored_crc {
+        return Err(SnapshotError::Corrupt("section CRC mismatch".to_string()));
+    }
+    let name_len = u16::from_le_bytes([body[0], body[1]]) as usize;
+    if 2 + name_len > body.len() {
+        return Err(SnapshotError::Corrupt(
+            "section name overruns its frame".to_string(),
+        ));
+    }
+    let name = std::str::from_utf8(&body[2..2 + name_len])
+        .map_err(|_| SnapshotError::Corrupt("section name is not UTF-8".to_string()))?
+        .to_string();
+    let payload = std::str::from_utf8(&body[2 + name_len..])
+        .map_err(|_| SnapshotError::Corrupt(format!("section `{name}` payload is not UTF-8")))?;
+    let value = serde_json::parse_value(payload)
+        .map_err(|e| SnapshotError::Corrupt(format!("section `{name}`: {e}")))?;
+    Ok((name, value))
+}
+
+/// A short read inside a section frame is a torn snapshot, not an I/O fault
+/// of this process.
+fn eof_is_torn(e: std::io::Error) -> SnapshotError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        SnapshotError::Corrupt("torn snapshot: section frame truncated".to_string())
+    } else {
+        SnapshotError::Io(e)
+    }
+}
+
 /// Read and validate a snapshot, rejecting wrong magic, unsupported versions
 /// and — crucially — snapshots captured at a different obscurity level than
 /// `expected`.  Version 1 snapshots are migrated on the fly (see the module
-/// docs); version 2 is read natively.
+/// docs), version 2 is read as a single columnar document, and version 3 is
+/// read streaming, section by section.
 pub fn read_snapshot(path: &Path, expected: Obscurity) -> Result<Snapshot, SnapshotError> {
     read_snapshot_with_watermark(path, expected).map(|(snapshot, _)| snapshot)
 }
@@ -170,8 +305,17 @@ pub fn read_snapshot_with_watermark(
     path: &Path,
     expected: Obscurity,
 ) -> Result<(Snapshot, u64), SnapshotError> {
-    let text = fs::read_to_string(path)?;
-    let (header, body) = text.split_once('\n').ok_or(SnapshotError::BadMagic)?;
+    let file = fs::File::open(path)?;
+    let mut reader = BufReader::new(file);
+    let mut line = Vec::new();
+    (&mut reader)
+        .take(MAX_HEADER_BYTES)
+        .read_until(b'\n', &mut line)?;
+    if line.last() != Some(&b'\n') {
+        return Err(SnapshotError::BadMagic);
+    }
+    line.pop();
+    let header = std::str::from_utf8(&line).map_err(|_| SnapshotError::BadMagic)?;
     let mut parts = header.split_whitespace();
     if parts.next() != Some(SNAPSHOT_MAGIC) {
         return Err(SnapshotError::BadMagic);
@@ -198,20 +342,42 @@ pub fn read_snapshot_with_watermark(
             found: obscurity,
         });
     }
-    // Optional trailing token; a snapshot without it covers no journal
-    // records.  A malformed value is corruption — recovering with watermark
-    // 0 would double-apply every journaled entry.
-    let watermark = match parts.next() {
-        Some(token) => token
-            .strip_prefix("watermark=")
-            .and_then(|v| v.parse::<u64>().ok())
-            .ok_or_else(|| SnapshotError::Corrupt(format!("unparsable header token `{token}`")))?,
-        None => 0,
-    };
+    // Optional trailing tokens.  A malformed value is corruption — e.g.
+    // recovering with watermark 0 would double-apply every journaled entry.
+    let mut watermark = 0u64;
+    let mut sections: Option<u64> = None;
+    for token in parts {
+        if let Some(v) = token.strip_prefix("watermark=") {
+            watermark = v.parse::<u64>().map_err(|_| {
+                SnapshotError::Corrupt(format!("unparsable header token `{token}`"))
+            })?;
+        } else if let Some(v) = token.strip_prefix("sections=") {
+            sections = Some(v.parse::<u64>().map_err(|_| {
+                SnapshotError::Corrupt(format!("unparsable header token `{token}`"))
+            })?);
+        } else {
+            return Err(SnapshotError::Corrupt(format!(
+                "unparsable header token `{token}`"
+            )));
+        }
+    }
     let snapshot = match version {
-        1 => migrate_v1(body, obscurity)?,
-        _ => serde_json::from_str::<Snapshot>(body)
-            .map_err(|e| SnapshotError::Corrupt(e.to_string()))?,
+        1 | 2 => {
+            let mut body = String::new();
+            reader.read_to_string(&mut body)?;
+            if version == 1 {
+                migrate_v1(&body, obscurity)?
+            } else {
+                serde_json::from_str::<Snapshot>(&body)
+                    .map_err(|e| SnapshotError::Corrupt(e.to_string()))?
+            }
+        }
+        _ => {
+            let sections = sections.ok_or_else(|| {
+                SnapshotError::Corrupt("v3 header is missing its section count".to_string())
+            })?;
+            read_v3_body(&mut reader, sections, obscurity)?
+        }
     };
     if snapshot.qfg.obscurity() != obscurity {
         return Err(SnapshotError::Corrupt(
@@ -219,6 +385,101 @@ pub fn read_snapshot_with_watermark(
         ));
     }
     Ok((snapshot, watermark))
+}
+
+/// Decode the sectioned v3 body: sections arrive in the fixed order the
+/// writer produces, each CRC-validated before parsing, with the section
+/// count cross-checked against the header and the `meta` section and a
+/// trailing-garbage probe after the final section.
+fn read_v3_body(
+    reader: &mut impl Read,
+    sections: u64,
+    obscurity: Obscurity,
+) -> Result<Snapshot, SnapshotError> {
+    let mut expect = |want: &str| -> Result<serde::Value, SnapshotError> {
+        let (name, payload) = read_section(reader)?;
+        if name != want {
+            return Err(SnapshotError::Corrupt(format!(
+                "expected section `{want}`, found `{name}`"
+            )));
+        }
+        Ok(payload)
+    };
+    let meta = expect("meta")?;
+    let meta_fields = meta
+        .as_map()
+        .ok_or_else(|| SnapshotError::Corrupt("meta section is not a map".to_string()))?;
+    let meta_u64 = |key: &str| -> Result<u64, SnapshotError> {
+        meta_fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_u64())
+            .ok_or_else(|| SnapshotError::Corrupt(format!("meta section is missing `{key}`")))
+    };
+    let meta_obscurity = meta_fields
+        .iter()
+        .find(|(k, _)| k == "obscurity")
+        .and_then(|(_, v)| v.as_str())
+        .ok_or_else(|| SnapshotError::Corrupt("meta section is missing `obscurity`".to_string()))?;
+    // The header line is outside any CRC; the meta section repeats the
+    // obscurity *inside* one, so a flipped header byte cannot silently
+    // serve counts captured at another level.
+    if meta_obscurity != obscurity.name() {
+        return Err(SnapshotError::Corrupt(
+            "body obscurity disagrees with header".to_string(),
+        ));
+    }
+    let log_len = meta_u64("log_len")?;
+    let log_chunks = meta_u64("log_chunks")?;
+    let query_count = meta_u64("query_count")?;
+    if sections != 5 + log_chunks {
+        return Err(SnapshotError::Corrupt(format!(
+            "header promises {sections} sections but meta implies {}",
+            5 + log_chunks
+        )));
+    }
+    let mut queries: Vec<Query> = Vec::with_capacity(log_len.min(1 << 20) as usize);
+    for chunk in 0..log_chunks {
+        let payload = expect(&format!("log/{chunk}"))?;
+        let entries = payload.as_seq().ok_or_else(|| {
+            SnapshotError::Corrupt(format!("log chunk {chunk} is not a sequence"))
+        })?;
+        for entry in entries {
+            queries.push(
+                Query::from_value(entry)
+                    .map_err(|e| SnapshotError::Corrupt(format!("log chunk {chunk}: {e}")))?,
+            );
+        }
+    }
+    if queries.len() as u64 != log_len {
+        return Err(SnapshotError::Corrupt(format!(
+            "log sections hold {} queries, meta promises {log_len}",
+            queries.len()
+        )));
+    }
+    let fragments = expect("qfg/fragments")?;
+    let occurrences = expect("qfg/occurrences")?;
+    let adjacency = expect("qfg/adjacency")?;
+    let runs = expect("qfg/runs")?;
+    let mut probe = [0u8; 1];
+    if reader.read(&mut probe)? != 0 {
+        return Err(SnapshotError::Corrupt(
+            "trailing bytes after the final section".to_string(),
+        ));
+    }
+    let qfg = QueryFragmentGraph::from_sections(
+        obscurity,
+        query_count,
+        &fragments,
+        &occurrences,
+        &adjacency,
+        &runs,
+    )
+    .map_err(SnapshotError::Corrupt)?;
+    Ok(Snapshot {
+        log: QueryLog::from_queries(queries),
+        qfg,
+    })
 }
 
 /// Load a v1 body: deserialize the stored log and rebuild the columnar graph
@@ -243,6 +504,26 @@ fn migrate_v1(body: &str, obscurity: Obscurity) -> Result<Snapshot, SnapshotErro
 
 fn parse_obscurity(name: &str) -> Option<Obscurity> {
     Obscurity::ALL.into_iter().find(|o| o.name() == name)
+}
+
+/// Write a snapshot in the retired v2 format: one monolithic JSON document
+/// holding the log and the *compacted* columnar graph.  Kept so migration
+/// tests (and the v2→v3 property suite) can produce byte-faithful v2
+/// artifacts with the writer this build no longer uses in production.
+pub fn write_snapshot_v2(
+    path: &Path,
+    log: &QueryLog,
+    qfg: &QueryFragmentGraph,
+) -> Result<(), SnapshotError> {
+    let header = format!("{SNAPSHOT_MAGIC} v2 obscurity={}\n", qfg.obscurity().name());
+    let body_value = serde::Value::Map(vec![
+        ("log".to_string(), serde::Serialize::to_value(log)),
+        ("qfg".to_string(), serde::Serialize::to_value(qfg)),
+    ]);
+    let body =
+        serde_json::to_string(&body_value).map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+    fs::write(path, header + &body)?;
+    Ok(())
 }
 
 /// Write a snapshot in the retired v1 format: `n_v` as `[fragment, count]`
@@ -324,10 +605,42 @@ mod tests {
     fn round_trip_preserves_log_and_counts() {
         let (log, qfg) = sample_state(Obscurity::NoConstOp);
         let path = temp_path("roundtrip");
-        write_snapshot(&path, &log, &qfg).unwrap();
+        let bytes = write_snapshot(&path, &log, &qfg).unwrap();
+        assert_eq!(
+            bytes,
+            fs::metadata(&path).unwrap().len(),
+            "the writer's byte count must match the file on disk"
+        );
         let snapshot = read_snapshot(&path, Obscurity::NoConstOp).unwrap();
         assert_eq!(snapshot.log, log);
         assert_eq!(snapshot.qfg, qfg);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn round_trip_preserves_pending_runs_without_compacting() {
+        // The v2 writer compacted a clone of the graph; the v3 writer
+        // serializes pending tiered runs verbatim, so a snapshot taken
+        // mid-churn restores with the same pending work.
+        let (log, mut qfg) = sample_state(Obscurity::NoConstOp);
+        let mut log = log;
+        let (extra, _) = QueryLog::from_sql([
+            "SELECT p.year FROM publication p",
+            "SELECT p.title FROM publication p WHERE p.year > 2011",
+        ]);
+        for query in extra.queries() {
+            log.push(query.clone());
+            qfg.ingest(query);
+        }
+        assert!(!qfg.is_compacted());
+        let pending = qfg.pending_delta_len();
+        assert!(pending > 0);
+        let path = temp_path("pending-runs");
+        write_snapshot(&path, &log, &qfg).unwrap();
+        let snapshot = read_snapshot(&path, Obscurity::NoConstOp).unwrap();
+        assert_eq!(snapshot.qfg, qfg);
+        assert!(!snapshot.qfg.is_compacted());
+        assert_eq!(snapshot.qfg.pending_delta_len(), pending);
         fs::remove_file(&path).ok();
     }
 
@@ -395,8 +708,10 @@ mod tests {
         let (log, qfg) = sample_state(Obscurity::NoConstOp);
         let path = temp_path("watermark");
         write_snapshot_with_watermark(&path, &log, &qfg, Some(42)).unwrap();
-        let text = fs::read_to_string(&path).unwrap();
-        assert!(text.starts_with("TEMPLAR-SNAPSHOT v2 obscurity=NoConstOp watermark=42\n"));
+        let text = fs::read(&path).unwrap();
+        assert!(
+            text.starts_with(b"TEMPLAR-SNAPSHOT v3 obscurity=NoConstOp watermark=42 sections=6\n")
+        );
         let (snapshot, watermark) =
             read_snapshot_with_watermark(&path, Obscurity::NoConstOp).unwrap();
         assert_eq!(watermark, 42);
@@ -421,12 +736,25 @@ mod tests {
     }
 
     #[test]
-    fn written_snapshots_carry_the_v2_header() {
+    fn written_snapshots_carry_the_v3_header() {
         let (log, qfg) = sample_state(Obscurity::NoConstOp);
-        let path = temp_path("v2header");
+        let path = temp_path("v3header");
         write_snapshot(&path, &log, &qfg).unwrap();
+        let text = fs::read(&path).unwrap();
+        assert!(text.starts_with(b"TEMPLAR-SNAPSHOT v3 obscurity=NoConstOp sections=6\n"));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_snapshots_still_load_natively() {
+        let (log, qfg) = sample_state(Obscurity::NoConstOp);
+        let path = temp_path("v2load");
+        write_snapshot_v2(&path, &log, &qfg).unwrap();
         let text = fs::read_to_string(&path).unwrap();
         assert!(text.starts_with("TEMPLAR-SNAPSHOT v2 obscurity=NoConstOp\n"));
+        let snapshot = read_snapshot(&path, Obscurity::NoConstOp).unwrap();
+        assert_eq!(snapshot.log, log);
+        assert_eq!(snapshot.qfg, qfg);
         fs::remove_file(&path).ok();
     }
 
@@ -486,6 +814,12 @@ mod tests {
             read_snapshot(&path, Obscurity::Full),
             Err(SnapshotError::UnsupportedVersion { found: 0, .. })
         ));
+        // A header with no newline within the scan bound is not a snapshot.
+        fs::write(&path, "TEMPLAR-SNAPSHOT v3 obscurity=Full sections=6").unwrap();
+        assert!(matches!(
+            read_snapshot(&path, Obscurity::Full),
+            Err(SnapshotError::BadMagic)
+        ));
         fs::remove_file(&path).ok();
     }
 
@@ -519,6 +853,12 @@ mod tests {
             read_snapshot(&path, Obscurity::NoConstOp),
             Err(SnapshotError::Corrupt(_))
         ));
+        // A v3 header without its section count cannot be read.
+        fs::write(&path, "TEMPLAR-SNAPSHOT v3 obscurity=NoConstOp\n").unwrap();
+        assert!(matches!(
+            read_snapshot(&path, Obscurity::NoConstOp),
+            Err(SnapshotError::Corrupt(_))
+        ));
         fs::remove_file(&path).ok();
     }
 
@@ -526,7 +866,7 @@ mod tests {
     fn truncated_csr_is_rejected_as_corrupt() {
         let (log, qfg) = sample_state(Obscurity::NoConstOp);
         let path = temp_path("truncated-csr");
-        write_snapshot(&path, &log, &qfg).unwrap();
+        write_snapshot_v2(&path, &log, &qfg).unwrap();
         let text = fs::read_to_string(&path).unwrap();
         // Drop one entry from the counts column: offsets now promise more
         // edges than the columns hold.
@@ -551,24 +891,135 @@ mod tests {
         fs::remove_file(&path).ok();
     }
 
-    /// The end-to-end migration proof: a service state persisted with the
-    /// old v1 writer restores through the v2 loader and serves *identical*
-    /// translations (queries and scores) to the same state persisted as v2.
+    /// Walk the section frames of a v3 snapshot, returning the byte offset
+    /// where each section ends (the first offset is the end of the header).
+    fn section_boundaries(bytes: &[u8]) -> Vec<usize> {
+        let header_end = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+        let mut boundaries = vec![header_end];
+        let mut at = header_end;
+        while at + SECTION_FRAME_HEADER <= bytes.len() {
+            let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+            at += SECTION_FRAME_HEADER + len;
+            boundaries.push(at);
+        }
+        assert_eq!(at, bytes.len(), "walker must land exactly on EOF");
+        boundaries
+    }
+
+    /// The snapshot-section analogue of the WAL torn-write matrix: a crash
+    /// that leaves a prefix of the temp file — cut exactly on a section
+    /// boundary or anywhere inside a frame — must never load as a valid
+    /// snapshot.  (In production the atomic rename already hides torn temp
+    /// files; this pins the reader's own defense in depth.)
     #[test]
-    fn v1_snapshot_restores_and_serves_identically_under_v2() {
+    fn torn_sections_are_rejected_at_every_boundary() {
+        let (log, qfg) = sample_state(Obscurity::NoConstOp);
+        let path = temp_path("torn-sections");
+        write_snapshot_with_watermark(&path, &log, &qfg, Some(7)).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        let boundaries = section_boundaries(&bytes);
+        assert_eq!(boundaries.len(), 7, "6 sections + the header boundary");
+        let torn = temp_path("torn-sections-cut");
+        let mut cuts: Vec<usize> = Vec::new();
+        for &b in &boundaries[..boundaries.len() - 1] {
+            // On the boundary, mid-frame-header, and mid-body.
+            cuts.extend([b, b + 3, b + SECTION_FRAME_HEADER + 1]);
+        }
+        for cut in cuts {
+            fs::write(&torn, &bytes[..cut]).unwrap();
+            match read_snapshot(&torn, Obscurity::NoConstOp) {
+                Err(SnapshotError::Corrupt(_)) => {}
+                other => panic!("cut at {cut}: expected Corrupt, got {other:?}"),
+            }
+        }
+        // A single flipped payload bit is caught by the section CRC.
+        let mut flipped = bytes.clone();
+        let target = boundaries[1] + SECTION_FRAME_HEADER + 4;
+        flipped[target] ^= 0x01;
+        fs::write(&torn, &flipped).unwrap();
+        match read_snapshot(&torn, Obscurity::NoConstOp) {
+            Err(SnapshotError::Corrupt(detail)) => {
+                assert!(detail.contains("CRC"), "detail was: {detail}")
+            }
+            other => panic!("expected a CRC failure, got {other:?}"),
+        }
+        // Trailing garbage after the last section is corruption too.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        fs::write(&torn, &extended).unwrap();
+        assert!(matches!(
+            read_snapshot(&torn, Obscurity::NoConstOp),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        // And the pristine bytes still load.
+        fs::write(&torn, &bytes).unwrap();
+        read_snapshot(&torn, Obscurity::NoConstOp).unwrap();
+        fs::remove_file(&path).ok();
+        fs::remove_file(&torn).ok();
+    }
+
+    /// The end-to-end migration proof: a service state persisted with the
+    /// old v1 writer restores through the current loader and serves
+    /// *identical* translations (queries and scores) to the same state
+    /// persisted as v3.
+    #[test]
+    fn v1_snapshot_restores_and_serves_identically_under_v3() {
         use crate::config::ServiceConfig;
         use crate::server::TemplarService;
-        use nlidb::Nlq;
-        use relational::{DataType, Database, Schema};
-        use sqlparse::BinOp;
+        use relational::Database;
         use std::sync::Arc;
-        use templar_core::{Keyword, KeywordMetadata, TemplarConfig};
+        use templar_core::TemplarConfig;
 
+        let db = Arc::new(academic_db());
+        let (log, skipped) = QueryLog::from_sql([
+            "SELECT p.title FROM publication p WHERE p.year > 1995",
+            "SELECT j.name FROM journal j",
+            "SELECT p.title FROM publication p, journal j WHERE j.name = 'TKDE' AND p.jid = j.jid",
+        ]);
+        assert_eq!(skipped, 0);
+        let qfg = QueryFragmentGraph::build(&log, Obscurity::NoConstOp);
+        let v1_path = temp_path("serve-v1");
+        let v3_path = temp_path("serve-v3");
+        write_snapshot_v1(&v1_path, &log, &qfg).unwrap();
+        write_snapshot(&v3_path, &log, &qfg).unwrap();
+
+        let nlq = papers_after_2000();
+        let from_v1 = TemplarService::spawn_from_snapshot(
+            Arc::clone(&db),
+            &v1_path,
+            TemplarConfig::paper_defaults(),
+            ServiceConfig::default(),
+        )
+        .expect("v1 snapshots must keep loading via the migration path");
+        let from_v3 = TemplarService::spawn_from_snapshot(
+            Arc::<Database>::clone(&db),
+            &v3_path,
+            TemplarConfig::paper_defaults(),
+            ServiceConfig::default(),
+        )
+        .unwrap();
+        let a = from_v1.translate(&nlq).unwrap();
+        let b = from_v3.translate(&nlq).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.query.to_string(), y.query.to_string());
+            assert!((x.score - y.score).abs() < 1e-12);
+        }
+        // Re-saving the migrated state produces a v3 snapshot.
+        from_v1.save_snapshot(&v1_path).unwrap();
+        let text = fs::read(&v1_path).unwrap();
+        assert!(text.starts_with(b"TEMPLAR-SNAPSHOT v3 "));
+        fs::remove_file(&v1_path).ok();
+        fs::remove_file(&v3_path).ok();
+    }
+
+    fn academic_db() -> relational::Database {
+        use relational::{DataType, Database, Schema};
         let schema = Schema::builder("academic")
             .relation(
                 "publication",
                 &[
-                    ("pid", relational::DataType::Integer),
+                    ("pid", DataType::Integer),
                     ("title", DataType::Text),
                     ("year", DataType::Integer),
                     ("jid", DataType::Integer),
@@ -589,21 +1040,13 @@ mod tests {
         )
         .unwrap();
         db.insert("journal", vec![1.into(), "TKDE".into()]).unwrap();
-        let db = Arc::new(db);
+        db
+    }
 
-        let (log, skipped) = QueryLog::from_sql([
-            "SELECT p.title FROM publication p WHERE p.year > 1995",
-            "SELECT j.name FROM journal j",
-            "SELECT p.title FROM publication p, journal j WHERE j.name = 'TKDE' AND p.jid = j.jid",
-        ]);
-        assert_eq!(skipped, 0);
-        let qfg = QueryFragmentGraph::build(&log, Obscurity::NoConstOp);
-        let v1_path = temp_path("serve-v1");
-        let v2_path = temp_path("serve-v2");
-        write_snapshot_v1(&v1_path, &log, &qfg).unwrap();
-        write_snapshot(&v2_path, &log, &qfg).unwrap();
-
-        let nlq = Nlq::new(
+    fn papers_after_2000() -> nlidb::Nlq {
+        use sqlparse::BinOp;
+        use templar_core::{Keyword, KeywordMetadata};
+        nlidb::Nlq::new(
             "Return the papers after 2000",
             vec![
                 (Keyword::new("papers"), KeywordMetadata::select()),
@@ -613,40 +1056,66 @@ mod tests {
                 ),
             ],
             vec![],
-        );
-        let from_v1 = TemplarService::spawn_from_snapshot(
-            Arc::clone(&db),
-            &v1_path,
-            TemplarConfig::paper_defaults(),
-            ServiceConfig::default(),
         )
-        .expect("v1 snapshots must keep loading via the migration path");
-        let from_v2 = TemplarService::spawn_from_snapshot(
-            db,
-            &v2_path,
+    }
+
+    /// A snapshot written by the *pre-refactor* build (checked in as a test
+    /// fixture, byte-for-byte as its v2 writer produced it) must keep
+    /// loading and serve byte-identical top-3 translations to a freshly
+    /// built state over the same log.
+    #[test]
+    fn pre_refactor_v2_fixture_serves_byte_identical_translations() {
+        use crate::config::ServiceConfig;
+        use crate::server::TemplarService;
+        use std::sync::Arc;
+        use templar_core::TemplarConfig;
+
+        let fixture = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests")
+            .join("data")
+            .join("pre_refactor_v2.snapshot");
+        let db = Arc::new(academic_db());
+        let snapshot = read_snapshot(&fixture, Obscurity::NoConstOp)
+            .expect("the pre-refactor fixture must keep loading");
+        let from_fixture = TemplarService::spawn_from_snapshot(
+            Arc::clone(&db),
+            &fixture,
             TemplarConfig::paper_defaults(),
             ServiceConfig::default(),
         )
         .unwrap();
-        let a = from_v1.translate(&nlq).unwrap();
-        let b = from_v2.translate(&nlq).unwrap();
+        // The same log, built fresh through the current code path.
+        let fresh_qfg = QueryFragmentGraph::build(&snapshot.log, Obscurity::NoConstOp);
+        assert_eq!(fresh_qfg, snapshot.qfg);
+        let fresh_path = temp_path("fixture-fresh");
+        write_snapshot(&fresh_path, &snapshot.log, &fresh_qfg).unwrap();
+        let from_fresh = TemplarService::spawn_from_snapshot(
+            db,
+            &fresh_path,
+            TemplarConfig::paper_defaults(),
+            ServiceConfig::default(),
+        )
+        .unwrap();
+        let nlq = papers_after_2000();
+        let a = from_fixture.translate(&nlq).unwrap();
+        let b = from_fresh.translate(&nlq).unwrap();
+        assert!(!a.is_empty());
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.query.to_string(), y.query.to_string());
-            assert!((x.score - y.score).abs() < 1e-12);
+            assert_eq!(
+                x.score.to_bits(),
+                y.score.to_bits(),
+                "fixture-served scores must be byte-identical"
+            );
         }
-        // Re-saving the migrated state produces a v2 snapshot.
-        from_v1.save_snapshot(&v1_path).unwrap();
-        let text = fs::read_to_string(&v1_path).unwrap();
-        assert!(text.starts_with("TEMPLAR-SNAPSHOT v2 "));
-        fs::remove_file(&v1_path).ok();
-        fs::remove_file(&v2_path).ok();
+        fs::remove_file(&fresh_path).ok();
     }
 
     #[test]
-    fn v2_snapshots_are_smaller_than_v1() {
-        // The columnar body writes each fragment once; the v1 pair encoding
-        // repeated fragments once per incident edge.
+    fn columnar_snapshots_are_smaller_than_v1() {
+        // The columnar sections write each fragment once; the v1 pair
+        // encoding repeated fragments once per incident edge.
         let mut sql: Vec<String> = Vec::new();
         for year in 0..40 {
             sql.push(format!(
@@ -657,16 +1126,15 @@ mod tests {
         let (log, _) = QueryLog::from_sql(sql.iter().map(String::as_str));
         let qfg = QueryFragmentGraph::build(&log, Obscurity::NoConstOp);
         let v1 = temp_path("size-v1");
-        let v2 = temp_path("size-v2");
+        let v3 = temp_path("size-v3");
         write_snapshot_v1(&v1, &log, &qfg).unwrap();
-        write_snapshot(&v2, &log, &qfg).unwrap();
+        let v3_len = write_snapshot(&v3, &log, &qfg).unwrap();
         let v1_len = fs::metadata(&v1).unwrap().len();
-        let v2_len = fs::metadata(&v2).unwrap().len();
         assert!(
-            v2_len < v1_len,
-            "v2 snapshot ({v2_len} B) should be smaller than v1 ({v1_len} B)"
+            v3_len < v1_len,
+            "v3 snapshot ({v3_len} B) should be smaller than v1 ({v1_len} B)"
         );
         fs::remove_file(&v1).ok();
-        fs::remove_file(&v2).ok();
+        fs::remove_file(&v3).ok();
     }
 }

@@ -39,12 +39,27 @@ const SHARDS: usize = 8;
 /// never an oracle).
 const MEMO_CAP: usize = 256;
 
+/// Append one canonically-serialized component to a cache key: the
+/// component's JSON form behind an explicit byte-length prefix.  The length
+/// prefix makes concatenation unambiguous whatever the content — no two
+/// distinct component sequences can collide by resegmentation.
+fn push_canonical<T: serde::Serialize>(key: &mut String, part: &T) {
+    let json = serde_json::to_string(part).expect("canonical key serialization is infallible");
+    key.push_str(&format!("{}:", json.len()));
+    key.push_str(&json);
+}
+
 /// The cache key of one translate request: the question normalized
 /// (lowercased, whitespace collapsed), the exact keyword tuples, and the
 /// override signature.  λ is keyed by its *bit pattern* so `0.3` and the
 /// nearest-but-different float never alias; `search_budget` and the other
 /// structural parameters are fixed per tenant and covered by the epoch, so
 /// they do not appear here.
+///
+/// Keyword tuples are keyed by their *canonical serialization*
+/// ([`push_canonical`]), not their `Debug` format — `Debug` output is
+/// explicitly not a stability contract, and a derived formatter neither
+/// escapes field separators nor pins its shape across refactors.
 pub(crate) fn request_key(
     nlq: &str,
     keywords: &[(Keyword, KeywordMetadata)],
@@ -57,9 +72,12 @@ pub(crate) fn request_key(
         }
         key.extend(word.chars().flat_map(char::to_lowercase));
     }
-    // `Debug` on the keyword tuples is deterministic and injective enough:
-    // it spells out every field of `Keyword` and `KeywordMetadata`.
-    key.push_str(&format!("\u{1}{keywords:?}\u{1}"));
+    key.push('\u{1}');
+    for (keyword, meta) in keywords {
+        push_canonical(&mut key, keyword);
+        push_canonical(&mut key, meta);
+    }
+    key.push('\u{1}');
     match overrides.lambda {
         Some(lambda) => key.push_str(&format!("l{:016x}", lambda.to_bits())),
         None => key.push('-'),
@@ -268,7 +286,10 @@ impl Drop for BatchGuard<'_> {
 }
 
 fn memo_key(keyword: &Keyword, meta: &KeywordMetadata) -> String {
-    format!("{keyword:?}\u{1}{meta:?}")
+    let mut key = String::new();
+    push_canonical(&mut key, keyword);
+    push_canonical(&mut key, meta);
+    key
 }
 
 #[cfg(test)]
@@ -300,6 +321,57 @@ mod tests {
         assert_ne!(a, request_key("papers after 2000", &keywords, &with_lambda));
         let other_keywords = vec![(Keyword::new("authors"), KeywordMetadata::select())];
         assert_ne!(a, request_key("papers after 2000", &other_keywords, &base));
+    }
+
+    #[test]
+    fn keys_are_canonical_collision_free_and_pinned() {
+        use sqlparse::BinOp;
+        let base = RequestOverrides::default();
+        let select = KeywordMetadata::select;
+        // Resegmentation attack: the same concatenated text split across
+        // different keyword boundaries must produce different keys (the
+        // Debug-format key had no length prefixes, so separator-free
+        // adjacent fields could alias).
+        let ab_c = vec![
+            (Keyword::new("ab"), select()),
+            (Keyword::new("c"), select()),
+        ];
+        let a_bc = vec![
+            (Keyword::new("a"), select()),
+            (Keyword::new("bc"), select()),
+        ];
+        assert_ne!(
+            request_key("q", &ab_c, &base),
+            request_key("q", &a_bc, &base)
+        );
+        // Keyword text carrying the key separator and JSON metacharacters
+        // stays unambiguous behind the length prefix.
+        let hostile = vec![(Keyword::new("x\u{1}21:{\"text\":\"y\"}"), select())];
+        let inner = vec![(Keyword::new("x"), select()), (Keyword::new("y"), select())];
+        assert_ne!(
+            request_key("q", &hostile, &base),
+            request_key("q", &inner, &base)
+        );
+        // Stability pin: the canonical layout is a compatibility contract —
+        // normalized question, SOH-delimited length-prefixed JSON tuples,
+        // then the override signature.  A formatter or derive change that
+        // shifts this layout must fail here, not silently split the cache.
+        let kws = vec![(
+            Keyword::new("after 2000"),
+            KeywordMetadata::filter_with_op(BinOp::Gt),
+        )];
+        assert_eq!(
+            request_key("Papers  after\t2000", &kws, &base),
+            "papers after 2000\u{1}\
+             21:{\"text\":\"after 2000\"}\
+             62:{\"context\":\"Where\",\"op\":\"Gt\",\"aggregates\":[],\"group_by\":false}\
+             \u{1}---"
+        );
+        assert_eq!(
+            memo_key(&kws[0].0, &kws[0].1),
+            "21:{\"text\":\"after 2000\"}\
+             62:{\"context\":\"Where\",\"op\":\"Gt\",\"aggregates\":[],\"group_by\":false}"
+        );
     }
 
     #[test]

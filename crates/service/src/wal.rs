@@ -321,12 +321,15 @@ impl WalWriter {
     }
 }
 
+/// One decoded journal record: its sequence number and raw SQL payload.
+pub type ReplayedEntry = (u64, String);
+
 /// The outcome of replaying the journal tail above a watermark.
 #[derive(Debug)]
 pub struct WalReplay {
     /// The surviving entries with sequence numbers strictly above the
     /// watermark, in append order.
-    pub entries: Vec<(u64, String)>,
+    pub entries: Vec<ReplayedEntry>,
     /// The sequence number the next append must receive (one past the last
     /// record on disk, whether or not it was above the watermark).
     pub next_seq: u64,
@@ -334,18 +337,75 @@ pub struct WalReplay {
     pub truncated_bytes: u64,
 }
 
+/// Summary statistics of a batched replay ([`replay_batched`]).
+#[derive(Debug)]
+pub struct WalReplayStats {
+    /// The sequence number the next append must receive (one past the last
+    /// record on disk, whether or not it was above the watermark).
+    pub next_seq: u64,
+    /// Bytes cut off the final segment's torn tail (0 on a clean journal).
+    pub truncated_bytes: u64,
+    /// Entries above the watermark handed to the sink, across all batches.
+    pub replayed: u64,
+    /// The largest decoded batch handed to the sink, in accounted bytes
+    /// (payload plus per-entry bookkeeping).  At most
+    /// `max(budget, largest single entry)` — an entry bigger than the whole
+    /// budget forms a batch of its own rather than being dropped.
+    pub peak_batch_bytes: u64,
+    /// How many times the sink was invoked.
+    pub batches: u64,
+}
+
+/// Accounted in-memory cost of one decoded entry: the SQL payload plus the
+/// tuple bookkeeping it rides in.
+const ENTRY_OVERHEAD: usize = std::mem::size_of::<(u64, String)>();
+
 /// Replay the journal: read every segment, verify contiguity and framing,
 /// truncate a torn final record, and return the entries above `watermark`.
 ///
 /// An empty or missing journal directory replays to nothing with
 /// `next_seq = watermark + 1` — a fresh service.
+///
+/// This eager form materializes the whole tail; recovery paths that must
+/// bound peak memory use [`replay_batched`] directly.
 pub fn replay(dir: &Path, watermark: u64) -> Result<WalReplay, WalError> {
+    let mut entries = Vec::new();
+    let stats = replay_batched(dir, watermark, usize::MAX, &mut |batch| {
+        entries.extend_from_slice(batch)
+    })?;
+    Ok(WalReplay {
+        entries,
+        next_seq: stats.next_seq,
+        truncated_bytes: stats.truncated_bytes,
+    })
+}
+
+/// Replay the journal tail above `watermark` in bounded-memory batches.
+///
+/// Decoded entries accumulate until admitting the next one would push the
+/// batch past `batch_budget_bytes`; the batch is then handed to `sink` and
+/// the buffer reused.  A single entry larger than the whole budget still
+/// flows through as a batch of one, so the bound on decoded-entry memory is
+/// `max(batch_budget_bytes, largest entry)` — never the size of the tail.
+/// Segment contiguity checks, benign-gap tolerance, and torn-tail physical
+/// truncation are identical to [`replay`] (which is a collect-all wrapper
+/// over this function).
+pub fn replay_batched(
+    dir: &Path,
+    watermark: u64,
+    batch_budget_bytes: usize,
+    sink: &mut dyn FnMut(&[ReplayedEntry]),
+) -> Result<WalReplayStats, WalError> {
     let segments = match list_segments(dir) {
         Ok(segments) => segments,
         Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
         Err(e) => return Err(WalError::Io(e)),
     };
-    let mut entries = Vec::new();
+    let mut batch: Vec<(u64, String)> = Vec::new();
+    let mut batch_bytes = 0usize;
+    let mut replayed = 0u64;
+    let mut peak_batch_bytes = 0u64;
+    let mut batches = 0u64;
     let mut next_seq = watermark + 1;
     let mut truncated_bytes = 0u64;
     for (index, (first_seq, path)) in segments.iter().enumerate() {
@@ -404,14 +464,31 @@ pub fn replay(dir: &Path, watermark: u64) -> Result<WalReplay, WalError> {
             let seq = next_seq;
             next_seq += 1;
             if seq > watermark {
-                entries.push((seq, sql));
+                let cost = sql.len() + ENTRY_OVERHEAD;
+                if !batch.is_empty() && batch_bytes.saturating_add(cost) > batch_budget_bytes {
+                    peak_batch_bytes = peak_batch_bytes.max(batch_bytes as u64);
+                    batches += 1;
+                    sink(&batch);
+                    batch.clear();
+                    batch_bytes = 0;
+                }
+                batch_bytes += cost;
+                replayed += 1;
+                batch.push((seq, sql));
             }
         }
     }
-    Ok(WalReplay {
-        entries,
+    if !batch.is_empty() {
+        peak_batch_bytes = peak_batch_bytes.max(batch_bytes as u64);
+        batches += 1;
+        sink(&batch);
+    }
+    Ok(WalReplayStats {
         next_seq: next_seq.max(watermark + 1),
         truncated_bytes,
+        replayed,
+        peak_batch_bytes,
+        batches,
     })
 }
 
@@ -849,5 +926,106 @@ mod tests {
         let replayed = replay(&dir, 7).unwrap();
         assert!(replayed.entries.is_empty());
         assert_eq!(replayed.next_seq, 8);
+    }
+
+    #[test]
+    fn batched_replay_matches_eager_replay_under_any_budget() {
+        let dir = temp_wal_dir("batched-equiv");
+        let mut wal = WalWriter::create(&dir, 1, fast_config()).unwrap();
+        let statements: Vec<String> = (0..17)
+            .map(|i| format!("SELECT col{i} FROM t{} WHERE x > {i}", i % 3))
+            .collect();
+        for sql in &statements {
+            wal.append(sql);
+        }
+        wal.sync().unwrap();
+        let eager = replay(&dir, 3).unwrap();
+        for budget in [1usize, 64, 200, 1 << 20, usize::MAX] {
+            let mut collected = Vec::new();
+            let mut sink_calls = 0u64;
+            let stats = replay_batched(&dir, 3, budget, &mut |batch| {
+                assert!(!batch.is_empty(), "sink never sees an empty batch");
+                sink_calls += 1;
+                collected.extend_from_slice(batch);
+            })
+            .unwrap();
+            assert_eq!(collected, eager.entries, "budget {budget}");
+            assert_eq!(stats.next_seq, eager.next_seq);
+            assert_eq!(stats.truncated_bytes, 0);
+            assert_eq!(stats.replayed, eager.entries.len() as u64);
+            assert_eq!(stats.batches, sink_calls);
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_budget_bounds_the_peak_and_oversized_entries_ride_alone() {
+        let dir = temp_wal_dir("batched-budget");
+        let mut wal = WalWriter::create(&dir, 1, fast_config()).unwrap();
+        let small = "SELECT a FROM t";
+        let huge = format!("SELECT {} FROM t", "x, ".repeat(400));
+        for _ in 0..6 {
+            wal.append(small);
+        }
+        wal.append(&huge);
+        wal.append(small);
+        wal.sync().unwrap();
+
+        let budget = 2 * (small.len() + ENTRY_OVERHEAD) + 1;
+        let mut batch_sizes = Vec::new();
+        let stats = replay_batched(&dir, 0, budget, &mut |batch| {
+            batch_sizes.push(batch.len());
+        })
+        .unwrap();
+        assert_eq!(stats.replayed, 8);
+        assert_eq!(batch_sizes.iter().sum::<usize>(), 8);
+        // Small entries pack two to a batch; the huge entry exceeds the whole
+        // budget and still flows through as a batch of one.
+        assert!(batch_sizes.contains(&1), "oversized entry rides alone");
+        assert!(batch_sizes.iter().all(|&n| n <= 2));
+        let huge_cost = (huge.len() + ENTRY_OVERHEAD) as u64;
+        assert_eq!(
+            stats.peak_batch_bytes, huge_cost,
+            "peak is max(budget, largest entry)"
+        );
+        assert_eq!(stats.batches, batch_sizes.len() as u64);
+
+        // A generous budget folds everything into one batch whose size is
+        // the exact sum of accounted entry costs.
+        let mut batches = 0u64;
+        let stats = replay_batched(&dir, 0, 1 << 20, &mut |_| batches += 1).unwrap();
+        assert_eq!(batches, 1);
+        let total_cost = 7 * (small.len() + ENTRY_OVERHEAD) as u64 + huge_cost;
+        assert_eq!(stats.peak_batch_bytes, total_cost);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batched_replay_still_truncates_a_torn_tail() {
+        let dir = temp_wal_dir("batched-torn");
+        let mut wal = WalWriter::create(&dir, 1, fast_config()).unwrap();
+        wal.append("SELECT a FROM t");
+        wal.append("SELECT b FROM t");
+        wal.sync().unwrap();
+        // Tear the final record: chop bytes off the segment's tail.
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let len = fs::metadata(&path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(len - 3).unwrap();
+        file.sync_all().unwrap();
+
+        let mut collected = Vec::new();
+        let stats = replay_batched(&dir, 0, 64, &mut |batch| {
+            collected.extend_from_slice(batch);
+        })
+        .unwrap();
+        assert_eq!(collected, vec![(1, "SELECT a FROM t".to_string())]);
+        assert!(stats.truncated_bytes > 0);
+        assert_eq!(stats.next_seq, 2);
+        // The truncation was physical: a second replay sees a clean journal.
+        let again = replay(&dir, 0).unwrap();
+        assert_eq!(again.truncated_bytes, 0);
+        assert_eq!(again.entries.len(), 1);
+        fs::remove_dir_all(&dir).ok();
     }
 }

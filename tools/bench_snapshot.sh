@@ -11,7 +11,9 @@
 # vendored criterion harness, and
 # collects their BENCHJSON result lines into one JSON document, so the
 # repository's perf trajectory is recorded per PR instead of living in
-# commit messages.
+# commit messages.  The scale_data_plane group records the data plane's
+# macro phases (scaled-log build, post-churn publish, v3 snapshot
+# write/read, bounded-memory WAL recovery) at 1x/100x/1000x MAS scale.
 #
 # Usage:
 #   tools/bench_snapshot.sh <output.json> [mean|smoke]
@@ -31,7 +33,7 @@ if [ $# -lt 1 ]; then
 fi
 OUT="$1"
 MODE="${2:-mean}"
-BENCHES=(keyword_mapping search_stress join_inference tracing_overhead service_throughput)
+BENCHES=(keyword_mapping search_stress join_inference tracing_overhead service_throughput scale_data_plane)
 
 EXTRA_ARGS=()
 if [ "$MODE" = "smoke" ]; then
