@@ -91,6 +91,11 @@ pub enum ApiError {
     },
     /// The tenant's ingestion queue is at capacity; retry later.
     Backpressure,
+    /// The tenant is in degraded read-only mode: its durable journal is
+    /// failing, so writes (`SubmitSql` / `Feedback`) are refused while
+    /// translations and observability keep serving.  Retry later — the
+    /// service heals itself once the journal recovers.
+    Degraded,
     /// The tenant (or the whole registry) is shutting down.
     ShuttingDown,
     /// The tenant's Templar facade could not be (re)constructed.
@@ -130,6 +135,12 @@ impl fmt::Display for ApiError {
             ApiError::TranslationFailed { kind } => write!(f, "translation failed: {kind}"),
             ApiError::Backpressure => {
                 write!(f, "ingestion queue at capacity (backpressure); retry later")
+            }
+            ApiError::Degraded => {
+                write!(
+                    f,
+                    "tenant is degraded (read-only): journal is failing; retry later"
+                )
             }
             ApiError::ShuttingDown => write!(f, "service is shutting down"),
             ApiError::Construction { error } => write!(f, "construction failed: {error}"),
@@ -179,6 +190,7 @@ mod tests {
                 kind: TranslateError::NoJoinPath,
             },
             ApiError::Backpressure,
+            ApiError::Degraded,
             ApiError::ShuttingDown,
             ApiError::Construction {
                 error: TemplarError::ObscurityMismatch {

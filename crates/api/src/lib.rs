@@ -29,7 +29,9 @@ pub mod response;
 
 pub use binary::{CodecError, WireCodec, HANDSHAKE_LEN, HANDSHAKE_MAGIC, MAX_FRAME_BYTES};
 pub use error::{ApiError, SnapshotRejection};
-pub use metrics::{HistogramBucket, MetricsReport, SlowQueryReport, StageLatencyReport};
+pub use metrics::{
+    HealthReport, HistogramBucket, MetricsReport, SlowQueryReport, StageLatencyReport,
+};
 pub use protocol::{
     decode_request, decode_response, encode_request, encode_response, RequestBody, RequestEnvelope,
     ResponseBody, ResponseEnvelope, PROTOCOL_VERSION,

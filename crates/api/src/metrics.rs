@@ -67,6 +67,29 @@ pub struct SlowQueryReport {
     pub cache_hit: bool,
 }
 
+/// One tenant's write-availability state, answered by the `Health` request
+/// — served even under admission overload (like the other observability
+/// reads), so an operator can always ask "is this tenant taking writes?".
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// `"healthy"` (full read/write) or `"degraded"` (read-only: the
+    /// durable journal is failing and writes are refused).
+    pub state: String,
+    /// Gauge form of `state`: 0 = healthy, 1 = degraded.
+    pub health_state: u64,
+    /// Write entries refused while degraded, since start.
+    pub degraded_entries_total: u64,
+    /// In-line journal sync retries after a failure, since start.
+    pub journal_retries_total: u64,
+    /// Degraded episodes healed (staged tail replayed, writes restored).
+    pub journal_heals_total: u64,
+    /// Journal filesystem failures absorbed, since start.
+    pub wal_io_errors: u64,
+    /// First OS errno of the most recent journal failure episode, encoded
+    /// as `errno + 1` (0 = none recorded).
+    pub wal_last_errno: u64,
+}
+
 /// A point-in-time view of one tenant's serving health.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct MetricsReport {
@@ -122,6 +145,19 @@ pub struct MetricsReport {
     pub wal_replayed: u64,
     pub wal_segments_gc: u64,
     pub wal_io_errors: u64,
+    /// First OS errno of the current (or most recent) journal failure
+    /// episode, encoded as `errno + 1` (0 = none recorded) — tells
+    /// operators `ENOSPC` (29) from `EIO` (6) straight from the report.
+    pub wal_last_errno: u64,
+    /// Write-availability state: 0 = healthy, 1 = degraded read-only
+    /// (journal failing; `SubmitSql`/`Feedback` refused with `Degraded`).
+    pub health_state: u64,
+    /// Write entries refused while degraded.
+    pub degraded_entries_total: u64,
+    /// In-line journal sync retries after a failure.
+    pub journal_retries_total: u64,
+    /// Degraded episodes healed (staged tail replayed, writes restored).
+    pub journal_heals_total: u64,
     /// Bytes cut off a torn journal tail at recovery (bounded data loss:
     /// acknowledged-but-unsynced entries that did not survive a crash).
     pub wal_truncated_bytes: u64,

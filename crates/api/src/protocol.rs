@@ -4,8 +4,8 @@
 //! carries the protocol version and a client-chosen correlation id:
 //!
 //! ```text
-//! {"version": 4, "id": 7, "body": {"Translate": {...}}}     → request
-//! {"version": 4, "id": 7, "ok": {...}, "err": null}          → response
+//! {"version": 5, "id": 7, "body": {"Translate": {...}}}     → request
+//! {"version": 5, "id": 7, "ok": {...}, "err": null}          → response
 //! ```
 //!
 //! The version field is checked *before* the body is decoded: an envelope
@@ -14,12 +14,20 @@
 //! Anything that fails to parse at all is [`ApiError::MalformedEnvelope`].
 
 use crate::error::ApiError;
-use crate::metrics::{MetricsReport, SlowQueryReport};
+use crate::metrics::{HealthReport, MetricsReport, SlowQueryReport};
 use crate::request::TranslateRequest;
 use crate::response::TranslateResponse;
 use serde::{Deserialize, Serialize, Value};
 
 /// The protocol generation this build speaks.
+///
+/// v5 (degraded serving): the `Health` operation was added (answered even
+/// under admission overload, like the other observability reads) with its
+/// `HealthReport` payload; `ApiError` gained the `Degraded` variant —
+/// returned for `SubmitSql`/`Feedback` when the tenant's durable journal
+/// is failing and the service is read-only; and `MetricsReport` gained the
+/// health/durability fields (`health_state`, `degraded_entries_total`,
+/// `journal_retries_total`, `journal_heals_total`, `wal_last_errno`).
 ///
 /// v4 (translation cache): `TranslateRequest` gained its `bypass_cache`
 /// flag (force a recompute past the server's epoch-keyed translation
@@ -38,7 +46,7 @@ use serde::{Deserialize, Serialize, Value};
 /// `search_budget_exhausted` explanations), the new fields are required on
 /// decode, so mixed-generation peers are rejected by the version check
 /// instead of failing mid-body.
-pub const PROTOCOL_VERSION: u32 = 4;
+pub const PROTOCOL_VERSION: u32 = 5;
 
 /// Operations a client can request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -81,6 +89,13 @@ pub enum RequestBody {
         /// The tenant to expose, or `None` for all tenants.
         tenant: Option<String>,
     },
+    /// Fetch a tenant's write-availability state (healthy vs degraded
+    /// read-only).  Exempt from admission control so the question "is this
+    /// tenant taking writes?" is answerable during an overload.
+    Health {
+        /// The tenant whose health is requested.
+        tenant: String,
+    },
 }
 
 impl RequestBody {
@@ -91,7 +106,8 @@ impl RequestBody {
             RequestBody::SubmitSql { tenant, .. }
             | RequestBody::Feedback { tenant, .. }
             | RequestBody::Metrics { tenant }
-            | RequestBody::SlowQueries { tenant } => Some(tenant),
+            | RequestBody::SlowQueries { tenant }
+            | RequestBody::Health { tenant } => Some(tenant),
             RequestBody::Prometheus { tenant } => tenant.as_deref(),
         }
     }
@@ -127,6 +143,8 @@ pub enum ResponseBody {
     SlowQueries(Vec<SlowQueryReport>),
     /// A Prometheus text-format exposition of the requested tenants.
     Prometheus(String),
+    /// The tenant's write-availability state.
+    Health(HealthReport),
 }
 
 /// A versioned request envelope.
@@ -393,8 +411,44 @@ mod tests {
     }
 
     #[test]
+    fn health_bodies_round_trip() {
+        let request = RequestEnvelope::new(
+            12,
+            RequestBody::Health {
+                tenant: "mas".into(),
+            },
+        );
+        assert!(
+            !request.body.is_admission_controlled(),
+            "health must be answerable during an overload"
+        );
+        assert_eq!(decode_request(&encode_request(&request)).unwrap(), request);
+        let response = ResponseEnvelope::success(
+            12,
+            ResponseBody::Health(HealthReport {
+                state: "degraded".into(),
+                health_state: 1,
+                degraded_entries_total: 3,
+                journal_retries_total: 7,
+                journal_heals_total: 1,
+                wal_io_errors: 2,
+                wal_last_errno: 29, // ENOSPC (28) + 1
+            }),
+        );
+        assert_eq!(
+            decode_response(&encode_response(&response)).unwrap(),
+            response
+        );
+        let failure = ResponseEnvelope::failure(13, ApiError::Degraded);
+        assert_eq!(
+            decode_response(&encode_response(&failure)).unwrap(),
+            failure
+        );
+    }
+
+    #[test]
     fn malformed_lines_recover_the_correlation_id_when_present() {
-        let line = r#"{"version": 4, "id": 11, "body": {"Nonsense": 1}}"#;
+        let line = r#"{"version": 5, "id": 11, "body": {"Nonsense": 1}}"#;
         match decode_request(line) {
             Err((id, ApiError::MalformedEnvelope { .. })) => assert_eq!(id, 11),
             other => panic!("expected MalformedEnvelope with id, got {other:?}"),

@@ -242,7 +242,7 @@ fn stage_latency() -> impl Strategy<Value = StageLatencyReport> {
 /// default and a field the codec drops cannot hide.
 fn metrics_report() -> impl Strategy<Value = MetricsReport> {
     (
-        proptest::collection::vec(0u64..1_000_000, 57..58),
+        proptest::collection::vec(0u64..1_000_000, 62..63),
         buckets(),
         proptest::collection::vec(stage_latency(), 0..3),
     )
@@ -276,6 +276,11 @@ fn metrics_report() -> impl Strategy<Value = MetricsReport> {
                 wal_replayed: n(),
                 wal_segments_gc: n(),
                 wal_io_errors: n(),
+                wal_last_errno: n(),
+                health_state: n(),
+                degraded_entries_total: n(),
+                journal_retries_total: n(),
+                journal_heals_total: n(),
                 wal_truncated_bytes: n(),
                 recovery_peak_batch_bytes: n(),
                 snapshot_body_bytes: n(),

@@ -127,9 +127,8 @@ impl Conn {
         if self.inbuf.len() < HANDSHAKE_LEN {
             return Greeted::NeedMore;
         }
-        let hello: [u8; HANDSHAKE_LEN] = self.inbuf[..HANDSHAKE_LEN]
-            .try_into()
-            .expect("length checked");
+        let mut hello = [0u8; HANDSHAKE_LEN];
+        hello.copy_from_slice(&self.inbuf[..HANDSHAKE_LEN]);
         match binary::decode_hello(&hello) {
             Ok(codec) => {
                 self.inbuf.drain(..HANDSHAKE_LEN);
@@ -196,7 +195,7 @@ impl Conn {
             if rest.len() < 4 {
                 break;
             }
-            let len = u32::from_le_bytes(rest[..4].try_into().expect("four bytes")) as usize;
+            let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
             if let Err(error) = binary::check_frame_len(len, max_unit_bytes) {
                 // The frame cannot be buffered, and without its body the
                 // stream position is lost: connection-fatal.

@@ -30,10 +30,14 @@
 //! [`RegistryClient`]: templar_service::RegistryClient
 //! [`ServerConfig::force_poll`]: server::ServerConfig
 
+// The serving plane must never panic on a hostile peer or a failing disk:
+// production code paths return typed errors instead of unwrapping.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod client;
 mod conn;
 mod poller;
 pub mod server;
 
-pub use client::{ClientError, TcpClient};
+pub use client::{is_retryable, retry_with_deadline, ClientError, TcpClient};
 pub use server::{ServerConfig, ServerStatsSnapshot, TemplarServer};

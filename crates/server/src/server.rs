@@ -532,7 +532,11 @@ impl Reactor {
     /// Read a bounded burst, parse, acquire admission slots, enqueue jobs.
     /// Returns true when the connection is finished.
     fn read_ready(&mut self, token: u64) -> bool {
-        let conn = self.conns.get_mut(&token).expect("caller checked");
+        let Some(conn) = self.conns.get_mut(&token) else {
+            // The caller looked the token up, but a racing close between the
+            // two lookups must not panic the reactor thread.
+            return true;
+        };
         let mut chunk = [0u8; READ_CHUNK];
         let mut budget = READ_BURST_CHUNKS;
         // Stop at the burst budget or once the buffer could already hold

@@ -232,6 +232,30 @@ fn tenant_quota_sheds_typed_backpressure_visible_in_prometheus() {
 }
 
 #[test]
+fn health_is_answered_while_admission_is_shedding() {
+    let registry = registry_with(ServiceConfig::default().with_max_inflight(1));
+    let server = TemplarServer::start(Arc::clone(&registry), ServerConfig::default()).unwrap();
+    let mut client = TcpClient::connect_binary(server.local_addr()).unwrap();
+
+    let service = registry.get("academic").unwrap();
+    let permit = service.try_admit().expect("quota starts empty");
+
+    // Admission-controlled work is shed…
+    match client.submit_sql("academic", "SELECT p.title FROM publication p") {
+        Err(ClientError::Api(ApiError::Backpressure)) => {}
+        other => panic!("expected typed Backpressure over the wire, got {other:?}"),
+    }
+
+    // …but Health is exempt: an operator diagnosing the overload must be
+    // able to see the state that explains it.
+    let report = client.health("academic").unwrap();
+    assert_eq!(report.state, "healthy");
+    assert_eq!(report.health_state, 0);
+    assert_eq!(report.degraded_entries_total, 0);
+    drop(permit);
+}
+
+#[test]
 fn global_inflight_cap_sheds_under_concurrent_load() {
     let registry = registry_with(ServiceConfig::default());
     let config = ServerConfig::default()

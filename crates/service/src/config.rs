@@ -24,6 +24,16 @@ pub struct WalConfig {
     /// [`ServiceError::QueueFull`](crate::ServiceError::QueueFull)
     /// backpressure instead of the process growing without bound.
     pub max_staged_bytes: usize,
+    /// In-line journal sync attempts before the service declares the disk
+    /// failing and enters degraded read-only mode (clamped to ≥ 1; the
+    /// first attempt counts, so `3` means "one try plus two retries").
+    pub journal_retry_attempts: u32,
+    /// Backoff before the first in-line retry; doubles per retry (with
+    /// deterministic jitter) up to `journal_retry_max_backoff`.  The same
+    /// schedule paces the degraded-mode heal probe.
+    pub journal_retry_base_backoff: Duration,
+    /// Cap on the exponential retry/heal-probe backoff.
+    pub journal_retry_max_backoff: Duration,
 }
 
 impl Default for WalConfig {
@@ -33,6 +43,9 @@ impl Default for WalConfig {
             fsync_interval: Duration::from_millis(20),
             segment_max_records: 8192,
             max_staged_bytes: 8 * 1024 * 1024,
+            journal_retry_attempts: 3,
+            journal_retry_base_backoff: Duration::from_millis(5),
+            journal_retry_max_backoff: Duration::from_millis(500),
         }
     }
 }
@@ -156,6 +169,24 @@ impl ServiceConfig {
         self
     }
 
+    /// In-line journal sync attempts before degrading (clamped to ≥ 1).
+    pub fn with_journal_retry_attempts(mut self, attempts: u32) -> Self {
+        self.wal.journal_retry_attempts = attempts.max(1);
+        self
+    }
+
+    /// Base backoff before the first journal retry (doubles per retry).
+    pub fn with_journal_retry_base_backoff(mut self, backoff: Duration) -> Self {
+        self.wal.journal_retry_base_backoff = backoff;
+        self
+    }
+
+    /// Cap on the exponential journal retry / heal-probe backoff.
+    pub fn with_journal_retry_max_backoff(mut self, backoff: Duration) -> Self {
+        self.wal.journal_retry_max_backoff = backoff;
+        self
+    }
+
     /// Retain this many slow-query captures (0 disables capture).
     pub fn with_slow_query_capacity(mut self, capacity: usize) -> Self {
         self.slow_query_capacity = capacity;
@@ -194,6 +225,7 @@ mod tests {
             .with_wal_fsync_every(0)
             .with_wal_segment_max_records(0)
             .with_max_inflight(0)
+            .with_journal_retry_attempts(0)
             .with_recovery_batch_bytes(0);
         assert_eq!(c.queue_capacity, 1);
         assert_eq!(c.refresh_every, 1);
@@ -201,6 +233,7 @@ mod tests {
         assert_eq!(c.wal.fsync_every, 1);
         assert_eq!(c.wal.segment_max_records, 1);
         assert_eq!(c.max_inflight, 1);
+        assert_eq!(c.wal.journal_retry_attempts, 1);
         assert_eq!(c.recovery_batch_bytes, 4096);
     }
 }

@@ -21,6 +21,12 @@ pub enum ServiceError {
     /// The operation requires a durable service (one started through
     /// [`TemplarService::recover`](crate::TemplarService::recover)).
     NotDurable,
+    /// The service is in degraded read-only mode: the durable journal is
+    /// failing, so writes are refused instead of queued into a wedged
+    /// journal.  Translations and observability keep serving.
+    Degraded,
+    /// The ingestion worker thread could not be spawned.
+    Spawn(std::io::Error),
 }
 
 impl fmt::Display for ServiceError {
@@ -37,6 +43,10 @@ impl fmt::Display for ServiceError {
                     "service has no durable directory (not started via recover)"
                 )
             }
+            ServiceError::Degraded => {
+                write!(f, "service is degraded (read-only): journal is failing")
+            }
+            ServiceError::Spawn(e) => write!(f, "failed to spawn ingestion worker: {e}"),
         }
     }
 }
@@ -185,6 +195,10 @@ impl From<ServiceError> for ApiError {
             ServiceError::NotDurable => ApiError::Durability {
                 detail: "service has no durable directory".to_string(),
             },
+            ServiceError::Degraded => ApiError::Degraded,
+            ServiceError::Spawn(e) => ApiError::Durability {
+                detail: format!("failed to spawn ingestion worker: {e}"),
+            },
         }
     }
 }
@@ -203,6 +217,7 @@ mod tests {
             ApiError::from(ServiceError::ShuttingDown),
             ApiError::ShuttingDown
         );
+        assert_eq!(ApiError::from(ServiceError::Degraded), ApiError::Degraded);
     }
 
     #[test]

@@ -42,6 +42,11 @@
 //! [`templar_core::SharedTemplar`] (see `PipelineSystem::serving` /
 //! `NaLirSystem::serving` in the `nlidb` crate).
 
+// Production code must fail with typed errors, never panic: a serving
+// process that unwraps on a disk fault takes every tenant down with it.
+// Unit tests (compiled with `cfg(test)`) may unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod client;
 pub mod config;
 pub mod error;
@@ -51,17 +56,19 @@ pub mod registry;
 pub mod server;
 pub(crate) mod slowlog;
 pub mod snapshot;
+pub mod storage;
 pub(crate) mod transcache;
 pub mod wal;
 
-pub use client::RegistryClient;
+pub use client::{is_retryable, retry_with_deadline, RegistryClient};
 pub use config::{ServiceConfig, WalConfig};
 pub use error::{ServiceError, SnapshotError, WalError};
 pub use ingest::IngestQueue;
-pub use metrics::{prometheus_text, MetricsSnapshot, ServiceMetrics};
+pub use metrics::{prometheus_text, HealthState, MetricsSnapshot, ServiceMetrics};
 pub use registry::TenantRegistry;
 pub use server::{InflightPermit, TemplarService, LOCK_FILE, SNAPSHOT_FILE, WAL_DIR};
 pub use snapshot::{
     read_snapshot, read_snapshot_with_watermark, write_snapshot, write_snapshot_with_watermark,
     Snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
+pub use storage::{FaultRule, FaultyStorage, FsStorage, Storage, StorageFile, StorageOp};

@@ -13,6 +13,50 @@ use templar_core::trace::{RequestTrace, Stage, STAGE_COUNT};
 /// open-ended.
 const BUCKETS: usize = 40;
 
+/// The service's write-availability state machine.
+///
+/// A service is born `Healthy`.  When journaling faults exhaust the bounded
+/// in-line retry (`ServiceConfig::journal_retry_attempts`), the ingestion
+/// worker moves it to `Degraded`: translations, metrics, traces, and
+/// Prometheus keep serving from the current immutable snapshot, but
+/// `Ingest`/`Feedback` are refused with a typed `Degraded` error instead of
+/// queueing into a wedged journal.  The worker keeps probing the journal
+/// with backoff; the first successful sync replays the staged tail and
+/// returns the service to `Healthy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Full read/write service.
+    Healthy,
+    /// Read-only: the durable journal is failing; writes are refused.
+    Degraded,
+}
+
+impl HealthState {
+    /// Prometheus gauge encoding: 0 = healthy, 1 = degraded.
+    pub fn as_gauge(self) -> u64 {
+        match self {
+            HealthState::Healthy => 0,
+            HealthState::Degraded => 1,
+        }
+    }
+
+    fn from_gauge(v: u64) -> Self {
+        if v == 0 {
+            HealthState::Healthy
+        } else {
+            HealthState::Degraded
+        }
+    }
+
+    /// Stable lowercase name, as carried on the wire by `HealthReport`.
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+        }
+    }
+}
+
 /// Lock-free service counters, updated by translation and ingestion paths.
 #[derive(Debug, Default)]
 pub struct ServiceMetrics {
@@ -35,6 +79,14 @@ pub struct ServiceMetrics {
     wal_replayed: AtomicU64,
     wal_segments_gc: AtomicU64,
     wal_io_errors: AtomicU64,
+    /// First OS errno of the current (or most recent) journal failure
+    /// episode, stored as `errno + 1` so 0 means "none recorded".
+    wal_last_errno: AtomicU64,
+    /// 0 = healthy, 1 = degraded ([`HealthState`] gauge encoding).
+    health_state: AtomicU64,
+    degraded_entries: AtomicU64,
+    journal_retries: AtomicU64,
+    journal_heals: AtomicU64,
     wal_truncated_bytes: AtomicU64,
     recovery_peak_batch_bytes: AtomicU64,
     snapshot_body_bytes: AtomicU64,
@@ -233,6 +285,45 @@ impl ServiceMetrics {
         self.wal_io_errors.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Remember the first OS errno of a journal failure episode so
+    /// operators can tell `ENOSPC` from `EIO` in the metrics report.
+    pub(crate) fn record_wal_errno(&self, errno: i32) {
+        self.wal_last_errno
+            .store(errno.unsigned_abs() as u64 + 1, Ordering::Relaxed);
+    }
+
+    /// Current write-availability state.
+    pub fn health_state(&self) -> HealthState {
+        HealthState::from_gauge(self.health_state.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn is_degraded(&self) -> bool {
+        self.health_state() == HealthState::Degraded
+    }
+
+    /// Enter degraded read-only mode (idempotent).
+    pub(crate) fn enter_degraded(&self) {
+        self.health_state.store(1, Ordering::Relaxed);
+    }
+
+    /// One successful journal heal: the probe's sync went through, the
+    /// staged tail is durable again, and writes are restored.
+    pub(crate) fn record_journal_heal(&self) {
+        self.journal_heals.fetch_add(1, Ordering::Relaxed);
+        self.health_state.store(0, Ordering::Relaxed);
+    }
+
+    /// One in-line journal sync retry (after the first failed attempt).
+    pub(crate) fn record_journal_retry(&self) {
+        self.journal_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One `Ingest`/`Feedback` entry refused because the service is
+    /// degraded.
+    pub(crate) fn record_degraded_refusal(&self) {
+        self.degraded_entries.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// One request shed because the tenant's in-flight quota
     /// (`ServiceConfig::max_inflight`) was full.
     pub(crate) fn record_tenant_shed(&self) {
@@ -359,6 +450,11 @@ impl ServiceMetrics {
             wal_replayed: self.wal_replayed.load(Ordering::Relaxed),
             wal_segments_gc: self.wal_segments_gc.load(Ordering::Relaxed),
             wal_io_errors: self.wal_io_errors.load(Ordering::Relaxed),
+            wal_last_errno: self.wal_last_errno.load(Ordering::Relaxed),
+            health_state: self.health_state.load(Ordering::Relaxed),
+            degraded_entries_total: self.degraded_entries.load(Ordering::Relaxed),
+            journal_retries_total: self.journal_retries.load(Ordering::Relaxed),
+            journal_heals_total: self.journal_heals.load(Ordering::Relaxed),
             wal_truncated_bytes: self.wal_truncated_bytes.load(Ordering::Relaxed),
             recovery_peak_batch_bytes: self.recovery_peak_batch_bytes.load(Ordering::Relaxed),
             snapshot_body_bytes: self.snapshot_body_bytes.load(Ordering::Relaxed),
@@ -454,6 +550,20 @@ pub struct MetricsSnapshot {
     pub wal_replayed: u64,
     pub wal_segments_gc: u64,
     pub wal_io_errors: u64,
+    /// First OS errno of the current (or most recent) journal failure
+    /// episode, encoded as `errno + 1` (0 = none recorded) — lets
+    /// operators tell `ENOSPC` (28) from `EIO` (5) without log access.
+    pub wal_last_errno: u64,
+    /// Write-availability state: 0 = healthy, 1 = degraded read-only
+    /// ([`HealthState`] gauge encoding).
+    pub health_state: u64,
+    /// `Ingest`/`Feedback` entries refused while degraded.
+    pub degraded_entries_total: u64,
+    /// In-line journal sync retries (attempts after the first failure).
+    pub journal_retries_total: u64,
+    /// Successful journal heals: degraded episodes that ended with the
+    /// staged tail replayed and writes restored.
+    pub journal_heals_total: u64,
     /// Bytes cut off a torn journal tail at recovery — a non-zero value is
     /// the signature of actual (bounded, expected) data loss: one or more
     /// acknowledged-but-unsynced entries did not survive the crash.
@@ -652,6 +762,36 @@ const PROM_FAMILIES: &[(&str, &str, &str, FieldGetter)] = &[
         "counter",
         "Bytes cut off a torn journal tail at recovery.",
         |s| s.wal_truncated_bytes,
+    ),
+    (
+        "templar_wal_last_errno",
+        "gauge",
+        "First OS errno of the last journal failure episode, plus one (0 = none).",
+        |s| s.wal_last_errno,
+    ),
+    (
+        "templar_health_state",
+        "gauge",
+        "Write-availability state: 0 = healthy, 1 = degraded read-only.",
+        |s| s.health_state,
+    ),
+    (
+        "templar_degraded_entries_total",
+        "counter",
+        "Ingest/feedback entries refused while degraded.",
+        |s| s.degraded_entries_total,
+    ),
+    (
+        "templar_journal_retries_total",
+        "counter",
+        "In-line journal sync retries after a failure.",
+        |s| s.journal_retries_total,
+    ),
+    (
+        "templar_journal_heals_total",
+        "counter",
+        "Degraded episodes healed with the staged tail replayed.",
+        |s| s.journal_heals_total,
     ),
     (
         "templar_admission_tenant_shed_total",

@@ -23,8 +23,8 @@ use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use templar_api::{
-    decode_request, encode_response, ApiError, MetricsReport, RequestBody, ResponseBody,
-    ResponseEnvelope, SlowQueryReport, TranslateRequest, TranslateResponse,
+    decode_request, encode_response, ApiError, HealthReport, MetricsReport, RequestBody,
+    ResponseBody, ResponseEnvelope, SlowQueryReport, TranslateRequest, TranslateResponse,
 };
 
 /// Routes requests to one [`TemplarService`] per tenant (database).
@@ -104,6 +104,11 @@ impl TenantRegistry {
         Ok(metrics_report(&self.get(tenant)?.metrics()))
     }
 
+    /// Fetch one tenant's write-availability state in wire form.
+    pub fn health(&self, tenant: &str) -> Result<HealthReport, ApiError> {
+        Ok(health_report(&self.get(tenant)?.metrics()))
+    }
+
     /// Fetch one tenant's captured slow queries, slowest first.
     pub fn slow_queries(&self, tenant: &str) -> Result<Vec<SlowQueryReport>, ApiError> {
         Ok(self.get(tenant)?.slow_queries())
@@ -178,6 +183,7 @@ impl TenantRegistry {
             RequestBody::Prometheus { tenant } => self
                 .prometheus(tenant.as_deref())
                 .map(ResponseBody::Prometheus),
+            RequestBody::Health { tenant } => self.health(tenant).map(ResponseBody::Health),
         }
     }
 
@@ -243,6 +249,11 @@ fn metrics_report(snapshot: &MetricsSnapshot) -> MetricsReport {
         wal_replayed: snapshot.wal_replayed,
         wal_segments_gc: snapshot.wal_segments_gc,
         wal_io_errors: snapshot.wal_io_errors,
+        wal_last_errno: snapshot.wal_last_errno,
+        health_state: snapshot.health_state,
+        degraded_entries_total: snapshot.degraded_entries_total,
+        journal_retries_total: snapshot.journal_retries_total,
+        journal_heals_total: snapshot.journal_heals_total,
         wal_truncated_bytes: snapshot.wal_truncated_bytes,
         recovery_peak_batch_bytes: snapshot.recovery_peak_batch_bytes,
         snapshot_body_bytes: snapshot.snapshot_body_bytes,
@@ -271,6 +282,23 @@ fn metrics_report(snapshot: &MetricsSnapshot) -> MetricsReport {
         word_memo_misses: snapshot.word_memo_misses,
         phrase_memo_hits: snapshot.phrase_memo_hits,
         phrase_memo_misses: snapshot.phrase_memo_misses,
+    }
+}
+
+/// Project a service-side metrics snapshot onto the `Health` wire payload.
+fn health_report(snapshot: &MetricsSnapshot) -> HealthReport {
+    HealthReport {
+        state: if snapshot.health_state == 0 {
+            "healthy".to_string()
+        } else {
+            "degraded".to_string()
+        },
+        health_state: snapshot.health_state,
+        degraded_entries_total: snapshot.degraded_entries_total,
+        journal_retries_total: snapshot.journal_retries_total,
+        journal_heals_total: snapshot.journal_heals_total,
+        wal_io_errors: snapshot.wal_io_errors,
+        wal_last_errno: snapshot.wal_last_errno,
     }
 }
 
@@ -315,6 +343,11 @@ mod tests {
             wal_replayed: 22,
             wal_segments_gc: 23,
             wal_io_errors: 24,
+            wal_last_errno: 53,
+            health_state: 54,
+            degraded_entries_total: 55,
+            journal_retries_total: 56,
+            journal_heals_total: 57,
             wal_truncated_bytes: 25,
             recovery_peak_batch_bytes: 49,
             snapshot_body_bytes: 50,
@@ -381,6 +414,11 @@ mod tests {
             wal_replayed,
             wal_segments_gc,
             wal_io_errors,
+            wal_last_errno,
+            health_state,
+            degraded_entries_total,
+            journal_retries_total,
+            journal_heals_total,
             wal_truncated_bytes,
             recovery_peak_batch_bytes,
             snapshot_body_bytes,
@@ -437,6 +475,11 @@ mod tests {
         assert_eq!(wal_replayed, 22);
         assert_eq!(wal_segments_gc, 23);
         assert_eq!(wal_io_errors, 24);
+        assert_eq!(wal_last_errno, 53);
+        assert_eq!(health_state, 54);
+        assert_eq!(degraded_entries_total, 55);
+        assert_eq!(journal_retries_total, 56);
+        assert_eq!(journal_heals_total, 57);
         assert_eq!(wal_truncated_bytes, 25);
         assert_eq!(recovery_peak_batch_bytes, 49);
         assert_eq!(snapshot_body_bytes, 50);

@@ -30,12 +30,13 @@
 //!   [`ServiceError::QueueFull`]; translation latency is never sacrificed to
 //!   ingestion backpressure.
 
-use crate::config::ServiceConfig;
+use crate::config::{ServiceConfig, WalConfig};
 use crate::error::{ServiceError, WalError};
 use crate::ingest::IngestQueue;
-use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::metrics::{HealthState, MetricsSnapshot, ServiceMetrics};
 use crate::slowlog::SlowQueryLog;
 use crate::snapshot;
+use crate::storage::{FsStorage, Storage};
 use crate::transcache::{request_key, BatchMemo, CachedTranslation, TranslationCache};
 use crate::wal::{self, WalWriter};
 use nlidb::{translate_traced_memo, Nlq, RankedSql, TranslateError};
@@ -47,7 +48,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use templar_api::{ApiError, SlowQueryReport, TraceReport, TranslateRequest, TranslateResponse};
 use templar_core::{
     CandidateMemo, Keyword, KeywordMetadata, QueryFragmentGraph, QueryLog, SharedTemplar, Templar,
@@ -81,6 +82,9 @@ struct MasterState {
 struct Durable {
     dir: PathBuf,
     wal: Mutex<WalWriter>,
+    /// The storage boundary every durable byte crosses — the real
+    /// filesystem in production, a fault injector in the chaos tests.
+    storage: Arc<dyn Storage>,
     /// Holds the advisory lock on `dir/LOCK` for the service's lifetime.
     /// The OS releases it when the file closes — process death included —
     /// so a crashed owner never wedges its directory.
@@ -272,18 +276,39 @@ impl TemplarService {
         templar_config: TemplarConfig,
         service_config: ServiceConfig,
     ) -> Result<Self, ServiceError> {
-        std::fs::create_dir_all(dir).map_err(WalError::Io)?;
+        Self::recover_with_storage(
+            db,
+            dir,
+            FsStorage::shared(),
+            similarity,
+            templar_config,
+            service_config,
+        )
+    }
+
+    /// [`recover_with_similarity`](Self::recover_with_similarity) over an
+    /// explicit [`Storage`] — the seam the chaos tests inject faults
+    /// through.  Every durable byte this service reads or writes (snapshot,
+    /// journal, lock file, directory fsyncs) crosses `storage`.
+    pub fn recover_with_storage(
+        db: Arc<Database>,
+        dir: &Path,
+        storage: Arc<dyn Storage>,
+        similarity: TextSimilarity,
+        templar_config: TemplarConfig,
+        service_config: ServiceConfig,
+    ) -> Result<Self, ServiceError> {
+        storage.create_dir_all(dir).map_err(WalError::Io)?;
         // Claim exclusive ownership before touching anything: two live
         // services journaling into the same directory would truncate each
         // other's segments and overwrite each other's snapshots.  The lock
         // is advisory and process-scoped, so a `kill -9`'d owner releases
         // it automatically.
-        let lock = std::fs::File::create(dir.join(LOCK_FILE)).map_err(WalError::Io)?;
-        lock.try_lock().map_err(|e| {
+        let lock = storage.lock_exclusive(&dir.join(LOCK_FILE)).map_err(|e| {
             WalError::Io(std::io::Error::new(
-                std::io::ErrorKind::WouldBlock,
+                e.kind(),
                 format!(
-                    "durable directory {} is owned by a live service: {e}",
+                    "durable directory {} could not be claimed: {e}",
                     dir.display()
                 ),
             ))
@@ -293,19 +318,20 @@ impl TemplarService {
         // fixed `.tmp` name they never self-overwrite — without this sweep
         // each crash mid-checkpoint would leak a full snapshot-sized file.
         // Safe under the lock just taken: any `.tmp` here is abandoned.
-        if let Ok(entries) = std::fs::read_dir(dir) {
-            for entry in entries.flatten() {
-                let name = entry.file_name();
-                let name = name.to_string_lossy();
+        if let Ok(names) = storage.list_dir(dir) {
+            for name in names {
                 if name.starts_with('.') && name.ends_with(".tmp") {
-                    std::fs::remove_file(entry.path()).ok();
+                    storage.remove_file(&dir.join(&name)).ok();
                 }
             }
         }
         let snapshot_path = dir.join(SNAPSHOT_FILE);
-        let (mut log, mut qfg, watermark) = if snapshot_path.exists() {
-            let (snap, watermark) =
-                snapshot::read_snapshot_with_watermark(&snapshot_path, templar_config.obscurity)?;
+        let (mut log, mut qfg, watermark) = if storage.exists(&snapshot_path) {
+            let (snap, watermark) = snapshot::read_snapshot_from(
+                storage.as_ref(),
+                &snapshot_path,
+                templar_config.obscurity,
+            )?;
             (snap.log, snap.qfg, watermark)
         } else {
             (
@@ -314,7 +340,7 @@ impl TemplarService {
                 0,
             )
         };
-        let snapshot_body_bytes = std::fs::metadata(&snapshot_path).map(|m| m.len()).ok();
+        let snapshot_body_bytes = storage.file_len(&snapshot_path).ok();
         let wal_dir = dir.join(WAL_DIR);
         // Replay the journal tail in bounded batches: ingest applies each
         // batch against the tiered delta runs and the retention bound is
@@ -325,7 +351,8 @@ impl TemplarService {
         // eviction recovers the same state an uninterrupted worker held.
         let mut replay_parse_errors = 0u64;
         let cap = service_config.max_log_entries;
-        let stats = wal::replay_batched(
+        let stats = wal::replay_batched_with(
+            storage.as_ref(),
             &wal_dir,
             watermark,
             service_config.recovery_batch_bytes,
@@ -350,11 +377,17 @@ impl TemplarService {
         )?;
         let replay_count = stats.replayed;
         let applied_seq = stats.next_seq - 1;
-        let writer = WalWriter::create(&wal_dir, stats.next_seq, service_config.wal.clone())
-            .map_err(WalError::Io)?;
+        let writer = WalWriter::create_with(
+            Arc::clone(&storage),
+            &wal_dir,
+            stats.next_seq,
+            service_config.wal.clone(),
+        )
+        .map_err(WalError::Io)?;
         let durable = Durable {
             dir: dir.to_path_buf(),
             wal: Mutex::new(writer),
+            storage,
             _lock: lock,
             checkpoint_lock: Mutex::new(()),
         };
@@ -465,7 +498,7 @@ impl TemplarService {
             std::thread::Builder::new()
                 .name("templar-ingest".to_string())
                 .spawn(move || ingest_worker(inner))
-                .expect("spawn ingestion worker")
+                .map_err(ServiceError::Spawn)?
         };
         Ok(TemplarService {
             inner,
@@ -575,12 +608,16 @@ impl TemplarService {
         let epoch = self.inner.transcache.epoch();
         let templar = self.inner.handle.load();
         let config = request.overrides.apply(templar.config());
+        // A request whose components refuse to serialize gets no key and
+        // bypasses the cache entirely — a degraded key must never alias.
         let key = request_key(&request.nlq, &request.keywords, &request.overrides);
         if !request.bypass_cache {
-            if let Some(hit) = self.inner.transcache.get(&key) {
-                return Ok(self.serve_cache_hit(request, hit));
+            if let Some(key) = &key {
+                if let Some(hit) = self.inner.transcache.get(key) {
+                    return Ok(self.serve_cache_hit(request, hit));
+                }
+                self.inner.metrics.record_translation_cache_miss();
             }
-            self.inner.metrics.record_translation_cache_miss();
         }
         // Batches are keyed by (epoch, snapshot address): during the
         // store-then-invalidate publish window two in-flight requests can
@@ -605,18 +642,20 @@ impl TemplarService {
             request.overrides.top_k,
         );
         if !request.bypass_cache {
-            let evicted = self.inner.transcache.insert_if_epoch(
-                epoch,
-                key,
-                CachedTranslation {
-                    response: response.clone(),
-                    search: trace.search,
-                },
-            );
-            if evicted > 0 {
-                self.inner
-                    .metrics
-                    .record_translation_cache_evictions(evicted);
+            if let Some(key) = key {
+                let evicted = self.inner.transcache.insert_if_epoch(
+                    epoch,
+                    key,
+                    CachedTranslation {
+                        response: response.clone(),
+                        search: trace.search,
+                    },
+                );
+                if evicted > 0 {
+                    self.inner
+                        .metrics
+                        .record_translation_cache_evictions(evicted);
+                }
             }
         }
         Ok(if request.trace {
@@ -664,8 +703,15 @@ impl TemplarService {
     }
 
     /// Submit a newly-logged SQL query for ingestion.  Non-blocking; fails
-    /// fast when the bounded queue is at capacity.
+    /// fast when the bounded queue is at capacity, and is refused outright
+    /// with [`ServiceError::Degraded`] while the service is in degraded
+    /// read-only mode (the durable journal is failing; queueing would pile
+    /// entries into a journal that cannot accept them).
     pub fn submit_sql(&self, sql: &str) -> Result<(), ServiceError> {
+        if self.inner.metrics.is_degraded() {
+            self.inner.metrics.record_degraded_refusal();
+            return Err(ServiceError::Degraded);
+        }
         self.inner.metrics.record_submitted();
         match self.inner.queue.submit(sql.to_string()) {
             Ok(()) => Ok(()),
@@ -748,24 +794,24 @@ impl TemplarService {
         // the longer journal still recover the same state).
         {
             let mut wal = durable.wal.lock();
-            match wal.sync() {
+            let outcome = wal.sync();
+            drain_wal_health(&self.inner.metrics, &mut wal);
+            match outcome {
                 Ok(true) => self.inner.metrics.record_wal_fsync(),
                 Ok(false) => {}
-                Err(e) => {
-                    self.inner.metrics.record_wal_io_errors(1);
-                    return Err(WalError::Io(e).into());
-                }
+                Err(e) => return Err(WalError::Io(e).into()),
             }
         }
         let (log, qfg, watermark) = self.clone_master_state();
-        let body_bytes = snapshot::write_snapshot_with_watermark(
+        let body_bytes = snapshot::write_snapshot_with(
+            durable.storage.as_ref(),
             &durable.snapshot_path(),
             &log,
             &qfg,
             Some(watermark),
         )?;
         self.inner.metrics.record_snapshot_body_bytes(body_bytes);
-        match wal::gc_segments(&durable.wal_dir(), watermark) {
+        match wal::gc_segments_with(durable.storage.as_ref(), &durable.wal_dir(), watermark) {
             Ok(0) => {}
             Ok(n) => self.inner.metrics.record_wal_segments_gc(n as u64),
             // The checkpoint itself succeeded; a GC failure only delays
@@ -829,7 +875,16 @@ impl TemplarService {
             .map(|durable| durable.checkpoint_lock.lock());
         let (log, qfg, applied_seq) = self.clone_master_state();
         let watermark = self.inner.durable.as_ref().map(|_| applied_seq);
-        let body_bytes = snapshot::write_snapshot_with_watermark(path, &log, &qfg, watermark)?;
+        let body_bytes = match self.inner.durable.as_ref() {
+            Some(durable) => snapshot::write_snapshot_with(
+                durable.storage.as_ref(),
+                path,
+                &log,
+                &qfg,
+                watermark,
+            )?,
+            None => snapshot::write_snapshot_with_watermark(path, &log, &qfg, watermark)?,
+        };
         self.inner.metrics.record_snapshot_body_bytes(body_bytes);
         Ok(())
     }
@@ -842,6 +897,12 @@ impl TemplarService {
         let mut master = self.inner.master.lock();
         master.qfg.compact();
         (master.log.clone(), master.qfg.clone(), master.applied_seq)
+    }
+
+    /// Current write-availability state: [`HealthState::Degraded`] while
+    /// the durable journal is failing and writes are refused.
+    pub fn health_state(&self) -> HealthState {
+        self.inner.metrics.health_state()
     }
 
     /// Point-in-time service metrics, including the current snapshot's QFG
@@ -918,20 +979,80 @@ impl Drop for TemplarService {
     }
 }
 
+/// Drain the journal's per-episode I/O accounting into the service metrics:
+/// one `wal_io_errors` tick per distinct failure episode (not per retried
+/// attempt) and the episode's *first* errno, so an operator can tell a disk
+/// that filled (ENOSPC) from one that is dying (EIO).
+fn drain_wal_health(metrics: &ServiceMetrics, wal: &mut WalWriter) {
+    let io_errors = wal.take_io_errors();
+    if io_errors > 0 {
+        metrics.record_wal_io_errors(io_errors);
+    }
+    if let Some(errno) = wal.take_last_errno() {
+        metrics.record_wal_errno(errno);
+    }
+}
+
+/// Force the journal tail down with bounded in-line retry: exponential
+/// backoff from `journal_retry_base_backoff` doubling up to
+/// `journal_retry_max_backoff`, plus up to 25% deterministic xorshift jitter
+/// so retry storms de-phase without an entropy source.  Returns the final
+/// error once `journal_retry_attempts` tries (the first attempt included)
+/// are exhausted — the caller decides whether that degrades the service.
+///
+/// The journal lock is held across the retries; the total stall is bounded
+/// by the configured attempt/backoff knobs (≈15 ms at the defaults), and a
+/// wedged journal is exactly the case where letting more writes race in
+/// would not help.
+fn sync_with_retry(
+    metrics: &ServiceMetrics,
+    wal: &mut WalWriter,
+    wal_config: &WalConfig,
+    jitter: &mut u64,
+) -> std::io::Result<bool> {
+    let mut backoff = wal_config.journal_retry_base_backoff;
+    let mut attempt = 0u32;
+    loop {
+        let outcome = wal.sync();
+        drain_wal_health(metrics, wal);
+        match outcome {
+            Ok(synced) => return Ok(synced),
+            Err(e) => {
+                attempt += 1;
+                if attempt >= wal_config.journal_retry_attempts {
+                    return Err(e);
+                }
+                metrics.record_journal_retry();
+                *jitter ^= *jitter << 13;
+                *jitter ^= *jitter >> 7;
+                *jitter ^= *jitter << 17;
+                let base = backoff.max(Duration::from_micros(4));
+                let span = (base.as_micros() as u64 / 4).max(1);
+                std::thread::sleep(base + Duration::from_micros(*jitter % span));
+                backoff = (backoff * 2).min(wal_config.journal_retry_max_backoff);
+            }
+        }
+    }
+}
+
 /// Publish `qfg` as a fresh immutable snapshot.  Runs *outside* the master
 /// lock: the expensive part (schema graph + facade construction) never
 /// blocks producers or the next ingest batch.
 fn publish(inner: &ServiceInner, qfg: QueryFragmentGraph) {
     // The master QFG is maintained at the service's configured obscurity, so
     // reconstruction cannot hit the mismatch arm; this is an internal
-    // invariant of the worker, not a public construction path.
-    let templar = Templar::from_parts(
+    // invariant of the worker, not a public construction path.  Should it
+    // ever break, keep serving the previous snapshot rather than panicking
+    // the worker (which would take translations *and* durability with it).
+    let templar = match Templar::from_parts(
         Arc::clone(&inner.db),
         qfg,
         inner.similarity.clone(),
         inner.templar_config.clone(),
-    )
-    .expect("service QFG always matches the configured obscurity");
+    ) {
+        Ok(templar) => templar,
+        Err(_) => return,
+    };
     inner.handle.store(Arc::new(templar));
     inner.metrics.record_swap();
     // Invalidate *after* the store: a request that raced the swap read the
@@ -951,7 +1072,45 @@ fn ingest_worker(inner: Arc<ServiceInner>) {
     // durability window would be max(fsync_interval, refresh_interval), not
     // what `WalConfig` promises.
     let mut wal_dirty = false;
+    // Deterministic xorshift state for retry jitter; any non-zero seed works.
+    let mut jitter: u64 = 0x9E37_79B9_7F4A_7C15;
+    // Backoff between degraded-mode heal probes, reset on every heal.
+    let mut probe_backoff = config.wal.journal_retry_base_backoff;
     loop {
+        // Degraded mode: the journal exhausted its in-line retries, writes
+        // are being refused at `submit_sql`, and this loop's only job is to
+        // probe the journal until it heals.  The probe is a plain `sync()`:
+        // success flushes the staged tail the failure stranded, so the heal
+        // loses nothing that was acknowledged.  A closed queue overrides the
+        // probe loop — shutdown still runs its best-effort final drain.
+        if inner.metrics.is_degraded() && !inner.queue.is_closed() {
+            if let Some(durable) = &inner.durable {
+                let outcome = {
+                    let mut wal = durable.wal.lock();
+                    let outcome = wal.sync();
+                    drain_wal_health(&inner.metrics, &mut wal);
+                    outcome
+                };
+                match outcome {
+                    Ok(synced) => {
+                        if synced {
+                            inner.metrics.record_wal_fsync();
+                        }
+                        inner.metrics.record_journal_heal();
+                        probe_backoff = config.wal.journal_retry_base_backoff;
+                    }
+                    Err(_) => {
+                        std::thread::sleep(probe_backoff.max(Duration::from_millis(1)));
+                        probe_backoff =
+                            (probe_backoff * 2).min(config.wal.journal_retry_max_backoff);
+                        continue;
+                    }
+                }
+            } else {
+                // Unreachable: only durable sync paths degrade the service.
+                inner.metrics.record_journal_heal();
+            }
+        }
         // A wedged journal (writes failing, frames piling up in the staging
         // buffer) must not keep absorbing the queue into memory: stop
         // draining until a sync succeeds, so the bounded queue fills and
@@ -961,10 +1120,14 @@ fn ingest_worker(inner: Arc<ServiceInner>) {
         if let Some(durable) = &inner.durable {
             let mut wal = durable.wal.lock();
             if wal.staged_bytes() > config.wal.max_staged_bytes && !inner.queue.is_closed() {
-                match wal.sync() {
+                match sync_with_retry(&inner.metrics, &mut wal, &config.wal, &mut jitter) {
                     Ok(true) => inner.metrics.record_wal_fsync(),
                     Ok(false) => {}
-                    Err(_) => inner.metrics.record_wal_io_errors(1),
+                    Err(_) => {
+                        drop(wal);
+                        inner.metrics.enter_degraded();
+                        continue;
+                    }
                 }
                 if wal.staged_bytes() > config.wal.max_staged_bytes {
                     drop(wal);
@@ -990,10 +1153,12 @@ fn ingest_worker(inner: Arc<ServiceInner>) {
             // anything still pending and exit.
             if let Some(durable) = &inner.durable {
                 let mut wal = durable.wal.lock();
-                match wal.sync() {
-                    Ok(true) => inner.metrics.record_wal_fsync(),
-                    Ok(false) => {}
-                    Err(_) => inner.metrics.record_wal_io_errors(1),
+                // Best-effort: the process is exiting either way, so a
+                // failure here is recorded but does not degrade.
+                let outcome = wal.sync();
+                drain_wal_health(&inner.metrics, &mut wal);
+                if let Ok(true) = outcome {
+                    inner.metrics.record_wal_fsync();
                 }
             }
             let pending = {
@@ -1044,12 +1209,20 @@ fn ingest_worker(inner: Arc<ServiceInner>) {
             match wal.maybe_sync() {
                 Ok(true) => inner.metrics.record_wal_fsync(),
                 Ok(false) => {}
-                Err(_) => inner.metrics.record_wal_io_errors(1),
+                // A due-but-failed sync gets the full in-line retry ladder;
+                // exhausting it flips the service read-only.  The batch is
+                // still applied below — every entry is staged in the
+                // journal's buffer and replays through the healing sync.
+                Err(_) => {
+                    drain_wal_health(&inner.metrics, &mut wal);
+                    match sync_with_retry(&inner.metrics, &mut wal, &config.wal, &mut jitter) {
+                        Ok(true) => inner.metrics.record_wal_fsync(),
+                        Ok(false) => {}
+                        Err(_) => inner.metrics.enter_degraded(),
+                    }
+                }
             }
-            let io_errors = wal.take_io_errors();
-            if io_errors > 0 {
-                inner.metrics.record_wal_io_errors(io_errors);
-            }
+            drain_wal_health(&inner.metrics, &mut wal);
             wal_dirty = wal.dirty() > 0;
             last
         });

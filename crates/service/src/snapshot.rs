@@ -73,6 +73,7 @@
 //! name.
 
 use crate::error::SnapshotError;
+use crate::storage::{FsStorage, Storage};
 use crate::wal::crc32;
 use serde::{Deserialize, Serialize};
 use sqlparse::Query;
@@ -129,6 +130,18 @@ pub fn write_snapshot_with_watermark(
     qfg: &QueryFragmentGraph,
     watermark: Option<u64>,
 ) -> Result<u64, SnapshotError> {
+    write_snapshot_with(&FsStorage, path, log, qfg, watermark)
+}
+
+/// [`write_snapshot_with_watermark`] over an explicit [`Storage`] (fault
+/// injection in tests; [`FsStorage`] in production).
+pub fn write_snapshot_with(
+    storage: &dyn Storage,
+    path: &Path,
+    log: &QueryLog,
+    qfg: &QueryFragmentGraph,
+    watermark: Option<u64>,
+) -> Result<u64, SnapshotError> {
     let log_chunks = log.len().div_ceil(LOG_SECTION_CHUNK);
     let sections = 5 + log_chunks;
     let mut header = format!(
@@ -164,7 +177,7 @@ pub fn write_snapshot_with_watermark(
         TMP_SEQ.fetch_add(1, Ordering::Relaxed)
     ));
     let result = (|| -> Result<u64, SnapshotError> {
-        let file = fs::File::create(&tmp)?;
+        let file = storage.create(&tmp)?;
         let mut out = BufWriter::new(file);
         let mut bytes = header.len() as u64;
         out.write_all(header.as_bytes())?;
@@ -206,19 +219,20 @@ pub fn write_snapshot_with_watermark(
         bytes += write_section(&mut out, "qfg/occurrences", &qfg.occurrences_section())?;
         bytes += write_section(&mut out, "qfg/adjacency", &qfg.adjacency_section())?;
         bytes += write_section(&mut out, "qfg/runs", &qfg.runs_section())?;
-        let file = out
+        let mut file = out
             .into_inner()
             .map_err(|e| SnapshotError::Io(e.into_error()))?;
         // The bytes must be durable *before* the rename publishes the
         // name, or a power loss could leave a valid name over garbage.
         file.sync_all()?;
-        fs::rename(&tmp, path)?;
+        drop(file);
+        storage.rename(&tmp, path)?;
         // And the rename itself must be durable: fsync the directory entry.
-        crate::wal::sync_dir(&parent)?;
+        storage.sync_dir(&parent)?;
         Ok(bytes)
     })();
     if result.is_err() {
-        fs::remove_file(&tmp).ok();
+        storage.remove_file(&tmp).ok();
     }
     result
 }
@@ -252,8 +266,8 @@ fn write_section(
 fn read_section(reader: &mut impl Read) -> Result<(String, serde::Value), SnapshotError> {
     let mut frame = [0u8; SECTION_FRAME_HEADER];
     reader.read_exact(&mut frame).map_err(eof_is_torn)?;
-    let len = u32::from_le_bytes(frame[0..4].try_into().unwrap());
-    let stored_crc = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+    let len = u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]);
+    let stored_crc = u32::from_le_bytes([frame[4], frame[5], frame[6], frame[7]]);
     if !(2..=MAX_SECTION_BYTES).contains(&len) {
         return Err(SnapshotError::Corrupt(format!(
             "section frame length {len} out of range"
@@ -305,7 +319,16 @@ pub fn read_snapshot_with_watermark(
     path: &Path,
     expected: Obscurity,
 ) -> Result<(Snapshot, u64), SnapshotError> {
-    let file = fs::File::open(path)?;
+    read_snapshot_from(&FsStorage, path, expected)
+}
+
+/// [`read_snapshot_with_watermark`] over an explicit [`Storage`].
+pub fn read_snapshot_from(
+    storage: &dyn Storage,
+    path: &Path,
+    expected: Obscurity,
+) -> Result<(Snapshot, u64), SnapshotError> {
+    let file = storage.open_read(path)?;
     let mut reader = BufReader::new(file);
     let mut line = Vec::new();
     (&mut reader)
@@ -1136,5 +1159,136 @@ mod tests {
         );
         fs::remove_file(&v1).ok();
         fs::remove_file(&v3).ok();
+    }
+
+    /// Write-side torn matrix for the sectioned v3 snapshot: crash the
+    /// storage at a dense sweep of cumulative byte budgets (covering every
+    /// section boundary of the write stream) and at every non-write fault
+    /// site (temp-file create, fsync, rename, directory fsync).  An
+    /// interrupted overwrite must never be observable: the previously
+    /// published snapshot keeps loading byte-identically, and once the
+    /// fault clears the overwrite succeeds.
+    #[test]
+    fn write_crash_matrix_preserves_the_published_snapshot() {
+        use crate::storage::{FaultRule, FaultyStorage, StorageOp};
+
+        let (log_a, qfg_a) = sample_state(Obscurity::NoConstOp);
+        let mut log_b = log_a.clone();
+        let mut qfg_b = qfg_a.clone();
+        let (extra, _) = QueryLog::from_sql([
+            "SELECT p.year FROM publication p",
+            "SELECT p.title FROM publication p WHERE p.year > 2011",
+        ]);
+        for query in extra.queries() {
+            log_b.push(query.clone());
+            qfg_b.ingest(query);
+        }
+
+        let dir =
+            std::env::temp_dir().join(format!("templar-snap-crash-matrix-{}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.templar");
+        write_snapshot_with(&FsStorage, &path, &log_a, &qfg_a, Some(7)).unwrap();
+        let published = fs::read(&path).unwrap();
+
+        // Enumerate the fault surface of one clean overwrite, then restore
+        // the published bytes.
+        let counting = FaultyStorage::new();
+        write_snapshot_with(counting.as_ref(), &path, &log_b, &qfg_b, Some(9)).unwrap();
+        let total = counting.bytes_written();
+        assert!(total > 0);
+        fs::write(&path, &published).unwrap();
+
+        let assert_published_intact = |case: &str| {
+            assert_eq!(
+                fs::read(&path).unwrap(),
+                published,
+                "{case}: a failed overwrite must leave the published snapshot byte-identical"
+            );
+            let (snapshot, watermark) = read_snapshot_with_watermark(&path, Obscurity::NoConstOp)
+                .unwrap_or_else(|e| panic!("{case}: published snapshot unreadable: {e}"));
+            assert_eq!(snapshot.log, log_a, "{case}");
+            assert_eq!(snapshot.qfg, qfg_a, "{case}");
+            assert_eq!(watermark, 7, "{case}");
+        };
+
+        // Byte-budget sweep: a crash inside any write — section headers,
+        // section bodies, the final footer — with a torn prefix persisted.
+        let budgets = (0..total).step_by(7).chain([total.saturating_sub(1)]);
+        for budget in budgets {
+            let case = format!("byte budget {budget}/{total}");
+            let storage = FaultyStorage::new();
+            storage.crash_after_write_bytes(budget);
+            write_snapshot_with(storage.as_ref(), &path, &log_b, &qfg_b, Some(9))
+                .expect_err("an interrupted write must report failure");
+            assert_published_intact(&case);
+            // The disk comes back: the overwrite must go through whole.
+            storage.clear();
+            write_snapshot_with(storage.as_ref(), &path, &log_b, &qfg_b, Some(9))
+                .unwrap_or_else(|e| panic!("{case}: healed overwrite failed: {e}"));
+            let (snapshot, watermark) =
+                read_snapshot_with_watermark(&path, Obscurity::NoConstOp).unwrap();
+            assert_eq!(
+                snapshot.log, log_b,
+                "{case}: healed snapshot must be the new state"
+            );
+            assert_eq!(watermark, 9, "{case}");
+            fs::write(&path, &published).unwrap();
+        }
+
+        // Operation matrix: fail each create/fsync/rename/dir-sync site.  A
+        // fault *before* the rename must leave the old snapshot untouched; a
+        // fault *after* it (the directory fsync) legitimately leaves the new
+        // one published but reported non-durable — the invariant in every
+        // case is that the target parses as a *valid* snapshot that is
+        // exactly the old state or exactly the new one, never a blend.
+        for op in [
+            StorageOp::Create,
+            StorageOp::Write,
+            StorageOp::SyncData,
+            StorageOp::SyncAll,
+            StorageOp::SetLen,
+            StorageOp::Rename,
+            StorageOp::SyncDir,
+            StorageOp::RemoveFile,
+        ] {
+            for index in 0..counting.op_count(op) {
+                let case = format!("op {op:?} index {index}");
+                let storage = FaultyStorage::new();
+                storage.inject(FaultRule::crash(op, index));
+                match write_snapshot_with(storage.as_ref(), &path, &log_b, &qfg_b, Some(9)) {
+                    // The site was absorbed (e.g. cleanup of a leftover
+                    // temp file): the overwrite landed whole.
+                    Ok(_) => {
+                        let (snapshot, _) =
+                            read_snapshot_with_watermark(&path, Obscurity::NoConstOp).unwrap();
+                        assert_eq!(snapshot.log, log_b, "{case}");
+                    }
+                    Err(SnapshotError::Io(_)) => {
+                        let (snapshot, watermark) =
+                            read_snapshot_with_watermark(&path, Obscurity::NoConstOp)
+                                .unwrap_or_else(|e| {
+                                    panic!("{case}: target must stay a valid snapshot: {e}")
+                                });
+                        if watermark == 7 {
+                            assert_eq!(
+                                fs::read(&path).unwrap(),
+                                published,
+                                "{case}: surviving old snapshot must be byte-identical"
+                            );
+                            assert_eq!(snapshot.log, log_a, "{case}");
+                        } else {
+                            assert_eq!(watermark, 9, "{case}: old or new, never a blend");
+                            assert_eq!(snapshot.log, log_b, "{case}");
+                        }
+                    }
+                    Err(other) => panic!("{case}: expected an Io error, got {other}"),
+                }
+                fs::write(&path, &published).unwrap();
+            }
+        }
+
+        fs::remove_dir_all(&dir).ok();
     }
 }

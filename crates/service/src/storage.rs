@@ -1,0 +1,692 @@
+//! The storage boundary: every byte the service persists — WAL segments,
+//! snapshot files, the ownership lock, directory entry tables — crosses a
+//! [`Storage`] trait instead of calling `std::fs` directly.
+//!
+//! Production uses [`FsStorage`], a zero-cost veneer over the real
+//! filesystem.  Tests use [`FaultyStorage`], a deterministic fault injector
+//! that can fail the Nth write/fsync/rename with a chosen `errno`
+//! (`ENOSPC` vs `EIO`), land a short write before failing, fail once or
+//! forever, or *halt* — refuse every subsequent operation, modeling a
+//! crash whose surviving bytes are exactly what reached the inner
+//! filesystem before the trigger.  The chaos matrix in
+//! `tests/chaos_storage.rs` and the write-side torn matrices in `wal.rs` /
+//! `snapshot.rs` drive every durability path through it.
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Linux `ENOSPC` ("no space left on device") — the canonical disk-full
+/// fault the chaos tests inject.
+pub const ENOSPC: i32 = 28;
+/// Linux `EIO` ("input/output error") — the canonical media fault.
+pub const EIO: i32 = 5;
+
+/// One open file handle for writing, behind the storage boundary.
+///
+/// `io::Write` is a supertrait so `BufWriter` composes over a boxed handle;
+/// the extra methods cover the durability operations the WAL and snapshot
+/// writers need.
+pub trait StorageFile: Write + Send + fmt::Debug {
+    /// Flush file *data* to stable storage (`fdatasync`).
+    fn sync_data(&mut self) -> io::Result<()>;
+    /// Flush data and metadata to stable storage (`fsync`).
+    fn sync_all(&mut self) -> io::Result<()>;
+    /// Cut the file back to `len` bytes.
+    fn set_len(&mut self, len: u64) -> io::Result<()>;
+    /// Reposition the write cursor to an absolute offset.
+    fn seek_start(&mut self, pos: u64) -> io::Result<()>;
+}
+
+/// One open file handle for reading, behind the storage boundary.
+pub trait StorageRead: Read + Send + fmt::Debug {}
+
+impl StorageFile for File {
+    fn sync_data(&mut self) -> io::Result<()> {
+        File::sync_data(self)
+    }
+    fn sync_all(&mut self) -> io::Result<()> {
+        File::sync_all(self)
+    }
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        File::set_len(self, len)
+    }
+    fn seek_start(&mut self, pos: u64) -> io::Result<()> {
+        self.seek(SeekFrom::Start(pos)).map(|_| ())
+    }
+}
+
+impl StorageRead for File {}
+
+/// Every filesystem operation the service performs, as a closed set — both
+/// the dispatch surface of [`Storage`] and the fault-site vocabulary of
+/// [`FaultyStorage`] (a [`FaultRule`] names the operation it fails).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum StorageOp {
+    /// `create_dir_all`.
+    CreateDir = 0,
+    /// Create-or-truncate open for writing (new WAL segment, snapshot temp
+    /// file).
+    Create = 1,
+    /// Open an existing file for writing without truncation (torn-tail
+    /// repair).
+    OpenWrite = 2,
+    /// Open for reading.
+    OpenRead = 3,
+    /// Whole-file read.
+    ReadFile = 4,
+    /// Directory listing.
+    ListDir = 5,
+    /// A `write(2)` on an open handle.
+    Write = 6,
+    /// `fdatasync` on an open handle.
+    SyncData = 7,
+    /// `fsync` on an open handle.
+    SyncAll = 8,
+    /// `ftruncate` on an open handle.
+    SetLen = 9,
+    /// Atomic rename (snapshot publish).
+    Rename = 10,
+    /// File deletion (segment GC, temp-file sweep).
+    RemoveFile = 11,
+    /// Directory entry-table fsync.
+    SyncDir = 12,
+    /// Create-and-lock of the ownership lock file.
+    Lock = 13,
+    /// File size probe.
+    Len = 14,
+}
+
+/// Number of distinct [`StorageOp`] values (per-op counter array size).
+const OP_COUNT: usize = 15;
+
+/// The set of filesystem operations the service's durability paths use.
+///
+/// Implementations must be shareable across threads: the ingestion worker,
+/// checkpoints, and recovery all hold the same `Arc<dyn Storage>`.
+pub trait Storage: Send + Sync + fmt::Debug {
+    /// `create_dir_all`.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Create (or truncate) `path` for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>>;
+    /// Open an existing file for writing without truncating it.
+    fn open_write(&self, path: &Path) -> io::Result<Box<dyn StorageFile>>;
+    /// Open `path` for reading.
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn StorageRead>>;
+    /// Read the whole file at `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// The file names (not full paths) under directory `path`.
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<String>>;
+    /// Atomically rename `from` to `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Delete the file at `path`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Fsync the directory at `path` so freshly created / renamed / removed
+    /// entry names survive power loss.
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
+    /// Create `path` and take an exclusive advisory lock on it, returning
+    /// the locked handle (dropping it releases the lock).  Fails with
+    /// [`io::ErrorKind::WouldBlock`] when another live process holds it.
+    fn lock_exclusive(&self, path: &Path) -> io::Result<File>;
+    /// Size of the file at `path`, bytes.
+    fn file_len(&self, path: &Path) -> io::Result<u64>;
+    /// Whether a file exists at `path`.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// The production [`Storage`]: direct `std::fs` calls, no indirection
+/// beyond the vtable.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FsStorage;
+
+impl FsStorage {
+    /// A shared production storage handle.
+    pub fn shared() -> Arc<dyn Storage> {
+        Arc::new(FsStorage)
+    }
+}
+
+impl Storage for FsStorage {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Box::new(file))
+    }
+
+    fn open_write(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        let file = OpenOptions::new().write(true).open(path)?;
+        Ok(Box::new(file))
+    }
+
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn StorageRead>> {
+        Ok(Box::new(File::open(path)?))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(path)? {
+            if let Some(name) = entry?.file_name().to_str() {
+                names.push(name.to_string());
+            }
+        }
+        Ok(names)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        File::open(path)?.sync_all()
+    }
+
+    fn lock_exclusive(&self, path: &Path) -> io::Result<File> {
+        let lock = File::create(path)?;
+        lock.try_lock()
+            .map_err(|_| io::Error::from(io::ErrorKind::WouldBlock))?;
+        Ok(lock)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        Ok(fs::metadata(path)?.len())
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// One deterministic fault: fail the matching [`StorageOp`] with `errno`.
+#[derive(Debug, Clone)]
+pub struct FaultRule {
+    /// The operation to fail.
+    pub op: StorageOp,
+    /// Zero-based call index at which the fault fires: `after == n` fails
+    /// the `(n+1)`-th matching call.
+    pub after: u64,
+    /// Raw OS error returned ([`ENOSPC`], [`EIO`], …).
+    pub errno: i32,
+    /// `true` keeps failing every later matching call (fail-forever);
+    /// `false` fails exactly once.
+    pub forever: bool,
+    /// `true` halts the whole storage after the fault fires: every
+    /// subsequent operation of any kind fails, modeling a crash — the
+    /// surviving bytes are exactly what was persisted before the trigger.
+    pub halt: bool,
+    /// For [`StorageOp::Write`] only: persist this many bytes of the
+    /// failing write before returning the error (a short / torn write).
+    pub short_write: Option<usize>,
+}
+
+impl FaultRule {
+    /// Fail the `(after+1)`-th `op` once with `errno`.
+    pub fn once(op: StorageOp, after: u64, errno: i32) -> FaultRule {
+        FaultRule {
+            op,
+            after,
+            errno,
+            forever: false,
+            halt: false,
+            short_write: None,
+        }
+    }
+
+    /// Fail the `(after+1)`-th and every later `op` with `errno`.
+    pub fn forever(op: StorageOp, after: u64, errno: i32) -> FaultRule {
+        FaultRule {
+            forever: true,
+            ..FaultRule::once(op, after, errno)
+        }
+    }
+
+    /// Crash at the `(after+1)`-th `op`: the call fails and the storage
+    /// halts.
+    pub fn crash(op: StorageOp, after: u64) -> FaultRule {
+        FaultRule {
+            halt: true,
+            ..FaultRule::once(op, after, EIO)
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    rules: Vec<FaultRule>,
+    /// Per-op call counts (indexed by `StorageOp as usize`), fault sites
+    /// enumerable by running a clean pass first.
+    counts: [u64; OP_COUNT],
+    /// Cumulative payload bytes accepted by `Write` calls.
+    bytes_written: u64,
+    /// Crash after this many cumulative written bytes: the triggering write
+    /// persists a prefix up to the budget, then the storage halts.
+    write_byte_budget: Option<u64>,
+    /// Once halted, every operation fails (crash simulation).
+    halted: bool,
+    /// Faults fired so far.
+    injected: u64,
+}
+
+/// Count one `op` call against the shared fault state and decide its fate.
+fn check_op(state: &Mutex<FaultState>, op: StorageOp) -> io::Result<()> {
+    let mut state = state.lock();
+    if state.halted {
+        return Err(halted_error());
+    }
+    let n = state.counts[op as usize];
+    state.counts[op as usize] += 1;
+    let fired = state.rules.iter().find_map(|rule| {
+        let hit = rule.op == op
+            && if rule.forever {
+                n >= rule.after
+            } else {
+                n == rule.after
+            };
+        hit.then_some((rule.errno, rule.halt))
+    });
+    if let Some((errno, halt)) = fired {
+        state.injected += 1;
+        if halt {
+            state.halted = true;
+        }
+        return Err(io::Error::from_raw_os_error(errno));
+    }
+    Ok(())
+}
+
+/// Decide a write of `len` bytes: `Ok(len)` passes it through whole,
+/// `Err((prefix, error))` persists only `prefix` bytes then fails.
+fn check_write(state: &Mutex<FaultState>, len: usize) -> Result<usize, (usize, io::Error)> {
+    let mut state = state.lock();
+    if state.halted {
+        return Err((0, halted_error()));
+    }
+    let n = state.counts[StorageOp::Write as usize];
+    state.counts[StorageOp::Write as usize] += 1;
+    let fired = state.rules.iter().find_map(|rule| {
+        let hit = rule.op == StorageOp::Write
+            && if rule.forever {
+                n >= rule.after
+            } else {
+                n == rule.after
+            };
+        hit.then_some((rule.errno, rule.halt, rule.short_write))
+    });
+    if let Some((errno, halt, short)) = fired {
+        state.injected += 1;
+        if halt {
+            state.halted = true;
+        }
+        let prefix = short.unwrap_or(0).min(len);
+        state.bytes_written += prefix as u64;
+        return Err((prefix, io::Error::from_raw_os_error(errno)));
+    }
+    if let Some(budget) = state.write_byte_budget {
+        if state.bytes_written + len as u64 > budget {
+            let prefix = budget.saturating_sub(state.bytes_written) as usize;
+            state.injected += 1;
+            state.halted = true;
+            state.bytes_written += prefix as u64;
+            return Err((prefix, io::Error::from_raw_os_error(ENOSPC)));
+        }
+    }
+    state.bytes_written += len as u64;
+    Ok(len)
+}
+
+/// A deterministic fault-injecting [`Storage`] for tests: delegates to an
+/// inner [`FsStorage`] until a [`FaultRule`] (or the byte-budget crash of
+/// [`FaultyStorage::crash_after_write_bytes`]) fires.
+///
+/// Shareable and reconfigurable mid-run: tests keep an
+/// `Arc<FaultyStorage>`, hand a clone to the service as `Arc<dyn Storage>`,
+/// and later [`clear`](FaultyStorage::clear) the faults to model the disk
+/// coming back.
+#[derive(Debug, Default)]
+pub struct FaultyStorage {
+    inner: FsStorage,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultyStorage {
+    /// A fault-free injector (counts operations; useful for enumerating
+    /// fault sites before a chaos run).
+    pub fn new() -> Arc<FaultyStorage> {
+        Arc::new(FaultyStorage::default())
+    }
+
+    /// Install one fault rule.
+    pub fn inject(&self, rule: FaultRule) {
+        self.state.lock().rules.push(rule);
+    }
+
+    /// Crash once `budget` cumulative bytes have been written: the
+    /// triggering write persists exactly up to the budget (a torn write),
+    /// then every subsequent operation fails.
+    pub fn crash_after_write_bytes(&self, budget: u64) {
+        self.state.lock().write_byte_budget = Some(budget);
+    }
+
+    /// Remove every fault rule, the byte budget, and the halted state —
+    /// the disk comes back.  Counters are preserved.
+    pub fn clear(&self) {
+        let mut state = self.state.lock();
+        state.rules.clear();
+        state.write_byte_budget = None;
+        state.halted = false;
+    }
+
+    /// Reset the per-op call counters (between enumeration and replay of a
+    /// recorded schedule).
+    pub fn reset_counts(&self) {
+        let mut state = self.state.lock();
+        state.counts = [0; OP_COUNT];
+        state.bytes_written = 0;
+    }
+
+    /// How many times `op` has been issued.
+    pub fn op_count(&self, op: StorageOp) -> u64 {
+        self.state.lock().counts[op as usize]
+    }
+
+    /// Cumulative payload bytes accepted by writes.
+    pub fn bytes_written(&self) -> u64 {
+        self.state.lock().bytes_written
+    }
+
+    /// How many faults have fired.
+    pub fn injected(&self) -> u64 {
+        self.state.lock().injected
+    }
+
+    /// Whether a `halt` fault (or the byte-budget crash) has fired.
+    pub fn halted(&self) -> bool {
+        self.state.lock().halted
+    }
+
+    fn check(&self, op: StorageOp) -> io::Result<()> {
+        check_op(&self.state, op)
+    }
+}
+
+fn halted_error() -> io::Error {
+    io::Error::other("storage halted by injected crash")
+}
+
+impl Storage for FaultyStorage {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.check(StorageOp::CreateDir)?;
+        self.inner.create_dir_all(path)
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        self.check(StorageOp::Create)?;
+        let file = self.inner.create(path)?;
+        Ok(Box::new(FaultyFile {
+            state: Arc::clone(&self.state),
+            inner: file,
+        }))
+    }
+
+    fn open_write(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        self.check(StorageOp::OpenWrite)?;
+        let file = self.inner.open_write(path)?;
+        Ok(Box::new(FaultyFile {
+            state: Arc::clone(&self.state),
+            inner: file,
+        }))
+    }
+
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn StorageRead>> {
+        self.check(StorageOp::OpenRead)?;
+        self.inner.open_read(path)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.check(StorageOp::ReadFile)?;
+        self.inner.read(path)
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<String>> {
+        self.check(StorageOp::ListDir)?;
+        self.inner.list_dir(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.check(StorageOp::Rename)?;
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.check(StorageOp::RemoveFile)?;
+        self.inner.remove_file(path)
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        self.check(StorageOp::SyncDir)?;
+        self.inner.sync_dir(path)
+    }
+
+    fn lock_exclusive(&self, path: &Path) -> io::Result<File> {
+        self.check(StorageOp::Lock)?;
+        self.inner.lock_exclusive(path)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        self.check(StorageOp::Len)?;
+        self.inner.file_len(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+/// A write handle whose every `write` / `sync` / `set_len` consults the
+/// owning [`FaultyStorage`]'s fault state first.
+#[derive(Debug)]
+struct FaultyFile {
+    state: Arc<Mutex<FaultState>>,
+    inner: Box<dyn StorageFile>,
+}
+
+impl Write for FaultyFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match check_write(&self.state, buf.len()) {
+            Ok(len) => {
+                self.inner.write_all(&buf[..len])?;
+                Ok(len)
+            }
+            Err((prefix, e)) => {
+                // A torn write: the prefix reaches the inner file, the
+                // caller sees the failure.
+                if prefix > 0 {
+                    self.inner.write_all(&buf[..prefix])?;
+                    let _ = self.inner.sync_data();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl StorageFile for FaultyFile {
+    fn sync_data(&mut self) -> io::Result<()> {
+        check_op(&self.state, StorageOp::SyncData)?;
+        self.inner.sync_data()
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        check_op(&self.state, StorageOp::SyncAll)?;
+        self.inner.sync_all()
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        check_op(&self.state, StorageOp::SetLen)?;
+        self.inner.set_len(len)
+    }
+
+    fn seek_start(&mut self, pos: u64) -> io::Result<()> {
+        self.inner.seek_start(pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "templar-storage-test-{}-{name}",
+            std::process::id()
+        ));
+        fs::remove_dir_all(&dir).ok();
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn fs_storage_round_trips_bytes() {
+        let dir = temp_dir("fs-roundtrip");
+        let storage = FsStorage;
+        let path = dir.join("file.bin");
+        let mut file = storage.create(&path).unwrap();
+        file.write_all(b"hello").unwrap();
+        file.sync_all().unwrap();
+        drop(file);
+        assert_eq!(storage.read(&path).unwrap(), b"hello");
+        assert_eq!(storage.file_len(&path).unwrap(), 5);
+        assert!(storage.exists(&path));
+        assert_eq!(storage.list_dir(&dir).unwrap(), vec!["file.bin"]);
+        let to = dir.join("renamed.bin");
+        storage.rename(&path, &to).unwrap();
+        storage.sync_dir(&dir).unwrap();
+        assert!(!storage.exists(&path));
+        storage.remove_file(&to).unwrap();
+        assert!(!storage.exists(&to));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fail_once_fires_exactly_once() {
+        let dir = temp_dir("fail-once");
+        let storage = FaultyStorage::new();
+        storage.inject(FaultRule::once(StorageOp::SyncData, 1, EIO));
+        let mut file = storage.create(&dir.join("f")).unwrap();
+        file.write_all(b"a").unwrap();
+        assert!(file.sync_data().is_ok(), "call 0 passes");
+        let err = file.sync_data().expect_err("call 1 fails");
+        assert_eq!(err.raw_os_error(), Some(EIO));
+        assert!(file.sync_data().is_ok(), "call 2 passes again");
+        assert_eq!(storage.injected(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fail_forever_keeps_failing_until_cleared() {
+        let dir = temp_dir("fail-forever");
+        let storage = FaultyStorage::new();
+        storage.inject(FaultRule::forever(StorageOp::SyncData, 0, ENOSPC));
+        let mut file = storage.create(&dir.join("f")).unwrap();
+        for _ in 0..3 {
+            assert_eq!(
+                file.sync_data().expect_err("forever").raw_os_error(),
+                Some(ENOSPC)
+            );
+        }
+        storage.clear();
+        assert!(file.sync_data().is_ok(), "the disk came back");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn short_write_persists_the_prefix_then_fails() {
+        let dir = temp_dir("short-write");
+        let storage = FaultyStorage::new();
+        storage.inject(FaultRule {
+            short_write: Some(3),
+            ..FaultRule::once(StorageOp::Write, 0, EIO)
+        });
+        let path = dir.join("f");
+        let mut file = storage.create(&path).unwrap();
+        assert!(file.write_all(b"abcdef").is_err());
+        drop(file);
+        assert_eq!(fs::read(&path).unwrap(), b"abc", "only the prefix landed");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn byte_budget_crash_halts_everything_after_the_torn_write() {
+        let dir = temp_dir("byte-budget");
+        let storage = FaultyStorage::new();
+        storage.crash_after_write_bytes(4);
+        let path = dir.join("f");
+        let mut file = storage.create(&path).unwrap();
+        file.write_all(b"ab").unwrap();
+        assert!(
+            file.write_all(b"cdef").is_err(),
+            "budget exceeded mid-write"
+        );
+        assert!(storage.halted());
+        assert!(file.sync_data().is_err(), "halted: nothing more succeeds");
+        assert!(storage.read(&path).is_err());
+        drop(file);
+        assert_eq!(fs::read(&path).unwrap(), b"abcd", "exactly 4 bytes survive");
+        storage.clear();
+        assert!(storage.read(&path).is_ok());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn op_counts_enumerate_fault_sites() {
+        let dir = temp_dir("op-counts");
+        let storage = FaultyStorage::new();
+        let mut file = storage.create(&dir.join("f")).unwrap();
+        file.write_all(b"x").unwrap();
+        file.write_all(b"y").unwrap();
+        file.sync_data().unwrap();
+        drop(file);
+        assert_eq!(storage.op_count(StorageOp::Create), 1);
+        assert_eq!(storage.op_count(StorageOp::Write), 2);
+        assert_eq!(storage.op_count(StorageOp::SyncData), 1);
+        assert_eq!(storage.bytes_written(), 2);
+        storage.reset_counts();
+        assert_eq!(storage.op_count(StorageOp::Write), 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lock_exclusive_refuses_a_second_holder() {
+        let dir = temp_dir("lock");
+        let storage = FsStorage;
+        let path = dir.join("LOCK");
+        let _held = storage.lock_exclusive(&path).unwrap();
+        let err = storage.lock_exclusive(&path).expect_err("held elsewhere");
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -42,11 +42,18 @@ const MEMO_CAP: usize = 256;
 /// Append one canonically-serialized component to a cache key: the
 /// component's JSON form behind an explicit byte-length prefix.  The length
 /// prefix makes concatenation unambiguous whatever the content — no two
-/// distinct component sequences can collide by resegmentation.
-fn push_canonical<T: serde::Serialize>(key: &mut String, part: &T) {
-    let json = serde_json::to_string(part).expect("canonical key serialization is infallible");
-    key.push_str(&format!("{}:", json.len()));
-    key.push_str(&json);
+/// distinct component sequences can collide by resegmentation.  Returns
+/// `false` if the component refuses to serialize; the caller must then
+/// treat the whole key as unusable rather than cache under a prefix.
+fn push_canonical<T: serde::Serialize>(key: &mut String, part: &T) -> bool {
+    match serde_json::to_string(part) {
+        Ok(json) => {
+            key.push_str(&format!("{}:", json.len()));
+            key.push_str(&json);
+            true
+        }
+        Err(_) => false,
+    }
 }
 
 /// The cache key of one translate request: the question normalized
@@ -64,7 +71,7 @@ pub(crate) fn request_key(
     nlq: &str,
     keywords: &[(Keyword, KeywordMetadata)],
     overrides: &RequestOverrides,
-) -> String {
+) -> Option<String> {
     let mut key = String::with_capacity(nlq.len() + 64);
     for word in nlq.split_whitespace() {
         if !key.is_empty() {
@@ -74,8 +81,9 @@ pub(crate) fn request_key(
     }
     key.push('\u{1}');
     for (keyword, meta) in keywords {
-        push_canonical(&mut key, keyword);
-        push_canonical(&mut key, meta);
+        if !push_canonical(&mut key, keyword) || !push_canonical(&mut key, meta) {
+            return None;
+        }
     }
     key.push('\u{1}');
     match overrides.lambda {
@@ -90,7 +98,7 @@ pub(crate) fn request_key(
         Some(top_k) => key.push_str(&format!("k{top_k}")),
         None => key.push('-'),
     }
-    key
+    Some(key)
 }
 
 /// One cached successful translation: the trace-free response plus the
@@ -257,18 +265,18 @@ impl CandidateMemo for BatchGuard<'_> {
         if state.key != self.key {
             return None;
         }
-        state.lists.get(&memo_key(keyword, meta)).cloned()
+        state.lists.get(&memo_key(keyword, meta)?).cloned()
     }
 
     fn put(&self, keyword: &Keyword, meta: &KeywordMetadata, pruned: &[MappingCandidate]) {
+        let Some(key) = memo_key(keyword, meta) else {
+            return;
+        };
         let mut state = self.memo.state.lock();
         if state.key != self.key || state.lists.len() >= MEMO_CAP {
             return;
         }
-        state
-            .lists
-            .entry(memo_key(keyword, meta))
-            .or_insert_with(|| pruned.to_vec());
+        state.lists.entry(key).or_insert_with(|| pruned.to_vec());
     }
 }
 
@@ -285,11 +293,12 @@ impl Drop for BatchGuard<'_> {
     }
 }
 
-fn memo_key(keyword: &Keyword, meta: &KeywordMetadata) -> String {
+fn memo_key(keyword: &Keyword, meta: &KeywordMetadata) -> Option<String> {
     let mut key = String::new();
-    push_canonical(&mut key, keyword);
-    push_canonical(&mut key, meta);
-    key
+    if !push_canonical(&mut key, keyword) || !push_canonical(&mut key, meta) {
+        return None;
+    }
+    Some(key)
 }
 
 #[cfg(test)]
@@ -361,14 +370,14 @@ mod tests {
             KeywordMetadata::filter_with_op(BinOp::Gt),
         )];
         assert_eq!(
-            request_key("Papers  after\t2000", &kws, &base),
+            request_key("Papers  after\t2000", &kws, &base).unwrap(),
             "papers after 2000\u{1}\
              21:{\"text\":\"after 2000\"}\
              62:{\"context\":\"Where\",\"op\":\"Gt\",\"aggregates\":[],\"group_by\":false}\
              \u{1}---"
         );
         assert_eq!(
-            memo_key(&kws[0].0, &kws[0].1),
+            memo_key(&kws[0].0, &kws[0].1).unwrap(),
             "21:{\"text\":\"after 2000\"}\
              62:{\"context\":\"Where\",\"op\":\"Gt\",\"aggregates\":[],\"group_by\":false}"
         );

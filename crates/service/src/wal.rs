@@ -53,13 +53,14 @@
 //! [`gc_segments`] deletes segments wholly covered by the watermark; the
 //! active (final) segment is never deleted.
 
-use std::fs::{self, File, OpenOptions};
-use std::io::{self, Seek, SeekFrom, Write};
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::config::WalConfig;
 use crate::error::WalError;
+use crate::storage::{FsStorage, Storage, StorageFile};
 
 /// Filename prefix of every segment file.
 pub const SEGMENT_PREFIX: &str = "wal-";
@@ -97,23 +98,15 @@ fn parse_segment_name(name: &str) -> Option<u64> {
 }
 
 /// The segment files under `dir`, sorted by first sequence number.
-fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+fn list_segments(storage: &dyn Storage, dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
     let mut segments = Vec::new();
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        if let Some(first) = entry.file_name().to_str().and_then(parse_segment_name) {
-            segments.push((first, entry.path()));
+    for name in storage.list_dir(dir)? {
+        if let Some(first) = parse_segment_name(&name) {
+            segments.push((first, dir.join(name)));
         }
     }
     segments.sort_unstable_by_key(|(first, _)| *first);
     Ok(segments)
-}
-
-/// Flush a directory's entry table so a freshly created (or removed) file
-/// name survives power loss along with its bytes.  Shared with the snapshot
-/// writer, which has the same rename-durability obligation.
-pub(crate) fn sync_dir(dir: &Path) -> io::Result<()> {
-    File::open(dir)?.sync_all()
 }
 
 /// The append half of the journal.  Single-writer: the service's ingestion
@@ -128,8 +121,9 @@ pub(crate) fn sync_dir(dir: &Path) -> io::Result<()> {
 /// and the whole buffer is retried at the next sync.
 #[derive(Debug)]
 pub struct WalWriter {
+    storage: Arc<dyn Storage>,
     dir: PathBuf,
-    file: File,
+    file: Box<dyn StorageFile>,
     config: WalConfig,
     /// Sequence number the next append will receive.
     next_seq: u64,
@@ -148,6 +142,14 @@ pub struct WalWriter {
     pending_dir_sync: bool,
     /// Filesystem failures absorbed since the last [`WalWriter::take_io_errors`].
     io_errors: u64,
+    /// A sync failure episode is in progress: repeated failures of the same
+    /// episode count as ONE `io_errors` increment (the counter measures
+    /// distinct failures, not retry attempts); a successful sync ends it.
+    sync_failing: bool,
+    /// `errno` of the failure that opened the current (or latest) episode,
+    /// kept until [`WalWriter::take_last_errno`] drains it — the signal
+    /// that lets an operator tell `ENOSPC` from `EIO`.
+    last_errno: Option<i32>,
 }
 
 impl WalWriter {
@@ -156,15 +158,23 @@ impl WalWriter {
     /// `next_seq`, so an existing file at this name can only be an empty
     /// leftover segment from a previous session that appended nothing.
     pub fn create(dir: &Path, next_seq: u64, config: WalConfig) -> io::Result<Self> {
-        fs::create_dir_all(dir)?;
+        Self::create_with(FsStorage::shared(), dir, next_seq, config)
+    }
+
+    /// [`WalWriter::create`] over an explicit [`Storage`] (fault injection
+    /// in tests; [`FsStorage`] in production).
+    pub fn create_with(
+        storage: Arc<dyn Storage>,
+        dir: &Path,
+        next_seq: u64,
+        config: WalConfig,
+    ) -> io::Result<Self> {
+        storage.create_dir_all(dir)?;
         let path = segment_path(dir, next_seq);
-        let file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(&path)?;
-        sync_dir(dir)?;
+        let file = storage.create(&path)?;
+        storage.sync_dir(dir)?;
         Ok(WalWriter {
+            storage,
             dir: dir.to_path_buf(),
             file,
             config,
@@ -176,6 +186,8 @@ impl WalWriter {
             last_sync: Instant::now(),
             pending_dir_sync: false,
             io_errors: 0,
+            sync_failing: false,
+            last_errno: None,
         })
     }
 
@@ -194,8 +206,10 @@ impl WalWriter {
             !sql.is_empty(),
             "empty entries must be filtered before they reach the journal"
         );
-        if self.segment_records >= self.config.segment_max_records && self.rotate().is_err() {
-            self.io_errors += 1;
+        if self.segment_records >= self.config.segment_max_records {
+            if let Err(e) = self.rotate() {
+                self.note_io_failure(&e);
+            }
         }
         let payload = sql.as_bytes();
         self.buffer.reserve(FRAME_HEADER + payload.len());
@@ -219,7 +233,7 @@ impl WalWriter {
         }
         if let Err(e) = self.file.write_all(&self.buffer) {
             let _ = self.file.set_len(self.written_len);
-            let _ = self.file.seek(SeekFrom::Start(self.written_len));
+            let _ = self.file.seek_start(self.written_len);
             return Err(e);
         }
         self.written_len += self.buffer.len() as u64;
@@ -250,13 +264,32 @@ impl WalWriter {
     /// Force the dirty tail down: retry any outstanding directory fsync,
     /// flush staged frames and fsync.  Returns whether an fsync was issued
     /// (false when nothing was dirty).
+    ///
+    /// Failure accounting is per *episode*, not per attempt: the first
+    /// failure after a success increments the absorbed-failure counter
+    /// (see [`WalWriter::take_io_errors`]) and records its `errno`; the
+    /// retries a wedged journal provokes do not inflate the count, and the
+    /// next success closes the episode.
     pub fn sync(&mut self) -> io::Result<bool> {
+        match self.sync_inner() {
+            Ok(issued) => {
+                self.sync_failing = false;
+                Ok(issued)
+            }
+            Err(e) => {
+                self.note_io_failure(&e);
+                Err(e)
+            }
+        }
+    }
+
+    fn sync_inner(&mut self) -> io::Result<bool> {
         if self.pending_dir_sync {
             // The current segment's NAME is not durable until this
             // succeeds; acknowledging a data sync first would let a
             // checkpoint GC older segments while the whole new segment
             // could still vanish with the lost directory entry.
-            sync_dir(&self.dir)?;
+            self.storage.sync_dir(&self.dir)?;
             self.pending_dir_sync = false;
         }
         if self.dirty_records == 0 {
@@ -269,6 +302,18 @@ impl WalWriter {
         Ok(true)
     }
 
+    /// Open a failure episode (idempotent within one): count it once and
+    /// remember the `errno` that started it.
+    fn note_io_failure(&mut self, e: &io::Error) {
+        if !self.sync_failing {
+            self.sync_failing = true;
+            self.io_errors += 1;
+            if let Some(errno) = e.raw_os_error() {
+                self.last_errno = Some(errno);
+            }
+        }
+    }
+
     /// Seal the current segment and start the next one.  The sealed segment
     /// is flushed and fsynced first so replay's "torn tails only happen in
     /// the final segment" invariant holds on disk, not just in this process.
@@ -278,20 +323,17 @@ impl WalWriter {
         self.dirty_records = 0;
         self.last_sync = Instant::now();
         let path = segment_path(&self.dir, self.next_seq);
-        self.file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(&path)?;
+        self.file = self.storage.create(&path)?;
         self.segment_records = 0;
         self.written_len = 0;
-        if let Err(e) = sync_dir(&self.dir) {
+        if let Err(e) = self.storage.sync_dir(&self.dir) {
             // The new segment's bytes will reach disk via sync_data, but
             // its directory entry is not durable yet — remember, and retry
             // before any future sync is acknowledged.
             self.pending_dir_sync = true;
             return Err(e);
         }
+        self.sync_failing = false;
         Ok(())
     }
 
@@ -315,9 +357,23 @@ impl WalWriter {
     }
 
     /// Drain the count of filesystem failures absorbed since the last call
-    /// (for the service's `wal_io_errors` metric).
+    /// (for the service's `wal_io_errors` metric).  Counts distinct failure
+    /// *episodes*: a permanently failing fsync that is retried N times
+    /// contributes 1, not N.
     pub fn take_io_errors(&mut self) -> u64 {
         std::mem::take(&mut self.io_errors)
+    }
+
+    /// Drain the `errno` that opened the most recent failure episode (for
+    /// the service's `wal_last_errno` metric — `ENOSPC` reads differently
+    /// from `EIO` on an operator's dashboard).
+    pub fn take_last_errno(&mut self) -> Option<i32> {
+        self.last_errno.take()
+    }
+
+    /// Whether the writer is inside an unresolved failure episode.
+    pub fn is_failing(&self) -> bool {
+        self.sync_failing
     }
 }
 
@@ -380,6 +436,16 @@ pub fn replay(dir: &Path, watermark: u64) -> Result<WalReplay, WalError> {
     })
 }
 
+/// [`replay_batched`] over the production filesystem.
+pub fn replay_batched(
+    dir: &Path,
+    watermark: u64,
+    batch_budget_bytes: usize,
+    sink: &mut dyn FnMut(&[ReplayedEntry]),
+) -> Result<WalReplayStats, WalError> {
+    replay_batched_with(&FsStorage, dir, watermark, batch_budget_bytes, sink)
+}
+
 /// Replay the journal tail above `watermark` in bounded-memory batches.
 ///
 /// Decoded entries accumulate until admitting the next one would push the
@@ -390,13 +456,14 @@ pub fn replay(dir: &Path, watermark: u64) -> Result<WalReplay, WalError> {
 /// Segment contiguity checks, benign-gap tolerance, and torn-tail physical
 /// truncation are identical to [`replay`] (which is a collect-all wrapper
 /// over this function).
-pub fn replay_batched(
+pub fn replay_batched_with(
+    storage: &dyn Storage,
     dir: &Path,
     watermark: u64,
     batch_budget_bytes: usize,
     sink: &mut dyn FnMut(&[ReplayedEntry]),
 ) -> Result<WalReplayStats, WalError> {
-    let segments = match list_segments(dir) {
+    let segments = match list_segments(storage, dir) {
         Ok(segments) => segments,
         Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
         Err(e) => return Err(WalError::Io(e)),
@@ -446,17 +513,14 @@ pub fn replay_batched(
             }
             next_seq = *first_seq;
         }
-        let bytes = fs::read(path).map_err(WalError::Io)?;
+        let bytes = storage.read(path).map_err(WalError::Io)?;
         let (records, valid_len) = parse_segment(&bytes, &name, is_last)?;
         if valid_len < bytes.len() as u64 {
             // Torn tail on the final segment: cut the file back to the last
             // whole record so future replays (and appends to a later
             // segment) never see the partial frame again.
             truncated_bytes = bytes.len() as u64 - valid_len;
-            let file = OpenOptions::new()
-                .write(true)
-                .open(path)
-                .map_err(WalError::Io)?;
+            let mut file = storage.open_write(path).map_err(WalError::Io)?;
             file.set_len(valid_len).map_err(WalError::Io)?;
             file.sync_all().map_err(WalError::Io)?;
         }
@@ -530,8 +594,10 @@ fn parse_segment(bytes: &[u8], name: &str, is_last: bool) -> Result<(Vec<String>
             let valid = torn(true, format!("truncated frame header at byte {at}"))?;
             return Ok((records, valid));
         }
-        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
-        let stored_crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+        let len =
+            u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]) as usize;
+        let stored_crc =
+            u32::from_le_bytes([bytes[at + 4], bytes[at + 5], bytes[at + 6], bytes[at + 7]]);
         let body_start = at + FRAME_HEADER;
         if len == 0 {
             // Never written by `append` (the service filters empty entries);
@@ -579,7 +645,12 @@ fn parse_segment(bytes: &[u8], name: &str, is_last: bool) -> Result<(Vec<String>
 /// never deleted (its end is unknown and the writer owns it).  Returns the
 /// number of segments removed.
 pub fn gc_segments(dir: &Path, watermark: u64) -> io::Result<usize> {
-    let segments = match list_segments(dir) {
+    gc_segments_with(&FsStorage, dir, watermark)
+}
+
+/// [`gc_segments`] over an explicit [`Storage`].
+pub fn gc_segments_with(storage: &dyn Storage, dir: &Path, watermark: u64) -> io::Result<usize> {
+    let segments = match list_segments(storage, dir) {
         Ok(segments) => segments,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
         Err(e) => return Err(e),
@@ -589,12 +660,12 @@ pub fn gc_segments(dir: &Path, watermark: u64) -> io::Result<usize> {
         let (_, ref path) = pair[0];
         let (next_first, _) = pair[1];
         if next_first <= watermark + 1 {
-            fs::remove_file(path)?;
+            storage.remove_file(path)?;
             removed += 1;
         }
     }
     if removed > 0 {
-        sync_dir(dir)?;
+        storage.sync_dir(dir)?;
     }
     Ok(removed)
 }
@@ -602,6 +673,7 @@ pub fn gc_segments(dir: &Path, watermark: u64) -> io::Result<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::{self, OpenOptions};
     use std::time::Duration;
 
     fn temp_wal_dir(name: &str) -> PathBuf {
@@ -617,6 +689,7 @@ mod tests {
             fsync_interval: Duration::from_millis(5),
             segment_max_records: 4,
             max_staged_bytes: 8 * 1024 * 1024,
+            ..WalConfig::default()
         }
     }
 
@@ -668,6 +741,7 @@ mod tests {
                 fsync_interval: Duration::from_secs(3600),
                 segment_max_records: 1024,
                 max_staged_bytes: 8 * 1024 * 1024,
+                ..WalConfig::default()
             },
         )
         .unwrap();
@@ -692,7 +766,7 @@ mod tests {
             wal.append(&format!("SELECT c{i} FROM t"));
         }
         wal.sync().unwrap();
-        let segments = list_segments(&dir).unwrap();
+        let segments = list_segments(&FsStorage, &dir).unwrap();
         assert_eq!(
             segments.iter().map(|(first, _)| *first).collect::<Vec<_>>(),
             vec![1, 5, 9],
@@ -740,6 +814,7 @@ mod tests {
                 fsync_interval: Duration::from_millis(5),
                 segment_max_records: 1024, // keep everything in one segment
                 max_staged_bytes: 8 * 1024 * 1024,
+                ..WalConfig::default()
             },
         )
         .unwrap();
@@ -899,7 +974,7 @@ mod tests {
         // Segments: [1..=4], [5..=8], [9..]. Watermark 6 covers only the
         // first segment wholly.
         assert_eq!(gc_segments(&dir, 6).unwrap(), 1);
-        let firsts: Vec<u64> = list_segments(&dir)
+        let firsts: Vec<u64> = list_segments(&FsStorage, &dir)
             .unwrap()
             .iter()
             .map(|(f, _)| *f)
@@ -907,7 +982,7 @@ mod tests {
         assert_eq!(firsts, vec![5, 9]);
         // Watermark 10 covers [5..=8] too; the active segment survives.
         assert_eq!(gc_segments(&dir, 10).unwrap(), 1);
-        let firsts: Vec<u64> = list_segments(&dir)
+        let firsts: Vec<u64> = list_segments(&FsStorage, &dir)
             .unwrap()
             .iter()
             .map(|(f, _)| *f)
@@ -1008,7 +1083,7 @@ mod tests {
         wal.append("SELECT b FROM t");
         wal.sync().unwrap();
         // Tear the final record: chop bytes off the segment's tail.
-        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let (_, path) = list_segments(&FsStorage, &dir).unwrap().pop().unwrap();
         let len = fs::metadata(&path).unwrap().len();
         let file = OpenOptions::new().write(true).open(&path).unwrap();
         file.set_len(len - 3).unwrap();
@@ -1027,5 +1102,70 @@ mod tests {
         assert_eq!(again.truncated_bytes, 0);
         assert_eq!(again.entries.len(), 1);
         fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Write-side torn matrix: crash the storage at **every cumulative byte
+    /// budget** across the whole append stream — every record boundary and
+    /// every intra-record offset, spanning a segment rotation — and assert
+    /// recovery returns exactly a prefix of the appended entries that
+    /// covers every *acknowledged* (successfully synced) one.  A crash can
+    /// lose staged-but-unacknowledged frames and tear the final frame; it
+    /// must never lose an acknowledged frame, reorder, or invent one.
+    #[test]
+    fn write_crash_at_every_byte_budget_recovers_the_acknowledged_prefix() {
+        use crate::storage::FaultyStorage;
+
+        let entries: Vec<String> = (0..6).map(|i| format!("SELECT c{i} FROM t")).collect();
+
+        // Clean pass: total bytes the append stream writes (rotation at 4
+        // records, so the matrix spans a segment boundary too).
+        let clean_dir = temp_wal_dir("crash-matrix-clean");
+        let counting = FaultyStorage::new();
+        {
+            let mut wal =
+                WalWriter::create_with(counting.clone(), &clean_dir, 1, fast_config()).unwrap();
+            for sql in &entries {
+                wal.append(sql);
+                wal.sync().unwrap();
+            }
+        }
+        let total = counting.bytes_written();
+        assert!(total > 0);
+        fs::remove_dir_all(&clean_dir).ok();
+
+        for budget in 0..=total {
+            let dir = temp_wal_dir(&format!("crash-matrix-{budget}"));
+            let storage = FaultyStorage::new();
+            storage.crash_after_write_bytes(budget);
+            let mut acknowledged = 0usize;
+            if let Ok(mut wal) = WalWriter::create_with(storage.clone(), &dir, 1, fast_config()) {
+                for (i, sql) in entries.iter().enumerate() {
+                    wal.append(sql);
+                    if wal.sync().is_ok() {
+                        acknowledged = i + 1;
+                    }
+                }
+            }
+            // Recovery reads the real filesystem — exactly the bytes that
+            // survived the crash.
+            let replayed = replay(&dir, 0).unwrap_or_else(|e| {
+                panic!("budget {budget}: replay must absorb a write-side crash, got {e}")
+            });
+            assert!(
+                replayed.entries.len() >= acknowledged,
+                "budget {budget}: {acknowledged} entries were acknowledged durable but only {} \
+                 recovered",
+                replayed.entries.len()
+            );
+            assert!(
+                replayed.entries.len() <= entries.len(),
+                "budget {budget}: recovery invented entries"
+            );
+            for (i, (seq, sql)) in replayed.entries.iter().enumerate() {
+                assert_eq!(*seq, i as u64 + 1, "budget {budget}: sequence gap");
+                assert_eq!(sql, &entries[i], "budget {budget}: payload mismatch");
+            }
+            fs::remove_dir_all(&dir).ok();
+        }
     }
 }

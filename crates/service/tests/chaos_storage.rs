@@ -1,0 +1,439 @@
+//! The chaos matrix: every filesystem operation the durable paths perform
+//! is enumerated with a counting [`FaultyStorage`] pass, then failed — once
+//! and forever — while the invariants are asserted at each site:
+//!
+//! * **never a wrong answer** — a service that stays up serves translations
+//!   byte-identical to the unfaulted reference; a service that refuses does
+//!   so with a typed error, never a panic,
+//! * **self-healing** — after the fault clears ([`FaultyStorage::clear`],
+//!   the disk coming back), recovery or checkpointing succeeds and the
+//!   state is byte-identical to the acknowledged pre-fault state,
+//! * **degraded read-only mode** — a journal that keeps failing past the
+//!   bounded in-line retries flips the service to `Degraded`: ingestion is
+//!   refused with [`ServiceError::Degraded`], translations and metrics keep
+//!   serving, and the background probe restores `Healthy` once the fault
+//!   clears.
+
+use nlidb::Nlq;
+use nlp::TextSimilarity;
+use relational::{DataType, Database, Schema};
+use sqlparse::BinOp;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use templar_core::{Keyword, KeywordMetadata, TemplarConfig};
+use templar_service::{
+    FaultRule, FaultyStorage, HealthState, ServiceConfig, ServiceError, Storage, StorageOp,
+    TemplarService,
+};
+
+/// Every fault site the matrix sweeps.  `StorageOp` is a closed set; listing
+/// it here keeps the sweep exhaustive by construction (a new operation added
+/// to the trait shows up as a zero-count site until the paths use it).
+const ALL_OPS: [StorageOp; 15] = [
+    StorageOp::CreateDir,
+    StorageOp::Create,
+    StorageOp::OpenWrite,
+    StorageOp::OpenRead,
+    StorageOp::ReadFile,
+    StorageOp::ListDir,
+    StorageOp::Write,
+    StorageOp::SyncData,
+    StorageOp::SyncAll,
+    StorageOp::SetLen,
+    StorageOp::Rename,
+    StorageOp::RemoveFile,
+    StorageOp::SyncDir,
+    StorageOp::Lock,
+    StorageOp::Len,
+];
+
+const EIO: i32 = 5;
+const ENOSPC: i32 = 28;
+
+fn academic_db() -> Arc<Database> {
+    let schema = Schema::builder("academic")
+        .relation(
+            "publication",
+            &[
+                ("pid", DataType::Integer),
+                ("title", DataType::Text),
+                ("year", DataType::Integer),
+                ("jid", DataType::Integer),
+            ],
+            Some("pid"),
+        )
+        .relation(
+            "journal",
+            &[("jid", DataType::Integer), ("name", DataType::Text)],
+            Some("jid"),
+        )
+        .foreign_key("publication", "jid", "journal", "jid")
+        .build();
+    let mut db = Database::new(schema);
+    db.insert(
+        "publication",
+        vec![1.into(), "Query Processing".into(), 2003.into(), 1.into()],
+    )
+    .unwrap();
+    db.insert("journal", vec![1.into(), "TKDE".into()]).unwrap();
+    Arc::new(db)
+}
+
+fn papers_after_2000() -> Nlq {
+    Nlq::new(
+        "Return the papers after 2000",
+        vec![
+            (Keyword::new("papers"), KeywordMetadata::select()),
+            (
+                Keyword::new("after 2000"),
+                KeywordMetadata::filter_with_op(BinOp::Gt),
+            ),
+        ],
+        vec![],
+    )
+}
+
+const ACADEMIC_LOG: [&str; 5] = [
+    "SELECT p.title FROM publication p WHERE p.year > 1995",
+    "SELECT p.title FROM publication p WHERE p.year > 2010",
+    "SELECT p.title FROM publication p, journal j WHERE j.name = 'TKDE' AND p.jid = j.jid",
+    "SELECT j.name FROM journal j",
+    "SELECT p.title FROM publication p WHERE p.year > 2001",
+];
+
+/// Durable config with per-record fsync and fast, bounded journal retries —
+/// the matrix should spend its wall-clock on fault sites, not on backoff.
+fn chaos_config() -> ServiceConfig {
+    ServiceConfig::default()
+        .with_refresh_every(4)
+        .with_refresh_interval(Duration::from_millis(10))
+        .with_wal_fsync_every(1)
+        .with_journal_retry_attempts(2)
+        .with_journal_retry_base_backoff(Duration::from_millis(1))
+        .with_journal_retry_max_backoff(Duration::from_millis(4))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("templar-chaos-{}-{name}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    fs::create_dir_all(dst).unwrap();
+    for entry in fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_dir(&entry.path(), &to);
+        } else {
+            fs::copy(entry.path(), &to).unwrap();
+        }
+    }
+}
+
+fn translation_bytes(service: &TemplarService, nlq: &Nlq) -> Vec<(String, u64)> {
+    service
+        .translate(nlq)
+        .unwrap()
+        .iter()
+        .map(|r| (r.query.to_string(), r.score.to_bits()))
+        .collect()
+}
+
+fn recover_with(dir: &Path, storage: Arc<dyn Storage>) -> Result<TemplarService, ServiceError> {
+    TemplarService::recover_with_storage(
+        academic_db(),
+        dir,
+        storage,
+        TextSimilarity::new(),
+        TemplarConfig::paper_defaults(),
+        chaos_config(),
+    )
+}
+
+/// Build a checkpointed durable image: journal + snapshot + sealed state.
+fn populated_image(name: &str) -> PathBuf {
+    let dir = temp_dir(name);
+    let service = recover_with(&dir, FaultyStorage::new()).unwrap();
+    for sql in ACADEMIC_LOG {
+        service.submit_sql(sql).unwrap();
+    }
+    service.flush();
+    service.checkpoint().unwrap();
+    drop(service);
+    dir
+}
+
+fn poll_health(service: &TemplarService, want: HealthState, deadline: Duration) -> bool {
+    let started = Instant::now();
+    while started.elapsed() < deadline {
+        if service.health_state() == want {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    service.health_state() == want
+}
+
+/// Fail every filesystem operation of the **recovery path**, once and
+/// forever, at every call index.  A faulted recovery must either come up
+/// answering byte-identically or refuse with a typed error — and after the
+/// fault clears, the *same* storage must recover byte-identically.
+#[test]
+fn recovery_fault_matrix_is_typed_and_heals_byte_identically() {
+    let image = populated_image("recovery-matrix-image");
+
+    // Reference: what a clean recovery of this image answers, and how many
+    // times recovery issues each operation (the fault-site enumeration).
+    let counting = FaultyStorage::new();
+    let reference = {
+        let probe = temp_dir("recovery-matrix-ref");
+        copy_dir(&image, &probe);
+        let service = recover_with(&probe, counting.clone()).unwrap();
+        let bytes = translation_bytes(&service, &papers_after_2000());
+        let queries = service.metrics().qfg_queries;
+        drop(service);
+        fs::remove_dir_all(&probe).ok();
+        (bytes, queries)
+    };
+
+    let mut sites = 0u64;
+    for op in ALL_OPS {
+        let count = counting.op_count(op);
+        for index in 0..count {
+            for forever in [false, true] {
+                sites += 1;
+                let case = format!("op {op:?} index {index} forever {forever}");
+                let dir = temp_dir("recovery-matrix-case");
+                copy_dir(&image, &dir);
+                let storage = FaultyStorage::new();
+                storage.inject(if forever {
+                    FaultRule::forever(op, index, EIO)
+                } else {
+                    FaultRule::once(op, index, ENOSPC)
+                });
+                let shared: Arc<dyn Storage> = storage.clone();
+                match recover_with(&dir, Arc::clone(&shared)) {
+                    Ok(service) => {
+                        // Absorbed the fault: answers must be right anyway.
+                        assert_eq!(
+                            translation_bytes(&service, &papers_after_2000()),
+                            reference.0,
+                            "{case}: survived recovery must answer byte-identically"
+                        );
+                        assert_eq!(service.metrics().qfg_queries, reference.1, "{case}");
+                        drop(service);
+                    }
+                    Err(error) => {
+                        // Refused: must be typed, and the storage healing
+                        // must make the next recovery whole.
+                        let _typed: ServiceError = error;
+                        storage.clear();
+                        let healed = recover_with(&dir, shared)
+                            .unwrap_or_else(|e| panic!("{case}: heal failed: {e}"));
+                        assert_eq!(
+                            translation_bytes(&healed, &papers_after_2000()),
+                            reference.0,
+                            "{case}: healed recovery must answer byte-identically"
+                        );
+                        assert_eq!(healed.metrics().qfg_queries, reference.1, "{case}");
+                    }
+                }
+                fs::remove_dir_all(&dir).ok();
+            }
+        }
+    }
+    assert!(
+        sites >= 16,
+        "the recovery path must traverse a meaningful fault surface, saw {sites} cases"
+    );
+    fs::remove_dir_all(&image).ok();
+}
+
+/// Fail every filesystem operation of a steady-state **checkpoint** at every
+/// call index.  A faulted checkpoint must return a typed error or absorb the
+/// fault; translations keep serving unchanged throughout; after the fault
+/// clears a checkpoint succeeds; and the directory always recovers
+/// byte-identically.
+#[test]
+fn checkpoint_fault_matrix_never_corrupts_the_durable_directory() {
+    let dir = temp_dir("checkpoint-matrix");
+    let storage = FaultyStorage::new();
+    let service = recover_with(&dir, storage.clone()).unwrap();
+    for sql in ACADEMIC_LOG {
+        service.submit_sql(sql).unwrap();
+    }
+    service.flush();
+    service.checkpoint().unwrap();
+    let reference = translation_bytes(&service, &papers_after_2000());
+
+    // Enumerate one steady-state checkpoint (no new entries: the operation
+    // schedule is deterministic).
+    storage.reset_counts();
+    service.checkpoint().unwrap();
+    let per_op: Vec<(StorageOp, u64)> = ALL_OPS
+        .iter()
+        .map(|&op| (op, storage.op_count(op)))
+        .collect();
+
+    let mut sites = 0u64;
+    for &(op, count) in &per_op {
+        for index in 0..count {
+            sites += 1;
+            let case = format!("op {op:?} index {index}");
+            storage.reset_counts();
+            storage.inject(FaultRule::once(op, index, ENOSPC));
+            match service.checkpoint() {
+                // Absorbed (e.g. a GC deletion failure is deferred, not
+                // fatal) — fine, as long as nothing panicked.
+                Ok(_) => {}
+                Err(error) => {
+                    let _typed: ServiceError = error;
+                }
+            }
+            assert_eq!(
+                translation_bytes(&service, &papers_after_2000()),
+                reference,
+                "{case}: translations must keep serving unchanged under a checkpoint fault"
+            );
+            // The disk comes back: the next checkpoint must succeed.
+            storage.clear();
+            service
+                .checkpoint()
+                .unwrap_or_else(|e| panic!("{case}: post-fault checkpoint failed: {e}"));
+        }
+    }
+    // One steady-state checkpoint touches the whole snapshot publish chain:
+    // temp-file create, body write, fsync, rename, directory fsync, GC
+    // listing.  (The WAL write/fsync sites are swept by the journal matrix
+    // in `wal.rs` and the degrade/heal test below.)
+    assert!(
+        sites >= 6,
+        "the checkpoint path must traverse a meaningful fault surface, saw {sites} cases"
+    );
+    drop(service);
+
+    // Whatever the matrix left on disk recovers byte-identically.
+    let recovered = recover_with(&dir, FaultyStorage::new()).unwrap();
+    assert_eq!(
+        translation_bytes(&recovered, &papers_after_2000()),
+        reference,
+        "the durable directory must recover byte-identically after the whole matrix"
+    );
+    drop(recovered);
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// The tentpole state machine end to end: a persistently failing journal
+/// fsync exhausts the bounded in-line retries and flips the service to
+/// degraded read-only mode — ingestion refused with a typed
+/// [`ServiceError::Degraded`], translations still serving — then the
+/// background probe heals it the moment the disk comes back, the staged
+/// journal tail is replayed, and a recovery of the directory matches a
+/// never-faulted twin byte-for-byte.
+#[test]
+fn journal_failure_degrades_to_read_only_and_heals() {
+    let dir = temp_dir("degrade-heal");
+    let storage = FaultyStorage::new();
+    let service = recover_with(&dir, storage.clone()).unwrap();
+    for sql in ACADEMIC_LOG {
+        service.submit_sql(sql).unwrap();
+    }
+    service.flush();
+    assert_eq!(service.health_state(), HealthState::Healthy);
+
+    // The disk dies: every fsync fails from now on.  The rules are aimed at
+    // the *next* matching call, whatever the counters already absorbed.
+    storage.inject(FaultRule {
+        op: StorageOp::SyncData,
+        after: storage.op_count(StorageOp::SyncData),
+        errno: EIO,
+        forever: true,
+        halt: false,
+        short_write: None,
+    });
+    storage.inject(FaultRule {
+        op: StorageOp::SyncAll,
+        after: storage.op_count(StorageOp::SyncAll),
+        errno: EIO,
+        forever: true,
+        halt: false,
+        short_write: None,
+    });
+
+    // This entry is accepted while healthy; journaling it trips the fault.
+    let tripping = "SELECT p.title FROM publication p WHERE p.year > 1999";
+    service.submit_sql(tripping).unwrap();
+    assert!(
+        poll_health(&service, HealthState::Degraded, Duration::from_secs(10)),
+        "exhausted journal retries must degrade the service"
+    );
+
+    // Degraded: writes refused with the typed error, reads keep serving,
+    // metrics and health stay observable.
+    let refused = service
+        .submit_sql("SELECT j.name FROM journal j")
+        .unwrap_err();
+    assert!(matches!(refused, ServiceError::Degraded), "got {refused:?}");
+    let live = translation_bytes(&service, &papers_after_2000());
+    assert!(!live.is_empty(), "translations must keep serving degraded");
+    let snapshot = service.metrics();
+    assert_eq!(snapshot.health_state, 1);
+    assert!(snapshot.degraded_entries_total >= 1);
+    assert!(snapshot.journal_retries_total >= 1);
+    assert_eq!(
+        snapshot.wal_io_errors, 1,
+        "a single failure episode counts once, however many retries it absorbed"
+    );
+    assert_eq!(
+        snapshot.wal_last_errno,
+        EIO as u64 + 1,
+        "the episode's errno is surfaced (stored as errno+1; 0 = none)"
+    );
+
+    // The disk comes back: the probe must heal without intervention.
+    storage.clear();
+    assert!(
+        poll_health(&service, HealthState::Healthy, Duration::from_secs(10)),
+        "the background probe must restore write availability"
+    );
+    let healed = service.metrics();
+    assert!(healed.journal_heals_total >= 1);
+    assert_eq!(healed.health_state, 0);
+
+    // Writes are accepted again, and the staged tail survived the outage.
+    let after_heal = "SELECT p.year FROM publication p";
+    service.submit_sql(after_heal).unwrap();
+    service.flush();
+    service.checkpoint().unwrap();
+    let live = translation_bytes(&service, &papers_after_2000());
+    drop(service);
+
+    // A recovery of the directory sees every acknowledged entry...
+    let recovered = recover_with(&dir, FaultyStorage::new()).unwrap();
+    assert_eq!(
+        translation_bytes(&recovered, &papers_after_2000()),
+        live,
+        "recovery after the outage must be byte-identical to the live service"
+    );
+    // ...and matches a twin that never saw a fault, fed the same
+    // acknowledged log.
+    let twin_dir = temp_dir("degrade-heal-twin");
+    let twin = recover_with(&twin_dir, FaultyStorage::new()).unwrap();
+    for sql in ACADEMIC_LOG.iter().copied().chain([tripping, after_heal]) {
+        twin.submit_sql(sql).unwrap();
+    }
+    twin.flush();
+    assert_eq!(
+        translation_bytes(&twin, &papers_after_2000()),
+        live,
+        "the healed service must match a never-faulted twin byte-for-byte"
+    );
+    assert_eq!(recovered.metrics().qfg_queries, twin.metrics().qfg_queries);
+    drop((recovered, twin));
+    fs::remove_dir_all(&dir).ok();
+    fs::remove_dir_all(&twin_dir).ok();
+}

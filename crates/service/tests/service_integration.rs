@@ -610,14 +610,14 @@ fn admission_quota_sheds_with_typed_backpressure_and_counters() {
     ));
 
     // While the quota is full, an admission-controlled line is shed typed…
-    let line = r#"{"version": 4, "id": 5, "body": {"SubmitSql": {"tenant": "academic", "sql": "SELECT p.title FROM publication p"}}}"#;
+    let line = r#"{"version": 5, "id": 5, "body": {"SubmitSql": {"tenant": "academic", "sql": "SELECT p.title FROM publication p"}}}"#;
     let response = registry.handle_line(line);
     assert!(
         response.contains("Backpressure"),
         "full quota must surface as Backpressure: {response}"
     );
     // …while observability reads stay exempt from admission control.
-    let metrics_line = r#"{"version": 4, "id": 6, "body": {"Metrics": {"tenant": "academic"}}}"#;
+    let metrics_line = r#"{"version": 5, "id": 6, "body": {"Metrics": {"tenant": "academic"}}}"#;
     assert!(registry.handle_line(metrics_line).contains("\"ok\""));
 
     // Dropping a permit frees its slot.

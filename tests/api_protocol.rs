@@ -356,7 +356,7 @@ fn version_mismatched_and_malformed_envelopes_are_rejected() {
         Err(ApiError::MalformedEnvelope { .. })
     ));
 
-    let bad_body = r#"{"version": 4, "id": 9, "body": {"Nonsense": true}}"#;
+    let bad_body = r#"{"version": 5, "id": 9, "body": {"Nonsense": true}}"#;
     let envelope = decode_response(&registry.handle_line(bad_body)).unwrap();
     assert_eq!(envelope.id, 9, "recoverable ids are echoed on errors");
     assert!(matches!(
